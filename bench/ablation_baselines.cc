@@ -1,0 +1,68 @@
+// Ablation — construction-strategy comparison on the classic single-SUM
+// max-p query (the only query all three solvers support): the MP-regions
+// greedy grower, the SKATER-style MST partitioner, and FaCT's generic
+// pipeline, across thresholds on the 2k dataset. Reports p, runtime, and
+// solution-quality metrics (heterogeneity, size balance, compactness).
+
+#include <string>
+#include <vector>
+
+#include "baseline/maxp_regions.h"
+#include "baseline/skater.h"
+#include "core/metrics.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace {
+
+struct NamedRun {
+  std::string name;
+  emp::Result<emp::Solution> solution;
+};
+
+}  // namespace
+
+int main() {
+  using namespace emp;
+  using namespace emp::bench;
+  Banner("Ablation", "construction strategies on single SUM >= l (2k)");
+
+  DatasetCache cache;
+  const AreaSet& areas = cache.Get("2k");
+  SolverOptions options = DefaultBenchOptions();
+
+  TablePrinter table("", {"solver", "l", "p", "unassigned", "total(s)",
+                          "het", "size-gini", "compactness"});
+  for (double l : {10000.0, 20000.0, 40000.0}) {
+    std::vector<NamedRun> runs;
+    runs.push_back(
+        {"MP", MaxPRegionsSolver(&areas, "TOTALPOP", l, options).Solve()});
+    runs.push_back(
+        {"SKATER", SkaterMaxPSolver(&areas, "TOTALPOP", l, options).Solve()});
+    runs.push_back(
+        {"FaCT",
+         SolveEmp(areas, {Constraint::Sum("TOTALPOP", l, kNoUpperBound)},
+                  options)});
+    for (NamedRun& run : runs) {
+      if (!run.solution.ok()) {
+        table.AddRow({run.name, FormatDouble(l, 0), "infeasible", "-", "-",
+                      "-", "-", "-"});
+        continue;
+      }
+      const Solution& sol = *run.solution;
+      auto metrics = ComputeMetrics(areas, sol);
+      table.AddRow({
+          run.name,
+          FormatDouble(l, 0),
+          std::to_string(sol.p()),
+          std::to_string(sol.num_unassigned()),
+          Secs(sol.construction_seconds + sol.local_search_seconds),
+          FormatDouble(sol.heterogeneity, 0),
+          metrics.ok() ? FormatDouble(metrics->size_gini, 3) : "-",
+          metrics.ok() ? FormatDouble(metrics->mean_compactness, 3) : "-",
+      });
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Ablation — design choices DESIGN.md §5 calls out, on the default MAS
+// query (2k dataset):
+//   (1) construction iterations (best-of-k on p),
+//   (2) AVG merge limit (round-2 coalition budget),
+//   (3) area pickup order (random / ascending / descending),
+//   (4) Tabu tenure.
+// Not a paper figure; quantifies how much each knob buys.
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace emp;
+  using namespace emp::bench;
+  Banner("Ablation", "FaCT parameter sensitivity on the MAS query (2k)");
+
+  DatasetCache cache;
+  const AreaSet& areas = cache.Get("2k");
+  const std::vector<Constraint> query = BuildCombo("MAS", ComboRanges{});
+
+  {
+    TablePrinter table("construction iterations (best-of-k on p)",
+                       {"iterations", "p", "construction(s)"});
+    for (int iters : {1, 2, 3, 5}) {
+      SolverOptions options = DefaultBenchOptions();
+      options.construction_iterations = iters;
+      options.run_local_search = false;
+      RunResult r = RunFact(areas, query, options);
+      table.AddRow({std::to_string(iters), std::to_string(r.p),
+                    Secs(r.construction_seconds)});
+    }
+    table.Print();
+  }
+
+  {
+    // The merge limit matters most when AVG is tight; use 3k±1k.
+    ComboRanges tight;
+    tight.avg_lower = 2000;
+    tight.avg_upper = 4000;
+    TablePrinter table("AVG merge limit (range 3k±1k)",
+                       {"merge-limit", "p", "UA", "construction(s)"});
+    for (int limit : {0, 1, 3, 5}) {
+      SolverOptions options = DefaultBenchOptions();
+      options.avg_merge_limit = limit;
+      options.run_local_search = false;
+      RunResult r = RunFact(areas, BuildCombo("MAS", tight), options);
+      table.AddRow({std::to_string(limit), std::to_string(r.p),
+                    std::to_string(r.unassigned),
+                    Secs(r.construction_seconds)});
+    }
+    table.Print();
+  }
+
+  {
+    TablePrinter table("area pickup order",
+                       {"order", "p", "UA", "construction(s)"});
+    const std::pair<PickupOrder, const char*> orders[] = {
+        {PickupOrder::kRandom, "random"},
+        {PickupOrder::kAscending, "ascending"},
+        {PickupOrder::kDescending, "descending"},
+    };
+    for (const auto& [order, label] : orders) {
+      SolverOptions options = DefaultBenchOptions();
+      options.pickup_order = order;
+      options.run_local_search = false;
+      RunResult r = RunFact(areas, query, options);
+      table.AddRow({label, std::to_string(r.p),
+                    std::to_string(r.unassigned),
+                    Secs(r.construction_seconds)});
+    }
+    table.Print();
+  }
+
+  {
+    TablePrinter table("Tabu tenure",
+                       {"tenure", "p", "tabu(s)", "het-improve"});
+    for (int tenure : {1, 5, 10, 25}) {
+      SolverOptions options = DefaultBenchOptions();
+      options.tabu_tenure = tenure;
+      RunResult r = RunFact(areas, query, options);
+      table.AddRow({std::to_string(tenure), std::to_string(r.p),
+                    Secs(r.tabu_seconds),
+                    Pct(r.heterogeneity_improvement)});
+    }
+    table.Print();
+  }
+  return 0;
+}

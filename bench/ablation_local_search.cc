@@ -1,0 +1,108 @@
+// Ablation — Phase-3 engine and objective choice, on the default MAS
+// query (2k dataset):
+//   (1) Tabu vs simulated annealing minimizing heterogeneity, from the
+//       same construction output;
+//   (2) Tabu minimizing geometric compactness instead (the alternative
+//       objective the paper's §III mentions).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/construction/monotonic_adjust.h"
+#include "core/construction/region_growing.h"
+#include "core/construction/seeding.h"
+#include "core/feasibility.h"
+#include "core/local_search/objective.h"
+#include "core/local_search/simulated_annealing.h"
+#include "core/local_search/tabu.h"
+#include "core/partition.h"
+#include "graph/connectivity.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace emp;
+  using namespace emp::bench;
+  Banner("Ablation", "local-search engine and objective (MAS, 2k)");
+
+  DatasetCache cache;
+  const AreaSet& areas = cache.Get("2k");
+  const std::vector<Constraint> query = BuildCombo("MAS", ComboRanges{});
+  auto bound_or = BoundConstraints::Create(&areas, query);
+  if (!bound_or.ok()) return 1;
+  const BoundConstraints& bound = *bound_or;
+
+  // One shared construction output, rebuilt per engine run.
+  auto construct = [&](Partition* partition) -> bool {
+    auto feasibility = CheckFeasibility(bound);
+    if (!feasibility.ok()) return false;
+    SeedingResult seeding = SelectSeeds(bound, *feasibility);
+    for (int32_t a : feasibility->invalid_areas) partition->Deactivate(a);
+    SolverOptions options = DefaultBenchOptions();
+    Rng rng(options.seed);
+    if (!GrowRegions(seeding, options, &rng, partition).ok()) return false;
+    ConnectivityChecker connectivity(&areas.graph());
+    return AdjustForCounting(&connectivity, partition).ok();
+  };
+
+  TablePrinter table("", {"engine", "objective", "initial", "final",
+                          "improve", "moves/accepts", "time(s)"});
+
+  {
+    Partition partition(&bound);
+    if (!construct(&partition)) return 1;
+    ConnectivityChecker connectivity(&areas.graph());
+    SolverOptions options = DefaultBenchOptions();
+    Stopwatch timer;
+    auto tabu = TabuSearch(options, &connectivity, &partition);
+    if (!tabu.ok()) return 1;
+    table.AddRow({"tabu", "heterogeneity",
+                  FormatDouble(tabu->initial_heterogeneity, 0),
+                  FormatDouble(tabu->final_heterogeneity, 0),
+                  Pct(tabu->ImprovementRatio()),
+                  std::to_string(tabu->moves_applied),
+                  Secs(timer.ElapsedSeconds())});
+  }
+
+  {
+    Partition partition(&bound);
+    if (!construct(&partition)) return 1;
+    ConnectivityChecker connectivity(&areas.graph());
+    AnnealOptions options;
+    options.iterations = 60000;
+    Stopwatch timer;
+    auto sa = SimulatedAnnealing(options, &connectivity, &partition);
+    if (!sa.ok()) return 1;
+    table.AddRow({"anneal", "heterogeneity",
+                  FormatDouble(sa->initial_objective, 0),
+                  FormatDouble(sa->final_objective, 0),
+                  Pct(sa->ImprovementRatio()),
+                  std::to_string(sa->accepted),
+                  Secs(timer.ElapsedSeconds())});
+  }
+
+  {
+    Partition partition(&bound);
+    if (!construct(&partition)) return 1;
+    ConnectivityChecker connectivity(&areas.graph());
+    auto objective = CompactnessObjective::Create(partition);
+    if (!objective.ok()) return 1;
+    SolverOptions options = DefaultBenchOptions();
+    Stopwatch timer;
+    auto tabu =
+        TabuSearch(options, &connectivity, &partition, objective->get());
+    if (!tabu.ok()) return 1;
+    table.AddRow({"tabu", "compactness",
+                  FormatDouble(tabu->initial_heterogeneity, 0),
+                  FormatDouble(tabu->final_heterogeneity, 0),
+                  Pct(tabu->ImprovementRatio()),
+                  std::to_string(tabu->moves_applied),
+                  Secs(timer.ElapsedSeconds())});
+  }
+
+  table.Print();
+  return 0;
+}

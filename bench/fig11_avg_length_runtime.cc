@@ -1,0 +1,42 @@
+// Fig. 11 — runtime for the Fig. 10 sweep (AVG @ midpoint 3k, half-length
+// {0.5k, 1k, 1.5k, 2k}, combos {A, MA, AS, MAS}) including the Tabu phase.
+//
+// Expected shape (paper): range length dominates runtime — the tight
+// 3k±0.5k terminates early (most areas unassigned), 3k±1k is the
+// bottleneck, wide ranges are fast; constraint combos with the same range
+// differ far less than different ranges do.
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace emp;
+  using namespace emp::bench;
+  Banner("Fig. 11", "runtime for AVG range lengths @ midpoint 3k (2k)");
+
+  DatasetCache cache;
+  const AreaSet& areas = cache.Get("2k");
+  SolverOptions options = DefaultBenchOptions();
+
+  TablePrinter table("", {"combo", "range", "p", "construction(s)",
+                          "tabu(s)", "total(s)", "het-improve"});
+  for (const std::string& combo : {"A", "MA", "AS", "MAS"}) {
+    for (double half : {500.0, 1000.0, 1500.0, 2000.0}) {
+      ComboRanges cr;
+      cr.avg_lower = 3000 - half;
+      cr.avg_upper = 3000 + half;
+      RunResult r = RunFact(areas, BuildCombo(combo, cr), options);
+      table.AddRow({combo,
+                    "[" + FormatDouble(cr.avg_lower, 0) + "," +
+                        FormatDouble(cr.avg_upper, 0) + "]",
+                    std::to_string(r.p), Secs(r.construction_seconds),
+                    Secs(r.tabu_seconds), Secs(r.total_seconds()),
+                    Pct(r.heterogeneity_improvement)});
+    }
+  }
+  table.Print();
+  return 0;
+}

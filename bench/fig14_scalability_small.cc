@@ -1,0 +1,35 @@
+// Fig. 14 — scalability over the single-state datasets {1k, 2k, 4k, 8k}
+// with the default constraint ranges (Table II), combos {M, MS, MA, MAS}.
+//
+// Expected shape (paper): runtime grows roughly linearly for M and
+// superlinearly (near-quadratic worst case) for the SUM-bearing combos;
+// all runs complete in "very acceptable" time.
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace emp;
+  using namespace emp::bench;
+  Banner("Fig. 14", "scalability on 1k-8k datasets, default constraints");
+
+  DatasetCache cache;
+  SolverOptions options = DefaultBenchOptions();
+
+  TablePrinter table("", {"dataset", "areas", "combo", "p",
+                          "construction(s)", "tabu(s)", "total(s)"});
+  for (const std::string& dataset : {"1k", "2k", "4k", "8k"}) {
+    const AreaSet& areas = cache.Get(dataset);
+    for (const std::string& combo : {"M", "MS", "MA", "MAS"}) {
+      RunResult r = RunFact(areas, BuildCombo(combo, ComboRanges{}), options);
+      table.AddRow({dataset, std::to_string(areas.num_areas()), combo,
+                    std::to_string(r.p), Secs(r.construction_seconds),
+                    Secs(r.tabu_seconds), Secs(r.total_seconds())});
+    }
+  }
+  table.Print();
+  return 0;
+}

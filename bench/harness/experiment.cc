@@ -1,0 +1,110 @@
+#include "harness/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/maxp_regions.h"
+#include "data/synthetic/dataset_catalog.h"
+
+namespace emp {
+namespace bench {
+
+std::vector<Constraint> BuildCombo(const std::string& combo,
+                                   const ComboRanges& ranges) {
+  std::vector<Constraint> cs;
+  for (char c : combo) {
+    switch (c) {
+      case 'M':
+        cs.push_back(
+            Constraint::Min("POP16UP", ranges.min_lower, ranges.min_upper));
+        break;
+      case 'A':
+        cs.push_back(
+            Constraint::Avg("EMPLOYED", ranges.avg_lower, ranges.avg_upper));
+        break;
+      case 'S':
+        cs.push_back(
+            Constraint::Sum("TOTALPOP", ranges.sum_lower, ranges.sum_upper));
+        break;
+      default:
+        std::fprintf(stderr, "unknown combo code '%c' in '%s'\n", c,
+                     combo.c_str());
+        std::abort();
+    }
+  }
+  return cs;
+}
+
+RunResult RunFact(const AreaSet& areas, const std::vector<Constraint>& cs,
+                  const SolverOptions& options) {
+  RunResult out;
+  auto sol = SolveEmp(areas, cs, options);
+  if (!sol.ok()) {
+    out.infeasible = true;
+    return out;
+  }
+  out.p = sol->p();
+  out.unassigned = sol->num_unassigned();
+  out.construction_seconds = sol->construction_seconds;
+  out.tabu_seconds = sol->local_search_seconds;
+  out.heterogeneity_improvement = sol->HeterogeneityImprovement();
+  return out;
+}
+
+RunResult RunMaxP(const AreaSet& areas, double threshold,
+                  const SolverOptions& options) {
+  RunResult out;
+  MaxPRegionsSolver solver(&areas, "TOTALPOP", threshold, options);
+  auto sol = solver.Solve();
+  if (!sol.ok()) {
+    out.infeasible = true;
+    return out;
+  }
+  out.p = sol->p();
+  out.unassigned = sol->num_unassigned();
+  out.construction_seconds = sol->construction_seconds;
+  out.tabu_seconds = sol->local_search_seconds;
+  out.heterogeneity_improvement = sol->HeterogeneityImprovement();
+  return out;
+}
+
+SolverOptions DefaultBenchOptions() {
+  SolverOptions options;
+  options.construction_iterations = 1;
+  options.tabu_max_no_improve = 300;
+  options.tabu_max_iterations = 1500;
+  options.seed = 20220101;
+  return options;
+}
+
+double EnvScale(double fallback) {
+  const char* env = std::getenv("EMP_BENCH_SCALE");
+  if (env == nullptr) return fallback;
+  double v = std::atof(env);
+  if (v <= 0.0 || v > 1.0) {
+    std::fprintf(stderr, "ignoring invalid EMP_BENCH_SCALE=%s\n", env);
+    return fallback;
+  }
+  return v;
+}
+
+DatasetCache::DatasetCache(double scale)
+    : scale_(scale > 0 ? scale : EnvScale(1.0)) {}
+
+const AreaSet& DatasetCache::Get(const std::string& name) {
+  auto it = cache_.find(name);
+  if (it != cache_.end()) return *it->second;
+  auto areas = synthetic::MakeCatalogDataset(name, scale_);
+  if (!areas.ok()) {
+    std::fprintf(stderr, "dataset '%s' failed: %s\n", name.c_str(),
+                 areas.status().ToString().c_str());
+    std::abort();
+  }
+  auto [pos, inserted] = cache_.emplace(
+      name, std::make_unique<AreaSet>(std::move(areas).value()));
+  (void)inserted;
+  return *pos->second;
+}
+
+}  // namespace bench
+}  // namespace emp

@@ -1,0 +1,87 @@
+#ifndef EMP_BENCH_HARNESS_EXPERIMENT_H_
+#define EMP_BENCH_HARNESS_EXPERIMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fact_solver.h"
+#include "data/area_set.h"
+
+namespace emp {
+namespace bench {
+
+/// Constraint-combination codes used throughout the paper's evaluation:
+/// M (MIN), A (AVG), S (SUM), and their combinations MS, MA, MAS, AS;
+/// plus MP for the max-p-regions baseline (single SUM >= l, no U0).
+///
+/// Default attributes/ranges mirror Table II:
+///   MIN(POP16UP)  in (-inf, 3000]
+///   AVG(EMPLOYED) in [1500, 3500]
+///   SUM(TOTALPOP) in [20000, inf)
+struct ComboRanges {
+  double min_lower = kNoLowerBound;
+  double min_upper = 3000;
+  double avg_lower = 1500;
+  double avg_upper = 3500;
+  double sum_lower = 20000;
+  double sum_upper = kNoUpperBound;
+};
+
+/// Builds the constraint set for a combo code ("M", "MS", "MA", "MAS",
+/// "S", "AS", "A") with the given ranges. Aborts on unknown codes.
+std::vector<Constraint> BuildCombo(const std::string& combo,
+                                   const ComboRanges& ranges);
+
+/// One experiment run's measurements, matching the paper's reported
+/// metrics.
+struct RunResult {
+  int32_t p = 0;
+  int64_t unassigned = 0;
+  double construction_seconds = 0.0;
+  double tabu_seconds = 0.0;
+  double total_seconds() const { return construction_seconds + tabu_seconds; }
+  double heterogeneity_improvement = 0.0;  // |H0 - H1| / H0
+  bool infeasible = false;
+};
+
+/// Runs FaCT on `areas` with the combo's constraints. `options` defaults
+/// to DefaultBenchOptions().
+RunResult RunFact(const AreaSet& areas, const std::vector<Constraint>& cs,
+                  const SolverOptions& options);
+
+/// Runs the MP-regions baseline (single SUM(TOTALPOP) >= threshold).
+RunResult RunMaxP(const AreaSet& areas, double threshold,
+                  const SolverOptions& options);
+
+/// Solver options used by the harness: fewer construction iterations and a
+/// capped Tabu budget so the full `build/bench/*` sweep finishes in
+/// minutes. The caps preserve every trend the paper reports; lift them
+/// with SolverOptions defaults for full-fidelity runs.
+SolverOptions DefaultBenchOptions();
+
+/// Dataset cache: synthesizes catalog datasets on first use, scaled by
+/// EMP_BENCH_SCALE (see below). Keyed by name.
+class DatasetCache {
+ public:
+  /// Scale applied to every dataset this cache serves (default from env).
+  explicit DatasetCache(double scale);
+  DatasetCache() : DatasetCache(-1.0) {}
+
+  /// Synthesize (or return cached) dataset by catalog name.
+  const AreaSet& Get(const std::string& name);
+
+ private:
+  double scale_;
+  std::map<std::string, std::unique_ptr<AreaSet>> cache_;
+};
+
+/// Reads EMP_BENCH_SCALE (a float in (0, 1], default `fallback`), the
+/// global dataset shrink factor for quick benchmark runs.
+double EnvScale(double fallback = 1.0);
+
+}  // namespace bench
+}  // namespace emp
+
+#endif  // EMP_BENCH_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,60 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/str_util.h"
+
+namespace emp {
+namespace bench {
+
+TablePrinter::TablePrinter(std::string title,
+                           std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  if (!title_.empty()) std::printf("%s\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  std::string rule;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+  std::printf("\n");
+}
+
+std::string Secs(double seconds) { return FormatDouble(seconds, 3); }
+
+std::string Pct(double ratio) {
+  return FormatDouble(ratio * 100.0, 1) + "%";
+}
+
+void Banner(const std::string& experiment_id, const std::string& what) {
+  std::printf("==============================================\n");
+  std::printf("%s — %s\n", experiment_id.c_str(), what.c_str());
+  std::printf("==============================================\n");
+}
+
+}  // namespace bench
+}  // namespace emp

@@ -1,0 +1,44 @@
+#ifndef EMP_BENCH_HARNESS_TABLE_H_
+#define EMP_BENCH_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"  // FormatDouble, used by every bench report
+
+namespace emp {
+namespace bench {
+
+/// Minimal fixed-width table printer for experiment reports: the bench
+/// binaries print the same rows/series the paper's tables and figures
+/// show, so EXPERIMENTS.md can compare shapes side by side.
+class TablePrinter {
+ public:
+  /// `title` prints above the header; `columns` define the header row.
+  TablePrinter(std::string title, std::vector<std::string> columns);
+
+  /// Adds a row (stringified cells, same arity as the header).
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders everything to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with 3 decimals, e.g. "1.234".
+std::string Secs(double seconds);
+
+/// Formats a ratio as a percentage with 1 decimal, e.g. "40.2%".
+std::string Pct(double ratio);
+
+/// Prints the standard bench banner (figure/table id + what it shows).
+void Banner(const std::string& experiment_id, const std::string& what);
+
+}  // namespace bench
+}  // namespace emp
+
+#endif  // EMP_BENCH_HARNESS_TABLE_H_

@@ -1,0 +1,124 @@
+// Micro-benchmarks for the FaCT construction pipeline stages on a 2000-
+// area synthetic map with the paper's default constraint suite.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/construction/monotonic_adjust.h"
+#include "core/construction/region_growing.h"
+#include "core/construction/seeding.h"
+#include "core/feasibility.h"
+#include "core/local_search/heterogeneity.h"
+#include "core/local_search/tabu.h"
+#include "core/partition.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "graph/connectivity.h"
+
+namespace {
+
+const emp::AreaSet& Map() {
+  static const emp::AreaSet* kMap = [] {
+    auto areas = emp::synthetic::MakeDefaultDataset("bench", 2000, 21);
+    if (!areas.ok()) std::abort();
+    return new emp::AreaSet(std::move(areas).value());
+  }();
+  return *kMap;
+}
+
+const emp::BoundConstraints& Bound() {
+  static const emp::BoundConstraints* kBound = [] {
+    auto bc = emp::BoundConstraints::Create(
+        &Map(), {
+                    emp::Constraint::Min("POP16UP", emp::kNoLowerBound, 3000),
+                    emp::Constraint::Avg("EMPLOYED", 1500, 3500),
+                    emp::Constraint::Sum("TOTALPOP", 20000,
+                                         emp::kNoUpperBound),
+                });
+    if (!bc.ok()) std::abort();
+    return new emp::BoundConstraints(std::move(bc).value());
+  }();
+  return *kBound;
+}
+
+const emp::FeasibilityReport& Feasibility() {
+  static const emp::FeasibilityReport* kReport = [] {
+    auto r = emp::CheckFeasibility(Bound());
+    if (!r.ok()) std::abort();
+    return new emp::FeasibilityReport(std::move(r).value());
+  }();
+  return *kReport;
+}
+
+void BM_FeasibilityPhase(benchmark::State& state) {
+  for (auto _ : state) {
+    auto report = emp::CheckFeasibility(Bound());
+    if (!report.ok()) std::abort();
+    benchmark::DoNotOptimize(report->num_seed_areas);
+  }
+  state.SetItemsProcessed(state.iterations() * Map().num_areas());
+}
+BENCHMARK(BM_FeasibilityPhase);
+
+void BM_RegionGrowing(benchmark::State& state) {
+  emp::SeedingResult seeding = emp::SelectSeeds(Bound(), Feasibility());
+  for (auto _ : state) {
+    emp::Partition partition(&Bound());
+    for (int32_t a : Feasibility().invalid_areas) partition.Deactivate(a);
+    emp::Rng rng(1);
+    if (!emp::GrowRegions(seeding, {}, &rng, &partition).ok()) std::abort();
+    benchmark::DoNotOptimize(partition.NumRegions());
+  }
+}
+BENCHMARK(BM_RegionGrowing)->Unit(benchmark::kMillisecond);
+
+void BM_FullConstruction(benchmark::State& state) {
+  emp::SeedingResult seeding = emp::SelectSeeds(Bound(), Feasibility());
+  emp::ConnectivityChecker connectivity(&Map().graph());
+  for (auto _ : state) {
+    emp::Partition partition(&Bound());
+    for (int32_t a : Feasibility().invalid_areas) partition.Deactivate(a);
+    emp::Rng rng(1);
+    if (!emp::GrowRegions(seeding, {}, &rng, &partition).ok()) std::abort();
+    if (!emp::AdjustForCounting(&connectivity, &partition).ok()) std::abort();
+    benchmark::DoNotOptimize(partition.NumRegions());
+  }
+}
+BENCHMARK(BM_FullConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_TabuSearch(benchmark::State& state) {
+  const int64_t iterations = state.range(0);
+  emp::SeedingResult seeding = emp::SelectSeeds(Bound(), Feasibility());
+  emp::ConnectivityChecker connectivity(&Map().graph());
+  for (auto _ : state) {
+    state.PauseTiming();
+    emp::Partition partition(&Bound());
+    for (int32_t a : Feasibility().invalid_areas) partition.Deactivate(a);
+    emp::Rng rng(1);
+    if (!emp::GrowRegions(seeding, {}, &rng, &partition).ok()) std::abort();
+    if (!emp::AdjustForCounting(&connectivity, &partition).ok()) std::abort();
+    emp::SolverOptions options;
+    options.tabu_max_iterations = iterations;
+    options.tabu_max_no_improve = iterations;
+    state.ResumeTiming();
+    auto result = emp::TabuSearch(options, &connectivity, &partition);
+    if (!result.ok()) std::abort();
+    benchmark::DoNotOptimize(result->final_heterogeneity);
+  }
+  state.SetItemsProcessed(state.iterations() * iterations);
+}
+BENCHMARK(BM_TabuSearch)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+void BM_HeterogeneityBuild(benchmark::State& state) {
+  emp::SeedingResult seeding = emp::SelectSeeds(Bound(), Feasibility());
+  emp::Partition partition(&Bound());
+  for (int32_t a : Feasibility().invalid_areas) partition.Deactivate(a);
+  emp::Rng rng(1);
+  if (!emp::GrowRegions(seeding, {}, &rng, &partition).ok()) std::abort();
+  for (auto _ : state) {
+    emp::HeterogeneityTracker tracker(partition);
+    benchmark::DoNotOptimize(tracker.total());
+  }
+}
+BENCHMARK(BM_HeterogeneityBuild);
+
+}  // namespace

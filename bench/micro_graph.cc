@@ -1,0 +1,85 @@
+// Micro-benchmarks for the contiguity-graph substrate: connectivity checks
+// are the per-move cost driver in Step 3 swaps and Tabu moves.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "data/synthetic/dataset_catalog.h"
+#include "graph/components.h"
+#include "graph/connectivity.h"
+
+namespace {
+
+const emp::AreaSet& Map() {
+  static const emp::AreaSet* kMap = [] {
+    auto areas = emp::synthetic::MakeDefaultDataset("bench", 5000, 11);
+    if (!areas.ok()) std::abort();
+    return new emp::AreaSet(std::move(areas).value());
+  }();
+  return *kMap;
+}
+
+/// A BFS ball of `size` areas around node 0 — a realistic region shape.
+std::vector<int32_t> RegionBall(int32_t size) {
+  const auto& graph = Map().graph();
+  std::vector<int32_t> members = {0};
+  std::vector<char> in(static_cast<size_t>(graph.num_nodes()), 0);
+  in[0] = 1;
+  for (size_t head = 0;
+       head < members.size() && static_cast<int32_t>(members.size()) < size;
+       ++head) {
+    for (int32_t nb : graph.NeighborsOf(members[head])) {
+      if (!in[static_cast<size_t>(nb)]) {
+        in[static_cast<size_t>(nb)] = 1;
+        members.push_back(nb);
+        if (static_cast<int32_t>(members.size()) >= size) break;
+      }
+    }
+  }
+  return members;
+}
+
+void BM_IsConnectedWithout(benchmark::State& state) {
+  const std::vector<int32_t> region = RegionBall(
+      static_cast<int32_t>(state.range(0)));
+  emp::ConnectivityChecker check(&Map().graph());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        check.IsConnectedWithout(region, region[i % region.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_IsConnectedWithout)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_ArticulationPoints(benchmark::State& state) {
+  const std::vector<int32_t> region = RegionBall(
+      static_cast<int32_t>(state.range(0)));
+  emp::ConnectivityChecker check(&Map().graph());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check.ArticulationPoints(region));
+  }
+}
+BENCHMARK(BM_ArticulationPoints)->Arg(128)->Arg(1024);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emp::ConnectedComponents(Map().graph()).count);
+  }
+}
+BENCHMARK(BM_ConnectedComponents);
+
+void BM_NeighborScan(benchmark::State& state) {
+  const auto& graph = Map().graph();
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (int32_t v = 0; v < graph.num_nodes(); ++v) {
+      for (int32_t nb : graph.NeighborsOf(v)) sum += nb;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_NeighborScan);
+
+}  // namespace

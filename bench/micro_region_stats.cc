@@ -1,0 +1,80 @@
+// Micro-benchmarks for RegionStats — the innermost data structure on the
+// solver hot path (every swap/move evaluation hits it).
+
+#include <benchmark/benchmark.h>
+
+#include "constraints/region_stats.h"
+#include "data/synthetic/dataset_catalog.h"
+
+namespace {
+
+const emp::AreaSet& Map() {
+  static const emp::AreaSet* kMap = [] {
+    auto areas = emp::synthetic::MakeDefaultDataset("bench", 2000, 7);
+    if (!areas.ok()) std::abort();
+    return new emp::AreaSet(std::move(areas).value());
+  }();
+  return *kMap;
+}
+
+const emp::BoundConstraints& Bound() {
+  static const emp::BoundConstraints* kBound = [] {
+    auto bc = emp::BoundConstraints::Create(
+        &Map(), {
+                    emp::Constraint::Min("POP16UP", emp::kNoLowerBound, 3000),
+                    emp::Constraint::Avg("EMPLOYED", 1500, 3500),
+                    emp::Constraint::Sum("TOTALPOP", 20000,
+                                         emp::kNoUpperBound),
+                });
+    if (!bc.ok()) std::abort();
+    return new emp::BoundConstraints(std::move(bc).value());
+  }();
+  return *kBound;
+}
+
+void BM_RegionStatsAdd(benchmark::State& state) {
+  const int64_t region_size = state.range(0);
+  for (auto _ : state) {
+    emp::RegionStats stats(&Bound());
+    for (int32_t a = 0; a < region_size; ++a) stats.Add(a);
+    benchmark::DoNotOptimize(stats.count());
+  }
+  state.SetItemsProcessed(state.iterations() * region_size);
+}
+BENCHMARK(BM_RegionStatsAdd)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RegionStatsSatisfiesAllAfterAdd(benchmark::State& state) {
+  emp::RegionStats stats(&Bound());
+  for (int32_t a = 0; a < 128; ++a) stats.Add(a);
+  int32_t probe = 500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats.SatisfiesAllAfterAdd(probe));
+    probe = (probe + 1) % 2000;
+  }
+}
+BENCHMARK(BM_RegionStatsSatisfiesAllAfterAdd);
+
+void BM_RegionStatsAddRemoveCycle(benchmark::State& state) {
+  emp::RegionStats stats(&Bound());
+  for (int32_t a = 0; a < 256; ++a) stats.Add(a);
+  int32_t probe = 1000;
+  for (auto _ : state) {
+    stats.Add(probe);
+    stats.Remove(probe);
+    probe = 1000 + (probe + 1) % 512;
+  }
+}
+BENCHMARK(BM_RegionStatsAddRemoveCycle);
+
+void BM_RegionStatsMergePreview(benchmark::State& state) {
+  emp::RegionStats a(&Bound());
+  emp::RegionStats b(&Bound());
+  for (int32_t i = 0; i < 128; ++i) a.Add(i);
+  for (int32_t i = 128; i < 256; ++i) b.Add(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.SatisfiesAllAfterMerge(b));
+  }
+}
+BENCHMARK(BM_RegionStatsMergePreview);
+
+}  // namespace

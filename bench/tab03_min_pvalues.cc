@@ -1,0 +1,70 @@
+// Table III — p values for MIN-constraint combinations over 14 threshold
+// ranges on the default (2k) dataset. Rows: M, MS, MA, MAS; columns: the
+// paper's range sweep for MIN(POP16UP).
+//
+// Expected shape (paper): p grows with u for open-lower ranges, shrinks as
+// l grows for open-upper ranges; M >= MA >= MS >= MAS within a column.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace {
+
+struct Range {
+  const char* label;
+  double lower;
+  double upper;
+};
+
+}  // namespace
+
+int main() {
+  using namespace emp;
+  using namespace emp::bench;
+  Banner("Table III", "p values for MIN constraint combinations (2k)");
+
+  const std::vector<Range> ranges = {
+      {"(-inf,2k]", kNoLowerBound, 2000},
+      {"(-inf,3.5k]", kNoLowerBound, 3500},
+      {"(-inf,5k]", kNoLowerBound, 5000},
+      {"[2k,inf)", 2000, kNoUpperBound},
+      {"[3.5k,inf)", 3500, kNoUpperBound},
+      {"[5k,inf)", 5000, kNoUpperBound},
+      {"[2.5k,3.5k]", 2500, 3500},
+      {"[2k,4k]", 2000, 4000},
+      {"[1.5k,4.5k]", 1500, 4500},
+      {"[1k,5k]", 1000, 5000},
+      {"[1k,2k]", 1000, 2000},
+      {"[2k,3k]", 2000, 3000},
+      {"[3k,4k]", 3000, 4000},
+      {"[4k,5k]", 4000, 5000},
+  };
+  const std::vector<std::string> combos = {"M", "MS", "MA", "MAS"};
+
+  DatasetCache cache;
+  const AreaSet& areas = cache.Get("2k");
+  SolverOptions options = DefaultBenchOptions();
+  options.run_local_search = false;  // Table III reports p only.
+
+  std::vector<std::string> header = {"combo"};
+  for (const auto& r : ranges) header.push_back(r.label);
+  TablePrinter table("", header);
+
+  for (const auto& combo : combos) {
+    std::vector<std::string> row = {combo};
+    for (const auto& r : ranges) {
+      ComboRanges cr;
+      cr.min_lower = r.lower;
+      cr.min_upper = r.upper;
+      RunResult result = RunFact(areas, BuildCombo(combo, cr), options);
+      row.push_back(result.infeasible ? "inf" : std::to_string(result.p));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

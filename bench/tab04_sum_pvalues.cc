@@ -1,0 +1,78 @@
+// Table IV — p values for SUM-constraint combinations vs the MP-regions
+// baseline on the 2k dataset. Rows: MP, S, MS, AS, MAS; columns: SUM
+// thresholds [l, inf) for l in {1k, 10k, 20k, 30k, 40k} plus the bounded
+// ranges [15k,25k], [10k,30k], [5k,35k] (N/A for MP, which supports only
+// lower bounds).
+//
+// Expected shape (paper): S tracks MP closely; adding constraints lowers
+// p (MAS < AS/MS < S); p falls as l rises; bounded ranges sit between.
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace {
+
+struct Range {
+  const char* label;
+  double lower;
+  double upper;
+};
+
+}  // namespace
+
+int main() {
+  using namespace emp;
+  using namespace emp::bench;
+  Banner("Table IV", "p values for SUM constraint combinations vs MP (2k)");
+
+  const std::vector<Range> ranges = {
+      {"[1k,inf)", 1000, kNoUpperBound},
+      {"[10k,inf)", 10000, kNoUpperBound},
+      {"[20k,inf)", 20000, kNoUpperBound},
+      {"[30k,inf)", 30000, kNoUpperBound},
+      {"[40k,inf)", 40000, kNoUpperBound},
+      {"[15k,25k]", 15000, 25000},
+      {"[10k,30k]", 10000, 30000},
+      {"[5k,35k]", 5000, 35000},
+  };
+
+  DatasetCache cache;
+  const AreaSet& areas = cache.Get("2k");
+  SolverOptions options = DefaultBenchOptions();
+  options.run_local_search = false;  // Table IV reports p only.
+
+  std::vector<std::string> header = {"combo"};
+  for (const auto& r : ranges) header.push_back(r.label);
+  TablePrinter table("", header);
+
+  // MP baseline (open upper bounds only).
+  {
+    std::vector<std::string> row = {"MP"};
+    for (const auto& r : ranges) {
+      if (r.upper != kNoUpperBound) {
+        row.push_back("N/A");
+        continue;
+      }
+      RunResult result = RunMaxP(areas, r.lower, options);
+      row.push_back(result.infeasible ? "inf" : std::to_string(result.p));
+    }
+    table.AddRow(row);
+  }
+
+  for (const std::string& combo : {"S", "MS", "AS", "MAS"}) {
+    std::vector<std::string> row = {combo};
+    for (const auto& r : ranges) {
+      ComboRanges cr;
+      cr.sum_lower = r.lower;
+      cr.sum_upper = r.upper;
+      RunResult result = RunFact(areas, BuildCombo(combo, cr), options);
+      row.push_back(result.infeasible ? "inf" : std::to_string(result.p));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,162 @@
+#include "baseline/maxp_regions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <optional>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "core/feasibility.h"
+#include "core/local_search/heterogeneity.h"
+#include "core/local_search/tabu.h"
+#include "core/partition.h"
+#include "graph/connectivity.h"
+
+namespace emp {
+
+namespace {
+
+/// Picks the unassigned neighbor of region `rid` whose dissimilarity value
+/// is closest to the region's current mean — the classic greedy criterion
+/// that keeps growing regions homogeneous.
+int32_t BestUnassignedNeighbor(const Partition& partition, int32_t rid,
+                               const std::vector<double>& d, double mean_d) {
+  const auto& graph = partition.bound().areas().graph();
+  int32_t best = -1;
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (int32_t area : partition.region(rid).areas) {
+    for (int32_t nb : graph.NeighborsOf(area)) {
+      if (partition.RegionOf(nb) != -1 || !partition.IsActive(nb)) continue;
+      double gap = std::fabs(d[static_cast<size_t>(nb)] - mean_d);
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = nb;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+MaxPRegionsSolver::MaxPRegionsSolver(const AreaSet* areas,
+                                     std::string attribute, double threshold,
+                                     SolverOptions options)
+    : areas_(areas),
+      attribute_(std::move(attribute)),
+      threshold_(threshold),
+      options_(options) {}
+
+Result<Solution> MaxPRegionsSolver::Solve() {
+  if (areas_ == nullptr) {
+    return Status::InvalidArgument("MaxPRegionsSolver: null area set");
+  }
+  EMP_ASSIGN_OR_RETURN(
+      BoundConstraints bound,
+      BoundConstraints::Create(
+          areas_, {Constraint::Sum(attribute_, threshold_, kNoUpperBound)}));
+
+  Stopwatch construction_timer;
+  EMP_ASSIGN_OR_RETURN(FeasibilityReport feasibility, CheckFeasibility(bound));
+  if (!feasibility.feasible) {
+    return Status::Infeasible(Join(feasibility.diagnostics, "; "));
+  }
+
+  const std::vector<double>& d = areas_->dissimilarity();
+  ConnectivityChecker connectivity(&areas_->graph());
+  const int32_t n = areas_->num_areas();
+
+  std::optional<Partition> best;
+  int32_t best_p = -1;
+  const int iterations =
+      options_.construction_iterations < 1 ? 1
+                                           : options_.construction_iterations;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    Rng rng(options_.seed +
+            0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(iter));
+    Partition partition(&bound);
+
+    std::vector<int32_t> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(&order);
+
+    // Greedy growth: seed at each unassigned area in turn, absorb the most
+    // similar unassigned neighbor until the SUM threshold is met.
+    for (int32_t seed : order) {
+      if (partition.RegionOf(seed) != -1) continue;
+      const int32_t rid = partition.CreateRegion();
+      partition.Assign(seed, rid);
+      double d_sum = d[static_cast<size_t>(seed)];
+      while (partition.region(rid).stats.AggregateValue(0) < threshold_) {
+        double mean_d = d_sum / partition.region(rid).size();
+        int32_t pick = BestUnassignedNeighbor(partition, rid, d, mean_d);
+        if (pick == -1) break;
+        partition.Assign(pick, rid);
+        d_sum += d[static_cast<size_t>(pick)];
+      }
+      if (partition.region(rid).stats.AggregateValue(0) < threshold_) {
+        partition.DissolveRegion(rid);  // Members become enclaves.
+      }
+    }
+
+    // Enclave assignment: attach every leftover area to the adjacent
+    // feasible region with the closest mean dissimilarity. Iterate because
+    // an enclave may only border other enclaves at first.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int32_t a = 0; a < n; ++a) {
+        if (partition.RegionOf(a) != -1) continue;
+        int32_t best_rid = -1;
+        double best_gap = std::numeric_limits<double>::infinity();
+        for (int32_t rid : partition.NeighborRegionsOfArea(a)) {
+          const Region& r = partition.region(rid);
+          double mean = 0.0;
+          for (int32_t m : r.areas) mean += d[static_cast<size_t>(m)];
+          mean /= r.size();
+          double gap = std::fabs(d[static_cast<size_t>(a)] - mean);
+          if (gap < best_gap) {
+            best_gap = gap;
+            best_rid = rid;
+          }
+        }
+        if (best_rid != -1) {
+          partition.Assign(a, best_rid);
+          changed = true;
+        }
+      }
+    }
+
+    const int32_t p = partition.NumRegions();
+    if (p > best_p) {
+      best_p = p;
+      best.emplace(std::move(partition));
+    }
+  }
+
+  Solution solution;
+  solution.feasibility = std::move(feasibility);
+  solution.construction_seconds = construction_timer.ElapsedSeconds();
+  solution.heterogeneity_before_local_search = ComputeHeterogeneity(*best);
+
+  if (options_.run_local_search && best_p > 0) {
+    Stopwatch tabu_timer;
+    EMP_ASSIGN_OR_RETURN(solution.tabu_result,
+                         TabuSearch(options_, &connectivity, &*best));
+    solution.local_search_seconds = tabu_timer.ElapsedSeconds();
+    solution.heterogeneity = solution.tabu_result.final_heterogeneity;
+  } else {
+    solution.heterogeneity = solution.heterogeneity_before_local_search;
+    solution.tabu_result.initial_heterogeneity = solution.heterogeneity;
+    solution.tabu_result.final_heterogeneity = solution.heterogeneity;
+  }
+
+  FillAssignmentFromPartition(*best, &solution);
+  return solution;
+}
+
+}  // namespace emp

@@ -1,0 +1,44 @@
+#ifndef EMP_BASELINE_MAXP_REGIONS_H_
+#define EMP_BASELINE_MAXP_REGIONS_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/solution.h"
+#include "core/solver_options.h"
+#include "data/area_set.h"
+
+namespace emp {
+
+/// The classic max-p-regions solver (Duque, Anselin & Rey 2012; efficient
+/// variant of Wei, Rey & Knaap 2020) used as the `MP` baseline in the
+/// paper's Table IV / Fig. 12. It supports exactly the original problem:
+/// a single SUM(attribute) >= threshold constraint, every area assigned
+/// (no U0), single- or multi-component maps.
+///
+/// Construction: repeatedly seed a region at a random unassigned area and
+/// greedily absorb unassigned neighbors until the threshold is met;
+/// leftover areas (enclaves) are attached to the adjacent region with the
+/// most similar dissimilarity profile. Several construction iterations keep
+/// the partition with the largest p. The local-search phase reuses the same
+/// Tabu machinery as FaCT with the single SUM constraint.
+class MaxPRegionsSolver {
+ public:
+  /// `areas` must outlive the solver.
+  MaxPRegionsSolver(const AreaSet* areas, std::string attribute,
+                    double threshold, SolverOptions options = {});
+
+  /// Runs construction + Tabu. Infeasible when the dataset total of
+  /// `attribute` is below the threshold.
+  Result<Solution> Solve();
+
+ private:
+  const AreaSet* areas_;
+  std::string attribute_;
+  double threshold_;
+  SolverOptions options_;
+};
+
+}  // namespace emp
+
+#endif  // EMP_BASELINE_MAXP_REGIONS_H_

@@ -1,0 +1,189 @@
+#include "baseline/skater.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "core/feasibility.h"
+#include "core/local_search/heterogeneity.h"
+#include "core/local_search/tabu.h"
+#include "core/partition.h"
+#include "graph/connectivity.h"
+#include "graph/dsu.h"
+
+namespace emp {
+
+namespace {
+
+struct TreeEdge {
+  int32_t a;
+  int32_t b;
+  double weight;
+};
+
+}  // namespace
+
+SkaterMaxPSolver::SkaterMaxPSolver(const AreaSet* areas,
+                                   std::string attribute, double threshold,
+                                   SolverOptions options)
+    : areas_(areas),
+      attribute_(std::move(attribute)),
+      threshold_(threshold),
+      options_(options) {}
+
+Result<Solution> SkaterMaxPSolver::Solve() {
+  if (areas_ == nullptr) {
+    return Status::InvalidArgument("SkaterMaxPSolver: null area set");
+  }
+  EMP_ASSIGN_OR_RETURN(
+      BoundConstraints bound,
+      BoundConstraints::Create(
+          areas_, {Constraint::Sum(attribute_, threshold_, kNoUpperBound)}));
+
+  Stopwatch construction_timer;
+  EMP_ASSIGN_OR_RETURN(FeasibilityReport feasibility, CheckFeasibility(bound));
+  if (!feasibility.feasible) {
+    return Status::Infeasible(Join(feasibility.diagnostics, "; "));
+  }
+
+  const ContiguityGraph& graph = areas_->graph();
+  const std::vector<double>& d = areas_->dissimilarity();
+  const int32_t n = graph.num_nodes();
+
+  // --- Kruskal MST (forest) weighted by dissimilarity gaps. -----------
+  std::vector<TreeEdge> edges;
+  edges.reserve(static_cast<size_t>(graph.num_edges()));
+  for (int32_t a = 0; a < n; ++a) {
+    for (int32_t b : graph.NeighborsOf(a)) {
+      if (b > a) {
+        edges.push_back({a, b,
+                         std::fabs(d[static_cast<size_t>(a)] -
+                                   d[static_cast<size_t>(b)])});
+      }
+    }
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const TreeEdge& x, const TreeEdge& y) {
+              return x.weight < y.weight;
+            });
+  DisjointSetUnion dsu(n);
+  std::vector<std::vector<int32_t>> tree(static_cast<size_t>(n));
+  for (const TreeEdge& e : edges) {
+    if (dsu.Union(e.a, e.b)) {
+      tree[static_cast<size_t>(e.a)].push_back(e.b);
+      tree[static_cast<size_t>(e.b)].push_back(e.a);
+    }
+  }
+
+  // --- Bottom-up max-p cutting of each tree component. -----------------
+  // Iterative post-order: accumulate the attribute over un-cut subtree
+  // mass; when a node's accumulated mass reaches the threshold, cut it off
+  // as a region root and stop propagating its mass upward.
+  const auto& values = **areas_->attributes().ColumnByName(attribute_);
+  std::vector<int32_t> parent(static_cast<size_t>(n), -2);  // -2 unvisited
+  std::vector<double> acc(static_cast<size_t>(n), 0.0);
+  std::vector<char> is_cut_root(static_cast<size_t>(n), 0);
+  std::vector<int32_t> preorder;
+  preorder.reserve(static_cast<size_t>(n));
+  std::vector<int32_t> roots;
+
+  for (int32_t root = 0; root < n; ++root) {
+    if (parent[static_cast<size_t>(root)] != -2) continue;
+    roots.push_back(root);
+    // DFS collecting post-order.
+    std::vector<int32_t> stack = {root};
+    parent[static_cast<size_t>(root)] = -1;
+    std::vector<int32_t> local_order;
+    while (!stack.empty()) {
+      int32_t v = stack.back();
+      stack.pop_back();
+      local_order.push_back(v);
+      for (int32_t c : tree[static_cast<size_t>(v)]) {
+        if (parent[static_cast<size_t>(c)] == -2) {
+          parent[static_cast<size_t>(c)] = v;
+          stack.push_back(c);
+        }
+      }
+    }
+    // Reverse preorder == valid post-order for accumulation.
+    for (auto it = local_order.rbegin(); it != local_order.rend(); ++it) {
+      int32_t v = *it;
+      acc[static_cast<size_t>(v)] += values[static_cast<size_t>(v)];
+      if (acc[static_cast<size_t>(v)] >= threshold_) {
+        is_cut_root[static_cast<size_t>(v)] = 1;
+      } else if (parent[static_cast<size_t>(v)] >= 0) {
+        acc[static_cast<size_t>(parent[static_cast<size_t>(v)])] +=
+            acc[static_cast<size_t>(v)];
+      }
+    }
+    preorder.insert(preorder.end(), local_order.begin(),
+                      local_order.end());
+  }
+
+  // --- Materialize regions: nearest cut-root ancestor owns each node;
+  // component leftovers (root not cut) attach to one cut child's region.
+  Partition partition(&bound);
+  std::vector<int32_t> region_of_node(static_cast<size_t>(n), -1);
+  // Top-down over the stored preorder (parents precede children).
+  for (int32_t v : preorder) {
+    if (is_cut_root[static_cast<size_t>(v)]) {
+      int32_t rid = partition.CreateRegion();
+      region_of_node[static_cast<size_t>(v)] = rid;
+    } else if (parent[static_cast<size_t>(v)] >= 0) {
+      region_of_node[static_cast<size_t>(v)] =
+          region_of_node[static_cast<size_t>(parent[static_cast<size_t>(v)])];
+    }
+  }
+  // Leftover pass: nodes with region -1 whose component has regions join
+  // an adjacent region through their tree neighborhood.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int32_t v : preorder) {
+      if (region_of_node[static_cast<size_t>(v)] != -1) continue;
+      for (int32_t nb : tree[static_cast<size_t>(v)]) {
+        if (region_of_node[static_cast<size_t>(nb)] != -1) {
+          region_of_node[static_cast<size_t>(v)] =
+              region_of_node[static_cast<size_t>(nb)];
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  for (int32_t v = 0; v < n; ++v) {
+    if (region_of_node[static_cast<size_t>(v)] != -1) {
+      partition.Assign(v, region_of_node[static_cast<size_t>(v)]);
+    }
+  }
+  if (partition.NumRegions() == 0) {
+    return Status::Infeasible(
+        "no connected component reaches the SUM threshold");
+  }
+
+  Solution solution;
+  solution.feasibility = std::move(feasibility);
+  solution.construction_seconds = construction_timer.ElapsedSeconds();
+  solution.heterogeneity_before_local_search =
+      ComputeHeterogeneity(partition);
+
+  ConnectivityChecker connectivity(&graph);
+  if (options_.run_local_search) {
+    Stopwatch tabu_timer;
+    EMP_ASSIGN_OR_RETURN(solution.tabu_result,
+                         TabuSearch(options_, &connectivity, &partition));
+    solution.local_search_seconds = tabu_timer.ElapsedSeconds();
+    solution.heterogeneity = solution.tabu_result.final_heterogeneity;
+  } else {
+    solution.heterogeneity = solution.heterogeneity_before_local_search;
+    solution.tabu_result.initial_heterogeneity = solution.heterogeneity;
+    solution.tabu_result.final_heterogeneity = solution.heterogeneity;
+  }
+
+  FillAssignmentFromPartition(partition, &solution);
+  return solution;
+}
+
+}  // namespace emp

@@ -1,0 +1,45 @@
+#ifndef EMP_BASELINE_SKATER_H_
+#define EMP_BASELINE_SKATER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/solution.h"
+#include "core/solver_options.h"
+#include "data/area_set.h"
+
+namespace emp {
+
+/// A SKATER-style tree-partitioning regionalizer (Assunção et al. 2006;
+/// the "tree partition" construction family the paper's related work
+/// cites), adapted to the max-p objective: build a minimum spanning tree
+/// of the contiguity graph weighted by dissimilarity |d_i − d_j|, then cut
+/// it bottom-up into the maximum number of subtrees whose SUM(attribute)
+/// meets the threshold; leftovers attach to their parent-side region. The
+/// shared Tabu phase then polishes heterogeneity.
+///
+/// Serves as a second baseline next to MP-regions for the single-SUM
+/// query; like MP it supports no enriched constraints and leaves no U0 on
+/// feasible connected inputs.
+class SkaterMaxPSolver {
+ public:
+  /// `areas` must outlive the solver.
+  SkaterMaxPSolver(const AreaSet* areas, std::string attribute,
+                   double threshold, SolverOptions options = {});
+
+  /// Runs MST construction + bottom-up cutting + Tabu. Infeasible when a
+  /// connected component's attribute total is below the threshold — those
+  /// components' areas end up unassigned; fully infeasible datasets (no
+  /// component can host a region) return kInfeasible.
+  Result<Solution> Solve();
+
+ private:
+  const AreaSet* areas_;
+  std::string attribute_;
+  double threshold_;
+  SolverOptions options_;
+};
+
+}  // namespace emp
+
+#endif  // EMP_BASELINE_SKATER_H_

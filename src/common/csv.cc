@@ -1,0 +1,84 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace emp {
+
+int CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<CsvTable> ParseCsv(const std::string& text) {
+  CsvTable table;
+  std::istringstream in(text);
+  std::string line;
+  bool have_header = false;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (StripWhitespace(line).empty()) continue;
+    std::vector<std::string> fields = Split(line, ',');
+    if (!have_header) {
+      table.header = std::move(fields);
+      have_header = true;
+      continue;
+    }
+    if (fields.size() != table.header.size()) {
+      return Status::IOError("csv row " + std::to_string(line_no) + " has " +
+                             std::to_string(fields.size()) +
+                             " fields, header has " +
+                             std::to_string(table.header.size()));
+    }
+    table.rows.push_back(std::move(fields));
+  }
+  if (!have_header) {
+    return Status::IOError("csv input is empty");
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  EMP_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseCsv(text);
+}
+
+std::string WriteCsv(const CsvTable& table) {
+  std::string out = Join(table.header, ",");
+  out += '\n';
+  for (const auto& row : table.rows) {
+    out += Join(row, ",");
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace emp

@@ -1,0 +1,39 @@
+#ifndef EMP_COMMON_CSV_H_
+#define EMP_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace emp {
+
+/// A parsed CSV document: a header row plus data rows, all as strings.
+/// Minimal dialect: comma-separated, no quoting (our exports never need it),
+/// trailing newline optional, blank lines skipped.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or -1 if absent.
+  int ColumnIndex(const std::string& name) const;
+};
+
+/// Parses CSV text. Fails if any row's width differs from the header's.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Serializes a table back to CSV text.
+std::string WriteCsv(const CsvTable& table);
+
+/// Writes text to a file, returning IOError on failure.
+Status WriteFile(const std::string& path, const std::string& content);
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+}  // namespace emp
+
+#endif  // EMP_COMMON_CSV_H_

@@ -1,0 +1,69 @@
+#ifndef EMP_COMMON_JSON_H_
+#define EMP_COMMON_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace emp {
+namespace json {
+
+/// Minimal JSON document model — enough to read GeoJSON and the solution
+/// reports this library emits, with no third-party dependency. Objects
+/// preserve key order (stored as key/value pairs; lookups are linear,
+/// which is fine for the small objects GeoJSON uses).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Value() : type_(Type::kNull) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Value>& AsArray() const { return array_; }
+  const std::vector<std::pair<std::string, Value>>& AsObject() const {
+    return members_;
+  }
+
+  /// Object member by key, or nullptr (also for non-objects).
+  const Value* Find(std::string_view key) const;
+
+  /// Construction helpers (used by the parser).
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double n);
+  static Value String(std::string s);
+  static Value Object(std::vector<std::pair<std::string, Value>> members);
+  static Value Array(std::vector<Value> elements);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses a complete JSON document (single value; trailing whitespace
+/// allowed, trailing garbage rejected). Strings support the standard
+/// escapes; \uXXXX decodes basic-multilingual-plane code points to UTF-8.
+/// Nesting depth is capped at 256.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace json
+}  // namespace emp
+
+#endif  // EMP_COMMON_JSON_H_

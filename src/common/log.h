@@ -1,0 +1,47 @@
+#ifndef EMP_COMMON_LOG_H_
+#define EMP_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace emp {
+
+/// Log severity, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity that is emitted (default: kWarning, so library
+/// internals stay quiet unless the caller opts in).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_log {
+
+/// Stream-style log line writer; emits to stderr on destruction when the
+/// level passes the global filter.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_log
+}  // namespace emp
+
+#define EMP_LOG(level)                                              \
+  ::emp::internal_log::LogMessage(::emp::LogLevel::k##level, __FILE__, \
+                                  __LINE__)
+
+#endif  // EMP_COMMON_LOG_H_

@@ -1,0 +1,82 @@
+#ifndef EMP_COMMON_RESULT_H_
+#define EMP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace emp {
+
+/// Either a value of type T or a non-OK Status explaining why the value is
+/// absent. Mirrors the absl::StatusOr / arrow::Result idiom.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error Status. Constructing from an OK
+  /// status is a programming error.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result<T> must not be built from an OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ is engaged.
+};
+
+}  // namespace emp
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status. `lhs` may include a declaration, e.g.
+///   EMP_ASSIGN_OR_RETURN(auto graph, BuildGraph(areas));
+#define EMP_ASSIGN_OR_RETURN(lhs, expr)              \
+  EMP_ASSIGN_OR_RETURN_IMPL_(                        \
+      EMP_RESULT_CONCAT_(emp_result_tmp_, __LINE__), lhs, expr)
+
+#define EMP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+#define EMP_RESULT_CONCAT_(a, b) EMP_RESULT_CONCAT_IMPL_(a, b)
+#define EMP_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // EMP_COMMON_RESULT_H_

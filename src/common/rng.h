@@ -1,0 +1,56 @@
+#ifndef EMP_COMMON_RNG_H_
+#define EMP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace emp {
+
+/// Deterministic pseudo-random number generator used everywhere randomness
+/// is needed (synthetic data, construction-iteration shuffles, Tabu tie
+/// breaking). Wrapping a single engine type keeps experiments reproducible
+/// across modules and platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal draw scaled to N(mean, stddev^2).
+  double Normal(double mean, double stddev);
+
+  /// Log-normal draw: exp(N(log_mean, log_stddev^2)).
+  double LogNormal(double log_mean, double log_stddev);
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->size() < 2) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Underlying engine, for interoperating with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Stable 64-bit hash of a string, used to derive per-dataset seeds from
+/// dataset names (FNV-1a).
+uint64_t StableHash64(const std::string& s);
+
+}  // namespace emp
+
+#endif  // EMP_COMMON_RNG_H_

@@ -1,0 +1,37 @@
+#include "common/status.h"
+
+namespace emp {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kInfeasible:
+      return "infeasible";
+    case StatusCode::kIOError:
+      return "io-error";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "ok";
+  }
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace emp

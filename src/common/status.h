@@ -1,0 +1,96 @@
+#ifndef EMP_COMMON_STATUS_H_
+#define EMP_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace emp {
+
+/// Error codes used across the library. Fallible operations return a Status
+/// (or a Result<T>, see result.h) instead of throwing; exceptions never
+/// cross the public API boundary.
+enum class StatusCode {
+  kOk = 0,
+  /// The caller passed an argument that violates the API contract.
+  kInvalidArgument,
+  /// The operation cannot run in the current state (e.g. solving before
+  /// loading a dataset).
+  kFailedPrecondition,
+  /// A referenced entity (area id, attribute name, dataset name) is unknown.
+  kNotFound,
+  /// The EMP instance admits no feasible solution under the given
+  /// constraints (feasibility-phase verdict, §V-A of the paper).
+  kInfeasible,
+  /// Parsing or file I/O failure.
+  kIOError,
+  /// An internal invariant was violated; indicates a library bug.
+  kInternal,
+};
+
+/// Returns the canonical lower-case name of a status code ("ok",
+/// "invalid-argument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic error indicator carrying a code and a human-readable
+/// message. Copyable and cheap when OK (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace emp
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define EMP_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::emp::Status emp_status_macro_tmp_ = (expr);   \
+    if (!emp_status_macro_tmp_.ok()) {              \
+      return emp_status_macro_tmp_;                 \
+    }                                               \
+  } while (false)
+
+#endif  // EMP_COMMON_STATUS_H_

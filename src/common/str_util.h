@@ -1,0 +1,36 @@
+#ifndef EMP_COMMON_STR_UTIL_H_
+#define EMP_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace emp {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Parses a double; rejects trailing garbage and empty input.
+Result<double> ParseDouble(std::string_view s);
+
+/// Parses a signed 64-bit integer; rejects trailing garbage and empty input.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Joins elements with `sep` ({"a","b"} -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double compactly for reports: integers print without decimals,
+/// otherwise up to `precision` significant decimals.
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace emp
+
+#endif  // EMP_COMMON_STR_UTIL_H_

@@ -1,0 +1,61 @@
+#ifndef EMP_CONSTRAINTS_AGGREGATE_H_
+#define EMP_CONSTRAINTS_AGGREGATE_H_
+
+#include <string_view>
+
+namespace emp {
+
+/// SQL-inspired aggregate functions supported by EMP constraints
+/// (paper §III). Grouped into three families with different mathematical
+/// properties, which the FaCT construction phase exploits step by step:
+///   extrema    — MIN, MAX  (non-monotonic; act as filters & seed markers)
+///   centrality — AVG       (non-monotonic; hardest to satisfy)
+///   counting   — SUM, COUNT (monotonic when attribute values are >= 0)
+enum class Aggregate {
+  kMin,
+  kMax,
+  kAvg,
+  kSum,
+  kCount,
+};
+
+/// The constraint family an aggregate belongs to.
+enum class ConstraintFamily {
+  kExtrema,
+  kCentrality,
+  kCounting,
+};
+
+constexpr ConstraintFamily FamilyOf(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kMin:
+    case Aggregate::kMax:
+      return ConstraintFamily::kExtrema;
+    case Aggregate::kAvg:
+      return ConstraintFamily::kCentrality;
+    case Aggregate::kSum:
+    case Aggregate::kCount:
+      return ConstraintFamily::kCounting;
+  }
+  return ConstraintFamily::kCounting;
+}
+
+constexpr std::string_view AggregateName(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kMin:
+      return "MIN";
+    case Aggregate::kMax:
+      return "MAX";
+    case Aggregate::kAvg:
+      return "AVG";
+    case Aggregate::kSum:
+      return "SUM";
+    case Aggregate::kCount:
+      return "COUNT";
+  }
+  return "?";
+}
+
+}  // namespace emp
+
+#endif  // EMP_CONSTRAINTS_AGGREGATE_H_

@@ -1,0 +1,69 @@
+#include "constraints/constraint.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace emp {
+
+Constraint Constraint::Min(std::string attribute, double lower, double upper) {
+  return Constraint{Aggregate::kMin, std::move(attribute), lower, upper};
+}
+
+Constraint Constraint::Max(std::string attribute, double lower, double upper) {
+  return Constraint{Aggregate::kMax, std::move(attribute), lower, upper};
+}
+
+Constraint Constraint::Avg(std::string attribute, double lower, double upper) {
+  return Constraint{Aggregate::kAvg, std::move(attribute), lower, upper};
+}
+
+Constraint Constraint::Sum(std::string attribute, double lower, double upper) {
+  return Constraint{Aggregate::kSum, std::move(attribute), lower, upper};
+}
+
+Constraint Constraint::Count(double lower, double upper) {
+  return Constraint{Aggregate::kCount, "", lower, upper};
+}
+
+Status Constraint::Validate() const {
+  if (std::isnan(lower) || std::isnan(upper)) {
+    return Status::InvalidArgument("constraint bound is NaN");
+  }
+  if (lower > upper) {
+    return Status::InvalidArgument(
+        "constraint lower bound exceeds upper bound: " + ToString());
+  }
+  if (lower == kNoLowerBound && upper == kNoUpperBound) {
+    return Status::InvalidArgument(
+        "constraint has no finite bound (always satisfied): " + ToString());
+  }
+  if (aggregate != Aggregate::kCount && attribute.empty()) {
+    return Status::InvalidArgument("constraint is missing an attribute: " +
+                                   ToString());
+  }
+  if (aggregate == Aggregate::kCount && upper < 1.0) {
+    return Status::InvalidArgument(
+        "COUNT upper bound below 1 forbids every region: " + ToString());
+  }
+  return Status::OK();
+}
+
+std::string Constraint::ToString() const {
+  std::string attr =
+      aggregate == Aggregate::kCount ? "*" : attribute;
+  auto bound = [](double v) {
+    if (v == kNoLowerBound) return std::string("-inf");
+    if (v == kNoUpperBound) return std::string("inf");
+    return FormatDouble(v, 6);
+  };
+  return std::string(AggregateName(aggregate)) + "(" + attr + ") in [" +
+         bound(lower) + ", " + bound(upper) + "]";
+}
+
+bool operator==(const Constraint& a, const Constraint& b) {
+  return a.aggregate == b.aggregate && a.attribute == b.attribute &&
+         a.lower == b.lower && a.upper == b.upper;
+}
+
+}  // namespace emp

@@ -1,0 +1,56 @@
+#ifndef EMP_CONSTRAINTS_CONSTRAINT_H_
+#define EMP_CONSTRAINTS_CONSTRAINT_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/aggregate.h"
+
+namespace emp {
+
+/// Positive/negative infinity shorthands for open-ended bounds.
+inline constexpr double kNoLowerBound =
+    -std::numeric_limits<double>::infinity();
+inline constexpr double kNoUpperBound =
+    std::numeric_limits<double>::infinity();
+
+/// A user-defined constraint c = (f, s, l, u): the aggregate f of spatially
+/// extensive attribute s over every output region must lie in [l, u]
+/// (Definition III.1). Open-ended bounds use +/- infinity.
+struct Constraint {
+  Aggregate aggregate = Aggregate::kSum;
+  /// Attribute column name. Ignored for COUNT (SQL COUNT(*) semantics).
+  std::string attribute;
+  double lower = kNoLowerBound;
+  double upper = kNoUpperBound;
+
+  /// Factory helpers matching the paper's notation.
+  static Constraint Min(std::string attribute, double lower, double upper);
+  static Constraint Max(std::string attribute, double lower, double upper);
+  static Constraint Avg(std::string attribute, double lower, double upper);
+  static Constraint Sum(std::string attribute, double lower, double upper);
+  static Constraint Count(double lower, double upper);
+
+  ConstraintFamily family() const { return FamilyOf(aggregate); }
+
+  /// True if `value` lies within [lower, upper].
+  bool Contains(double value) const {
+    return value >= lower && value <= upper;
+  }
+
+  /// Structural validation: lower <= upper, at least one finite bound,
+  /// a non-empty attribute for non-COUNT aggregates, and COUNT bounds that
+  /// admit a non-empty region.
+  Status Validate() const;
+
+  /// E.g. "MIN(POP16UP) in [-inf, 3000]".
+  std::string ToString() const;
+};
+
+bool operator==(const Constraint& a, const Constraint& b);
+
+}  // namespace emp
+
+#endif  // EMP_CONSTRAINTS_CONSTRAINT_H_

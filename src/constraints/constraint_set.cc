@@ -1,0 +1,70 @@
+#include "constraints/constraint_set.h"
+
+namespace emp {
+
+Result<BoundConstraints> BoundConstraints::Create(
+    const AreaSet* areas, std::vector<Constraint> constraints) {
+  if (areas == nullptr) {
+    return Status::InvalidArgument("BoundConstraints: null area set");
+  }
+  BoundConstraints out;
+  out.areas_ = areas;
+  out.columns_.reserve(constraints.size());
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    const Constraint& c = constraints[i];
+    EMP_RETURN_IF_ERROR(c.Validate());
+    int col = -1;
+    if (c.aggregate != Aggregate::kCount) {
+      EMP_ASSIGN_OR_RETURN(col, areas->attributes().ColumnIndex(c.attribute));
+    }
+    out.columns_.push_back(col);
+    switch (c.family()) {
+      case ConstraintFamily::kExtrema:
+        out.extrema_.push_back(static_cast<int>(i));
+        break;
+      case ConstraintFamily::kCentrality:
+        out.centrality_.push_back(static_cast<int>(i));
+        break;
+      case ConstraintFamily::kCounting:
+        out.counting_.push_back(static_cast<int>(i));
+        break;
+    }
+  }
+  out.constraints_ = std::move(constraints);
+  return out;
+}
+
+bool BoundConstraints::AreaIsInvalid(int32_t area) const {
+  for (int ci = 0; ci < size(); ++ci) {
+    const Constraint& c = constraints_[static_cast<size_t>(ci)];
+    double v = ValueOf(ci, area);
+    switch (c.aggregate) {
+      case Aggregate::kMin:
+        // Region min would drop below l if this area joined.
+        if (v < c.lower) return true;
+        break;
+      case Aggregate::kMax:
+        // Region max would exceed u if this area joined.
+        if (v > c.upper) return true;
+        break;
+      case Aggregate::kSum:
+        // The area alone already overshoots the sum cap.
+        if (v > c.upper) return true;
+        break;
+      case Aggregate::kAvg:
+      case Aggregate::kCount:
+        break;  // No single-area invalidity rule (§V-A).
+    }
+  }
+  return false;
+}
+
+bool BoundConstraints::AreaIsSeed(int32_t area) const {
+  if (extrema_.empty()) return true;
+  for (int ci : extrema_) {
+    if (IsSeedFor(ci, area)) return true;
+  }
+  return false;
+}
+
+}  // namespace emp

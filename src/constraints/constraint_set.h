@@ -1,0 +1,78 @@
+#ifndef EMP_CONSTRAINTS_CONSTRAINT_SET_H_
+#define EMP_CONSTRAINTS_CONSTRAINT_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/constraint.h"
+#include "data/area_set.h"
+
+namespace emp {
+
+/// A constraint set resolved against a concrete dataset: every non-COUNT
+/// constraint's attribute name is bound to its column, enabling O(1)
+/// per-area value lookups on the solver hot path. Also hosts the area-level
+/// classification rules of the paper's feasibility phase and Step 1
+/// (invalid areas, seed areas).
+///
+/// Holds a pointer to the AreaSet; the AreaSet must outlive this object.
+class BoundConstraints {
+ public:
+  /// Validates every constraint and resolves attribute columns.
+  static Result<BoundConstraints> Create(const AreaSet* areas,
+                                         std::vector<Constraint> constraints);
+
+  const AreaSet& areas() const { return *areas_; }
+  int size() const { return static_cast<int>(constraints_.size()); }
+  const Constraint& constraint(int ci) const {
+    return constraints_[static_cast<size_t>(ci)];
+  }
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// Value of constraint ci's attribute for `area` (1.0 for COUNT).
+  double ValueOf(int ci, int32_t area) const {
+    int col = columns_[static_cast<size_t>(ci)];
+    if (col < 0) return 1.0;
+    return areas_->attributes().Value(col, area);
+  }
+
+  /// Constraint indices by family, in declaration order.
+  const std::vector<int>& extrema_indices() const { return extrema_; }
+  const std::vector<int>& centrality_indices() const { return centrality_; }
+  const std::vector<int>& counting_indices() const { return counting_; }
+
+  bool has_extrema() const { return !extrema_.empty(); }
+  bool has_centrality() const { return !centrality_.empty(); }
+  bool has_counting() const { return !counting_.empty(); }
+
+  /// Area-level invalidity per §V-A: an area can never join a valid region
+  /// when s < l for some MIN constraint, s > u for some MAX constraint, or
+  /// s > u for some SUM constraint.
+  bool AreaIsInvalid(int32_t area) const;
+
+  /// True if `area` lies within [l, u] of the extrema constraint ci
+  /// (precondition: ci indexes a MIN or MAX constraint). Seed areas anchor
+  /// region construction (Step 1).
+  bool IsSeedFor(int ci, int32_t area) const {
+    return constraints_[static_cast<size_t>(ci)].Contains(ValueOf(ci, area));
+  }
+
+  /// True if `area` is a seed for at least one extrema constraint — or if
+  /// there are no extrema constraints, in which case every area seeds
+  /// (§V-D: absent constraints behave as infinite ranges).
+  bool AreaIsSeed(int32_t area) const;
+
+ private:
+  const AreaSet* areas_ = nullptr;
+  std::vector<Constraint> constraints_;
+  std::vector<int> columns_;  // -1 for COUNT
+  std::vector<int> extrema_;
+  std::vector<int> centrality_;
+  std::vector<int> counting_;
+};
+
+}  // namespace emp
+
+#endif  // EMP_CONSTRAINTS_CONSTRAINT_SET_H_

@@ -1,0 +1,202 @@
+#include "constraints/query_parser.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace emp {
+
+namespace {
+
+std::string ToUpper(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(std::toupper(c)));
+  return out;
+}
+
+/// Parses a bound literal: number with optional k/m suffix, or +/-inf.
+Result<double> ParseBound(std::string_view token) {
+  std::string_view t = StripWhitespace(token);
+  if (t.empty()) {
+    return Status::InvalidArgument("empty bound");
+  }
+  std::string upper = ToUpper(t);
+  if (upper == "INF" || upper == "+INF" || upper == "INFINITY") {
+    return kNoUpperBound;
+  }
+  if (upper == "-INF" || upper == "-INFINITY") {
+    return kNoLowerBound;
+  }
+  double multiplier = 1.0;
+  char suffix = static_cast<char>(std::toupper(t.back()));
+  if (suffix == 'K' || suffix == 'M') {
+    multiplier = suffix == 'K' ? 1e3 : 1e6;
+    t = t.substr(0, t.size() - 1);
+  }
+  EMP_ASSIGN_OR_RETURN(double v, ParseDouble(t));
+  return v * multiplier;
+}
+
+Result<Aggregate> ParseAggregate(std::string_view token) {
+  std::string upper = ToUpper(StripWhitespace(token));
+  if (upper == "MIN") return Aggregate::kMin;
+  if (upper == "MAX") return Aggregate::kMax;
+  if (upper == "AVG") return Aggregate::kAvg;
+  if (upper == "SUM") return Aggregate::kSum;
+  if (upper == "COUNT") return Aggregate::kCount;
+  return Status::InvalidArgument("unknown aggregate '" + upper + "'");
+}
+
+struct AggTerm {
+  Aggregate aggregate;
+  std::string attribute;  // empty for COUNT
+};
+
+/// Parses "AGG(attr)" / "COUNT(*)" starting at the beginning of `s`;
+/// returns the term and the remainder after the closing paren.
+Result<std::pair<AggTerm, std::string_view>> ParseAggTerm(
+    std::string_view s) {
+  s = StripWhitespace(s);
+  size_t open = s.find('(');
+  if (open == std::string_view::npos) {
+    return Status::InvalidArgument(
+        "expected AGG(attribute), got '" + std::string(s) + "'");
+  }
+  size_t close = s.find(')', open);
+  if (close == std::string_view::npos) {
+    return Status::InvalidArgument("missing ')' in aggregate term");
+  }
+  EMP_ASSIGN_OR_RETURN(Aggregate agg, ParseAggregate(s.substr(0, open)));
+  std::string attr{StripWhitespace(s.substr(open + 1, close - open - 1))};
+  if (agg == Aggregate::kCount) {
+    if (!attr.empty() && attr != "*") {
+      return Status::InvalidArgument(
+          "COUNT takes '*' or nothing, got '" + attr + "'");
+    }
+    attr.clear();
+  } else if (attr.empty() || attr == "*") {
+    return Status::InvalidArgument(
+        std::string(AggregateName(agg)) + " requires an attribute name");
+  }
+  return std::make_pair(AggTerm{agg, std::move(attr)}, s.substr(close + 1));
+}
+
+Constraint MakeConstraint(const AggTerm& term, double lower, double upper) {
+  Constraint c;
+  c.aggregate = term.aggregate;
+  c.attribute = term.attribute;
+  c.lower = lower;
+  c.upper = upper;
+  return c;
+}
+
+/// "l <= AGG(attr) <= u" — a leading number indicates this form.
+Result<Constraint> ParseSandwich(std::string_view s) {
+  size_t le1 = s.find("<=");
+  if (le1 == std::string_view::npos) {
+    return Status::InvalidArgument("expected '<=' in range comparison");
+  }
+  EMP_ASSIGN_OR_RETURN(double lower, ParseBound(s.substr(0, le1)));
+  std::string_view rest = s.substr(le1 + 2);
+  EMP_ASSIGN_OR_RETURN(auto term_and_rest, ParseAggTerm(rest));
+  std::string_view tail = StripWhitespace(term_and_rest.second);
+  if (!StartsWith(tail, "<=")) {
+    return Status::InvalidArgument(
+        "expected trailing '<= upper' in range comparison");
+  }
+  EMP_ASSIGN_OR_RETURN(double upper, ParseBound(tail.substr(2)));
+  return MakeConstraint(term_and_rest.first, lower, upper);
+}
+
+}  // namespace
+
+Result<Constraint> ParseConstraint(std::string_view text) {
+  std::string_view s = StripWhitespace(text);
+  if (s.empty()) {
+    return Status::InvalidArgument("empty constraint");
+  }
+
+  // Leading digit/sign => the "l <= AGG(x) <= u" sandwich form.
+  if (std::isdigit(static_cast<unsigned char>(s.front())) ||
+      s.front() == '-' || s.front() == '+' || s.front() == '.') {
+    EMP_ASSIGN_OR_RETURN(Constraint c, ParseSandwich(s));
+    EMP_RETURN_IF_ERROR(c.Validate());
+    return c;
+  }
+
+  EMP_ASSIGN_OR_RETURN(auto term_and_rest, ParseAggTerm(s));
+  const AggTerm& term = term_and_rest.first;
+  std::string_view rest = StripWhitespace(term_and_rest.second);
+  if (rest.empty()) {
+    return Status::InvalidArgument(
+        "constraint is missing a comparison: '" + std::string(text) + "'");
+  }
+
+  Constraint c;
+  if (StartsWith(rest, ">=")) {
+    EMP_ASSIGN_OR_RETURN(double lower, ParseBound(rest.substr(2)));
+    c = MakeConstraint(term, lower, kNoUpperBound);
+  } else if (StartsWith(rest, "<=")) {
+    EMP_ASSIGN_OR_RETURN(double upper, ParseBound(rest.substr(2)));
+    c = MakeConstraint(term, kNoLowerBound, upper);
+  } else if (ToUpper(rest.substr(0, 2)) == "IN") {
+    std::string_view range = StripWhitespace(rest.substr(2));
+    if (range.size() < 2 || range.front() != '[' || range.back() != ']') {
+      return Status::InvalidArgument(
+          "IN expects a [lower, upper] range: '" + std::string(text) + "'");
+    }
+    range = range.substr(1, range.size() - 2);
+    size_t comma = range.find(',');
+    if (comma == std::string_view::npos) {
+      return Status::InvalidArgument(
+          "IN range needs two comma-separated bounds");
+    }
+    EMP_ASSIGN_OR_RETURN(double lower, ParseBound(range.substr(0, comma)));
+    EMP_ASSIGN_OR_RETURN(double upper, ParseBound(range.substr(comma + 1)));
+    c = MakeConstraint(term, lower, upper);
+  } else {
+    return Status::InvalidArgument("expected '>=', '<=', or 'IN' after " +
+                                   std::string(AggregateName(term.aggregate)) +
+                                   "(...)");
+  }
+  EMP_RETURN_IF_ERROR(c.Validate());
+  return c;
+}
+
+Result<std::vector<Constraint>> ParseConstraints(std::string_view text) {
+  // Normalize separators: ';', newlines, and the word AND all split.
+  std::string normalized(text);
+  std::string upper = ToUpper(normalized);
+  // Replace standalone " AND " (any case) with ';'.
+  for (size_t pos = 0; (pos = upper.find("AND", pos)) != std::string::npos;
+       ++pos) {
+    const bool left_ok = pos == 0 || std::isspace(static_cast<unsigned char>(
+                                         upper[pos - 1]));
+    const bool right_ok =
+        pos + 3 >= upper.size() ||
+        std::isspace(static_cast<unsigned char>(upper[pos + 3]));
+    if (left_ok && right_ok) {
+      normalized[pos] = ';';
+      normalized[pos + 1] = ' ';
+      normalized[pos + 2] = ' ';
+    }
+  }
+  for (char& c : normalized) {
+    if (c == '\n' || c == '\r') c = ';';
+  }
+
+  std::vector<Constraint> out;
+  for (const std::string& part : Split(normalized, ';')) {
+    if (StripWhitespace(part).empty()) continue;
+    EMP_ASSIGN_OR_RETURN(Constraint c, ParseConstraint(part));
+    out.push_back(std::move(c));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("query contains no constraints");
+  }
+  return out;
+}
+
+}  // namespace emp

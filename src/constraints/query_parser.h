@@ -1,0 +1,34 @@
+#ifndef EMP_CONSTRAINTS_QUERY_PARSER_H_
+#define EMP_CONSTRAINTS_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/constraint.h"
+
+namespace emp {
+
+/// Parses one constraint from the SQL-inspired textual form the paper's
+/// motivation uses, e.g.:
+///
+///   SUM(TOTALPOP) >= 20000
+///   AVG(EMPLOYED) IN [1500, 3500]
+///   MIN(POP16UP) <= 3000
+///   1500 <= AVG(EMPLOYED) <= 3500
+///   COUNT(*) IN [2, 40]
+///
+/// Aggregate names and IN are case-insensitive; numbers accept an optional
+/// `k`/`m` suffix (20k == 20000, 1.5m == 1500000) and `inf` / `-inf`.
+/// COUNT takes `*` or an empty argument list.
+Result<Constraint> ParseConstraint(std::string_view text);
+
+/// Parses a multi-constraint query: constraints separated by `;`,
+/// newlines, or the keyword `AND` (case-insensitive). Empty parts are
+/// skipped; at least one constraint is required.
+Result<std::vector<Constraint>> ParseConstraints(std::string_view text);
+
+}  // namespace emp
+
+#endif  // EMP_CONSTRAINTS_QUERY_PARSER_H_

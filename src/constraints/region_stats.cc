@@ -1,0 +1,226 @@
+#include "constraints/region_stats.h"
+
+#include <cassert>
+#include <limits>
+
+namespace emp {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+RegionStats::RegionStats(const BoundConstraints* bound) : bound_(bound) {
+  const size_t m = static_cast<size_t>(bound_->size());
+  sums_.assign(m, 0.0);
+  values_.resize(m);
+}
+
+void RegionStats::Add(int32_t area) {
+  ++count_;
+  for (int ci = 0; ci < bound_->size(); ++ci) {
+    const Constraint& c = bound_->constraint(ci);
+    const double v = bound_->ValueOf(ci, area);
+    switch (c.family()) {
+      case ConstraintFamily::kExtrema:
+        values_[static_cast<size_t>(ci)].insert(v);
+        break;
+      case ConstraintFamily::kCentrality:
+      case ConstraintFamily::kCounting:
+        sums_[static_cast<size_t>(ci)] += v;
+        break;
+    }
+  }
+}
+
+void RegionStats::Remove(int32_t area) {
+  assert(count_ > 0);
+  --count_;
+  for (int ci = 0; ci < bound_->size(); ++ci) {
+    const Constraint& c = bound_->constraint(ci);
+    const double v = bound_->ValueOf(ci, area);
+    switch (c.family()) {
+      case ConstraintFamily::kExtrema: {
+        auto& ms = values_[static_cast<size_t>(ci)];
+        auto it = ms.find(v);
+        assert(it != ms.end());
+        ms.erase(it);
+        break;
+      }
+      case ConstraintFamily::kCentrality:
+      case ConstraintFamily::kCounting:
+        sums_[static_cast<size_t>(ci)] -= v;
+        break;
+    }
+  }
+}
+
+void RegionStats::Merge(const RegionStats& other) {
+  assert(bound_ == other.bound_);
+  count_ += other.count_;
+  for (size_t ci = 0; ci < sums_.size(); ++ci) {
+    sums_[ci] += other.sums_[ci];
+    values_[ci].insert(other.values_[ci].begin(), other.values_[ci].end());
+  }
+}
+
+void RegionStats::Clear() {
+  count_ = 0;
+  for (size_t ci = 0; ci < sums_.size(); ++ci) {
+    sums_[ci] = 0.0;
+    values_[ci].clear();
+  }
+}
+
+double RegionStats::ExtremaValue(int ci) const {
+  const auto& ms = values_[static_cast<size_t>(ci)];
+  if (ms.empty()) return kNaN;
+  return bound_->constraint(ci).aggregate == Aggregate::kMin ? *ms.begin()
+                                                             : *ms.rbegin();
+}
+
+double RegionStats::AggregateValue(int ci) const {
+  const Constraint& c = bound_->constraint(ci);
+  switch (c.aggregate) {
+    case Aggregate::kMin:
+    case Aggregate::kMax:
+      return ExtremaValue(ci);
+    case Aggregate::kAvg:
+      return count_ == 0 ? kNaN
+                         : sums_[static_cast<size_t>(ci)] / count_;
+    case Aggregate::kSum:
+      return sums_[static_cast<size_t>(ci)];
+    case Aggregate::kCount:
+      return static_cast<double>(count_);
+  }
+  return kNaN;
+}
+
+double RegionStats::AggregateAfterAdd(int ci, int32_t area) const {
+  const Constraint& c = bound_->constraint(ci);
+  const double v = bound_->ValueOf(ci, area);
+  switch (c.aggregate) {
+    case Aggregate::kMin: {
+      double cur = ExtremaValue(ci);
+      return count_ == 0 ? v : (v < cur ? v : cur);
+    }
+    case Aggregate::kMax: {
+      double cur = ExtremaValue(ci);
+      return count_ == 0 ? v : (v > cur ? v : cur);
+    }
+    case Aggregate::kAvg:
+      return (sums_[static_cast<size_t>(ci)] + v) / (count_ + 1);
+    case Aggregate::kSum:
+      return sums_[static_cast<size_t>(ci)] + v;
+    case Aggregate::kCount:
+      return static_cast<double>(count_ + 1);
+  }
+  return kNaN;
+}
+
+double RegionStats::AggregateAfterRemove(int ci, int32_t area) const {
+  const Constraint& c = bound_->constraint(ci);
+  const double v = bound_->ValueOf(ci, area);
+  switch (c.aggregate) {
+    case Aggregate::kMin:
+    case Aggregate::kMax: {
+      const auto& ms = values_[static_cast<size_t>(ci)];
+      if (count_ <= 1) return kNaN;
+      if (c.aggregate == Aggregate::kMin) {
+        double cur = *ms.begin();
+        if (v > cur) return cur;
+        // v is (one of) the minimum(s); the new min is the next element.
+        auto it = ms.begin();
+        ++it;
+        return *it;
+      }
+      double cur = *ms.rbegin();
+      if (v < cur) return cur;
+      auto it = ms.rbegin();
+      ++it;
+      return *it;
+    }
+    case Aggregate::kAvg:
+      return count_ <= 1 ? kNaN
+                         : (sums_[static_cast<size_t>(ci)] - v) / (count_ - 1);
+    case Aggregate::kSum:
+      return sums_[static_cast<size_t>(ci)] - v;
+    case Aggregate::kCount:
+      return static_cast<double>(count_ - 1);
+  }
+  return kNaN;
+}
+
+bool RegionStats::Satisfies(int ci) const {
+  if (count_ == 0) return false;
+  return bound_->constraint(ci).Contains(AggregateValue(ci));
+}
+
+bool RegionStats::SatisfiesAll() const {
+  if (count_ == 0) return false;
+  for (int ci = 0; ci < bound_->size(); ++ci) {
+    if (!bound_->constraint(ci).Contains(AggregateValue(ci))) return false;
+  }
+  return true;
+}
+
+bool RegionStats::SatisfiesAllAfterAdd(int32_t area) const {
+  for (int ci = 0; ci < bound_->size(); ++ci) {
+    if (!bound_->constraint(ci).Contains(AggregateAfterAdd(ci, area))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool RegionStats::SatisfiesAllAfterRemove(int32_t area) const {
+  if (count_ <= 1) return false;  // Region would vanish.
+  for (int ci = 0; ci < bound_->size(); ++ci) {
+    if (!bound_->constraint(ci).Contains(AggregateAfterRemove(ci, area))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double RegionStats::AggregateAfterMerge(int ci,
+                                        const RegionStats& other) const {
+  assert(bound_ == other.bound_);
+  const Constraint& c = bound_->constraint(ci);
+  const int32_t total = count_ + other.count_;
+  switch (c.aggregate) {
+    case Aggregate::kMin: {
+      double a = ExtremaValue(ci);
+      double b = other.ExtremaValue(ci);
+      return count_ == 0 ? b : (other.count_ == 0 ? a : (a < b ? a : b));
+    }
+    case Aggregate::kMax: {
+      double a = ExtremaValue(ci);
+      double b = other.ExtremaValue(ci);
+      return count_ == 0 ? b : (other.count_ == 0 ? a : (a > b ? a : b));
+    }
+    case Aggregate::kAvg:
+      return total == 0 ? kNaN
+                        : (sums_[static_cast<size_t>(ci)] +
+                           other.sums_[static_cast<size_t>(ci)]) /
+                              total;
+    case Aggregate::kSum:
+      return sums_[static_cast<size_t>(ci)] +
+             other.sums_[static_cast<size_t>(ci)];
+    case Aggregate::kCount:
+      return static_cast<double>(total);
+  }
+  return kNaN;
+}
+
+bool RegionStats::SatisfiesAllAfterMerge(const RegionStats& other) const {
+  assert(bound_ == other.bound_);
+  if (count_ + other.count_ == 0) return false;
+  for (int ci = 0; ci < bound_->size(); ++ci) {
+    if (!bound_->constraint(ci).Contains(AggregateAfterMerge(ci, other))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace emp

@@ -1,0 +1,90 @@
+#ifndef EMP_CONSTRAINTS_REGION_STATS_H_
+#define EMP_CONSTRAINTS_REGION_STATS_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "constraints/constraint_set.h"
+
+namespace emp {
+
+/// Incremental aggregate state of one region against every bound
+/// constraint. Supports O(log k) add/remove of areas (k = region size) and
+/// O(1)/O(log k) hypothetical "what if area X joined / left" queries, which
+/// the construction swaps and Tabu moves issue millions of times.
+///
+/// MIN/MAX need order statistics under removal, so each extrema constraint
+/// keeps a multiset of its attribute values; AVG/SUM keep a running sum;
+/// COUNT uses the shared area count.
+class RegionStats {
+ public:
+  /// `bound` must outlive this object.
+  explicit RegionStats(const BoundConstraints* bound);
+
+  /// Adds an area's values. The caller guarantees the area is not already
+  /// counted (RegionStats does not track membership).
+  void Add(int32_t area);
+
+  /// Removes a previously added area's values.
+  void Remove(int32_t area);
+
+  /// Folds `other` into this (region merge). `other` must be bound to the
+  /// same BoundConstraints.
+  void Merge(const RegionStats& other);
+
+  /// Resets to the empty region.
+  void Clear();
+
+  int32_t count() const { return count_; }
+
+  /// Current aggregate value of constraint `ci`. Undefined for an empty
+  /// region except COUNT/SUM (0).
+  double AggregateValue(int ci) const;
+
+  /// Aggregate value of `ci` if `area` were added.
+  double AggregateAfterAdd(int ci, int32_t area) const;
+
+  /// Aggregate value of `ci` if `area` were removed; `area` must currently
+  /// be counted. Undefined when the region would become empty, except
+  /// COUNT/SUM (0).
+  double AggregateAfterRemove(int ci, int32_t area) const;
+
+  /// Aggregate value of `ci` on the union of this region and `other`
+  /// (merge preview; neither side is modified).
+  double AggregateAfterMerge(int ci, const RegionStats& other) const;
+
+  /// Running attribute sum for an AVG/SUM constraint (0 for an empty
+  /// region). Precondition: `ci` is not an extrema constraint.
+  double RawSum(int ci) const { return sums_[static_cast<size_t>(ci)]; }
+
+  /// Constraint satisfaction on the current contents. An empty region
+  /// satisfies nothing (regions require >= 1 area, Definition III.2).
+  bool Satisfies(int ci) const;
+  bool SatisfiesAll() const;
+
+  /// True if every constraint would hold after adding `area`.
+  bool SatisfiesAllAfterAdd(int32_t area) const;
+
+  /// True if every constraint would hold after removing `area`. False when
+  /// the region would become empty.
+  bool SatisfiesAllAfterRemove(int32_t area) const;
+
+  /// True if every constraint would hold on the union of this region and
+  /// `other` (merge preview; neither side is modified).
+  bool SatisfiesAllAfterMerge(const RegionStats& other) const;
+
+ private:
+  double ExtremaValue(int ci) const;
+
+  const BoundConstraints* bound_;
+  int32_t count_ = 0;
+  /// Parallel to constraints: running sums for AVG/SUM (unused otherwise).
+  std::vector<double> sums_;
+  /// Parallel to constraints: value multisets for MIN/MAX (empty otherwise).
+  std::vector<std::multiset<double>> values_;
+};
+
+}  // namespace emp
+
+#endif  // EMP_CONSTRAINTS_REGION_STATS_H_

@@ -1,0 +1,246 @@
+#include "core/construction/monotonic_adjust.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace emp {
+
+namespace {
+
+bool BelowCountingLower(const BoundConstraints& bound,
+                        const RegionStats& stats) {
+  for (int ci : bound.counting_indices()) {
+    if (stats.AggregateValue(ci) < bound.constraint(ci).lower) return true;
+  }
+  return false;
+}
+
+bool AboveCountingUpper(const BoundConstraints& bound,
+                        const RegionStats& stats) {
+  for (int ci : bound.counting_indices()) {
+    if (stats.AggregateValue(ci) > bound.constraint(ci).upper) return true;
+  }
+  return false;
+}
+
+bool NonCountingOk(const BoundConstraints& bound, const RegionStats& stats) {
+  for (int ci : bound.extrema_indices()) {
+    if (!bound.constraint(ci).Contains(stats.AggregateValue(ci))) return false;
+  }
+  for (int ci : bound.centrality_indices()) {
+    if (!bound.constraint(ci).Contains(stats.AggregateValue(ci))) return false;
+  }
+  return true;
+}
+
+/// Donor-side validity for removing `area`: the donor must keep satisfying
+/// every non-counting constraint and every counting LOWER bound. A counting
+/// upper-bound violation is tolerated because removal strictly improves it.
+bool DonorOkAfterRemove(const BoundConstraints& bound,
+                        const RegionStats& stats, int32_t area) {
+  if (stats.count() <= 1) return false;
+  for (int ci : bound.extrema_indices()) {
+    if (!bound.constraint(ci).Contains(stats.AggregateAfterRemove(ci, area))) {
+      return false;
+    }
+  }
+  for (int ci : bound.centrality_indices()) {
+    if (!bound.constraint(ci).Contains(stats.AggregateAfterRemove(ci, area))) {
+      return false;
+    }
+  }
+  for (int ci : bound.counting_indices()) {
+    if (stats.AggregateAfterRemove(ci, area) < bound.constraint(ci).lower) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Receiver-side validity for adding `area`: every non-counting constraint
+/// must stay satisfied, no counting upper bound may be crossed, and at
+/// least one violated counting lower bound must strictly improve.
+bool ReceiverOkAfterAdd(const BoundConstraints& bound,
+                        const RegionStats& stats, int32_t area) {
+  for (int ci : bound.extrema_indices()) {
+    if (!bound.constraint(ci).Contains(stats.AggregateAfterAdd(ci, area))) {
+      return false;
+    }
+  }
+  for (int ci : bound.centrality_indices()) {
+    if (!bound.constraint(ci).Contains(stats.AggregateAfterAdd(ci, area))) {
+      return false;
+    }
+  }
+  bool progress = false;
+  for (int ci : bound.counting_indices()) {
+    const Constraint& c = bound.constraint(ci);
+    const double after = stats.AggregateAfterAdd(ci, area);
+    if (after > c.upper) return false;
+    if (stats.AggregateValue(ci) < c.lower &&
+        after > stats.AggregateValue(ci)) {
+      progress = true;
+    }
+  }
+  return progress;
+}
+
+/// Attempts one swap of a boundary area from some neighbor region into the
+/// under-bound region `rid`. Returns the swapped area id or -1.
+int32_t TrySwapInto(const BoundConstraints& bound,
+                    ConnectivityChecker* connectivity, Partition* partition,
+                    int32_t rid, const std::vector<char>& already_swapped) {
+  const auto& graph = bound.areas().graph();
+  const RegionStats& receiver = partition->region(rid).stats;
+  for (int32_t nb : partition->NeighborRegionsOf(rid)) {
+    const Region& donor = partition->region(nb);
+    if (donor.size() <= 1) continue;
+    for (int32_t area : donor.areas) {
+      if (already_swapped[static_cast<size_t>(area)]) continue;
+      // The area must border the receiver to preserve its contiguity.
+      bool borders_receiver = false;
+      for (int32_t g : graph.NeighborsOf(area)) {
+        if (partition->RegionOf(g) == rid) {
+          borders_receiver = true;
+          break;
+        }
+      }
+      if (!borders_receiver) continue;
+      if (!ReceiverOkAfterAdd(bound, receiver, area)) continue;
+      if (!DonorOkAfterRemove(bound, donor.stats, area)) continue;
+      if (!connectivity->IsConnectedWithout(donor.areas, area)) continue;
+      partition->Move(area, rid);
+      return area;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+Status AdjustForCounting(ConnectivityChecker* connectivity,
+                         Partition* partition,
+                         MonotonicAdjustStats* stats_out) {
+  if (connectivity == nullptr || partition == nullptr) {
+    return Status::InvalidArgument("AdjustForCounting: null argument");
+  }
+  MonotonicAdjustStats local;
+  MonotonicAdjustStats* stats = stats_out != nullptr ? stats_out : &local;
+  const BoundConstraints& bound = partition->bound();
+  if (!bound.has_counting()) return Status::OK();
+
+  // --- Phase A: swap boundary areas into under-bound regions. Each area
+  // moves at most once (the paper's termination argument).
+  std::vector<char> swapped(static_cast<size_t>(partition->num_areas()), 0);
+  for (int32_t rid : partition->AliveRegionIds()) {
+    while (partition->IsAlive(rid) &&
+           BelowCountingLower(bound, partition->region(rid).stats)) {
+      int32_t moved = TrySwapInto(bound, connectivity, partition, rid, swapped);
+      if (moved == -1) break;
+      swapped[static_cast<size_t>(moved)] = 1;
+      ++stats->swaps;
+    }
+  }
+
+  // --- Phase B: merge regions still under a lower bound with a neighbor,
+  // provided the union keeps non-counting constraints and counting upper
+  // bounds intact. Repeat until no under-bound region can merge.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int32_t rid : partition->AliveRegionIds()) {
+      if (!partition->IsAlive(rid) || partition->region(rid).size() == 0) {
+        continue;
+      }
+      if (!BelowCountingLower(bound, partition->region(rid).stats)) continue;
+      // Among feasible merge partners, take the SMALLEST (by the primary
+      // counting attribute): greedy small steps approach the lower bound
+      // with minimal overshoot, which is what keeps p near the MP-regions
+      // baseline's on single-SUM queries.
+      const int primary = bound.counting_indices().front();
+      int32_t best_nb = -1;
+      double best_size = std::numeric_limits<double>::infinity();
+      for (int32_t nb : partition->NeighborRegionsOf(rid)) {
+        const RegionStats& a = partition->region(rid).stats;
+        const RegionStats& b = partition->region(nb).stats;
+        bool ok = true;
+        for (int ci : bound.extrema_indices()) {
+          if (!bound.constraint(ci).Contains(a.AggregateAfterMerge(ci, b))) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) {
+          for (int ci : bound.centrality_indices()) {
+            if (!bound.constraint(ci).Contains(a.AggregateAfterMerge(ci, b))) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok) {
+          for (int ci : bound.counting_indices()) {
+            if (a.AggregateAfterMerge(ci, b) > bound.constraint(ci).upper) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok) {
+          const Constraint& pc = bound.constraint(primary);
+          double size = pc.aggregate == Aggregate::kCount
+                            ? b.count()
+                            : b.RawSum(primary);
+          if (size < best_size) {
+            best_size = size;
+            best_nb = nb;
+          }
+        }
+      }
+      if (best_nb != -1) {
+        partition->MergeRegions(rid, best_nb);
+        ++stats->merges;
+        changed = true;
+      }
+    }
+  }
+
+  // --- Phase C: evict areas from regions above a counting upper bound.
+  for (int32_t rid : partition->AliveRegionIds()) {
+    while (partition->IsAlive(rid) &&
+           AboveCountingUpper(bound, partition->region(rid).stats)) {
+      const Region& r = partition->region(rid);
+      // Prefer evicting the area with the largest primary counting value
+      // for fastest convergence toward the cap. Any member qualifies as
+      // long as the remainder stays contiguous (evicted areas join U0).
+      const int primary = bound.counting_indices().front();
+      int32_t best = -1;
+      double best_value = -1.0;
+      for (int32_t area : r.areas) {
+        if (!DonorOkAfterRemove(bound, r.stats, area)) continue;
+        if (!connectivity->IsConnectedWithout(r.areas, area)) continue;
+        double v = bound.ValueOf(primary, area);
+        if (v > best_value) {
+          best_value = v;
+          best = area;
+        }
+      }
+      if (best == -1) break;
+      partition->Unassign(best);
+      ++stats->removals;
+    }
+  }
+
+  // --- Phase D: whatever still violates any constraint is dissolved.
+  for (int32_t rid : partition->AliveRegionIds()) {
+    const RegionStats& rs = partition->region(rid).stats;
+    if (!rs.SatisfiesAll() || !NonCountingOk(bound, rs)) {
+      partition->DissolveRegion(rid);
+      ++stats->regions_dissolved;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace emp

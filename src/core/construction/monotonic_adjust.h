@@ -1,0 +1,33 @@
+#ifndef EMP_CORE_CONSTRUCTION_MONOTONIC_ADJUST_H_
+#define EMP_CORE_CONSTRUCTION_MONOTONIC_ADJUST_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/partition.h"
+#include "graph/connectivity.h"
+
+namespace emp {
+
+/// Counters reported by Step 3 for diagnostics and tests.
+struct MonotonicAdjustStats {
+  int64_t swaps = 0;             // boundary-area swaps between regions
+  int64_t merges = 0;            // merges to reach SUM/COUNT lower bounds
+  int64_t removals = 0;          // area evictions to respect upper bounds
+  int64_t regions_dissolved = 0; // regions that stayed infeasible
+};
+
+/// Step 3 of the construction phase (§V-B): repairs SUM and COUNT
+/// constraints — the monotonic family — without breaking the MIN/MAX/AVG
+/// satisfaction Step 2 established. In order: swap boundary areas from
+/// neighbor regions into under-bound regions, merge regions still under a
+/// lower bound, evict areas from regions over an upper bound, and dissolve
+/// whatever remains infeasible. On return every alive region satisfies ALL
+/// constraints.
+Status AdjustForCounting(ConnectivityChecker* connectivity,
+                         Partition* partition,
+                         MonotonicAdjustStats* stats = nullptr);
+
+}  // namespace emp
+
+#endif  // EMP_CORE_CONSTRUCTION_MONOTONIC_ADJUST_H_

@@ -1,0 +1,39 @@
+#ifndef EMP_CORE_CONSTRUCTION_REGION_GROWING_H_
+#define EMP_CORE_CONSTRUCTION_REGION_GROWING_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/construction/seeding.h"
+#include "core/partition.h"
+#include "core/solver_options.h"
+
+namespace emp {
+
+/// Counters reported by Step 2 for diagnostics and tests.
+struct RegionGrowingStats {
+  int64_t regions_from_avg_seeds = 0;   // substep 2.1 singleton inits
+  int64_t regions_from_merging = 0;     // Algorithm 1 successes
+  int64_t algorithm1_reverts = 0;       // Algorithm 1 dead ends
+  int64_t round1_assignments = 0;       // substep 2.2 round 1
+  int64_t round2_merges = 0;            // substep 2.2 round 2 region merges
+  int64_t round2_assignments = 0;
+  int64_t extrema_merges = 0;           // substep 2.3 merges
+  int64_t regions_dissolved = 0;        // substep 2.3 dead ends
+};
+
+/// Step 2 of the construction phase (Region Growing, §V-B): initializes
+/// regions from seed areas, grows them to satisfy every AVG constraint
+/// without breaking MIN/MAX, and combines regions so each satisfies all
+/// extrema constraints. On return every alive region satisfies all extrema
+/// and centrality constraints; counting constraints are Step 3's job.
+///
+/// `partition` must be freshly constructed with invalid areas deactivated.
+Status GrowRegions(const SeedingResult& seeding, const SolverOptions& options,
+                   Rng* rng, Partition* partition,
+                   RegionGrowingStats* stats = nullptr);
+
+}  // namespace emp
+
+#endif  // EMP_CORE_CONSTRUCTION_REGION_GROWING_H_

@@ -1,0 +1,22 @@
+#include "core/construction/seeding.h"
+
+namespace emp {
+
+SeedingResult SelectSeeds(const BoundConstraints& bound,
+                          const FeasibilityReport& feasibility) {
+  const int32_t n = bound.areas().num_areas();
+  SeedingResult out;
+  out.is_seed = feasibility.is_seed;
+  out.seeds.reserve(static_cast<size_t>(feasibility.num_seed_areas));
+  for (int32_t a = 0; a < n; ++a) {
+    if (feasibility.is_invalid[static_cast<size_t>(a)]) continue;
+    if (feasibility.is_seed[static_cast<size_t>(a)]) {
+      out.seeds.push_back(a);
+    } else {
+      out.non_seeds.push_back(a);
+    }
+  }
+  return out;
+}
+
+}  // namespace emp

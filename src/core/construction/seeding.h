@@ -1,0 +1,31 @@
+#ifndef EMP_CORE_CONSTRUCTION_SEEDING_H_
+#define EMP_CORE_CONSTRUCTION_SEEDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "constraints/constraint_set.h"
+#include "core/feasibility.h"
+
+namespace emp {
+
+/// Output of Step 1 (Filtering and Seeding): the seed-area set that upper
+/// bounds p, plus the remaining valid non-seed areas.
+struct SeedingResult {
+  /// Valid areas within [l, u] of at least one extrema constraint (every
+  /// valid area when there are no extrema constraints), ascending ids.
+  std::vector<int32_t> seeds;
+  /// Valid areas that are not seeds, ascending ids.
+  std::vector<int32_t> non_seeds;
+  /// Per-area seed flag (false for invalid areas).
+  std::vector<char> is_seed;
+};
+
+/// Derives Step 1's seed classification from the feasibility report, which
+/// already piggybacked invalid/seed flags in its single pass (§V-B Step 1).
+SeedingResult SelectSeeds(const BoundConstraints& bound,
+                          const FeasibilityReport& feasibility);
+
+}  // namespace emp
+
+#endif  // EMP_CORE_CONSTRUCTION_SEEDING_H_

@@ -1,0 +1,140 @@
+#include "core/construction/unified_growth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace emp {
+
+namespace {
+
+/// Relative breach of one bound: how far `value` sits outside [l, u],
+/// normalized by the bound's magnitude so constraints on different scales
+/// are comparable.
+double BoundViolation(double value, double lower, double upper) {
+  if (value < lower) {
+    double scale = std::max(1.0, std::fabs(lower));
+    return (lower - value) / scale;
+  }
+  if (value > upper) {
+    double scale = std::max(1.0, std::fabs(upper));
+    return (value - upper) / scale;
+  }
+  return 0.0;
+}
+
+/// Violation if `area` joined the region.
+double ViolationAfterAdd(const BoundConstraints& bound,
+                         const RegionStats& stats, int32_t area) {
+  double total = 0.0;
+  for (int ci = 0; ci < bound.size(); ++ci) {
+    const Constraint& c = bound.constraint(ci);
+    total += BoundViolation(stats.AggregateAfterAdd(ci, area), c.lower,
+                            c.upper);
+  }
+  return total;
+}
+
+/// Unassigned active areas adjacent to the region.
+void UnassignedNeighbors(const Partition& partition, int32_t rid,
+                         std::vector<int32_t>* out) {
+  out->clear();
+  const auto& graph = partition.bound().areas().graph();
+  for (int32_t area : partition.region(rid).areas) {
+    for (int32_t nb : graph.NeighborsOf(area)) {
+      if (partition.IsActive(nb) && partition.RegionOf(nb) == -1 &&
+          std::find(out->begin(), out->end(), nb) == out->end()) {
+        out->push_back(nb);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double ConstraintViolation(const BoundConstraints& bound,
+                           const RegionStats& stats) {
+  double total = 0.0;
+  for (int ci = 0; ci < bound.size(); ++ci) {
+    const Constraint& c = bound.constraint(ci);
+    total += BoundViolation(stats.AggregateValue(ci), c.lower, c.upper);
+  }
+  return total;
+}
+
+Status GrowUnified(const SeedingResult& seeding, const SolverOptions& options,
+                   Rng* rng, Partition* partition,
+                   UnifiedGrowthStats* stats_out) {
+  (void)options;
+  if (partition == nullptr || rng == nullptr) {
+    return Status::InvalidArgument("GrowUnified: null partition or rng");
+  }
+  if (partition->NumRegions() != 0) {
+    return Status::FailedPrecondition(
+        "GrowUnified requires an empty partition");
+  }
+  UnifiedGrowthStats local;
+  UnifiedGrowthStats* stats = stats_out != nullptr ? stats_out : &local;
+  const BoundConstraints& bound = partition->bound();
+
+  // Seeds anchor extrema constraints, so regions start there (random
+  // order, like the paper's construction iterations).
+  std::vector<int32_t> order = seeding.seeds;
+  rng->Shuffle(&order);
+
+  std::vector<int32_t> frontier;
+  for (int32_t seed : order) {
+    if (partition->RegionOf(seed) != -1) continue;
+    const int32_t rid = partition->CreateRegion();
+    partition->Assign(seed, rid);
+
+    // Greedy descent on total violation.
+    while (true) {
+      const RegionStats& rs = partition->region(rid).stats;
+      double current = ConstraintViolation(bound, rs);
+      if (current == 0.0) break;  // Feasible region.
+      UnassignedNeighbors(*partition, rid, &frontier);
+      int32_t best = -1;
+      double best_violation = current;
+      for (int32_t nb : frontier) {
+        double v = ViolationAfterAdd(bound, rs, nb);
+        if (v < best_violation) {
+          best_violation = v;
+          best = nb;
+        }
+      }
+      if (best == -1) break;  // No improving neighbor: dead end.
+      partition->Assign(best, rid);
+      ++stats->areas_absorbed;
+    }
+
+    if (ConstraintViolation(bound, partition->region(rid).stats) == 0.0) {
+      ++stats->regions_committed;
+    } else {
+      partition->DissolveRegion(rid);
+      ++stats->regions_abandoned;
+    }
+  }
+
+  // Leftover sweep: attach unassigned areas to adjacent regions whenever
+  // every constraint stays satisfied; iterate to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int32_t a = 0; a < partition->num_areas(); ++a) {
+      if (!partition->IsActive(a) || partition->RegionOf(a) != -1) continue;
+      for (int32_t rid : partition->NeighborRegionsOfArea(a)) {
+        if (partition->region(rid).stats.SatisfiesAllAfterAdd(a)) {
+          partition->Assign(a, rid);
+          ++stats->leftover_assignments;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace emp

@@ -1,0 +1,166 @@
+#include "core/exact.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "constraints/constraint_set.h"
+#include "constraints/region_stats.h"
+#include "graph/connectivity.h"
+
+namespace emp {
+
+namespace {
+
+/// Depth-first enumerator over restricted-growth assignments: area i may
+/// stay unassigned, join any region opened so far, or open region k+1.
+/// Monotone constraint violations (counting uppers; extrema invalidity is
+/// pre-filtered by BoundConstraints::AreaIsInvalid semantics at solve
+/// level) prune subtrees; contiguity and the full constraint set are
+/// verified on complete assignments.
+class ExactSearcher {
+ public:
+  ExactSearcher(const BoundConstraints& bound, ConnectivityChecker* conn)
+      : bound_(bound),
+        conn_(conn),
+        n_(bound.areas().num_areas()),
+        assign_(static_cast<size_t>(n_), -1) {
+    d_ = &bound.areas().dissimilarity();
+    // Precompute, per counting constraint, whether all values are
+    // non-negative — only then is "sum exceeds upper" a safe prune.
+    for (int ci : bound_.counting_indices()) {
+      bool nonneg = true;
+      for (int32_t a = 0; a < n_ && nonneg; ++a) {
+        nonneg = bound_.ValueOf(ci, a) >= 0.0;
+      }
+      prunable_counting_.push_back(nonneg ? ci : -1);
+    }
+  }
+
+  ExactSolution Run() {
+    Recurse(0, 0);
+    ExactSolution out;
+    out.p = best_p_;
+    out.heterogeneity = best_h_;
+    out.region_of = best_assign_;
+    out.assignments_evaluated = evaluated_;
+    if (best_p_ < 0) {
+      // Even the all-unassigned solution counts as p = 0.
+      out.p = 0;
+      out.region_of.assign(static_cast<size_t>(n_), -1);
+      out.heterogeneity = 0.0;
+    }
+    return out;
+  }
+
+ private:
+  void Recurse(int32_t area, int32_t regions_open) {
+    if (area == n_) {
+      Evaluate(regions_open);
+      return;
+    }
+    // Option 1: leave unassigned.
+    assign_[static_cast<size_t>(area)] = -1;
+    Recurse(area + 1, regions_open);
+    // Option 2: join an existing region, if monotone pruning allows.
+    for (int32_t r = 0; r < regions_open; ++r) {
+      assign_[static_cast<size_t>(area)] = r;
+      if (!MonotonePruned(r)) {
+        Recurse(area + 1, regions_open);
+      }
+    }
+    // Option 3: open a new region.
+    assign_[static_cast<size_t>(area)] = regions_open;
+    Recurse(area + 1, regions_open + 1);
+    assign_[static_cast<size_t>(area)] = -1;
+  }
+
+  /// True when region r already violates a safe-to-prune monotone bound.
+  bool MonotonePruned(int32_t r) {
+    for (size_t k = 0; k < prunable_counting_.size(); ++k) {
+      int ci = prunable_counting_[k];
+      if (ci < 0) continue;
+      double sum = 0.0;
+      for (int32_t a = 0; a < n_; ++a) {
+        if (assign_[static_cast<size_t>(a)] == r) {
+          sum += bound_.ValueOf(ci, a);
+        }
+      }
+      if (sum > bound_.constraint(ci).upper) return true;
+    }
+    return false;
+  }
+
+  void Evaluate(int32_t regions_open) {
+    ++evaluated_;
+    // p has priority over H: fewer regions can never beat the incumbent,
+    // equal regions may still win on heterogeneity.
+    if (regions_open < best_p_) return;
+
+    // Validate every region: non-empty, contiguous, all constraints.
+    double h_total = 0.0;
+    for (int32_t r = 0; r < regions_open; ++r) {
+      std::vector<int32_t> members;
+      RegionStats stats(&bound_);
+      for (int32_t a = 0; a < n_; ++a) {
+        if (assign_[static_cast<size_t>(a)] == r) {
+          members.push_back(a);
+          stats.Add(a);
+        }
+      }
+      if (members.empty()) return;  // Gap in region numbering: skip.
+      if (!stats.SatisfiesAll()) return;
+      if (!conn_->IsConnected(members)) return;
+      for (size_t i = 0; i < members.size(); ++i) {
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          double diff = (*d_)[static_cast<size_t>(members[i])] -
+                        (*d_)[static_cast<size_t>(members[j])];
+          h_total += diff < 0 ? -diff : diff;
+        }
+      }
+    }
+    if (regions_open > best_p_ ||
+        (regions_open == best_p_ && h_total < best_h_)) {
+      best_p_ = regions_open;
+      best_h_ = h_total;
+      best_assign_ = assign_;
+    }
+  }
+
+  const BoundConstraints& bound_;
+  ConnectivityChecker* conn_;
+  const std::vector<double>* d_;
+  int32_t n_;
+  std::vector<int32_t> assign_;
+  int32_t best_p_ = -1;
+  double best_h_ = std::numeric_limits<double>::infinity();
+  std::vector<int32_t> best_assign_;
+  int64_t evaluated_ = 0;
+  /// Counting-constraint indices whose attribute is everywhere
+  /// non-negative (safe monotone pruning), -1 placeholders otherwise.
+  std::vector<int> prunable_counting_;
+};
+
+}  // namespace
+
+Result<ExactSolution> SolveExact(const AreaSet& areas,
+                                 const std::vector<Constraint>& constraints,
+                                 const ExactOptions& options) {
+  if (areas.num_areas() > options.max_areas) {
+    return Status::InvalidArgument(
+        "exact solver limited to " + std::to_string(options.max_areas) +
+        " areas (got " + std::to_string(areas.num_areas()) +
+        "); the search space is super-exponential");
+  }
+  EMP_ASSIGN_OR_RETURN(BoundConstraints bound,
+                       BoundConstraints::Create(&areas, constraints));
+  ConnectivityChecker connectivity(&areas.graph());
+  ExactSearcher searcher(bound, &connectivity);
+  ExactSolution solution = searcher.Run();
+  if (solution.p == 0) {
+    return Status::Infeasible(
+        "no single region can satisfy all constraints on this instance");
+  }
+  return solution;
+}
+
+}  // namespace emp

@@ -1,0 +1,160 @@
+#include "core/explore.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/str_util.h"
+#include "core/fact_solver.h"
+
+namespace emp {
+
+namespace {
+
+/// Construction-only solver pass; returns nullopt-style flags via the
+/// point fields instead of failing on infeasibility.
+SweepPoint Evaluate(const AreaSet& areas, std::vector<Constraint> constraints,
+                    const Constraint& swept, const SolverOptions& base) {
+  SweepPoint point;
+  point.constraint = swept;
+  SolverOptions options = base;
+  options.run_local_search = false;
+  auto solution = SolveEmp(areas, std::move(constraints), options);
+  if (!solution.ok()) {
+    point.feasible = false;
+    return point;
+  }
+  point.feasible = true;
+  point.p = solution->p();
+  point.unassigned = solution->num_unassigned();
+  point.unassigned_fraction =
+      areas.num_areas() > 0
+          ? static_cast<double>(point.unassigned) / areas.num_areas()
+          : 0.0;
+  point.construction_seconds = solution->construction_seconds;
+  return point;
+}
+
+/// Widens one bound of `c` by `factor` (> 1). Lower bounds move toward
+/// -inf, upper bounds toward +inf, scaling by magnitude (or shifting by
+/// the range length when the bound is near zero).
+Constraint Widen(const Constraint& c, SweepBound bound, double factor) {
+  Constraint out = c;
+  double span = 0.0;
+  if (c.lower != kNoLowerBound && c.upper != kNoUpperBound) {
+    span = c.upper - c.lower;
+  }
+  if (bound == SweepBound::kLower && c.lower != kNoLowerBound) {
+    double delta = std::max(std::fabs(c.lower) * (factor - 1.0),
+                            span * (factor - 1.0));
+    if (delta <= 0.0) delta = factor - 1.0;
+    out.lower = c.lower - delta;
+  }
+  if (bound == SweepBound::kUpper && c.upper != kNoUpperBound) {
+    double delta = std::max(std::fabs(c.upper) * (factor - 1.0),
+                            span * (factor - 1.0));
+    if (delta <= 0.0) delta = factor - 1.0;
+    out.upper = c.upper + delta;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<SweepPoint>> SweepThreshold(
+    const AreaSet& areas, std::vector<Constraint> constraints,
+    int constraint_index, SweepBound bound, const std::vector<double>& values,
+    const SolverOptions& options) {
+  if (constraint_index < 0 ||
+      constraint_index >= static_cast<int>(constraints.size())) {
+    return Status::InvalidArgument("constraint_index out of range");
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("sweep needs at least one value");
+  }
+  std::vector<SweepPoint> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    std::vector<Constraint> query = constraints;
+    Constraint& target = query[static_cast<size_t>(constraint_index)];
+    if (bound == SweepBound::kLower) {
+      target.lower = v;
+    } else {
+      target.upper = v;
+    }
+    if (!target.Validate().ok()) {
+      SweepPoint bad;
+      bad.constraint = target;
+      bad.feasible = false;
+      out.push_back(bad);
+      continue;
+    }
+    out.push_back(Evaluate(areas, query, target, options));
+  }
+  return out;
+}
+
+std::string RelaxationSuggestion::ToString() const {
+  return "relax " + original.ToString() + " -> " + suggested.ToString() +
+         ": p " + std::to_string(baseline_p) + " -> " + std::to_string(p) +
+         ", unassigned " +
+         FormatDouble(baseline_unassigned_fraction * 100.0, 1) + "% -> " +
+         FormatDouble(unassigned_fraction * 100.0, 1) + "%";
+}
+
+Result<std::vector<RelaxationSuggestion>> SuggestRelaxations(
+    const AreaSet& areas, const std::vector<Constraint>& constraints,
+    const RelaxOptions& options) {
+  if (constraints.empty()) {
+    return Status::InvalidArgument("no constraints to relax");
+  }
+
+  // Baseline (may be infeasible).
+  SweepPoint baseline =
+      Evaluate(areas, constraints, constraints.front(), options.solver);
+
+  std::vector<RelaxationSuggestion> suggestions;
+  for (int ci = 0; ci < static_cast<int>(constraints.size()); ++ci) {
+    const Constraint& original = constraints[static_cast<size_t>(ci)];
+    for (SweepBound bound : {SweepBound::kLower, SweepBound::kUpper}) {
+      if (bound == SweepBound::kLower && original.lower == kNoLowerBound) {
+        continue;
+      }
+      if (bound == SweepBound::kUpper && original.upper == kNoUpperBound) {
+        continue;
+      }
+      for (double factor : options.widen_factors) {
+        Constraint widened = Widen(original, bound, factor);
+        if (!widened.Validate().ok()) continue;
+        std::vector<Constraint> query = constraints;
+        query[static_cast<size_t>(ci)] = widened;
+        SweepPoint point = Evaluate(areas, query, widened, options.solver);
+        if (!point.feasible) continue;
+        const bool restores = !baseline.feasible;
+        const double gain =
+            baseline.feasible
+                ? baseline.unassigned_fraction - point.unassigned_fraction
+                : 1.0;
+        if (restores || gain >= options.min_unassigned_gain) {
+          RelaxationSuggestion s;
+          s.constraint_index = ci;
+          s.original = original;
+          s.suggested = widened;
+          s.p = point.p;
+          s.unassigned_fraction = point.unassigned_fraction;
+          s.baseline_p = baseline.feasible ? baseline.p : 0;
+          s.baseline_unassigned_fraction =
+              baseline.feasible ? baseline.unassigned_fraction : 1.0;
+          suggestions.push_back(std::move(s));
+          break;  // Smallest helpful widening per bound is enough.
+        }
+      }
+    }
+  }
+  std::sort(suggestions.begin(), suggestions.end(),
+            [](const RelaxationSuggestion& a, const RelaxationSuggestion& b) {
+              return a.unassigned_fraction < b.unassigned_fraction;
+            });
+  return suggestions;
+}
+
+}  // namespace emp

@@ -1,0 +1,81 @@
+#ifndef EMP_CORE_EXPLORE_H_
+#define EMP_CORE_EXPLORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/constraint.h"
+#include "core/solver_options.h"
+#include "data/area_set.h"
+
+namespace emp {
+
+/// Exploratory-analysis helpers on top of FaCT. The paper's feasibility
+/// phase exists to let analysts "tune either data or query parameters
+/// adaptively" (§V-A); these utilities make that loop programmatic:
+/// sweep one constraint's threshold and chart the p/U0 response, or ask
+/// for relaxation suggestions that would cut the unassigned share.
+
+/// One point of a threshold sweep.
+struct SweepPoint {
+  Constraint constraint;  // the swept constraint at this point
+  bool feasible = false;
+  int32_t p = 0;
+  int64_t unassigned = 0;
+  double unassigned_fraction = 0.0;
+  double construction_seconds = 0.0;
+};
+
+/// Which bound of the swept constraint to vary.
+enum class SweepBound { kLower, kUpper };
+
+/// Re-solves (construction only, local search disabled) with constraint
+/// `constraint_index`'s chosen bound replaced by each value in `values`,
+/// returning one SweepPoint per value. Infeasible settings appear with
+/// `feasible = false` rather than failing the sweep. This is exactly what
+/// the paper's threshold-range experiments (Figs. 5-13) do, exposed as a
+/// public API.
+Result<std::vector<SweepPoint>> SweepThreshold(
+    const AreaSet& areas, std::vector<Constraint> constraints,
+    int constraint_index, SweepBound bound, const std::vector<double>& values,
+    const SolverOptions& options = {});
+
+/// A suggested relaxation of one constraint and its measured effect.
+struct RelaxationSuggestion {
+  int constraint_index = -1;
+  Constraint original;
+  Constraint suggested;
+  /// Outcome with only this constraint relaxed (others unchanged).
+  int32_t p = 0;
+  double unassigned_fraction = 0.0;
+  /// Baseline outcome with the original query, for comparison.
+  int32_t baseline_p = 0;
+  double baseline_unassigned_fraction = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Options for relaxation search.
+struct RelaxOptions {
+  /// Relative widening factors tried on each finite bound.
+  std::vector<double> widen_factors = {1.1, 1.25, 1.5};
+  /// Keep a suggestion only if it cuts the unassigned fraction by at
+  /// least this much (absolute), or makes an infeasible query feasible.
+  double min_unassigned_gain = 0.02;
+  SolverOptions solver;
+};
+
+/// For each constraint with a finite bound, tries widened variants
+/// (lower bounds scaled down, upper bounds scaled up by each factor) and
+/// reports those that materially reduce the unassigned share or restore
+/// feasibility. Construction-only solves keep this fast enough for
+/// interactive use. Suggestions are sorted by unassigned gain.
+Result<std::vector<RelaxationSuggestion>> SuggestRelaxations(
+    const AreaSet& areas, const std::vector<Constraint>& constraints,
+    const RelaxOptions& options = {});
+
+}  // namespace emp
+
+#endif  // EMP_CORE_EXPLORE_H_

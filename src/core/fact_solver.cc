@@ -1,0 +1,161 @@
+#include "core/fact_solver.h"
+
+#include <algorithm>
+#include <future>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "core/construction/seeding.h"
+#include "core/construction/unified_growth.h"
+#include "core/local_search/heterogeneity.h"
+#include "core/partition.h"
+#include "graph/connectivity.h"
+
+namespace emp {
+
+FactSolver::FactSolver(const AreaSet* areas,
+                       std::vector<Constraint> constraints,
+                       SolverOptions options)
+    : areas_(areas),
+      constraints_(std::move(constraints)),
+      options_(options) {}
+
+Result<Solution> FactSolver::Solve() {
+  if (areas_ == nullptr) {
+    return Status::InvalidArgument("FactSolver: null area set");
+  }
+  EMP_ASSIGN_OR_RETURN(BoundConstraints bound,
+                       BoundConstraints::Create(areas_, constraints_));
+
+  Stopwatch construction_timer;
+
+  // ---- Phase 1: feasibility. ----------------------------------------
+  EMP_ASSIGN_OR_RETURN(FeasibilityReport feasibility,
+                       CheckFeasibility(bound));
+  if (!feasibility.feasible) {
+    return Status::Infeasible(Join(feasibility.diagnostics, "; "));
+  }
+  if (!options_.filter_invalid_areas && !feasibility.invalid_areas.empty()) {
+    return Status::Infeasible(
+        std::to_string(feasibility.invalid_areas.size()) +
+        " areas are invalid under the constraints and "
+        "filter_invalid_areas is disabled");
+  }
+
+  // ---- Phase 2: construction, best-of-k iterations on p. -------------
+  SeedingResult seeding = SelectSeeds(bound, feasibility);
+  ConnectivityChecker connectivity(&areas_->graph());
+
+  // One construction try; iterations are independent so they can run on a
+  // thread pool (parallelization is the paper's stated future work).
+  struct IterationOutcome {
+    std::optional<Partition> partition;
+    RegionGrowingStats growing;
+    MonotonicAdjustStats adjust;
+    int32_t p = -1;
+    Status status;
+  };
+  auto run_iteration = [&](int iter) {
+    IterationOutcome out;
+    Rng rng(options_.seed +
+            0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(iter));
+    Partition partition(&bound);
+    for (int32_t a : feasibility.invalid_areas) partition.Deactivate(a);
+    if (options_.construction_strategy ==
+        ConstructionStrategy::kUnifiedGrowth) {
+      // Ablation baseline: single-step growth already leaves every
+      // committed region fully feasible; no adjustment pass needed.
+      out.status = GrowUnified(seeding, options_, &rng, &partition);
+    } else {
+      out.status = GrowRegions(seeding, options_, &rng, &partition,
+                               &out.growing);
+      if (out.status.ok()) {
+        // ConnectivityChecker is not thread-safe; each iteration gets its
+        // own when running in parallel.
+        ConnectivityChecker local_connectivity(&areas_->graph());
+        out.status =
+            AdjustForCounting(&local_connectivity, &partition, &out.adjust);
+      }
+    }
+    if (out.status.ok()) {
+      out.p = partition.NumRegions();
+      out.partition.emplace(std::move(partition));
+    }
+    return out;
+  };
+
+  const int iterations =
+      options_.construction_iterations < 1 ? 1
+                                           : options_.construction_iterations;
+  std::vector<IterationOutcome> outcomes(static_cast<size_t>(iterations));
+  const int threads =
+      std::max(1, std::min(options_.construction_threads, iterations));
+  if (threads <= 1) {
+    for (int iter = 0; iter < iterations; ++iter) {
+      outcomes[static_cast<size_t>(iter)] = run_iteration(iter);
+    }
+  } else {
+    std::vector<std::future<IterationOutcome>> futures;
+    futures.reserve(static_cast<size_t>(iterations));
+    for (int iter = 0; iter < iterations; ++iter) {
+      futures.push_back(
+          std::async(std::launch::async, run_iteration, iter));
+    }
+    for (int iter = 0; iter < iterations; ++iter) {
+      outcomes[static_cast<size_t>(iter)] = futures[static_cast<size_t>(iter)].get();
+    }
+  }
+
+  // Deterministic selection: highest p, earliest iteration breaking ties —
+  // identical regardless of thread count.
+  std::optional<Partition> best;
+  int32_t best_p = -1;
+  RegionGrowingStats best_growing;
+  MonotonicAdjustStats best_adjust;
+  for (IterationOutcome& out : outcomes) {
+    EMP_RETURN_IF_ERROR(out.status);
+    if (out.p > best_p) {
+      best_p = out.p;
+      best = std::move(out.partition);
+      best_growing = out.growing;
+      best_adjust = out.adjust;
+    }
+  }
+
+  Solution solution;
+  solution.feasibility = std::move(feasibility);
+  solution.growing_stats = best_growing;
+  solution.adjust_stats = best_adjust;
+  solution.construction_seconds = construction_timer.ElapsedSeconds();
+  solution.heterogeneity_before_local_search = ComputeHeterogeneity(*best);
+
+  // ---- Phase 3: Tabu local search (p is fixed). -----------------------
+  if (options_.run_local_search && best_p > 0) {
+    Stopwatch tabu_timer;
+    EMP_ASSIGN_OR_RETURN(solution.tabu_result,
+                         TabuSearch(options_, &connectivity, &*best));
+    solution.local_search_seconds = tabu_timer.ElapsedSeconds();
+    solution.heterogeneity = solution.tabu_result.final_heterogeneity;
+  } else {
+    solution.heterogeneity = solution.heterogeneity_before_local_search;
+    solution.tabu_result.initial_heterogeneity = solution.heterogeneity;
+    solution.tabu_result.final_heterogeneity = solution.heterogeneity;
+  }
+
+  // ---- Extract the final assignment. ----------------------------------
+  FillAssignmentFromPartition(*best, &solution);
+  return solution;
+}
+
+Result<Solution> SolveEmp(const AreaSet& areas,
+                          std::vector<Constraint> constraints,
+                          const SolverOptions& options) {
+  FactSolver solver(&areas, std::move(constraints), options);
+  return solver.Solve();
+}
+
+}  // namespace emp

@@ -1,0 +1,56 @@
+#ifndef EMP_CORE_FACT_SOLVER_H_
+#define EMP_CORE_FACT_SOLVER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/constraint.h"
+#include "core/solution.h"
+#include "core/solver_options.h"
+#include "data/area_set.h"
+
+namespace emp {
+
+/// FaCT — the three-phase EMP solver (paper §V):
+///   1. Feasibility: verify a solution can exist; filter invalid areas.
+///   2. Construction: Filtering & Seeding → Region Growing → Monotonic
+///      Adjustments, repeated for `construction_iterations` independent
+///      tries, keeping the partition with the largest p.
+///   3. Local search: Tabu search minimizing heterogeneity at constant p.
+///
+/// Typical use:
+///   FactSolver solver(&areas, {Constraint::Sum("TOTALPOP", 20000,
+///                                              kNoUpperBound)});
+///   EMP_ASSIGN_OR_RETURN(Solution sol, solver.Solve());
+class FactSolver {
+ public:
+  /// `areas` must outlive the solver. Constraints are validated lazily in
+  /// Solve() so construction never fails.
+  FactSolver(const AreaSet* areas, std::vector<Constraint> constraints,
+             SolverOptions options = {});
+
+  /// Runs all three phases. Returns:
+  ///   kInfeasible       — the feasibility phase proved no solution exists
+  ///                       (the report is in the status message), or
+  ///                       invalid areas exist and filtering is disabled;
+  ///   kInvalidArgument  — malformed constraints or unknown attributes;
+  ///   otherwise a Solution in which every region satisfies every
+  ///   constraint and is spatially contiguous.
+  Result<Solution> Solve();
+
+  const SolverOptions& options() const { return options_; }
+
+ private:
+  const AreaSet* areas_;
+  std::vector<Constraint> constraints_;
+  SolverOptions options_;
+};
+
+/// One-call convenience wrapper.
+Result<Solution> SolveEmp(const AreaSet& areas,
+                          std::vector<Constraint> constraints,
+                          const SolverOptions& options = {});
+
+}  // namespace emp
+
+#endif  // EMP_CORE_FACT_SOLVER_H_

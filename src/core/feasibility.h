@@ -1,0 +1,56 @@
+#ifndef EMP_CORE_FEASIBILITY_H_
+#define EMP_CORE_FEASIBILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/constraint_set.h"
+
+namespace emp {
+
+/// Outcome of FaCT's feasibility phase (§V-A): a verdict on whether any
+/// feasible solution can exist, the set of invalid areas to filter out, and
+/// human-readable diagnostics that let an analyst tune data or thresholds.
+struct FeasibilityReport {
+  /// False when no region can ever satisfy all constraints (e.g. no area
+  /// lies in a MIN constraint's [l, u], or n < COUNT's lower bound).
+  bool feasible = true;
+
+  /// Theorem 3 verdict: when the dataset-wide average of an AVG attribute
+  /// falls outside that constraint's range, no partition of ALL areas can
+  /// satisfy it — solutions must leave areas unassigned.
+  bool full_partition_possible = true;
+
+  /// One line per detected issue, in constraint order.
+  std::vector<std::string> diagnostics;
+
+  /// Areas that cannot belong to any valid region (s < l of a MIN, s > u of
+  /// a MAX, or s > u of a SUM constraint), sorted ascending.
+  std::vector<int32_t> invalid_areas;
+
+  /// Per-area invalidity flags (size = number of areas).
+  std::vector<char> is_invalid;
+
+  /// Per-area seed flags among VALID areas: the area lies within [l, u] of
+  /// at least one extrema constraint (all-true when no extrema constraints
+  /// exist, §V-D). Piggybacked on the same pass, as the paper describes.
+  std::vector<char> is_seed;
+
+  /// Seed-area count per extrema constraint, aligned with
+  /// bound.extrema_indices().
+  std::vector<int64_t> seeds_per_extrema_constraint;
+
+  int64_t num_valid_areas = 0;
+  int64_t num_seed_areas = 0;
+};
+
+/// Runs the single-pass feasibility phase. Never returns an error for an
+/// infeasible instance — that is reported inside the report — only for
+/// malformed inputs (empty dataset).
+Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound);
+
+}  // namespace emp
+
+#endif  // EMP_CORE_FEASIBILITY_H_

@@ -1,0 +1,29 @@
+#ifndef EMP_CORE_LOCAL_SEARCH_MOVE_H_
+#define EMP_CORE_LOCAL_SEARCH_MOVE_H_
+
+#include <cstdint>
+
+#include "core/partition.h"
+#include "graph/connectivity.h"
+
+namespace emp {
+
+/// Shared admissibility test for local-search moves (Tabu and simulated
+/// annealing): moving `area` from region `from` to region `to` must keep
+/// both regions feasible under every constraint, keep the donor
+/// contiguous, and must not empty the donor (the local-search phase never
+/// changes p, §V-C).
+inline bool ConstraintPreservingMove(const Partition& partition,
+                                     ConnectivityChecker* connectivity,
+                                     int32_t area, int32_t from, int32_t to) {
+  const Region& donor = partition.region(from);
+  if (donor.size() <= 1) return false;
+  const Region& receiver = partition.region(to);
+  if (!receiver.stats.SatisfiesAllAfterAdd(area)) return false;
+  if (!donor.stats.SatisfiesAllAfterRemove(area)) return false;
+  return connectivity->IsConnectedWithout(donor.areas, area);
+}
+
+}  // namespace emp
+
+#endif  // EMP_CORE_LOCAL_SEARCH_MOVE_H_

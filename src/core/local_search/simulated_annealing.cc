@@ -1,0 +1,147 @@
+#include "core/local_search/simulated_annealing.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/local_search/move.h"
+#include "core/local_search/objective.h"
+
+namespace emp {
+
+namespace {
+
+std::vector<int32_t> SnapshotAssignment(const Partition& partition) {
+  std::vector<int32_t> out(static_cast<size_t>(partition.num_areas()));
+  for (int32_t a = 0; a < partition.num_areas(); ++a) {
+    out[static_cast<size_t>(a)] = partition.RegionOf(a);
+  }
+  return out;
+}
+
+void RestoreAssignment(const std::vector<int32_t>& saved,
+                       Partition* partition) {
+  for (int32_t a = 0; a < partition->num_areas(); ++a) {
+    if (partition->RegionOf(a) != saved[static_cast<size_t>(a)] &&
+        partition->RegionOf(a) != -1) {
+      partition->Unassign(a);
+    }
+  }
+  for (int32_t a = 0; a < partition->num_areas(); ++a) {
+    if (partition->RegionOf(a) == -1 && saved[static_cast<size_t>(a)] != -1) {
+      partition->Assign(a, saved[static_cast<size_t>(a)]);
+    }
+  }
+}
+
+}  // namespace
+
+Result<AnnealResult> SimulatedAnnealing(const AnnealOptions& options,
+                                        ConnectivityChecker* connectivity,
+                                        Partition* partition,
+                                        Objective* objective) {
+  if (connectivity == nullptr || partition == nullptr) {
+    return Status::InvalidArgument("SimulatedAnnealing: null argument");
+  }
+  if (options.cooling <= 0.0 || options.cooling >= 1.0) {
+    return Status::InvalidArgument("cooling must be in (0, 1)");
+  }
+
+  std::unique_ptr<HeterogeneityObjective> default_objective;
+  if (objective == nullptr) {
+    default_objective = std::make_unique<HeterogeneityObjective>(*partition);
+    objective = default_objective.get();
+  }
+
+  AnnealResult result;
+  result.initial_objective = objective->total();
+
+  const int32_t n = partition->num_areas();
+  const int64_t iterations =
+      options.iterations >= 0 ? options.iterations
+                              : static_cast<int64_t>(n) * 20;
+
+  Rng rng(options.seed);
+
+  // Candidate sampler: random assigned area with at least one adjacent
+  // foreign region.
+  const auto& graph = partition->bound().areas().graph();
+  auto sample_move = [&](int32_t* area, int32_t* from, int32_t* to) {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      int32_t a = static_cast<int32_t>(rng.UniformInt(0, n - 1));
+      int32_t r = partition->RegionOf(a);
+      if (r == -1 || partition->region(r).size() <= 1) continue;
+      // Reservoir-sample one adjacent foreign region.
+      int32_t target = -1;
+      int seen = 0;
+      for (int32_t nb : graph.NeighborsOf(a)) {
+        int32_t t = partition->RegionOf(nb);
+        if (t == -1 || t == r) continue;
+        ++seen;
+        if (rng.UniformInt(1, seen) == 1) target = t;
+      }
+      if (target == -1) continue;
+      *area = a;
+      *from = r;
+      *to = target;
+      return true;
+    }
+    return false;
+  };
+
+  // Auto-calibrate the starting temperature to the objective's scale.
+  double temperature = options.initial_temperature;
+  if (temperature <= 0.0) {
+    double mean_abs_delta = 0.0;
+    int samples = 0;
+    for (int trial = 0; trial < 64; ++trial) {
+      int32_t a = 0;
+      int32_t from = 0;
+      int32_t to = 0;
+      if (!sample_move(&a, &from, &to)) break;
+      mean_abs_delta += std::fabs(objective->MoveDelta(a, from, to));
+      ++samples;
+    }
+    temperature = samples > 0 ? mean_abs_delta / samples : 1.0;
+    if (temperature <= 0.0) temperature = 1.0;
+  }
+
+  double best_total = objective->total();
+  double current_total = best_total;
+  std::vector<int32_t> best_assignment = SnapshotAssignment(*partition);
+
+  for (int64_t it = 0; it < iterations; ++it) {
+    ++result.proposals;
+    temperature *= options.cooling;
+    int32_t area = 0;
+    int32_t from = 0;
+    int32_t to = 0;
+    if (!sample_move(&area, &from, &to)) break;
+
+    const double delta = objective->MoveDelta(area, from, to);
+    bool accept = delta <= 0.0;
+    if (!accept && temperature > 1e-300) {
+      accept = rng.Uniform(0.0, 1.0) < std::exp(-delta / temperature);
+    }
+    if (!accept) continue;
+    if (!ConstraintPreservingMove(*partition, connectivity, area, from, to)) {
+      continue;
+    }
+    objective->ApplyMove(area, from, to);
+    partition->Move(area, to);
+    current_total += delta;
+    ++result.accepted;
+    if (current_total < best_total - 1e-9) {
+      best_total = current_total;
+      best_assignment = SnapshotAssignment(*partition);
+      ++result.improving;
+    }
+  }
+
+  RestoreAssignment(best_assignment, partition);
+  result.final_objective = best_total;
+  return result;
+}
+
+}  // namespace emp

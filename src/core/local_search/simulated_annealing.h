@@ -1,0 +1,55 @@
+#ifndef EMP_CORE_LOCAL_SEARCH_SIMULATED_ANNEALING_H_
+#define EMP_CORE_LOCAL_SEARCH_SIMULATED_ANNEALING_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/partition.h"
+#include "graph/connectivity.h"
+
+namespace emp {
+
+class Objective;
+
+/// Tuning knobs for the simulated-annealing alternative to Tabu search.
+struct AnnealOptions {
+  /// Total move proposals; -1 = 20 × number of areas.
+  int64_t iterations = -1;
+  /// Starting temperature; -1 = auto-calibrated to the objective scale
+  /// (mean |delta| of a small random-move sample).
+  double initial_temperature = -1.0;
+  /// Geometric cooling factor per iteration, in (0, 1).
+  double cooling = 0.9995;
+  uint64_t seed = 42;
+};
+
+/// Outcome of an annealing run.
+struct AnnealResult {
+  double initial_objective = 0.0;
+  double final_objective = 0.0;
+  int64_t proposals = 0;
+  int64_t accepted = 0;
+  int64_t improving = 0;
+
+  double ImprovementRatio() const {
+    if (initial_objective <= 0.0) return 0.0;
+    double diff = initial_objective - final_objective;
+    return (diff < 0 ? -diff : diff) / initial_objective;
+  }
+};
+
+/// Simulated-annealing local search over the same constraint-preserving
+/// move space as Tabu (donor keeps contiguity and feasibility, p is
+/// constant). Worsening moves are accepted with probability
+/// exp(-delta / T) under geometric cooling; the best partition seen is
+/// restored on return. `objective` = null minimizes the paper's
+/// heterogeneity. Offered as an alternative Phase-3 engine for studying
+/// the meta-heuristic choice (DESIGN.md §5).
+Result<AnnealResult> SimulatedAnnealing(const AnnealOptions& options,
+                                        ConnectivityChecker* connectivity,
+                                        Partition* partition,
+                                        Objective* objective = nullptr);
+
+}  // namespace emp
+
+#endif  // EMP_CORE_LOCAL_SEARCH_SIMULATED_ANNEALING_H_

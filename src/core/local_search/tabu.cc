@@ -1,0 +1,174 @@
+#include "core/local_search/tabu.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/local_search/heterogeneity.h"
+#include "core/local_search/move.h"
+#include "core/local_search/objective.h"
+
+namespace emp {
+
+namespace {
+
+/// Tabu key forbidding `area` to move back into region `region`.
+uint64_t TabuKey(int32_t area, int32_t region) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(area)) << 32) |
+         static_cast<uint32_t>(region);
+}
+
+struct CandidateMove {
+  double delta;
+  int32_t area;
+  int32_t from;
+  int32_t to;
+};
+
+/// Snapshot of the raw region assignment.
+std::vector<int32_t> SnapshotAssignment(const Partition& partition) {
+  std::vector<int32_t> out(static_cast<size_t>(partition.num_areas()));
+  for (int32_t a = 0; a < partition.num_areas(); ++a) {
+    out[static_cast<size_t>(a)] = partition.RegionOf(a);
+  }
+  return out;
+}
+
+/// Restores a snapshot taken during this search (same region ids alive).
+void RestoreAssignment(const std::vector<int32_t>& saved,
+                       Partition* partition) {
+  for (int32_t a = 0; a < partition->num_areas(); ++a) {
+    if (partition->RegionOf(a) != saved[static_cast<size_t>(a)] &&
+        partition->RegionOf(a) != -1) {
+      partition->Unassign(a);
+    }
+  }
+  for (int32_t a = 0; a < partition->num_areas(); ++a) {
+    if (partition->RegionOf(a) == -1 && saved[static_cast<size_t>(a)] != -1) {
+      partition->Assign(a, saved[static_cast<size_t>(a)]);
+    }
+  }
+}
+
+}  // namespace
+
+Result<TabuResult> TabuSearch(const SolverOptions& options,
+                              ConnectivityChecker* connectivity,
+                              Partition* partition, Objective* objective) {
+  if (connectivity == nullptr || partition == nullptr) {
+    return Status::InvalidArgument("TabuSearch: null argument");
+  }
+  TabuResult result;
+  // Default objective: the paper's heterogeneity H(P).
+  std::unique_ptr<HeterogeneityObjective> default_objective;
+  if (objective == nullptr) {
+    default_objective = std::make_unique<HeterogeneityObjective>(*partition);
+    objective = default_objective.get();
+  }
+  Objective& tracker = *objective;
+  result.initial_heterogeneity = tracker.total();
+
+  const int64_t max_no_improve =
+      options.tabu_max_no_improve >= 0
+          ? options.tabu_max_no_improve
+          : static_cast<int64_t>(partition->num_areas());
+
+  double best_total = tracker.total();
+  std::vector<int32_t> best_assignment = SnapshotAssignment(*partition);
+
+  std::deque<uint64_t> tabu_order;
+  // Value = number of times the key is currently in the queue (a key can
+  // re-enter before expiring).
+  std::unordered_map<uint64_t, int> tabu_set;
+  auto is_tabu = [&](uint64_t key) {
+    auto it = tabu_set.find(key);
+    return it != tabu_set.end() && it->second > 0;
+  };
+
+  std::vector<CandidateMove> candidates;
+  int64_t no_improve = 0;
+
+  while (no_improve < max_no_improve &&
+         (options.tabu_max_iterations < 0 ||
+          result.iterations < options.tabu_max_iterations)) {
+    ++result.iterations;
+
+    // Enumerate boundary moves and their exact H deltas. Inlined (no
+    // per-area allocations): for each area of a donor-capable region,
+    // collect its distinct adjacent regions by scanning graph neighbors
+    // and deduping against this area's own candidate span.
+    candidates.clear();
+    const auto& graph = partition->bound().areas().graph();
+    for (int32_t rid : partition->AliveRegionIds()) {
+      const Region& r = partition->region(rid);
+      if (r.size() <= 1) continue;  // Cannot donate.
+      for (int32_t area : r.areas) {
+        const size_t span_start = candidates.size();
+        for (int32_t nb : graph.NeighborsOf(area)) {
+          const int32_t to = partition->RegionOf(nb);
+          if (to == -1 || to == rid) continue;
+          bool dup = false;
+          for (size_t i = span_start; i < candidates.size(); ++i) {
+            if (candidates[i].to == to) {
+              dup = true;
+              break;
+            }
+          }
+          if (!dup) {
+            candidates.push_back(
+                {tracker.MoveDelta(area, rid, to), area, rid, to});
+          }
+        }
+      }
+    }
+    if (candidates.empty()) break;
+    std::sort(candidates.begin(), candidates.end(),
+              [](const CandidateMove& a, const CandidateMove& b) {
+                return a.delta < b.delta;
+              });
+
+    // Take the best admissible candidate: non-tabu, or tabu but beating the
+    // incumbent (aspiration). Validity (constraints + contiguity) is checked
+    // lazily in delta order because it is the expensive part.
+    bool applied = false;
+    for (const CandidateMove& mv : candidates) {
+      const bool improves_best = tracker.total() + mv.delta < best_total - 1e-9;
+      if (is_tabu(TabuKey(mv.area, mv.to)) && !improves_best) continue;
+      if (!ConstraintPreservingMove(*partition, connectivity, mv.area,
+                                    mv.from, mv.to)) {
+        continue;
+      }
+      // Apply. Objectives record the move BEFORE the partition mutates.
+      tracker.ApplyMove(mv.area, mv.from, mv.to);
+      partition->Move(mv.area, mv.to);
+      ++result.moves_applied;
+      // Forbid the reverse move for `tenure` iterations.
+      uint64_t reverse = TabuKey(mv.area, mv.from);
+      tabu_order.push_back(reverse);
+      ++tabu_set[reverse];
+      while (static_cast<int>(tabu_order.size()) > options.tabu_tenure) {
+        --tabu_set[tabu_order.front()];
+        tabu_order.pop_front();
+      }
+      if (tracker.total() < best_total - 1e-9) {
+        best_total = tracker.total();
+        best_assignment = SnapshotAssignment(*partition);
+        ++result.improving_moves;
+        no_improve = 0;
+      } else {
+        ++no_improve;
+      }
+      applied = true;
+      break;
+    }
+    if (!applied) break;  // No admissible move in the whole neighborhood.
+  }
+
+  RestoreAssignment(best_assignment, partition);
+  result.final_heterogeneity = best_total;
+  return result;
+}
+
+}  // namespace emp

@@ -1,0 +1,53 @@
+#ifndef EMP_CORE_LOCAL_SEARCH_TABU_H_
+#define EMP_CORE_LOCAL_SEARCH_TABU_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/partition.h"
+#include "core/solver_options.h"
+#include "graph/connectivity.h"
+
+namespace emp {
+
+/// Outcome of the Tabu local-search phase.
+struct TabuResult {
+  double initial_heterogeneity = 0.0;
+  double final_heterogeneity = 0.0;
+  int64_t iterations = 0;
+  int64_t moves_applied = 0;
+  int64_t improving_moves = 0;
+
+  /// The paper's reported metric: |H_before − H_after| / H_before
+  /// (0 when H_before is 0).
+  double ImprovementRatio() const {
+    if (initial_heterogeneity <= 0.0) return 0.0;
+    double diff = initial_heterogeneity - final_heterogeneity;
+    return (diff < 0 ? -diff : diff) / initial_heterogeneity;
+  }
+};
+
+class Objective;
+
+/// Phase 3 of FaCT (§V-C): Tabu search over single-area moves between
+/// adjacent regions. Every move preserves all user-defined constraints in
+/// both regions, donor contiguity, and the region count p; worsening moves
+/// are allowed to escape local optima, reverse moves are tabu for
+/// `options.tabu_tenure` iterations, and a tabu move is still taken when it
+/// beats the incumbent (aspiration). Search stops after
+/// `options.tabu_max_no_improve` consecutive non-improving moves (default:
+/// the number of areas) or when no admissible move exists. The best
+/// partition encountered is restored into `partition` before returning.
+///
+/// `objective` selects the minimized function; null means the paper's
+/// heterogeneity H(P) (the TabuResult fields then really are
+/// heterogeneity; with a custom objective they hold that objective's
+/// values instead).
+Result<TabuResult> TabuSearch(const SolverOptions& options,
+                              ConnectivityChecker* connectivity,
+                              Partition* partition,
+                              Objective* objective = nullptr);
+
+}  // namespace emp
+
+#endif  // EMP_CORE_LOCAL_SEARCH_TABU_H_

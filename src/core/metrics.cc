@@ -1,0 +1,112 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/str_util.h"
+
+namespace emp {
+
+double GiniCoefficient(std::vector<double> values) {
+  if (values.size() < 2) return 0.0;
+  std::sort(values.begin(), values.end());
+  double cum_weighted = 0.0;
+  double total = 0.0;
+  const double n = static_cast<double>(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    cum_weighted += (static_cast<double>(i) + 1.0) * values[i];
+    total += values[i];
+  }
+  if (total <= 0.0) return 0.0;
+  return (2.0 * cum_weighted) / (n * total) - (n + 1.0) / n;
+}
+
+Result<double> RegionCompactness(const AreaSet& areas,
+                                 const std::vector<int32_t>& members) {
+  if (!areas.has_geometry()) {
+    return Status::FailedPrecondition(
+        "RegionCompactness requires polygon geometry");
+  }
+  if (members.empty()) {
+    return Status::InvalidArgument("empty region");
+  }
+  std::vector<char> in(static_cast<size_t>(areas.num_areas()), 0);
+  for (int32_t a : members) in[static_cast<size_t>(a)] = 1;
+
+  double total_area = 0.0;
+  double perimeter = 0.0;
+  for (int32_t a : members) {
+    total_area += areas.polygon(a).Area();
+    perimeter += areas.polygon(a).Perimeter();
+    for (int32_t nb : areas.graph().NeighborsOf(a)) {
+      if (in[static_cast<size_t>(nb)]) {
+        // Each internal border is visited from both sides; subtracting the
+        // full shared length once per side removes 2L in total.
+        perimeter -= SharedBorderLength(areas.polygon(a), areas.polygon(nb));
+      }
+    }
+  }
+  if (perimeter <= 0.0) {
+    return Status::Internal("degenerate region perimeter");
+  }
+  constexpr double kPi = 3.14159265358979323846;
+  return 4.0 * kPi * total_area / (perimeter * perimeter);
+}
+
+Result<SolutionMetrics> ComputeMetrics(const AreaSet& areas,
+                                       const Solution& solution) {
+  SolutionMetrics m;
+  m.p = solution.p();
+  m.unassigned = solution.num_unassigned();
+  m.unassigned_fraction =
+      areas.num_areas() > 0
+          ? static_cast<double>(m.unassigned) / areas.num_areas()
+          : 0.0;
+  m.heterogeneity = solution.heterogeneity;
+
+  if (!solution.regions.empty()) {
+    std::vector<double> sizes;
+    sizes.reserve(solution.regions.size());
+    int64_t total = 0;
+    m.min_region_size = std::numeric_limits<int32_t>::max();
+    for (const auto& region : solution.regions) {
+      int32_t size = static_cast<int32_t>(region.size());
+      sizes.push_back(size);
+      total += size;
+      m.min_region_size = std::min(m.min_region_size, size);
+      m.max_region_size = std::max(m.max_region_size, size);
+    }
+    m.mean_region_size =
+        static_cast<double>(total) / static_cast<double>(sizes.size());
+    m.size_gini = GiniCoefficient(std::move(sizes));
+  } else {
+    m.min_region_size = 0;
+  }
+
+  if (areas.has_geometry() && !solution.regions.empty()) {
+    double sum = 0.0;
+    for (const auto& region : solution.regions) {
+      EMP_ASSIGN_OR_RETURN(double q, RegionCompactness(areas, region));
+      sum += q;
+    }
+    m.mean_compactness = sum / static_cast<double>(solution.regions.size());
+  }
+  return m;
+}
+
+std::string SolutionMetrics::ToString() const {
+  std::string out;
+  out += "p=" + std::to_string(p) +
+         " unassigned=" + std::to_string(unassigned) + " (" +
+         FormatDouble(unassigned_fraction * 100.0, 1) + "%)\n";
+  out += "region size: min=" + std::to_string(min_region_size) +
+         " mean=" + FormatDouble(mean_region_size, 2) +
+         " max=" + std::to_string(max_region_size) +
+         " gini=" + FormatDouble(size_gini, 3) + "\n";
+  out += "compactness (mean IPQ)=" + FormatDouble(mean_compactness, 3) +
+         " heterogeneity=" + FormatDouble(heterogeneity, 1);
+  return out;
+}
+
+}  // namespace emp

@@ -1,0 +1,54 @@
+#ifndef EMP_CORE_METRICS_H_
+#define EMP_CORE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/solution.h"
+#include "data/area_set.h"
+
+namespace emp {
+
+/// Descriptive statistics of a regionalization, used by reports, examples,
+/// and benchmark output to characterize solutions beyond p/H.
+struct SolutionMetrics {
+  int32_t p = 0;
+  int64_t unassigned = 0;
+  double unassigned_fraction = 0.0;
+
+  // Region size (area count) distribution.
+  int32_t min_region_size = 0;
+  int32_t max_region_size = 0;
+  double mean_region_size = 0.0;
+  /// Gini coefficient of region sizes in [0, 1); 0 = perfectly balanced.
+  double size_gini = 0.0;
+
+  /// Mean isoperimetric quotient 4πA/P² over regions, in (0, 1]; higher is
+  /// more compact (1 = disc). NaN-free: 0 when geometry is absent.
+  double mean_compactness = 0.0;
+
+  double heterogeneity = 0.0;
+
+  /// Multi-line human-readable report.
+  std::string ToString() const;
+};
+
+/// Computes metrics for a solution over its area set. Compactness uses
+/// polygon geometry when available and is reported as 0 otherwise.
+Result<SolutionMetrics> ComputeMetrics(const AreaSet& areas,
+                                       const Solution& solution);
+
+/// Gini coefficient of a non-negative sample (0 for empty/degenerate).
+double GiniCoefficient(std::vector<double> values);
+
+/// Isoperimetric quotient 4πA/P² of one region given its member areas'
+/// polygons (exterior perimeter = Σ perimeters − 2 × internal shared
+/// borders). Requires geometry.
+Result<double> RegionCompactness(const AreaSet& areas,
+                                 const std::vector<int32_t>& members);
+
+}  // namespace emp
+
+#endif  // EMP_CORE_METRICS_H_

@@ -1,0 +1,207 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace emp {
+
+Partition::Partition(const BoundConstraints* bound) : bound_(bound) {
+  const size_t n = static_cast<size_t>(bound_->areas().num_areas());
+  region_of_.assign(n, -1);
+  active_.assign(n, 1);
+}
+
+void Partition::Deactivate(int32_t area) {
+  assert(region_of_[static_cast<size_t>(area)] == -1);
+  active_[static_cast<size_t>(area)] = 0;
+}
+
+int32_t Partition::CreateRegion() {
+  const int32_t id = static_cast<int32_t>(regions_.size());
+  regions_.emplace_back(id, bound_);
+  return id;
+}
+
+void Partition::Assign(int32_t area, int32_t region_id) {
+  assert(IsActive(area));
+  assert(region_of_[static_cast<size_t>(area)] == -1);
+  Region& r = regions_[static_cast<size_t>(region_id)];
+  assert(r.alive);
+  r.areas.push_back(area);
+  r.stats.Add(area);
+  region_of_[static_cast<size_t>(area)] = region_id;
+}
+
+void Partition::Unassign(int32_t area) {
+  const int32_t rid = region_of_[static_cast<size_t>(area)];
+  assert(rid != -1);
+  Region& r = regions_[static_cast<size_t>(rid)];
+  auto it = std::find(r.areas.begin(), r.areas.end(), area);
+  assert(it != r.areas.end());
+  *it = r.areas.back();
+  r.areas.pop_back();
+  r.stats.Remove(area);
+  region_of_[static_cast<size_t>(area)] = -1;
+}
+
+void Partition::Move(int32_t area, int32_t to_region) {
+  Unassign(area);
+  Assign(area, to_region);
+}
+
+int32_t Partition::MergeRegions(int32_t winner, int32_t loser) {
+  assert(winner != loser);
+  Region& w = regions_[static_cast<size_t>(winner)];
+  Region& l = regions_[static_cast<size_t>(loser)];
+  assert(w.alive && l.alive);
+  for (int32_t area : l.areas) {
+    region_of_[static_cast<size_t>(area)] = winner;
+    w.areas.push_back(area);
+  }
+  w.stats.Merge(l.stats);
+  l.areas.clear();
+  l.stats.Clear();
+  l.alive = false;
+  return winner;
+}
+
+void Partition::DissolveRegion(int32_t region_id) {
+  Region& r = regions_[static_cast<size_t>(region_id)];
+  assert(r.alive);
+  for (int32_t area : r.areas) {
+    region_of_[static_cast<size_t>(area)] = -1;
+  }
+  r.areas.clear();
+  r.stats.Clear();
+  r.alive = false;
+}
+
+std::vector<int32_t> Partition::AliveRegionIds() const {
+  std::vector<int32_t> out;
+  for (const Region& r : regions_) {
+    if (r.alive && !r.areas.empty()) out.push_back(r.id);
+  }
+  return out;
+}
+
+int32_t Partition::NumRegions() const {
+  int32_t p = 0;
+  for (const Region& r : regions_) {
+    if (r.alive && !r.areas.empty()) ++p;
+  }
+  return p;
+}
+
+std::vector<int32_t> Partition::UnassignedAreas() const {
+  std::vector<int32_t> out;
+  for (int32_t a = 0; a < num_areas(); ++a) {
+    if (IsActive(a) && region_of_[static_cast<size_t>(a)] == -1) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::vector<int32_t> Partition::NeighborRegionsOfArea(int32_t area) const {
+  std::vector<int32_t> out;
+  const int32_t own = region_of_[static_cast<size_t>(area)];
+  for (int32_t nb : bound_->areas().graph().NeighborsOf(area)) {
+    int32_t rid = region_of_[static_cast<size_t>(nb)];
+    if (rid != -1 && rid != own &&
+        std::find(out.begin(), out.end(), rid) == out.end()) {
+      out.push_back(rid);
+    }
+  }
+  return out;
+}
+
+std::vector<int32_t> Partition::NeighborRegionsOf(int32_t region_id) const {
+  std::vector<int32_t> out;
+  const Region& r = regions_[static_cast<size_t>(region_id)];
+  for (int32_t area : r.areas) {
+    for (int32_t nb : bound_->areas().graph().NeighborsOf(area)) {
+      int32_t rid = region_of_[static_cast<size_t>(nb)];
+      if (rid != -1 && rid != region_id &&
+          std::find(out.begin(), out.end(), rid) == out.end()) {
+        out.push_back(rid);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int32_t> Partition::BoundaryAreas(int32_t region_id) const {
+  std::vector<int32_t> out;
+  const Region& r = regions_[static_cast<size_t>(region_id)];
+  for (int32_t area : r.areas) {
+    for (int32_t nb : bound_->areas().graph().NeighborsOf(area)) {
+      if (region_of_[static_cast<size_t>(nb)] != region_id) {
+        out.push_back(area);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Status Partition::ValidateInvariants() const {
+  std::vector<int32_t> seen(region_of_.size(), -1);
+  for (const Region& r : regions_) {
+    if (!r.alive) {
+      if (!r.areas.empty()) {
+        return Status::Internal("dead region " + std::to_string(r.id) +
+                                " still has areas");
+      }
+      continue;
+    }
+    if (r.stats.count() != r.size()) {
+      return Status::Internal("region " + std::to_string(r.id) +
+                              " stats count mismatch");
+    }
+    for (int32_t area : r.areas) {
+      if (area < 0 || area >= num_areas()) {
+        return Status::Internal("region member out of range");
+      }
+      if (!IsActive(area)) {
+        return Status::Internal("inactive area " + std::to_string(area) +
+                                " is assigned");
+      }
+      if (seen[static_cast<size_t>(area)] != -1) {
+        return Status::Internal("area " + std::to_string(area) +
+                                " in two regions");
+      }
+      seen[static_cast<size_t>(area)] = r.id;
+      if (region_of_[static_cast<size_t>(area)] != r.id) {
+        return Status::Internal("reverse map mismatch for area " +
+                                std::to_string(area));
+      }
+    }
+  }
+  for (size_t a = 0; a < region_of_.size(); ++a) {
+    if (region_of_[a] != -1 && seen[a] != region_of_[a]) {
+      return Status::Internal("area " + std::to_string(a) +
+                              " maps to region that does not list it");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int32_t> Partition::CompactAssignment() const {
+  std::vector<int32_t> compact_id(regions_.size(), -1);
+  int32_t next = 0;
+  for (const Region& r : regions_) {
+    if (r.alive && !r.areas.empty()) {
+      compact_id[static_cast<size_t>(r.id)] = next++;
+    }
+  }
+  std::vector<int32_t> out(region_of_.size(), -1);
+  for (size_t a = 0; a < region_of_.size(); ++a) {
+    if (region_of_[a] != -1) {
+      out[a] = compact_id[static_cast<size_t>(region_of_[a])];
+    }
+  }
+  return out;
+}
+
+}  // namespace emp

@@ -1,0 +1,28 @@
+#ifndef EMP_CORE_REGION_H_
+#define EMP_CORE_REGION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "constraints/region_stats.h"
+
+namespace emp {
+
+/// A region under construction: its member area ids plus incremental
+/// aggregate state. Owned and mutated exclusively through Partition, which
+/// keeps `areas`, `stats`, and the reverse map consistent.
+struct Region {
+  explicit Region(int32_t id_in, const BoundConstraints* bound)
+      : id(id_in), stats(bound) {}
+
+  int32_t id = -1;
+  bool alive = true;
+  std::vector<int32_t> areas;
+  RegionStats stats;
+
+  int32_t size() const { return static_cast<int32_t>(areas.size()); }
+};
+
+}  // namespace emp
+
+#endif  // EMP_CORE_REGION_H_

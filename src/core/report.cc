@@ -1,0 +1,118 @@
+#include "core/report.h"
+
+#include "common/str_util.h"
+#include "constraints/constraint_set.h"
+#include "constraints/region_stats.h"
+#include "core/metrics.h"
+
+namespace emp {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (v == kNoUpperBound) return "\"inf\"";
+  if (v == kNoLowerBound) return "\"-inf\"";
+  return FormatDouble(v, 6);
+}
+
+}  // namespace
+
+Result<std::string> SolutionToJson(const AreaSet& areas,
+                                   const std::vector<Constraint>& constraints,
+                                   const Solution& solution) {
+  EMP_ASSIGN_OR_RETURN(BoundConstraints bound,
+                       BoundConstraints::Create(&areas, constraints));
+  EMP_ASSIGN_OR_RETURN(SolutionMetrics metrics,
+                       ComputeMetrics(areas, solution));
+
+  std::string out = "{\n";
+  out += "  \"dataset\": \"" + JsonEscape(areas.name()) + "\",\n";
+  out += "  \"num_areas\": " + std::to_string(areas.num_areas()) + ",\n";
+
+  out += "  \"query\": [";
+  for (int ci = 0; ci < bound.size(); ++ci) {
+    if (ci > 0) out += ", ";
+    out += "\"" + JsonEscape(bound.constraint(ci).ToString()) + "\"";
+  }
+  out += "],\n";
+
+  out += "  \"p\": " + std::to_string(solution.p()) + ",\n";
+  out += "  \"unassigned\": " + std::to_string(solution.num_unassigned()) +
+         ",\n";
+  out += "  \"heterogeneity\": " + JsonNumber(solution.heterogeneity) + ",\n";
+  out += "  \"heterogeneity_before_local_search\": " +
+         JsonNumber(solution.heterogeneity_before_local_search) + ",\n";
+  out += "  \"heterogeneity_improvement\": " +
+         JsonNumber(solution.HeterogeneityImprovement()) + ",\n";
+  out += "  \"construction_seconds\": " +
+         JsonNumber(solution.construction_seconds) + ",\n";
+  out += "  \"local_search_seconds\": " +
+         JsonNumber(solution.local_search_seconds) + ",\n";
+  out += "  \"size_gini\": " + JsonNumber(metrics.size_gini) + ",\n";
+  out += "  \"mean_compactness\": " + JsonNumber(metrics.mean_compactness) +
+         ",\n";
+
+  out += "  \"feasibility_diagnostics\": [";
+  for (size_t i = 0; i < solution.feasibility.diagnostics.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "\"" + JsonEscape(solution.feasibility.diagnostics[i]) + "\"";
+  }
+  out += "],\n";
+
+  out += "  \"regions\": [\n";
+  for (size_t rid = 0; rid < solution.regions.size(); ++rid) {
+    RegionStats stats(&bound);
+    for (int32_t a : solution.regions[rid]) stats.Add(a);
+    out += "    {\"id\": " + std::to_string(rid) + ", \"size\": " +
+           std::to_string(solution.regions[rid].size()) +
+           ", \"aggregates\": {";
+    for (int ci = 0; ci < bound.size(); ++ci) {
+      if (ci > 0) out += ", ";
+      const Constraint& c = bound.constraint(ci);
+      std::string key(AggregateName(c.aggregate));
+      key += "(" + (c.aggregate == Aggregate::kCount ? "*" : c.attribute) +
+             ")";
+      out += "\"" + JsonEscape(key) +
+             "\": " + JsonNumber(stats.AggregateValue(ci));
+    }
+    out += "}, \"areas\": [";
+    for (size_t i = 0; i < solution.regions[rid].size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(solution.regions[rid][i]);
+    }
+    out += "]}";
+    out += rid + 1 < solution.regions.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  out += "  \"unassigned_areas\": [";
+  for (size_t i = 0; i < solution.unassigned.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(solution.unassigned[i]);
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+}  // namespace emp

@@ -1,0 +1,25 @@
+#ifndef EMP_CORE_REPORT_H_
+#define EMP_CORE_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/constraint.h"
+#include "core/solution.h"
+#include "data/area_set.h"
+
+namespace emp {
+
+/// Serializes a solution as a self-contained JSON report: the query, the
+/// headline numbers (p, U0, heterogeneity, timings), feasibility
+/// diagnostics, solution metrics, and — per region — the member area ids
+/// plus each constraint's actual aggregate value. Built for downstream
+/// analysis notebooks and archival of experiment outputs.
+Result<std::string> SolutionToJson(const AreaSet& areas,
+                                   const std::vector<Constraint>& constraints,
+                                   const Solution& solution);
+
+}  // namespace emp
+
+#endif  // EMP_CORE_REPORT_H_

@@ -1,0 +1,38 @@
+#include "core/solution.h"
+
+#include "common/str_util.h"
+#include "core/partition.h"
+
+namespace emp {
+
+double Solution::HeterogeneityImprovement() const {
+  if (heterogeneity_before_local_search <= 0.0) return 0.0;
+  double diff = heterogeneity_before_local_search - heterogeneity;
+  return (diff < 0 ? -diff : diff) / heterogeneity_before_local_search;
+}
+
+std::string Solution::Summary() const {
+  return "p=" + std::to_string(p()) +
+         " unassigned=" + std::to_string(num_unassigned()) +
+         " H=" + FormatDouble(heterogeneity, 1) + " (improved " +
+         FormatDouble(HeterogeneityImprovement() * 100.0, 2) +
+         "%) construction=" + FormatDouble(construction_seconds, 3) +
+         "s tabu=" + FormatDouble(local_search_seconds, 3) + "s";
+}
+
+void FillAssignmentFromPartition(const Partition& partition,
+                                 Solution* solution) {
+  solution->region_of = partition.CompactAssignment();
+  solution->regions.assign(static_cast<size_t>(partition.NumRegions()), {});
+  solution->unassigned.clear();
+  for (int32_t a = 0; a < partition.num_areas(); ++a) {
+    const int32_t rid = solution->region_of[static_cast<size_t>(a)];
+    if (rid == -1) {
+      solution->unassigned.push_back(a);
+    } else {
+      solution->regions[static_cast<size_t>(rid)].push_back(a);
+    }
+  }
+}
+
+}  // namespace emp

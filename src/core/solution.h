@@ -1,0 +1,67 @@
+#ifndef EMP_CORE_SOLUTION_H_
+#define EMP_CORE_SOLUTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/construction/monotonic_adjust.h"
+#include "core/construction/region_growing.h"
+#include "core/feasibility.h"
+#include "core/local_search/tabu.h"
+
+namespace emp {
+
+/// The EMP output (§III): p disjoint contiguous regions, each satisfying
+/// every user-defined constraint, plus the unassigned set U0, with solver
+/// telemetry for the experiment harness.
+struct Solution {
+  /// Region membership lists; regions[i] holds the area ids of region i.
+  std::vector<std::vector<int32_t>> regions;
+
+  /// region_of[a] = index into `regions`, or -1 when a ∈ U0.
+  std::vector<int32_t> region_of;
+
+  /// Areas not assigned to any region (invalid + leftover), ascending.
+  std::vector<int32_t> unassigned;
+
+  /// Heterogeneity H(P) after the final phase.
+  double heterogeneity = 0.0;
+
+  /// Heterogeneity before the local-search phase.
+  double heterogeneity_before_local_search = 0.0;
+
+  /// The feasibility phase's report (diagnostics, invalid-area census).
+  FeasibilityReport feasibility;
+
+  /// Telemetry from the construction iteration that won (highest p).
+  RegionGrowingStats growing_stats;
+  MonotonicAdjustStats adjust_stats;
+  TabuResult tabu_result;
+
+  /// Wall-clock seconds per phase.
+  double construction_seconds = 0.0;
+  double local_search_seconds = 0.0;
+
+  int32_t p() const { return static_cast<int32_t>(regions.size()); }
+  int64_t num_unassigned() const {
+    return static_cast<int64_t>(unassigned.size());
+  }
+
+  /// |H_before − H_after| / H_before, the paper's improvement metric.
+  double HeterogeneityImprovement() const;
+
+  /// Human-readable one-line summary for reports.
+  std::string Summary() const;
+};
+
+class Partition;
+
+/// Copies a partition's final assignment (compacted region ids, region
+/// member lists, U0) into `solution->regions/region_of/unassigned`.
+void FillAssignmentFromPartition(const Partition& partition,
+                                 Solution* solution);
+
+}  // namespace emp
+
+#endif  // EMP_CORE_SOLUTION_H_

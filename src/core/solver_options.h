@@ -1,0 +1,75 @@
+#ifndef EMP_CORE_SOLVER_OPTIONS_H_
+#define EMP_CORE_SOLVER_OPTIONS_H_
+
+#include <cstdint>
+
+namespace emp {
+
+/// Order in which unassigned areas are picked up during region growing.
+/// "random" is the paper's default; the ascending/descending options sort
+/// by the primary AVG attribute and exist for ablation studies.
+enum class PickupOrder {
+  kRandom,
+  kAscending,
+  kDescending,
+};
+
+/// Construction strategy for Phase 2.
+enum class ConstructionStrategy {
+  /// The paper's three-step construction (filter/seed → region growing →
+  /// monotonic adjustments). Default.
+  kFact,
+  /// Single-step greedy violation-descent growth — an ablation baseline
+  /// (see core/construction/unified_growth.h).
+  kUnifiedGrowth,
+};
+
+/// Tuning knobs for the FaCT algorithm. Defaults mirror the paper's
+/// experimental setup (§VII-A): random pickup, AVG merge limit 3, tabu
+/// tenure 10, max moves without improvement = dataset size.
+struct SolverOptions {
+  ConstructionStrategy construction_strategy = ConstructionStrategy::kFact;
+
+  /// Construction runs this many independent iterations and keeps the
+  /// partition with the highest p (§V-B).
+  int construction_iterations = 3;
+
+  /// Worker threads for the construction iterations (the paper's stated
+  /// future work, §VIII: "improve the algorithm performance through
+  /// parallelization"). Iterations are independent, so results are
+  /// identical for any thread count; 1 = sequential.
+  int construction_threads = 1;
+
+  /// Merge-trial cap in Region Growing round 2 — "the merge limit is set to
+  /// prevent the formation of oversized regions and control the runtime".
+  int avg_merge_limit = 3;
+
+  PickupOrder pickup_order = PickupOrder::kRandom;
+
+  /// Tabu list length (tenure).
+  int tabu_tenure = 10;
+
+  /// Stop the local search after this many consecutive non-improving
+  /// moves; -1 means "number of areas" (paper default).
+  int64_t tabu_max_no_improve = -1;
+
+  /// Hard cap on total Tabu iterations; -1 = no cap. Benchmarks on very
+  /// large maps set this to bound runtime.
+  int64_t tabu_max_iterations = -1;
+
+  /// Run the Tabu local-search phase at all (disable to measure the
+  /// construction phase alone, as several paper experiments do).
+  bool run_local_search = true;
+
+  /// Automatically filter invalid areas into U0 (the paper lets the user
+  /// choose; when false, an instance with invalid areas is rejected as
+  /// infeasible instead).
+  bool filter_invalid_areas = true;
+
+  /// RNG seed for pickup shuffles and tie-breaking.
+  uint64_t seed = 42;
+};
+
+}  // namespace emp
+
+#endif  // EMP_CORE_SOLVER_OPTIONS_H_

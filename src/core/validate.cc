@@ -1,0 +1,104 @@
+#include "core/validate.h"
+
+#include <map>
+
+#include "common/csv.h"
+#include "common/str_util.h"
+#include "constraints/constraint_set.h"
+#include "constraints/region_stats.h"
+#include "graph/connectivity.h"
+
+namespace emp {
+
+std::string ValidationReport::ToString() const {
+  std::string out = valid ? "VALID" : "INVALID";
+  out += ": p=" + std::to_string(p) +
+         " unassigned=" + std::to_string(unassigned);
+  for (const std::string& v : violations) {
+    out += "\n  - " + v;
+  }
+  return out;
+}
+
+Result<ValidationReport> ValidateAssignment(
+    const AreaSet& areas, const std::vector<Constraint>& constraints,
+    const std::vector<int32_t>& region_of) {
+  if (static_cast<int32_t>(region_of.size()) != areas.num_areas()) {
+    return Status::InvalidArgument(
+        "assignment size (" + std::to_string(region_of.size()) +
+        ") != number of areas (" + std::to_string(areas.num_areas()) + ")");
+  }
+  EMP_ASSIGN_OR_RETURN(BoundConstraints bound,
+                       BoundConstraints::Create(&areas, constraints));
+
+  ValidationReport report;
+  std::map<int32_t, std::vector<int32_t>> regions;
+  for (int32_t a = 0; a < areas.num_areas(); ++a) {
+    const int32_t rid = region_of[static_cast<size_t>(a)];
+    if (rid == -1) {
+      ++report.unassigned;
+      continue;
+    }
+    if (rid < -1) {
+      report.valid = false;
+      report.violations.push_back("area " + std::to_string(a) +
+                                  " has malformed region id " +
+                                  std::to_string(rid));
+      continue;
+    }
+    regions[rid].push_back(a);
+  }
+  report.p = static_cast<int32_t>(regions.size());
+
+  ConnectivityChecker connectivity(&areas.graph());
+  for (const auto& [rid, members] : regions) {
+    if (!connectivity.IsConnected(members)) {
+      report.valid = false;
+      report.violations.push_back("region " + std::to_string(rid) +
+                                  " is not spatially contiguous");
+    }
+    RegionStats stats(&bound);
+    for (int32_t a : members) stats.Add(a);
+    for (int ci = 0; ci < bound.size(); ++ci) {
+      if (!bound.constraint(ci).Contains(stats.AggregateValue(ci))) {
+        report.valid = false;
+        report.violations.push_back(
+            "region " + std::to_string(rid) + " violates " +
+            bound.constraint(ci).ToString() + " (actual " +
+            FormatDouble(stats.AggregateValue(ci), 3) + ")");
+      }
+    }
+  }
+  return report;
+}
+
+Result<std::vector<int32_t>> AssignmentFromCsv(const std::string& csv_text,
+                                               int32_t num_areas) {
+  EMP_ASSIGN_OR_RETURN(CsvTable table, ParseCsv(csv_text));
+  const int area_col = table.ColumnIndex("area_id");
+  const int region_col = table.ColumnIndex("region_id");
+  if (area_col < 0 || region_col < 0) {
+    return Status::IOError(
+        "assignment CSV needs 'area_id' and 'region_id' columns");
+  }
+  std::vector<int32_t> out(static_cast<size_t>(num_areas), -1);
+  std::vector<char> seen(static_cast<size_t>(num_areas), 0);
+  for (const auto& row : table.rows) {
+    EMP_ASSIGN_OR_RETURN(int64_t area,
+                         ParseInt64(row[static_cast<size_t>(area_col)]));
+    EMP_ASSIGN_OR_RETURN(int64_t region,
+                         ParseInt64(row[static_cast<size_t>(region_col)]));
+    if (area < 0 || area >= num_areas) {
+      return Status::IOError("area id out of range: " +
+                             std::to_string(area));
+    }
+    if (seen[static_cast<size_t>(area)]) {
+      return Status::IOError("duplicate area id: " + std::to_string(area));
+    }
+    seen[static_cast<size_t>(area)] = 1;
+    out[static_cast<size_t>(area)] = static_cast<int32_t>(region);
+  }
+  return out;
+}
+
+}  // namespace emp

@@ -1,0 +1,45 @@
+#ifndef EMP_CORE_VALIDATE_H_
+#define EMP_CORE_VALIDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "constraints/constraint.h"
+#include "data/area_set.h"
+
+namespace emp {
+
+/// Verdict of auditing a region assignment against the EMP semantics.
+struct ValidationReport {
+  bool valid = true;
+  int32_t p = 0;
+  int64_t unassigned = 0;
+  /// One line per violation: malformed ids, non-contiguous regions,
+  /// constraint breaches (with the offending aggregate value).
+  std::vector<std::string> violations;
+
+  std::string ToString() const;
+};
+
+/// Audits `region_of` (region id per area, -1 = unassigned; ids need not
+/// be compact) against the EMP output requirements (§III): every region
+/// non-empty, spatially contiguous, and satisfying every constraint.
+/// Use cases: checking solutions produced by external tools, regression
+/// baselines, or hand-edited assignments before publication. Structural
+/// errors (wrong vector size) return a Status error; semantic violations
+/// are collected in the report with `valid = false`.
+Result<ValidationReport> ValidateAssignment(
+    const AreaSet& areas, const std::vector<Constraint>& constraints,
+    const std::vector<int32_t>& region_of);
+
+/// Parses an `area_id,region_id` CSV (AssignmentToCsv's format) back into
+/// a region_of vector for `num_areas` areas. Missing areas default to -1;
+/// duplicate or out-of-range area ids fail.
+Result<std::vector<int32_t>> AssignmentFromCsv(const std::string& csv_text,
+                                               int32_t num_areas);
+
+}  // namespace emp
+
+#endif  // EMP_CORE_VALIDATE_H_

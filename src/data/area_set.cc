@@ -1,0 +1,40 @@
+#include "data/area_set.h"
+
+namespace emp {
+
+Result<AreaSet> AreaSet::Create(std::string name,
+                                std::vector<Polygon> polygons,
+                                ContiguityGraph graph,
+                                AttributeTable attributes,
+                                std::string dissimilarity_attribute) {
+  if (!polygons.empty() &&
+      static_cast<int32_t>(polygons.size()) != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "polygon count (" + std::to_string(polygons.size()) +
+        ") != graph node count (" + std::to_string(graph.num_nodes()) + ")");
+  }
+  if (attributes.num_rows() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "attribute row count (" + std::to_string(attributes.num_rows()) +
+        ") != graph node count (" + std::to_string(graph.num_nodes()) + ")");
+  }
+  EMP_ASSIGN_OR_RETURN(int diss_col,
+                       attributes.ColumnIndex(dissimilarity_attribute));
+  AreaSet out;
+  out.name_ = std::move(name);
+  out.polygons_ = std::move(polygons);
+  out.graph_ = std::move(graph);
+  out.attributes_ = std::move(attributes);
+  out.dissimilarity_attribute_ = std::move(dissimilarity_attribute);
+  out.dissimilarity_column_ = diss_col;
+  return out;
+}
+
+Result<AreaSet> AreaSet::CreateWithoutGeometry(
+    std::string name, ContiguityGraph graph, AttributeTable attributes,
+    std::string dissimilarity_attribute) {
+  return Create(std::move(name), {}, std::move(graph), std::move(attributes),
+                std::move(dissimilarity_attribute));
+}
+
+}  // namespace emp

@@ -1,0 +1,68 @@
+#ifndef EMP_DATA_AREA_SET_H_
+#define EMP_DATA_AREA_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/attribute_table.h"
+#include "geometry/polygon.h"
+#include "graph/contiguity_graph.h"
+
+namespace emp {
+
+/// The EMP problem input: a set of n areas, each with an id (its index), a
+/// spatial polygon, spatially extensive attributes, and a dissimilarity
+/// attribute (paper §III). Geometry is optional — the algorithms consume
+/// only the contiguity graph and attributes, so graph-only instances (as in
+/// many tests) are first-class.
+class AreaSet {
+ public:
+  AreaSet() = default;
+
+  /// Builds a geometry-backed area set. `polygons.size()` must equal
+  /// `graph.num_nodes()` and `attributes.num_rows()`.
+  static Result<AreaSet> Create(std::string name,
+                                std::vector<Polygon> polygons,
+                                ContiguityGraph graph,
+                                AttributeTable attributes,
+                                std::string dissimilarity_attribute);
+
+  /// Builds a graph-only area set (no polygons).
+  static Result<AreaSet> CreateWithoutGeometry(
+      std::string name, ContiguityGraph graph, AttributeTable attributes,
+      std::string dissimilarity_attribute);
+
+  const std::string& name() const { return name_; }
+  int32_t num_areas() const { return graph_.num_nodes(); }
+  bool has_geometry() const { return !polygons_.empty(); }
+
+  const std::vector<Polygon>& polygons() const { return polygons_; }
+  const Polygon& polygon(int32_t id) const {
+    return polygons_[static_cast<size_t>(id)];
+  }
+  const ContiguityGraph& graph() const { return graph_; }
+  const AttributeTable& attributes() const { return attributes_; }
+
+  /// Name of the attribute feeding the heterogeneity objective.
+  const std::string& dissimilarity_attribute() const {
+    return dissimilarity_attribute_;
+  }
+  /// The dissimilarity value d_i for every area.
+  const std::vector<double>& dissimilarity() const {
+    return attributes_.Column(dissimilarity_column_);
+  }
+
+ private:
+  std::string name_;
+  std::vector<Polygon> polygons_;
+  ContiguityGraph graph_;
+  AttributeTable attributes_;
+  std::string dissimilarity_attribute_;
+  int dissimilarity_column_ = -1;
+};
+
+}  // namespace emp
+
+#endif  // EMP_DATA_AREA_SET_H_

@@ -1,0 +1,57 @@
+#include "data/attribute_table.h"
+
+#include <algorithm>
+
+namespace emp {
+
+Status AttributeTable::AddColumn(const std::string& name,
+                                 std::vector<double> values) {
+  if (index_.count(name) != 0) {
+    return Status::InvalidArgument("duplicate attribute column: " + name);
+  }
+  if (static_cast<int64_t>(values.size()) != num_rows_) {
+    return Status::InvalidArgument(
+        "column '" + name + "' has " + std::to_string(values.size()) +
+        " rows, table has " + std::to_string(num_rows_));
+  }
+  index_[name] = static_cast<int>(columns_.size());
+  names_.push_back(name);
+  columns_.push_back(std::move(values));
+  return Status::OK();
+}
+
+bool AttributeTable::HasColumn(const std::string& name) const {
+  return index_.count(name) != 0;
+}
+
+Result<int> AttributeTable::ColumnIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute column named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<const std::vector<double>*> AttributeTable::ColumnByName(
+    const std::string& name) const {
+  EMP_ASSIGN_OR_RETURN(int idx, ColumnIndex(name));
+  return &columns_[static_cast<size_t>(idx)];
+}
+
+Result<AttributeTable::ColumnStats> AttributeTable::Stats(
+    const std::string& name) const {
+  EMP_ASSIGN_OR_RETURN(int idx, ColumnIndex(name));
+  const auto& col = columns_[static_cast<size_t>(idx)];
+  if (col.empty()) {
+    return Status::FailedPrecondition("stats of an empty column");
+  }
+  ColumnStats s;
+  s.min = *std::min_element(col.begin(), col.end());
+  s.max = *std::max_element(col.begin(), col.end());
+  s.sum = 0.0;
+  for (double v : col) s.sum += v;
+  s.mean = s.sum / static_cast<double>(col.size());
+  return s;
+}
+
+}  // namespace emp

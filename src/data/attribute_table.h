@@ -1,0 +1,66 @@
+#ifndef EMP_DATA_ATTRIBUTE_TABLE_H_
+#define EMP_DATA_ATTRIBUTE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace emp {
+
+/// Column-major table of named numeric attributes, one row per area.
+/// Spatially extensive attributes (POP16UP, EMPLOYED, TOTALPOP, ...) and
+/// the dissimilarity attribute (HOUSEHOLDS) live here.
+class AttributeTable {
+ public:
+  AttributeTable() = default;
+  explicit AttributeTable(int64_t num_rows) : num_rows_(num_rows) {}
+
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const std::vector<std::string>& column_names() const { return names_; }
+
+  /// Adds a column; fails if the name exists or the size mismatches.
+  Status AddColumn(const std::string& name, std::vector<double> values);
+
+  /// True if a column with this name exists.
+  bool HasColumn(const std::string& name) const;
+
+  /// Column index by name.
+  Result<int> ColumnIndex(const std::string& name) const;
+
+  /// Whole column by index (bounds-checked by assert in debug builds).
+  const std::vector<double>& Column(int index) const {
+    return columns_[static_cast<size_t>(index)];
+  }
+
+  /// Whole column by name.
+  Result<const std::vector<double>*> ColumnByName(
+      const std::string& name) const;
+
+  /// Single cell.
+  double Value(int column, int64_t row) const {
+    return columns_[static_cast<size_t>(column)][static_cast<size_t>(row)];
+  }
+
+  /// Summary statistics of a column.
+  struct ColumnStats {
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    double mean = 0.0;
+  };
+  Result<ColumnStats> Stats(const std::string& name) const;
+
+ private:
+  int64_t num_rows_ = 0;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> columns_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace emp
+
+#endif  // EMP_DATA_ATTRIBUTE_TABLE_H_

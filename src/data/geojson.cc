@@ -1,0 +1,238 @@
+#include "data/geojson.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/str_util.h"
+#include "data/loader.h"
+
+namespace emp {
+
+namespace {
+
+void AppendPolygonCoords(const Polygon& poly, std::string* out) {
+  out->append("[[");
+  const auto& v = poly.vertices();
+  for (size_t i = 0; i <= v.size(); ++i) {
+    const Point& p = v[i % v.size()];  // repeat first vertex to close ring
+    if (i > 0) out->append(",");
+    out->append("[");
+    out->append(FormatDouble(p.x, 6));
+    out->append(",");
+    out->append(FormatDouble(p.y, 6));
+    out->append("]");
+  }
+  out->append("]]");
+}
+
+}  // namespace
+
+Result<std::string> ToGeoJson(const AreaSet& areas,
+                              const std::vector<int32_t>& region_of) {
+  if (!areas.has_geometry()) {
+    return Status::FailedPrecondition(
+        "ToGeoJson requires an area set with polygons");
+  }
+  if (!region_of.empty() &&
+      static_cast<int32_t>(region_of.size()) != areas.num_areas()) {
+    return Status::InvalidArgument(
+        "region assignment size != number of areas");
+  }
+  const auto& attrs = areas.attributes();
+  std::string out;
+  out.reserve(static_cast<size_t>(areas.num_areas()) * 256);
+  out.append("{\"type\":\"FeatureCollection\",\"features\":[");
+  for (int32_t i = 0; i < areas.num_areas(); ++i) {
+    if (i > 0) out.append(",");
+    out.append("{\"type\":\"Feature\",\"properties\":{\"area_id\":");
+    out.append(std::to_string(i));
+    for (int c = 0; c < attrs.num_columns(); ++c) {
+      out.append(",\"");
+      out.append(attrs.column_names()[static_cast<size_t>(c)]);
+      out.append("\":");
+      out.append(FormatDouble(attrs.Value(c, i), 6));
+    }
+    if (!region_of.empty()) {
+      out.append(",\"region_id\":");
+      out.append(std::to_string(region_of[static_cast<size_t>(i)]));
+    }
+    out.append("},\"geometry\":{\"type\":\"Polygon\",\"coordinates\":");
+    AppendPolygonCoords(areas.polygon(i), &out);
+    out.append("}}");
+  }
+  out.append("]}");
+  return out;
+}
+
+Result<AreaSet> FromGeoJson(const std::string& text,
+                            const GeoJsonImportOptions& options,
+                            std::vector<int32_t>* region_of_out) {
+  EMP_ASSIGN_OR_RETURN(json::Value doc, json::Parse(text));
+  const json::Value* type = doc.Find("type");
+  if (type == nullptr || !type->is_string() ||
+      type->AsString() != "FeatureCollection") {
+    return Status::IOError("GeoJSON root must be a FeatureCollection");
+  }
+  const json::Value* features = doc.Find("features");
+  if (features == nullptr || !features->is_array()) {
+    return Status::IOError("FeatureCollection without a features array");
+  }
+  const int64_t n = static_cast<int64_t>(features->AsArray().size());
+  if (n == 0) {
+    return Status::IOError("GeoJSON has no features");
+  }
+
+  struct ParsedFeature {
+    Polygon polygon;
+    std::vector<std::pair<std::string, double>> properties;
+    int64_t area_id = -1;
+    int32_t region_id = -1;
+  };
+  std::vector<ParsedFeature> parsed;
+  parsed.reserve(static_cast<size_t>(n));
+  bool any_area_id = false;
+
+  for (int64_t fi = 0; fi < n; ++fi) {
+    const json::Value& feature = features->AsArray()[static_cast<size_t>(fi)];
+    ParsedFeature out;
+
+    const json::Value* geometry = feature.Find("geometry");
+    if (geometry == nullptr) {
+      return Status::IOError("feature " + std::to_string(fi) +
+                             " has no geometry");
+    }
+    const json::Value* gtype = geometry->Find("type");
+    if (gtype == nullptr || !gtype->is_string() ||
+        gtype->AsString() != "Polygon") {
+      return Status::IOError("feature " + std::to_string(fi) +
+                             ": only Polygon geometries are supported");
+    }
+    const json::Value* coords = geometry->Find("coordinates");
+    if (coords == nullptr || !coords->is_array() ||
+        coords->AsArray().empty()) {
+      return Status::IOError("feature " + std::to_string(fi) +
+                             ": malformed coordinates");
+    }
+    if (coords->AsArray().size() > 1) {
+      return Status::IOError("feature " + std::to_string(fi) +
+                             ": polygons with holes are not supported");
+    }
+    std::vector<Point> ring;
+    for (const json::Value& pt : coords->AsArray()[0].AsArray()) {
+      if (!pt.is_array() || pt.AsArray().size() < 2 ||
+          !pt.AsArray()[0].is_number() || !pt.AsArray()[1].is_number()) {
+        return Status::IOError("feature " + std::to_string(fi) +
+                               ": malformed coordinate pair");
+      }
+      ring.push_back({pt.AsArray()[0].AsNumber(), pt.AsArray()[1].AsNumber()});
+    }
+    if (ring.size() >= 2 && ring.front() == ring.back()) {
+      ring.pop_back();  // GeoJSON repeats the closing vertex.
+    }
+    if (ring.size() < 3) {
+      return Status::IOError("feature " + std::to_string(fi) +
+                             ": ring has fewer than 3 vertices");
+    }
+    out.polygon = Polygon(std::move(ring));
+
+    const json::Value* properties = feature.Find("properties");
+    if (properties != nullptr && properties->is_object()) {
+      for (const auto& [key, value] : properties->AsObject()) {
+        if (!value.is_number()) continue;  // skip non-numeric props
+        if (key == "area_id") {
+          out.area_id = static_cast<int64_t>(value.AsNumber());
+          any_area_id = true;
+        } else if (key == "region_id") {
+          out.region_id = static_cast<int32_t>(value.AsNumber());
+        } else {
+          out.properties.emplace_back(key, value.AsNumber());
+        }
+      }
+    }
+    parsed.push_back(std::move(out));
+  }
+
+  // Order by area_id when provided (must be the full 0..n-1 range).
+  if (any_area_id) {
+    std::vector<ParsedFeature> ordered(parsed.size());
+    std::vector<char> seen(parsed.size(), 0);
+    for (auto& f : parsed) {
+      if (f.area_id < 0 || f.area_id >= n ||
+          seen[static_cast<size_t>(f.area_id)]) {
+        return Status::IOError("area_id properties must cover 0..n-1 "
+                               "without duplicates");
+      }
+      seen[static_cast<size_t>(f.area_id)] = 1;
+      ordered[static_cast<size_t>(f.area_id)] = std::move(f);
+    }
+    parsed = std::move(ordered);
+  }
+
+  // Attribute columns: union of numeric property keys, in first-seen
+  // order; missing values error (all features must agree).
+  std::vector<std::string> column_names;
+  for (const auto& f : parsed) {
+    for (const auto& [key, value] : f.properties) {
+      (void)value;
+      if (std::find(column_names.begin(), column_names.end(), key) ==
+          column_names.end()) {
+        column_names.push_back(key);
+      }
+    }
+  }
+  if (column_names.empty()) {
+    return Status::IOError(
+        "GeoJSON features carry no numeric attribute properties");
+  }
+  AttributeTable table(n);
+  for (const std::string& name : column_names) {
+    std::vector<double> values(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      const auto& props = parsed[static_cast<size_t>(i)].properties;
+      auto it = std::find_if(props.begin(), props.end(),
+                             [&](const auto& kv) { return kv.first == name; });
+      if (it == props.end()) {
+        return Status::IOError("feature " + std::to_string(i) +
+                               " is missing property '" + name + "'");
+      }
+      values[static_cast<size_t>(i)] = it->second;
+    }
+    EMP_RETURN_IF_ERROR(table.AddColumn(name, std::move(values)));
+  }
+
+  std::vector<Polygon> polygons;
+  polygons.reserve(parsed.size());
+  for (auto& f : parsed) polygons.push_back(std::move(f.polygon));
+  LoaderOptions loader_options;
+  loader_options.min_shared_border = options.min_shared_border;
+  loader_options.queen = options.queen;
+  EMP_ASSIGN_OR_RETURN(ContiguityGraph graph,
+                       DeriveContiguity(polygons, loader_options));
+
+  if (region_of_out != nullptr) {
+    region_of_out->resize(parsed.size());
+    for (size_t i = 0; i < parsed.size(); ++i) {
+      (*region_of_out)[i] = parsed[i].region_id;
+    }
+  }
+
+  std::string diss = options.dissimilarity_attribute.empty()
+                         ? column_names.front()
+                         : options.dissimilarity_attribute;
+  return AreaSet::Create(options.name, std::move(polygons), std::move(graph),
+                         std::move(table), diss);
+}
+
+std::string AssignmentToCsv(const std::vector<int32_t>& region_of) {
+  std::string out = "area_id,region_id\n";
+  for (size_t i = 0; i < region_of.size(); ++i) {
+    out += std::to_string(i);
+    out += ',';
+    out += std::to_string(region_of[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace emp

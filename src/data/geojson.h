@@ -1,0 +1,49 @@
+#ifndef EMP_DATA_GEOJSON_H_
+#define EMP_DATA_GEOJSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/area_set.h"
+
+namespace emp {
+
+/// Serializes an area set as a GeoJSON FeatureCollection. Each feature
+/// carries the area id, all attribute columns, and — when `region_of` is
+/// non-empty — the region assignment (`-1` = unassigned), so the output can
+/// be dropped into QGIS/geojson.io to inspect a regionalization visually.
+/// `region_of`, when provided, must have one entry per area.
+Result<std::string> ToGeoJson(const AreaSet& areas,
+                              const std::vector<int32_t>& region_of = {});
+
+/// Serializes a region assignment as CSV with columns `area_id,region_id`.
+std::string AssignmentToCsv(const std::vector<int32_t>& region_of);
+
+/// Options for the GeoJSON importer.
+struct GeoJsonImportOptions {
+  /// Dissimilarity attribute name; empty = the first numeric property.
+  std::string dissimilarity_attribute;
+  std::string name = "geojson";
+  /// Contiguity derivation (shared with the CSV loader).
+  double min_shared_border = -1.0;
+  bool queen = false;
+};
+
+/// Parses a GeoJSON FeatureCollection of Polygon features into an AreaSet:
+/// the first (exterior) ring of each polygon becomes the area geometry,
+/// every numeric property becomes an attribute column, and contiguity is
+/// re-derived geometrically. Features with an `area_id` property are
+/// ordered by it (must form 0..n-1); `region_id` properties, when present,
+/// are returned through `region_of_out` (pass nullptr to ignore), so a
+/// ToGeoJson export round-trips including the solution. MultiPolygon
+/// features and holes are rejected (the synthetic substrate never emits
+/// them).
+Result<AreaSet> FromGeoJson(const std::string& text,
+                            const GeoJsonImportOptions& options = {},
+                            std::vector<int32_t>* region_of_out = nullptr);
+
+}  // namespace emp
+
+#endif  // EMP_DATA_GEOJSON_H_

@@ -1,0 +1,82 @@
+#ifndef EMP_DATA_SYNTHETIC_CENSUS_SYNTHESIZER_H_
+#define EMP_DATA_SYNTHETIC_CENSUS_SYNTHESIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/area_set.h"
+
+namespace emp {
+namespace synthetic {
+
+/// Marginal distribution an attribute should follow.
+enum class Marginal {
+  kNormal,     // params: a = mean, b = stddev
+  kLogNormal,  // params: a = log-mean, b = log-stddev
+  kUniform,    // params: a = lo, b = hi
+};
+
+/// Specification of one synthesized attribute column.
+///
+/// Values are produced by (1) drawing a spatially correlated latent score
+/// per area — a blend of a smooth noise field sampled at the area centroid
+/// and i.i.d. noise, weighted by `spatial_weight` — then (2) rank-mapping
+/// the scores through the requested marginal's quantile function, so the
+/// output matches the marginal *exactly* while neighboring areas remain
+/// correlated, as in real census data.
+struct AttributeSpec {
+  std::string name;
+  Marginal marginal = Marginal::kNormal;
+  double param_a = 0.0;
+  double param_b = 1.0;
+  /// Share of the latent score taken from the smooth spatial field
+  /// ([0, 1]; 0 = i.i.d., 1 = purely spatial).
+  double spatial_weight = 0.6;
+  /// Values are clamped into [clamp_min, clamp_max] after generation.
+  double clamp_min = 0.0;
+  double clamp_max = 1e18;
+  /// If non-empty, the column is instead derived from an earlier column:
+  /// value = derive_scale * other + N(0, derive_noise), clamped. Used for
+  /// HOUSEHOLDS ~ TOTALPOP / household-size.
+  std::string derive_from;
+  double derive_scale = 1.0;
+  double derive_noise = 0.0;
+};
+
+/// Full synthetic-map specification.
+struct MapSpec {
+  std::string name = "synthetic";
+  /// Number of areas (census tracts).
+  int32_t num_areas = 1000;
+  /// RNG seed; every output is a pure function of the spec.
+  uint64_t seed = 1;
+  /// Number of disconnected "islands" (>= 1). Each island is tessellated in
+  /// its own frame so the contiguity graph has exactly this many connected
+  /// components (paper §I: FaCT supports multiple components).
+  int32_t num_components = 1;
+  /// Site jitter as a fraction of grid pitch in (0, 0.5]; higher = more
+  /// irregular, tract-like cells.
+  double jitter = 0.45;
+  std::vector<AttributeSpec> attributes;
+  std::string dissimilarity_attribute;
+};
+
+/// The paper's default attribute suite (Table II semantics):
+///   POP16UP    ~ Normal(3200, 1100)   — MIN/MAX threshold band 2k..5k
+///   EMPLOYED   ~ LogNormal(ln 1800, 0.36) — positively skewed, max ≈ 6.1k
+///                                       (Fig. 8's distribution)
+///   TOTALPOP   ~ Normal(4200, 1500)   — SUM threshold band 1k..40k
+///   HOUSEHOLDS = TOTALPOP / 2.8 + noise — dissimilarity attribute
+std::vector<AttributeSpec> DefaultCensusAttributes();
+
+/// Synthesizes a complete area set (polygons + contiguity graph +
+/// attributes) from a spec. Fails on invalid specs (num_areas < 1,
+/// num_components < 1 or > num_areas, unknown derive_from, ...).
+Result<AreaSet> SynthesizeMap(const MapSpec& spec);
+
+}  // namespace synthetic
+}  // namespace emp
+
+#endif  // EMP_DATA_SYNTHETIC_CENSUS_SYNTHESIZER_H_

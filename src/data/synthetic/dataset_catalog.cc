@@ -1,0 +1,64 @@
+#include "data/synthetic/dataset_catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "data/synthetic/census_synthesizer.h"
+
+namespace emp {
+namespace synthetic {
+
+const std::vector<DatasetInfo>& DatasetCatalog() {
+  // Area counts are the paper's exact Table I / §VII-A numbers; the state
+  // lists document what the originals covered.
+  static const std::vector<DatasetInfo>* kCatalog =
+      new std::vector<DatasetInfo>{
+          {"tiny", 120, "test-size map (not in the paper)"},
+          {"small", 400, "test-size map (not in the paper)"},
+          {"1k", 1012, "Los Angeles City census tracts"},
+          {"2k", 2344, "Los Angeles County census tracts (paper default)"},
+          {"4k", 3947, "Southern California (SCAG)"},
+          {"8k", 8049, "State of California"},
+          {"10k", 10255, "CA, NV, AZ"},
+          {"20k", 20570, "10k + OR WA ID UT MT WY CO NM OK NE SD ND"},
+          {"30k", 29887, "20k + TX LA AR MO IA"},
+          {"40k", 40214, "30k + MN MS AL TN KY IL WI"},
+          {"50k", 49943, "40k + GA IN MI OH WV"},
+      };
+  return *kCatalog;
+}
+
+Result<DatasetInfo> FindDataset(const std::string& name) {
+  for (const DatasetInfo& info : DatasetCatalog()) {
+    if (info.name == name) return info;
+  }
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+Result<AreaSet> MakeCatalogDataset(const std::string& name,
+                                   double size_scale) {
+  EMP_ASSIGN_OR_RETURN(DatasetInfo info, FindDataset(name));
+  if (size_scale <= 0.0 || size_scale > 1.0) {
+    return Status::InvalidArgument("size_scale must be in (0, 1]");
+  }
+  int32_t n = std::max<int32_t>(
+      50, static_cast<int32_t>(std::lround(info.num_areas * size_scale)));
+  if (size_scale == 1.0) n = info.num_areas;
+  return MakeDefaultDataset(name, n, StableHash64(name));
+}
+
+Result<AreaSet> MakeDefaultDataset(const std::string& name, int32_t num_areas,
+                                   uint64_t seed, int32_t num_components) {
+  MapSpec spec;
+  spec.name = name;
+  spec.num_areas = num_areas;
+  spec.seed = seed;
+  spec.num_components = num_components;
+  spec.attributes = DefaultCensusAttributes();
+  spec.dissimilarity_attribute = "HOUSEHOLDS";
+  return SynthesizeMap(spec);
+}
+
+}  // namespace synthetic
+}  // namespace emp

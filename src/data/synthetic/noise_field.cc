@@ -1,0 +1,103 @@
+#include "data/synthetic/noise_field.h"
+
+#include <cmath>
+
+namespace emp {
+namespace synthetic {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  // SplitMix64 finalizer — good avalanche for lattice hashing.
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double SmoothStep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+NoiseField::NoiseField(uint64_t seed, double frequency, int octaves)
+    : seed_(seed), frequency_(frequency), octaves_(octaves < 1 ? 1 : octaves) {}
+
+double NoiseField::LatticeValue(int64_t ix, int64_t iy, uint64_t salt) const {
+  uint64_t h = Mix64(seed_ ^ salt ^ Mix64(static_cast<uint64_t>(ix) * 0x9E3779B97F4A7C15ULL ^
+                                          static_cast<uint64_t>(iy)));
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+}
+
+double NoiseField::SampleOctave(double x, double y, uint64_t salt) const {
+  double fx = std::floor(x);
+  double fy = std::floor(y);
+  int64_t ix = static_cast<int64_t>(fx);
+  int64_t iy = static_cast<int64_t>(fy);
+  double tx = SmoothStep(x - fx);
+  double ty = SmoothStep(y - fy);
+  double v00 = LatticeValue(ix, iy, salt);
+  double v10 = LatticeValue(ix + 1, iy, salt);
+  double v01 = LatticeValue(ix, iy + 1, salt);
+  double v11 = LatticeValue(ix + 1, iy + 1, salt);
+  double a = v00 + (v10 - v00) * tx;
+  double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * ty;
+}
+
+double NoiseField::Sample(double x, double y) const {
+  double total = 0.0;
+  double amplitude = 1.0;
+  double amplitude_sum = 0.0;
+  double freq = frequency_;
+  for (int o = 0; o < octaves_; ++o) {
+    total += amplitude *
+             SampleOctave(x * freq, y * freq, static_cast<uint64_t>(o) + 1);
+    amplitude_sum += amplitude;
+    amplitude *= 0.5;
+    freq *= 2.0;
+  }
+  return total / amplitude_sum;
+}
+
+double InverseNormalCdf(double p) {
+  // Peter Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+
+  if (p <= 0.0) return -1e308;
+  if (p >= 1.0) return 1e308;
+
+  if (p < p_low) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= p_high) {
+    double q = p - 0.5;
+    double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+            1.0);
+  }
+  double q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace synthetic
+}  // namespace emp

@@ -1,0 +1,42 @@
+#ifndef EMP_DATA_SYNTHETIC_NOISE_FIELD_H_
+#define EMP_DATA_SYNTHETIC_NOISE_FIELD_H_
+
+#include <cstdint>
+
+namespace emp {
+namespace synthetic {
+
+/// Deterministic fractal value-noise field over the plane, returning values
+/// in [0, 1]. Census attributes are spatially autocorrelated (rich tracts
+/// neighbor rich tracts); sampling this field at area centroids provides
+/// that correlation for the synthetic attribute generator. Hash-based, so
+/// evaluation needs no precomputed lattice and is thread-safe.
+class NoiseField {
+ public:
+  /// `frequency` is the reciprocal correlation length in map units; higher
+  /// means faster spatial variation. `octaves` adds finer detail layers.
+  NoiseField(uint64_t seed, double frequency, int octaves = 3);
+
+  /// Field value at (x, y), in [0, 1].
+  double Sample(double x, double y) const;
+
+ private:
+  /// Pseudo-random value in [0, 1] for the lattice point (ix, iy).
+  double LatticeValue(int64_t ix, int64_t iy, uint64_t salt) const;
+  /// Single-octave smooth interpolation of lattice values.
+  double SampleOctave(double x, double y, uint64_t salt) const;
+
+  uint64_t seed_;
+  double frequency_;
+  int octaves_;
+};
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.2e-9). Used to map uniform ranks onto target attribute
+/// marginals. `p` must lie in (0, 1).
+double InverseNormalCdf(double p);
+
+}  // namespace synthetic
+}  // namespace emp
+
+#endif  // EMP_DATA_SYNTHETIC_NOISE_FIELD_H_

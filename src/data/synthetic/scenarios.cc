@@ -1,0 +1,104 @@
+#include "data/synthetic/scenarios.h"
+
+#include <cmath>
+
+#include "data/synthetic/census_synthesizer.h"
+
+namespace emp {
+namespace synthetic {
+
+Result<AreaSet> MakeCovidCity(int32_t num_areas, uint64_t seed) {
+  MapSpec spec;
+  spec.name = "covid-city";
+  spec.num_areas = num_areas;
+  spec.seed = seed;
+  spec.attributes = DefaultCensusAttributes();
+
+  AttributeSpec income;
+  income.name = "INCOME";
+  income.marginal = Marginal::kLogNormal;
+  income.param_a = std::log(3800.0);  // median monthly income
+  income.param_b = 0.35;
+  income.clamp_min = 800.0;
+  income.spatial_weight = 0.75;  // income clusters strongly in cities
+  spec.attributes.push_back(income);
+
+  AttributeSpec transit;
+  transit.name = "TRANSIT";
+  transit.marginal = Marginal::kLogNormal;
+  transit.param_a = std::log(900.0);  // daily riders per tract
+  transit.param_b = 0.8;
+  transit.clamp_min = 0.0;
+  spec.attributes.push_back(transit);
+
+  spec.dissimilarity_attribute = "INCOME";
+  return SynthesizeMap(spec);
+}
+
+Result<AreaSet> MakeGrowthState(int32_t num_areas, uint64_t seed) {
+  MapSpec spec;
+  spec.name = "growth-state";
+  spec.num_areas = num_areas;
+  spec.seed = seed;
+  spec.attributes = DefaultCensusAttributes();
+
+  AttributeSpec dropout;
+  dropout.name = "DROPOUT";  // percent
+  dropout.marginal = Marginal::kNormal;
+  dropout.param_a = 11.0;
+  dropout.param_b = 5.0;
+  dropout.clamp_min = 0.0;
+  dropout.clamp_max = 40.0;
+  spec.attributes.push_back(dropout);
+
+  AttributeSpec age;
+  age.name = "AVGAGE";
+  age.marginal = Marginal::kNormal;
+  age.param_a = 37.0;
+  age.param_b = 6.0;
+  age.clamp_min = 18.0;
+  age.clamp_max = 70.0;
+  spec.attributes.push_back(age);
+
+  AttributeSpec unemployed;
+  unemployed.name = "UNEMPLOYED";
+  unemployed.marginal = Marginal::kLogNormal;
+  unemployed.param_a = std::log(220.0);
+  unemployed.param_b = 0.6;
+  unemployed.clamp_min = 0.0;
+  spec.attributes.push_back(unemployed);
+
+  spec.dissimilarity_attribute = "HOUSEHOLDS";
+  return SynthesizeMap(spec);
+}
+
+Result<AreaSet> MakePatrolCity(int32_t num_areas, uint64_t seed) {
+  MapSpec spec;
+  spec.name = "patrol-city";
+  spec.num_areas = num_areas;
+  spec.seed = seed;
+
+  AttributeSpec calls;
+  calls.name = "CALLS";  // annual emergency calls per beat
+  calls.marginal = Marginal::kLogNormal;
+  calls.param_a = std::log(120.0);
+  calls.param_b = 0.55;
+  calls.clamp_min = 5.0;
+  calls.spatial_weight = 0.7;  // crime clusters spatially
+  spec.attributes.push_back(calls);
+
+  AttributeSpec response;
+  response.name = "RESPONSE_MIN";  // average response time, minutes
+  response.marginal = Marginal::kNormal;
+  response.param_a = 8.0;
+  response.param_b = 2.5;
+  response.clamp_min = 2.0;
+  response.clamp_max = 25.0;
+  spec.attributes.push_back(response);
+
+  spec.dissimilarity_attribute = "RESPONSE_MIN";
+  return SynthesizeMap(spec);
+}
+
+}  // namespace synthetic
+}  // namespace emp

@@ -1,0 +1,42 @@
+#ifndef EMP_DATA_SYNTHETIC_SCENARIOS_H_
+#define EMP_DATA_SYNTHETIC_SCENARIOS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/area_set.h"
+
+namespace emp {
+namespace synthetic {
+
+/// Pre-packaged synthetic maps for the paper's three motivating
+/// applications (§I). Each returns a fully attributed AreaSet whose
+/// columns line up with the corresponding example query; the example
+/// binaries and tests share these builders.
+
+/// Urban map for COVID policy regions: census defaults plus
+///   INCOME  — lognormal monthly income, strongly spatially clustered
+///   TRANSIT — lognormal daily transit riders, heavy tail
+/// Dissimilarity: INCOME.
+Result<AreaSet> MakeCovidCity(int32_t num_areas = 1200,
+                              uint64_t seed = 20200301);
+
+/// State-level map for population-growth studies: census defaults plus
+///   DROPOUT    — school drop-out percentage, clamped normal
+///   AVGAGE     — average age (spatially intensive stand-in attribute)
+///   UNEMPLOYED — lognormal unemployment counts
+/// Dissimilarity: HOUSEHOLDS.
+Result<AreaSet> MakeGrowthState(int32_t num_areas = 1500,
+                                uint64_t seed = 1965);
+
+/// Police-beat map for patrol districting:
+///   CALLS        — annual emergency calls per beat, clustered lognormal
+///   RESPONSE_MIN — average response time in minutes
+/// Dissimilarity: RESPONSE_MIN.
+Result<AreaSet> MakePatrolCity(int32_t num_areas = 900,
+                               uint64_t seed = 911);
+
+}  // namespace synthetic
+}  // namespace emp
+
+#endif  // EMP_DATA_SYNTHETIC_SCENARIOS_H_

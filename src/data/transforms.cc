@@ -1,0 +1,115 @@
+#include "data/transforms.h"
+
+#include <cmath>
+
+namespace emp {
+
+namespace {
+
+Result<std::pair<double, double>> MeanStddev(
+    const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("transform of an empty column");
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  return std::make_pair(mean, std::sqrt(var));
+}
+
+}  // namespace
+
+Result<std::vector<double>> ZScore(const std::vector<double>& values) {
+  EMP_ASSIGN_OR_RETURN(auto ms, MeanStddev(values));
+  auto [mean, stddev] = ms;
+  if (stddev <= 0.0) {
+    return Status::InvalidArgument("z-score of a constant column");
+  }
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = (values[i] - mean) / stddev;
+  }
+  return out;
+}
+
+Result<std::vector<double>> MinMaxScale(const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("transform of an empty column");
+  }
+  double lo = values[0];
+  double hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) {
+    return Status::InvalidArgument("min-max scale of a constant column");
+  }
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out[i] = (values[i] - lo) / (hi - lo);
+  }
+  return out;
+}
+
+Result<std::vector<double>> LogTransform(const std::vector<double>& values,
+                                         double offset) {
+  std::vector<double> out(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    double v = values[i] + offset;
+    if (v <= 0.0) {
+      return Status::InvalidArgument(
+          "log transform of a non-positive value at row " +
+          std::to_string(i));
+    }
+    out[i] = std::log(v);
+  }
+  return out;
+}
+
+Result<AreaSet> WithCompositeAttribute(const AreaSet& areas,
+                                       const std::string& name,
+                                       const std::vector<CompositeTerm>& terms,
+                                       bool use_as_dissimilarity) {
+  if (terms.empty()) {
+    return Status::InvalidArgument("composite attribute needs >= 1 term");
+  }
+  if (areas.attributes().HasColumn(name)) {
+    return Status::InvalidArgument("column '" + name + "' already exists");
+  }
+  const size_t n = static_cast<size_t>(areas.num_areas());
+  std::vector<double> composite(n, 0.0);
+  for (const CompositeTerm& term : terms) {
+    EMP_ASSIGN_OR_RETURN(const std::vector<double>* column,
+                         areas.attributes().ColumnByName(term.attribute));
+    std::vector<double> values = *column;
+    if (term.standardize) {
+      EMP_ASSIGN_OR_RETURN(values, ZScore(values));
+    }
+    for (size_t i = 0; i < n; ++i) {
+      composite[i] += term.weight * values[i];
+    }
+  }
+
+  // Rebuild the attribute table with the extra column.
+  AttributeTable table(areas.num_areas());
+  for (int c = 0; c < areas.attributes().num_columns(); ++c) {
+    EMP_RETURN_IF_ERROR(table.AddColumn(
+        areas.attributes().column_names()[static_cast<size_t>(c)],
+        areas.attributes().Column(c)));
+  }
+  EMP_RETURN_IF_ERROR(table.AddColumn(name, std::move(composite)));
+
+  std::string diss =
+      use_as_dissimilarity ? name : areas.dissimilarity_attribute();
+  // Graph and polygons are copied; AreaSet owns value semantics.
+  std::vector<Polygon> polygons = areas.polygons();
+  ContiguityGraph graph = areas.graph();
+  return AreaSet::Create(areas.name(), std::move(polygons), std::move(graph),
+                         std::move(table), diss);
+}
+
+}  // namespace emp

@@ -1,0 +1,47 @@
+#ifndef EMP_DATA_TRANSFORMS_H_
+#define EMP_DATA_TRANSFORMS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/area_set.h"
+
+namespace emp {
+
+/// Column transformations used to prepare attributes for constraints and
+/// dissimilarity objectives (social-science practice: normalize incomparable
+/// attributes before combining them).
+
+/// z-score standardization: (v − mean) / stddev. Fails on constant columns.
+Result<std::vector<double>> ZScore(const std::vector<double>& values);
+
+/// Min-max scaling into [0, 1]. Fails on constant columns.
+Result<std::vector<double>> MinMaxScale(const std::vector<double>& values);
+
+/// Natural log of (v + offset); fails when any v + offset <= 0.
+Result<std::vector<double>> LogTransform(const std::vector<double>& values,
+                                         double offset = 0.0);
+
+/// One term of a composite attribute.
+struct CompositeTerm {
+  std::string attribute;
+  double weight = 1.0;
+  /// Standardize the column (z-score) before weighting, so attributes on
+  /// different scales contribute comparably.
+  bool standardize = true;
+};
+
+/// Builds a new AreaSet that carries every column of `areas` plus a
+/// composite column `name` = Σ weight_i · (standardized) attribute_i, and
+/// optionally makes it the dissimilarity attribute. This is how a
+/// multi-criteria heterogeneity objective (paper §III: "balancing multiple
+/// criteria") is expressed without touching the solver.
+Result<AreaSet> WithCompositeAttribute(const AreaSet& areas,
+                                       const std::string& name,
+                                       const std::vector<CompositeTerm>& terms,
+                                       bool use_as_dissimilarity = true);
+
+}  // namespace emp
+
+#endif  // EMP_DATA_TRANSFORMS_H_

@@ -1,0 +1,52 @@
+#ifndef EMP_GEOMETRY_BOX_H_
+#define EMP_GEOMETRY_BOX_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "geometry/point.h"
+
+namespace emp {
+
+/// Axis-aligned bounding box. Default-constructed boxes are empty (inverted
+/// bounds) and grow via Extend().
+struct Box {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+
+  void Extend(Point p) {
+    min_x = std::min(min_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+
+  void Extend(const Box& other) {
+    if (other.empty()) return;
+    Extend(Point{other.min_x, other.min_y});
+    Extend(Point{other.max_x, other.max_y});
+  }
+
+  bool Contains(Point p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Intersects(const Box& other) const {
+    return !(other.min_x > max_x || other.max_x < min_x ||
+             other.min_y > max_y || other.max_y < min_y);
+  }
+
+  double Width() const { return empty() ? 0.0 : max_x - min_x; }
+  double Height() const { return empty() ? 0.0 : max_y - min_y; }
+  Point Center() const {
+    return {(min_x + max_x) * 0.5, (min_y + max_y) * 0.5};
+  }
+};
+
+}  // namespace emp
+
+#endif  // EMP_GEOMETRY_BOX_H_

@@ -1,0 +1,85 @@
+#include "geometry/clip.h"
+
+#include <cmath>
+
+namespace emp {
+
+HalfPlane PerpendicularBisector(Point site, Point other, int64_t tag) {
+  // Points p closer to `site` than `other` satisfy
+  //   |p - site|^2 <= |p - other|^2
+  //   2 (other - site) . p <= |other|^2 - |site|^2
+  Point normal = (other - site) * 2.0;
+  double offset = Dot(other, other) - Dot(site, site);
+  return HalfPlane{normal, offset, tag};
+}
+
+TaggedConvexPolygon MakeTagged(const Polygon& convex_ccw) {
+  TaggedConvexPolygon out;
+  out.vertices = convex_ccw.vertices();
+  out.edge_tags.assign(out.vertices.size(), -1);
+  return out;
+}
+
+TaggedConvexPolygon ClipConvex(const TaggedConvexPolygon& poly,
+                               const HalfPlane& hp) {
+  TaggedConvexPolygon out;
+  const size_t n = poly.vertices.size();
+  if (n < 3) return out;
+
+  out.vertices.reserve(n + 1);
+  out.edge_tags.reserve(n + 1);
+
+  for (size_t i = 0; i < n; ++i) {
+    const Point& cur = poly.vertices[i];
+    const Point& nxt = poly.vertices[(i + 1) % n];
+    const int64_t edge_tag = poly.edge_tags[i];
+    const bool cur_in = hp.Inside(cur);
+    const bool nxt_in = hp.Inside(nxt);
+
+    auto intersect = [&]() -> Point {
+      // Solve Dot(normal, cur + t*(nxt-cur)) == offset for t.
+      double denom = Dot(hp.normal, nxt - cur);
+      double t = (hp.offset - Dot(hp.normal, cur)) / denom;
+      if (t < 0.0) t = 0.0;
+      if (t > 1.0) t = 1.0;
+      return cur + (nxt - cur) * t;
+    };
+
+    if (cur_in && nxt_in) {
+      // Edge fully inside: keep it.
+      out.vertices.push_back(cur);
+      out.edge_tags.push_back(edge_tag);
+    } else if (cur_in && !nxt_in) {
+      // Leaving the half plane: keep cur, cut the edge, then the cut line
+      // runs until we re-enter — tagged with hp.tag.
+      out.vertices.push_back(cur);
+      out.edge_tags.push_back(edge_tag);
+      out.vertices.push_back(intersect());
+      out.edge_tags.push_back(hp.tag);
+    } else if (!cur_in && nxt_in) {
+      // Re-entering: start at the intersection; the edge from there to nxt
+      // keeps the original tag.
+      out.vertices.push_back(intersect());
+      out.edge_tags.push_back(edge_tag);
+    }
+    // Both outside: drop entirely.
+  }
+
+  if (out.vertices.size() < 3) {
+    out.vertices.clear();
+    out.edge_tags.clear();
+  }
+  return out;
+}
+
+TaggedConvexPolygon ClipConvex(const TaggedConvexPolygon& poly,
+                               const std::vector<HalfPlane>& planes) {
+  TaggedConvexPolygon cur = poly;
+  for (const HalfPlane& hp : planes) {
+    cur = ClipConvex(cur, hp);
+    if (cur.empty()) break;
+  }
+  return cur;
+}
+
+}  // namespace emp

@@ -1,0 +1,56 @@
+#ifndef EMP_GEOMETRY_CLIP_H_
+#define EMP_GEOMETRY_CLIP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace emp {
+
+/// A half plane {p : Dot(normal, p) <= offset}, i.e. the "inside" is where
+/// the signed distance along `normal` does not exceed `offset`.
+struct HalfPlane {
+  Point normal;    // Need not be unit length.
+  double offset = 0.0;
+  /// Opaque tag identifying who contributed this half plane (Voronoi uses
+  /// the neighboring site index); propagated onto clipped edges.
+  int64_t tag = -1;
+
+  bool Inside(Point p, double eps = 1e-12) const {
+    return Dot(normal, p) <= offset + eps;
+  }
+};
+
+/// Half plane of points at least as close to `site` as to `other`
+/// (the Voronoi dominance region of `site` over `other`), tagged with `tag`.
+HalfPlane PerpendicularBisector(Point site, Point other, int64_t tag);
+
+/// A convex polygon whose edges carry the tag of the half plane that cut
+/// them (-1 for edges inherited from the initial polygon). `edge_tags[i]`
+/// labels the edge from vertex i to vertex i+1.
+struct TaggedConvexPolygon {
+  std::vector<Point> vertices;
+  std::vector<int64_t> edge_tags;
+
+  Polygon ToPolygon() const { return Polygon(vertices); }
+  bool empty() const { return vertices.size() < 3; }
+};
+
+/// Builds a tagged polygon from an untagged convex CCW polygon; all edges
+/// are tagged -1 (boundary).
+TaggedConvexPolygon MakeTagged(const Polygon& convex_ccw);
+
+/// Clips a convex polygon against one half plane (Sutherland–Hodgman step).
+/// New edges created along the cut line carry `hp.tag`. The input must be
+/// counter-clockwise; the result remains counter-clockwise.
+TaggedConvexPolygon ClipConvex(const TaggedConvexPolygon& poly,
+                               const HalfPlane& hp);
+
+/// Clips against a sequence of half planes, short-circuiting when empty.
+TaggedConvexPolygon ClipConvex(const TaggedConvexPolygon& poly,
+                               const std::vector<HalfPlane>& planes);
+
+}  // namespace emp
+
+#endif  // EMP_GEOMETRY_CLIP_H_

@@ -1,0 +1,54 @@
+#ifndef EMP_GEOMETRY_POINT_H_
+#define EMP_GEOMETRY_POINT_H_
+
+#include <cmath>
+
+namespace emp {
+
+/// A 2-D point / vector in the map plane. Coordinates are arbitrary planar
+/// units (the synthetic generator uses a unit-per-tract-ish scale).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+  friend Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+  friend Point operator*(Point a, double k) { return {a.x * k, a.y * k}; }
+  friend Point operator*(double k, Point a) { return a * k; }
+  friend bool operator==(Point a, Point b) { return a.x == b.x && a.y == b.y; }
+};
+
+/// Dot product.
+inline double Dot(Point a, Point b) { return a.x * b.x + a.y * b.y; }
+
+/// 2-D cross product (z-component of the 3-D cross product).
+inline double Cross(Point a, Point b) { return a.x * b.y - a.y * b.x; }
+
+/// Squared Euclidean distance — cheaper than Distance for comparisons.
+inline double DistanceSquared(Point a, Point b) {
+  Point d = a - b;
+  return Dot(d, d);
+}
+
+/// Euclidean distance.
+inline double Distance(Point a, Point b) {
+  return std::sqrt(DistanceSquared(a, b));
+}
+
+/// Euclidean norm of a vector.
+inline double Norm(Point a) { return std::sqrt(Dot(a, a)); }
+
+/// Midpoint of the segment ab.
+inline Point Midpoint(Point a, Point b) {
+  return {(a.x + b.x) * 0.5, (a.y + b.y) * 0.5};
+}
+
+/// Orientation of the ordered triple (a, b, c): > 0 counter-clockwise,
+/// < 0 clockwise, 0 collinear.
+inline double Orientation(Point a, Point b, Point c) {
+  return Cross(b - a, c - a);
+}
+
+}  // namespace emp
+
+#endif  // EMP_GEOMETRY_POINT_H_

@@ -1,0 +1,221 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emp {
+
+double Polygon::SignedArea() const {
+  if (vertices_.size() < 3) return 0.0;
+  double twice = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    twice += Cross(a, b);
+  }
+  return twice * 0.5;
+}
+
+double Polygon::Area() const { return std::fabs(SignedArea()); }
+
+double Polygon::Perimeter() const {
+  if (vertices_.size() < 2) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    total += Distance(vertices_[i], vertices_[(i + 1) % vertices_.size()]);
+  }
+  return total;
+}
+
+Point Polygon::Centroid() const {
+  if (vertices_.empty()) return {0.0, 0.0};
+  double twice_area = 0.0;
+  double cx = 0.0;
+  double cy = 0.0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    double w = Cross(a, b);
+    twice_area += w;
+    cx += (a.x + b.x) * w;
+    cy += (a.y + b.y) * w;
+  }
+  if (std::fabs(twice_area) < 1e-12) {
+    // Degenerate: fall back to vertex mean.
+    Point mean{0.0, 0.0};
+    for (const Point& v : vertices_) mean = mean + v;
+    return mean * (1.0 / static_cast<double>(vertices_.size()));
+  }
+  double scale = 1.0 / (3.0 * twice_area);
+  return {cx * scale, cy * scale};
+}
+
+Box Polygon::BoundingBox() const {
+  Box box;
+  for (const Point& v : vertices_) box.Extend(v);
+  return box;
+}
+
+bool Polygon::Contains(Point p) const {
+  if (vertices_.size() < 3) return false;
+  bool inside = false;
+  for (size_t i = 0, j = vertices_.size() - 1; i < vertices_.size(); j = i++) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[j];
+    bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (crosses) {
+      double x_at = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+void Polygon::MakeCounterClockwise() {
+  if (SignedArea() < 0.0) {
+    std::reverse(vertices_.begin(), vertices_.end());
+  }
+}
+
+bool Polygon::IsConvex() const {
+  if (vertices_.size() < 4) return true;
+  int sign = 0;
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    const Point& a = vertices_[i];
+    const Point& b = vertices_[(i + 1) % vertices_.size()];
+    const Point& c = vertices_[(i + 2) % vertices_.size()];
+    double turn = Orientation(a, b, c);
+    if (std::fabs(turn) < 1e-12) continue;
+    int s = turn > 0 ? 1 : -1;
+    if (sign == 0) {
+      sign = s;
+    } else if (s != sign) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SegmentsOverlap(Point a1, Point a2, Point b1, Point b2,
+                     double min_overlap, double eps) {
+  Point da = a2 - a1;
+  double len_a = Norm(da);
+  if (len_a < eps) return false;
+  Point dir = da * (1.0 / len_a);
+
+  // b1 and b2 must lie on the (infinite) line through a1-a2.
+  if (std::fabs(Cross(dir, b1 - a1)) > eps ||
+      std::fabs(Cross(dir, b2 - a1)) > eps) {
+    return false;
+  }
+
+  // Project everything onto dir; overlap is an interval intersection.
+  double t_b1 = Dot(b1 - a1, dir);
+  double t_b2 = Dot(b2 - a1, dir);
+  double lo = std::max(0.0, std::min(t_b1, t_b2));
+  double hi = std::min(len_a, std::max(t_b1, t_b2));
+  return hi - lo >= min_overlap;
+}
+
+namespace {
+
+/// Perpendicular distance from p to the segment [a, b].
+double SegmentDistance(Point p, Point a, Point b) {
+  Point ab = b - a;
+  double len2 = Dot(ab, ab);
+  if (len2 < 1e-24) return Distance(p, a);
+  double t = std::clamp(Dot(p - a, ab) / len2, 0.0, 1.0);
+  return Distance(p, a + ab * t);
+}
+
+/// Recursive Douglas–Peucker over the open polyline [first, last].
+void DouglasPeucker(const std::vector<Point>& pts, size_t first, size_t last,
+                    double tolerance, std::vector<char>* keep) {
+  if (last <= first + 1) return;
+  double max_dist = -1.0;
+  size_t split = first;
+  for (size_t i = first + 1; i < last; ++i) {
+    double d = SegmentDistance(pts[i], pts[first], pts[last]);
+    if (d > max_dist) {
+      max_dist = d;
+      split = i;
+    }
+  }
+  if (max_dist > tolerance) {
+    (*keep)[split] = 1;
+    DouglasPeucker(pts, first, split, tolerance, keep);
+    DouglasPeucker(pts, split, last, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+Polygon SimplifyPolygon(const Polygon& polygon, double tolerance) {
+  const auto& pts = polygon.vertices();
+  if (pts.size() <= 3 || tolerance <= 0.0) return polygon;
+
+  // Anchor the ring at its two mutually farthest-ish vertices (vertex 0
+  // and the vertex farthest from it), then simplify the two open chains.
+  size_t far = 0;
+  double far_d = -1.0;
+  for (size_t i = 1; i < pts.size(); ++i) {
+    double d = DistanceSquared(pts[0], pts[i]);
+    if (d > far_d) {
+      far_d = d;
+      far = i;
+    }
+  }
+  std::vector<char> keep(pts.size(), 0);
+  keep[0] = 1;
+  keep[far] = 1;
+  DouglasPeucker(pts, 0, far, tolerance, &keep);
+  // Second chain wraps around: work on a rotated copy.
+  std::vector<Point> rotated(pts.begin() + static_cast<std::ptrdiff_t>(far),
+                             pts.end());
+  rotated.push_back(pts[0]);
+  std::vector<char> keep2(rotated.size(), 0);
+  DouglasPeucker(rotated, 0, rotated.size() - 1, tolerance, &keep2);
+  for (size_t i = 1; i + 1 < rotated.size(); ++i) {
+    if (keep2[i]) keep[far + i] = 1;
+  }
+
+  std::vector<Point> out;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (keep[i]) out.push_back(pts[i]);
+  }
+  if (out.size() < 3) {
+    // Degenerate tolerance: keep a triangle spanning the ring.
+    out = {pts[0], pts[pts.size() / 3], pts[2 * pts.size() / 3]};
+  }
+  return Polygon(std::move(out));
+}
+
+double SharedBorderLength(const Polygon& a, const Polygon& b, double eps) {
+  double total = 0.0;
+  const auto& va = a.vertices();
+  const auto& vb = b.vertices();
+  for (size_t i = 0; i < va.size(); ++i) {
+    Point a1 = va[i];
+    Point a2 = va[(i + 1) % va.size()];
+    Point da = a2 - a1;
+    double len_a = Norm(da);
+    if (len_a < eps) continue;
+    Point dir = da * (1.0 / len_a);
+    for (size_t j = 0; j < vb.size(); ++j) {
+      Point b1 = vb[j];
+      Point b2 = vb[(j + 1) % vb.size()];
+      if (std::fabs(Cross(dir, b1 - a1)) > eps ||
+          std::fabs(Cross(dir, b2 - a1)) > eps) {
+        continue;
+      }
+      double t_b1 = Dot(b1 - a1, dir);
+      double t_b2 = Dot(b2 - a1, dir);
+      double lo = std::max(0.0, std::min(t_b1, t_b2));
+      double hi = std::min(len_a, std::max(t_b1, t_b2));
+      if (hi > lo) total += hi - lo;
+    }
+  }
+  return total;
+}
+
+}  // namespace emp

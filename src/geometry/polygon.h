@@ -1,0 +1,77 @@
+#ifndef EMP_GEOMETRY_POLYGON_H_
+#define EMP_GEOMETRY_POLYGON_H_
+
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace emp {
+
+/// A simple polygon (single ring, no holes) stored as an ordered vertex
+/// list without a repeated closing vertex. Census-tract boundaries in this
+/// reproduction are convex Voronoi cells, but the routines here work for any
+/// simple polygon unless stated otherwise.
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  const std::vector<Point>& vertices() const { return vertices_; }
+  std::vector<Point>& mutable_vertices() { return vertices_; }
+  size_t size() const { return vertices_.size(); }
+  bool empty() const { return vertices_.empty(); }
+
+  /// Signed area: positive for counter-clockwise vertex order.
+  double SignedArea() const;
+
+  /// Absolute area.
+  double Area() const;
+
+  /// Perimeter length.
+  double Perimeter() const;
+
+  /// Area-weighted centroid. Falls back to the vertex mean for degenerate
+  /// (zero-area) polygons.
+  Point Centroid() const;
+
+  /// Bounding box of all vertices.
+  Box BoundingBox() const;
+
+  /// Point-in-polygon test (ray casting). Boundary points may return either
+  /// value; callers needing boundary semantics should test edges explicitly.
+  bool Contains(Point p) const;
+
+  /// Ensures counter-clockwise orientation, reversing in place if needed.
+  void MakeCounterClockwise();
+
+  /// True if the polygon is convex (assuming CCW or CW consistent order).
+  bool IsConvex() const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+/// True when segments [a1,a2] and [b1,b2] overlap along a common line for a
+/// length of at least `min_overlap` — the shared-border ("rook") adjacency
+/// test between polygon edges.
+bool SegmentsOverlap(Point a1, Point a2, Point b1, Point b2,
+                     double min_overlap, double eps = 1e-9);
+
+/// Length of the shared border between two polygons: the total length of
+/// collinear overlap between their edges. Zero when they only touch at
+/// points or are disjoint.
+double SharedBorderLength(const Polygon& a, const Polygon& b,
+                          double eps = 1e-9);
+
+/// Douglas–Peucker ring simplification: drops vertices whose removal
+/// displaces the boundary by less than `tolerance`. Always keeps at least
+/// a triangle. Used to shrink SVG/GeoJSON exports of large maps; not used
+/// in adjacency derivation (simplified rings may no longer share borders
+/// exactly).
+Polygon SimplifyPolygon(const Polygon& polygon, double tolerance);
+
+}  // namespace emp
+
+#endif  // EMP_GEOMETRY_POLYGON_H_

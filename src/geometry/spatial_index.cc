@@ -1,0 +1,150 @@
+#include "geometry/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace emp {
+
+SpatialGridIndex::SpatialGridIndex(std::vector<Point> points,
+                                   double target_per_cell)
+    : points_(std::move(points)) {
+  for (const Point& p : points_) bounds_.Extend(p);
+  if (points_.empty() || bounds_.empty()) {
+    bounds_ = Box();
+    bounds_.Extend(Point{0, 0});
+    bounds_.Extend(Point{1, 1});
+  }
+  double w = std::max(bounds_.Width(), 1e-9);
+  double h = std::max(bounds_.Height(), 1e-9);
+  double n_cells =
+      std::max(1.0, static_cast<double>(points_.size()) / target_per_cell);
+  // Choose a near-square grid matching the bounds aspect ratio, but cap
+  // each dimension: degenerate (near-collinear) point sets would otherwise
+  // produce an extreme aspect grid whose ring-expansion queries cost
+  // O(dim^2).
+  const int max_dim = std::max(
+      1, static_cast<int>(std::ceil(std::sqrt(4.0 * n_cells))));
+  double aspect = w / h;
+  grid_w_ = std::clamp(
+      static_cast<int>(std::round(std::sqrt(n_cells * aspect))), 1, max_dim);
+  grid_h_ = std::clamp(static_cast<int>(std::ceil(n_cells / grid_w_)), 1,
+                       max_dim);
+  cell_size_ = std::max(w / grid_w_, h / grid_h_);
+  grid_w_ = std::clamp(static_cast<int>(std::ceil(w / cell_size_)), 1,
+                       max_dim);
+  grid_h_ = std::clamp(static_cast<int>(std::ceil(h / cell_size_)), 1,
+                       max_dim);
+
+  // Counting sort into CSR buckets.
+  const int total_cells = grid_w_ * grid_h_;
+  std::vector<int32_t> counts(total_cells + 1, 0);
+  std::vector<int32_t> cell_of(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    int c = CellIndex(CellX(points_[i].x), CellY(points_[i].y));
+    cell_of[i] = c;
+    ++counts[c + 1];
+  }
+  for (int c = 0; c < total_cells; ++c) counts[c + 1] += counts[c];
+  cell_start_ = counts;
+  cell_items_.resize(points_.size());
+  std::vector<int32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (size_t i = 0; i < points_.size(); ++i) {
+    cell_items_[cursor[cell_of[i]]++] = static_cast<int32_t>(i);
+  }
+}
+
+int SpatialGridIndex::CellX(double x) const {
+  int cx = static_cast<int>((x - bounds_.min_x) / cell_size_);
+  return std::clamp(cx, 0, grid_w_ - 1);
+}
+
+int SpatialGridIndex::CellY(double y) const {
+  int cy = static_cast<int>((y - bounds_.min_y) / cell_size_);
+  return std::clamp(cy, 0, grid_h_ - 1);
+}
+
+std::vector<int32_t> SpatialGridIndex::KNearest(Point query, int k,
+                                                int32_t exclude) const {
+  std::vector<int32_t> result;
+  if (k <= 0 || points_.empty()) return result;
+
+  // Expand rings of grid cells around the query until the k-th best
+  // distance is closed off by the ring radius.
+  using Entry = std::pair<double, int32_t>;  // (dist^2, index)
+  std::priority_queue<Entry> best;           // max-heap of current k best
+
+  const int qx = CellX(query.x);
+  const int qy = CellY(query.y);
+  const int max_ring = std::max(grid_w_, grid_h_);
+
+  auto scan_cell = [&](int cx, int cy) {
+    if (cx < 0 || cy < 0 || cx >= grid_w_ || cy >= grid_h_) return;
+    const int c = CellIndex(cx, cy);
+    for (int32_t it = cell_start_[c]; it < cell_start_[c + 1]; ++it) {
+      const int32_t idx = cell_items_[it];
+      if (idx == exclude) continue;
+      double d2 = DistanceSquared(points_[idx], query);
+      if (static_cast<int>(best.size()) < k) {
+        best.emplace(d2, idx);
+      } else if (d2 < best.top().first) {
+        best.pop();
+        best.emplace(d2, idx);
+      }
+    }
+  };
+
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    if (ring == 0) {
+      scan_cell(qx, qy);
+    } else {
+      for (int dx = -ring; dx <= ring; ++dx) {
+        scan_cell(qx + dx, qy - ring);
+        scan_cell(qx + dx, qy + ring);
+      }
+      for (int dy = -ring + 1; dy <= ring - 1; ++dy) {
+        scan_cell(qx - ring, qy + dy);
+        scan_cell(qx + ring, qy + dy);
+      }
+    }
+    if (static_cast<int>(best.size()) == k) {
+      // Cells beyond this ring are at least (ring * cell_size_) away from
+      // the query cell's boundary; stop once that exceeds the k-th best.
+      double safe = static_cast<double>(ring) * cell_size_;
+      if (safe * safe >= best.top().first) break;
+    }
+  }
+
+  result.resize(best.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top().second;
+    best.pop();
+  }
+  return result;
+}
+
+std::vector<int32_t> SpatialGridIndex::WithinRadius(Point query, double radius,
+                                                    int32_t exclude) const {
+  std::vector<int32_t> result;
+  if (radius < 0 || points_.empty()) return result;
+  const double r2 = radius * radius;
+  const int cx_lo = CellX(query.x - radius);
+  const int cx_hi = CellX(query.x + radius);
+  const int cy_lo = CellY(query.y - radius);
+  const int cy_hi = CellY(query.y + radius);
+  for (int cy = cy_lo; cy <= cy_hi; ++cy) {
+    for (int cx = cx_lo; cx <= cx_hi; ++cx) {
+      const int c = CellIndex(cx, cy);
+      for (int32_t it = cell_start_[c]; it < cell_start_[c + 1]; ++it) {
+        const int32_t idx = cell_items_[it];
+        if (idx == exclude) continue;
+        if (DistanceSquared(points_[idx], query) <= r2) {
+          result.push_back(idx);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace emp

@@ -1,0 +1,53 @@
+#ifndef EMP_GEOMETRY_SPATIAL_INDEX_H_
+#define EMP_GEOMETRY_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+
+namespace emp {
+
+/// Uniform-grid point index supporting k-nearest-neighbor queries. Used by
+/// the Voronoi generator to find the candidate neighbor sites whose
+/// bisectors can bound a cell, keeping cell construction O(k) per site.
+class SpatialGridIndex {
+ public:
+  /// Builds the index over `points`. `target_per_cell` tunes grid
+  /// resolution (points per grid cell on average).
+  explicit SpatialGridIndex(std::vector<Point> points,
+                            double target_per_cell = 2.0);
+
+  size_t size() const { return points_.size(); }
+  const std::vector<Point>& points() const { return points_; }
+
+  /// Indices of the k nearest points to `query`, ascending by distance.
+  /// `exclude` (an index or -1) is omitted from the result — typically the
+  /// query site itself. Returns fewer than k when the index is small.
+  std::vector<int32_t> KNearest(Point query, int k,
+                                int32_t exclude = -1) const;
+
+  /// All point indices within `radius` of `query` (excluding `exclude`),
+  /// unordered.
+  std::vector<int32_t> WithinRadius(Point query, double radius,
+                                    int32_t exclude = -1) const;
+
+ private:
+  int CellX(double x) const;
+  int CellY(double y) const;
+  int CellIndex(int cx, int cy) const { return cy * grid_w_ + cx; }
+
+  std::vector<Point> points_;
+  Box bounds_;
+  int grid_w_ = 1;
+  int grid_h_ = 1;
+  double cell_size_ = 1.0;
+  // CSR layout: cell_start_[c]..cell_start_[c+1] indexes into cell_items_.
+  std::vector<int32_t> cell_start_;
+  std::vector<int32_t> cell_items_;
+};
+
+}  // namespace emp
+
+#endif  // EMP_GEOMETRY_SPATIAL_INDEX_H_

@@ -1,0 +1,130 @@
+#include "geometry/voronoi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "geometry/clip.h"
+#include "geometry/spatial_index.h"
+
+namespace emp {
+
+namespace {
+
+TaggedConvexPolygon FramePolygon(const Box& frame) {
+  Polygon rect({{frame.min_x, frame.min_y},
+                {frame.max_x, frame.min_y},
+                {frame.max_x, frame.max_y},
+                {frame.min_x, frame.max_y}});
+  return MakeTagged(rect);
+}
+
+/// Builds the cell of `site_idx` by clipping the frame against bisectors of
+/// the `k` nearest sites; returns the cell and whether the security-radius
+/// test certified it as exact (no farther site can cut it further).
+struct CellAttempt {
+  TaggedConvexPolygon cell;
+  bool certified = false;
+};
+
+CellAttempt BuildCell(const SpatialGridIndex& index, int32_t site_idx,
+                      const TaggedConvexPolygon& frame_poly, int k) {
+  const std::vector<Point>& sites = index.points();
+  const Point site = sites[site_idx];
+
+  std::vector<int32_t> nn = index.KNearest(site, k, site_idx);
+  TaggedConvexPolygon cell = frame_poly;
+  for (int32_t j : nn) {
+    cell = ClipConvex(cell, PerpendicularBisector(site, sites[j], j));
+    if (cell.empty()) break;
+  }
+
+  CellAttempt out;
+  out.cell = std::move(cell);
+  if (out.cell.empty()) {
+    // A Voronoi cell of a site inside the frame can never be empty; treat
+    // as uncertified so the caller retries with more neighbors (and
+    // ultimately reports the degenerate input).
+    out.certified = false;
+    return out;
+  }
+
+  if (nn.empty() || static_cast<int>(nn.size()) < k) {
+    // Fewer than k sites exist; every bisector was considered.
+    out.certified = true;
+    return out;
+  }
+
+  // Security-radius test: any site farther than twice the distance from the
+  // site to its farthest cell vertex cannot cut the cell. The k-th nearest
+  // neighbor distance lower-bounds every unconsidered site's distance.
+  double max_vertex_dist = 0.0;
+  for (const Point& v : out.cell.vertices) {
+    max_vertex_dist = std::max(max_vertex_dist, Distance(site, v));
+  }
+  double kth_dist = Distance(site, sites[nn.back()]);
+  out.certified = kth_dist >= 2.0 * max_vertex_dist;
+  return out;
+}
+
+}  // namespace
+
+Result<VoronoiDiagram> ComputeVoronoi(const std::vector<Point>& sites,
+                                      const Box& frame,
+                                      const VoronoiOptions& options) {
+  if (sites.empty()) {
+    return Status::InvalidArgument("ComputeVoronoi: no sites");
+  }
+  if (frame.empty()) {
+    return Status::InvalidArgument("ComputeVoronoi: empty frame");
+  }
+  for (const Point& p : sites) {
+    if (!frame.Contains(p)) {
+      return Status::InvalidArgument(
+          "ComputeVoronoi: site outside the clipping frame");
+    }
+  }
+
+  SpatialGridIndex index(sites);
+  const TaggedConvexPolygon frame_poly = FramePolygon(frame);
+  const int n = static_cast<int>(sites.size());
+
+  VoronoiDiagram diagram;
+  diagram.frame = frame;
+  diagram.cells.resize(n);
+  diagram.neighbors.assign(n, {});
+
+  std::vector<std::set<int32_t>> adj(n);
+
+  for (int32_t i = 0; i < n; ++i) {
+    int k = std::min(options.initial_knn, n - 1);
+    CellAttempt attempt;
+    while (true) {
+      attempt = BuildCell(index, i, frame_poly, k);
+      if (attempt.certified || k >= std::min(options.max_knn, n - 1)) break;
+      k = std::min(k * 2, std::min(options.max_knn, n - 1));
+    }
+    if (attempt.cell.empty()) {
+      return Status::InvalidArgument(
+          "ComputeVoronoi: degenerate cell for site " + std::to_string(i) +
+          " (coincident sites?)");
+    }
+    diagram.cells[i] = attempt.cell.ToPolygon();
+    for (int64_t tag : attempt.cell.edge_tags) {
+      if (tag >= 0) {
+        adj[i].insert(static_cast<int32_t>(tag));
+      }
+    }
+  }
+
+  // Symmetrize: floating-point sliver edges can appear on one side only.
+  for (int32_t i = 0; i < n; ++i) {
+    for (int32_t j : adj[i]) adj[j].insert(i);
+  }
+  for (int32_t i = 0; i < n; ++i) {
+    diagram.neighbors[i].assign(adj[i].begin(), adj[i].end());
+  }
+  return diagram;
+}
+
+}  // namespace emp

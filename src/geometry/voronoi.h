@@ -1,0 +1,43 @@
+#ifndef EMP_GEOMETRY_VORONOI_H_
+#define EMP_GEOMETRY_VORONOI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geometry/box.h"
+#include "geometry/polygon.h"
+
+namespace emp {
+
+/// A bounded Voronoi diagram: one convex cell per input site, clipped to a
+/// rectangular frame, with the cell-to-cell adjacency extracted from the
+/// bisectors that actually bound each cell. This is the substrate that
+/// replaces real census-tract shapefiles: Voronoi cells of jittered points
+/// are irregular, planar, and have tract-like neighbor counts (~6 on
+/// average).
+struct VoronoiDiagram {
+  std::vector<Polygon> cells;                    // cells[i] belongs to site i
+  std::vector<std::vector<int32_t>> neighbors;   // sorted, symmetric
+  Box frame;                                     // the clipping rectangle
+};
+
+/// Options controlling the cell construction.
+struct VoronoiOptions {
+  /// Initial number of nearest neighbors whose bisectors are used to clip a
+  /// cell; doubled until the security-radius test certifies exactness.
+  int initial_knn = 16;
+  /// Hard cap on the neighbor count per cell (guards pathological inputs).
+  int max_knn = 1024;
+};
+
+/// Computes the bounded Voronoi diagram of `sites` inside `frame`.
+/// Fails with InvalidArgument when sites are empty, the frame is empty, or
+/// two sites coincide (within 1e-12), which would produce a degenerate cell.
+Result<VoronoiDiagram> ComputeVoronoi(const std::vector<Point>& sites,
+                                      const Box& frame,
+                                      const VoronoiOptions& options = {});
+
+}  // namespace emp
+
+#endif  // EMP_GEOMETRY_VORONOI_H_

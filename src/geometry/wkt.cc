@@ -1,0 +1,98 @@
+#include "geometry/wkt.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/str_util.h"
+
+namespace emp {
+
+namespace {
+
+std::string FormatCoord(double v) { return FormatDouble(v, 9); }
+
+/// Extracts the content between the outermost '(' ... ')' after `keyword`.
+Result<std::string> ExtractParenBody(const std::string& wkt,
+                                     const std::string& keyword) {
+  std::string upper;
+  upper.reserve(wkt.size());
+  for (char c : wkt) upper.push_back(static_cast<char>(std::toupper(c)));
+  size_t kw = upper.find(keyword);
+  if (kw == std::string::npos) {
+    return Status::IOError("WKT missing keyword " + keyword);
+  }
+  size_t open = wkt.find('(', kw + keyword.size());
+  if (open == std::string::npos) {
+    return Status::IOError("WKT missing '('");
+  }
+  size_t close = wkt.rfind(')');
+  if (close == std::string::npos || close <= open) {
+    return Status::IOError("WKT missing ')'");
+  }
+  return wkt.substr(open + 1, close - open - 1);
+}
+
+Result<Point> ParseCoordPair(std::string_view token) {
+  // "x y" separated by whitespace.
+  std::string buf{StripWhitespace(token)};
+  std::istringstream in(buf);
+  double x = 0;
+  double y = 0;
+  if (!(in >> x >> y)) {
+    return Status::IOError("bad WKT coordinate pair: '" + buf + "'");
+  }
+  std::string rest;
+  if (in >> rest) {
+    return Status::IOError("trailing data in WKT coordinate: '" + buf + "'");
+  }
+  return Point{x, y};
+}
+
+}  // namespace
+
+std::string ToWkt(const Polygon& polygon) {
+  std::string out = "POLYGON ((";
+  const auto& v = polygon.vertices();
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatCoord(v[i].x) + " " + FormatCoord(v[i].y);
+  }
+  if (!v.empty()) {
+    out += ", " + FormatCoord(v[0].x) + " " + FormatCoord(v[0].y);
+  }
+  out += "))";
+  return out;
+}
+
+std::string ToWkt(Point p) {
+  return "POINT (" + FormatCoord(p.x) + " " + FormatCoord(p.y) + ")";
+}
+
+Result<Polygon> PolygonFromWkt(const std::string& wkt) {
+  EMP_ASSIGN_OR_RETURN(std::string body, ExtractParenBody(wkt, "POLYGON"));
+  // Strip the inner ring parens.
+  std::string_view ring = StripWhitespace(body);
+  if (ring.empty() || ring.front() != '(' || ring.back() != ')') {
+    return Status::IOError("WKT polygon ring must be parenthesized");
+  }
+  ring = ring.substr(1, ring.size() - 2);
+  std::vector<Point> vertices;
+  for (const std::string& tok : Split(ring, ',')) {
+    EMP_ASSIGN_OR_RETURN(Point p, ParseCoordPair(tok));
+    vertices.push_back(p);
+  }
+  if (vertices.size() >= 2 && vertices.front() == vertices.back()) {
+    vertices.pop_back();  // Drop the repeated closing vertex.
+  }
+  if (vertices.size() < 3) {
+    return Status::IOError("WKT polygon has fewer than 3 distinct vertices");
+  }
+  return Polygon(std::move(vertices));
+}
+
+Result<Point> PointFromWkt(const std::string& wkt) {
+  EMP_ASSIGN_OR_RETURN(std::string body, ExtractParenBody(wkt, "POINT"));
+  return ParseCoordPair(body);
+}
+
+}  // namespace emp

@@ -1,0 +1,28 @@
+#ifndef EMP_GEOMETRY_WKT_H_
+#define EMP_GEOMETRY_WKT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace emp {
+
+/// Serializes a polygon as WKT, e.g. "POLYGON ((0 0, 1 0, 1 1, 0 0))".
+/// The closing vertex is repeated per the WKT spec.
+std::string ToWkt(const Polygon& polygon);
+
+/// Serializes a point as WKT, e.g. "POINT (1 2)".
+std::string ToWkt(Point p);
+
+/// Parses a single-ring POLYGON WKT (holes unsupported — the synthetic
+/// substrate never produces them). Accepts arbitrary whitespace.
+Result<Polygon> PolygonFromWkt(const std::string& wkt);
+
+/// Parses a POINT WKT.
+Result<Point> PointFromWkt(const std::string& wkt);
+
+}  // namespace emp
+
+#endif  // EMP_GEOMETRY_WKT_H_

@@ -1,0 +1,71 @@
+#include "graph/components.h"
+
+#include <deque>
+
+namespace emp {
+
+std::vector<std::vector<int32_t>> ComponentLabels::Groups() const {
+  std::vector<std::vector<int32_t>> groups(static_cast<size_t>(count));
+  for (size_t v = 0; v < label.size(); ++v) {
+    if (label[v] >= 0) {
+      groups[static_cast<size_t>(label[v])].push_back(
+          static_cast<int32_t>(v));
+    }
+  }
+  return groups;
+}
+
+ComponentLabels ConnectedComponents(const ContiguityGraph& graph) {
+  const int32_t n = graph.num_nodes();
+  ComponentLabels out;
+  out.label.assign(static_cast<size_t>(n), -1);
+  std::deque<int32_t> queue;
+  for (int32_t start = 0; start < n; ++start) {
+    if (out.label[static_cast<size_t>(start)] != -1) continue;
+    const int32_t comp = out.count++;
+    out.label[static_cast<size_t>(start)] = comp;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      int32_t u = queue.front();
+      queue.pop_front();
+      for (int32_t v : graph.NeighborsOf(u)) {
+        if (out.label[static_cast<size_t>(v)] == -1) {
+          out.label[static_cast<size_t>(v)] = comp;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ComponentLabels ConnectedComponentsWithin(
+    const ContiguityGraph& graph, const std::vector<int32_t>& members) {
+  const int32_t n = graph.num_nodes();
+  ComponentLabels out;
+  out.label.assign(static_cast<size_t>(n), -1);
+  std::vector<char> in_set(static_cast<size_t>(n), 0);
+  for (int32_t v : members) in_set[static_cast<size_t>(v)] = 1;
+
+  std::deque<int32_t> queue;
+  for (int32_t start : members) {
+    if (out.label[static_cast<size_t>(start)] != -1) continue;
+    const int32_t comp = out.count++;
+    out.label[static_cast<size_t>(start)] = comp;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      int32_t u = queue.front();
+      queue.pop_front();
+      for (int32_t v : graph.NeighborsOf(u)) {
+        if (in_set[static_cast<size_t>(v)] &&
+            out.label[static_cast<size_t>(v)] == -1) {
+          out.label[static_cast<size_t>(v)] = comp;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace emp

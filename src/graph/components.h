@@ -1,0 +1,33 @@
+#ifndef EMP_GRAPH_COMPONENTS_H_
+#define EMP_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/contiguity_graph.h"
+
+namespace emp {
+
+/// Connected-components labelling of a contiguity graph.
+struct ComponentLabels {
+  /// label[v] in [0, count) for every node v.
+  std::vector<int32_t> label;
+  int32_t count = 0;
+
+  /// Node ids grouped by component, each group sorted ascending.
+  std::vector<std::vector<int32_t>> Groups() const;
+};
+
+/// Computes connected components via BFS. The EMP formulation explicitly
+/// supports maps with multiple connected components (paper §I feature (e)),
+/// so construction operates per component.
+ComponentLabels ConnectedComponents(const ContiguityGraph& graph);
+
+/// Components of the subgraph induced by `members` (other nodes ignored).
+/// Returned labels cover only nodes in `members`; label -1 elsewhere.
+ComponentLabels ConnectedComponentsWithin(const ContiguityGraph& graph,
+                                          const std::vector<int32_t>& members);
+
+}  // namespace emp
+
+#endif  // EMP_GRAPH_COMPONENTS_H_

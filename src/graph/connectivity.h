@@ -1,0 +1,59 @@
+#ifndef EMP_GRAPH_CONNECTIVITY_H_
+#define EMP_GRAPH_CONNECTIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/contiguity_graph.h"
+
+namespace emp {
+
+/// Hot-path connectivity queries used by FaCT's Step 3 swaps and Tabu moves:
+/// "does this region stay connected if area X leaves?" Reuses scratch
+/// buffers across calls so a check costs one bounded BFS with no
+/// allocations after warm-up. Not thread-safe; use one checker per thread.
+class ConnectivityChecker {
+ public:
+  explicit ConnectivityChecker(const ContiguityGraph* graph);
+
+  /// True if the nodes of `members` form a single connected component in
+  /// the underlying graph. Empty sets are vacuously connected.
+  bool IsConnected(const std::vector<int32_t>& members);
+
+  /// True if `members` minus `removed` is connected (and non-empty sets
+  /// remain connected). `removed` must be an element of `members`.
+  /// This is the donor-region check in the paper's Step 3 and Tabu phase.
+  bool IsConnectedWithout(const std::vector<int32_t>& members,
+                          int32_t removed);
+
+  /// True if `node` is an articulation point of the subgraph induced by
+  /// `members` — equivalent to !IsConnectedWithout but named for readers.
+  bool IsCutVertex(const std::vector<int32_t>& members, int32_t node) {
+    return !IsConnectedWithout(members, node);
+  }
+
+  /// Articulation points of the subgraph induced by `members` (Tarjan's
+  /// lowlink algorithm). Useful to precompute all immovable areas of a
+  /// region at once; returns sorted node ids.
+  std::vector<int32_t> ArticulationPoints(const std::vector<int32_t>& members);
+
+ private:
+  /// Marks `members` in membership_ with a fresh epoch; O(|members|).
+  void MarkMembers(const std::vector<int32_t>& members);
+  bool IsMember(int32_t v) const {
+    return membership_[static_cast<size_t>(v)] == epoch_;
+  }
+
+  const ContiguityGraph* graph_;
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> membership_;  // epoch tag per node
+  std::vector<uint32_t> visited_;     // epoch tag per node
+  std::vector<int32_t> bfs_queue_;
+  // Tarjan scratch.
+  std::vector<int32_t> disc_;
+  std::vector<int32_t> low_;
+};
+
+}  // namespace emp
+
+#endif  // EMP_GRAPH_CONNECTIVITY_H_

@@ -1,0 +1,94 @@
+#include "graph/contiguity_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace emp {
+
+Result<ContiguityGraph> ContiguityGraph::FromNeighborLists(
+    std::vector<std::vector<int32_t>> neighbors) {
+  const int32_t n = static_cast<int32_t>(neighbors.size());
+  // Validate endpoints first.
+  for (int32_t u = 0; u < n; ++u) {
+    for (int32_t v : neighbors[static_cast<size_t>(u)]) {
+      if (v < 0 || v >= n) {
+        return Status::InvalidArgument(
+            "contiguity edge endpoint out of range: " + std::to_string(v));
+      }
+      if (v == u) {
+        return Status::InvalidArgument("self-loop at node " +
+                                       std::to_string(u));
+      }
+    }
+  }
+  // Symmetrize and dedupe.
+  std::vector<std::set<int32_t>> adj(static_cast<size_t>(n));
+  for (int32_t u = 0; u < n; ++u) {
+    for (int32_t v : neighbors[static_cast<size_t>(u)]) {
+      adj[static_cast<size_t>(u)].insert(v);
+      adj[static_cast<size_t>(v)].insert(u);
+    }
+  }
+  ContiguityGraph g;
+  g.adjacency_.resize(static_cast<size_t>(n));
+  int64_t degree_sum = 0;
+  for (int32_t u = 0; u < n; ++u) {
+    g.adjacency_[static_cast<size_t>(u)].assign(
+        adj[static_cast<size_t>(u)].begin(), adj[static_cast<size_t>(u)].end());
+    degree_sum += static_cast<int64_t>(adj[static_cast<size_t>(u)].size());
+  }
+  g.num_edges_ = degree_sum / 2;
+  return g;
+}
+
+Result<ContiguityGraph> ContiguityGraph::FromEdges(
+    int32_t n, const std::vector<std::pair<int32_t, int32_t>>& edges) {
+  if (n < 0) {
+    return Status::InvalidArgument("negative node count");
+  }
+  std::vector<std::vector<int32_t>> neighbors(static_cast<size_t>(n));
+  for (const auto& [a, b] : edges) {
+    if (a < 0 || a >= n || b < 0 || b >= n) {
+      return Status::InvalidArgument("edge endpoint out of range");
+    }
+    neighbors[static_cast<size_t>(a)].push_back(b);
+  }
+  return FromNeighborLists(std::move(neighbors));
+}
+
+bool ContiguityGraph::HasEdge(int32_t a, int32_t b) const {
+  if (a < 0 || b < 0 || a >= num_nodes() || b >= num_nodes()) return false;
+  const auto& adj = adjacency_[static_cast<size_t>(a)];
+  return std::binary_search(adj.begin(), adj.end(), b);
+}
+
+double ContiguityGraph::AverageDegree() const {
+  if (adjacency_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(adjacency_.size());
+}
+
+std::pair<ContiguityGraph, std::vector<int32_t>>
+ContiguityGraph::InducedSubgraph(const std::vector<int32_t>& keep) const {
+  std::unordered_map<int32_t, int32_t> old_to_new;
+  old_to_new.reserve(keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) {
+    old_to_new[keep[i]] = static_cast<int32_t>(i);
+  }
+  std::vector<std::vector<int32_t>> neighbors(keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) {
+    for (int32_t v : NeighborsOf(keep[i])) {
+      auto it = old_to_new.find(v);
+      if (it != old_to_new.end()) {
+        neighbors[i].push_back(it->second);
+      }
+    }
+  }
+  auto result = FromNeighborLists(std::move(neighbors));
+  // Inputs come from a valid graph, so construction cannot fail.
+  return {std::move(result).value(), keep};
+}
+
+}  // namespace emp

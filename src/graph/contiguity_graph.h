@@ -1,0 +1,60 @@
+#ifndef EMP_GRAPH_CONTIGUITY_GRAPH_H_
+#define EMP_GRAPH_CONTIGUITY_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace emp {
+
+/// Undirected graph over area ids [0, n) encoding spatial contiguity
+/// ("rook" adjacency: areas sharing a border segment). This is the
+/// representation the regionalization literature operates on (§II of the
+/// paper); every FaCT phase consumes it rather than raw polygons.
+class ContiguityGraph {
+ public:
+  ContiguityGraph() = default;
+
+  /// Builds from per-node neighbor lists. Fails when an edge endpoint is out
+  /// of range or a node lists itself. Missing reverse edges are added
+  /// (the graph is symmetrized), duplicates are removed.
+  static Result<ContiguityGraph> FromNeighborLists(
+      std::vector<std::vector<int32_t>> neighbors);
+
+  /// Builds from an explicit edge list over n nodes.
+  static Result<ContiguityGraph> FromEdges(
+      int32_t n, const std::vector<std::pair<int32_t, int32_t>>& edges);
+
+  int32_t num_nodes() const { return static_cast<int32_t>(adjacency_.size()); }
+  int64_t num_edges() const { return num_edges_; }
+
+  /// Sorted neighbor ids of `node`.
+  const std::vector<int32_t>& NeighborsOf(int32_t node) const {
+    return adjacency_[static_cast<size_t>(node)];
+  }
+
+  /// Degree of `node`.
+  int32_t DegreeOf(int32_t node) const {
+    return static_cast<int32_t>(adjacency_[static_cast<size_t>(node)].size());
+  }
+
+  /// True if `a` and `b` are adjacent (binary search over sorted lists).
+  bool HasEdge(int32_t a, int32_t b) const;
+
+  /// Mean degree over all nodes (0 for the empty graph).
+  double AverageDegree() const;
+
+  /// Returns an induced subgraph over `keep` (a subset of node ids) plus
+  /// the mapping new-id -> old-id. Ids are renumbered to [0, keep.size()).
+  std::pair<ContiguityGraph, std::vector<int32_t>> InducedSubgraph(
+      const std::vector<int32_t>& keep) const;
+
+ private:
+  std::vector<std::vector<int32_t>> adjacency_;
+  int64_t num_edges_ = 0;
+};
+
+}  // namespace emp
+
+#endif  // EMP_GRAPH_CONTIGUITY_GRAPH_H_

@@ -1,0 +1,52 @@
+#ifndef EMP_GRAPH_DSU_H_
+#define EMP_GRAPH_DSU_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace emp {
+
+/// Disjoint-set union (union-find) with path halving and union by size.
+/// Used by the SKATER-style baseline's Kruskal MST construction.
+class DisjointSetUnion {
+ public:
+  explicit DisjointSetUnion(int32_t n)
+      : parent_(static_cast<size_t>(n)), size_(static_cast<size_t>(n), 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int32_t Find(int32_t x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+
+  /// Merges the sets of a and b; returns false if already joined.
+  bool Union(int32_t a, int32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[static_cast<size_t>(a)] < size_[static_cast<size_t>(b)]) {
+      std::swap(a, b);
+    }
+    parent_[static_cast<size_t>(b)] = a;
+    size_[static_cast<size_t>(a)] += size_[static_cast<size_t>(b)];
+    return true;
+  }
+
+  bool Connected(int32_t a, int32_t b) { return Find(a) == Find(b); }
+
+  int32_t SizeOf(int32_t x) { return size_[static_cast<size_t>(Find(x))]; }
+
+ private:
+  std::vector<int32_t> parent_;
+  std::vector<int32_t> size_;
+};
+
+}  // namespace emp
+
+#endif  // EMP_GRAPH_DSU_H_

@@ -1,0 +1,97 @@
+#include "graph/gal.h"
+
+#include <sstream>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/str_util.h"
+
+namespace emp {
+
+std::string ToGal(const ContiguityGraph& graph) {
+  std::string out = std::to_string(graph.num_nodes());
+  out += '\n';
+  for (int32_t v = 0; v < graph.num_nodes(); ++v) {
+    out += std::to_string(v);
+    out += ' ';
+    out += std::to_string(graph.DegreeOf(v));
+    out += '\n';
+    const auto& neighbors = graph.NeighborsOf(v);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += std::to_string(neighbors[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<ContiguityGraph> FromGal(const std::string& text) {
+  // Tokenize everything; GAL is whitespace-separated.
+  std::istringstream in(text);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (in >> tok) tokens.push_back(tok);
+  if (tokens.empty()) {
+    return Status::IOError("empty GAL input");
+  }
+
+  size_t pos = 0;
+  // Header: either "<n>" or the GeoDa flavor "0 <n> <shp> <key>".
+  int64_t n = 0;
+  {
+    EMP_ASSIGN_OR_RETURN(int64_t first, ParseInt64(tokens[0]));
+    if (first == 0 && tokens.size() >= 4) {
+      EMP_ASSIGN_OR_RETURN(n, ParseInt64(tokens[1]));
+      pos = 4;
+    } else {
+      n = first;
+      pos = 1;
+    }
+  }
+  if (n < 0) {
+    return Status::IOError("negative node count in GAL header");
+  }
+
+  std::vector<std::vector<int32_t>> neighbors(static_cast<size_t>(n));
+  while (pos < tokens.size()) {
+    EMP_ASSIGN_OR_RETURN(int64_t id, ParseInt64(tokens[pos]));
+    if (pos + 1 >= tokens.size()) {
+      return Status::IOError("GAL record for node " + std::to_string(id) +
+                             " is missing its degree");
+    }
+    EMP_ASSIGN_OR_RETURN(int64_t degree, ParseInt64(tokens[pos + 1]));
+    pos += 2;
+    if (id < 0 || id >= n) {
+      return Status::IOError("GAL node id out of range: " +
+                             std::to_string(id));
+    }
+    if (degree < 0 || pos + static_cast<size_t>(degree) > tokens.size()) {
+      return Status::IOError("GAL node " + std::to_string(id) +
+                             " lists degree " + std::to_string(degree) +
+                             " but the file ends early");
+    }
+    for (int64_t k = 0; k < degree; ++k) {
+      EMP_ASSIGN_OR_RETURN(int64_t nb, ParseInt64(tokens[pos]));
+      ++pos;
+      if (nb < 0 || nb >= n) {
+        return Status::IOError("GAL neighbor out of range: " +
+                               std::to_string(nb));
+      }
+      neighbors[static_cast<size_t>(id)].push_back(
+          static_cast<int32_t>(nb));
+    }
+  }
+  return ContiguityGraph::FromNeighborLists(std::move(neighbors));
+}
+
+Status WriteGalFile(const std::string& path, const ContiguityGraph& graph) {
+  return WriteFile(path, ToGal(graph));
+}
+
+Result<ContiguityGraph> ReadGalFile(const std::string& path) {
+  EMP_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return FromGal(text);
+}
+
+}  // namespace emp

@@ -1,0 +1,38 @@
+#ifndef EMP_GRAPH_GAL_H_
+#define EMP_GRAPH_GAL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/contiguity_graph.h"
+
+namespace emp {
+
+/// GAL ("GeoDa/PySAL spatial weights") text format interop. The
+/// regionalization community (PySAL's spopt max-p, GeoDa) exchanges
+/// contiguity structure in GAL files:
+///
+///   <n>
+///   <id> <degree>
+///   <neighbor ids...>
+///   ...
+///
+/// Ids here are 0-based area indices. A leading header line of the
+/// 4-token GeoDa flavor ("0 <n> <shapefile> <key>") is also accepted on
+/// read.
+
+/// Serializes a contiguity graph as GAL text.
+std::string ToGal(const ContiguityGraph& graph);
+
+/// Parses GAL text into a contiguity graph. Tolerates blank lines and
+/// both the bare-count and GeoDa 4-token headers; validates that every
+/// listed neighbor is in range and symmetrizes missing reverse edges.
+Result<ContiguityGraph> FromGal(const std::string& text);
+
+/// File wrappers.
+Status WriteGalFile(const std::string& path, const ContiguityGraph& graph);
+Result<ContiguityGraph> ReadGalFile(const std::string& path);
+
+}  // namespace emp
+
+#endif  // EMP_GRAPH_GAL_H_

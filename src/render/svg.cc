@@ -1,0 +1,142 @@
+#include "render/svg.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "common/str_util.h"
+
+namespace emp {
+
+namespace {
+
+/// HSV -> RGB for s, v in [0, 1], h in [0, 360).
+void HsvToRgb(double h, double s, double v, int* r, int* g, int* b) {
+  double c = v * s;
+  double hp = h / 60.0;
+  double x = c * (1.0 - std::fabs(std::fmod(hp, 2.0) - 1.0));
+  double r1 = 0;
+  double g1 = 0;
+  double b1 = 0;
+  if (hp < 1) {
+    r1 = c;
+    g1 = x;
+  } else if (hp < 2) {
+    r1 = x;
+    g1 = c;
+  } else if (hp < 3) {
+    g1 = c;
+    b1 = x;
+  } else if (hp < 4) {
+    g1 = x;
+    b1 = c;
+  } else if (hp < 5) {
+    r1 = x;
+    b1 = c;
+  } else {
+    r1 = c;
+    b1 = x;
+  }
+  double m = v - c;
+  *r = static_cast<int>(std::lround((r1 + m) * 255.0));
+  *g = static_cast<int>(std::lround((g1 + m) * 255.0));
+  *b = static_cast<int>(std::lround((b1 + m) * 255.0));
+}
+
+}  // namespace
+
+std::string RegionColor(int32_t region_id) {
+  // Golden-angle hue walk; alternate saturation/value tiers so that runs
+  // of nearby ids stay distinguishable.
+  constexpr double kGoldenAngle = 137.50776405003785;
+  double hue = std::fmod(static_cast<double>(region_id) * kGoldenAngle, 360.0);
+  double sat = (region_id % 3 == 0) ? 0.55 : (region_id % 3 == 1 ? 0.70 : 0.45);
+  double val = (region_id % 2 == 0) ? 0.85 : 0.70;
+  int r = 0;
+  int g = 0;
+  int b = 0;
+  HsvToRgb(hue, sat, val, &r, &g, &b);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "#%02x%02x%02x", r, g, b);
+  return buf;
+}
+
+Result<std::string> RenderSvg(const AreaSet& areas,
+                              const std::vector<int32_t>& region_of,
+                              const SvgOptions& options) {
+  if (!areas.has_geometry()) {
+    return Status::FailedPrecondition("RenderSvg requires polygon geometry");
+  }
+  if (!region_of.empty() &&
+      static_cast<int32_t>(region_of.size()) != areas.num_areas()) {
+    return Status::InvalidArgument(
+        "region assignment size != number of areas");
+  }
+  if (options.width <= 0) {
+    return Status::InvalidArgument("SVG width must be positive");
+  }
+
+  Box bounds;
+  for (const Polygon& poly : areas.polygons()) {
+    bounds.Extend(poly.BoundingBox());
+  }
+  const double map_w = std::max(bounds.Width(), 1e-9);
+  const double map_h = std::max(bounds.Height(), 1e-9);
+  const double scale = options.width / map_w;
+  const double height = map_h * scale;
+
+  // SVG y grows downward; flip the map's y axis.
+  auto tx = [&](double x) { return (x - bounds.min_x) * scale; };
+  auto ty = [&](double y) { return (bounds.max_y - y) * scale; };
+
+  std::string out;
+  out.reserve(static_cast<size_t>(areas.num_areas()) * 128);
+  out += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         FormatDouble(options.width, 1) + "\" height=\"" +
+         FormatDouble(height, 1) + "\" viewBox=\"0 0 " +
+         FormatDouble(options.width, 1) + " " + FormatDouble(height, 1) +
+         "\">\n";
+
+  for (int32_t a = 0; a < areas.num_areas(); ++a) {
+    const Polygon& poly = areas.polygon(a);
+    std::string fill = options.unassigned_fill;
+    if (!region_of.empty() && region_of[static_cast<size_t>(a)] >= 0) {
+      fill = RegionColor(region_of[static_cast<size_t>(a)]);
+    }
+    out += "<polygon points=\"";
+    for (size_t i = 0; i < poly.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += FormatDouble(tx(poly.vertices()[i].x), 2) + "," +
+             FormatDouble(ty(poly.vertices()[i].y), 2);
+    }
+    out += "\" fill=\"" + fill + "\" stroke=\"" + options.stroke +
+           "\" stroke-width=\"" + FormatDouble(options.stroke_width, 2) +
+           "\"/>\n";
+  }
+
+  if (options.label_regions && !region_of.empty()) {
+    // Label each region at its largest member area's centroid.
+    std::map<int32_t, std::pair<double, int32_t>> biggest;  // rid -> (area, id)
+    for (int32_t a = 0; a < areas.num_areas(); ++a) {
+      int32_t rid = region_of[static_cast<size_t>(a)];
+      if (rid < 0) continue;
+      double sz = areas.polygon(a).Area();
+      auto it = biggest.find(rid);
+      if (it == biggest.end() || sz > it->second.first) {
+        biggest[rid] = {sz, a};
+      }
+    }
+    for (const auto& [rid, entry] : biggest) {
+      Point c = areas.polygon(entry.second).Centroid();
+      out += "<text x=\"" + FormatDouble(tx(c.x), 2) + "\" y=\"" +
+             FormatDouble(ty(c.y), 2) +
+             "\" font-size=\"10\" text-anchor=\"middle\" fill=\"#000\">" +
+             std::to_string(rid) + "</text>\n";
+    }
+  }
+
+  out += "</svg>\n";
+  return out;
+}
+
+}  // namespace emp

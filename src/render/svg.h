@@ -1,0 +1,43 @@
+#ifndef EMP_RENDER_SVG_H_
+#define EMP_RENDER_SVG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/area_set.h"
+
+namespace emp {
+
+/// Options for the SVG map renderer.
+struct SvgOptions {
+  /// Output image width in pixels; height follows the map aspect ratio.
+  double width = 1024.0;
+  /// Stroke width for area outlines, in output pixels.
+  double stroke_width = 0.6;
+  /// Fill for unassigned areas (region id -1).
+  std::string unassigned_fill = "#dddddd";
+  /// Outline color.
+  std::string stroke = "#333333";
+  /// When true, draw a small label with the region id at each region's
+  /// largest area centroid.
+  bool label_regions = false;
+};
+
+/// Renders an area set as an SVG document. When `region_of` is non-empty
+/// (one entry per area, -1 = unassigned), areas are filled with a
+/// deterministic categorical palette keyed by region id so adjacent
+/// regions are visually distinct; otherwise all areas use a neutral fill.
+/// Requires polygon geometry.
+Result<std::string> RenderSvg(const AreaSet& areas,
+                              const std::vector<int32_t>& region_of = {},
+                              const SvgOptions& options = {});
+
+/// Deterministic categorical color for a region id, as "#rrggbb".
+/// Spreads hues by the golden ratio so consecutive ids contrast.
+std::string RegionColor(int32_t region_id);
+
+}  // namespace emp
+
+#endif  // EMP_RENDER_SVG_H_

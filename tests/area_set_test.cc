@@ -1,0 +1,74 @@
+#include "data/area_set.h"
+
+#include <gtest/gtest.h>
+
+namespace emp {
+namespace {
+
+AttributeTable MakeTable(int64_t n) {
+  AttributeTable t(n);
+  std::vector<double> pop(static_cast<size_t>(n));
+  std::vector<double> d(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    pop[static_cast<size_t>(i)] = 100.0 * static_cast<double>(i + 1);
+    d[static_cast<size_t>(i)] = static_cast<double>(i);
+  }
+  EXPECT_TRUE(t.AddColumn("POP", pop).ok());
+  EXPECT_TRUE(t.AddColumn("D", d).ok());
+  return t;
+}
+
+ContiguityGraph MakePath(int32_t n) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return std::move(ContiguityGraph::FromEdges(n, edges)).value();
+}
+
+TEST(AreaSetTest, CreateWithoutGeometry) {
+  auto a = AreaSet::CreateWithoutGeometry("t", MakePath(4), MakeTable(4), "D");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->num_areas(), 4);
+  EXPECT_FALSE(a->has_geometry());
+  EXPECT_EQ(a->name(), "t");
+  EXPECT_EQ(a->dissimilarity_attribute(), "D");
+  EXPECT_DOUBLE_EQ(a->dissimilarity()[2], 2.0);
+}
+
+TEST(AreaSetTest, CreateWithGeometry) {
+  std::vector<Polygon> polys;
+  for (int i = 0; i < 3; ++i) {
+    double x = i;
+    polys.push_back(Polygon({{x, 0}, {x + 1, 0}, {x + 1, 1}, {x, 1}}));
+  }
+  auto a = AreaSet::Create("g", polys, MakePath(3), MakeTable(3), "D");
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(a->has_geometry());
+  EXPECT_DOUBLE_EQ(a->polygon(1).Area(), 1.0);
+}
+
+TEST(AreaSetTest, RejectsPolygonCountMismatch) {
+  std::vector<Polygon> polys(2);
+  EXPECT_FALSE(AreaSet::Create("x", polys, MakePath(3), MakeTable(3), "D").ok());
+}
+
+TEST(AreaSetTest, RejectsAttributeRowMismatch) {
+  EXPECT_FALSE(
+      AreaSet::CreateWithoutGeometry("x", MakePath(3), MakeTable(4), "D").ok());
+}
+
+TEST(AreaSetTest, RejectsUnknownDissimilarityAttribute) {
+  auto a =
+      AreaSet::CreateWithoutGeometry("x", MakePath(3), MakeTable(3), "NOPE");
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AreaSetTest, DissimilarityStableAfterMove) {
+  auto a = AreaSet::CreateWithoutGeometry("t", MakePath(3), MakeTable(3), "D");
+  ASSERT_TRUE(a.ok());
+  AreaSet moved = std::move(a).value();
+  EXPECT_DOUBLE_EQ(moved.dissimilarity()[1], 1.0);
+}
+
+}  // namespace
+}  // namespace emp

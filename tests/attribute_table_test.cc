@@ -1,0 +1,73 @@
+#include "data/attribute_table.h"
+
+#include <gtest/gtest.h>
+
+namespace emp {
+namespace {
+
+TEST(AttributeTableTest, AddAndReadColumns) {
+  AttributeTable t(3);
+  ASSERT_TRUE(t.AddColumn("pop", {10, 20, 30}).ok());
+  ASSERT_TRUE(t.AddColumn("emp", {1, 2, 3}).ok());
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_DOUBLE_EQ(t.Value(0, 1), 20);
+  EXPECT_DOUBLE_EQ(t.Value(1, 2), 3);
+}
+
+TEST(AttributeTableTest, RejectsDuplicateNames) {
+  AttributeTable t(1);
+  ASSERT_TRUE(t.AddColumn("x", {1}).ok());
+  EXPECT_FALSE(t.AddColumn("x", {2}).ok());
+}
+
+TEST(AttributeTableTest, RejectsWrongSize) {
+  AttributeTable t(2);
+  EXPECT_FALSE(t.AddColumn("x", {1}).ok());
+  EXPECT_FALSE(t.AddColumn("x", {1, 2, 3}).ok());
+}
+
+TEST(AttributeTableTest, ColumnIndexLookup) {
+  AttributeTable t(1);
+  ASSERT_TRUE(t.AddColumn("a", {1}).ok());
+  ASSERT_TRUE(t.AddColumn("b", {2}).ok());
+  EXPECT_EQ(*t.ColumnIndex("b"), 1);
+  EXPECT_TRUE(t.HasColumn("a"));
+  EXPECT_FALSE(t.HasColumn("c"));
+  auto missing = t.ColumnIndex("c");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(AttributeTableTest, ColumnByName) {
+  AttributeTable t(2);
+  ASSERT_TRUE(t.AddColumn("v", {5, 7}).ok());
+  auto col = t.ColumnByName("v");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((**col)[1], 7);
+}
+
+TEST(AttributeTableTest, StatsComputeMinMaxSumMean) {
+  AttributeTable t(4);
+  ASSERT_TRUE(t.AddColumn("v", {4, 1, 7, 2}).ok());
+  auto s = t.Stats("v");
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->min, 1);
+  EXPECT_DOUBLE_EQ(s->max, 7);
+  EXPECT_DOUBLE_EQ(s->sum, 14);
+  EXPECT_DOUBLE_EQ(s->mean, 3.5);
+}
+
+TEST(AttributeTableTest, StatsOnMissingColumnFails) {
+  AttributeTable t(1);
+  EXPECT_FALSE(t.Stats("missing").ok());
+}
+
+TEST(AttributeTableTest, ColumnNamesPreserveOrder) {
+  AttributeTable t(1);
+  ASSERT_TRUE(t.AddColumn("z", {0}).ok());
+  ASSERT_TRUE(t.AddColumn("a", {0}).ok());
+  EXPECT_EQ(t.column_names(), (std::vector<std::string>{"z", "a"}));
+}
+
+}  // namespace
+}  // namespace emp

@@ -1,0 +1,100 @@
+#include "geometry/clip.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace emp {
+namespace {
+
+TaggedConvexPolygon UnitSquareTagged() {
+  return MakeTagged(Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}}));
+}
+
+TEST(HalfPlaneTest, InsideTest) {
+  // x <= 0.5
+  HalfPlane hp{{1, 0}, 0.5, 7};
+  EXPECT_TRUE(hp.Inside({0.2, 0.9}));
+  EXPECT_TRUE(hp.Inside({0.5, 0.0}));
+  EXPECT_FALSE(hp.Inside({0.7, 0.0}));
+}
+
+TEST(PerpendicularBisectorTest, MidpointOnBoundaryCloserSideInside) {
+  HalfPlane hp = PerpendicularBisector({0, 0}, {2, 0}, 3);
+  EXPECT_EQ(hp.tag, 3);
+  EXPECT_TRUE(hp.Inside({0.5, 1.0}));   // closer to (0,0)
+  EXPECT_FALSE(hp.Inside({1.5, 1.0}));  // closer to (2,0)
+  // Equidistant point sits on the boundary (Inside uses <= with eps).
+  EXPECT_TRUE(hp.Inside({1.0, 5.0}));
+}
+
+TEST(ClipConvexTest, ClipSquareInHalf) {
+  TaggedConvexPolygon poly = UnitSquareTagged();
+  HalfPlane hp{{1, 0}, 0.5, 42};  // keep x <= 0.5
+  TaggedConvexPolygon out = ClipConvex(poly, hp);
+  ASSERT_FALSE(out.empty());
+  EXPECT_NEAR(out.ToPolygon().Area(), 0.5, 1e-12);
+  // The new cut edge must carry the half-plane's tag.
+  bool has_tag = false;
+  for (int64_t t : out.edge_tags) {
+    if (t == 42) has_tag = true;
+  }
+  EXPECT_TRUE(has_tag);
+}
+
+TEST(ClipConvexTest, NoOpWhenFullyInside) {
+  TaggedConvexPolygon poly = UnitSquareTagged();
+  HalfPlane hp{{1, 0}, 5.0, 1};  // x <= 5 keeps everything
+  TaggedConvexPolygon out = ClipConvex(poly, hp);
+  EXPECT_NEAR(out.ToPolygon().Area(), 1.0, 1e-12);
+  for (int64_t t : out.edge_tags) EXPECT_EQ(t, -1);
+}
+
+TEST(ClipConvexTest, EmptyWhenFullyOutside) {
+  TaggedConvexPolygon poly = UnitSquareTagged();
+  HalfPlane hp{{1, 0}, -1.0, 1};  // x <= -1 removes everything
+  EXPECT_TRUE(ClipConvex(poly, hp).empty());
+}
+
+TEST(ClipConvexTest, DiagonalCutPreservesCcwAndArea) {
+  TaggedConvexPolygon poly = UnitSquareTagged();
+  // Keep x + y <= 1 (cut off the upper-right triangle).
+  HalfPlane hp{{1, 1}, 1.0, 9};
+  TaggedConvexPolygon out = ClipConvex(poly, hp);
+  Polygon p = out.ToPolygon();
+  EXPECT_NEAR(p.Area(), 0.5, 1e-12);
+  EXPECT_GT(p.SignedArea(), 0);  // stays counter-clockwise
+}
+
+TEST(ClipConvexTest, SequentialClipsCompose) {
+  TaggedConvexPolygon poly = UnitSquareTagged();
+  std::vector<HalfPlane> planes = {
+      {{1, 0}, 0.75, 1},    // x <= 0.75
+      {{-1, 0}, -0.25, 2},  // x >= 0.25
+      {{0, 1}, 0.75, 3},    // y <= 0.75
+      {{0, -1}, -0.25, 4},  // y >= 0.25
+  };
+  TaggedConvexPolygon out = ClipConvex(poly, planes);
+  EXPECT_NEAR(out.ToPolygon().Area(), 0.25, 1e-12);
+  // All four cut tags present.
+  std::set<int64_t> tags(out.edge_tags.begin(), out.edge_tags.end());
+  for (int64_t t : {1, 2, 3, 4}) EXPECT_TRUE(tags.count(t)) << t;
+}
+
+TEST(ClipConvexTest, VertexCountStaysConsistentWithTags) {
+  TaggedConvexPolygon poly = UnitSquareTagged();
+  HalfPlane hp{{1, 1}, 1.2, 5};
+  TaggedConvexPolygon out = ClipConvex(poly, hp);
+  EXPECT_EQ(out.vertices.size(), out.edge_tags.size());
+}
+
+TEST(ClipConvexTest, DegenerateInputReturnsEmpty) {
+  TaggedConvexPolygon tiny;
+  tiny.vertices = {{0, 0}, {1, 0}};
+  tiny.edge_tags = {-1, -1};
+  EXPECT_TRUE(ClipConvex(tiny, HalfPlane{{1, 0}, 10.0, 1}).empty());
+}
+
+}  // namespace
+}  // namespace emp

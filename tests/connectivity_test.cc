@@ -1,0 +1,149 @@
+#include "graph/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "graph/components.h"
+
+namespace emp {
+namespace {
+
+ContiguityGraph Path(int32_t n) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return std::move(ContiguityGraph::FromEdges(n, edges)).value();
+}
+
+ContiguityGraph Cycle(int32_t n) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 0; i < n; ++i) edges.push_back({i, (i + 1) % n});
+  return std::move(ContiguityGraph::FromEdges(n, edges)).value();
+}
+
+ContiguityGraph Grid(int32_t rows, int32_t cols) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t r = 0; r < rows; ++r) {
+    for (int32_t c = 0; c < cols; ++c) {
+      int32_t id = r * cols + c;
+      if (c + 1 < cols) edges.push_back({id, id + 1});
+      if (r + 1 < rows) edges.push_back({id, id + cols});
+    }
+  }
+  return std::move(ContiguityGraph::FromEdges(rows * cols, edges)).value();
+}
+
+TEST(ConnectivityTest, SingletonAndEmptyAreConnected) {
+  ContiguityGraph g = Path(3);
+  ConnectivityChecker check(&g);
+  EXPECT_TRUE(check.IsConnected({}));
+  EXPECT_TRUE(check.IsConnected({1}));
+}
+
+TEST(ConnectivityTest, PathSubsetsConnectivity) {
+  ContiguityGraph g = Path(5);
+  ConnectivityChecker check(&g);
+  EXPECT_TRUE(check.IsConnected({1, 2, 3}));
+  EXPECT_FALSE(check.IsConnected({0, 2}));
+  EXPECT_FALSE(check.IsConnected({0, 1, 3, 4}));
+}
+
+TEST(ConnectivityTest, RemovingMiddleOfPathDisconnects) {
+  ContiguityGraph g = Path(5);
+  ConnectivityChecker check(&g);
+  std::vector<int32_t> all = {0, 1, 2, 3, 4};
+  EXPECT_FALSE(check.IsConnectedWithout(all, 2));
+  EXPECT_TRUE(check.IsConnectedWithout(all, 0));
+  EXPECT_TRUE(check.IsConnectedWithout(all, 4));
+}
+
+TEST(ConnectivityTest, CycleToleratesAnyRemoval) {
+  ContiguityGraph g = Cycle(6);
+  ConnectivityChecker check(&g);
+  std::vector<int32_t> all = {0, 1, 2, 3, 4, 5};
+  for (int32_t v : all) {
+    EXPECT_TRUE(check.IsConnectedWithout(all, v)) << v;
+  }
+}
+
+TEST(ConnectivityTest, TinySetsAlwaysSurviveRemoval) {
+  ContiguityGraph g = Path(4);
+  ConnectivityChecker check(&g);
+  EXPECT_TRUE(check.IsConnectedWithout({0, 1}, 0));
+  EXPECT_TRUE(check.IsConnectedWithout({2}, 2));
+}
+
+TEST(ConnectivityTest, CutVertexMatchesIsConnectedWithout) {
+  ContiguityGraph g = Path(5);
+  ConnectivityChecker check(&g);
+  std::vector<int32_t> all = {0, 1, 2, 3, 4};
+  EXPECT_TRUE(check.IsCutVertex(all, 1));
+  EXPECT_FALSE(check.IsCutVertex(all, 4));
+}
+
+TEST(ConnectivityTest, ArticulationPointsOfPath) {
+  ContiguityGraph g = Path(5);
+  ConnectivityChecker check(&g);
+  std::vector<int32_t> cuts = check.ArticulationPoints({0, 1, 2, 3, 4});
+  EXPECT_EQ(cuts, (std::vector<int32_t>{1, 2, 3}));
+}
+
+TEST(ConnectivityTest, ArticulationPointsOfCycleAreEmpty) {
+  ContiguityGraph g = Cycle(8);
+  ConnectivityChecker check(&g);
+  EXPECT_TRUE(
+      check.ArticulationPoints({0, 1, 2, 3, 4, 5, 6, 7}).empty());
+}
+
+TEST(ConnectivityTest, ArticulationRestrictedToSubset) {
+  // Cycle 0..5, but member subset {0,1,2,3} is a path -> 1, 2 are cuts.
+  ContiguityGraph g = Cycle(6);
+  ConnectivityChecker check(&g);
+  std::vector<int32_t> cuts = check.ArticulationPoints({0, 1, 2, 3});
+  EXPECT_EQ(cuts, (std::vector<int32_t>{1, 2}));
+}
+
+TEST(ConnectivityTest, ArticulationPointsAgreeWithBfsOnRandomGridRegions) {
+  ContiguityGraph g = Grid(8, 8);
+  ConnectivityChecker check(&g);
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    // Random connected-ish member set: a BFS ball around a random node.
+    std::vector<int32_t> members;
+    int32_t start = static_cast<int32_t>(rng.UniformInt(0, 63));
+    members.push_back(start);
+    for (int grow = 0; grow < 20; ++grow) {
+      int32_t base = members[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(members.size()) - 1))];
+      for (int32_t nb : g.NeighborsOf(base)) {
+        if (std::find(members.begin(), members.end(), nb) == members.end()) {
+          members.push_back(nb);
+          break;
+        }
+      }
+    }
+    std::sort(members.begin(), members.end());
+    if (!check.IsConnected(members)) continue;
+    std::vector<int32_t> cuts = check.ArticulationPoints(members);
+    for (int32_t v : members) {
+      bool is_cut =
+          std::find(cuts.begin(), cuts.end(), v) != cuts.end();
+      EXPECT_EQ(is_cut, !check.IsConnectedWithout(members, v))
+          << "node " << v << " trial " << trial;
+    }
+  }
+}
+
+TEST(ConnectivityTest, ReusableAcrossManyCalls) {
+  ContiguityGraph g = Grid(5, 5);
+  ConnectivityChecker check(&g);
+  std::vector<int32_t> row = {0, 1, 2, 3, 4};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(check.IsConnected(row));
+    EXPECT_FALSE(check.IsConnectedWithout(row, 2));
+  }
+}
+
+}  // namespace
+}  // namespace emp

@@ -1,0 +1,110 @@
+#include "constraints/constraint_set.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+class ConstraintSetTest : public ::testing::Test {
+ protected:
+  ConstraintSetTest()
+      : areas_(test::MakeAreaSet(
+            test::PathGraph(5),
+            {{"pop", {100, 200, 300, 400, 500}},
+             {"emp", {10, 20, 30, 40, 50}}})) {}
+
+  AreaSet areas_;
+};
+
+TEST_F(ConstraintSetTest, BindsColumnsAndClassifiesFamilies) {
+  auto bc = BoundConstraints::Create(
+      &areas_, {Constraint::Min("pop", 0, 250),
+                Constraint::Avg("emp", 20, 40),
+                Constraint::Sum("pop", 300, kNoUpperBound),
+                Constraint::Count(1, 3),
+                Constraint::Max("emp", 30, kNoUpperBound)});
+  ASSERT_TRUE(bc.ok());
+  EXPECT_EQ(bc->size(), 5);
+  EXPECT_EQ(bc->extrema_indices(), (std::vector<int>{0, 4}));
+  EXPECT_EQ(bc->centrality_indices(), (std::vector<int>{1}));
+  EXPECT_EQ(bc->counting_indices(), (std::vector<int>{2, 3}));
+  EXPECT_TRUE(bc->has_extrema());
+  EXPECT_TRUE(bc->has_centrality());
+  EXPECT_TRUE(bc->has_counting());
+}
+
+TEST_F(ConstraintSetTest, ValueLookupsResolveColumns) {
+  auto bc = BoundConstraints::Create(
+      &areas_,
+      {Constraint::Sum("emp", 0, kNoUpperBound), Constraint::Count(1, 5)});
+  ASSERT_TRUE(bc.ok());
+  EXPECT_DOUBLE_EQ(bc->ValueOf(0, 2), 30);
+  EXPECT_DOUBLE_EQ(bc->ValueOf(1, 2), 1.0);  // COUNT counts areas
+}
+
+TEST_F(ConstraintSetTest, RejectsUnknownAttribute) {
+  auto bc = BoundConstraints::Create(
+      &areas_, {Constraint::Sum("missing", 0, kNoUpperBound)});
+  ASSERT_FALSE(bc.ok());
+  EXPECT_EQ(bc.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ConstraintSetTest, RejectsInvalidConstraint) {
+  EXPECT_FALSE(
+      BoundConstraints::Create(&areas_, {Constraint::Sum("pop", 9, 3)}).ok());
+  EXPECT_FALSE(BoundConstraints::Create(nullptr, {}).ok());
+}
+
+TEST_F(ConstraintSetTest, EmptyConstraintSetIsAllowed) {
+  auto bc = BoundConstraints::Create(&areas_, {});
+  ASSERT_TRUE(bc.ok());
+  EXPECT_EQ(bc->size(), 0);
+  EXPECT_FALSE(bc->has_extrema());
+  // With no extrema constraints, every area seeds (§V-D).
+  EXPECT_TRUE(bc->AreaIsSeed(0));
+}
+
+TEST_F(ConstraintSetTest, InvalidAreaRules) {
+  auto bc = BoundConstraints::Create(
+      &areas_, {Constraint::Min("pop", 150, 250),   // pop<150 invalid
+                Constraint::Max("emp", 0, 45),      // emp>45 invalid
+                Constraint::Sum("pop", 0, 450)});   // pop>450 invalid
+  ASSERT_TRUE(bc.ok());
+  EXPECT_TRUE(bc->AreaIsInvalid(0));   // pop=100 < 150
+  EXPECT_FALSE(bc->AreaIsInvalid(1));  // pop=200, emp=20
+  EXPECT_FALSE(bc->AreaIsInvalid(2));
+  EXPECT_FALSE(bc->AreaIsInvalid(3));
+  EXPECT_TRUE(bc->AreaIsInvalid(4));   // emp=50 > 45 and pop=500 > 450
+}
+
+TEST_F(ConstraintSetTest, AvgAndCountNeverInvalidateAreas) {
+  auto bc = BoundConstraints::Create(
+      &areas_, {Constraint::Avg("pop", 1e6, 2e6), Constraint::Count(3, 4)});
+  ASSERT_TRUE(bc.ok());
+  for (int32_t a = 0; a < 5; ++a) {
+    EXPECT_FALSE(bc->AreaIsInvalid(a));
+  }
+}
+
+TEST_F(ConstraintSetTest, SeedRules) {
+  auto bc = BoundConstraints::Create(
+      &areas_, {Constraint::Min("pop", 100, 200),
+                Constraint::Max("emp", 40, 50)});
+  ASSERT_TRUE(bc.ok());
+  // Seeds for MIN: pop in [100, 200] -> areas 0, 1.
+  EXPECT_TRUE(bc->IsSeedFor(0, 0));
+  EXPECT_TRUE(bc->IsSeedFor(0, 1));
+  EXPECT_FALSE(bc->IsSeedFor(0, 2));
+  // Seeds for MAX: emp in [40, 50] -> areas 3, 4.
+  EXPECT_TRUE(bc->IsSeedFor(1, 3));
+  EXPECT_FALSE(bc->IsSeedFor(1, 2));
+  // AreaIsSeed = union.
+  EXPECT_TRUE(bc->AreaIsSeed(0));
+  EXPECT_FALSE(bc->AreaIsSeed(2));
+  EXPECT_TRUE(bc->AreaIsSeed(4));
+}
+
+}  // namespace
+}  // namespace emp

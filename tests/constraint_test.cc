@@ -1,0 +1,100 @@
+#include "constraints/constraint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace emp {
+namespace {
+
+TEST(ConstraintTest, FactoriesSetFields) {
+  Constraint c = Constraint::Min("POP", 2000, 4000);
+  EXPECT_EQ(c.aggregate, Aggregate::kMin);
+  EXPECT_EQ(c.attribute, "POP");
+  EXPECT_DOUBLE_EQ(c.lower, 2000);
+  EXPECT_DOUBLE_EQ(c.upper, 4000);
+
+  EXPECT_EQ(Constraint::Max("x", 0, 1).aggregate, Aggregate::kMax);
+  EXPECT_EQ(Constraint::Avg("x", 0, 1).aggregate, Aggregate::kAvg);
+  EXPECT_EQ(Constraint::Sum("x", 0, 1).aggregate, Aggregate::kSum);
+  EXPECT_EQ(Constraint::Count(1, 5).aggregate, Aggregate::kCount);
+  EXPECT_TRUE(Constraint::Count(1, 5).attribute.empty());
+}
+
+TEST(ConstraintTest, FamilyClassification) {
+  EXPECT_EQ(Constraint::Min("x", 0, 1).family(), ConstraintFamily::kExtrema);
+  EXPECT_EQ(Constraint::Max("x", 0, 1).family(), ConstraintFamily::kExtrema);
+  EXPECT_EQ(Constraint::Avg("x", 0, 1).family(),
+            ConstraintFamily::kCentrality);
+  EXPECT_EQ(Constraint::Sum("x", 0, 1).family(), ConstraintFamily::kCounting);
+  EXPECT_EQ(Constraint::Count(0, 1).family(), ConstraintFamily::kCounting);
+}
+
+TEST(ConstraintTest, ContainsChecksClosedRange) {
+  Constraint c = Constraint::Avg("x", 10, 20);
+  EXPECT_TRUE(c.Contains(10));
+  EXPECT_TRUE(c.Contains(20));
+  EXPECT_TRUE(c.Contains(15));
+  EXPECT_FALSE(c.Contains(9.999));
+  EXPECT_FALSE(c.Contains(20.001));
+}
+
+TEST(ConstraintTest, OpenEndedBounds) {
+  Constraint lower_only = Constraint::Sum("x", 100, kNoUpperBound);
+  EXPECT_TRUE(lower_only.Contains(1e18));
+  EXPECT_FALSE(lower_only.Contains(99));
+  Constraint upper_only = Constraint::Min("x", kNoLowerBound, 100);
+  EXPECT_TRUE(upper_only.Contains(-1e18));
+  EXPECT_FALSE(upper_only.Contains(101));
+}
+
+TEST(ConstraintTest, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(Constraint::Sum("x", 10, kNoUpperBound).Validate().ok());
+  EXPECT_TRUE(Constraint::Min("x", kNoLowerBound, 10).Validate().ok());
+  EXPECT_TRUE(Constraint::Count(2, 8).Validate().ok());
+}
+
+TEST(ConstraintTest, ValidateRejectsInvertedBounds) {
+  EXPECT_FALSE(Constraint::Sum("x", 10, 5).Validate().ok());
+}
+
+TEST(ConstraintTest, ValidateRejectsFullyOpenRange) {
+  EXPECT_FALSE(
+      Constraint::Sum("x", kNoLowerBound, kNoUpperBound).Validate().ok());
+}
+
+TEST(ConstraintTest, ValidateRejectsMissingAttribute) {
+  Constraint c = Constraint::Sum("", 1, 2);
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConstraintTest, ValidateRejectsImpossibleCount) {
+  EXPECT_FALSE(Constraint::Count(0, 0.5).Validate().ok());
+}
+
+TEST(ConstraintTest, ValidateRejectsNanBounds) {
+  Constraint c = Constraint::Sum("x", std::nan(""), 5);
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConstraintTest, ToStringFormatsBounds) {
+  EXPECT_EQ(Constraint::Min("POP", kNoLowerBound, 3000).ToString(),
+            "MIN(POP) in [-inf, 3000]");
+  EXPECT_EQ(Constraint::Sum("TOTALPOP", 20000, kNoUpperBound).ToString(),
+            "SUM(TOTALPOP) in [20000, inf]");
+  EXPECT_EQ(Constraint::Count(2, 4).ToString(), "COUNT(*) in [2, 4]");
+}
+
+TEST(ConstraintTest, Equality) {
+  EXPECT_EQ(Constraint::Avg("x", 1, 2), Constraint::Avg("x", 1, 2));
+  EXPECT_FALSE(Constraint::Avg("x", 1, 2) == Constraint::Avg("y", 1, 2));
+  EXPECT_FALSE(Constraint::Avg("x", 1, 2) == Constraint::Sum("x", 1, 2));
+}
+
+TEST(AggregateTest, NamesAreSqlLike) {
+  EXPECT_EQ(AggregateName(Aggregate::kMin), "MIN");
+  EXPECT_EQ(AggregateName(Aggregate::kCount), "COUNT");
+}
+
+}  // namespace
+}  // namespace emp

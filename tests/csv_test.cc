@@ -1,0 +1,70 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace emp {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto table = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header.size(), 3u);
+  EXPECT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][2], "6");
+}
+
+TEST(CsvTest, SkipsBlankLinesAndCrLf) {
+  auto table = ParseCsv("a,b\r\n\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = ParseCsv("a,b\n1,2,3\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("\n\n").ok());
+}
+
+TEST(CsvTest, ColumnIndexLookup) {
+  auto table = ParseCsv("id,pop,emp\n1,2,3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ColumnIndex("pop"), 1);
+  EXPECT_EQ(table->ColumnIndex("missing"), -1);
+}
+
+TEST(CsvTest, RoundTripsThroughWriteCsv) {
+  auto table = ParseCsv("x,y\n1,2\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  std::string text = WriteCsv(*table);
+  auto again = ParseCsv(text);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->rows, table->rows);
+  EXPECT_EQ(again->header, table->header);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  std::string path = testing::TempDir() + "/emp_csv_test.csv";
+  ASSERT_TRUE(WriteFile(path, "h1,h2\n9,8\n").ok());
+  auto table = ReadCsvFile(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "9");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto r = ReadCsvFile("/nonexistent/path/file.csv");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace emp

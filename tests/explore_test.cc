@@ -1,0 +1,108 @@
+#include "core/explore.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic/dataset_catalog.h"
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+const AreaSet& SmallMap() {
+  static const AreaSet* kMap = [] {
+    auto areas = synthetic::MakeCatalogDataset("tiny");
+    if (!areas.ok()) std::abort();
+    return new AreaSet(std::move(areas).value());
+  }();
+  return *kMap;
+}
+
+TEST(SweepThresholdTest, PDecreasesWithSumLowerBound) {
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 10000, kNoUpperBound)};
+  auto sweep = SweepThreshold(SmallMap(), cs, 0, SweepBound::kLower,
+                              {10000, 30000, 60000});
+  ASSERT_TRUE(sweep.ok()) << sweep.status().ToString();
+  ASSERT_EQ(sweep->size(), 3u);
+  EXPECT_TRUE((*sweep)[0].feasible);
+  EXPECT_GE((*sweep)[0].p, (*sweep)[1].p);
+  EXPECT_GE((*sweep)[1].p, (*sweep)[2].p);
+  // The swept constraint is echoed back per point.
+  EXPECT_DOUBLE_EQ((*sweep)[2].constraint.lower, 60000);
+}
+
+TEST(SweepThresholdTest, InfeasibleValuesMarkedNotFailed) {
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 10000, kNoUpperBound)};
+  auto sweep = SweepThreshold(SmallMap(), cs, 0, SweepBound::kLower,
+                              {10000, 1e12});
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_TRUE((*sweep)[0].feasible);
+  EXPECT_FALSE((*sweep)[1].feasible);  // dataset total below 1e12
+}
+
+TEST(SweepThresholdTest, InvalidBoundCombinationsMarked) {
+  std::vector<Constraint> cs = {Constraint::Avg("EMPLOYED", 1500, 3500)};
+  // Sweeping the upper bound below the lower bound is invalid per-point.
+  auto sweep =
+      SweepThreshold(SmallMap(), cs, 0, SweepBound::kUpper, {1000, 4000});
+  ASSERT_TRUE(sweep.ok());
+  EXPECT_FALSE((*sweep)[0].feasible);
+  EXPECT_TRUE((*sweep)[1].feasible);
+}
+
+TEST(SweepThresholdTest, RejectsBadArguments) {
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 10000, kNoUpperBound)};
+  EXPECT_FALSE(
+      SweepThreshold(SmallMap(), cs, 5, SweepBound::kLower, {1}).ok());
+  EXPECT_FALSE(
+      SweepThreshold(SmallMap(), cs, 0, SweepBound::kLower, {}).ok());
+}
+
+TEST(SuggestRelaxationsTest, TightAvgRangeGetsSuggestions) {
+  // A tight AVG band leaves many areas unassigned; widening it should be
+  // suggested with a measured unassigned reduction.
+  std::vector<Constraint> cs = {Constraint::Avg("EMPLOYED", 2800, 3200)};
+  auto suggestions = SuggestRelaxations(SmallMap(), cs);
+  ASSERT_TRUE(suggestions.ok()) << suggestions.status().ToString();
+  ASSERT_FALSE(suggestions->empty());
+  const RelaxationSuggestion& best = suggestions->front();
+  EXPECT_EQ(best.constraint_index, 0);
+  EXPECT_LT(best.unassigned_fraction, best.baseline_unassigned_fraction);
+  // The suggestion widens, never narrows.
+  EXPECT_LE(best.suggested.lower, best.original.lower);
+  EXPECT_GE(best.suggested.upper, best.original.upper);
+  EXPECT_NE(best.ToString().find("relax"), std::string::npos);
+}
+
+TEST(SuggestRelaxationsTest, SatisfiedQueryYieldsFewOrNoSuggestions) {
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+  auto suggestions = SuggestRelaxations(SmallMap(), cs);
+  ASSERT_TRUE(suggestions.ok());
+  // Everything is assigned already; no relaxation can gain 2 %.
+  EXPECT_TRUE(suggestions->empty());
+}
+
+TEST(SuggestRelaxationsTest, RestoresFeasibility) {
+  // SUM lower bound just above the dataset total: infeasible; widening
+  // the lower bound (scaling it down) restores feasibility.
+  auto stats = SmallMap().attributes().Stats("TOTALPOP");
+  ASSERT_TRUE(stats.ok());
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", stats->sum * 1.05, kNoUpperBound)};
+  RelaxOptions options;
+  options.widen_factors = {1.1, 1.3};
+  auto suggestions = SuggestRelaxations(SmallMap(), cs, options);
+  ASSERT_TRUE(suggestions.ok());
+  ASSERT_FALSE(suggestions->empty());
+  EXPECT_GE(suggestions->front().p, 1);
+}
+
+TEST(SuggestRelaxationsTest, RejectsEmptyQuery) {
+  EXPECT_FALSE(SuggestRelaxations(SmallMap(), {}).ok());
+}
+
+}  // namespace
+}  // namespace emp

@@ -1,0 +1,150 @@
+#include "core/feasibility.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+class FeasibilityTest : public ::testing::Test {
+ protected:
+  // Path with s = {1, 2, 4, 6, 8, 10}: sum = 31, avg = 31/6 ≈ 5.17.
+  FeasibilityTest() : areas_(test::PathAreaSet({1, 2, 4, 6, 8, 10})) {}
+
+  FeasibilityReport Check(std::vector<Constraint> cs) {
+    auto bc = BoundConstraints::Create(&areas_, std::move(cs));
+    EXPECT_TRUE(bc.ok()) << bc.status().ToString();
+    auto report = CheckFeasibility(*bc);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return std::move(report).value();
+  }
+
+  AreaSet areas_;
+};
+
+TEST_F(FeasibilityTest, NoConstraintsIsTriviallyFeasible) {
+  FeasibilityReport r = Check({});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.full_partition_possible);
+  EXPECT_TRUE(r.invalid_areas.empty());
+  EXPECT_EQ(r.num_valid_areas, 6);
+  EXPECT_EQ(r.num_seed_areas, 6);  // all seed when no extrema
+}
+
+TEST_F(FeasibilityTest, MinConstraintFiltersBelowLower) {
+  FeasibilityReport r = Check({Constraint::Min("s", 4, 8)});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.invalid_areas, (std::vector<int32_t>{0, 1}));  // s=1,2 < 4
+  EXPECT_EQ(r.num_valid_areas, 4);
+  // Seeds: s in [4, 8] -> areas 2, 3, 4.
+  EXPECT_EQ(r.num_seed_areas, 3);
+  EXPECT_TRUE(r.is_seed[2]);
+  EXPECT_FALSE(r.is_seed[5]);  // s=10 valid but not a seed
+}
+
+TEST_F(FeasibilityTest, MinInfeasibleWhenAllAreasAboveUpper) {
+  FeasibilityReport r = Check({Constraint::Min("s", 0, 0.5)});
+  EXPECT_FALSE(r.feasible);  // no area has s <= 0.5 to anchor the MIN
+  EXPECT_FALSE(r.diagnostics.empty());
+}
+
+TEST_F(FeasibilityTest, MinInfeasibleWhenAllAreasBelowLower) {
+  FeasibilityReport r = Check({Constraint::Min("s", 100, 200)});
+  EXPECT_FALSE(r.feasible);  // every area filtered out
+  EXPECT_EQ(r.num_valid_areas, 0);
+}
+
+TEST_F(FeasibilityTest, MaxConstraintFiltersAboveUpper) {
+  FeasibilityReport r = Check({Constraint::Max("s", 6, 8)});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.invalid_areas, (std::vector<int32_t>{5}));  // s=10 > 8
+  // Seeds: s in [6, 8] -> areas 3, 4.
+  EXPECT_EQ(r.num_seed_areas, 2);
+}
+
+TEST_F(FeasibilityTest, MaxInfeasibleWithDisjointLowRange) {
+  // All areas have s >= 1 but none within [0.1, 0.5]; s > 0.5 all invalid.
+  FeasibilityReport r = Check({Constraint::Max("s", 0.1, 0.5)});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST_F(FeasibilityTest, MixedExtremaGapInfeasible) {
+  // No area within [4.5, 5.5]: areas below are invalid? No — for MIN, areas
+  // with s < 4.5 are invalid; remaining {6, 8, 10} has no seed <= 5.5.
+  FeasibilityReport r = Check({Constraint::Min("s", 4.5, 5.5)});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.num_seed_areas, 0);
+}
+
+TEST_F(FeasibilityTest, SumInfeasibleWhenTotalBelowLower) {
+  FeasibilityReport r = Check({Constraint::Sum("s", 100, kNoUpperBound)});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST_F(FeasibilityTest, SumInfeasibleWhenEveryAreaAboveUpper) {
+  FeasibilityReport r = Check({Constraint::Sum("s", 0, 0.5)});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST_F(FeasibilityTest, SumFiltersAreasAboveUpper) {
+  FeasibilityReport r = Check({Constraint::Sum("s", 0, 7)});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.invalid_areas, (std::vector<int32_t>{4, 5}));  // 8, 10 > 7
+}
+
+TEST_F(FeasibilityTest, CountInfeasibleWhenTooFewAreas) {
+  FeasibilityReport r = Check({Constraint::Count(10, kNoUpperBound)});
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST_F(FeasibilityTest, CountFeasibleWithinSize) {
+  FeasibilityReport r = Check({Constraint::Count(2, 4)});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.invalid_areas.empty());
+}
+
+TEST_F(FeasibilityTest, AvgOutsideRangeBlocksFullPartitionOnly) {
+  // Dataset avg ≈ 5.17; range [100, 200] is unreachable for a full
+  // partition (Theorem 3) but regions leaving areas out may still exist.
+  FeasibilityReport r = Check({Constraint::Avg("s", 100, 200)});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_FALSE(r.full_partition_possible);
+  EXPECT_FALSE(r.diagnostics.empty());
+}
+
+TEST_F(FeasibilityTest, AvgInsideRangeAllowsFullPartition) {
+  FeasibilityReport r = Check({Constraint::Avg("s", 5, 6)});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.full_partition_possible);
+}
+
+TEST_F(FeasibilityTest, MultipleConstraintsUnionInvalidAreas) {
+  FeasibilityReport r = Check({
+      Constraint::Min("s", 2, 6),              // s=1 invalid
+      Constraint::Max("s", 4, 8),              // s=10 invalid
+      Constraint::Sum("s", 5, kNoUpperBound),  // no upper -> no invalids
+  });
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.invalid_areas, (std::vector<int32_t>{0, 5}));
+  // seeds_per_extrema aligned with extrema order (MIN first, MAX second).
+  ASSERT_EQ(r.seeds_per_extrema_constraint.size(), 2u);
+  EXPECT_EQ(r.seeds_per_extrema_constraint[0], 3);  // s in [2,6]: 2,4,6
+  EXPECT_EQ(r.seeds_per_extrema_constraint[1], 3);  // s in [4,8]: 4,6,8
+}
+
+TEST_F(FeasibilityTest, EmptyAreaSetRejected) {
+  // Constructing an empty AreaSet requires an empty graph and table.
+  AttributeTable t(0);
+  ASSERT_TRUE(t.AddColumn("s", {}).ok());
+  auto graph = ContiguityGraph::FromEdges(0, {});
+  auto areas = AreaSet::CreateWithoutGeometry("empty", std::move(graph).value(),
+                                              std::move(t), "s");
+  ASSERT_TRUE(areas.ok());
+  auto bc = BoundConstraints::Create(&*areas, {});
+  ASSERT_TRUE(bc.ok());
+  EXPECT_FALSE(CheckFeasibility(*bc).ok());
+}
+
+}  // namespace
+}  // namespace emp

@@ -1,0 +1,81 @@
+#include "graph/gal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "data/synthetic/dataset_catalog.h"
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+TEST(GalTest, SerializesSimpleGraph) {
+  ContiguityGraph g = test::PathGraph(3);
+  std::string gal = ToGal(g);
+  EXPECT_EQ(gal, "3\n0 1\n1\n1 2\n0 2\n2 1\n1\n");
+}
+
+TEST(GalTest, RoundTripsPath) {
+  ContiguityGraph g = test::PathGraph(5);
+  auto parsed = FromGal(ToGal(g));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_nodes(), 5);
+  for (int32_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(parsed->NeighborsOf(v), g.NeighborsOf(v));
+  }
+}
+
+TEST(GalTest, RoundTripsSyntheticMap) {
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  auto parsed = FromGal(ToGal(areas->graph()));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_nodes(), areas->num_areas());
+  EXPECT_EQ(parsed->num_edges(), areas->graph().num_edges());
+  for (int32_t v = 0; v < parsed->num_nodes(); ++v) {
+    EXPECT_EQ(parsed->NeighborsOf(v), areas->graph().NeighborsOf(v));
+  }
+}
+
+TEST(GalTest, AcceptsGeoDaHeader) {
+  auto parsed = FromGal("0 3 map.shp POLY_ID\n0 1\n1\n1 2\n0 2\n2 1\n1\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_nodes(), 3);
+  EXPECT_TRUE(parsed->HasEdge(0, 1));
+}
+
+TEST(GalTest, SymmetrizesOneSidedLists) {
+  auto parsed = FromGal("2\n0 1\n1\n1 0\n");  // node 1 lists no neighbors
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->HasEdge(1, 0));
+}
+
+TEST(GalTest, IsolatedNodesSupported) {
+  auto parsed = FromGal("3\n0 0\n1 1\n2\n2 1\n1\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->DegreeOf(0), 0);
+  EXPECT_TRUE(parsed->HasEdge(1, 2));
+}
+
+TEST(GalTest, RejectsMalformedInput) {
+  EXPECT_FALSE(FromGal("").ok());
+  EXPECT_FALSE(FromGal("abc").ok());
+  EXPECT_FALSE(FromGal("2\n0 3\n1 1\n").ok());    // degree beyond EOF
+  EXPECT_FALSE(FromGal("2\n0 1\n7\n").ok());      // neighbor out of range
+  EXPECT_FALSE(FromGal("2\n5 1\n0\n").ok());      // id out of range
+  EXPECT_FALSE(FromGal("2\n0\n").ok());           // missing degree
+}
+
+TEST(GalTest, FileRoundTrip) {
+  ContiguityGraph g = test::GridGraph(4, 4);
+  std::string path = testing::TempDir() + "/emp_test.gal";
+  ASSERT_TRUE(WriteGalFile(path, g).ok());
+  auto parsed = ReadGalFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace emp

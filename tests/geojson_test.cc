@@ -1,0 +1,173 @@
+#include "data/geojson.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic/dataset_catalog.h"
+
+namespace emp {
+namespace {
+
+AreaSet TwoSquares() {
+  std::vector<Polygon> polys = {
+      Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}}),
+      Polygon({{1, 0}, {2, 0}, {2, 1}, {1, 1}}),
+  };
+  auto graph = ContiguityGraph::FromEdges(2, {{0, 1}});
+  AttributeTable t(2);
+  EXPECT_TRUE(t.AddColumn("POP", {100, 200}).ok());
+  auto a = AreaSet::Create("two", polys, std::move(graph).value(),
+                           std::move(t), "POP");
+  return std::move(a).value();
+}
+
+TEST(GeoJsonTest, EmitsFeatureCollection) {
+  AreaSet areas = TwoSquares();
+  auto json = ToGeoJson(areas);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"type\":\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(json->find("\"area_id\":0"), std::string::npos);
+  EXPECT_NE(json->find("\"area_id\":1"), std::string::npos);
+  EXPECT_NE(json->find("\"POP\":100"), std::string::npos);
+}
+
+TEST(GeoJsonTest, IncludesRegionAssignmentWhenGiven) {
+  AreaSet areas = TwoSquares();
+  auto json = ToGeoJson(areas, {0, -1});
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"region_id\":0"), std::string::npos);
+  EXPECT_NE(json->find("\"region_id\":-1"), std::string::npos);
+}
+
+TEST(GeoJsonTest, ClosesPolygonRings) {
+  AreaSet areas = TwoSquares();
+  auto json = ToGeoJson(areas);
+  ASSERT_TRUE(json.ok());
+  // Ring repeats the first vertex: [0,0] appears at start and end.
+  EXPECT_NE(json->find("[[[0,0],[1,0],[1,1],[0,1],[0,0]]]"),
+            std::string::npos);
+}
+
+TEST(GeoJsonTest, RejectsWrongAssignmentSize) {
+  AreaSet areas = TwoSquares();
+  EXPECT_FALSE(ToGeoJson(areas, {0}).ok());
+}
+
+TEST(GeoJsonTest, RejectsGeometrylessAreaSet) {
+  AttributeTable t(1);
+  ASSERT_TRUE(t.AddColumn("X", {1}).ok());
+  auto graph = ContiguityGraph::FromEdges(1, {});
+  auto areas = AreaSet::CreateWithoutGeometry("g", std::move(graph).value(),
+                                              std::move(t), "X");
+  ASSERT_TRUE(areas.ok());
+  EXPECT_FALSE(ToGeoJson(*areas).ok());
+}
+
+TEST(AssignmentCsvTest, FormatsRows) {
+  std::string csv = AssignmentToCsv({2, -1, 0});
+  EXPECT_EQ(csv, "area_id,region_id\n0,2\n1,-1\n2,0\n");
+}
+
+TEST(GeoJsonImportTest, RoundTripsExportIncludingAssignment) {
+  AreaSet original = TwoSquares();
+  auto exported = ToGeoJson(original, {1, -1});
+  ASSERT_TRUE(exported.ok());
+  std::vector<int32_t> region_of;
+  GeoJsonImportOptions options;
+  options.dissimilarity_attribute = "POP";
+  auto imported = FromGeoJson(*exported, options, &region_of);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  ASSERT_EQ(imported->num_areas(), 2);
+  EXPECT_DOUBLE_EQ(imported->attributes().Value(0, 0), 100);
+  EXPECT_DOUBLE_EQ(imported->attributes().Value(0, 1), 200);
+  EXPECT_TRUE(imported->graph().HasEdge(0, 1));
+  EXPECT_EQ(region_of, (std::vector<int32_t>{1, -1}));
+  EXPECT_NEAR(imported->polygon(0).Area(), original.polygon(0).Area(), 1e-6);
+}
+
+TEST(GeoJsonImportTest, HandMadeFeatureCollection) {
+  const char* text = R"({
+    "type": "FeatureCollection",
+    "features": [
+      {"type": "Feature",
+       "properties": {"POP": 10, "note": "ignored"},
+       "geometry": {"type": "Polygon",
+                    "coordinates": [[[0,0],[1,0],[1,1],[0,1],[0,0]]]}},
+      {"type": "Feature",
+       "properties": {"POP": 20},
+       "geometry": {"type": "Polygon",
+                    "coordinates": [[[1,0],[2,0],[2,1],[1,1],[1,0]]]}}
+    ]})";
+  auto imported = FromGeoJson(text);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(imported->num_areas(), 2);
+  EXPECT_TRUE(imported->attributes().HasColumn("POP"));
+  EXPECT_FALSE(imported->attributes().HasColumn("note"));
+  EXPECT_TRUE(imported->graph().HasEdge(0, 1));
+}
+
+TEST(GeoJsonImportTest, AreaIdsReorderFeatures) {
+  const char* text = R"({
+    "type": "FeatureCollection",
+    "features": [
+      {"type": "Feature",
+       "properties": {"area_id": 1, "POP": 20},
+       "geometry": {"type": "Polygon",
+                    "coordinates": [[[1,0],[2,0],[2,1],[1,1],[1,0]]]}},
+      {"type": "Feature",
+       "properties": {"area_id": 0, "POP": 10},
+       "geometry": {"type": "Polygon",
+                    "coordinates": [[[0,0],[1,0],[1,1],[0,1],[0,0]]]}}
+    ]})";
+  auto imported = FromGeoJson(text);
+  ASSERT_TRUE(imported.ok());
+  EXPECT_DOUBLE_EQ(imported->attributes().Value(0, 0), 10);
+  EXPECT_DOUBLE_EQ(imported->attributes().Value(0, 1), 20);
+}
+
+TEST(GeoJsonImportTest, RejectsUnsupportedShapes) {
+  EXPECT_FALSE(FromGeoJson("{}").ok());
+  EXPECT_FALSE(FromGeoJson(R"({"type":"FeatureCollection"})").ok());
+  EXPECT_FALSE(
+      FromGeoJson(R"({"type":"FeatureCollection","features":[]})").ok());
+  // MultiPolygon rejected.
+  const char* multi = R"({
+    "type": "FeatureCollection",
+    "features": [
+      {"type": "Feature", "properties": {"POP": 1},
+       "geometry": {"type": "MultiPolygon", "coordinates": []}}
+    ]})";
+  EXPECT_FALSE(FromGeoJson(multi).ok());
+  // Holes rejected.
+  const char* holes = R"({
+    "type": "FeatureCollection",
+    "features": [
+      {"type": "Feature", "properties": {"POP": 1},
+       "geometry": {"type": "Polygon",
+         "coordinates": [[[0,0],[9,0],[9,9],[0,9],[0,0]],
+                         [[1,1],[2,1],[2,2],[1,2],[1,1]]]}}
+    ]})";
+  EXPECT_FALSE(FromGeoJson(holes).ok());
+}
+
+TEST(GeoJsonImportTest, SyntheticMapRoundTrip) {
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  auto exported = ToGeoJson(*areas);
+  ASSERT_TRUE(exported.ok());
+  GeoJsonImportOptions options;
+  options.dissimilarity_attribute = "HOUSEHOLDS";
+  auto imported = FromGeoJson(*exported, options);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  ASSERT_EQ(imported->num_areas(), areas->num_areas());
+  // Adjacency recovered geometrically; tolerate rare rounding slivers.
+  int64_t mismatches = 0;
+  for (int32_t a = 0; a < areas->num_areas(); ++a) {
+    if (imported->graph().NeighborsOf(a) != areas->graph().NeighborsOf(a)) {
+      ++mismatches;
+    }
+  }
+  EXPECT_LE(mismatches, areas->num_areas() / 20);
+}
+
+}  // namespace
+}  // namespace emp

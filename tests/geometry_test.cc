@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/box.h"
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace emp {
+namespace {
+
+Polygon UnitSquare() {
+  return Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+}
+
+TEST(PointTest, Arithmetic) {
+  Point a{1, 2};
+  Point b{3, -1};
+  EXPECT_EQ((a + b), (Point{4, 1}));
+  EXPECT_EQ((a - b), (Point{-2, 3}));
+  EXPECT_EQ((a * 2.0), (Point{2, 4}));
+  EXPECT_DOUBLE_EQ(Dot(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Cross(a, b), -7.0);
+}
+
+TEST(PointTest, DistanceAndMidpoint) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0}, {3, 4}), 25.0);
+  EXPECT_EQ(Midpoint({0, 0}, {2, 4}), (Point{1, 2}));
+}
+
+TEST(PointTest, OrientationSign) {
+  EXPECT_GT(Orientation({0, 0}, {1, 0}, {1, 1}), 0);  // CCW turn
+  EXPECT_LT(Orientation({0, 0}, {1, 0}, {1, -1}), 0);  // CW turn
+  EXPECT_DOUBLE_EQ(Orientation({0, 0}, {1, 1}, {2, 2}), 0);  // collinear
+}
+
+TEST(BoxTest, EmptyAndExtend) {
+  Box b;
+  EXPECT_TRUE(b.empty());
+  b.Extend(Point{1, 2});
+  EXPECT_FALSE(b.empty());
+  b.Extend(Point{-1, 5});
+  EXPECT_DOUBLE_EQ(b.Width(), 2.0);
+  EXPECT_DOUBLE_EQ(b.Height(), 3.0);
+  EXPECT_TRUE(b.Contains({0, 3}));
+  EXPECT_FALSE(b.Contains({0, 6}));
+}
+
+TEST(BoxTest, IntersectsAndCenter) {
+  Box a;
+  a.Extend(Point{0, 0});
+  a.Extend(Point{2, 2});
+  Box b;
+  b.Extend(Point{1, 1});
+  b.Extend(Point{3, 3});
+  Box c;
+  c.Extend(Point{5, 5});
+  c.Extend(Point{6, 6});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_EQ(a.Center(), (Point{1, 1}));
+}
+
+TEST(PolygonTest, AreaOfSquareAndTriangle) {
+  EXPECT_DOUBLE_EQ(UnitSquare().Area(), 1.0);
+  Polygon tri({{0, 0}, {4, 0}, {0, 3}});
+  EXPECT_DOUBLE_EQ(tri.Area(), 6.0);
+}
+
+TEST(PolygonTest, SignedAreaDependsOnOrientation) {
+  Polygon ccw = UnitSquare();
+  Polygon cw({{0, 0}, {0, 1}, {1, 1}, {1, 0}});
+  EXPECT_GT(ccw.SignedArea(), 0);
+  EXPECT_LT(cw.SignedArea(), 0);
+  cw.MakeCounterClockwise();
+  EXPECT_GT(cw.SignedArea(), 0);
+}
+
+TEST(PolygonTest, PerimeterOfSquare) {
+  EXPECT_DOUBLE_EQ(UnitSquare().Perimeter(), 4.0);
+}
+
+TEST(PolygonTest, CentroidOfSquare) {
+  Point c = UnitSquare().Centroid();
+  EXPECT_NEAR(c.x, 0.5, 1e-12);
+  EXPECT_NEAR(c.y, 0.5, 1e-12);
+}
+
+TEST(PolygonTest, CentroidOfAsymmetricTriangle) {
+  Polygon tri({{0, 0}, {3, 0}, {0, 3}});
+  Point c = tri.Centroid();
+  EXPECT_NEAR(c.x, 1.0, 1e-12);
+  EXPECT_NEAR(c.y, 1.0, 1e-12);
+}
+
+TEST(PolygonTest, ContainsInteriorRejectsExterior) {
+  Polygon sq = UnitSquare();
+  EXPECT_TRUE(sq.Contains({0.5, 0.5}));
+  EXPECT_FALSE(sq.Contains({1.5, 0.5}));
+  EXPECT_FALSE(sq.Contains({-0.1, 0.1}));
+}
+
+TEST(PolygonTest, ContainsWorksForConcaveShape) {
+  // An L-shape; the notch interior point is outside.
+  Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(l.Contains({0.5, 1.5}));
+  EXPECT_TRUE(l.Contains({1.5, 0.5}));
+  EXPECT_FALSE(l.Contains({1.5, 1.5}));
+}
+
+TEST(PolygonTest, ConvexityDetection) {
+  EXPECT_TRUE(UnitSquare().IsConvex());
+  Polygon l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_FALSE(l.IsConvex());
+}
+
+TEST(PolygonTest, BoundingBoxCoversAllVertices) {
+  Polygon tri({{-1, 0}, {4, 2}, {0, 7}});
+  Box b = tri.BoundingBox();
+  EXPECT_DOUBLE_EQ(b.min_x, -1);
+  EXPECT_DOUBLE_EQ(b.max_y, 7);
+}
+
+TEST(SegmentsOverlapTest, CollinearOverlapDetected) {
+  EXPECT_TRUE(SegmentsOverlap({0, 0}, {2, 0}, {1, 0}, {3, 0}, 0.5));
+  EXPECT_FALSE(SegmentsOverlap({0, 0}, {2, 0}, {1, 0}, {3, 0}, 1.5));
+}
+
+TEST(SegmentsOverlapTest, NonCollinearRejected) {
+  EXPECT_FALSE(SegmentsOverlap({0, 0}, {2, 0}, {0, 1}, {2, 1}, 0.1));
+  EXPECT_FALSE(SegmentsOverlap({0, 0}, {2, 0}, {0, 0}, {1, 1}, 0.1));
+}
+
+TEST(SegmentsOverlapTest, TouchingAtPointIsNotOverlap) {
+  EXPECT_FALSE(SegmentsOverlap({0, 0}, {1, 0}, {1, 0}, {2, 0}, 1e-6));
+}
+
+TEST(SharedBorderTest, AdjacentSquaresShareUnitEdge) {
+  Polygon left({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Polygon right({{1, 0}, {2, 0}, {2, 1}, {1, 1}});
+  EXPECT_NEAR(SharedBorderLength(left, right), 1.0, 1e-9);
+}
+
+TEST(SharedBorderTest, DiagonalNeighborsShareNothing) {
+  Polygon a({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  Polygon b({{1, 1}, {2, 1}, {2, 2}, {1, 2}});
+  EXPECT_NEAR(SharedBorderLength(a, b), 0.0, 1e-9);
+}
+
+TEST(SharedBorderTest, PartialOverlapMeasured) {
+  Polygon a({{0, 0}, {2, 0}, {2, 1}, {0, 1}});
+  Polygon b({{1, 1}, {3, 1}, {3, 2}, {1, 2}});
+  EXPECT_NEAR(SharedBorderLength(a, b), 1.0, 1e-9);
+}
+
+TEST(SimplifyTest, RemovesCollinearVertices) {
+  // A square with redundant midpoints on every edge.
+  Polygon noisy({{0, 0}, {1, 0}, {2, 0}, {2, 1}, {2, 2}, {1, 2},
+                 {0, 2}, {0, 1}});
+  Polygon simple = SimplifyPolygon(noisy, 1e-6);
+  EXPECT_EQ(simple.size(), 4u);
+  EXPECT_NEAR(simple.Area(), noisy.Area(), 1e-9);
+}
+
+TEST(SimplifyTest, KeepsSignificantDetail) {
+  // A square with a real bump: tolerance below the bump keeps it.
+  Polygon bumpy({{0, 0}, {1, 0}, {1.5, 0.4}, {2, 0}, {2, 2}, {0, 2}});
+  Polygon keep = SimplifyPolygon(bumpy, 0.1);
+  EXPECT_EQ(keep.size(), 6u);
+  Polygon drop = SimplifyPolygon(bumpy, 0.5);
+  EXPECT_LT(drop.size(), 6u);
+}
+
+TEST(SimplifyTest, NeverBelowTriangle) {
+  Polygon circleish;
+  for (int i = 0; i < 32; ++i) {
+    double t = 2.0 * 3.14159265358979 * i / 32;
+    circleish.mutable_vertices().push_back({std::cos(t), std::sin(t)});
+  }
+  Polygon simple = SimplifyPolygon(circleish, 100.0);  // absurd tolerance
+  EXPECT_GE(simple.size(), 3u);
+}
+
+TEST(SimplifyTest, NoOpOnTrianglesAndZeroTolerance) {
+  Polygon tri({{0, 0}, {4, 0}, {0, 3}});
+  EXPECT_EQ(SimplifyPolygon(tri, 10.0).size(), 3u);
+  Polygon sq = UnitSquare();
+  EXPECT_EQ(SimplifyPolygon(sq, 0.0).size(), 4u);
+}
+
+}  // namespace
+}  // namespace emp

@@ -1,0 +1,144 @@
+#include "core/local_search/heterogeneity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+double NaivePairwise(const std::vector<double>& vals) {
+  double total = 0;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    for (size_t j = i + 1; j < vals.size(); ++j) {
+      total += std::fabs(vals[i] - vals[j]);
+    }
+  }
+  return total;
+}
+
+TEST(RegionDissimilarityTest, TotalMatchesNaive) {
+  RegionDissimilarity rd;
+  std::vector<double> vals = {3, 1, 4, 1, 5, 9, 2, 6};
+  for (double v : vals) rd.Add(v);
+  EXPECT_NEAR(rd.TotalPairwise(), NaivePairwise(vals), 1e-9);
+}
+
+TEST(RegionDissimilarityTest, ContributionMatchesNaive) {
+  RegionDissimilarity rd;
+  std::vector<double> vals = {2, 7, 7, 10};
+  for (double v : vals) rd.Add(v);
+  for (double probe : {0.0, 2.0, 5.0, 7.0, 11.0}) {
+    double expect = 0;
+    for (double v : vals) expect += std::fabs(probe - v);
+    EXPECT_NEAR(rd.ContributionOf(probe), expect, 1e-9) << probe;
+  }
+}
+
+TEST(RegionDissimilarityTest, RemoveUndoesAdd) {
+  RegionDissimilarity rd;
+  rd.Add(5);
+  rd.Add(2);
+  rd.Add(8);
+  double before = rd.TotalPairwise();
+  rd.Add(3);
+  rd.Remove(3);
+  EXPECT_NEAR(rd.TotalPairwise(), before, 1e-9);
+  EXPECT_EQ(rd.size(), 3);
+}
+
+TEST(RegionDissimilarityTest, RandomTraceMatchesNaive) {
+  Rng rng(31);
+  RegionDissimilarity rd;
+  std::vector<double> vals;
+  for (int step = 0; step < 300; ++step) {
+    if (vals.empty() || rng.Bernoulli(0.6)) {
+      double v = std::floor(rng.Uniform(0, 50));  // duplicates likely
+      vals.push_back(v);
+      rd.Add(v);
+    } else {
+      size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(vals.size()) - 1));
+      rd.Remove(vals[idx]);
+      vals.erase(vals.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    ASSERT_NEAR(rd.TotalPairwise(), NaivePairwise(vals), 1e-6);
+  }
+}
+
+class TrackerTest : public ::testing::Test {
+ protected:
+  TrackerTest()
+      : areas_(test::MakeAreaSet(test::GridGraph(3, 3),
+                                 {{"s", {5, 1, 9, 3, 7, 2, 8, 4, 6}}})),
+        bound_(std::move(BoundConstraints::Create(
+                             &areas_, {Constraint::Count(1, 9)}))
+                   .value()) {}
+
+  AreaSet areas_;
+  BoundConstraints bound_;
+};
+
+TEST_F(TrackerTest, InitialTotalMatchesComputeHeterogeneity) {
+  Partition p(&bound_);
+  int32_t r1 = p.CreateRegion();
+  int32_t r2 = p.CreateRegion();
+  for (int32_t a : {0, 1, 3, 4}) p.Assign(a, r1);
+  for (int32_t a : {2, 5, 8}) p.Assign(a, r2);
+  HeterogeneityTracker tracker(p);
+  EXPECT_NEAR(tracker.total(), ComputeHeterogeneity(p), 1e-9);
+}
+
+TEST_F(TrackerTest, MoveDeltaMatchesRecomputation) {
+  Partition p(&bound_);
+  int32_t r1 = p.CreateRegion();
+  int32_t r2 = p.CreateRegion();
+  for (int32_t a : {0, 1, 3, 4}) p.Assign(a, r1);
+  for (int32_t a : {2, 5, 8}) p.Assign(a, r2);
+  HeterogeneityTracker tracker(p);
+  double before = ComputeHeterogeneity(p);
+  double delta = tracker.MoveDelta(1, r1, r2);
+  p.Move(1, r2);
+  tracker.ApplyMove(1, r1, r2);
+  double after = ComputeHeterogeneity(p);
+  EXPECT_NEAR(after - before, delta, 1e-9);
+  EXPECT_NEAR(tracker.total(), after, 1e-9);
+}
+
+TEST_F(TrackerTest, LongMoveSequenceStaysExact) {
+  Partition p(&bound_);
+  int32_t r1 = p.CreateRegion();
+  int32_t r2 = p.CreateRegion();
+  int32_t r3 = p.CreateRegion();
+  for (int32_t a : {0, 1, 2}) p.Assign(a, r1);
+  for (int32_t a : {3, 4, 5}) p.Assign(a, r2);
+  for (int32_t a : {6, 7, 8}) p.Assign(a, r3);
+  HeterogeneityTracker tracker(p);
+  Rng rng(17);
+  std::vector<int32_t> rids = {r1, r2, r3};
+  for (int step = 0; step < 200; ++step) {
+    int32_t area = static_cast<int32_t>(rng.UniformInt(0, 8));
+    int32_t from = p.RegionOf(area);
+    if (p.region(from).size() <= 1) continue;
+    int32_t to = rids[static_cast<size_t>(rng.UniformInt(0, 2))];
+    if (to == from) continue;
+    p.Move(area, to);
+    tracker.ApplyMove(area, from, to);
+    ASSERT_NEAR(tracker.total(), ComputeHeterogeneity(p), 1e-6);
+  }
+}
+
+TEST_F(TrackerTest, UnassignedAreasExcluded) {
+  Partition p(&bound_);
+  int32_t r = p.CreateRegion();
+  for (int32_t a : {0, 1}) p.Assign(a, r);
+  // Areas 2..8 unassigned and must not count.
+  HeterogeneityTracker tracker(p);
+  EXPECT_NEAR(tracker.total(), std::fabs(5.0 - 1.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace emp

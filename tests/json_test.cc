@@ -1,0 +1,88 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace emp {
+namespace json {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->AsBool());
+  EXPECT_FALSE(Parse("false")->AsBool());
+  EXPECT_DOUBLE_EQ(Parse("3.25")->AsNumber(), 3.25);
+  EXPECT_DOUBLE_EQ(Parse("-1e3")->AsNumber(), -1000.0);
+  EXPECT_EQ(Parse("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  auto v = Parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_TRUE(v->is_object());
+  const Value* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->AsArray()[1].AsNumber(), 2.0);
+  const Value* b = a->AsArray()[2].Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->AsBool());
+  EXPECT_EQ(v->Find("c")->AsString(), "x");
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, ObjectPreservesKeyOrder) {
+  auto v = Parse(R"({"z": 1, "a": 2})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->AsObject().size(), 2u);
+  EXPECT_EQ(v->AsObject()[0].first, "z");
+  EXPECT_EQ(v->AsObject()[1].first, "a");
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto v = Parse(R"("line\nquote\"back\\slash\/tab\t")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "line\nquote\"back\\slash/tab\t");
+}
+
+TEST(JsonTest, UnicodeEscapes) {
+  auto v = Parse(R"("Aé€")");  // A, é, €
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "A\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_TRUE(Parse("{}")->AsObject().empty());
+  EXPECT_TRUE(Parse("[]")->AsArray().empty());
+  EXPECT_TRUE(Parse("  [ ]  ")->is_array());
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1, 2").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("{\"a\": 1,}").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("1 2").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+  EXPECT_FALSE(Parse("\"bad \\x escape\"").ok());
+}
+
+TEST(JsonTest, RejectsExcessiveNesting) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonTest, ParsesOwnSolutionReportShape) {
+  auto v = Parse(R"({"p": 3, "regions": [{"id": 0, "areas": [1, 2]}],
+                     "bound": "inf"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->Find("p")->AsNumber(), 3);
+  EXPECT_EQ(v->Find("bound")->AsString(), "inf");
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace emp

@@ -1,0 +1,133 @@
+#include "data/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic/dataset_catalog.h"
+#include "graph/components.h"
+
+namespace emp {
+namespace {
+
+/// Three unit squares in a row as loader CSV (WKT commas written as ';').
+constexpr char kThreeSquares[] =
+    "WKT,POP,EMP\n"
+    "POLYGON ((0 0; 1 0; 1 1; 0 1; 0 0)),100,10\n"
+    "POLYGON ((1 0; 2 0; 2 1; 1 1; 1 0)),200,20\n"
+    "POLYGON ((2 0; 3 0; 3 1; 2 1; 2 0)),300,30\n";
+
+TEST(LoaderTest, LoadsAreasAttributesAndAdjacency) {
+  auto areas = LoadAreaSetFromCsvText(kThreeSquares);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  EXPECT_EQ(areas->num_areas(), 3);
+  EXPECT_TRUE(areas->has_geometry());
+  EXPECT_TRUE(areas->attributes().HasColumn("POP"));
+  EXPECT_TRUE(areas->attributes().HasColumn("EMP"));
+  EXPECT_DOUBLE_EQ(areas->attributes().Value(0, 1), 200);
+  // Adjacency: 0-1 and 1-2 share borders; 0-2 do not.
+  EXPECT_TRUE(areas->graph().HasEdge(0, 1));
+  EXPECT_TRUE(areas->graph().HasEdge(1, 2));
+  EXPECT_FALSE(areas->graph().HasEdge(0, 2));
+}
+
+TEST(LoaderTest, DiagonalTouchIsNotAdjacency) {
+  // Two squares meeting only at a corner point.
+  const char* csv =
+      "WKT,V\n"
+      "POLYGON ((0 0; 1 0; 1 1; 0 1; 0 0)),1\n"
+      "POLYGON ((1 1; 2 1; 2 2; 1 2; 1 1)),2\n";
+  auto areas = LoadAreaSetFromCsvText(csv);
+  ASSERT_TRUE(areas.ok());
+  EXPECT_FALSE(areas->graph().HasEdge(0, 1));
+}
+
+TEST(LoaderTest, QueenContiguityConnectsCornerTouch) {
+  const char* csv =
+      "WKT,V\n"
+      "POLYGON ((0 0; 1 0; 1 1; 0 1; 0 0)),1\n"
+      "POLYGON ((1 1; 2 1; 2 2; 1 2; 1 1)),2\n"
+      "POLYGON ((5 5; 6 5; 6 6; 5 6; 5 5)),3\n";
+  LoaderOptions options;
+  options.queen = true;
+  auto areas = LoadAreaSetFromCsvText(csv, options);
+  ASSERT_TRUE(areas.ok());
+  EXPECT_TRUE(areas->graph().HasEdge(0, 1));   // corner touch counts
+  EXPECT_FALSE(areas->graph().HasEdge(0, 2));  // disjoint still apart
+}
+
+TEST(LoaderTest, CustomGeometryColumnAndDissimilarity) {
+  const char* csv =
+      "pop,shape\n"
+      "5,POLYGON ((0 0; 1 0; 0 1; 0 0))\n"
+      "7,POLYGON ((1 0; 2 0; 1 1; 1 0))\n";
+  LoaderOptions options;
+  options.geometry_column = "shape";
+  options.dissimilarity_attribute = "pop";
+  auto areas = LoadAreaSetFromCsvText(csv, options);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  EXPECT_EQ(areas->dissimilarity_attribute(), "pop");
+}
+
+TEST(LoaderTest, RejectsMissingGeometryColumn) {
+  auto areas = LoadAreaSetFromCsvText("A,B\n1,2\n");
+  ASSERT_FALSE(areas.ok());
+  EXPECT_EQ(areas.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LoaderTest, RejectsBadWkt) {
+  auto areas = LoadAreaSetFromCsvText("WKT,V\nnot-a-polygon,1\n");
+  ASSERT_FALSE(areas.ok());
+  EXPECT_EQ(areas.status().code(), StatusCode::kIOError);
+}
+
+TEST(LoaderTest, RejectsNonNumericAttribute) {
+  const char* csv =
+      "WKT,V\n"
+      "POLYGON ((0 0; 1 0; 0 1; 0 0)),abc\n";
+  auto areas = LoadAreaSetFromCsvText(csv);
+  ASSERT_FALSE(areas.ok());
+}
+
+TEST(LoaderTest, RejectsEmptyAndGeometryOnly) {
+  EXPECT_FALSE(LoadAreaSetFromCsvText("WKT\n").ok());
+  EXPECT_FALSE(
+      LoadAreaSetFromCsvText("WKT\nPOLYGON ((0 0; 1 0; 0 1; 0 0))\n").ok());
+}
+
+TEST(LoaderTest, RoundTripsSyntheticMap) {
+  auto original = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(original.ok());
+  auto csv = AreaSetToCsvText(*original);
+  ASSERT_TRUE(csv.ok());
+  LoaderOptions options;
+  options.dissimilarity_attribute = "HOUSEHOLDS";
+  auto reloaded = LoadAreaSetFromCsvText(*csv, options);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_EQ(reloaded->num_areas(), original->num_areas());
+  // Attributes survive.
+  for (int32_t a = 0; a < original->num_areas(); ++a) {
+    EXPECT_NEAR(reloaded->attributes().Value(0, a),
+                original->attributes().Value(0, a), 1e-6);
+  }
+  // Geometric adjacency recovered from WKT matches the Voronoi adjacency.
+  int64_t mismatches = 0;
+  for (int32_t a = 0; a < original->num_areas(); ++a) {
+    if (reloaded->graph().NeighborsOf(a) != original->graph().NeighborsOf(a)) {
+      ++mismatches;
+    }
+  }
+  // Tolerate rare borderline slivers from coordinate rounding.
+  EXPECT_LE(mismatches, original->num_areas() / 20);
+}
+
+TEST(LoaderTest, ExportRequiresGeometry) {
+  AttributeTable t(1);
+  ASSERT_TRUE(t.AddColumn("X", {1}).ok());
+  auto graph = ContiguityGraph::FromEdges(1, {});
+  auto areas = AreaSet::CreateWithoutGeometry("g", std::move(graph).value(),
+                                              std::move(t), "X");
+  ASSERT_TRUE(areas.ok());
+  EXPECT_FALSE(AreaSetToCsvText(*areas).ok());
+}
+
+}  // namespace
+}  // namespace emp

@@ -1,0 +1,119 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fact_solver.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+TEST(GiniTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(GiniCoefficient({}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({5}), 0.0);
+  EXPECT_DOUBLE_EQ(GiniCoefficient({0, 0, 0}), 0.0);
+}
+
+TEST(GiniTest, PerfectEqualityIsZero) {
+  EXPECT_NEAR(GiniCoefficient({3, 3, 3, 3}), 0.0, 1e-12);
+}
+
+TEST(GiniTest, ExtremeInequalityApproachesOne) {
+  double g = GiniCoefficient({0, 0, 0, 0, 0, 0, 0, 0, 0, 100});
+  EXPECT_GT(g, 0.85);
+  EXPECT_LT(g, 1.0);
+}
+
+TEST(GiniTest, KnownValue) {
+  // For {1, 3}: gini = (2*(1*1 + 2*3))/(2*4) - 3/2 = 14/8 - 1.5 = 0.25.
+  EXPECT_NEAR(GiniCoefficient({1, 3}), 0.25, 1e-12);
+}
+
+TEST(RegionCompactnessTest, SquareBlockValue) {
+  // A unit square region: IPQ = 4*pi*1 / 16 ≈ 0.785.
+  const char* unused = nullptr;
+  (void)unused;
+  std::vector<Polygon> polys = {Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}})};
+  auto graph = ContiguityGraph::FromEdges(1, {});
+  AttributeTable t(1);
+  ASSERT_TRUE(t.AddColumn("X", {1}).ok());
+  auto areas = AreaSet::Create("sq", polys, std::move(graph).value(),
+                               std::move(t), "X");
+  ASSERT_TRUE(areas.ok());
+  auto q = RegionCompactness(*areas, {0});
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(*q, 3.14159265 / 4.0, 1e-6);
+}
+
+TEST(RegionCompactnessTest, MergedSquaresLessCompactThanSquare) {
+  // Two unit squares side by side: 2x1 rectangle, IPQ = 8*pi/36 ≈ 0.698.
+  std::vector<Polygon> polys = {
+      Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}}),
+      Polygon({{1, 0}, {2, 0}, {2, 1}, {1, 1}}),
+  };
+  auto graph = ContiguityGraph::FromEdges(2, {{0, 1}});
+  AttributeTable t(2);
+  ASSERT_TRUE(t.AddColumn("X", {1, 1}).ok());
+  auto areas = AreaSet::Create("rect", polys, std::move(graph).value(),
+                               std::move(t), "X");
+  ASSERT_TRUE(areas.ok());
+  auto q = RegionCompactness(*areas, {0, 1});
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(*q, 4.0 * 3.14159265 * 2.0 / 36.0, 1e-6);
+}
+
+TEST(RegionCompactnessTest, RequiresGeometryAndNonEmpty) {
+  AreaSet flat = test::PathAreaSet({1, 2});
+  EXPECT_FALSE(RegionCompactness(flat, {0}).ok());
+}
+
+TEST(MetricsTest, EndToEndOnSyntheticSolution) {
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  auto sol =
+      SolveEmp(*areas, {Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)});
+  ASSERT_TRUE(sol.ok());
+  auto metrics = ComputeMetrics(*areas, *sol);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->p, sol->p());
+  EXPECT_EQ(metrics->unassigned, sol->num_unassigned());
+  EXPECT_GT(metrics->mean_region_size, 0.0);
+  EXPECT_GE(metrics->min_region_size, 1);
+  EXPECT_LE(metrics->min_region_size, metrics->max_region_size);
+  EXPECT_GE(metrics->size_gini, 0.0);
+  EXPECT_LT(metrics->size_gini, 1.0);
+  EXPECT_GT(metrics->mean_compactness, 0.0);
+  EXPECT_LE(metrics->mean_compactness, 1.0);
+  EXPECT_DOUBLE_EQ(metrics->heterogeneity, sol->heterogeneity);
+  // The report mentions the headline numbers.
+  std::string report = metrics->ToString();
+  EXPECT_NE(report.find("p="), std::string::npos);
+  EXPECT_NE(report.find("gini="), std::string::npos);
+}
+
+TEST(MetricsTest, GeometrylessMapReportsZeroCompactness) {
+  AreaSet areas = test::PathAreaSet({5, 6, 7, 8});
+  auto sol = SolveEmp(areas, {Constraint::Sum("s", 10, kNoUpperBound)});
+  ASSERT_TRUE(sol.ok());
+  auto metrics = ComputeMetrics(areas, *sol);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_DOUBLE_EQ(metrics->mean_compactness, 0.0);
+}
+
+TEST(MetricsTest, EmptySolutionHandled) {
+  AreaSet areas = test::PathAreaSet({1, 1, 1});
+  Solution sol;
+  sol.region_of.assign(3, -1);
+  sol.unassigned = {0, 1, 2};
+  auto metrics = ComputeMetrics(areas, sol);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->p, 0);
+  EXPECT_DOUBLE_EQ(metrics->unassigned_fraction, 1.0);
+  EXPECT_EQ(metrics->min_region_size, 0);
+}
+
+}  // namespace
+}  // namespace emp

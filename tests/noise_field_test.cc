@@ -1,0 +1,99 @@
+#include "data/synthetic/noise_field.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace emp {
+namespace synthetic {
+namespace {
+
+TEST(NoiseFieldTest, DeterministicForSameSeed) {
+  NoiseField a(42, 0.1);
+  NoiseField b(42, 0.1);
+  for (double x = 0; x < 10; x += 1.3) {
+    EXPECT_DOUBLE_EQ(a.Sample(x, 2 * x), b.Sample(x, 2 * x));
+  }
+}
+
+TEST(NoiseFieldTest, DifferentSeedsDiffer) {
+  NoiseField a(1, 0.1);
+  NoiseField b(2, 0.1);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (std::fabs(a.Sample(i * 0.7, i * 1.1) - b.Sample(i * 0.7, i * 1.1)) <
+        1e-12) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(NoiseFieldTest, ValuesInUnitInterval) {
+  NoiseField f(7, 0.2, 4);
+  for (int i = 0; i < 500; ++i) {
+    double v = f.Sample(i * 0.37, i * 0.53);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(NoiseFieldTest, SpatiallySmooth) {
+  // Nearby samples must be much closer than far samples on average.
+  NoiseField f(11, 0.05, 1);
+  double near_diff = 0.0;
+  double far_diff = 0.0;
+  int n = 0;
+  for (int i = 0; i < 200; ++i) {
+    double x = i * 1.7;
+    double y = i * 0.9;
+    near_diff += std::fabs(f.Sample(x, y) - f.Sample(x + 0.05, y));
+    far_diff += std::fabs(f.Sample(x, y) - f.Sample(x + 57.0, y + 91.0));
+    ++n;
+  }
+  EXPECT_LT(near_diff / n, 0.25 * (far_diff / n));
+}
+
+TEST(NoiseFieldTest, HigherFrequencyVariesFaster) {
+  NoiseField slow(3, 0.02, 1);
+  NoiseField fast(3, 1.0, 1);
+  double slow_var = 0.0;
+  double fast_var = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    double x = i * 0.31;
+    slow_var += std::fabs(slow.Sample(x, 0) - slow.Sample(x + 0.3, 0));
+    fast_var += std::fabs(fast.Sample(x, 0) - fast.Sample(x + 0.3, 0));
+  }
+  EXPECT_LT(slow_var, fast_var);
+}
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-8);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(InverseNormalCdf(0.8413447), 1.0, 1e-4);
+}
+
+TEST(InverseNormalCdfTest, SymmetricAroundMedian) {
+  for (double p : {0.01, 0.1, 0.3, 0.45}) {
+    EXPECT_NEAR(InverseNormalCdf(p), -InverseNormalCdf(1.0 - p), 1e-7);
+  }
+}
+
+TEST(InverseNormalCdfTest, MonotoneIncreasing) {
+  double prev = InverseNormalCdf(0.001);
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    double v = InverseNormalCdf(p);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(InverseNormalCdfTest, ExtremesAreHugeButFinite) {
+  EXPECT_LT(InverseNormalCdf(0.0), -1e100);
+  EXPECT_GT(InverseNormalCdf(1.0), 1e100);
+}
+
+}  // namespace
+}  // namespace synthetic
+}  // namespace emp

@@ -1,0 +1,154 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  PartitionTest()
+      : areas_(test::MakeAreaSet(test::GridGraph(3, 3),
+                                 {{"s", {1, 2, 3, 4, 5, 6, 7, 8, 9}}})),
+        bound_(std::move(BoundConstraints::Create(
+                             &areas_, {Constraint::Sum("s", 0, 1000)}))
+                   .value()) {}
+
+  AreaSet areas_;
+  BoundConstraints bound_;
+};
+
+TEST_F(PartitionTest, StartsUnassigned) {
+  Partition p(&bound_);
+  EXPECT_EQ(p.num_areas(), 9);
+  EXPECT_EQ(p.NumRegions(), 0);
+  EXPECT_EQ(p.RegionOf(4), -1);
+  EXPECT_EQ(p.UnassignedAreas().size(), 9u);
+  EXPECT_TRUE(p.ValidateInvariants().ok());
+}
+
+TEST_F(PartitionTest, AssignAndUnassign) {
+  Partition p(&bound_);
+  int32_t r = p.CreateRegion();
+  p.Assign(0, r);
+  p.Assign(1, r);
+  EXPECT_EQ(p.RegionOf(0), r);
+  EXPECT_EQ(p.region(r).size(), 2);
+  EXPECT_DOUBLE_EQ(p.region(r).stats.AggregateValue(0), 3);
+  EXPECT_TRUE(p.ValidateInvariants().ok());
+  p.Unassign(0);
+  EXPECT_EQ(p.RegionOf(0), -1);
+  EXPECT_DOUBLE_EQ(p.region(r).stats.AggregateValue(0), 2);
+  EXPECT_TRUE(p.ValidateInvariants().ok());
+}
+
+TEST_F(PartitionTest, MoveBetweenRegions) {
+  Partition p(&bound_);
+  int32_t r1 = p.CreateRegion();
+  int32_t r2 = p.CreateRegion();
+  p.Assign(0, r1);
+  p.Assign(1, r1);
+  p.Assign(2, r2);
+  p.Move(1, r2);
+  EXPECT_EQ(p.RegionOf(1), r2);
+  EXPECT_EQ(p.region(r1).size(), 1);
+  EXPECT_EQ(p.region(r2).size(), 2);
+  EXPECT_DOUBLE_EQ(p.region(r2).stats.AggregateValue(0), 5);
+  EXPECT_TRUE(p.ValidateInvariants().ok());
+}
+
+TEST_F(PartitionTest, MergeRegions) {
+  Partition p(&bound_);
+  int32_t r1 = p.CreateRegion();
+  int32_t r2 = p.CreateRegion();
+  p.Assign(0, r1);
+  p.Assign(1, r2);
+  p.Assign(2, r2);
+  int32_t winner = p.MergeRegions(r1, r2);
+  EXPECT_EQ(winner, r1);
+  EXPECT_FALSE(p.IsAlive(r2));
+  EXPECT_EQ(p.region(r1).size(), 3);
+  EXPECT_EQ(p.RegionOf(2), r1);
+  EXPECT_EQ(p.NumRegions(), 1);
+  EXPECT_TRUE(p.ValidateInvariants().ok());
+}
+
+TEST_F(PartitionTest, DissolveReturnsAreasToPool) {
+  Partition p(&bound_);
+  int32_t r = p.CreateRegion();
+  p.Assign(3, r);
+  p.Assign(4, r);
+  p.DissolveRegion(r);
+  EXPECT_FALSE(p.IsAlive(r));
+  EXPECT_EQ(p.RegionOf(3), -1);
+  EXPECT_EQ(p.NumRegions(), 0);
+  EXPECT_EQ(p.UnassignedAreas().size(), 9u);
+  EXPECT_TRUE(p.ValidateInvariants().ok());
+}
+
+TEST_F(PartitionTest, DeactivateExcludesFromUnassigned) {
+  Partition p(&bound_);
+  p.Deactivate(8);
+  EXPECT_FALSE(p.IsActive(8));
+  auto u = p.UnassignedAreas();
+  EXPECT_EQ(u.size(), 8u);
+  EXPECT_TRUE(std::find(u.begin(), u.end(), 8) == u.end());
+}
+
+TEST_F(PartitionTest, NeighborRegionQueriesOnGrid) {
+  // Grid ids: 0 1 2 / 3 4 5 / 6 7 8.
+  Partition p(&bound_);
+  int32_t left = p.CreateRegion();   // column 0
+  int32_t right = p.CreateRegion();  // column 2
+  for (int32_t a : {0, 3, 6}) p.Assign(a, left);
+  for (int32_t a : {2, 5, 8}) p.Assign(a, right);
+  // Middle column unassigned: regions are NOT adjacent.
+  EXPECT_TRUE(p.NeighborRegionsOf(left).empty());
+  // Area 1 borders left (0) and right (2).
+  auto nbrs = p.NeighborRegionsOfArea(1);
+  std::sort(nbrs.begin(), nbrs.end());
+  EXPECT_EQ(nbrs, (std::vector<int32_t>{left, right}));
+  // Assign the middle column to left; now regions touch.
+  for (int32_t a : {1, 4, 7}) p.Assign(a, left);
+  EXPECT_EQ(p.NeighborRegionsOf(left), (std::vector<int32_t>{right}));
+  EXPECT_EQ(p.NeighborRegionsOf(right), (std::vector<int32_t>{left}));
+}
+
+TEST_F(PartitionTest, BoundaryAreas) {
+  Partition p(&bound_);
+  int32_t r = p.CreateRegion();
+  for (int32_t a : {0, 1, 3, 4}) p.Assign(a, r);  // 2x2 block top-left
+  auto boundary = p.BoundaryAreas(r);
+  std::sort(boundary.begin(), boundary.end());
+  // Corner area 0 only touches 1 and 3 (both inside); the rest touch out.
+  EXPECT_EQ(boundary, (std::vector<int32_t>{1, 3, 4}));
+
+  // A full-grid region has no boundary areas.
+  Partition q(&bound_);
+  int32_t all = q.CreateRegion();
+  for (int32_t a = 0; a < 9; ++a) q.Assign(a, all);
+  EXPECT_TRUE(q.BoundaryAreas(all).empty());
+}
+
+TEST_F(PartitionTest, CompactAssignmentSkipsDeadRegions) {
+  Partition p(&bound_);
+  int32_t r1 = p.CreateRegion();
+  int32_t r2 = p.CreateRegion();
+  int32_t r3 = p.CreateRegion();
+  p.Assign(0, r1);
+  p.Assign(1, r2);
+  p.Assign(2, r3);
+  p.DissolveRegion(r2);
+  auto compact = p.CompactAssignment();
+  EXPECT_EQ(compact[0], 0);
+  EXPECT_EQ(compact[1], -1);
+  EXPECT_EQ(compact[2], 1);  // r3 renumbered to 1
+  EXPECT_EQ(compact[5], -1);
+}
+
+}  // namespace
+}  // namespace emp

@@ -1,0 +1,105 @@
+#include "constraints/query_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace emp {
+namespace {
+
+TEST(QueryParserTest, LowerBoundForm) {
+  auto c = ParseConstraint("SUM(TOTALPOP) >= 20000");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(*c, Constraint::Sum("TOTALPOP", 20000, kNoUpperBound));
+}
+
+TEST(QueryParserTest, UpperBoundForm) {
+  auto c = ParseConstraint("MIN(POP16UP) <= 3000");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, Constraint::Min("POP16UP", kNoLowerBound, 3000));
+}
+
+TEST(QueryParserTest, InRangeForm) {
+  auto c = ParseConstraint("AVG(EMPLOYED) IN [1500, 3500]");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, Constraint::Avg("EMPLOYED", 1500, 3500));
+}
+
+TEST(QueryParserTest, SandwichForm) {
+  auto c = ParseConstraint("1500 <= AVG(EMPLOYED) <= 3500");
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(*c, Constraint::Avg("EMPLOYED", 1500, 3500));
+}
+
+TEST(QueryParserTest, CountStar) {
+  auto star = ParseConstraint("COUNT(*) IN [2, 40]");
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(*star, Constraint::Count(2, 40));
+  auto empty = ParseConstraint("count() >= 3");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->aggregate, Aggregate::kCount);
+}
+
+TEST(QueryParserTest, CaseInsensitiveKeywords) {
+  auto c = ParseConstraint("sum(TOTALPOP) In [1, 2]");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->aggregate, Aggregate::kSum);
+  // Attribute case is preserved.
+  EXPECT_EQ(c->attribute, "TOTALPOP");
+}
+
+TEST(QueryParserTest, KiloMegaSuffixesAndInf) {
+  auto k = ParseConstraint("SUM(POP) >= 20k");
+  ASSERT_TRUE(k.ok());
+  EXPECT_DOUBLE_EQ(k->lower, 20000);
+  auto m = ParseConstraint("SUM(POP) IN [1.5m, inf]");
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->lower, 1500000);
+  EXPECT_DOUBLE_EQ(m->upper, kNoUpperBound);
+  auto neg = ParseConstraint("MIN(POP) IN [-inf, 3k]");
+  ASSERT_TRUE(neg.ok());
+  EXPECT_DOUBLE_EQ(neg->lower, kNoLowerBound);
+}
+
+TEST(QueryParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseConstraint("").ok());
+  EXPECT_FALSE(ParseConstraint("FOO(X) >= 1").ok());
+  EXPECT_FALSE(ParseConstraint("SUM(X)").ok());
+  EXPECT_FALSE(ParseConstraint("SUM(X) == 5").ok());
+  EXPECT_FALSE(ParseConstraint("SUM(X) IN [5]").ok());
+  EXPECT_FALSE(ParseConstraint("SUM(X) IN 5, 6").ok());
+  EXPECT_FALSE(ParseConstraint("SUM() >= 5").ok());
+  EXPECT_FALSE(ParseConstraint("COUNT(POP) >= 5").ok());
+  EXPECT_FALSE(ParseConstraint("SUM(X >= 5").ok());
+}
+
+TEST(QueryParserTest, RejectsSemanticViolations) {
+  // Inverted range fails Constraint::Validate.
+  EXPECT_FALSE(ParseConstraint("SUM(X) IN [10, 5]").ok());
+  // COUNT upper below 1.
+  EXPECT_FALSE(ParseConstraint("COUNT(*) <= 0.5").ok());
+}
+
+TEST(QueryParserTest, MultiConstraintSeparators) {
+  auto q = ParseConstraints(
+      "MIN(POP16UP) <= 3000; AVG(EMPLOYED) IN [1500, 3500]\n"
+      "SUM(TOTALPOP) >= 20k AND COUNT(*) <= 40");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->size(), 4u);
+  EXPECT_EQ((*q)[0].aggregate, Aggregate::kMin);
+  EXPECT_EQ((*q)[1].aggregate, Aggregate::kAvg);
+  EXPECT_EQ((*q)[2].aggregate, Aggregate::kSum);
+  EXPECT_EQ((*q)[3].aggregate, Aggregate::kCount);
+}
+
+TEST(QueryParserTest, AndInsideIdentifierNotSplit) {
+  auto q = ParseConstraints("SUM(LANDAREA) >= 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)[0].attribute, "LANDAREA");
+}
+
+TEST(QueryParserTest, EmptyQueryRejected) {
+  EXPECT_FALSE(ParseConstraints("").ok());
+  EXPECT_FALSE(ParseConstraints(" ; \n ;").ok());
+}
+
+}  // namespace
+}  // namespace emp

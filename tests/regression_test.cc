@@ -1,0 +1,89 @@
+// Regression guard: solution quality on fixed synthetic instances with
+// fixed seeds. Bands (not exact values) so legitimate heuristic tweaks
+// survive, but silent quality collapses — like the round-2 over-merging
+// regression that once drove p to 1 — fail loudly.
+
+#include <gtest/gtest.h>
+
+#include "baseline/maxp_regions.h"
+#include "core/fact_solver.h"
+#include "data/synthetic/dataset_catalog.h"
+
+namespace emp {
+namespace {
+
+std::vector<Constraint> DefaultSuite() {
+  return {
+      Constraint::Min("POP16UP", kNoLowerBound, 3000),
+      Constraint::Avg("EMPLOYED", 1500, 3500),
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound),
+  };
+}
+
+TEST(RegressionTest, DefaultSuiteOnSmallDataset) {
+  auto areas = synthetic::MakeCatalogDataset("small");  // 400 areas, fixed
+  ASSERT_TRUE(areas.ok());
+  auto sol = SolveEmp(*areas, DefaultSuite());
+  ASSERT_TRUE(sol.ok());
+  // Measured p = 36 at the time of writing; allow a generous band.
+  EXPECT_GE(sol->p(), 25);
+  EXPECT_LE(sol->p(), 50);
+  EXPECT_LE(sol->num_unassigned(), 40);
+  EXPECT_GT(sol->HeterogeneityImprovement(), 0.10);
+}
+
+TEST(RegressionTest, SingleSumTracksMaxPBaseline) {
+  auto areas = synthetic::MakeCatalogDataset("small");
+  ASSERT_TRUE(areas.ok());
+  SolverOptions options;
+  options.tabu_max_no_improve = 100;
+  auto fact = SolveEmp(
+      *areas, {Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)}, options);
+  auto mp = MaxPRegionsSolver(&*areas, "TOTALPOP", 20000, options).Solve();
+  ASSERT_TRUE(fact.ok());
+  ASSERT_TRUE(mp.ok());
+  // Table IV's headline claim: FaCT's S combo is comparable to MP. Guard
+  // at >= 80% (measured ~95%).
+  EXPECT_GE(fact->p() * 10, mp->p() * 8)
+      << "FaCT p=" << fact->p() << " vs MP p=" << mp->p();
+}
+
+TEST(RegressionTest, HardAvgRangeDoesNotCollapse) {
+  // The paper's bottleneck case (AVG 3k±1k). A previous implementation
+  // bug collapsed the whole map into one region here.
+  auto areas = synthetic::MakeCatalogDataset("small");
+  ASSERT_TRUE(areas.ok());
+  SolverOptions options;
+  options.tabu_max_no_improve = 50;
+  auto sol = SolveEmp(*areas, {Constraint::Avg("EMPLOYED", 2000, 4000)},
+                      options);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GE(sol->p(), 20) << "region growing collapsed";
+  // And most of the map should still be assigned or reported unassigned
+  // coherently.
+  EXPECT_LT(sol->num_unassigned(), areas->num_areas() / 2);
+}
+
+TEST(RegressionTest, MinOnlySeedCountBound) {
+  // Single MIN with open lower bound: p is bounded by (and in practice
+  // lands near) the seed count.
+  auto areas = synthetic::MakeCatalogDataset("small");
+  ASSERT_TRUE(areas.ok());
+  auto bound = BoundConstraints::Create(
+      &*areas, {Constraint::Min("POP16UP", kNoLowerBound, 3000)});
+  ASSERT_TRUE(bound.ok());
+  int64_t seeds = 0;
+  for (int32_t a = 0; a < areas->num_areas(); ++a) {
+    if (bound->AreaIsSeed(a)) ++seeds;
+  }
+  SolverOptions options;
+  options.run_local_search = false;
+  auto sol = SolveEmp(
+      *areas, {Constraint::Min("POP16UP", kNoLowerBound, 3000)}, options);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_LE(sol->p(), seeds);
+  EXPECT_GE(sol->p(), seeds / 2);
+}
+
+}  // namespace
+}  // namespace emp

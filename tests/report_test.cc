@@ -1,0 +1,78 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fact_solver.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+TEST(ReportTest, ContainsHeadlineFields) {
+  AreaSet areas = test::PathAreaSet({5, 6, 7, 8});
+  std::vector<Constraint> cs = {Constraint::Sum("s", 10, kNoUpperBound)};
+  auto sol = SolveEmp(areas, cs);
+  ASSERT_TRUE(sol.ok());
+  auto json = SolutionToJson(areas, cs, *sol);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_NE(json->find("\"p\": " + std::to_string(sol->p())),
+            std::string::npos);
+  EXPECT_NE(json->find("\"query\""), std::string::npos);
+  EXPECT_NE(json->find("SUM(s) in [10, inf]"), std::string::npos);
+  EXPECT_NE(json->find("\"regions\""), std::string::npos);
+  EXPECT_NE(json->find("\"unassigned_areas\""), std::string::npos);
+}
+
+TEST(ReportTest, PerRegionAggregatesReported) {
+  AreaSet areas = test::PathAreaSet({5, 6, 7});
+  std::vector<Constraint> cs = {Constraint::Sum("s", 5, kNoUpperBound),
+                                Constraint::Count(1, 3)};
+  auto sol = SolveEmp(areas, cs);
+  ASSERT_TRUE(sol.ok());
+  auto json = SolutionToJson(areas, cs, *sol);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"SUM(s)\""), std::string::npos);
+  EXPECT_NE(json->find("\"COUNT(*)\""), std::string::npos);
+}
+
+TEST(ReportTest, JsonParsesWithNaiveChecks) {
+  // Not a full JSON parser, but structural sanity: balanced braces and
+  // brackets, no trailing commas before closers.
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+  auto sol = SolveEmp(*areas, cs);
+  ASSERT_TRUE(sol.ok());
+  auto json = SolutionToJson(*areas, cs, *sol);
+  ASSERT_TRUE(json.ok());
+  int64_t braces = 0;
+  int64_t brackets = 0;
+  for (char c : *json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(json->find(",]"), std::string::npos);
+  EXPECT_EQ(json->find(",}"), std::string::npos);
+}
+
+TEST(ReportTest, InfiniteBoundsSerializedAsStrings) {
+  AreaSet areas = test::PathAreaSet({5, 6});
+  std::vector<Constraint> cs = {Constraint::Sum("s", 5, kNoUpperBound)};
+  auto sol = SolveEmp(areas, cs);
+  ASSERT_TRUE(sol.ok());
+  auto json = SolutionToJson(areas, cs, *sol);
+  ASSERT_TRUE(json.ok());
+  // No bare "inf" tokens outside quotes (invalid JSON).
+  EXPECT_EQ(json->find(": inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace emp

@@ -1,0 +1,81 @@
+#include "data/synthetic/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fact_solver.h"
+#include "graph/components.h"
+
+namespace emp {
+namespace synthetic {
+namespace {
+
+TEST(ScenariosTest, CovidCityCarriesPolicyAttributes) {
+  auto city = MakeCovidCity(400, 7);
+  ASSERT_TRUE(city.ok()) << city.status().ToString();
+  EXPECT_EQ(city->num_areas(), 400);
+  EXPECT_TRUE(city->attributes().HasColumn("INCOME"));
+  EXPECT_TRUE(city->attributes().HasColumn("TRANSIT"));
+  EXPECT_TRUE(city->attributes().HasColumn("TOTALPOP"));
+  EXPECT_EQ(city->dissimilarity_attribute(), "INCOME");
+  EXPECT_EQ(ConnectedComponents(city->graph()).count, 1);
+  auto income = city->attributes().Stats("INCOME");
+  ASSERT_TRUE(income.ok());
+  EXPECT_GT(income->mean, 2500);
+  EXPECT_LT(income->mean, 6500);
+}
+
+TEST(ScenariosTest, CovidPolicyQuerySolves) {
+  auto city = MakeCovidCity(400, 7);
+  ASSERT_TRUE(city.ok());
+  auto sol = SolveEmp(*city, {
+      Constraint::Sum("TOTALPOP", 100000, kNoUpperBound),
+      Constraint::Avg("INCOME", 3000, 5000),
+      Constraint::Sum("TRANSIT", 5000, kNoUpperBound),
+  });
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_GE(sol->p(), 1);
+}
+
+TEST(ScenariosTest, GrowthStateAttributeRanges) {
+  auto state = MakeGrowthState(500, 3);
+  ASSERT_TRUE(state.ok());
+  auto dropout = state->attributes().Stats("DROPOUT");
+  ASSERT_TRUE(dropout.ok());
+  EXPECT_GE(dropout->min, 0.0);
+  EXPECT_LE(dropout->max, 40.0);
+  auto age = state->attributes().Stats("AVGAGE");
+  ASSERT_TRUE(age.ok());
+  EXPECT_GE(age->min, 18.0);
+  EXPECT_LE(age->max, 70.0);
+  EXPECT_NEAR(age->mean, 37.0, 2.0);
+}
+
+TEST(ScenariosTest, PatrolCityWorkloadShape) {
+  auto city = MakePatrolCity(500, 5);
+  ASSERT_TRUE(city.ok());
+  EXPECT_EQ(city->dissimilarity_attribute(), "RESPONSE_MIN");
+  auto calls = city->attributes().Stats("CALLS");
+  ASSERT_TRUE(calls.ok());
+  EXPECT_GE(calls->min, 5.0);
+  // Lognormal: mean above median-ish anchor of 120.
+  EXPECT_GT(calls->mean, 110);
+}
+
+TEST(ScenariosTest, DeterministicPerSeed) {
+  auto a = MakePatrolCity(200, 42);
+  auto b = MakePatrolCity(200, 42);
+  auto c = MakePatrolCity(200, 43);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(a->attributes().Value(0, 17), b->attributes().Value(0, 17));
+  int same = 0;
+  for (int32_t i = 0; i < 200; ++i) {
+    if (a->attributes().Value(0, i) == c->attributes().Value(0, i)) ++same;
+  }
+  EXPECT_LT(same, 20);
+}
+
+}  // namespace
+}  // namespace synthetic
+}  // namespace emp

@@ -1,0 +1,58 @@
+#include "core/construction/seeding.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+SeedingResult RunSeeding(const AreaSet& areas, std::vector<Constraint> cs) {
+  auto bc = BoundConstraints::Create(&areas, std::move(cs));
+  EXPECT_TRUE(bc.ok());
+  auto report = CheckFeasibility(*bc);
+  EXPECT_TRUE(report.ok());
+  return SelectSeeds(*bc, *report);
+}
+
+TEST(SeedingTest, PartitionsValidAreasIntoSeedsAndNonSeeds) {
+  AreaSet areas = test::PathAreaSet({1, 3, 5, 7, 9});
+  SeedingResult s = RunSeeding(areas, {Constraint::Min("s", 2, 6)});
+  // s=1 invalid; seeds s in [2,6] -> {3,5} = areas 1,2; non-seeds {7,9}.
+  EXPECT_EQ(s.seeds, (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(s.non_seeds, (std::vector<int32_t>{3, 4}));
+  EXPECT_TRUE(s.is_seed[1]);
+  EXPECT_FALSE(s.is_seed[0]);
+}
+
+TEST(SeedingTest, AllValidAreasSeedWithoutExtremaConstraints) {
+  AreaSet areas = test::PathAreaSet({1, 3, 5});
+  SeedingResult s =
+      RunSeeding(areas, {Constraint::Sum("s", 2, kNoUpperBound)});
+  EXPECT_EQ(s.seeds.size(), 3u);
+  EXPECT_TRUE(s.non_seeds.empty());
+}
+
+TEST(SeedingTest, UnionOverMultipleExtremaConstraints) {
+  AreaSet areas = test::PathAreaSet({1, 3, 5, 7, 9});
+  SeedingResult s = RunSeeding(areas, {
+                                          Constraint::Min("s", 1, 3),
+                                          Constraint::Max("s", 7, 9),
+                                      });
+  // MIN seeds: {1,3} (areas 0,1); MAX seeds: {7,9} (areas 3,4).
+  EXPECT_EQ(s.seeds, (std::vector<int32_t>{0, 1, 3, 4}));
+  EXPECT_EQ(s.non_seeds, (std::vector<int32_t>{2}));
+}
+
+TEST(SeedingTest, InvalidAreasAreNeitherSeedsNorNonSeeds) {
+  AreaSet areas = test::PathAreaSet({1, 3, 5, 7, 9});
+  SeedingResult s = RunSeeding(
+      areas, {Constraint::Min("s", 4, 6), Constraint::Sum("s", 0, 8)});
+  // Invalid: s<4 (areas 0,1) and s>8 (area 4). Valid: {5,7} = areas 2,3.
+  // Seeds among valid: s in [4,6] -> area 2.
+  EXPECT_EQ(s.seeds, (std::vector<int32_t>{2}));
+  EXPECT_EQ(s.non_seeds, (std::vector<int32_t>{3}));
+}
+
+}  // namespace
+}  // namespace emp

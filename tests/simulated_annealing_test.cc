@@ -1,0 +1,172 @@
+#include "core/local_search/simulated_annealing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/local_search/heterogeneity.h"
+#include "core/local_search/objective.h"
+#include "core/local_search/tabu.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+struct AnnealSetup {
+  AnnealSetup(const AreaSet* areas_in, std::vector<Constraint> cs)
+      : areas(areas_in),
+        bound(std::move(BoundConstraints::Create(areas_in, std::move(cs)))
+                  .value()),
+        partition(&bound),
+        connectivity(&areas_in->graph()) {}
+
+  const AreaSet* areas;
+  BoundConstraints bound;
+  Partition partition;
+  ConnectivityChecker connectivity;
+};
+
+TEST(SimulatedAnnealingTest, ImprovesAPoorSplit) {
+  AreaSet areas = test::PathAreaSet({1, 1, 1, 9, 9, 9});
+  AnnealSetup setup(&areas, {Constraint::Count(1, 6)});
+  int32_t r1 = setup.partition.CreateRegion();
+  int32_t r2 = setup.partition.CreateRegion();
+  for (int32_t a : {0, 1}) setup.partition.Assign(a, r1);
+  for (int32_t a : {2, 3, 4, 5}) setup.partition.Assign(a, r2);
+
+  AnnealOptions options;
+  options.iterations = 2000;
+  options.seed = 5;
+  auto result =
+      SimulatedAnnealing(options, &setup.connectivity, &setup.partition);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result->final_objective, result->initial_objective);
+  EXPECT_NEAR(ComputeHeterogeneity(setup.partition),
+              result->final_objective, 1e-9);
+}
+
+TEST(SimulatedAnnealingTest, PreservesConstraintsAndP) {
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  AnnealSetup setup(&*areas,
+                    {Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)});
+  // Crude initial partition: contiguous id-stripes of ~12 areas.
+  int32_t rid = -1;
+  for (int32_t a = 0; a < areas->num_areas(); ++a) {
+    if (a % 12 == 0) rid = setup.partition.CreateRegion();
+    setup.partition.Assign(a, rid);
+  }
+  // Stripes by id may be disconnected; dissolve invalid ones first.
+  for (int32_t r : setup.partition.AliveRegionIds()) {
+    if (!setup.connectivity.IsConnected(setup.partition.region(r).areas) ||
+        !setup.partition.region(r).stats.SatisfiesAll()) {
+      setup.partition.DissolveRegion(r);
+    }
+  }
+  const int32_t p_before = setup.partition.NumRegions();
+  if (p_before == 0) GTEST_SKIP() << "no valid initial regions";
+
+  AnnealOptions options;
+  options.iterations = 3000;
+  auto result =
+      SimulatedAnnealing(options, &setup.connectivity, &setup.partition);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(setup.partition.NumRegions(), p_before);
+  for (int32_t r : setup.partition.AliveRegionIds()) {
+    EXPECT_TRUE(setup.partition.region(r).stats.SatisfiesAll());
+    EXPECT_TRUE(
+        setup.connectivity.IsConnected(setup.partition.region(r).areas));
+  }
+  EXPECT_LE(result->final_objective, result->initial_objective + 1e-9);
+}
+
+TEST(SimulatedAnnealingTest, WorksWithCompactnessObjective) {
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  AnnealSetup setup(&*areas, {Constraint::Count(1, 200)});
+  int32_t r1 = setup.partition.CreateRegion();
+  int32_t r2 = setup.partition.CreateRegion();
+  for (int32_t a = 0; a < areas->num_areas(); ++a) {
+    setup.partition.Assign(a, a < areas->num_areas() / 2 ? r1 : r2);
+  }
+  auto obj = CompactnessObjective::Create(setup.partition);
+  ASSERT_TRUE(obj.ok());
+  AnnealOptions options;
+  options.iterations = 4000;
+  auto result = SimulatedAnnealing(options, &setup.connectivity,
+                                   &setup.partition, obj->get());
+  ASSERT_TRUE(result.ok());
+  // Boundary-smoothing moves exist on a Voronoi map; compactness improves.
+  EXPECT_LT(result->final_objective, result->initial_objective);
+}
+
+TEST(SimulatedAnnealingTest, DeterministicForFixedSeed) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(4, 4), {{"s", {5, 3, 8, 1, 9, 2, 7, 4, 6, 1, 8, 3,
+                                     2, 9, 4, 7}}});
+  for (int run = 0; run < 2; ++run) {
+    AnnealSetup setup(&areas, {Constraint::Count(1, 16)});
+    int32_t r1 = setup.partition.CreateRegion();
+    int32_t r2 = setup.partition.CreateRegion();
+    for (int32_t a = 0; a < 16; ++a) {
+      setup.partition.Assign(a, a < 8 ? r1 : r2);
+    }
+    AnnealOptions options;
+    options.iterations = 500;
+    options.seed = 77;
+    auto result =
+        SimulatedAnnealing(options, &setup.connectivity, &setup.partition);
+    ASSERT_TRUE(result.ok());
+    static double first_final = -1;
+    if (run == 0) {
+      first_final = result->final_objective;
+    } else {
+      EXPECT_DOUBLE_EQ(result->final_objective, first_final);
+    }
+  }
+}
+
+TEST(SimulatedAnnealingTest, RejectsBadOptions) {
+  AreaSet areas = test::PathAreaSet({1, 2});
+  AnnealSetup setup(&areas, {});
+  AnnealOptions bad;
+  bad.cooling = 1.5;
+  EXPECT_FALSE(
+      SimulatedAnnealing(bad, &setup.connectivity, &setup.partition).ok());
+  EXPECT_FALSE(SimulatedAnnealing({}, nullptr, &setup.partition).ok());
+}
+
+TEST(SimulatedAnnealingTest, ComparableToTabuOnSmallInstance) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(5, 5),
+      {{"s", {12, 7, 9, 14, 6, 8, 11, 5, 13, 9, 10, 7, 12,
+              6, 9, 11, 8, 14, 5, 10, 7, 13, 9, 6, 12}}});
+  auto make_partition = [&](AnnealSetup* setup) {
+    int32_t r1 = setup->partition.CreateRegion();
+    int32_t r2 = setup->partition.CreateRegion();
+    for (int32_t a = 0; a < 25; ++a) {
+      setup->partition.Assign(a, a % 5 < 2 ? r1 : r2);
+    }
+  };
+  AnnealSetup sa_setup(&areas, {Constraint::Count(1, 25)});
+  make_partition(&sa_setup);
+  AnnealOptions sa_options;
+  sa_options.iterations = 5000;
+  auto sa = SimulatedAnnealing(sa_options, &sa_setup.connectivity,
+                               &sa_setup.partition);
+  ASSERT_TRUE(sa.ok());
+
+  AnnealSetup tabu_setup(&areas, {Constraint::Count(1, 25)});
+  make_partition(&tabu_setup);
+  SolverOptions tabu_options;
+  tabu_options.tabu_max_no_improve = 200;
+  auto tabu = TabuSearch(tabu_options, &tabu_setup.connectivity,
+                         &tabu_setup.partition);
+  ASSERT_TRUE(tabu.ok());
+
+  // SA should land within 2x of Tabu's objective on this easy instance.
+  EXPECT_LT(sa->final_objective,
+            2.0 * tabu->final_heterogeneity + 1e-9);
+}
+
+}  // namespace
+}  // namespace emp

@@ -1,0 +1,174 @@
+// End-to-end integration tests: the full FaCT pipeline on synthetic census
+// maps with the paper's default constraint suite (Table II) and several
+// realistic multi-constraint queries.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/fact_solver.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "graph/connectivity.h"
+
+namespace emp {
+namespace {
+
+void ValidateSolution(const AreaSet& areas,
+                      const std::vector<Constraint>& constraints,
+                      const Solution& sol) {
+  auto bc = BoundConstraints::Create(&areas, constraints);
+  ASSERT_TRUE(bc.ok());
+  ConnectivityChecker connectivity(&areas.graph());
+  std::set<int32_t> seen;
+  for (const auto& region : sol.regions) {
+    ASSERT_FALSE(region.empty());
+    EXPECT_TRUE(connectivity.IsConnected(region));
+    RegionStats stats(&*bc);
+    for (int32_t a : region) {
+      stats.Add(a);
+      EXPECT_TRUE(seen.insert(a).second);
+    }
+    EXPECT_TRUE(stats.SatisfiesAll());
+  }
+  for (int32_t a : sol.unassigned) EXPECT_TRUE(seen.insert(a).second);
+  EXPECT_EQ(seen.size(), static_cast<size_t>(areas.num_areas()));
+}
+
+class SolverIntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto areas = synthetic::MakeCatalogDataset("small");  // 400 tracts
+    ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+    areas_ = new AreaSet(std::move(areas).value());
+  }
+  static void TearDownTestSuite() {
+    delete areas_;
+    areas_ = nullptr;
+  }
+
+  static AreaSet* areas_;
+};
+
+AreaSet* SolverIntegrationTest::areas_ = nullptr;
+
+TEST_F(SolverIntegrationTest, PaperDefaultConstraintSuite) {
+  // Table II defaults: MIN(POP16UP) <= 3000, AVG(EMPLOYED) in [1500, 3500],
+  // SUM(TOTALPOP) >= 20000.
+  std::vector<Constraint> cs = {
+      Constraint::Min("POP16UP", kNoLowerBound, 3000),
+      Constraint::Avg("EMPLOYED", 1500, 3500),
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound),
+  };
+  auto sol = SolveEmp(*areas_, cs);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_GE(sol->p(), 5);
+  ValidateSolution(*areas_, cs, *sol);
+}
+
+TEST_F(SolverIntegrationTest, SingleMinConstraint) {
+  std::vector<Constraint> cs = {
+      Constraint::Min("POP16UP", kNoLowerBound, 3500)};
+  auto sol = SolveEmp(*areas_, cs);
+  ASSERT_TRUE(sol.ok());
+  ValidateSolution(*areas_, cs, *sol);
+  // Single MIN with open lower bound: p equals the seed count (paper: "the
+  // single MIN constraint produces the maximum p bounded by seed areas")
+  // when every area can attach to some region.
+  EXPECT_GT(sol->p(), 100);
+}
+
+TEST_F(SolverIntegrationTest, SingleAvgConstraintModerateRange) {
+  std::vector<Constraint> cs = {Constraint::Avg("EMPLOYED", 1000, 3000)};
+  auto sol = SolveEmp(*areas_, cs);
+  ASSERT_TRUE(sol.ok());
+  ValidateSolution(*areas_, cs, *sol);
+  EXPECT_GT(sol->p(), 10);
+}
+
+TEST_F(SolverIntegrationTest, BoundedSumProducesUnassigned) {
+  std::vector<Constraint> cs = {Constraint::Sum("TOTALPOP", 15000, 25000)};
+  auto sol = SolveEmp(*areas_, cs);
+  ASSERT_TRUE(sol.ok());
+  ValidateSolution(*areas_, cs, *sol);
+  EXPECT_GT(sol->p(), 5);
+}
+
+TEST_F(SolverIntegrationTest, AllFiveAggregatesTogether) {
+  std::vector<Constraint> cs = {
+      Constraint::Min("POP16UP", kNoLowerBound, 4000),
+      Constraint::Max("EMPLOYED", 1000, kNoUpperBound),
+      Constraint::Avg("EMPLOYED", 1200, 3800),
+      Constraint::Sum("TOTALPOP", 15000, kNoUpperBound),
+      Constraint::Count(2, 40),
+  };
+  auto sol = SolveEmp(*areas_, cs);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_GE(sol->p(), 1);
+  ValidateSolution(*areas_, cs, *sol);
+}
+
+TEST_F(SolverIntegrationTest, ThresholdMonotonicityOnSum) {
+  // Higher SUM lower bounds must not increase p (Table IV trend).
+  int32_t prev_p = 0x7fffffff;
+  for (double l : {5000.0, 20000.0, 60000.0}) {
+    auto sol =
+        SolveEmp(*areas_, {Constraint::Sum("TOTALPOP", l, kNoUpperBound)});
+    ASSERT_TRUE(sol.ok());
+    EXPECT_LE(sol->p(), prev_p) << "l=" << l;
+    prev_p = sol->p();
+  }
+}
+
+TEST_F(SolverIntegrationTest, WiderMinUpperBoundGrowsP) {
+  // Fig. 5 trend: p increases with u for MIN(-inf, u].
+  auto narrow = SolveEmp(
+      *areas_, {Constraint::Min("POP16UP", kNoLowerBound, 2000)});
+  auto wide = SolveEmp(
+      *areas_, {Constraint::Min("POP16UP", kNoLowerBound, 5000)});
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_TRUE(wide.ok());
+  EXPECT_GT(wide->p(), narrow->p());
+}
+
+TEST_F(SolverIntegrationTest, TwoAvgConstraintsOnDifferentAttributes) {
+  // Multiple centrality constraints simultaneously — beyond the paper's
+  // single-AVG discussion but supported by the formulation (§III).
+  std::vector<Constraint> cs = {
+      Constraint::Avg("EMPLOYED", 1200, 3200),
+      Constraint::Avg("POP16UP", 2200, 4500),
+  };
+  auto sol = SolveEmp(*areas_, cs);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_GE(sol->p(), 1);
+  ValidateSolution(*areas_, cs, *sol);
+}
+
+TEST_F(SolverIntegrationTest, ArchipelagoMapSolvable) {
+  auto isles = synthetic::MakeDefaultDataset("isles", 300, 99, 3);
+  ASSERT_TRUE(isles.ok());
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+  auto sol = SolveEmp(*isles, cs);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GE(sol->p(), 3);
+  ValidateSolution(*isles, cs, *sol);
+}
+
+TEST_F(SolverIntegrationTest, MoreConstructionIterationsNeverHurtP) {
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+  SolverOptions one;
+  one.construction_iterations = 1;
+  one.run_local_search = false;
+  SolverOptions five;
+  five.construction_iterations = 5;
+  five.run_local_search = false;
+  auto p1 = SolveEmp(*areas_, cs, one);
+  auto p5 = SolveEmp(*areas_, cs, five);
+  ASSERT_TRUE(p1.ok());
+  ASSERT_TRUE(p5.ok());
+  EXPECT_GE(p5->p(), p1->p());
+}
+
+}  // namespace
+}  // namespace emp

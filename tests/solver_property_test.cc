@@ -1,0 +1,177 @@
+// Property-based sweeps (parameterized gtest): for a grid of constraint
+// combinations, threshold ranges, seeds, and solver options, every FaCT
+// output must satisfy the EMP output invariants (§III):
+//   - regions are disjoint and cover exactly A \ U0,
+//   - each region is spatially contiguous,
+//   - each region satisfies every user-defined constraint,
+//   - local search never worsens heterogeneity,
+//   - the solver is deterministic for a fixed seed.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "core/fact_solver.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "graph/connectivity.h"
+
+namespace emp {
+namespace {
+
+const AreaSet& SharedMap() {
+  static const AreaSet* kMap = [] {
+    auto areas = synthetic::MakeDefaultDataset("prop", 250, 1234);
+    if (!areas.ok()) std::abort();
+    return new AreaSet(std::move(areas).value());
+  }();
+  return *kMap;
+}
+
+/// Builds the constraint set named by a combo code, mirroring the paper's
+/// notation: M (MIN), A (AVG), S (SUM), C (COUNT), X (MAX).
+std::vector<Constraint> BuildCombo(const std::string& combo, double scale) {
+  std::vector<Constraint> cs;
+  for (char c : combo) {
+    switch (c) {
+      case 'M':
+        cs.push_back(Constraint::Min("POP16UP", kNoLowerBound, 3000 * scale));
+        break;
+      case 'X':
+        cs.push_back(
+            Constraint::Max("POP16UP", 2500 / scale, kNoUpperBound));
+        break;
+      case 'A':
+        cs.push_back(Constraint::Avg("EMPLOYED", 1200, 2200 * scale));
+        break;
+      case 'S':
+        cs.push_back(
+            Constraint::Sum("TOTALPOP", 15000 * scale, kNoUpperBound));
+        break;
+      case 'C':
+        cs.push_back(Constraint::Count(1, 20 * scale));
+        break;
+    }
+  }
+  return cs;
+}
+
+using ComboParam = std::tuple<std::string, double, uint64_t>;
+
+class SolverPropertyTest : public ::testing::TestWithParam<ComboParam> {};
+
+TEST_P(SolverPropertyTest, OutputInvariantsHold) {
+  const auto& [combo, scale, seed] = GetParam();
+  const AreaSet& areas = SharedMap();
+  std::vector<Constraint> cs = BuildCombo(combo, scale);
+
+  SolverOptions options;
+  options.seed = seed;
+  options.construction_iterations = 2;
+  options.tabu_max_no_improve = 60;  // keep the sweep fast
+
+  auto sol = SolveEmp(areas, cs, options);
+  if (!sol.ok()) {
+    // Infeasibility is an acceptable verdict, but only with that code.
+    EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible)
+        << sol.status().ToString();
+    return;
+  }
+
+  // --- Partition invariants.
+  std::set<int32_t> seen;
+  for (size_t rid = 0; rid < sol->regions.size(); ++rid) {
+    ASSERT_FALSE(sol->regions[rid].empty());
+    for (int32_t a : sol->regions[rid]) {
+      EXPECT_TRUE(seen.insert(a).second);
+      EXPECT_EQ(sol->region_of[static_cast<size_t>(a)],
+                static_cast<int32_t>(rid));
+    }
+  }
+  for (int32_t a : sol->unassigned) {
+    EXPECT_TRUE(seen.insert(a).second);
+    EXPECT_EQ(sol->region_of[static_cast<size_t>(a)], -1);
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(areas.num_areas()));
+
+  // --- Contiguity + constraint satisfaction.
+  auto bc = BoundConstraints::Create(&areas, cs);
+  ASSERT_TRUE(bc.ok());
+  ConnectivityChecker connectivity(&areas.graph());
+  for (const auto& region : sol->regions) {
+    EXPECT_TRUE(connectivity.IsConnected(region));
+    RegionStats stats(&*bc);
+    for (int32_t a : region) stats.Add(a);
+    EXPECT_TRUE(stats.SatisfiesAll())
+        << "combo=" << combo << " scale=" << scale;
+  }
+
+  // --- Objective sanity.
+  EXPECT_LE(sol->heterogeneity,
+            sol->heterogeneity_before_local_search + 1e-6);
+
+  // --- Determinism.
+  auto again = SolveEmp(areas, cs, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->region_of, sol->region_of);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConstraintCombos, SolverPropertyTest,
+    ::testing::Combine(
+        ::testing::Values("M", "A", "S", "C", "X", "MS", "MA", "MAS", "XA",
+                          "SC", "MASC", "MXASC"),
+        ::testing::Values(0.8, 1.0, 1.3),
+        ::testing::Values(1u, 99u)),
+    [](const ::testing::TestParamInfo<ComboParam>& info) {
+      return std::get<0>(info.param) + "_scale" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100)) +
+             "_seed" + std::to_string(std::get<2>(info.param));
+    });
+
+/// Pickup-order ablation: every order must produce valid output.
+class PickupOrderPropertyTest
+    : public ::testing::TestWithParam<PickupOrder> {};
+
+TEST_P(PickupOrderPropertyTest, ValidUnderAllOrders) {
+  const AreaSet& areas = SharedMap();
+  std::vector<Constraint> cs = {
+      Constraint::Min("POP16UP", kNoLowerBound, 3000),
+      Constraint::Avg("EMPLOYED", 1200, 2800),
+      Constraint::Sum("TOTALPOP", 15000, kNoUpperBound),
+  };
+  SolverOptions options;
+  options.pickup_order = GetParam();
+  options.tabu_max_no_improve = 40;
+  auto sol = SolveEmp(areas, cs, options);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  auto bc = BoundConstraints::Create(&areas, cs);
+  ASSERT_TRUE(bc.ok());
+  ConnectivityChecker connectivity(&areas.graph());
+  for (const auto& region : sol->regions) {
+    EXPECT_TRUE(connectivity.IsConnected(region));
+    RegionStats stats(&*bc);
+    for (int32_t a : region) stats.Add(a);
+    EXPECT_TRUE(stats.SatisfiesAll());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, PickupOrderPropertyTest,
+                         ::testing::Values(PickupOrder::kRandom,
+                                           PickupOrder::kAscending,
+                                           PickupOrder::kDescending),
+                         [](const ::testing::TestParamInfo<PickupOrder>& i) {
+                           switch (i.param) {
+                             case PickupOrder::kRandom:
+                               return std::string("random");
+                             case PickupOrder::kAscending:
+                               return std::string("ascending");
+                             case PickupOrder::kDescending:
+                               return std::string("descending");
+                           }
+                           return std::string("unknown");
+                         });
+
+}  // namespace
+}  // namespace emp

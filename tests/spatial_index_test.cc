@@ -1,0 +1,111 @@
+#include "geometry/spatial_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace emp {
+namespace {
+
+/// Brute-force k nearest for cross-checking.
+std::vector<int32_t> BruteKnn(const std::vector<Point>& pts, Point q, int k,
+                              int32_t exclude) {
+  std::vector<int32_t> ids;
+  for (int32_t i = 0; i < static_cast<int32_t>(pts.size()); ++i) {
+    if (i != exclude) ids.push_back(i);
+  }
+  std::sort(ids.begin(), ids.end(), [&](int32_t a, int32_t b) {
+    return DistanceSquared(pts[static_cast<size_t>(a)], q) <
+           DistanceSquared(pts[static_cast<size_t>(b)], q);
+  });
+  if (static_cast<int>(ids.size()) > k) ids.resize(static_cast<size_t>(k));
+  return ids;
+}
+
+TEST(SpatialIndexTest, FindsSingleNearest) {
+  std::vector<Point> pts = {{0, 0}, {10, 0}, {0, 10}, {5, 5}};
+  SpatialGridIndex idx(pts);
+  auto nn = idx.KNearest({6, 6}, 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0], 3);
+}
+
+TEST(SpatialIndexTest, ExcludeSkipsSelf) {
+  std::vector<Point> pts = {{0, 0}, {1, 0}, {2, 0}};
+  SpatialGridIndex idx(pts);
+  auto nn = idx.KNearest({0, 0}, 1, /*exclude=*/0);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0], 1);
+}
+
+TEST(SpatialIndexTest, ReturnsFewerWhenIndexSmall) {
+  std::vector<Point> pts = {{0, 0}, {1, 1}};
+  SpatialGridIndex idx(pts);
+  auto nn = idx.KNearest({0, 0}, 10, 0);
+  EXPECT_EQ(nn.size(), 1u);
+}
+
+TEST(SpatialIndexTest, MatchesBruteForceOnRandomPoints) {
+  Rng rng(42);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.Uniform(0, 100), rng.Uniform(0, 60)});
+  }
+  SpatialGridIndex idx(pts);
+  for (int trial = 0; trial < 50; ++trial) {
+    Point q{rng.Uniform(0, 100), rng.Uniform(0, 60)};
+    auto fast = idx.KNearest(q, 8);
+    auto brute = BruteKnn(pts, q, 8, -1);
+    ASSERT_EQ(fast.size(), brute.size());
+    // Compare by distance (ties can reorder ids).
+    for (size_t i = 0; i < fast.size(); ++i) {
+      EXPECT_NEAR(Distance(pts[static_cast<size_t>(fast[i])], q),
+                  Distance(pts[static_cast<size_t>(brute[i])], q), 1e-9);
+    }
+  }
+}
+
+TEST(SpatialIndexTest, KnnSortedAscendingByDistance) {
+  Rng rng(7);
+  std::vector<Point> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  SpatialGridIndex idx(pts);
+  auto nn = idx.KNearest({5, 5}, 20);
+  for (size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(DistanceSquared(pts[static_cast<size_t>(nn[i - 1])], {5, 5}),
+              DistanceSquared(pts[static_cast<size_t>(nn[i])], {5, 5}));
+  }
+}
+
+TEST(SpatialIndexTest, WithinRadiusMatchesBruteForce) {
+  Rng rng(13);
+  std::vector<Point> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({rng.Uniform(0, 20), rng.Uniform(0, 20)});
+  }
+  SpatialGridIndex idx(pts);
+  Point q{10, 10};
+  const double radius = 3.0;
+  auto got = idx.WithinRadius(q, radius);
+  std::sort(got.begin(), got.end());
+  std::vector<int32_t> expect;
+  for (int32_t i = 0; i < 300; ++i) {
+    if (Distance(pts[static_cast<size_t>(i)], q) <= radius) expect.push_back(i);
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST(SpatialIndexTest, HandlesDegenerateAllSamePoint) {
+  std::vector<Point> pts(10, Point{1, 1});
+  SpatialGridIndex idx(pts);
+  auto nn = idx.KNearest({1, 1}, 5);
+  EXPECT_EQ(nn.size(), 5u);
+}
+
+}  // namespace
+}  // namespace emp

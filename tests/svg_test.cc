@@ -1,0 +1,97 @@
+#include "render/svg.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic/dataset_catalog.h"
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+AreaSet TwoSquares() {
+  std::vector<Polygon> polys = {
+      Polygon({{0, 0}, {1, 0}, {1, 1}, {0, 1}}),
+      Polygon({{1, 0}, {2, 0}, {2, 1}, {1, 1}}),
+  };
+  auto graph = ContiguityGraph::FromEdges(2, {{0, 1}});
+  AttributeTable t(2);
+  EXPECT_TRUE(t.AddColumn("POP", {100, 200}).ok());
+  return std::move(AreaSet::Create("two", polys, std::move(graph).value(),
+                                   std::move(t), "POP"))
+      .value();
+}
+
+TEST(SvgTest, EmitsWellFormedDocument) {
+  AreaSet areas = TwoSquares();
+  auto svg = RenderSvg(areas);
+  ASSERT_TRUE(svg.ok());
+  EXPECT_EQ(svg->find("<svg"), 0u);
+  EXPECT_NE(svg->find("</svg>"), std::string::npos);
+  // One <polygon> element per area.
+  size_t count = 0;
+  for (size_t pos = 0; (pos = svg->find("<polygon", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(SvgTest, AssignmentControlsFill) {
+  AreaSet areas = TwoSquares();
+  auto svg = RenderSvg(areas, {0, -1});
+  ASSERT_TRUE(svg.ok());
+  // Region 0's color and the unassigned fill both appear.
+  EXPECT_NE(svg->find(RegionColor(0)), std::string::npos);
+  EXPECT_NE(svg->find("#dddddd"), std::string::npos);
+}
+
+TEST(SvgTest, HeightFollowsAspectRatio) {
+  AreaSet areas = TwoSquares();  // 2 x 1 map
+  SvgOptions options;
+  options.width = 500;
+  auto svg = RenderSvg(areas, {}, options);
+  ASSERT_TRUE(svg.ok());
+  EXPECT_NE(svg->find("width=\"500\""), std::string::npos);
+  EXPECT_NE(svg->find("height=\"250\""), std::string::npos);
+}
+
+TEST(SvgTest, LabelsRenderedWhenRequested) {
+  AreaSet areas = TwoSquares();
+  SvgOptions options;
+  options.label_regions = true;
+  auto svg = RenderSvg(areas, {0, 1}, options);
+  ASSERT_TRUE(svg.ok());
+  EXPECT_NE(svg->find("<text"), std::string::npos);
+}
+
+TEST(SvgTest, RejectsBadInputs) {
+  AreaSet areas = TwoSquares();
+  EXPECT_FALSE(RenderSvg(areas, {0}).ok());  // wrong assignment size
+  SvgOptions bad;
+  bad.width = -5;
+  EXPECT_FALSE(RenderSvg(areas, {}, bad).ok());
+  AreaSet flat = test::PathAreaSet({1, 2});
+  EXPECT_FALSE(RenderSvg(flat).ok());  // no geometry
+}
+
+TEST(SvgTest, RegionColorsAreDeterministicAndDistinct) {
+  EXPECT_EQ(RegionColor(7), RegionColor(7));
+  // First 50 ids should be pairwise distinct.
+  std::set<std::string> colors;
+  for (int32_t i = 0; i < 50; ++i) colors.insert(RegionColor(i));
+  EXPECT_EQ(colors.size(), 50u);
+  // Format sanity.
+  EXPECT_EQ(RegionColor(0).size(), 7u);
+  EXPECT_EQ(RegionColor(0)[0], '#');
+}
+
+TEST(SvgTest, RendersSyntheticMap) {
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  auto svg = RenderSvg(*areas);
+  ASSERT_TRUE(svg.ok());
+  EXPECT_GT(svg->size(), 10000u);  // 120 polygons with coordinates
+}
+
+}  // namespace
+}  // namespace emp

@@ -1,0 +1,163 @@
+#include "core/local_search/tabu.h"
+
+#include <gtest/gtest.h>
+
+#include "core/local_search/heterogeneity.h"
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+struct TabuSetup {
+  TabuSetup(const AreaSet* areas_in, std::vector<Constraint> cs)
+      : areas(areas_in),
+        bound(std::move(BoundConstraints::Create(areas_in, std::move(cs)))
+                  .value()),
+        partition(&bound),
+        connectivity(&areas_in->graph()) {}
+
+  const AreaSet* areas;
+  BoundConstraints bound;
+  Partition partition;
+  ConnectivityChecker connectivity;
+};
+
+TEST(TabuTest, ImprovesAPoorInitialSplit) {
+  // 1D map with values 1 1 1 9 9 9; optimal two-region split groups equal
+  // values (H = 0); start from the interleaving split.
+  AreaSet areas = test::PathAreaSet({1, 1, 1, 9, 9, 9});
+  TabuSetup setup(&areas, {Constraint::Count(1, 6)});
+  int32_t r1 = setup.partition.CreateRegion();
+  int32_t r2 = setup.partition.CreateRegion();
+  for (int32_t a : {0, 1}) setup.partition.Assign(a, r1);
+  for (int32_t a : {2, 3, 4, 5}) setup.partition.Assign(a, r2);
+
+  SolverOptions options;
+  options.tabu_max_no_improve = 50;
+  auto result = TabuSearch(options, &setup.connectivity, &setup.partition);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->final_heterogeneity, result->initial_heterogeneity);
+  // Best split is {1,1,1} | {9,9,9}: H = 0.
+  EXPECT_NEAR(result->final_heterogeneity, 0.0, 1e-9);
+  EXPECT_EQ(setup.partition.RegionOf(2), r1);
+  EXPECT_NEAR(ComputeHeterogeneity(setup.partition),
+              result->final_heterogeneity, 1e-9);
+}
+
+TEST(TabuTest, PreservesRegionCountAndConstraints) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(4, 4),
+      {{"s", {4, 9, 1, 7, 2, 8, 5, 3, 9, 1, 6, 4, 7, 3, 8, 2}}});
+  TabuSetup setup(&areas, {Constraint::Sum("s", 10, kNoUpperBound)});
+  // Four quadrant regions.
+  int32_t r[4];
+  for (int i = 0; i < 4; ++i) r[i] = setup.partition.CreateRegion();
+  const int32_t quadrant_of[16] = {0, 0, 1, 1, 0, 0, 1, 1,
+                                   2, 2, 3, 3, 2, 2, 3, 3};
+  for (int32_t a = 0; a < 16; ++a) {
+    setup.partition.Assign(a, r[quadrant_of[a]]);
+  }
+  const int32_t p_before = setup.partition.NumRegions();
+
+  SolverOptions options;
+  options.tabu_max_no_improve = 64;
+  auto result = TabuSearch(options, &setup.connectivity, &setup.partition);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(setup.partition.NumRegions(), p_before);
+  for (int32_t rid : setup.partition.AliveRegionIds()) {
+    EXPECT_TRUE(setup.partition.region(rid).stats.SatisfiesAll());
+    EXPECT_TRUE(
+        setup.connectivity.IsConnected(setup.partition.region(rid).areas));
+  }
+  EXPECT_LE(result->final_heterogeneity, result->initial_heterogeneity);
+  EXPECT_TRUE(setup.partition.ValidateInvariants().ok());
+}
+
+TEST(TabuTest, NoAdmissibleMovesTerminatesImmediately) {
+  // Two singleton regions cannot exchange anything (donor would empty).
+  AreaSet areas = test::PathAreaSet({1, 9});
+  TabuSetup setup(&areas, {Constraint::Count(1, 2)});
+  int32_t r1 = setup.partition.CreateRegion();
+  int32_t r2 = setup.partition.CreateRegion();
+  setup.partition.Assign(0, r1);
+  setup.partition.Assign(1, r2);
+  auto result = TabuSearch({}, &setup.connectivity, &setup.partition);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->moves_applied, 0);
+  EXPECT_DOUBLE_EQ(result->final_heterogeneity,
+                   result->initial_heterogeneity);
+}
+
+TEST(TabuTest, RespectsConstraintValidityOfMoves) {
+  // SUM >= 10 with region sums exactly 10: no area may move anywhere.
+  AreaSet areas = test::PathAreaSet({5, 5, 5, 5});
+  TabuSetup setup(&areas, {Constraint::Sum("s", 10, kNoUpperBound)});
+  int32_t r1 = setup.partition.CreateRegion();
+  int32_t r2 = setup.partition.CreateRegion();
+  for (int32_t a : {0, 1}) setup.partition.Assign(a, r1);
+  for (int32_t a : {2, 3}) setup.partition.Assign(a, r2);
+  auto result = TabuSearch({}, &setup.connectivity, &setup.partition);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->moves_applied, 0);
+}
+
+TEST(TabuTest, MaxIterationsCapRespected) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(5, 5),
+      {{"s", {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+              14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25}}});
+  TabuSetup setup(&areas, {Constraint::Count(1, 25)});
+  int32_t r1 = setup.partition.CreateRegion();
+  int32_t r2 = setup.partition.CreateRegion();
+  for (int32_t a = 0; a < 25; ++a) {
+    setup.partition.Assign(a, a % 5 < 2 ? r1 : r2);
+  }
+  SolverOptions options;
+  options.tabu_max_iterations = 3;
+  options.tabu_max_no_improve = 1000;
+  auto result = TabuSearch(options, &setup.connectivity, &setup.partition);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->iterations, 3);
+}
+
+TEST(TabuTest, ImprovementRatioComputedAgainstInitial) {
+  TabuResult r;
+  r.initial_heterogeneity = 200;
+  r.final_heterogeneity = 150;
+  EXPECT_NEAR(r.ImprovementRatio(), 0.25, 1e-12);
+  TabuResult zero;
+  zero.initial_heterogeneity = 0;
+  zero.final_heterogeneity = 0;
+  EXPECT_DOUBLE_EQ(zero.ImprovementRatio(), 0.0);
+}
+
+TEST(TabuTest, RestoresBestNotLast) {
+  // With worsening moves allowed, the returned partition must equal the
+  // best snapshot: its heterogeneity equals final_heterogeneity exactly.
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(3, 4),
+      {{"s", {5, 3, 8, 1, 9, 2, 7, 4, 6, 1, 8, 3}}});
+  TabuSetup setup(&areas, {Constraint::Count(1, 12)});
+  int32_t r1 = setup.partition.CreateRegion();
+  int32_t r2 = setup.partition.CreateRegion();
+  for (int32_t a = 0; a < 12; ++a) {
+    setup.partition.Assign(a, a < 6 ? r1 : r2);
+  }
+  SolverOptions options;
+  options.tabu_max_no_improve = 30;
+  auto result = TabuSearch(options, &setup.connectivity, &setup.partition);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(ComputeHeterogeneity(setup.partition),
+              result->final_heterogeneity, 1e-9);
+  EXPECT_LE(result->final_heterogeneity, result->initial_heterogeneity);
+}
+
+TEST(TabuTest, NullArgumentsRejected) {
+  AreaSet areas = test::PathAreaSet({1, 2});
+  TabuSetup setup(&areas, {});
+  EXPECT_FALSE(TabuSearch({}, nullptr, &setup.partition).ok());
+  EXPECT_FALSE(TabuSearch({}, &setup.connectivity, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace emp

@@ -1,0 +1,63 @@
+#ifndef EMP_TESTS_TEST_UTIL_H_
+#define EMP_TESTS_TEST_UTIL_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/area_set.h"
+
+namespace emp {
+namespace test {
+
+/// Builds a rook-adjacency grid graph with rows*cols nodes (row-major ids).
+inline ContiguityGraph GridGraph(int32_t rows, int32_t cols) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t r = 0; r < rows; ++r) {
+    for (int32_t c = 0; c < cols; ++c) {
+      int32_t id = r * cols + c;
+      if (c + 1 < cols) edges.push_back({id, id + 1});
+      if (r + 1 < rows) edges.push_back({id, id + cols});
+    }
+  }
+  return std::move(ContiguityGraph::FromEdges(rows * cols, edges)).value();
+}
+
+/// Builds a path graph 0-1-...-(n-1).
+inline ContiguityGraph PathGraph(int32_t n) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return std::move(ContiguityGraph::FromEdges(n, edges)).value();
+}
+
+/// Builds a geometry-less area set over an arbitrary graph with the given
+/// named attribute columns. The first column doubles as the dissimilarity
+/// attribute unless `dissimilarity` is given.
+inline AreaSet MakeAreaSet(
+    ContiguityGraph graph,
+    std::vector<std::pair<std::string, std::vector<double>>> columns,
+    std::string dissimilarity = "") {
+  AttributeTable table(graph.num_nodes());
+  std::string diss =
+      dissimilarity.empty() ? columns.front().first : dissimilarity;
+  for (auto& [name, values] : columns) {
+    auto st = table.AddColumn(name, std::move(values));
+    if (!st.ok()) std::abort();
+  }
+  auto areas = AreaSet::CreateWithoutGeometry("test", std::move(graph),
+                                              std::move(table), diss);
+  if (!areas.ok()) std::abort();
+  return std::move(areas).value();
+}
+
+/// Path area set with one attribute "s" (also the dissimilarity attribute).
+inline AreaSet PathAreaSet(std::vector<double> s) {
+  int32_t n = static_cast<int32_t>(s.size());
+  return MakeAreaSet(PathGraph(n), {{"s", std::move(s)}});
+}
+
+}  // namespace test
+}  // namespace emp
+
+#endif  // EMP_TESTS_TEST_UTIL_H_

@@ -1,0 +1,108 @@
+#include "data/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/fact_solver.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+TEST(ZScoreTest, StandardizesMoments) {
+  auto z = ZScore({2, 4, 6, 8});
+  ASSERT_TRUE(z.ok());
+  double mean = 0;
+  double var = 0;
+  for (double v : *z) mean += v;
+  mean /= 4;
+  for (double v : *z) var += v * v;
+  var /= 4;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+}
+
+TEST(ZScoreTest, RejectsConstantAndEmpty) {
+  EXPECT_FALSE(ZScore({5, 5, 5}).ok());
+  EXPECT_FALSE(ZScore({}).ok());
+}
+
+TEST(MinMaxTest, ScalesIntoUnitInterval) {
+  auto s = MinMaxScale({10, 20, 15});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ((*s)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*s)[1], 1.0);
+  EXPECT_DOUBLE_EQ((*s)[2], 0.5);
+}
+
+TEST(MinMaxTest, RejectsConstant) {
+  EXPECT_FALSE(MinMaxScale({3, 3}).ok());
+}
+
+TEST(LogTransformTest, AppliesLogWithOffset) {
+  auto l = LogTransform({0, std::exp(1.0) - 1}, 1.0);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR((*l)[0], 0.0, 1e-12);
+  EXPECT_NEAR((*l)[1], 1.0, 1e-12);
+}
+
+TEST(LogTransformTest, RejectsNonPositive) {
+  EXPECT_FALSE(LogTransform({-1, 2}).ok());
+  EXPECT_FALSE(LogTransform({0}).ok());
+}
+
+TEST(CompositeTest, BuildsWeightedColumn) {
+  AreaSet areas = test::MakeAreaSet(
+      test::PathGraph(4),
+      {{"a", {1, 2, 3, 4}}, {"b", {40, 30, 20, 10}}});
+  auto enriched = WithCompositeAttribute(
+      areas, "mix",
+      {{"a", 1.0, /*standardize=*/true}, {"b", 2.0, /*standardize=*/true}});
+  ASSERT_TRUE(enriched.ok()) << enriched.status().ToString();
+  EXPECT_TRUE(enriched->attributes().HasColumn("mix"));
+  EXPECT_EQ(enriched->dissimilarity_attribute(), "mix");
+  // a ascending, b descending with double weight => mix is descending.
+  const auto& mix = **enriched->attributes().ColumnByName("mix");
+  EXPECT_GT(mix[0], mix[3]);
+}
+
+TEST(CompositeTest, UnstandardizedUsesRawValues) {
+  AreaSet areas = test::MakeAreaSet(test::PathGraph(2),
+                                    {{"a", {1, 2}}, {"b", {10, 20}}});
+  auto enriched = WithCompositeAttribute(
+      areas, "mix", {{"a", 1.0, false}, {"b", 0.5, false}},
+      /*use_as_dissimilarity=*/false);
+  ASSERT_TRUE(enriched.ok());
+  const auto& mix = **enriched->attributes().ColumnByName("mix");
+  EXPECT_DOUBLE_EQ(mix[0], 6.0);
+  EXPECT_DOUBLE_EQ(mix[1], 12.0);
+  EXPECT_EQ(enriched->dissimilarity_attribute(), "a");
+}
+
+TEST(CompositeTest, RejectsBadInputs) {
+  AreaSet areas = test::PathAreaSet({1, 2, 3});
+  EXPECT_FALSE(WithCompositeAttribute(areas, "x", {}).ok());
+  EXPECT_FALSE(
+      WithCompositeAttribute(areas, "s", {{"s", 1.0, false}}).ok());
+  EXPECT_FALSE(
+      WithCompositeAttribute(areas, "x", {{"ghost", 1.0, false}}).ok());
+}
+
+TEST(CompositeTest, SolverRunsOnCompositeDissimilarity) {
+  // Multi-criteria homogeneity: regions homogeneous in a blend of
+  // employment and household counts.
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  auto enriched = WithCompositeAttribute(
+      *areas, "BLEND", {{"EMPLOYED", 1.0, true}, {"HOUSEHOLDS", 1.0, true}});
+  ASSERT_TRUE(enriched.ok());
+  auto sol = SolveEmp(*enriched,
+                      {Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)});
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GT(sol->p(), 0);
+}
+
+}  // namespace
+}  // namespace emp

@@ -1,0 +1,106 @@
+#include "core/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/fact_solver.h"
+#include "data/geojson.h"
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+TEST(ValidateTest, AcceptsSolverOutput) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(5, 5),
+      {{"pop", {12, 7, 9, 14, 6, 8, 11, 5, 13, 9, 10, 7, 12,
+                6, 9, 11, 8, 14, 5, 10, 7, 13, 9, 6, 12}}});
+  std::vector<Constraint> cs = {Constraint::Sum("pop", 25, kNoUpperBound)};
+  auto sol = SolveEmp(areas, cs);
+  ASSERT_TRUE(sol.ok());
+  auto report = ValidateAssignment(areas, cs, sol->region_of);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid) << report->ToString();
+  EXPECT_EQ(report->p, sol->p());
+}
+
+TEST(ValidateTest, DetectsConstraintViolation) {
+  AreaSet areas = test::PathAreaSet({5, 5, 5});
+  // Region {0} has sum 5 < 12.
+  auto report = ValidateAssignment(
+      areas, {Constraint::Sum("s", 12, kNoUpperBound)}, {0, 1, 1});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->valid);
+  ASSERT_FALSE(report->violations.empty());
+  EXPECT_NE(report->violations[0].find("SUM"), std::string::npos);
+}
+
+TEST(ValidateTest, DetectsDiscontiguousRegion) {
+  // Path 0-1-2-3: region {0, 3} is not contiguous.
+  AreaSet areas = test::PathAreaSet({5, 5, 5, 5});
+  auto report = ValidateAssignment(
+      areas, {Constraint::Sum("s", 5, kNoUpperBound)}, {7, -1, -1, 7});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->valid);
+  bool found = false;
+  for (const auto& v : report->violations) {
+    if (v.find("contiguous") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ValidateTest, NonCompactRegionIdsAllowed) {
+  AreaSet areas = test::PathAreaSet({5, 5});
+  auto report = ValidateAssignment(
+      areas, {Constraint::Sum("s", 5, kNoUpperBound)}, {42, 99});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid);
+  EXPECT_EQ(report->p, 2);
+}
+
+TEST(ValidateTest, CountsUnassigned) {
+  AreaSet areas = test::PathAreaSet({5, 5, 5});
+  auto report = ValidateAssignment(
+      areas, {Constraint::Sum("s", 5, kNoUpperBound)}, {0, -1, -1});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->valid);
+  EXPECT_EQ(report->unassigned, 2);
+}
+
+TEST(ValidateTest, RejectsWrongSize) {
+  AreaSet areas = test::PathAreaSet({5, 5, 5});
+  auto report = ValidateAssignment(
+      areas, {Constraint::Sum("s", 5, kNoUpperBound)}, {0, 0});
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(ValidateTest, FlagsMalformedIds) {
+  AreaSet areas = test::PathAreaSet({5, 5});
+  auto report = ValidateAssignment(
+      areas, {Constraint::Sum("s", 5, kNoUpperBound)}, {-7, 0});
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->valid);
+}
+
+TEST(AssignmentCsvRoundTripTest, ParsesOwnOutput) {
+  std::vector<int32_t> region_of = {2, -1, 0, 0, 1};
+  std::string csv = AssignmentToCsv(region_of);
+  auto parsed = AssignmentFromCsv(csv, 5);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, region_of);
+}
+
+TEST(AssignmentCsvRoundTripTest, MissingRowsDefaultUnassigned) {
+  auto parsed = AssignmentFromCsv("area_id,region_id\n1,4\n", 3);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, (std::vector<int32_t>{-1, 4, -1}));
+}
+
+TEST(AssignmentCsvRoundTripTest, RejectsBadInput) {
+  EXPECT_FALSE(AssignmentFromCsv("foo,bar\n1,2\n", 3).ok());
+  EXPECT_FALSE(AssignmentFromCsv("area_id,region_id\n9,0\n", 3).ok());
+  EXPECT_FALSE(
+      AssignmentFromCsv("area_id,region_id\n1,0\n1,2\n", 3).ok());
+}
+
+}  // namespace
+}  // namespace emp

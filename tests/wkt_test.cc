@@ -1,0 +1,74 @@
+#include "geometry/wkt.h"
+
+#include <gtest/gtest.h>
+
+namespace emp {
+namespace {
+
+TEST(WktTest, PolygonToWktRepeatsClosingVertex) {
+  Polygon sq({{0, 0}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(ToWkt(sq), "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))");
+}
+
+TEST(WktTest, PointToWkt) {
+  EXPECT_EQ(ToWkt(Point{1.5, -2}), "POINT (1.5 -2)");
+}
+
+TEST(WktTest, ParsePolygonDropsClosingVertex) {
+  auto p = PolygonFromWkt("POLYGON ((0 0, 2 0, 2 2, 0 0))");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 3u);
+  EXPECT_DOUBLE_EQ(p->Area(), 2.0);
+}
+
+TEST(WktTest, ParsePolygonWithoutClosingVertex) {
+  auto p = PolygonFromWkt("POLYGON((0 0,2 0,0 2))");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 3u);
+}
+
+TEST(WktTest, ParseIsCaseInsensitiveOnKeyword) {
+  auto p = PolygonFromWkt("polygon ((0 0, 1 0, 0 1, 0 0))");
+  EXPECT_TRUE(p.ok());
+}
+
+TEST(WktTest, PolygonRoundTrip) {
+  Polygon orig({{0.25, 0.5}, {3, 0}, {2.5, 4.125}});
+  auto parsed = PolygonFromWkt(ToWkt(orig));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), orig.size());
+  for (size_t i = 0; i < orig.size(); ++i) {
+    EXPECT_NEAR(parsed->vertices()[i].x, orig.vertices()[i].x, 1e-9);
+    EXPECT_NEAR(parsed->vertices()[i].y, orig.vertices()[i].y, 1e-9);
+  }
+}
+
+TEST(WktTest, PointRoundTrip) {
+  auto p = PointFromWkt(ToWkt(Point{-7.5, 3.25}));
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(p->x, -7.5);
+  EXPECT_DOUBLE_EQ(p->y, 3.25);
+}
+
+TEST(WktTest, RejectsMissingKeyword) {
+  EXPECT_FALSE(PolygonFromWkt("LINESTRING (0 0, 1 1)").ok());
+  EXPECT_FALSE(PointFromWkt("((1 2))").ok());
+}
+
+TEST(WktTest, RejectsMalformedCoordinates) {
+  EXPECT_FALSE(PolygonFromWkt("POLYGON ((0 0, 1, 1 1, 0 0))").ok());
+  EXPECT_FALSE(PolygonFromWkt("POLYGON ((0 0 9, 1 0, 1 1))").ok());
+  EXPECT_FALSE(PointFromWkt("POINT (1)").ok());
+}
+
+TEST(WktTest, RejectsTooFewVertices) {
+  EXPECT_FALSE(PolygonFromWkt("POLYGON ((0 0, 1 1, 0 0))").ok());
+}
+
+TEST(WktTest, RejectsMissingParens) {
+  EXPECT_FALSE(PolygonFromWkt("POLYGON 0 0, 1 0, 1 1").ok());
+  EXPECT_FALSE(PolygonFromWkt("POLYGON (0 0, 1 0, 1 1)").ok());
+}
+
+}  // namespace
+}  // namespace emp

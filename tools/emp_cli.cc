@@ -1,0 +1,356 @@
+// emp_cli — command-line regionalizer over the emp library.
+//
+// Subcommands:
+//   synth        synthesize a census-like map and write it as loader CSV
+//   info         describe a map (areas, adjacency, attributes); export GAL
+//   feasibility  run FaCT's feasibility phase and print the diagnostics
+//   solve        regionalize with FaCT (enriched query) or MP/SKATER
+//   validate     audit an assignment CSV against a query
+//
+// Examples:
+//   emp_cli synth --dataset 2k --out tracts.csv
+//   emp_cli solve --input tracts.csv
+//       --query "MIN(POP16UP) <= 3000; SUM(TOTALPOP) >= 20k"
+//       --out assignment.csv --geojson regions.geojson
+//   emp_cli solve --input tracts.csv --solver maxp --attribute TOTALPOP
+//       --threshold 20000
+//   emp_cli validate --input tracts.csv --query "SUM(TOTALPOP) >= 20k"
+//       --assignment assignment.csv
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/maxp_regions.h"
+#include "baseline/skater.h"
+#include "common/csv.h"
+#include "constraints/query_parser.h"
+#include "core/fact_solver.h"
+#include "core/feasibility.h"
+#include "core/metrics.h"
+#include "core/validate.h"
+#include "core/explore.h"
+#include "core/report.h"
+#include "data/geojson.h"
+#include "data/loader.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "graph/components.h"
+#include "graph/gal.h"
+#include "render/svg.h"
+
+namespace {
+
+/// Minimal --flag=value / --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        error_ = "unexpected positional argument '" + arg + "'";
+        return;
+      }
+      arg = arg.substr(2);
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";  // boolean flag
+      }
+    }
+  }
+
+  const std::string& error() const { return error_; }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: emp_cli <command> [--flag value ...]\n"
+      "  synth       --out FILE [--dataset NAME | --areas N] [--seed S]\n"
+      "              [--components K] [--scale F]\n"
+      "  info        --input FILE [--gal FILE]\n"
+      "  feasibility --input FILE --query Q\n"
+      "  solve       --input FILE (--query Q | --solver maxp|skater\n"
+      "              --attribute A --threshold T) [--out FILE]\n"
+      "              [--geojson FILE] [--svg FILE] [--json FILE]\n"
+      "              [--iterations N] [--threads N] [--seed S] [--no-tabu]\n"
+      "  validate    --input FILE --query Q --assignment FILE\n"
+      "  render      --input FILE [--assignment FILE] [--out FILE]\n"
+      "              [--width W] [--labels]\n"
+      "  explore     --input FILE --query Q [--min-gain F]\n");
+  return 2;
+}
+
+emp::Result<emp::AreaSet> LoadInput(const Args& args) {
+  std::string path = args.Get("input");
+  if (path.empty()) {
+    return emp::Status::InvalidArgument("--input is required");
+  }
+  emp::LoaderOptions options;
+  if (args.Has("dissimilarity")) {
+    options.dissimilarity_attribute = args.Get("dissimilarity");
+  } else {
+    options.dissimilarity_attribute = "";  // first column
+  }
+  return emp::LoadAreaSetFromCsvFile(path, options);
+}
+
+int CmdSynth(const Args& args) {
+  std::string out = args.Get("out");
+  if (out.empty()) return Fail("synth: --out is required");
+
+  emp::Result<emp::AreaSet> areas = [&]() -> emp::Result<emp::AreaSet> {
+    if (args.Has("areas")) {
+      return emp::synthetic::MakeDefaultDataset(
+          "custom", static_cast<int32_t>(args.GetInt("areas", 1000)),
+          static_cast<uint64_t>(args.GetInt("seed", 1)),
+          static_cast<int32_t>(args.GetInt("components", 1)));
+    }
+    return emp::synthetic::MakeCatalogDataset(args.Get("dataset", "2k"),
+                                              args.GetDouble("scale", 1.0));
+  }();
+  if (!areas.ok()) return Fail(areas.status().ToString());
+
+  auto csv = emp::AreaSetToCsvText(*areas);
+  if (!csv.ok()) return Fail(csv.status().ToString());
+  emp::Status st = emp::WriteFile(out, *csv);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %s: %d areas, %lld edges\n", out.c_str(),
+              areas->num_areas(),
+              static_cast<long long>(areas->graph().num_edges()));
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  auto areas = LoadInput(args);
+  if (!areas.ok()) return Fail(areas.status().ToString());
+  std::printf("name: %s\n", areas->name().c_str());
+  std::printf("areas: %d\n", areas->num_areas());
+  std::printf("edges: %lld (avg degree %.2f)\n",
+              static_cast<long long>(areas->graph().num_edges()),
+              areas->graph().AverageDegree());
+  std::printf("components: %d\n",
+              emp::ConnectedComponents(areas->graph()).count);
+  std::printf("attributes:\n");
+  for (const std::string& name : areas->attributes().column_names()) {
+    auto stats = areas->attributes().Stats(name);
+    if (stats.ok()) {
+      std::printf("  %-16s min=%.1f mean=%.1f max=%.1f\n", name.c_str(),
+                  stats->min, stats->mean, stats->max);
+    }
+  }
+  std::printf("dissimilarity attribute: %s\n",
+              areas->dissimilarity_attribute().c_str());
+  if (args.Has("gal")) {
+    emp::Status st = emp::WriteGalFile(args.Get("gal"), areas->graph());
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote GAL weights: %s\n", args.Get("gal").c_str());
+  }
+  return 0;
+}
+
+int CmdFeasibility(const Args& args) {
+  auto areas = LoadInput(args);
+  if (!areas.ok()) return Fail(areas.status().ToString());
+  auto constraints = emp::ParseConstraints(args.Get("query"));
+  if (!constraints.ok()) return Fail(constraints.status().ToString());
+  auto bound = emp::BoundConstraints::Create(&*areas, *constraints);
+  if (!bound.ok()) return Fail(bound.status().ToString());
+  auto report = emp::CheckFeasibility(*bound);
+  if (!report.ok()) return Fail(report.status().ToString());
+
+  std::printf("feasible: %s\n", report->feasible ? "yes" : "NO");
+  std::printf("full partition possible: %s\n",
+              report->full_partition_possible ? "yes" : "no");
+  std::printf("valid areas: %lld / %d (%lld invalid)\n",
+              static_cast<long long>(report->num_valid_areas),
+              areas->num_areas(),
+              static_cast<long long>(report->invalid_areas.size()));
+  std::printf("seed areas: %lld\n",
+              static_cast<long long>(report->num_seed_areas));
+  for (const std::string& line : report->diagnostics) {
+    std::printf("diagnostic: %s\n", line.c_str());
+  }
+  return report->feasible ? 0 : 3;
+}
+
+int CmdSolve(const Args& args) {
+  auto areas = LoadInput(args);
+  if (!areas.ok()) return Fail(areas.status().ToString());
+
+  emp::SolverOptions options;
+  options.construction_iterations =
+      static_cast<int>(args.GetInt("iterations", 3));
+  options.construction_threads = static_cast<int>(args.GetInt("threads", 1));
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  options.run_local_search = !args.Has("no-tabu");
+
+  const std::string solver = args.Get("solver", "fact");
+  emp::Result<emp::Solution> solution = [&]() -> emp::Result<emp::Solution> {
+    if (solver == "fact") {
+      auto constraints = emp::ParseConstraints(args.Get("query"));
+      if (!constraints.ok()) return constraints.status();
+      return emp::SolveEmp(*areas, *constraints, options);
+    }
+    const std::string attribute = args.Get("attribute");
+    const double threshold = args.GetDouble("threshold", -1);
+    if (attribute.empty() || threshold < 0) {
+      return emp::Status::InvalidArgument(
+          "--solver " + solver + " needs --attribute and --threshold");
+    }
+    if (solver == "maxp") {
+      return emp::MaxPRegionsSolver(&*areas, attribute, threshold, options)
+          .Solve();
+    }
+    if (solver == "skater") {
+      return emp::SkaterMaxPSolver(&*areas, attribute, threshold, options)
+          .Solve();
+    }
+    return emp::Status::InvalidArgument("unknown solver '" + solver + "'");
+  }();
+  if (!solution.ok()) return Fail(solution.status().ToString());
+
+  std::printf("%s\n", solution->Summary().c_str());
+  auto metrics = emp::ComputeMetrics(*areas, *solution);
+  if (metrics.ok()) std::printf("%s\n", metrics->ToString().c_str());
+
+  if (args.Has("out")) {
+    emp::Status st = emp::WriteFile(
+        args.Get("out"), emp::AssignmentToCsv(solution->region_of));
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s\n", args.Get("out").c_str());
+  }
+  if (args.Has("geojson")) {
+    auto geojson = emp::ToGeoJson(*areas, solution->region_of);
+    if (!geojson.ok()) return Fail(geojson.status().ToString());
+    emp::Status st = emp::WriteFile(args.Get("geojson"), *geojson);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s\n", args.Get("geojson").c_str());
+  }
+  if (args.Has("svg")) {
+    emp::SvgOptions svg_options;
+    svg_options.label_regions = args.Has("labels");
+    auto svg = emp::RenderSvg(*areas, solution->region_of, svg_options);
+    if (!svg.ok()) return Fail(svg.status().ToString());
+    emp::Status st = emp::WriteFile(args.Get("svg"), *svg);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s\n", args.Get("svg").c_str());
+  }
+  if (args.Has("json") && solver == "fact") {
+    auto constraints = emp::ParseConstraints(args.Get("query"));
+    if (!constraints.ok()) return Fail(constraints.status().ToString());
+    auto json = emp::SolutionToJson(*areas, *constraints, *solution);
+    if (!json.ok()) return Fail(json.status().ToString());
+    emp::Status st = emp::WriteFile(args.Get("json"), *json);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s\n", args.Get("json").c_str());
+  }
+  return 0;
+}
+
+int CmdExplore(const Args& args) {
+  auto areas = LoadInput(args);
+  if (!areas.ok()) return Fail(areas.status().ToString());
+  auto constraints = emp::ParseConstraints(args.Get("query"));
+  if (!constraints.ok()) return Fail(constraints.status().ToString());
+  emp::RelaxOptions options;
+  options.min_unassigned_gain = args.GetDouble("min-gain", 0.02);
+  auto suggestions = emp::SuggestRelaxations(*areas, *constraints, options);
+  if (!suggestions.ok()) return Fail(suggestions.status().ToString());
+  if (suggestions->empty()) {
+    std::printf("no helpful relaxations found — the query is already "
+                "well-matched to the data\n");
+    return 0;
+  }
+  for (const auto& s : *suggestions) {
+    std::printf("%s\n", s.ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdRender(const Args& args) {
+  auto areas = LoadInput(args);
+  if (!areas.ok()) return Fail(areas.status().ToString());
+  std::vector<int32_t> region_of;
+  if (args.Has("assignment")) {
+    auto csv = emp::ReadFile(args.Get("assignment"));
+    if (!csv.ok()) return Fail(csv.status().ToString());
+    auto parsed = emp::AssignmentFromCsv(*csv, areas->num_areas());
+    if (!parsed.ok()) return Fail(parsed.status().ToString());
+    region_of = std::move(parsed).value();
+  }
+  emp::SvgOptions options;
+  options.width = args.GetDouble("width", 1024);
+  options.label_regions = args.Has("labels");
+  auto svg = emp::RenderSvg(*areas, region_of, options);
+  if (!svg.ok()) return Fail(svg.status().ToString());
+  std::string out = args.Get("out", "map.svg");
+  emp::Status st = emp::WriteFile(out, *svg);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %s (%zu bytes)\n", out.c_str(), svg->size());
+  return 0;
+}
+
+int CmdValidate(const Args& args) {
+  auto areas = LoadInput(args);
+  if (!areas.ok()) return Fail(areas.status().ToString());
+  auto constraints = emp::ParseConstraints(args.Get("query"));
+  if (!constraints.ok()) return Fail(constraints.status().ToString());
+  auto csv = emp::ReadFile(args.Get("assignment"));
+  if (!csv.ok()) return Fail(csv.status().ToString());
+  auto assignment = emp::AssignmentFromCsv(*csv, areas->num_areas());
+  if (!assignment.ok()) return Fail(assignment.status().ToString());
+  auto report = emp::ValidateAssignment(*areas, *constraints, *assignment);
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::printf("%s\n", report->ToString().c_str());
+  return report->valid ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Args args(argc, argv);
+  if (!args.error().empty()) return Fail(args.error());
+
+  if (command == "synth") return CmdSynth(args);
+  if (command == "info") return CmdInfo(args);
+  if (command == "feasibility") return CmdFeasibility(args);
+  if (command == "solve") return CmdSolve(args);
+  if (command == "validate") return CmdValidate(args);
+  if (command == "render") return CmdRender(args);
+  if (command == "explore") return CmdExplore(args);
+  return Usage();
+}
