@@ -51,6 +51,11 @@ MaxPRegionsSolver::MaxPRegionsSolver(const AreaSet* areas,
       options_(options) {}
 
 Result<Solution> MaxPRegionsSolver::Solve() {
+  return Solve(MakeRunContext(options_));
+}
+
+Result<Solution> MaxPRegionsSolver::Solve(const RunContext& ctx) {
+  EMP_RETURN_IF_ERROR(ValidateSolverOptions(options_));
   if (areas_ == nullptr) {
     return Status::InvalidArgument("MaxPRegionsSolver: null area set");
   }
@@ -59,39 +64,61 @@ Result<Solution> MaxPRegionsSolver::Solve() {
       BoundConstraints::Create(
           areas_, {Constraint::Sum(attribute_, threshold_, kNoUpperBound)}));
 
-  Stopwatch construction_timer;
-  EMP_ASSIGN_OR_RETURN(FeasibilityReport feasibility, CheckFeasibility(bound));
+  Stopwatch feasibility_timer;
+  FeasibilityReport feasibility;
+  double feasibility_seconds = 0.0;
+  {
+    PhaseSupervisor supervisor(&ctx, "feasibility");
+    EMP_ASSIGN_OR_RETURN(feasibility, CheckFeasibility(bound, &supervisor));
+    feasibility_seconds = feasibility_timer.ElapsedSeconds();
+    if (auto reason = supervisor.tripped()) {
+      Solution degraded;
+      degraded.feasibility = std::move(feasibility);
+      degraded.feasibility_seconds = feasibility_seconds;
+      degraded.termination_reason = *reason;
+      Partition empty(&bound);
+      FillAssignmentFromPartition(empty, &degraded);
+      return degraded;
+    }
+  }
   if (!feasibility.feasible) {
     return Status::Infeasible(Join(feasibility.diagnostics, "; "));
   }
 
+  Stopwatch construction_timer;
   const std::vector<double>& d = areas_->dissimilarity();
   ConnectivityChecker connectivity(&areas_->graph());
   const int32_t n = areas_->num_areas();
 
   std::optional<Partition> best;
   int32_t best_p = -1;
-  const int iterations =
-      options_.construction_iterations < 1 ? 1
-                                           : options_.construction_iterations;
+  int completed_iterations = 0;
+  std::optional<TerminationReason> construction_trip;
+  const int iterations = options_.construction_iterations;
 
   for (int iter = 0; iter < iterations; ++iter) {
     Rng rng(options_.seed +
             0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(iter));
     Partition partition(&bound);
+    PhaseSupervisor supervisor(&ctx, "maxp", /*worker=*/iter);
 
     std::vector<int32_t> order(static_cast<size_t>(n));
     std::iota(order.begin(), order.end(), 0);
     rng.Shuffle(&order);
 
     // Greedy growth: seed at each unassigned area in turn, absorb the most
-    // similar unassigned neighbor until the SUM threshold is met.
+    // similar unassigned neighbor until the SUM threshold is met. On a
+    // supervisor trip the in-progress region is still under threshold, so
+    // the existing dissolve check finalizes the partial to a feasible
+    // state.
     for (int32_t seed : order) {
+      if (supervisor.tripped()) break;
       if (partition.RegionOf(seed) != -1) continue;
       const int32_t rid = partition.CreateRegion();
       partition.Assign(seed, rid);
       double d_sum = d[static_cast<size_t>(seed)];
       while (partition.region(rid).stats.AggregateValue(0) < threshold_) {
+        if (supervisor.Check()) break;
         double mean_d = d_sum / partition.region(rid).size();
         int32_t pick = BestUnassignedNeighbor(partition, rid, d, mean_d);
         if (pick == -1) break;
@@ -105,11 +132,13 @@ Result<Solution> MaxPRegionsSolver::Solve() {
 
     // Enclave assignment: attach every leftover area to the adjacent
     // feasible region with the closest mean dissimilarity. Iterate because
-    // an enclave may only border other enclaves at first.
-    bool changed = true;
+    // an enclave may only border other enclaves at first. Additions only
+    // grow region sums, so stopping anywhere keeps every region feasible.
+    bool changed = !supervisor.tripped().has_value();
     while (changed) {
       changed = false;
       for (int32_t a = 0; a < n; ++a) {
+        if (supervisor.Check()) break;
         if (partition.RegionOf(a) != -1) continue;
         int32_t best_rid = -1;
         double best_gap = std::numeric_limits<double>::infinity();
@@ -131,6 +160,12 @@ Result<Solution> MaxPRegionsSolver::Solve() {
       }
     }
 
+    if (auto reason = supervisor.tripped()) {
+      if (!construction_trip.has_value()) construction_trip = reason;
+    } else {
+      ++completed_iterations;
+    }
+
     const int32_t p = partition.NumRegions();
     if (p > best_p) {
       best_p = p;
@@ -140,15 +175,25 @@ Result<Solution> MaxPRegionsSolver::Solve() {
 
   Solution solution;
   solution.feasibility = std::move(feasibility);
+  solution.feasibility_seconds = feasibility_seconds;
+  solution.completed_construction_iterations = completed_iterations;
   solution.construction_seconds = construction_timer.ElapsedSeconds();
   solution.heterogeneity_before_local_search = ComputeHeterogeneity(*best);
+  if (construction_trip.has_value()) {
+    solution.termination_reason = *construction_trip;
+  }
 
   if (options_.run_local_search && best_p > 0) {
     Stopwatch tabu_timer;
+    PhaseSupervisor supervisor(&ctx, "tabu");
     EMP_ASSIGN_OR_RETURN(solution.tabu_result,
-                         TabuSearch(options_, &connectivity, &*best));
+                         TabuSearch(options_, &connectivity, &*best,
+                                    /*objective=*/nullptr, &supervisor));
     solution.local_search_seconds = tabu_timer.ElapsedSeconds();
     solution.heterogeneity = solution.tabu_result.final_heterogeneity;
+    if (solution.termination_reason == TerminationReason::kConverged) {
+      solution.termination_reason = solution.tabu_result.termination;
+    }
   } else {
     solution.heterogeneity = solution.heterogeneity_before_local_search;
     solution.tabu_result.initial_heterogeneity = solution.heterogeneity;

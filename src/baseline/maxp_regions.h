@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "core/run_context.h"
 #include "core/solution.h"
 #include "core/solver_options.h"
 #include "data/area_set.h"
@@ -29,8 +30,15 @@ class MaxPRegionsSolver {
                     double threshold, SolverOptions options = {});
 
   /// Runs construction + Tabu. Infeasible when the dataset total of
-  /// `attribute` is below the threshold.
+  /// `attribute` is below the threshold. Honors
+  /// time_budget_ms/max_evaluations via MakeRunContext, like FactSolver.
   Result<Solution> Solve();
+
+  /// Same under an explicit supervision context: on a trip the partial
+  /// partition is finalized (in-progress under-threshold region dissolved)
+  /// and returned with Solution::termination_reason set. Construction
+  /// checkpoints use phase "maxp"; the Tabu phase stays "tabu".
+  Result<Solution> Solve(const RunContext& ctx);
 
  private:
   const AreaSet* areas_;

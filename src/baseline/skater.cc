@@ -34,6 +34,11 @@ SkaterMaxPSolver::SkaterMaxPSolver(const AreaSet* areas,
       options_(options) {}
 
 Result<Solution> SkaterMaxPSolver::Solve() {
+  return Solve(MakeRunContext(options_));
+}
+
+Result<Solution> SkaterMaxPSolver::Solve(const RunContext& ctx) {
+  EMP_RETURN_IF_ERROR(ValidateSolverOptions(options_));
   if (areas_ == nullptr) {
     return Status::InvalidArgument("SkaterMaxPSolver: null area set");
   }
@@ -42,12 +47,29 @@ Result<Solution> SkaterMaxPSolver::Solve() {
       BoundConstraints::Create(
           areas_, {Constraint::Sum(attribute_, threshold_, kNoUpperBound)}));
 
-  Stopwatch construction_timer;
-  EMP_ASSIGN_OR_RETURN(FeasibilityReport feasibility, CheckFeasibility(bound));
+  Stopwatch feasibility_timer;
+  FeasibilityReport feasibility;
+  double feasibility_seconds = 0.0;
+  {
+    PhaseSupervisor supervisor(&ctx, "feasibility");
+    EMP_ASSIGN_OR_RETURN(feasibility, CheckFeasibility(bound, &supervisor));
+    feasibility_seconds = feasibility_timer.ElapsedSeconds();
+    if (auto reason = supervisor.tripped()) {
+      Solution degraded;
+      degraded.feasibility = std::move(feasibility);
+      degraded.feasibility_seconds = feasibility_seconds;
+      degraded.termination_reason = *reason;
+      Partition empty(&bound);
+      FillAssignmentFromPartition(empty, &degraded);
+      return degraded;
+    }
+  }
   if (!feasibility.feasible) {
     return Status::Infeasible(Join(feasibility.diagnostics, "; "));
   }
 
+  Stopwatch construction_timer;
+  PhaseSupervisor supervisor(&ctx, "skater");
   const ContiguityGraph& graph = areas_->graph();
   const std::vector<double>& d = areas_->dissimilarity();
   const int32_t n = graph.num_nodes();
@@ -56,6 +78,7 @@ Result<Solution> SkaterMaxPSolver::Solve() {
   std::vector<TreeEdge> edges;
   edges.reserve(static_cast<size_t>(graph.num_edges()));
   for (int32_t a = 0; a < n; ++a) {
+    if (supervisor.Check()) break;
     for (int32_t b : graph.NeighborsOf(a)) {
       if (b > a) {
         edges.push_back({a, b,
@@ -109,6 +132,7 @@ Result<Solution> SkaterMaxPSolver::Solve() {
     }
     // Reverse preorder == valid post-order for accumulation.
     for (auto it = local_order.rbegin(); it != local_order.rend(); ++it) {
+      if (supervisor.Check()) break;
       int32_t v = *it;
       acc[static_cast<size_t>(v)] += values[static_cast<size_t>(v)];
       if (acc[static_cast<size_t>(v)] >= threshold_) {
@@ -120,6 +144,20 @@ Result<Solution> SkaterMaxPSolver::Solve() {
     }
     preorder.insert(preorder.end(), local_order.begin(),
                       local_order.end());
+  }
+
+  // A trip before regions materialize leaves no feasible partial — cut
+  // flags may reflect half-accumulated subtree masses — so the best-effort
+  // answer is the empty solution with the verdict attached.
+  if (auto reason = supervisor.tripped()) {
+    Solution degraded;
+    degraded.feasibility = std::move(feasibility);
+    degraded.feasibility_seconds = feasibility_seconds;
+    degraded.construction_seconds = construction_timer.ElapsedSeconds();
+    degraded.termination_reason = *reason;
+    Partition empty(&bound);
+    FillAssignmentFromPartition(empty, &degraded);
+    return degraded;
   }
 
   // --- Materialize regions: nearest cut-root ancestor owns each node;
@@ -142,6 +180,9 @@ Result<Solution> SkaterMaxPSolver::Solve() {
   while (changed) {
     changed = false;
     for (int32_t v : preorder) {
+      // Leftover attachments only add mass to regions already at the SUM
+      // threshold, so stopping anywhere keeps every region feasible.
+      if (supervisor.Check()) break;
       if (region_of_node[static_cast<size_t>(v)] != -1) continue;
       for (int32_t nb : tree[static_cast<size_t>(v)]) {
         if (region_of_node[static_cast<size_t>(nb)] != -1) {
@@ -165,17 +206,28 @@ Result<Solution> SkaterMaxPSolver::Solve() {
 
   Solution solution;
   solution.feasibility = std::move(feasibility);
+  solution.feasibility_seconds = feasibility_seconds;
+  solution.completed_construction_iterations =
+      supervisor.tripped().has_value() ? 0 : 1;
   solution.construction_seconds = construction_timer.ElapsedSeconds();
   solution.heterogeneity_before_local_search =
       ComputeHeterogeneity(partition);
+  if (auto reason = supervisor.tripped()) {
+    solution.termination_reason = *reason;
+  }
 
   ConnectivityChecker connectivity(&graph);
   if (options_.run_local_search) {
     Stopwatch tabu_timer;
+    PhaseSupervisor tabu_supervisor(&ctx, "tabu");
     EMP_ASSIGN_OR_RETURN(solution.tabu_result,
-                         TabuSearch(options_, &connectivity, &partition));
+                         TabuSearch(options_, &connectivity, &partition,
+                                    /*objective=*/nullptr, &tabu_supervisor));
     solution.local_search_seconds = tabu_timer.ElapsedSeconds();
     solution.heterogeneity = solution.tabu_result.final_heterogeneity;
+    if (solution.termination_reason == TerminationReason::kConverged) {
+      solution.termination_reason = solution.tabu_result.termination;
+    }
   } else {
     solution.heterogeneity = solution.heterogeneity_before_local_search;
     solution.tabu_result.initial_heterogeneity = solution.heterogeneity;

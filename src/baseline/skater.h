@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "core/run_context.h"
 #include "core/solution.h"
 #include "core/solver_options.h"
 #include "data/area_set.h"
@@ -30,8 +31,16 @@ class SkaterMaxPSolver {
   /// Runs MST construction + bottom-up cutting + Tabu. Infeasible when a
   /// connected component's attribute total is below the threshold — those
   /// components' areas end up unassigned; fully infeasible datasets (no
-  /// component can host a region) return kInfeasible.
+  /// component can host a region) return kInfeasible. Honors
+  /// time_budget_ms/max_evaluations via MakeRunContext, like FactSolver.
   Result<Solution> Solve();
+
+  /// Same under an explicit supervision context (checkpoints use phase
+  /// "skater"; the Tabu phase stays "tabu"). Tree cutting has no
+  /// incremental feasible state, so a trip before regions materialize
+  /// returns the degraded empty solution (p = 0) with the verdict — never
+  /// kInfeasible, which only a finished run may claim.
+  Result<Solution> Solve(const RunContext& ctx);
 
  private:
   const AreaSet* areas_;

@@ -121,7 +121,8 @@ int32_t TrySwapInto(const BoundConstraints& bound,
 
 Status AdjustForCounting(ConnectivityChecker* connectivity,
                          Partition* partition,
-                         MonotonicAdjustStats* stats_out) {
+                         MonotonicAdjustStats* stats_out,
+                         PhaseSupervisor* supervisor) {
   if (connectivity == nullptr || partition == nullptr) {
     return Status::InvalidArgument("AdjustForCounting: null argument");
   }
@@ -129,13 +130,18 @@ Status AdjustForCounting(ConnectivityChecker* connectivity,
   MonotonicAdjustStats* stats = stats_out != nullptr ? stats_out : &local;
   const BoundConstraints& bound = partition->bound();
   if (!bound.has_counting()) return Status::OK();
+  const auto interrupted = [supervisor] {
+    return supervisor != nullptr && supervisor->tripped().has_value();
+  };
 
   // --- Phase A: swap boundary areas into under-bound regions. Each area
   // moves at most once (the paper's termination argument).
   std::vector<char> swapped(static_cast<size_t>(partition->num_areas()), 0);
   for (int32_t rid : partition->AliveRegionIds()) {
+    if (interrupted()) break;
     while (partition->IsAlive(rid) &&
            BelowCountingLower(bound, partition->region(rid).stats)) {
+      if (supervisor != nullptr && supervisor->Check()) break;
       int32_t moved = TrySwapInto(bound, connectivity, partition, rid, swapped);
       if (moved == -1) break;
       swapped[static_cast<size_t>(moved)] = 1;
@@ -146,10 +152,11 @@ Status AdjustForCounting(ConnectivityChecker* connectivity,
   // --- Phase B: merge regions still under a lower bound with a neighbor,
   // provided the union keeps non-counting constraints and counting upper
   // bounds intact. Repeat until no under-bound region can merge.
-  bool changed = true;
-  while (changed) {
+  bool changed = !interrupted();
+  while (changed && !interrupted()) {
     changed = false;
     for (int32_t rid : partition->AliveRegionIds()) {
+      if (supervisor != nullptr && supervisor->Check()) break;
       if (!partition->IsAlive(rid) || partition->region(rid).size() == 0) {
         continue;
       }
@@ -208,8 +215,10 @@ Status AdjustForCounting(ConnectivityChecker* connectivity,
 
   // --- Phase C: evict areas from regions above a counting upper bound.
   for (int32_t rid : partition->AliveRegionIds()) {
+    if (interrupted()) break;
     while (partition->IsAlive(rid) &&
            AboveCountingUpper(bound, partition->region(rid).stats)) {
+      if (supervisor != nullptr && supervisor->Check()) break;
       const Region& r = partition->region(rid);
       // Prefer evicting the area with the largest primary counting value
       // for fastest convergence toward the cap. Any member qualifies as
@@ -233,6 +242,8 @@ Status AdjustForCounting(ConnectivityChecker* connectivity,
   }
 
   // --- Phase D: whatever still violates any constraint is dissolved.
+  // Deliberately NOT supervised: it is cheap (one pass) and is the
+  // best-effort finalizer that keeps the postcondition true after a trip.
   for (int32_t rid : partition->AliveRegionIds()) {
     const RegionStats& rs = partition->region(rid).stats;
     if (!rs.SatisfiesAll() || !NonCountingOk(bound, rs)) {

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "core/partition.h"
+#include "core/run_context.h"
 #include "graph/connectivity.h"
 
 namespace emp {
@@ -24,9 +25,15 @@ struct MonotonicAdjustStats {
 /// lower bound, evict areas from regions over an upper bound, and dissolve
 /// whatever remains infeasible. On return every alive region satisfies ALL
 /// constraints.
+///
+/// `supervisor` (optional) is polled inside the repair loops (Phases A-C);
+/// on a trip the remaining repairs are skipped but the dissolve pass
+/// (Phase D) still runs, so the every-region-feasible postcondition holds
+/// regardless of interruption.
 Status AdjustForCounting(ConnectivityChecker* connectivity,
                          Partition* partition,
-                         MonotonicAdjustStats* stats = nullptr);
+                         MonotonicAdjustStats* stats = nullptr,
+                         PhaseSupervisor* supervisor = nullptr);
 
 }  // namespace emp
 

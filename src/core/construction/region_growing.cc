@@ -128,16 +128,20 @@ bool PullsAverageInside(const Constraint& c, double region_avg, double v) {
 }
 
 /// Substep 2.1: initialize regions from seed areas. In-range seeds become
-/// singleton regions; below/above-range seeds grow via Algorithm 1.
+/// singleton regions; below/above-range seeds grow via Algorithm 1. On
+/// supervisor trip the in-flight Algorithm-1 region (never yet satisfying
+/// centrality) is reverted, so every committed region stays feasible.
 void InitializeRegions(const BoundConstraints& bound,
                        const SeedingResult& seeding,
                        const SolverOptions& options, Rng* rng,
-                       Partition* partition, RegionGrowingStats* stats) {
+                       Partition* partition, RegionGrowingStats* stats,
+                       PhaseSupervisor* supervisor) {
   std::vector<int32_t> ordered = seeding.seeds;
   OrderAreas(bound, options.pickup_order, rng, &ordered);
 
   std::vector<int32_t> off_range;  // unassigned_low ∪ unassigned_high
   for (int32_t a : ordered) {
+    if (supervisor != nullptr && supervisor->Check()) return;
     if (CentralityClass(bound, a) == 0) {
       const int32_t rid = partition->CreateRegion();
       partition->Assign(a, rid);
@@ -159,6 +163,7 @@ void InitializeRegions(const BoundConstraints& bound,
     partition->Assign(a, rid);
     bool committed = false;
     while (true) {
+      if (supervisor != nullptr && supervisor->Check()) break;
       const RegionStats& rs = partition->region(rid).stats;
       if (CentralitySatisfied(bound, rs)) {
         committed = true;
@@ -182,6 +187,7 @@ void InitializeRegions(const BoundConstraints& bound,
       partition->DissolveRegion(rid);
       ++stats->algorithm1_reverts;
     }
+    if (supervisor != nullptr && supervisor->tripped()) return;
   }
 }
 
@@ -190,12 +196,14 @@ void InitializeRegions(const BoundConstraints& bound,
 /// fixpoint because each assignment can unlock neighbors.
 bool AssignEnclavesRound1(const BoundConstraints& bound,
                           const std::vector<int32_t>& order,
-                          Partition* partition, RegionGrowingStats* stats) {
+                          Partition* partition, RegionGrowingStats* stats,
+                          PhaseSupervisor* supervisor) {
   bool any_change = false;
   bool changed = true;
   while (changed) {
     changed = false;
     for (int32_t a : order) {
+      if (supervisor != nullptr && supervisor->Check()) return any_change;
       if (!partition->IsActive(a) || partition->RegionOf(a) != -1) continue;
       for (int32_t rid : partition->NeighborRegionsOfArea(a)) {
         if (CentralityOkAfterAdd(bound, partition->region(rid).stats, a)) {
@@ -226,7 +234,8 @@ bool AssignEnclavesRound1(const BoundConstraints& bound,
 bool AssignEnclavesRound2(const BoundConstraints& bound,
                           const std::vector<int32_t>& order, int merge_budget,
                           std::vector<int>* merge_count, Partition* partition,
-                          RegionGrowingStats* stats) {
+                          RegionGrowingStats* stats,
+                          PhaseSupervisor* supervisor) {
   const auto& centrality = bound.centrality_indices();
   auto count_of = [&](int32_t rid) -> int& {
     if (static_cast<size_t>(rid) >= merge_count->size()) {
@@ -237,6 +246,7 @@ bool AssignEnclavesRound2(const BoundConstraints& bound,
 
   bool any_change = false;
   for (int32_t a : order) {
+    if (supervisor != nullptr && supervisor->Check()) return any_change;
     if (!partition->IsActive(a) || partition->RegionOf(a) != -1) continue;
 
     bool assigned = false;
@@ -273,14 +283,18 @@ bool AssignEnclavesRound2(const BoundConstraints& bound,
 }
 
 /// Substep 2.3: combine regions until each satisfies every extrema
-/// constraint; dissolve the ones that cannot be fixed.
+/// constraint; dissolve the ones that cannot be fixed. The dissolve pass
+/// runs even after a supervisor trip — it is what guarantees the partition
+/// stays feasible when the merge loop is cut short.
 void CombineForExtrema(const BoundConstraints& bound, Partition* partition,
-                       RegionGrowingStats* stats) {
+                       RegionGrowingStats* stats,
+                       PhaseSupervisor* supervisor) {
   if (!bound.has_extrema()) return;
   bool changed = true;
-  while (changed) {
+  while (changed && !(supervisor != nullptr && supervisor->tripped())) {
     changed = false;
     for (int32_t rid : partition->AliveRegionIds()) {
+      if (supervisor != nullptr && supervisor->Check()) break;
       if (!partition->IsAlive(rid) || partition->region(rid).size() == 0) {
         continue;
       }
@@ -310,7 +324,8 @@ void CombineForExtrema(const BoundConstraints& bound, Partition* partition,
 
 Status GrowRegions(const SeedingResult& seeding, const SolverOptions& options,
                    Rng* rng, Partition* partition,
-                   RegionGrowingStats* stats_out) {
+                   RegionGrowingStats* stats_out,
+                   PhaseSupervisor* supervisor) {
   if (partition == nullptr || rng == nullptr) {
     return Status::InvalidArgument("GrowRegions: null partition or rng");
   }
@@ -321,25 +336,38 @@ Status GrowRegions(const SeedingResult& seeding, const SolverOptions& options,
   RegionGrowingStats local_stats;
   RegionGrowingStats* stats = stats_out != nullptr ? stats_out : &local_stats;
   const BoundConstraints& bound = partition->bound();
+  const auto interrupted = [supervisor] {
+    return supervisor != nullptr && supervisor->tripped().has_value();
+  };
 
   // Substep 2.1 — region initialization from seeds.
-  InitializeRegions(bound, seeding, options, rng, partition, stats);
+  InitializeRegions(bound, seeding, options, rng, partition, stats,
+                    supervisor);
 
   // Substep 2.2 — enclave assignment. Round-2 merges can unlock new
   // round-1 assignments, so alternate until neither makes progress.
-  std::vector<int32_t> order = partition->UnassignedAreas();
-  OrderAreas(bound, options.pickup_order, rng, &order);
-  AssignEnclavesRound1(bound, order, partition, stats);
-  if (bound.has_centrality()) {
-    std::vector<int> merge_count;  // Per-region round-2 merge budget use.
-    while (AssignEnclavesRound2(bound, order, options.avg_merge_limit,
-                                &merge_count, partition, stats)) {
-      if (!AssignEnclavesRound1(bound, order, partition, stats)) break;
+  if (!interrupted()) {
+    std::vector<int32_t> order = partition->UnassignedAreas();
+    OrderAreas(bound, options.pickup_order, rng, &order);
+    AssignEnclavesRound1(bound, order, partition, stats, supervisor);
+    if (bound.has_centrality() && !interrupted()) {
+      std::vector<int> merge_count;  // Per-region round-2 merge budget use.
+      while (AssignEnclavesRound2(bound, order, options.avg_merge_limit,
+                                  &merge_count, partition, stats,
+                                  supervisor)) {
+        if (!AssignEnclavesRound1(bound, order, partition, stats,
+                                  supervisor)) {
+          break;
+        }
+        if (interrupted()) break;
+      }
     }
   }
 
-  // Substep 2.3 — every region must satisfy all extrema constraints.
-  CombineForExtrema(bound, partition, stats);
+  // Substep 2.3 — every region must satisfy all extrema constraints. Runs
+  // even when interrupted: its dissolve pass is the best-effort finalizer
+  // that guarantees the returned partition is feasible.
+  CombineForExtrema(bound, partition, stats, supervisor);
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "core/construction/seeding.h"
 #include "core/partition.h"
+#include "core/run_context.h"
 #include "core/solver_options.h"
 
 namespace emp {
@@ -30,9 +31,17 @@ struct RegionGrowingStats {
 /// and centrality constraints; counting constraints are Step 3's job.
 ///
 /// `partition` must be freshly constructed with invalid areas deactivated.
+///
+/// `supervisor` (optional) is polled at every substep's inner loop; when it
+/// trips, growth stops at the next checkpoint and the partition is
+/// finalized to a feasible best-effort state (regions violating any
+/// extrema/centrality constraint are dissolved) before returning OK —
+/// consult supervisor->tripped() for the verdict. Counting constraints are
+/// Step 3's job either way.
 Status GrowRegions(const SeedingResult& seeding, const SolverOptions& options,
                    Rng* rng, Partition* partition,
-                   RegionGrowingStats* stats = nullptr);
+                   RegionGrowingStats* stats = nullptr,
+                   PhaseSupervisor* supervisor = nullptr);
 
 }  // namespace emp
 

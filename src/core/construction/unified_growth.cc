@@ -65,7 +65,8 @@ double ConstraintViolation(const BoundConstraints& bound,
 
 Status GrowUnified(const SeedingResult& seeding, const SolverOptions& options,
                    Rng* rng, Partition* partition,
-                   UnifiedGrowthStats* stats_out) {
+                   UnifiedGrowthStats* stats_out,
+                   PhaseSupervisor* supervisor) {
   (void)options;
   if (partition == nullptr || rng == nullptr) {
     return Status::InvalidArgument("GrowUnified: null partition or rng");
@@ -91,6 +92,7 @@ Status GrowUnified(const SeedingResult& seeding, const SolverOptions& options,
 
     // Greedy descent on total violation.
     while (true) {
+      if (supervisor != nullptr && supervisor->Check()) break;
       const RegionStats& rs = partition->region(rid).stats;
       double current = ConstraintViolation(bound, rs);
       if (current == 0.0) break;  // Feasible region.
@@ -115,6 +117,7 @@ Status GrowUnified(const SeedingResult& seeding, const SolverOptions& options,
       partition->DissolveRegion(rid);
       ++stats->regions_abandoned;
     }
+    if (supervisor != nullptr && supervisor->tripped()) return Status::OK();
   }
 
   // Leftover sweep: attach unassigned areas to adjacent regions whenever
@@ -123,6 +126,7 @@ Status GrowUnified(const SeedingResult& seeding, const SolverOptions& options,
   while (changed) {
     changed = false;
     for (int32_t a = 0; a < partition->num_areas(); ++a) {
+      if (supervisor != nullptr && supervisor->Check()) return Status::OK();
       if (!partition->IsActive(a) || partition->RegionOf(a) != -1) continue;
       for (int32_t rid : partition->NeighborRegionsOfArea(a)) {
         if (partition->region(rid).stats.SatisfiesAllAfterAdd(a)) {

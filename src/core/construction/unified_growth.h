@@ -7,6 +7,7 @@
 #include "common/rng.h"
 #include "core/construction/seeding.h"
 #include "core/partition.h"
+#include "core/run_context.h"
 #include "core/solver_options.h"
 
 namespace emp {
@@ -30,9 +31,15 @@ struct UnifiedGrowthStats {
 /// handles all enriched constraint types but, lacking FaCT's
 /// family-by-family decomposition, wastes seeds and overshoots —
 /// select it via SolverOptions::construction_strategy.
+///
+/// `supervisor` (optional) is polled per absorb and per leftover sweep
+/// step; a trip abandons the in-flight (still violating) region and
+/// returns the committed-regions-only partition, which is feasible by
+/// construction.
 Status GrowUnified(const SeedingResult& seeding, const SolverOptions& options,
                    Rng* rng, Partition* partition,
-                   UnifiedGrowthStats* stats = nullptr);
+                   UnifiedGrowthStats* stats = nullptr,
+                   PhaseSupervisor* supervisor = nullptr);
 
 /// Total normalized violation of a region's stats against every
 /// constraint: 0 iff all satisfied; each violated bound contributes its

@@ -19,9 +19,11 @@ namespace {
 /// verified on complete assignments.
 class ExactSearcher {
  public:
-  ExactSearcher(const BoundConstraints& bound, ConnectivityChecker* conn)
+  ExactSearcher(const BoundConstraints& bound, ConnectivityChecker* conn,
+                PhaseSupervisor* supervisor)
       : bound_(bound),
         conn_(conn),
+        supervisor_(supervisor),
         n_(bound.areas().num_areas()),
         assign_(static_cast<size_t>(n_), -1) {
     d_ = &bound.areas().dissimilarity();
@@ -43,6 +45,9 @@ class ExactSearcher {
     out.heterogeneity = best_h_;
     out.region_of = best_assign_;
     out.assignments_evaluated = evaluated_;
+    if (supervisor_ != nullptr && supervisor_->tripped().has_value()) {
+      out.termination = *supervisor_->tripped();
+    }
     if (best_p_ < 0) {
       // Even the all-unassigned solution counts as p = 0.
       out.p = 0;
@@ -54,6 +59,9 @@ class ExactSearcher {
 
  private:
   void Recurse(int32_t area, int32_t regions_open) {
+    // Poll at every node; a trip unwinds the whole recursion (the sticky
+    // verdict makes every further Check() return immediately).
+    if (supervisor_ != nullptr && supervisor_->Check(0)) return;
     if (area == n_) {
       Evaluate(regions_open);
       return;
@@ -91,6 +99,7 @@ class ExactSearcher {
   }
 
   void Evaluate(int32_t regions_open) {
+    if (supervisor_ != nullptr && supervisor_->Check()) return;
     ++evaluated_;
     // p has priority over H: fewer regions can never beat the incumbent,
     // equal regions may still win on heterogeneity.
@@ -128,6 +137,7 @@ class ExactSearcher {
 
   const BoundConstraints& bound_;
   ConnectivityChecker* conn_;
+  PhaseSupervisor* supervisor_;
   const std::vector<double>* d_;
   int32_t n_;
   std::vector<int32_t> assign_;
@@ -144,7 +154,8 @@ class ExactSearcher {
 
 Result<ExactSolution> SolveExact(const AreaSet& areas,
                                  const std::vector<Constraint>& constraints,
-                                 const ExactOptions& options) {
+                                 const ExactOptions& options,
+                                 PhaseSupervisor* supervisor) {
   if (areas.num_areas() > options.max_areas) {
     return Status::InvalidArgument(
         "exact solver limited to " + std::to_string(options.max_areas) +
@@ -154,9 +165,13 @@ Result<ExactSolution> SolveExact(const AreaSet& areas,
   EMP_ASSIGN_OR_RETURN(BoundConstraints bound,
                        BoundConstraints::Create(&areas, constraints));
   ConnectivityChecker connectivity(&areas.graph());
-  ExactSearcher searcher(bound, &connectivity);
+  ExactSearcher searcher(bound, &connectivity, supervisor);
   ExactSolution solution = searcher.Run();
-  if (solution.p == 0) {
+  if (solution.p == 0 &&
+      solution.termination == TerminationReason::kConverged) {
+    // Only a COMPLETED search proves no single region can exist; an
+    // interrupted p = 0 is merely "nothing found yet" and is returned
+    // as a best-effort result with its termination verdict.
     return Status::Infeasible(
         "no single region can satisfy all constraints on this instance");
   }

@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "constraints/constraint.h"
+#include "core/run_context.h"
 #include "data/area_set.h"
 
 namespace emp {
@@ -27,6 +28,10 @@ struct ExactSolution {
   double heterogeneity = 0.0;
   /// Complete assignments evaluated (search-effort telemetry).
   int64_t assignments_evaluated = 0;
+  /// kConverged when the enumeration completed — the solution is provably
+  /// optimal. Any other value means the search was cut short and the
+  /// result is only the best assignment seen so far (no optimality claim).
+  TerminationReason termination = TerminationReason::kConverged;
 };
 
 /// Finds a provably optimal EMP solution by enumerating all assignments:
@@ -37,9 +42,15 @@ struct ExactSolution {
 /// kInvalidArgument above options.max_areas and kInfeasible when not even
 /// p = 0 helps (never — p = 0 with everything unassigned is always legal;
 /// by convention we report kInfeasible when no single region can exist).
+///
+/// `supervisor` (optional) is polled at every search node; a trip unwinds
+/// the recursion and returns the incumbent with its termination verdict
+/// (an interrupted p = 0 outcome is returned as such rather than as
+/// kInfeasible, since the search did not finish proving infeasibility).
 Result<ExactSolution> SolveExact(const AreaSet& areas,
                                  const std::vector<Constraint>& constraints,
-                                 const ExactOptions& options = {});
+                                 const ExactOptions& options = {},
+                                 PhaseSupervisor* supervisor = nullptr);
 
 }  // namespace emp
 

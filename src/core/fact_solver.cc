@@ -25,17 +25,39 @@ FactSolver::FactSolver(const AreaSet* areas,
       options_(options) {}
 
 Result<Solution> FactSolver::Solve() {
+  return Solve(MakeRunContext(options_));
+}
+
+Result<Solution> FactSolver::Solve(const RunContext& ctx) {
+  EMP_RETURN_IF_ERROR(ValidateSolverOptions(options_));
   if (areas_ == nullptr) {
     return Status::InvalidArgument("FactSolver: null area set");
   }
   EMP_ASSIGN_OR_RETURN(BoundConstraints bound,
                        BoundConstraints::Create(areas_, constraints_));
 
-  Stopwatch construction_timer;
-
   // ---- Phase 1: feasibility. ----------------------------------------
-  EMP_ASSIGN_OR_RETURN(FeasibilityReport feasibility,
-                       CheckFeasibility(bound));
+  Stopwatch feasibility_timer;
+  double feasibility_seconds = 0.0;
+  FeasibilityReport feasibility;
+  {
+    PhaseSupervisor supervisor(&ctx, "feasibility");
+    EMP_ASSIGN_OR_RETURN(feasibility,
+                         CheckFeasibility(bound, &supervisor));
+    feasibility_seconds = feasibility_timer.ElapsedSeconds();
+    if (auto reason = supervisor.tripped()) {
+      // Interrupted before the verdict: the scan is incomplete, so neither
+      // feasibility nor infeasibility is proven. The only safe best-effort
+      // answer is the empty solution (p = 0, everything unassigned).
+      Solution degraded;
+      degraded.feasibility = std::move(feasibility);
+      degraded.feasibility_seconds = feasibility_seconds;
+      degraded.termination_reason = *reason;
+      Partition empty(&bound);
+      FillAssignmentFromPartition(empty, &degraded);
+      return degraded;
+    }
+  }
   if (!feasibility.feasible) {
     return Status::Infeasible(Join(feasibility.diagnostics, "; "));
   }
@@ -47,6 +69,7 @@ Result<Solution> FactSolver::Solve() {
   }
 
   // ---- Phase 2: construction, best-of-k iterations on p. -------------
+  Stopwatch construction_timer;
   SeedingResult seeding = SelectSeeds(bound, feasibility);
   ConnectivityChecker connectivity(&areas_->graph());
 
@@ -58,39 +81,60 @@ Result<Solution> FactSolver::Solve() {
     MonotonicAdjustStats adjust;
     int32_t p = -1;
     Status status;
+    /// Set when the attempt was cut short by supervision; its partial
+    /// partition is still feasible and competes in best-of-k as usual.
+    std::optional<TerminationReason> interrupted;
   };
-  auto run_iteration = [&](int iter) {
+  auto run_attempt = [&](int iter, int attempt) {
     IterationOutcome out;
+    // Derived RNG streams: one per (iteration, retry attempt), so retries
+    // explore genuinely different constructions and any (iter, attempt)
+    // replays identically regardless of thread count.
     Rng rng(options_.seed +
-            0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(iter));
+            0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(iter) +
+            0xD1B54A32D192ED03ULL * static_cast<uint64_t>(attempt));
     Partition partition(&bound);
     for (int32_t a : feasibility.invalid_areas) partition.Deactivate(a);
+    PhaseSupervisor supervisor(&ctx, "construction", /*worker=*/iter);
     if (options_.construction_strategy ==
         ConstructionStrategy::kUnifiedGrowth) {
       // Ablation baseline: single-step growth already leaves every
       // committed region fully feasible; no adjustment pass needed.
-      out.status = GrowUnified(seeding, options_, &rng, &partition);
+      out.status = GrowUnified(seeding, options_, &rng, &partition,
+                               /*stats=*/nullptr, &supervisor);
     } else {
       out.status = GrowRegions(seeding, options_, &rng, &partition,
-                               &out.growing);
+                               &out.growing, &supervisor);
       if (out.status.ok()) {
         // ConnectivityChecker is not thread-safe; each iteration gets its
-        // own when running in parallel.
+        // own when running in parallel. Runs even when the supervisor has
+        // tripped: its dissolve pass finalizes the partial partition.
         ConnectivityChecker local_connectivity(&areas_->graph());
-        out.status =
-            AdjustForCounting(&local_connectivity, &partition, &out.adjust);
+        out.status = AdjustForCounting(&local_connectivity, &partition,
+                                       &out.adjust, &supervisor);
       }
     }
+    out.interrupted = supervisor.tripped();
     if (out.status.ok()) {
       out.p = partition.NumRegions();
       out.partition.emplace(std::move(partition));
     }
     return out;
   };
+  auto run_iteration = [&](int iter) {
+    IterationOutcome out = run_attempt(iter, 0);
+    // Retry policy: an attempt that errored or produced no region at all
+    // re-runs under a derived RNG stream. Interrupted attempts are never
+    // retried — their best-effort partial is the point.
+    for (int attempt = 1; attempt <= options_.construction_retries;
+         ++attempt) {
+      if (out.interrupted || (out.status.ok() && out.p > 0)) break;
+      out = run_attempt(iter, attempt);
+    }
+    return out;
+  };
 
-  const int iterations =
-      options_.construction_iterations < 1 ? 1
-                                           : options_.construction_iterations;
+  const int iterations = options_.construction_iterations;
   std::vector<IterationOutcome> outcomes(static_cast<size_t>(iterations));
   const int threads =
       std::max(1, std::min(options_.construction_threads, iterations));
@@ -111,13 +155,22 @@ Result<Solution> FactSolver::Solve() {
   }
 
   // Deterministic selection: highest p, earliest iteration breaking ties —
-  // identical regardless of thread count.
+  // identical regardless of thread count. Interrupted partials compete on
+  // the same footing; the earliest iteration's trip verdict (also
+  // thread-count independent) becomes the solution's termination reason.
   std::optional<Partition> best;
   int32_t best_p = -1;
   RegionGrowingStats best_growing;
   MonotonicAdjustStats best_adjust;
+  int completed_iterations = 0;
+  std::optional<TerminationReason> construction_trip;
   for (IterationOutcome& out : outcomes) {
     EMP_RETURN_IF_ERROR(out.status);
+    if (out.interrupted.has_value()) {
+      if (!construction_trip.has_value()) construction_trip = out.interrupted;
+    } else {
+      ++completed_iterations;
+    }
     if (out.p > best_p) {
       best_p = out.p;
       best = std::move(out.partition);
@@ -128,18 +181,28 @@ Result<Solution> FactSolver::Solve() {
 
   Solution solution;
   solution.feasibility = std::move(feasibility);
+  solution.feasibility_seconds = feasibility_seconds;
   solution.growing_stats = best_growing;
   solution.adjust_stats = best_adjust;
+  solution.completed_construction_iterations = completed_iterations;
   solution.construction_seconds = construction_timer.ElapsedSeconds();
   solution.heterogeneity_before_local_search = ComputeHeterogeneity(*best);
+  if (construction_trip.has_value()) {
+    solution.termination_reason = *construction_trip;
+  }
 
   // ---- Phase 3: Tabu local search (p is fixed). -----------------------
   if (options_.run_local_search && best_p > 0) {
     Stopwatch tabu_timer;
+    PhaseSupervisor supervisor(&ctx, "tabu");
     EMP_ASSIGN_OR_RETURN(solution.tabu_result,
-                         TabuSearch(options_, &connectivity, &*best));
+                         TabuSearch(options_, &connectivity, &*best,
+                                    /*objective=*/nullptr, &supervisor));
     solution.local_search_seconds = tabu_timer.ElapsedSeconds();
     solution.heterogeneity = solution.tabu_result.final_heterogeneity;
+    if (solution.termination_reason == TerminationReason::kConverged) {
+      solution.termination_reason = solution.tabu_result.termination;
+    }
   } else {
     solution.heterogeneity = solution.heterogeneity_before_local_search;
     solution.tabu_result.initial_heterogeneity = solution.heterogeneity;
@@ -153,8 +216,10 @@ Result<Solution> FactSolver::Solve() {
 
 Result<Solution> SolveEmp(const AreaSet& areas,
                           std::vector<Constraint> constraints,
-                          const SolverOptions& options) {
+                          const SolverOptions& options,
+                          const RunContext* ctx) {
   FactSolver solver(&areas, std::move(constraints), options);
+  if (ctx != nullptr) return solver.Solve(*ctx);
   return solver.Solve();
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "constraints/constraint.h"
+#include "core/run_context.h"
 #include "core/solution.h"
 #include "core/solver_options.h"
 #include "data/area_set.h"
@@ -33,10 +34,25 @@ class FactSolver {
   ///   kInfeasible       — the feasibility phase proved no solution exists
   ///                       (the report is in the status message), or
   ///                       invalid areas exist and filtering is disabled;
-  ///   kInvalidArgument  — malformed constraints or unknown attributes;
+  ///   kInvalidArgument  — malformed constraints, unknown attributes, or
+  ///                       out-of-domain SolverOptions fields;
   ///   otherwise a Solution in which every region satisfies every
   ///   constraint and is spatially contiguous.
+  ///
+  /// Supervision: equivalent to Solve(MakeRunContext(options())), i.e.
+  /// time_budget_ms / max_evaluations are honored.
   Result<Solution> Solve();
+
+  /// Same, under an explicit supervision context (deadline, cancellation,
+  /// evaluation budget, progress callback, fault injection). When the
+  /// context trips mid-solve the phases degrade instead of erroring: the
+  /// returned Solution is still feasible and contiguous — possibly with a
+  /// smaller p, down to 0 — and carries the verdict in
+  /// Solution::termination_reason. kInfeasible/kInvalidArgument above are
+  /// still errors; supervision never masks them except that a feasibility
+  /// phase cut short returns the degraded empty solution rather than
+  /// claiming (in)feasibility it could not finish proving.
+  Result<Solution> Solve(const RunContext& ctx);
 
   const SolverOptions& options() const { return options_; }
 
@@ -49,7 +65,8 @@ class FactSolver {
 /// One-call convenience wrapper.
 Result<Solution> SolveEmp(const AreaSet& areas,
                           std::vector<Constraint> constraints,
-                          const SolverOptions& options = {});
+                          const SolverOptions& options = {},
+                          const RunContext* ctx = nullptr);
 
 }  // namespace emp
 

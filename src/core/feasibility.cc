@@ -17,7 +17,8 @@ std::string BoundStr(double v) {
 
 }  // namespace
 
-Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound) {
+Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound,
+                                           PhaseSupervisor* supervisor) {
   const int32_t n = bound.areas().num_areas();
   if (n == 0) {
     return Status::InvalidArgument("feasibility check on an empty area set");
@@ -36,6 +37,7 @@ Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound) {
   std::vector<double> sum_v(static_cast<size_t>(m), 0.0);
 
   for (int32_t a = 0; a < n; ++a) {
+    if (supervisor != nullptr && supervisor->Check()) return report;
     bool invalid = false;
     for (int ci = 0; ci < m; ++ci) {
       const Constraint& c = bound.constraint(ci);
@@ -128,6 +130,7 @@ Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound) {
   const auto& extrema = bound.extrema_indices();
   report.seeds_per_extrema_constraint.assign(extrema.size(), 0);
   for (int32_t a = 0; a < n; ++a) {
+    if (supervisor != nullptr && supervisor->Check()) return report;
     if (report.is_invalid[static_cast<size_t>(a)]) continue;
     bool seed = extrema.empty();
     for (size_t e = 0; e < extrema.size(); ++e) {

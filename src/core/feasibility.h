@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "constraints/constraint_set.h"
+#include "core/run_context.h"
 
 namespace emp {
 
@@ -49,7 +50,13 @@ struct FeasibilityReport {
 /// Runs the single-pass feasibility phase. Never returns an error for an
 /// infeasible instance — that is reported inside the report — only for
 /// malformed inputs (empty dataset).
-Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound);
+///
+/// `supervisor` (optional) is polled once per area; when it trips, the
+/// scan stops and the partially-filled report is returned — callers must
+/// consult supervisor->tripped() and treat the report as incomplete.
+Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound,
+                                           PhaseSupervisor* supervisor =
+                                               nullptr);
 
 }  // namespace emp
 

@@ -40,7 +40,8 @@ void RestoreAssignment(const std::vector<int32_t>& saved,
 Result<AnnealResult> SimulatedAnnealing(const AnnealOptions& options,
                                         ConnectivityChecker* connectivity,
                                         Partition* partition,
-                                        Objective* objective) {
+                                        Objective* objective,
+                                        PhaseSupervisor* supervisor) {
   if (connectivity == nullptr || partition == nullptr) {
     return Status::InvalidArgument("SimulatedAnnealing: null argument");
   }
@@ -112,6 +113,7 @@ Result<AnnealResult> SimulatedAnnealing(const AnnealOptions& options,
   std::vector<int32_t> best_assignment = SnapshotAssignment(*partition);
 
   for (int64_t it = 0; it < iterations; ++it) {
+    if (supervisor != nullptr && supervisor->Check()) break;
     ++result.proposals;
     temperature *= options.cooling;
     int32_t area = 0;
@@ -141,6 +143,9 @@ Result<AnnealResult> SimulatedAnnealing(const AnnealOptions& options,
 
   RestoreAssignment(best_assignment, partition);
   result.final_objective = best_total;
+  if (supervisor != nullptr && supervisor->tripped().has_value()) {
+    result.termination = *supervisor->tripped();
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "core/partition.h"
+#include "core/run_context.h"
 #include "graph/connectivity.h"
 
 namespace emp {
@@ -31,6 +32,10 @@ struct AnnealResult {
   int64_t accepted = 0;
   int64_t improving = 0;
 
+  /// kConverged when the full schedule ran; otherwise the supervision
+  /// verdict that stopped it early (best partition restored either way).
+  TerminationReason termination = TerminationReason::kConverged;
+
   double ImprovementRatio() const {
     if (initial_objective <= 0.0) return 0.0;
     double diff = initial_objective - final_objective;
@@ -45,10 +50,15 @@ struct AnnealResult {
 /// restored on return. `objective` = null minimizes the paper's
 /// heterogeneity. Offered as an alternative Phase-3 engine for studying
 /// the meta-heuristic choice (DESIGN.md §5).
+///
+/// `supervisor` (optional) is polled once per proposal (one evaluation
+/// each); a trip ends the schedule early with the best partition restored
+/// and the verdict in AnnealResult::termination.
 Result<AnnealResult> SimulatedAnnealing(const AnnealOptions& options,
                                         ConnectivityChecker* connectivity,
                                         Partition* partition,
-                                        Objective* objective = nullptr);
+                                        Objective* objective = nullptr,
+                                        PhaseSupervisor* supervisor = nullptr);
 
 }  // namespace emp
 

@@ -56,7 +56,8 @@ void RestoreAssignment(const std::vector<int32_t>& saved,
 
 Result<TabuResult> TabuSearch(const SolverOptions& options,
                               ConnectivityChecker* connectivity,
-                              Partition* partition, Objective* objective) {
+                              Partition* partition, Objective* objective,
+                              PhaseSupervisor* supervisor) {
   if (connectivity == nullptr || partition == nullptr) {
     return Status::InvalidArgument("TabuSearch: null argument");
   }
@@ -93,6 +94,9 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
   while (no_improve < max_no_improve &&
          (options.tabu_max_iterations < 0 ||
           result.iterations < options.tabu_max_iterations)) {
+    // One checkpoint per iteration; evaluations are charged afterwards,
+    // once the candidate count for this neighborhood is known.
+    if (supervisor != nullptr && supervisor->Check(0)) break;
     ++result.iterations;
 
     // Enumerate boundary moves and their exact H deltas. Inlined (no
@@ -124,6 +128,12 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
       }
     }
     if (candidates.empty()) break;
+    // Each scored candidate is one objective evaluation against the
+    // budget; the trip takes effect at the next iteration's checkpoint.
+    if (supervisor != nullptr &&
+        supervisor->Check(static_cast<int64_t>(candidates.size()))) {
+      break;
+    }
     std::sort(candidates.begin(), candidates.end(),
               [](const CandidateMove& a, const CandidateMove& b) {
                 return a.delta < b.delta;
@@ -168,6 +178,9 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
 
   RestoreAssignment(best_assignment, partition);
   result.final_heterogeneity = best_total;
+  if (supervisor != nullptr && supervisor->tripped().has_value()) {
+    result.termination = *supervisor->tripped();
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "core/partition.h"
+#include "core/run_context.h"
 #include "core/solver_options.h"
 #include "graph/connectivity.h"
 
@@ -17,6 +18,11 @@ struct TabuResult {
   int64_t iterations = 0;
   int64_t moves_applied = 0;
   int64_t improving_moves = 0;
+
+  /// kConverged on a natural stop (no-improve limit / empty neighborhood);
+  /// otherwise the supervision verdict that cut the search short. Either
+  /// way the best partition found was restored before returning.
+  TerminationReason termination = TerminationReason::kConverged;
 
   /// The paper's reported metric: |H_before − H_after| / H_before
   /// (0 when H_before is 0).
@@ -43,10 +49,16 @@ class Objective;
 /// heterogeneity H(P) (the TabuResult fields then really are
 /// heterogeneity; with a custom objective they hold that objective's
 /// values instead).
+///
+/// `supervisor` (optional) is polled once per iteration, with one
+/// evaluation charged per candidate move scored; a trip stops the search
+/// and — like a natural stop — restores the best (always feasible)
+/// partition, recording the verdict in TabuResult::termination.
 Result<TabuResult> TabuSearch(const SolverOptions& options,
                               ConnectivityChecker* connectivity,
                               Partition* partition,
-                              Objective* objective = nullptr);
+                              Objective* objective = nullptr,
+                              PhaseSupervisor* supervisor = nullptr);
 
 }  // namespace emp
 

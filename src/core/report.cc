@@ -65,10 +65,17 @@ Result<std::string> SolutionToJson(const AreaSet& areas,
          JsonNumber(solution.heterogeneity_before_local_search) + ",\n";
   out += "  \"heterogeneity_improvement\": " +
          JsonNumber(solution.HeterogeneityImprovement()) + ",\n";
+  out += "  \"feasibility_seconds\": " +
+         JsonNumber(solution.feasibility_seconds) + ",\n";
   out += "  \"construction_seconds\": " +
          JsonNumber(solution.construction_seconds) + ",\n";
   out += "  \"local_search_seconds\": " +
          JsonNumber(solution.local_search_seconds) + ",\n";
+  out += "  \"termination_reason\": \"";
+  out += TerminationReasonName(solution.termination_reason);
+  out += "\",\n";
+  out += "  \"completed_construction_iterations\": " +
+         std::to_string(solution.completed_construction_iterations) + ",\n";
   out += "  \"size_gini\": " + JsonNumber(metrics.size_gini) + ",\n";
   out += "  \"mean_compactness\": " + JsonNumber(metrics.mean_compactness) +
          ",\n";

@@ -12,12 +12,19 @@ double Solution::HeterogeneityImprovement() const {
 }
 
 std::string Solution::Summary() const {
-  return "p=" + std::to_string(p()) +
-         " unassigned=" + std::to_string(num_unassigned()) +
-         " H=" + FormatDouble(heterogeneity, 1) + " (improved " +
-         FormatDouble(HeterogeneityImprovement() * 100.0, 2) +
-         "%) construction=" + FormatDouble(construction_seconds, 3) +
-         "s tabu=" + FormatDouble(local_search_seconds, 3) + "s";
+  std::string out =
+      "p=" + std::to_string(p()) +
+      " unassigned=" + std::to_string(num_unassigned()) +
+      " H=" + FormatDouble(heterogeneity, 1) + " (improved " +
+      FormatDouble(HeterogeneityImprovement() * 100.0, 2) +
+      "%) construction=" + FormatDouble(construction_seconds, 3) +
+      "s tabu=" + FormatDouble(local_search_seconds, 3) + "s";
+  if (termination_reason != TerminationReason::kConverged) {
+    out += " termination=";
+    out += TerminationReasonName(termination_reason);
+    out += " (best-effort)";
+  }
+  return out;
 }
 
 void FillAssignmentFromPartition(const Partition& partition,

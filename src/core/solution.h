@@ -9,6 +9,7 @@
 #include "core/construction/region_growing.h"
 #include "core/feasibility.h"
 #include "core/local_search/tabu.h"
+#include "core/run_context.h"
 
 namespace emp {
 
@@ -40,8 +41,18 @@ struct Solution {
   TabuResult tabu_result;
 
   /// Wall-clock seconds per phase.
+  double feasibility_seconds = 0.0;
   double construction_seconds = 0.0;
   double local_search_seconds = 0.0;
+
+  /// Why the solve stopped: kConverged for a full run, otherwise the
+  /// supervision verdict (deadline/cancel/budget/fault) under which the
+  /// best-so-far state below was returned.
+  TerminationReason termination_reason = TerminationReason::kConverged;
+
+  /// Construction iterations that ran to completion (un-interrupted); the
+  /// remaining iterations, if any, contributed best-effort partials.
+  int completed_construction_iterations = 0;
 
   int32_t p() const { return static_cast<int32_t>(regions.size()); }
   int64_t num_unassigned() const {

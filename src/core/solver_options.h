@@ -3,6 +3,9 @@
 
 #include <cstdint>
 
+#include "common/status.h"
+#include "core/run_context.h"
+
 namespace emp {
 
 /// Order in which unassigned areas are picked up during region growing.
@@ -31,8 +34,13 @@ struct SolverOptions {
   ConstructionStrategy construction_strategy = ConstructionStrategy::kFact;
 
   /// Construction runs this many independent iterations and keeps the
-  /// partition with the highest p (§V-B).
+  /// partition with the highest p (§V-B). Must be >= 1.
   int construction_iterations = 3;
+
+  /// Retry attempts per failed construction iteration: an iteration whose
+  /// construction step errors out is re-run with a derived RNG stream
+  /// instead of aborting the whole solve. 0 disables retries.
+  int construction_retries = 2;
 
   /// Worker threads for the construction iterations (the paper's stated
   /// future work, §VIII: "improve the algorithm performance through
@@ -68,7 +76,29 @@ struct SolverOptions {
 
   /// RNG seed for pickup shuffles and tie-breaking.
   uint64_t seed = 42;
+
+  /// Wall-clock budget for the whole solve in milliseconds; -1 = no limit.
+  /// On expiry the solver stops at the next checkpoint and returns its
+  /// best-so-far solution tagged TerminationReason::kDeadlineExceeded.
+  int64_t time_budget_ms = -1;
+
+  /// Solve-wide evaluation budget (inner-loop work units); -1 = no limit.
+  /// On exhaustion the solver degrades exactly like a deadline hit, tagged
+  /// TerminationReason::kBudgetExhausted.
+  int64_t max_evaluations = -1;
 };
+
+/// Validates every field of `options` against its documented domain.
+/// Returns kInvalidArgument naming the offending field, or OK. Called at
+/// the top of FactSolver::Solve() and the baseline solvers.
+Status ValidateSolverOptions(const SolverOptions& options);
+
+/// Builds the supervision context implied by the options: a deadline from
+/// time_budget_ms (the clock starts HERE, not at the first checkpoint) and
+/// the solve-wide evaluation budget. Solvers' no-argument Solve() entry
+/// points delegate through this; callers wanting cancellation or fault
+/// injection construct their own RunContext instead.
+RunContext MakeRunContext(const SolverOptions& options);
 
 }  // namespace emp
 

@@ -115,5 +115,65 @@ TEST(ExactTest, ReportsSearchEffort) {
   EXPECT_GT(sol->assignments_evaluated, 0);
 }
 
+TEST(ExactTest, FaultInjectionKeepsIncumbent) {
+  // Trip the search after a handful of checkpoints: the incumbent found
+  // so far comes back with the fault verdict instead of an error.
+  AreaSet areas = test::PathAreaSet({6, 6, 6, 6});
+  RunContext ctx;
+  ctx.fault_hook = [](const SupervisionCheckpoint& cp)
+      -> std::optional<TerminationReason> {
+    if (cp.phase == "exact" && cp.index >= 20) {
+      return TerminationReason::kFaultInjected;
+    }
+    return std::nullopt;
+  };
+  PhaseSupervisor supervisor(&ctx, "exact");
+  auto sol = SolveExact(areas, {Constraint::Sum("s", 6, kNoUpperBound)},
+                        ExactOptions{}, &supervisor);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->termination, TerminationReason::kFaultInjected);
+  // Depth-first search visits full assignments early, so an incumbent
+  // exists; it cannot claim optimality but must be internally valid.
+  EXPECT_GE(sol->p, 1);
+  EXPECT_LE(sol->p, 4);
+}
+
+TEST(ExactTest, InterruptedBeforeAnyIncumbentIsNotInfeasible) {
+  // An immediate trip (checkpoint 0) leaves p = 0 — which must NOT be
+  // reported as kInfeasible: infeasibility was never proven.
+  AreaSet areas = test::PathAreaSet({6, 6, 6, 6});
+  RunContext ctx;
+  ctx.cancel.Cancel();
+  PhaseSupervisor supervisor(&ctx, "exact");
+  auto sol = SolveExact(areas, {Constraint::Sum("s", 6, kNoUpperBound)},
+                        ExactOptions{}, &supervisor);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->termination, TerminationReason::kCancelled);
+  EXPECT_EQ(sol->p, 0);
+}
+
+TEST(ExactTest, DeadlineExpiryStopsTheSearch) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(3, 3), {{"s", {6, 2, 7, 3, 8, 4, 9, 5, 6}}});
+  RunContext ctx;
+  ctx.deadline = Deadline::AfterMillis(0);
+  PhaseSupervisor supervisor(&ctx, "exact");
+  auto sol = SolveExact(areas, {Constraint::Sum("s", 10, kNoUpperBound)},
+                        ExactOptions{}, &supervisor);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->termination, TerminationReason::kDeadlineExceeded);
+}
+
+TEST(ExactTest, UninterruptedRunReportsConverged) {
+  AreaSet areas = test::PathAreaSet({6, 6, 6, 6});
+  RunContext ctx;
+  PhaseSupervisor supervisor(&ctx, "exact");
+  auto sol = SolveExact(areas, {Constraint::Sum("s", 6, kNoUpperBound)},
+                        ExactOptions{}, &supervisor);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->termination, TerminationReason::kConverged);
+  EXPECT_EQ(sol->p, 4);
+}
+
 }  // namespace
 }  // namespace emp

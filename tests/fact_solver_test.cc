@@ -4,6 +4,7 @@
 
 #include <set>
 
+#include "data/synthetic/dataset_catalog.h"
 #include "graph/connectivity.h"
 #include "test_util.h"
 
@@ -224,6 +225,202 @@ TEST(FactSolverTest, SummaryMentionsKeyNumbers) {
   std::string summary = sol->Summary();
   EXPECT_NE(summary.find("p="), std::string::npos);
   EXPECT_NE(summary.find("unassigned="), std::string::npos);
+}
+
+// ---- Options validation (satellite: reject bad options up front). -------
+
+TEST(FactSolverOptionsTest, BadOptionsNameTheField) {
+  AreaSet areas = test::PathAreaSet({5, 6, 7});
+  std::vector<Constraint> cs = {Constraint::Sum("s", 5, kNoUpperBound)};
+  struct Case {
+    void (*corrupt)(SolverOptions*);
+    const char* field;
+  };
+  const Case cases[] = {
+      {[](SolverOptions* o) { o->construction_iterations = 0; },
+       "construction_iterations"},
+      {[](SolverOptions* o) { o->construction_retries = -1; },
+       "construction_retries"},
+      {[](SolverOptions* o) { o->construction_threads = 0; },
+       "construction_threads"},
+      {[](SolverOptions* o) { o->avg_merge_limit = -2; }, "avg_merge_limit"},
+      {[](SolverOptions* o) { o->tabu_tenure = -1; }, "tabu_tenure"},
+      {[](SolverOptions* o) { o->tabu_max_no_improve = -2; },
+       "tabu_max_no_improve"},
+      {[](SolverOptions* o) { o->tabu_max_iterations = -2; },
+       "tabu_max_iterations"},
+      {[](SolverOptions* o) { o->time_budget_ms = -2; }, "time_budget_ms"},
+      {[](SolverOptions* o) { o->max_evaluations = -2; }, "max_evaluations"},
+  };
+  for (const Case& c : cases) {
+    SolverOptions options;
+    c.corrupt(&options);
+    auto sol = SolveEmp(areas, cs, options);
+    ASSERT_FALSE(sol.ok()) << c.field;
+    EXPECT_EQ(sol.status().code(), StatusCode::kInvalidArgument) << c.field;
+    EXPECT_NE(sol.status().message().find(c.field), std::string::npos)
+        << "message should name '" << c.field
+        << "': " << sol.status().ToString();
+  }
+}
+
+// ---- Supervision / degradation (tentpole). ------------------------------
+
+RunContext FaultAt(std::string phase, int64_t index) {
+  RunContext ctx;
+  ctx.fault_hook = [phase = std::move(phase), index](
+                       const SupervisionCheckpoint& cp)
+      -> std::optional<TerminationReason> {
+    if (cp.phase == phase && cp.index >= index) {
+      return TerminationReason::kFaultInjected;
+    }
+    return std::nullopt;
+  };
+  return ctx;
+}
+
+TEST(FactSolverSupervisionTest, PreCancelledRunReturnsDegradedEmpty) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(4, 4),
+      {{"pop", {5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5}}});
+  std::vector<Constraint> cs = {Constraint::Sum("pop", 10, kNoUpperBound)};
+  RunContext ctx;
+  ctx.cancel.Cancel();
+  auto sol = SolveEmp(areas, cs, SolverOptions{}, &ctx);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->termination_reason, TerminationReason::kCancelled);
+  EXPECT_EQ(sol->p(), 0);
+  EXPECT_EQ(sol->num_unassigned(), areas.num_areas());
+}
+
+TEST(FactSolverSupervisionTest, FaultInFeasibilityDegradesToEmpty) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(4, 4),
+      {{"pop", {5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5}}});
+  std::vector<Constraint> cs = {Constraint::Sum("pop", 10, kNoUpperBound)};
+  RunContext ctx = FaultAt("feasibility", 3);
+  auto sol = SolveEmp(areas, cs, SolverOptions{}, &ctx);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->termination_reason, TerminationReason::kFaultInjected);
+  EXPECT_EQ(sol->p(), 0);
+  ValidateSolution(areas, cs, *sol);
+}
+
+TEST(FactSolverSupervisionTest, FaultInConstructionKeepsFeasibleBestSoFar) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(6, 6),
+      {{"pop", std::vector<double>(36, 5.0)}});
+  std::vector<Constraint> cs = {Constraint::Sum("pop", 10, kNoUpperBound)};
+  SolverOptions options;
+  options.construction_iterations = 4;
+  options.construction_threads = 1;
+  RunContext ctx = FaultAt("construction", 10);
+  auto sol = SolveEmp(areas, cs, options, &ctx);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->termination_reason, TerminationReason::kFaultInjected);
+  EXPECT_LT(sol->completed_construction_iterations, 4);
+  // Whatever was built when the fault hit must still be a valid partial
+  // regionalization: disjoint, contiguous, constraint-satisfying.
+  ValidateSolution(areas, cs, *sol);
+}
+
+TEST(FactSolverSupervisionTest, FaultInTabuKeepsConstructionResult) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(6, 6),
+      {{"pop", std::vector<double>(36, 5.0)}});
+  std::vector<Constraint> cs = {Constraint::Sum("pop", 10, kNoUpperBound)};
+  RunContext ctx = FaultAt("tabu", 0);
+  auto sol = SolveEmp(areas, cs, SolverOptions{}, &ctx);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->termination_reason, TerminationReason::kFaultInjected);
+  EXPECT_GT(sol->p(), 0) << "construction completed before the tabu fault";
+  ValidateSolution(areas, cs, *sol);
+}
+
+TEST(FactSolverSupervisionTest, EvaluationBudgetExhaustionIsReported) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(6, 6),
+      {{"pop", std::vector<double>(36, 5.0)}});
+  std::vector<Constraint> cs = {Constraint::Sum("pop", 10, kNoUpperBound)};
+  SolverOptions options;
+  options.construction_iterations = 8;
+  options.construction_threads = 1;
+  options.max_evaluations = 200;  // Enough for feasibility, not the rest.
+  auto sol = SolveEmp(areas, cs, options);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->termination_reason, TerminationReason::kBudgetExhausted);
+  ValidateSolution(areas, cs, *sol);
+}
+
+TEST(FactSolverSupervisionTest, InterruptionIsNeverRetried) {
+  // A fault at construction checkpoint 0 trips every attempt immediately;
+  // with retries enabled the solver must still do exactly one attempt per
+  // iteration (retries target errors/empty results, not interruptions) and
+  // return the degraded solution promptly.
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(5, 5),
+      {{"pop", std::vector<double>(25, 5.0)}});
+  std::vector<Constraint> cs = {Constraint::Sum("pop", 10, kNoUpperBound)};
+  SolverOptions options;
+  options.construction_iterations = 2;
+  options.construction_retries = 5;
+  options.construction_threads = 1;
+  RunContext ctx = FaultAt("construction", 0);
+  auto sol = SolveEmp(areas, cs, options, &ctx);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->termination_reason, TerminationReason::kFaultInjected);
+  EXPECT_EQ(sol->completed_construction_iterations, 0);
+  ValidateSolution(areas, cs, *sol);
+}
+
+TEST(FactSolverSupervisionTest, DeterministicUnderFaultInjection) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(6, 6),
+      {{"pop", std::vector<double>(36, 5.0)}});
+  std::vector<Constraint> cs = {Constraint::Sum("pop", 10, kNoUpperBound)};
+  SolverOptions options;
+  options.construction_iterations = 4;
+  options.construction_threads = 1;
+  RunContext ctx_a = FaultAt("construction", 25);
+  auto a = SolveEmp(areas, cs, options, &ctx_a);
+  RunContext ctx_b = FaultAt("construction", 25);
+  auto b = SolveEmp(areas, cs, options, &ctx_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->p(), b->p());
+  EXPECT_EQ(a->region_of, b->region_of);
+  EXPECT_EQ(a->termination_reason, b->termination_reason);
+}
+
+// Acceptance criterion: a tight wall-clock budget on a large instance
+// still returns kOk with a feasible, contiguous best-so-far.
+TEST(FactSolverSupervisionTest, FiftyMsBudgetOnLargeInstanceDegrades) {
+  auto areas = synthetic::MakeDefaultDataset("budget-demo", 3000, 4242);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+  SolverOptions options;
+  // Enough requested work that 50ms cannot possibly cover it.
+  options.construction_iterations = 500;
+  options.tabu_max_iterations = 1000000;
+  options.time_budget_ms = 50;
+  auto sol = SolveEmp(*areas, cs, options);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->termination_reason, TerminationReason::kDeadlineExceeded);
+  EXPECT_LT(sol->completed_construction_iterations, 500);
+  ValidateSolution(*areas, cs, *sol);
+}
+
+TEST(FactSolverSupervisionTest, ReportCarriesTerminationReason) {
+  AreaSet areas = test::PathAreaSet({5, 6, 7});
+  std::vector<Constraint> cs = {Constraint::Sum("s", 5, kNoUpperBound)};
+  RunContext ctx;
+  ctx.cancel.Cancel();
+  auto sol = SolveEmp(areas, cs, SolverOptions{}, &ctx);
+  ASSERT_TRUE(sol.ok());
+  std::string summary = sol->Summary();
+  EXPECT_NE(summary.find("cancelled"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("best-effort"), std::string::npos) << summary;
 }
 
 }  // namespace

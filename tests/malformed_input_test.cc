@@ -1,0 +1,123 @@
+// Loader robustness against a corpus of malformed on-disk inputs
+// (tests/fixtures/malformed/). Every case must surface a typed Status —
+// never crash, hang, or silently produce a half-parsed AreaSet.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/csv.h"
+#include "data/geojson.h"
+#include "data/loader.h"
+#include "graph/gal.h"
+
+#ifndef EMP_TEST_FIXTURE_DIR
+#error "EMP_TEST_FIXTURE_DIR must point at tests/fixtures"
+#endif
+
+namespace emp {
+namespace {
+
+std::string Fixture(const std::string& name) {
+  return std::string(EMP_TEST_FIXTURE_DIR) + "/malformed/" + name;
+}
+
+TEST(MalformedCsvTest, TruncatedRowIsIOError) {
+  auto result = LoadAreaSetFromCsvFile(Fixture("truncated_row.csv"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("row"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(MalformedCsvTest, NonNumericAttributeIsIOErrorNamingTheCell) {
+  auto result = LoadAreaSetFromCsvFile(Fixture("bad_number.csv"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("pop"), std::string::npos)
+      << "message should name the offending column: "
+      << result.status().ToString();
+}
+
+TEST(MalformedCsvTest, UnparseableWktIsIOErrorNamingTheRow) {
+  auto result = LoadAreaSetFromCsvFile(Fixture("bad_wkt.csv"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("row 1"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(MalformedCsvTest, MissingGeometryColumnIsInvalidArgument) {
+  auto result = LoadAreaSetFromCsvFile(Fixture("missing_geometry.csv"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("WKT"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(MalformedCsvTest, EmptyFileIsIOError) {
+  auto result = LoadAreaSetFromCsvFile(Fixture("empty.csv"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(MalformedCsvTest, MissingFileIsIOError) {
+  auto result = LoadAreaSetFromCsvFile(Fixture("does_not_exist.csv"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(MalformedGalTest, OutOfRangeNeighborIsIOError) {
+  auto result = ReadGalFile(Fixture("dangling_neighbor.gal"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("out of range"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(MalformedGalTest, DegreeLargerThanListedNeighborsIsIOError) {
+  auto result = ReadGalFile(Fixture("bad_degree.gal"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(MalformedGalTest, EmptyTextIsIOError) {
+  auto result = FromGal("");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(MalformedGalTest, NegativeCountIsIOError) {
+  auto result = FromGal("-4\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(MalformedGeoJsonTest, NonFeatureCollectionRootIsIOError) {
+  auto text = ReadFile(Fixture("not_geojson.json"));
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto result = FromGeoJson(*text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("FeatureCollection"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(MalformedGeoJsonTest, TruncatedDocumentFailsCleanly) {
+  auto text = ReadFile(Fixture("truncated.json"));
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  auto result = FromGeoJson(*text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(MalformedGeoJsonTest, PlainGarbageFailsCleanly) {
+  auto result = FromGeoJson("]]]]{{{{ not json at all");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace emp

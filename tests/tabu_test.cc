@@ -159,5 +159,97 @@ TEST(TabuTest, NullArgumentsRejected) {
   EXPECT_FALSE(TabuSearch({}, &setup.connectivity, nullptr).ok());
 }
 
+TEST(TabuTest, DefaultNoImproveCapIsTheAreaCount) {
+  // tabu_max_no_improve = -1 means "number of areas" (paper's default).
+  // On an instance where every applied move worsens H, the search must
+  // stop after exactly num_areas non-improving iterations — here 12 —
+  // rather than looping forever or reading -1 literally.
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(3, 4),
+      {{"s", {5, 3, 8, 1, 9, 2, 7, 4, 6, 1, 8, 3}}});
+  TabuSetup setup(&areas, {Constraint::Count(1, 12)});
+  int32_t r1 = setup.partition.CreateRegion();
+  int32_t r2 = setup.partition.CreateRegion();
+  for (int32_t a = 0; a < 12; ++a) {
+    setup.partition.Assign(a, a < 6 ? r1 : r2);
+  }
+  SolverOptions defaults;  // tabu_max_no_improve = -1
+  ASSERT_EQ(defaults.tabu_max_no_improve, -1);
+  auto result = TabuSearch(defaults, &setup.connectivity, &setup.partition);
+  ASSERT_TRUE(result.ok());
+  // The run terminated (no infinite loop) and did at least one iteration;
+  // each iteration either improves (resetting the counter) or counts
+  // toward the 12-iteration cap, so iterations is finite and bounded by
+  // improving_moves-resets plus num_areas.
+  EXPECT_GE(result->iterations, 1);
+  EXPECT_LE(result->iterations,
+            (result->improving_moves + 1) *
+                static_cast<int64_t>(areas.num_areas()) +
+                result->improving_moves + 1);
+}
+
+TEST(TabuTest, FaultInjectionRestoresBestFeasibleState) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(4, 4),
+      {{"s", {4, 9, 1, 7, 2, 8, 5, 3, 9, 1, 6, 4, 7, 3, 8, 2}}});
+  TabuSetup setup(&areas, {Constraint::Sum("s", 10, kNoUpperBound)});
+  int32_t r[4];
+  for (int i = 0; i < 4; ++i) r[i] = setup.partition.CreateRegion();
+  const int32_t quadrant_of[16] = {0, 0, 1, 1, 0, 0, 1, 1,
+                                   2, 2, 3, 3, 2, 2, 3, 3};
+  for (int32_t a = 0; a < 16; ++a) {
+    setup.partition.Assign(a, r[quadrant_of[a]]);
+  }
+  const int32_t p_before = setup.partition.NumRegions();
+
+  RunContext ctx;
+  ctx.fault_hook = [](const SupervisionCheckpoint& cp)
+      -> std::optional<TerminationReason> {
+    if (cp.phase == "tabu" && cp.index >= 3) {
+      return TerminationReason::kFaultInjected;
+    }
+    return std::nullopt;
+  };
+  PhaseSupervisor supervisor(&ctx, "tabu");
+  SolverOptions options;
+  options.tabu_max_no_improve = 64;
+  auto result = TabuSearch(options, &setup.connectivity, &setup.partition,
+                           /*objective=*/nullptr, &supervisor);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, TerminationReason::kFaultInjected);
+  // The interrupted search hands back its best snapshot: region count
+  // unchanged, all constraints and contiguity intact, H no worse than
+  // the starting point.
+  EXPECT_EQ(setup.partition.NumRegions(), p_before);
+  for (int32_t rid : setup.partition.AliveRegionIds()) {
+    EXPECT_TRUE(setup.partition.region(rid).stats.SatisfiesAll());
+    EXPECT_TRUE(
+        setup.connectivity.IsConnected(setup.partition.region(rid).areas));
+  }
+  EXPECT_LE(result->final_heterogeneity, result->initial_heterogeneity);
+  EXPECT_TRUE(setup.partition.ValidateInvariants().ok());
+}
+
+TEST(TabuTest, CancellationStopsTheSearch) {
+  AreaSet areas = test::PathAreaSet({1, 1, 1, 9, 9, 9});
+  TabuSetup setup(&areas, {Constraint::Count(1, 6)});
+  int32_t r1 = setup.partition.CreateRegion();
+  int32_t r2 = setup.partition.CreateRegion();
+  for (int32_t a : {0, 1}) setup.partition.Assign(a, r1);
+  for (int32_t a : {2, 3, 4, 5}) setup.partition.Assign(a, r2);
+
+  RunContext ctx;
+  ctx.cancel.Cancel();
+  PhaseSupervisor supervisor(&ctx, "tabu");
+  auto result = TabuSearch({}, &setup.connectivity, &setup.partition,
+                           /*objective=*/nullptr, &supervisor);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->termination, TerminationReason::kCancelled);
+  EXPECT_EQ(result->iterations, 0);
+  // Untouched: the initial assignment survives verbatim.
+  EXPECT_DOUBLE_EQ(result->final_heterogeneity,
+                   result->initial_heterogeneity);
+}
+
 }  // namespace
 }  // namespace emp

@@ -17,6 +17,7 @@
 //   emp_cli validate --input tracts.csv --query "SUM(TOTALPOP) >= 20k"
 //       --assignment assignment.csv
 
+#include <csignal>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -93,6 +94,17 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// Cooperative Ctrl-C for `solve`: the first SIGINT flips the solver's
+/// cancellation token (an atomic store — async-signal-safe) so the solve
+/// unwinds at its next checkpoint and prints the best-so-far report; the
+/// handler then re-arms SIG_DFL so a second Ctrl-C kills immediately.
+emp::CancellationToken* g_solve_cancel = nullptr;
+
+void HandleSigint(int) {
+  if (g_solve_cancel != nullptr) g_solve_cancel->Cancel();
+  std::signal(SIGINT, SIG_DFL);
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -105,6 +117,7 @@ int Usage() {
       "              --attribute A --threshold T) [--out FILE]\n"
       "              [--geojson FILE] [--svg FILE] [--json FILE]\n"
       "              [--iterations N] [--threads N] [--seed S] [--no-tabu]\n"
+      "              [--time-budget-ms MS] [--max-evals N]\n"
       "  validate    --input FILE --query Q --assignment FILE\n"
       "  render      --input FILE [--assignment FILE] [--out FILE]\n"
       "              [--width W] [--labels]\n"
@@ -215,13 +228,21 @@ int CmdSolve(const Args& args) {
   options.construction_threads = static_cast<int>(args.GetInt("threads", 1));
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   options.run_local_search = !args.Has("no-tabu");
+  options.time_budget_ms = args.GetInt("time-budget-ms", -1);
+  options.max_evaluations = args.GetInt("max-evals", -1);
+
+  // Supervision context: deadline/budget from the flags above, plus a
+  // cancellation token wired to Ctrl-C for the duration of the solve.
+  emp::RunContext ctx = emp::MakeRunContext(options);
+  g_solve_cancel = &ctx.cancel;
+  std::signal(SIGINT, HandleSigint);
 
   const std::string solver = args.Get("solver", "fact");
   emp::Result<emp::Solution> solution = [&]() -> emp::Result<emp::Solution> {
     if (solver == "fact") {
       auto constraints = emp::ParseConstraints(args.Get("query"));
       if (!constraints.ok()) return constraints.status();
-      return emp::SolveEmp(*areas, *constraints, options);
+      return emp::SolveEmp(*areas, *constraints, options, &ctx);
     }
     const std::string attribute = args.Get("attribute");
     const double threshold = args.GetDouble("threshold", -1);
@@ -231,16 +252,21 @@ int CmdSolve(const Args& args) {
     }
     if (solver == "maxp") {
       return emp::MaxPRegionsSolver(&*areas, attribute, threshold, options)
-          .Solve();
+          .Solve(ctx);
     }
     if (solver == "skater") {
       return emp::SkaterMaxPSolver(&*areas, attribute, threshold, options)
-          .Solve();
+          .Solve(ctx);
     }
     return emp::Status::InvalidArgument("unknown solver '" + solver + "'");
   }();
+  std::signal(SIGINT, SIG_DFL);
+  g_solve_cancel = nullptr;
   if (!solution.ok()) return Fail(solution.status().ToString());
 
+  if (ctx.cancel.cancelled()) {
+    std::printf("interrupted — best-so-far solution:\n");
+  }
   std::printf("%s\n", solution->Summary().c_str());
   auto metrics = emp::ComputeMetrics(*areas, *solution);
   if (metrics.ok()) std::printf("%s\n", metrics->ToString().c_str());

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite under ASan + UBSan.
+# Usage: tools/run_sanitized_tests.sh [extra ctest args...]
+#
+# Uses the `asan-ubsan` preset from CMakePresets.json (build-asan/ tree,
+# benchmarks off). Any arguments are forwarded to ctest, e.g.
+#   tools/run_sanitized_tests.sh -R fact_solver_test
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-ubsan -j "$(nproc)" "$@"
