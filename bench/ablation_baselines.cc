@@ -63,6 +63,6 @@ int main() {
       });
     }
   }
-  table.Print();
+  EmitTable("ablation_baselines", table);
   return 0;
 }

@@ -32,7 +32,7 @@ int main() {
       table.AddRow({std::to_string(iters), std::to_string(r.p),
                     Secs(r.construction_seconds)});
     }
-    table.Print();
+    EmitTable("ablation_construction", table);
   }
 
   {
@@ -51,7 +51,7 @@ int main() {
                     std::to_string(r.unassigned),
                     Secs(r.construction_seconds)});
     }
-    table.Print();
+    EmitTable("ablation_construction", table);
   }
 
   {
@@ -71,7 +71,7 @@ int main() {
                     std::to_string(r.unassigned),
                     Secs(r.construction_seconds)});
     }
-    table.Print();
+    EmitTable("ablation_construction", table);
   }
 
   {
@@ -85,7 +85,7 @@ int main() {
                     Secs(r.tabu_seconds),
                     Pct(r.heterogeneity_improvement)});
     }
-    table.Print();
+    EmitTable("ablation_construction", table);
   }
   return 0;
 }

@@ -103,6 +103,6 @@ int main() {
                   Secs(timer.ElapsedSeconds())});
   }
 
-  table.Print();
+  EmitTable("ablation_local_search", table);
   return 0;
 }

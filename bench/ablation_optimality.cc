@@ -60,6 +60,6 @@ int main() {
                     Secs(exact_seconds)});
     }
   }
-  table.Print();
+  EmitTable("ablation_optimality", table);
   return 0;
 }

@@ -36,6 +36,6 @@ int main() {
                     Secs(r.construction_seconds)});
     }
   }
-  table.Print();
+  EmitTable("ablation_strategy", table);
   return 0;
 }

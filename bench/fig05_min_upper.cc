@@ -35,6 +35,6 @@ int main() {
                     Pct(r.heterogeneity_improvement)});
     }
   }
-  table.Print();
+  EmitTable("fig05_min_upper", table);
   return 0;
 }

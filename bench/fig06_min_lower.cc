@@ -34,6 +34,6 @@ int main() {
                     Pct(r.heterogeneity_improvement)});
     }
   }
-  table.Print();
+  EmitTable("fig06_min_lower", table);
   return 0;
 }

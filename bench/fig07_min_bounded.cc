@@ -37,7 +37,7 @@ int main() {
                 Secs(r.tabu_seconds), Secs(r.total_seconds())});
     }
   }
-  a.Print();
+  EmitTable("fig07_min_bounded", a);
 
   Banner("Fig. 7b", "MIN bounded ranges, length 1k, shifting midpoint (2k)");
   TablePrinter b("", {"combo", "range", "p", "construction(s)", "tabu(s)",
@@ -56,6 +56,6 @@ int main() {
                 Pct(r.heterogeneity_improvement)});
     }
   }
-  b.Print();
+  EmitTable("fig07_min_bounded", b);
   return 0;
 }

@@ -41,7 +41,7 @@ int main() {
         std::string(static_cast<size_t>(bar_len), '#'),
     });
   }
-  table.Print();
+  EmitTable("fig08_avg_distribution", table);
 
   auto stats = areas.attributes().Stats("EMPLOYED");
   std::printf("min=%.0f max=%.0f mean=%.1f (paper: skewed, max ~6149)\n",

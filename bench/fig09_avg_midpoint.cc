@@ -42,6 +42,6 @@ int main() {
         Pct(r.heterogeneity_improvement),
     });
   }
-  table.Print();
+  EmitTable("fig09_avg_midpoint", table);
   return 0;
 }

@@ -36,6 +36,6 @@ int main() {
                     Pct(static_cast<double>(r.unassigned) / n)});
     }
   }
-  table.Print();
+  EmitTable("fig10_avg_length_p", table);
   return 0;
 }

@@ -37,6 +37,6 @@ int main() {
                     Pct(r.heterogeneity_improvement)});
     }
   }
-  table.Print();
+  EmitTable("fig11_avg_length_runtime", table);
   return 0;
 }

@@ -43,6 +43,6 @@ int main() {
                     Pct(r.heterogeneity_improvement)});
     }
   }
-  table.Print();
+  EmitTable("fig12_sum_lower", table);
   return 0;
 }

@@ -45,6 +45,6 @@ int main() {
                     Pct(r.heterogeneity_improvement)});
     }
   }
-  table.Print();
+  EmitTable("fig13_sum_bounded", table);
   return 0;
 }

@@ -30,6 +30,6 @@ int main() {
                     Secs(r.tabu_seconds), Secs(r.total_seconds())});
     }
   }
-  table.Print();
+  EmitTable("fig14_scalability_small", table);
   return 0;
 }

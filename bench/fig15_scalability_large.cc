@@ -34,6 +34,6 @@ int main() {
                     Secs(r.tabu_seconds), Secs(r.total_seconds())});
     }
   }
-  table.Print();
+  EmitTable("fig15_scalability_large", table);
   return 0;
 }

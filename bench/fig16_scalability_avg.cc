@@ -38,6 +38,6 @@ int main() {
                     Secs(r.total_seconds())});
     }
   }
-  table.Print();
+  EmitTable("fig16_scalability_avg", table);
   return 0;
 }

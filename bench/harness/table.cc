@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 
+#include "common/csv.h"  // WriteFile
+#include "common/json_writer.h"
 #include "common/str_util.h"
 
 namespace emp {
@@ -42,6 +46,45 @@ void TablePrinter::Print() const {
   std::printf("%s\n", rule.c_str());
   for (const auto& row : rows_) print_row(row);
   std::printf("\n");
+}
+
+std::string TablePrinter::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("title");
+  w.String(title_);
+  w.Key("columns");
+  w.BeginInlineArray();
+  for (const std::string& c : columns_) w.String(c);
+  w.EndArray();
+  w.Key("rows");
+  w.BeginArray();
+  for (const auto& row : rows_) {
+    w.BeginInlineArray();
+    for (const std::string& cell : row) w.String(cell);
+    w.EndArray();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).TakeString();
+}
+
+void EmitTable(const std::string& experiment_id, const TablePrinter& table) {
+  table.Print();
+  const char* dir = std::getenv("EMP_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  // One file per table; a binary emitting several tables for the same
+  // experiment id gets _2, _3, ... suffixes in emission order.
+  static std::map<std::string, int> emitted;
+  const int n = ++emitted[experiment_id];
+  std::string path = std::string(dir) + "/BENCH_" + experiment_id;
+  if (n > 1) path += "_" + std::to_string(n);
+  path += ".json";
+  Status status = WriteFile(path, table.ToJson() + "\n");
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: could not write %s: %s\n", path.c_str(),
+                 std::string(status.message()).c_str());
+  }
 }
 
 std::string Secs(double seconds) { return FormatDouble(seconds, 3); }

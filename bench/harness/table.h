@@ -23,11 +23,26 @@ class TablePrinter {
   /// Renders everything to stdout.
   void Print() const;
 
+  /// Serializes the table via JsonWriter:
+  ///   {"title": ..., "columns": [...], "rows": [[...], ...]}
+  /// Cells stay strings — bench cells mix numbers with annotations like
+  /// "40.2%" or "1.2x", and consumers parse what they need.
+  std::string ToJson() const;
+
+  const std::string& title() const { return title_; }
+
  private:
   std::string title_;
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Prints `table` and, when the EMP_BENCH_JSON_DIR environment variable is
+/// set, also writes it to $EMP_BENCH_JSON_DIR/BENCH_<experiment_id>.json
+/// (appending _2, _3, ... when one binary emits several tables). This is
+/// how every fig*/tab*/ablation_* binary exports machine-readable results
+/// next to its stdout report.
+void EmitTable(const std::string& experiment_id, const TablePrinter& table);
 
 /// Formats seconds with 3 decimals, e.g. "1.234".
 std::string Secs(double seconds);

@@ -44,6 +44,6 @@ int main() {
         emp::FormatDouble(employed->mean, 0),
     });
   }
-  table.Print();
+  emp::bench::EmitTable("tab01_datasets", table);
   return 0;
 }

@@ -65,6 +65,6 @@ int main() {
     }
     table.AddRow(row);
   }
-  table.Print();
+  EmitTable("tab03_min_pvalues", table);
   return 0;
 }

@@ -73,6 +73,6 @@ int main() {
     }
     table.AddRow(row);
   }
-  table.Print();
+  EmitTable("tab04_sum_pvalues", table);
   return 0;
 }

@@ -14,6 +14,8 @@
 #include "core/local_search/tabu.h"
 #include "core/partition.h"
 #include "graph/connectivity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace emp {
 
@@ -49,6 +51,26 @@ MaxPRegionsSolver::MaxPRegionsSolver(const AreaSet* areas,
       attribute_(std::move(attribute)),
       threshold_(threshold),
       options_(options) {}
+
+Result<MaxPRegionsSolver> MaxPRegionsSolver::Create(const AreaSet* areas,
+                                                    std::string attribute,
+                                                    double threshold,
+                                                    SolverOptions options) {
+  EMP_RETURN_IF_ERROR(ValidateSolverOptions(options));
+  if (areas == nullptr) {
+    return Status::InvalidArgument("MaxPRegionsSolver: null area set");
+  }
+  if (!(threshold > 0)) {
+    return Status::InvalidArgument(
+        "MaxPRegionsSolver: threshold must be positive, got " +
+        FormatDouble(threshold, 6));
+  }
+  // Binding validates that `attribute` exists in the attribute table.
+  Result<BoundConstraints> bound = BoundConstraints::Create(
+      areas, {Constraint::Sum(attribute, threshold, kNoUpperBound)});
+  if (!bound.ok()) return bound.status();
+  return MaxPRegionsSolver(areas, std::move(attribute), threshold, options);
+}
 
 Result<Solution> MaxPRegionsSolver::Solve() {
   return Solve(MakeRunContext(options_));
@@ -86,6 +108,13 @@ Result<Solution> MaxPRegionsSolver::Solve(const RunContext& ctx) {
   }
 
   Stopwatch construction_timer;
+  obs::ScopedSpan construction_span(ctx.trace, "maxp.construction");
+  obs::Counter* regions_grown =
+      obs::GetCounter(ctx.metrics, "emp_maxp_regions_grown_total");
+  obs::Counter* regions_dissolved =
+      obs::GetCounter(ctx.metrics, "emp_maxp_regions_dissolved_total");
+  obs::Counter* enclave_assignments =
+      obs::GetCounter(ctx.metrics, "emp_maxp_enclave_assignments_total");
   const std::vector<double>& d = areas_->dissimilarity();
   ConnectivityChecker connectivity(&areas_->graph());
   const int32_t n = areas_->num_areas();
@@ -127,6 +156,9 @@ Result<Solution> MaxPRegionsSolver::Solve(const RunContext& ctx) {
       }
       if (partition.region(rid).stats.AggregateValue(0) < threshold_) {
         partition.DissolveRegion(rid);  // Members become enclaves.
+        obs::Add(regions_dissolved);
+      } else {
+        obs::Add(regions_grown);
       }
     }
 
@@ -155,6 +187,7 @@ Result<Solution> MaxPRegionsSolver::Solve(const RunContext& ctx) {
         }
         if (best_rid != -1) {
           partition.Assign(a, best_rid);
+          obs::Add(enclave_assignments);
           changed = true;
         }
       }

@@ -25,6 +25,17 @@ namespace emp {
 /// Tabu machinery as FaCT with the single SUM constraint.
 class MaxPRegionsSolver {
  public:
+  /// Validating named constructor: checks `options`, requires a non-null
+  /// area set and an existing numeric `attribute`, and rejects a
+  /// non-positive threshold — so bad input fails HERE with
+  /// kInvalidArgument instead of deep inside Solve(). Prefer this over the
+  /// lazy constructor below.
+  static Result<MaxPRegionsSolver> Create(const AreaSet* areas,
+                                          std::string attribute,
+                                          double threshold,
+                                          SolverOptions options = {});
+
+  /// Deprecated-in-docs lazy constructor: defers validation to Solve().
   /// `areas` must outlive the solver.
   MaxPRegionsSolver(const AreaSet* areas, std::string attribute,
                     double threshold, SolverOptions options = {});

@@ -12,6 +12,8 @@
 #include "core/partition.h"
 #include "graph/connectivity.h"
 #include "graph/dsu.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace emp {
 
@@ -32,6 +34,26 @@ SkaterMaxPSolver::SkaterMaxPSolver(const AreaSet* areas,
       attribute_(std::move(attribute)),
       threshold_(threshold),
       options_(options) {}
+
+Result<SkaterMaxPSolver> SkaterMaxPSolver::Create(const AreaSet* areas,
+                                                  std::string attribute,
+                                                  double threshold,
+                                                  SolverOptions options) {
+  EMP_RETURN_IF_ERROR(ValidateSolverOptions(options));
+  if (areas == nullptr) {
+    return Status::InvalidArgument("SkaterMaxPSolver: null area set");
+  }
+  if (!(threshold > 0)) {
+    return Status::InvalidArgument(
+        "SkaterMaxPSolver: threshold must be positive, got " +
+        FormatDouble(threshold, 6));
+  }
+  // Binding validates that `attribute` exists in the attribute table.
+  Result<BoundConstraints> bound = BoundConstraints::Create(
+      areas, {Constraint::Sum(attribute, threshold, kNoUpperBound)});
+  if (!bound.ok()) return bound.status();
+  return SkaterMaxPSolver(areas, std::move(attribute), threshold, options);
+}
 
 Result<Solution> SkaterMaxPSolver::Solve() {
   return Solve(MakeRunContext(options_));
@@ -69,6 +91,7 @@ Result<Solution> SkaterMaxPSolver::Solve(const RunContext& ctx) {
   }
 
   Stopwatch construction_timer;
+  obs::ScopedSpan construction_span(ctx.trace, "skater.construction");
   PhaseSupervisor supervisor(&ctx, "skater");
   const ContiguityGraph& graph = areas_->graph();
   const std::vector<double>& d = areas_->dissimilarity();
@@ -93,12 +116,16 @@ Result<Solution> SkaterMaxPSolver::Solve(const RunContext& ctx) {
             });
   DisjointSetUnion dsu(n);
   std::vector<std::vector<int32_t>> tree(static_cast<size_t>(n));
+  int64_t mst_edges = 0;
   for (const TreeEdge& e : edges) {
     if (dsu.Union(e.a, e.b)) {
       tree[static_cast<size_t>(e.a)].push_back(e.b);
       tree[static_cast<size_t>(e.b)].push_back(e.a);
+      ++mst_edges;
     }
   }
+  obs::Add(obs::GetCounter(ctx.metrics, "emp_skater_mst_edges_total"),
+           mst_edges);
 
   // --- Bottom-up max-p cutting of each tree component. -----------------
   // Iterative post-order: accumulate the attribute over un-cut subtree
@@ -163,12 +190,17 @@ Result<Solution> SkaterMaxPSolver::Solve(const RunContext& ctx) {
   // --- Materialize regions: nearest cut-root ancestor owns each node;
   // component leftovers (root not cut) attach to one cut child's region.
   Partition partition(&bound);
+  obs::Counter* cut_regions =
+      obs::GetCounter(ctx.metrics, "emp_skater_cut_regions_total");
+  obs::Counter* leftover_attachments =
+      obs::GetCounter(ctx.metrics, "emp_skater_leftover_attachments_total");
   std::vector<int32_t> region_of_node(static_cast<size_t>(n), -1);
   // Top-down over the stored preorder (parents precede children).
   for (int32_t v : preorder) {
     if (is_cut_root[static_cast<size_t>(v)]) {
       int32_t rid = partition.CreateRegion();
       region_of_node[static_cast<size_t>(v)] = rid;
+      obs::Add(cut_regions);
     } else if (parent[static_cast<size_t>(v)] >= 0) {
       region_of_node[static_cast<size_t>(v)] =
           region_of_node[static_cast<size_t>(parent[static_cast<size_t>(v)])];
@@ -188,6 +220,7 @@ Result<Solution> SkaterMaxPSolver::Solve(const RunContext& ctx) {
         if (region_of_node[static_cast<size_t>(nb)] != -1) {
           region_of_node[static_cast<size_t>(v)] =
               region_of_node[static_cast<size_t>(nb)];
+          obs::Add(leftover_attachments);
           changed = true;
           break;
         }

@@ -24,6 +24,16 @@ namespace emp {
 /// feasible connected inputs.
 class SkaterMaxPSolver {
  public:
+  /// Validating named constructor: checks `options`, requires a non-null
+  /// area set and an existing numeric `attribute`, and rejects a
+  /// non-positive threshold — failing HERE with kInvalidArgument instead
+  /// of deep inside Solve(). Prefer this over the lazy constructor below.
+  static Result<SkaterMaxPSolver> Create(const AreaSet* areas,
+                                         std::string attribute,
+                                         double threshold,
+                                         SolverOptions options = {});
+
+  /// Deprecated-in-docs lazy constructor: defers validation to Solve().
   /// `areas` must outlive the solver.
   SkaterMaxPSolver(const AreaSet* areas, std::string attribute,
                    double threshold, SolverOptions options = {});

@@ -1,0 +1,205 @@
+#include "common/json_writer.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace emp {
+
+JsonWriter::JsonWriter(int indent) : indent_(indent < 0 ? 0 : indent) {}
+
+bool JsonWriter::CurrentInline() const {
+  return indent_ == 0 || (!stack_.empty() && stack_.back().is_inline);
+}
+
+void JsonWriter::NewlineIndent(size_t depth) {
+  out_ += '\n';
+  out_.append(depth * static_cast<size_t>(indent_), ' ');
+}
+
+void JsonWriter::BeginValue() {
+  if (stack_.empty()) return;  // Top-level value: nothing to separate.
+  Frame& frame = stack_.back();
+  if (frame.is_object) {
+    // Key() already emitted the separator and `"key": ` prefix.
+    assert(key_pending_ && "object member emitted without a Key()");
+    key_pending_ = false;
+    return;
+  }
+  if (frame.members > 0) out_ += ',';
+  if (CurrentInline()) {
+    if (frame.members > 0) out_ += ' ';
+  } else {
+    NewlineIndent(stack_.size());
+  }
+  ++frame.members;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  assert(!stack_.empty() && stack_.back().is_object &&
+         "Key() outside an object");
+  assert(!key_pending_ && "two Key() calls without a value between them");
+  Frame& frame = stack_.back();
+  if (frame.members > 0) out_ += ',';
+  if (CurrentInline()) {
+    if (frame.members > 0) out_ += ' ';
+  } else {
+    NewlineIndent(stack_.size());
+  }
+  ++frame.members;
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::Open(char bracket, bool is_object, bool is_inline) {
+  // A container inside an inline parent is itself inline — a multi-line
+  // child could not be indented coherently on the parent's single line.
+  is_inline = is_inline || CurrentInline();
+  BeginValue();
+  stack_.push_back(Frame{is_object, is_inline, 0});
+  out_ += bracket;
+}
+
+void JsonWriter::Close(char bracket, bool is_object) {
+  assert(!stack_.empty() && stack_.back().is_object == is_object &&
+         "unbalanced End call");
+  (void)is_object;
+  if (stack_.empty()) return;
+  const Frame frame = stack_.back();
+  stack_.pop_back();
+  if (frame.members > 0 && !frame.is_inline && indent_ > 0) {
+    NewlineIndent(stack_.size());
+  }
+  out_ += bracket;
+}
+
+void JsonWriter::BeginObject() { Open('{', true, false); }
+void JsonWriter::BeginInlineObject() { Open('{', true, true); }
+void JsonWriter::EndObject() { Close('}', true); }
+void JsonWriter::BeginArray() { Open('[', false, false); }
+void JsonWriter::BeginInlineArray() { Open('[', false, true); }
+void JsonWriter::EndArray() { Close(']', false); }
+
+void JsonWriter::String(std::string_view v) {
+  BeginValue();
+  out_ += '"';
+  out_ += Escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t v) {
+  BeginValue();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::Double(double v, int precision) {
+  BeginValue();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  out_ += FormatDouble(v, precision);
+}
+
+void JsonWriter::Bool(bool v) {
+  BeginValue();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeginValue();
+  out_ += "null";
+}
+
+std::string JsonWriter::Escape(std::string_view v) {
+  std::string out;
+  out.reserve(v.size() + 8);
+  static const char kHex[] = "0123456789abcdef";
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+ReportBuilder::ReportBuilder(int indent) : writer_(indent) {
+  writer_.BeginObject();
+}
+
+ReportBuilder& ReportBuilder::Field(std::string_view key,
+                                    std::string_view value) {
+  writer_.Key(key);
+  writer_.String(value);
+  return *this;
+}
+
+ReportBuilder& ReportBuilder::Field(std::string_view key, const char* value) {
+  return Field(key, std::string_view(value));
+}
+
+ReportBuilder& ReportBuilder::Field(std::string_view key, int64_t value) {
+  writer_.Key(key);
+  writer_.Int(value);
+  return *this;
+}
+
+ReportBuilder& ReportBuilder::Field(std::string_view key, int32_t value) {
+  return Field(key, static_cast<int64_t>(value));
+}
+
+ReportBuilder& ReportBuilder::Field(std::string_view key, double value,
+                                    int precision) {
+  writer_.Key(key);
+  writer_.Double(value, precision);
+  return *this;
+}
+
+ReportBuilder& ReportBuilder::Field(std::string_view key, bool value) {
+  writer_.Key(key);
+  writer_.Bool(value);
+  return *this;
+}
+
+ReportBuilder& ReportBuilder::Key(std::string_view key) {
+  writer_.Key(key);
+  return *this;
+}
+
+std::string ReportBuilder::Finish() && {
+  writer_.EndObject();
+  return std::move(writer_).TakeString();
+}
+
+}  // namespace emp

@@ -1,0 +1,113 @@
+#ifndef EMP_COMMON_JSON_WRITER_H_
+#define EMP_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emp {
+
+/// Streaming JSON serializer — the single sink every JSON document in this
+/// repo flows through (solution reports, telemetry exporters, bench
+/// tables, GeoJSON). Centralizes escaping and number formatting so no
+/// caller hand-assembles `"\""`-style fragments.
+///
+/// Usage:
+///   JsonWriter w;               // pretty, 2-space indent
+///   w.BeginObject();
+///   w.Key("p"); w.Int(12);
+///   w.Key("areas"); w.BeginInlineArray();
+///   for (...) w.Int(a);
+///   w.EndArray();
+///   w.EndObject();
+///   std::string text = std::move(w).TakeString();
+///
+/// Containers opened with the Inline variants render on a single line
+/// (`[1, 2, 3]`), which keeps long id lists compact inside an otherwise
+/// pretty document. Nested containers inherit inline-ness from their
+/// parent. The writer never emits trailing commas; misuse (value without a
+/// pending key inside an object, unbalanced End calls) trips an assert in
+/// debug builds and is silently tolerated in release.
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 renders the whole document on
+  /// one line.
+  explicit JsonWriter(int indent = 2);
+
+  void BeginObject();
+  void BeginInlineObject();
+  void EndObject();
+  void BeginArray();
+  void BeginInlineArray();
+  void EndArray();
+
+  /// Emits the member key for the next value (objects only).
+  void Key(std::string_view key);
+
+  void String(std::string_view v);
+  void Int(int64_t v);
+  /// Compact formatting via FormatDouble (integers print without
+  /// decimals). Non-finite values serialize as null — JSON has no inf/nan
+  /// literals; callers wanting "inf" markers emit them as strings.
+  void Double(double v, int precision = 6);
+  void Bool(bool v);
+  void Null();
+
+  /// The document so far (valid JSON once every container is closed).
+  const std::string& str() const { return out_; }
+  std::string TakeString() && { return std::move(out_); }
+
+  /// JSON string-escapes `v` (quotes, backslash, control characters).
+  static std::string Escape(std::string_view v);
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    bool is_inline = false;
+    int64_t members = 0;
+  };
+
+  bool CurrentInline() const;
+  void BeginValue();  // separator + layout before any value/container
+  void Open(char bracket, bool is_object, bool is_inline);
+  void Close(char bracket, bool is_object);
+  void NewlineIndent(size_t depth);
+
+  int indent_;
+  bool key_pending_ = false;
+  std::vector<Frame> stack_;
+  std::string out_;
+};
+
+/// Builder for the repo's top-level report documents: opens the root
+/// object, offers one-call scalar fields, and exposes the underlying
+/// JsonWriter for nested structure. Finish() closes the root and yields
+/// the text.
+class ReportBuilder {
+ public:
+  explicit ReportBuilder(int indent = 2);
+
+  ReportBuilder& Field(std::string_view key, std::string_view value);
+  ReportBuilder& Field(std::string_view key, const char* value);
+  ReportBuilder& Field(std::string_view key, int64_t value);
+  ReportBuilder& Field(std::string_view key, int32_t value);
+  ReportBuilder& Field(std::string_view key, double value,
+                       int precision = 6);
+  ReportBuilder& Field(std::string_view key, bool value);
+
+  /// Escape hatch for arrays / nested objects: emit the key here, then
+  /// drive the writer directly (Begin.../End... must balance).
+  JsonWriter& writer() { return writer_; }
+  ReportBuilder& Key(std::string_view key);
+
+  /// Closes the root object and returns the document.
+  std::string Finish() &&;
+
+ private:
+  JsonWriter writer_;
+};
+
+}  // namespace emp
+
+#endif  // EMP_COMMON_JSON_WRITER_H_

@@ -1,8 +1,9 @@
 #include "core/fact_solver.h"
 
 #include <algorithm>
-#include <future>
+#include <atomic>
 #include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -14,6 +15,8 @@
 #include "core/local_search/heterogeneity.h"
 #include "core/partition.h"
 #include "graph/connectivity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace emp {
 
@@ -23,6 +26,20 @@ FactSolver::FactSolver(const AreaSet* areas,
     : areas_(areas),
       constraints_(std::move(constraints)),
       options_(options) {}
+
+Result<FactSolver> FactSolver::Create(const AreaSet* areas,
+                                      std::vector<Constraint> constraints,
+                                      SolverOptions options) {
+  EMP_RETURN_IF_ERROR(ValidateSolverOptions(options));
+  if (areas == nullptr) {
+    return Status::InvalidArgument("FactSolver: null area set");
+  }
+  // Binding checks constraint shape and attribute existence; the bound is
+  // rebuilt in Solve() (it holds pointers into `areas` and is cheap).
+  Result<BoundConstraints> bound = BoundConstraints::Create(areas, constraints);
+  if (!bound.ok()) return bound.status();
+  return FactSolver(areas, std::move(constraints), options);
+}
 
 Result<Solution> FactSolver::Solve() {
   return Solve(MakeRunContext(options_));
@@ -36,15 +53,22 @@ Result<Solution> FactSolver::Solve(const RunContext& ctx) {
   EMP_ASSIGN_OR_RETURN(BoundConstraints bound,
                        BoundConstraints::Create(areas_, constraints_));
 
+  obs::MetricRegistry* metrics = ctx.metrics;
+  Stopwatch solve_timer;
+  obs::ScopedSpan solve_span(ctx.trace, "solve");
+
   // ---- Phase 1: feasibility. ----------------------------------------
   Stopwatch feasibility_timer;
   double feasibility_seconds = 0.0;
   FeasibilityReport feasibility;
   {
+    obs::ScopedSpan span(ctx.trace, "feasibility");
     PhaseSupervisor supervisor(&ctx, "feasibility");
     EMP_ASSIGN_OR_RETURN(feasibility,
                          CheckFeasibility(bound, &supervisor));
     feasibility_seconds = feasibility_timer.ElapsedSeconds();
+    obs::Set(obs::GetGauge(metrics, "emp_feasibility_seconds"),
+             feasibility_seconds);
     if (auto reason = supervisor.tripped()) {
       // Interrupted before the verdict: the scan is incomplete, so neither
       // feasibility nor infeasibility is proven. The only safe best-effort
@@ -70,11 +94,26 @@ Result<Solution> FactSolver::Solve(const RunContext& ctx) {
 
   // ---- Phase 2: construction, best-of-k iterations on p. -------------
   Stopwatch construction_timer;
-  SeedingResult seeding = SelectSeeds(bound, feasibility);
+  obs::Histogram* iteration_seconds =
+      obs::GetHistogram(metrics, "emp_construction_iteration_seconds");
+  obs::Histogram* grow_seconds =
+      obs::GetHistogram(metrics, "emp_construction_grow_seconds");
+  obs::Histogram* adjust_seconds =
+      obs::GetHistogram(metrics, "emp_construction_adjust_seconds");
+  obs::Counter* iterations_counter =
+      obs::GetCounter(metrics, "emp_construction_iterations_total");
+  obs::Counter* retries_counter =
+      obs::GetCounter(metrics, "emp_construction_retries_total");
+
+  SeedingResult seeding;
+  {
+    obs::ScopedSpan span(ctx.trace, "construction.seeding");
+    seeding = SelectSeeds(bound, feasibility);
+  }
   ConnectivityChecker connectivity(&areas_->graph());
 
-  // One construction try; iterations are independent so they can run on a
-  // thread pool (parallelization is the paper's stated future work).
+  // One construction try; iterations are independent so they run on a
+  // small worker pool (parallelization is the paper's stated future work).
   struct IterationOutcome {
     std::optional<Partition> partition;
     RegionGrowingStats growing;
@@ -87,6 +126,9 @@ Result<Solution> FactSolver::Solve(const RunContext& ctx) {
   };
   auto run_attempt = [&](int iter, int attempt) {
     IterationOutcome out;
+    obs::ScopedSpan iter_span(ctx.trace, "construction.iteration",
+                              /*worker=*/iter);
+    Stopwatch iter_timer;
     // Derived RNG streams: one per (iteration, retry attempt), so retries
     // explore genuinely different constructions and any (iter, attempt)
     // replays identically regardless of thread count.
@@ -100,18 +142,30 @@ Result<Solution> FactSolver::Solve(const RunContext& ctx) {
         ConstructionStrategy::kUnifiedGrowth) {
       // Ablation baseline: single-step growth already leaves every
       // committed region fully feasible; no adjustment pass needed.
+      obs::ScopedSpan grow_span(ctx.trace, "construction.grow",
+                                /*worker=*/iter);
       out.status = GrowUnified(seeding, options_, &rng, &partition,
                                /*stats=*/nullptr, &supervisor);
     } else {
-      out.status = GrowRegions(seeding, options_, &rng, &partition,
-                               &out.growing, &supervisor);
+      Stopwatch grow_timer;
+      {
+        obs::ScopedSpan grow_span(ctx.trace, "construction.grow",
+                                  /*worker=*/iter);
+        out.status = GrowRegions(seeding, options_, &rng, &partition,
+                                 &out.growing, &supervisor);
+      }
+      obs::Observe(grow_seconds, grow_timer.ElapsedSeconds());
       if (out.status.ok()) {
         // ConnectivityChecker is not thread-safe; each iteration gets its
         // own when running in parallel. Runs even when the supervisor has
         // tripped: its dissolve pass finalizes the partial partition.
+        Stopwatch adjust_timer;
+        obs::ScopedSpan adjust_span(ctx.trace, "construction.adjust",
+                                    /*worker=*/iter);
         ConnectivityChecker local_connectivity(&areas_->graph());
         out.status = AdjustForCounting(&local_connectivity, &partition,
                                        &out.adjust, &supervisor);
+        obs::Observe(adjust_seconds, adjust_timer.ElapsedSeconds());
       }
     }
     out.interrupted = supervisor.tripped();
@@ -119,6 +173,8 @@ Result<Solution> FactSolver::Solve(const RunContext& ctx) {
       out.p = partition.NumRegions();
       out.partition.emplace(std::move(partition));
     }
+    obs::Add(iterations_counter);
+    obs::Observe(iteration_seconds, iter_timer.ElapsedSeconds());
     return out;
   };
   auto run_iteration = [&](int iter) {
@@ -129,6 +185,7 @@ Result<Solution> FactSolver::Solve(const RunContext& ctx) {
     for (int attempt = 1; attempt <= options_.construction_retries;
          ++attempt) {
       if (out.interrupted || (out.status.ok() && out.p > 0)) break;
+      obs::Add(retries_counter);
       out = run_attempt(iter, attempt);
     }
     return out;
@@ -143,15 +200,29 @@ Result<Solution> FactSolver::Solve(const RunContext& ctx) {
       outcomes[static_cast<size_t>(iter)] = run_iteration(iter);
     }
   } else {
-    std::vector<std::future<IterationOutcome>> futures;
-    futures.reserve(static_cast<size_t>(iterations));
-    for (int iter = 0; iter < iterations; ++iter) {
-      futures.push_back(
-          std::async(std::launch::async, run_iteration, iter));
-    }
-    for (int iter = 0; iter < iterations; ++iter) {
-      outcomes[static_cast<size_t>(iter)] = futures[static_cast<size_t>(iter)].get();
-    }
+    // Small worker pool honoring construction_threads exactly: `threads`
+    // workers (this thread included) pull iteration ids from a shared
+    // counter. Outcomes land in a pre-sized vector slot per iteration, so
+    // no synchronization beyond the ticket counter and the joins.
+    obs::Histogram* per_thread = obs::GetHistogram(
+        metrics, "emp_construction_iterations_per_thread",
+        {0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+    std::atomic<int> next_iteration{0};
+    auto drain = [&]() {
+      int64_t processed = 0;
+      int iter;
+      while ((iter = next_iteration.fetch_add(
+                  1, std::memory_order_relaxed)) < iterations) {
+        outcomes[static_cast<size_t>(iter)] = run_iteration(iter);
+        ++processed;
+      }
+      obs::Observe(per_thread, static_cast<double>(processed));
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads - 1));
+    for (int t = 1; t < threads; ++t) pool.emplace_back(drain);
+    drain();
+    for (std::thread& worker : pool) worker.join();
   }
 
   // Deterministic selection: highest p, earliest iteration breaking ties —
@@ -164,6 +235,8 @@ Result<Solution> FactSolver::Solve(const RunContext& ctx) {
   MonotonicAdjustStats best_adjust;
   int completed_iterations = 0;
   std::optional<TerminationReason> construction_trip;
+  RegionGrowingStats growing_totals;
+  MonotonicAdjustStats adjust_totals;
   for (IterationOutcome& out : outcomes) {
     EMP_RETURN_IF_ERROR(out.status);
     if (out.interrupted.has_value()) {
@@ -171,6 +244,14 @@ Result<Solution> FactSolver::Solve(const RunContext& ctx) {
     } else {
       ++completed_iterations;
     }
+    growing_totals.regions_from_avg_seeds += out.growing.regions_from_avg_seeds;
+    growing_totals.regions_from_merging += out.growing.regions_from_merging;
+    growing_totals.algorithm1_reverts += out.growing.algorithm1_reverts;
+    growing_totals.regions_dissolved += out.growing.regions_dissolved;
+    adjust_totals.swaps += out.adjust.swaps;
+    adjust_totals.merges += out.adjust.merges;
+    adjust_totals.removals += out.adjust.removals;
+    adjust_totals.regions_dissolved += out.adjust.regions_dissolved;
     if (out.p > best_p) {
       best_p = out.p;
       best = std::move(out.partition);
@@ -191,9 +272,31 @@ Result<Solution> FactSolver::Solve(const RunContext& ctx) {
     solution.termination_reason = *construction_trip;
   }
 
+  if (metrics != nullptr) {
+    obs::GetCounter(metrics, "emp_construction_regions_grown_total")
+        ->Add(growing_totals.regions_from_avg_seeds +
+              growing_totals.regions_from_merging);
+    obs::GetCounter(metrics, "emp_construction_algorithm1_reverts_total")
+        ->Add(growing_totals.algorithm1_reverts);
+    obs::GetCounter(metrics, "emp_construction_regions_dissolved_total")
+        ->Add(growing_totals.regions_dissolved +
+              adjust_totals.regions_dissolved);
+    obs::GetCounter(metrics, "emp_construction_adjust_swaps_total")
+        ->Add(adjust_totals.swaps);
+    obs::GetCounter(metrics, "emp_construction_adjust_merges_total")
+        ->Add(adjust_totals.merges);
+    obs::GetCounter(metrics, "emp_construction_adjust_removals_total")
+        ->Add(adjust_totals.removals);
+    obs::GetGauge(metrics, "emp_construction_best_p")->Set(best_p);
+    obs::GetGauge(metrics, "emp_construction_threads")->Set(threads);
+    obs::GetGauge(metrics, "emp_construction_seconds")
+        ->Set(solution.construction_seconds);
+  }
+
   // ---- Phase 3: Tabu local search (p is fixed). -----------------------
   if (options_.run_local_search && best_p > 0) {
     Stopwatch tabu_timer;
+    obs::ScopedSpan span(ctx.trace, "tabu");
     PhaseSupervisor supervisor(&ctx, "tabu");
     EMP_ASSIGN_OR_RETURN(solution.tabu_result,
                          TabuSearch(options_, &connectivity, &*best,
@@ -203,6 +306,8 @@ Result<Solution> FactSolver::Solve(const RunContext& ctx) {
     if (solution.termination_reason == TerminationReason::kConverged) {
       solution.termination_reason = solution.tabu_result.termination;
     }
+    obs::Set(obs::GetGauge(metrics, "emp_tabu_seconds"),
+             solution.local_search_seconds);
   } else {
     solution.heterogeneity = solution.heterogeneity_before_local_search;
     solution.tabu_result.initial_heterogeneity = solution.heterogeneity;
@@ -211,6 +316,15 @@ Result<Solution> FactSolver::Solve(const RunContext& ctx) {
 
   // ---- Extract the final assignment. ----------------------------------
   FillAssignmentFromPartition(*best, &solution);
+  if (metrics != nullptr) {
+    obs::GetCounter(metrics, "emp_solver_evaluations_total")
+        ->Add(ctx.evaluations());
+    obs::GetGauge(metrics, "emp_solver_seconds")
+        ->Set(solve_timer.ElapsedSeconds());
+    obs::GetGauge(metrics, "emp_solution_p")->Set(solution.p());
+    obs::GetGauge(metrics, "emp_solution_heterogeneity")
+        ->Set(solution.heterogeneity);
+  }
   return solution;
 }
 

@@ -20,13 +20,26 @@ namespace emp {
 ///   3. Local search: Tabu search minimizing heterogeneity at constant p.
 ///
 /// Typical use:
-///   FactSolver solver(&areas, {Constraint::Sum("TOTALPOP", 20000,
-///                                              kNoUpperBound)});
+///   EMP_ASSIGN_OR_RETURN(
+///       FactSolver solver,
+///       FactSolver::Create(&areas, {Constraint::Sum("TOTALPOP", 20000,
+///                                                   kNoUpperBound)}));
 ///   EMP_ASSIGN_OR_RETURN(Solution sol, solver.Solve());
 class FactSolver {
  public:
-  /// `areas` must outlive the solver. Constraints are validated lazily in
-  /// Solve() so construction never fails.
+  /// Validating named constructor: checks `options` against its documented
+  /// domain, requires a non-null area set, and binds `constraints` against
+  /// the areas' attribute table — so malformed input surfaces as
+  /// kInvalidArgument HERE, before any time budget is spent. Prefer this
+  /// over the lazy constructor below.
+  static Result<FactSolver> Create(const AreaSet* areas,
+                                   std::vector<Constraint> constraints,
+                                   SolverOptions options = {});
+
+  /// Deprecated-in-docs lazy constructor: defers all validation to
+  /// Solve(), which re-checks everything Create() would have. Kept for
+  /// callers that want an infallible object; new code should use Create().
+  /// `areas` must outlive the solver.
   FactSolver(const AreaSet* areas, std::vector<Constraint> constraints,
              SolverOptions options = {});
 

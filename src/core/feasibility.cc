@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
 
 namespace emp {
 
@@ -29,6 +30,24 @@ Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound,
   report.is_invalid.assign(static_cast<size_t>(n), 0);
   report.is_seed.assign(static_cast<size_t>(n), 0);
 
+  // Telemetry: counts flow through locals and flush at every return site,
+  // so an interrupted scan still reports exactly what it covered.
+  obs::MetricRegistry* metrics =
+      (supervisor != nullptr && supervisor->context() != nullptr)
+          ? supervisor->context()->metrics
+          : nullptr;
+  int64_t areas_scanned = 0;
+  auto flush_metrics = [&](const FeasibilityReport& r) {
+    if (metrics == nullptr) return;
+    metrics->GetCounter("emp_feasibility_areas_scanned_total")
+        ->Add(areas_scanned);
+    metrics->GetGauge("emp_feasibility_invalid_areas")
+        ->Set(static_cast<double>(r.invalid_areas.size()));
+    metrics->GetGauge("emp_feasibility_seed_areas")
+        ->Set(static_cast<double>(r.num_seed_areas));
+    metrics->GetGauge("emp_feasibility_feasible")->Set(r.feasible ? 1.0 : 0.0);
+  };
+
   // Single pass: per-constraint attribute aggregates + invalidity flags.
   std::vector<double> min_v(static_cast<size_t>(m),
                             std::numeric_limits<double>::infinity());
@@ -37,7 +56,11 @@ Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound,
   std::vector<double> sum_v(static_cast<size_t>(m), 0.0);
 
   for (int32_t a = 0; a < n; ++a) {
-    if (supervisor != nullptr && supervisor->Check()) return report;
+    if (supervisor != nullptr && supervisor->Check()) {
+      flush_metrics(report);
+      return report;
+    }
+    ++areas_scanned;
     bool invalid = false;
     for (int ci = 0; ci < m; ++ci) {
       const Constraint& c = bound.constraint(ci);
@@ -130,7 +153,10 @@ Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound,
   const auto& extrema = bound.extrema_indices();
   report.seeds_per_extrema_constraint.assign(extrema.size(), 0);
   for (int32_t a = 0; a < n; ++a) {
-    if (supervisor != nullptr && supervisor->Check()) return report;
+    if (supervisor != nullptr && supervisor->Check()) {
+      flush_metrics(report);
+      return report;
+    }
     if (report.is_invalid[static_cast<size_t>(a)]) continue;
     bool seed = extrema.empty();
     for (size_t e = 0; e < extrema.size(); ++e) {
@@ -160,6 +186,7 @@ Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound,
         "all areas are invalid under the given constraints");
   }
 
+  flush_metrics(report);
   return report;
 }
 

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "core/local_search/heterogeneity.h"
 #include "core/local_search/move.h"
 #include "core/local_search/objective.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace emp {
 
@@ -91,12 +95,32 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
   std::vector<CandidateMove> candidates;
   int64_t no_improve = 0;
 
+  // Telemetry. Hot-loop counts accumulate in locals (zero atomic traffic
+  // inside the search) and flush once at the end; the heterogeneity
+  // trajectory is traced as instant events on each incumbent improvement,
+  // and iterations are grouped into epoch spans of 256 for the trace view.
+  const RunContext* run_ctx =
+      supervisor != nullptr ? supervisor->context() : nullptr;
+  obs::TraceBuffer* trace = run_ctx != nullptr ? run_ctx->trace : nullptr;
+  int64_t moves_tried = 0;
+  int64_t tabu_rejected = 0;
+  int64_t invalid_rejected = 0;
+  int64_t evaluations = 0;
+  constexpr int64_t kEpochIterations = 256;
+  std::optional<obs::ScopedSpan> epoch_span;
+  Stopwatch search_timer;
+
   while (no_improve < max_no_improve &&
          (options.tabu_max_iterations < 0 ||
           result.iterations < options.tabu_max_iterations)) {
     // One checkpoint per iteration; evaluations are charged afterwards,
     // once the candidate count for this neighborhood is known.
     if (supervisor != nullptr && supervisor->Check(0)) break;
+    if (trace != nullptr && result.iterations % kEpochIterations == 0) {
+      // optional::emplace destroys the previous span (closing it) before
+      // opening the next epoch's.
+      epoch_span.emplace(trace, "tabu.epoch");
+    }
     ++result.iterations;
 
     // Enumerate boundary moves and their exact H deltas. Inlined (no
@@ -128,6 +152,7 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
       }
     }
     if (candidates.empty()) break;
+    evaluations += static_cast<int64_t>(candidates.size());
     // Each scored candidate is one objective evaluation against the
     // budget; the trip takes effect at the next iteration's checkpoint.
     if (supervisor != nullptr &&
@@ -144,10 +169,15 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
     // lazily in delta order because it is the expensive part.
     bool applied = false;
     for (const CandidateMove& mv : candidates) {
+      ++moves_tried;
       const bool improves_best = tracker.total() + mv.delta < best_total - 1e-9;
-      if (is_tabu(TabuKey(mv.area, mv.to)) && !improves_best) continue;
+      if (is_tabu(TabuKey(mv.area, mv.to)) && !improves_best) {
+        ++tabu_rejected;
+        continue;
+      }
       if (!ConstraintPreservingMove(*partition, connectivity, mv.area,
                                     mv.from, mv.to)) {
+        ++invalid_rejected;
         continue;
       }
       // Apply. Objectives record the move BEFORE the partition mutates.
@@ -167,6 +197,9 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
         best_assignment = SnapshotAssignment(*partition);
         ++result.improving_moves;
         no_improve = 0;
+        if (trace != nullptr) {
+          trace->RecordInstant("tabu.heterogeneity", best_total);
+        }
       } else {
         ++no_improve;
       }
@@ -176,10 +209,34 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
     if (!applied) break;  // No admissible move in the whole neighborhood.
   }
 
+  epoch_span.reset();
   RestoreAssignment(best_assignment, partition);
   result.final_heterogeneity = best_total;
   if (supervisor != nullptr && supervisor->tripped().has_value()) {
     result.termination = *supervisor->tripped();
+  }
+
+  if (obs::MetricRegistry* metrics =
+          run_ctx != nullptr ? run_ctx->metrics : nullptr;
+      metrics != nullptr) {
+    metrics->GetCounter("emp_tabu_iterations_total")->Add(result.iterations);
+    metrics->GetCounter("emp_tabu_moves_tried_total")->Add(moves_tried);
+    metrics->GetCounter("emp_tabu_moves_applied_total")
+        ->Add(result.moves_applied);
+    metrics->GetCounter("emp_tabu_moves_tabu_rejected_total")
+        ->Add(tabu_rejected);
+    metrics->GetCounter("emp_tabu_moves_invalid_total")->Add(invalid_rejected);
+    metrics->GetCounter("emp_tabu_improving_moves_total")
+        ->Add(result.improving_moves);
+    metrics->GetGauge("emp_tabu_initial_heterogeneity")
+        ->Set(result.initial_heterogeneity);
+    metrics->GetGauge("emp_tabu_final_heterogeneity")
+        ->Set(result.final_heterogeneity);
+    const double elapsed = search_timer.ElapsedSeconds();
+    if (elapsed > 0) {
+      metrics->GetGauge("emp_tabu_evaluations_per_second")
+          ->Set(static_cast<double>(evaluations) / elapsed);
+    }
   }
   return result;
 }

@@ -1,6 +1,6 @@
 #include "core/report.h"
 
-#include "common/str_util.h"
+#include "common/json_writer.h"
 #include "constraints/constraint_set.h"
 #include "constraints/region_stats.h"
 #include "core/metrics.h"
@@ -9,31 +9,16 @@ namespace emp {
 
 namespace {
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
+/// Numbers with the repo's bound sentinels rendered as "inf"/"-inf"
+/// strings (JSON has no infinity literal).
+void WriteNumber(JsonWriter* w, double v) {
+  if (v == kNoUpperBound) {
+    w->String("inf");
+  } else if (v == kNoLowerBound) {
+    w->String("-inf");
+  } else {
+    w->Double(v);
   }
-  return out;
-}
-
-std::string JsonNumber(double v) {
-  if (v == kNoUpperBound) return "\"inf\"";
-  if (v == kNoLowerBound) return "\"-inf\"";
-  return FormatDouble(v, 6);
 }
 
 }  // namespace
@@ -46,80 +31,78 @@ Result<std::string> SolutionToJson(const AreaSet& areas,
   EMP_ASSIGN_OR_RETURN(SolutionMetrics metrics,
                        ComputeMetrics(areas, solution));
 
-  std::string out = "{\n";
-  out += "  \"dataset\": \"" + JsonEscape(areas.name()) + "\",\n";
-  out += "  \"num_areas\": " + std::to_string(areas.num_areas()) + ",\n";
+  ReportBuilder report;
+  JsonWriter& w = report.writer();
+  report.Field("dataset", areas.name())
+      .Field("num_areas", static_cast<int64_t>(areas.num_areas()));
 
-  out += "  \"query\": [";
+  report.Key("query");
+  w.BeginInlineArray();
   for (int ci = 0; ci < bound.size(); ++ci) {
-    if (ci > 0) out += ", ";
-    out += "\"" + JsonEscape(bound.constraint(ci).ToString()) + "\"";
+    w.String(bound.constraint(ci).ToString());
   }
-  out += "],\n";
+  w.EndArray();
 
-  out += "  \"p\": " + std::to_string(solution.p()) + ",\n";
-  out += "  \"unassigned\": " + std::to_string(solution.num_unassigned()) +
-         ",\n";
-  out += "  \"heterogeneity\": " + JsonNumber(solution.heterogeneity) + ",\n";
-  out += "  \"heterogeneity_before_local_search\": " +
-         JsonNumber(solution.heterogeneity_before_local_search) + ",\n";
-  out += "  \"heterogeneity_improvement\": " +
-         JsonNumber(solution.HeterogeneityImprovement()) + ",\n";
-  out += "  \"feasibility_seconds\": " +
-         JsonNumber(solution.feasibility_seconds) + ",\n";
-  out += "  \"construction_seconds\": " +
-         JsonNumber(solution.construction_seconds) + ",\n";
-  out += "  \"local_search_seconds\": " +
-         JsonNumber(solution.local_search_seconds) + ",\n";
-  out += "  \"termination_reason\": \"";
-  out += TerminationReasonName(solution.termination_reason);
-  out += "\",\n";
-  out += "  \"completed_construction_iterations\": " +
-         std::to_string(solution.completed_construction_iterations) + ",\n";
-  out += "  \"size_gini\": " + JsonNumber(metrics.size_gini) + ",\n";
-  out += "  \"mean_compactness\": " + JsonNumber(metrics.mean_compactness) +
-         ",\n";
+  report.Field("p", solution.p())
+      .Field("unassigned", static_cast<int64_t>(solution.num_unassigned()));
+  report.Key("heterogeneity");
+  WriteNumber(&w, solution.heterogeneity);
+  report.Key("heterogeneity_before_local_search");
+  WriteNumber(&w, solution.heterogeneity_before_local_search);
+  report.Key("heterogeneity_improvement");
+  WriteNumber(&w, solution.HeterogeneityImprovement());
+  report.Field("feasibility_seconds", solution.feasibility_seconds)
+      .Field("construction_seconds", solution.construction_seconds)
+      .Field("local_search_seconds", solution.local_search_seconds)
+      .Field("termination_reason",
+             TerminationReasonName(solution.termination_reason))
+      .Field("completed_construction_iterations",
+             static_cast<int64_t>(solution.completed_construction_iterations))
+      .Field("size_gini", metrics.size_gini)
+      .Field("mean_compactness", metrics.mean_compactness);
 
-  out += "  \"feasibility_diagnostics\": [";
-  for (size_t i = 0; i < solution.feasibility.diagnostics.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += "\"" + JsonEscape(solution.feasibility.diagnostics[i]) + "\"";
+  report.Key("feasibility_diagnostics");
+  w.BeginInlineArray();
+  for (const std::string& diag : solution.feasibility.diagnostics) {
+    w.String(diag);
   }
-  out += "],\n";
+  w.EndArray();
 
-  out += "  \"regions\": [\n";
+  report.Key("regions");
+  w.BeginArray();
   for (size_t rid = 0; rid < solution.regions.size(); ++rid) {
     RegionStats stats(&bound);
     for (int32_t a : solution.regions[rid]) stats.Add(a);
-    out += "    {\"id\": " + std::to_string(rid) + ", \"size\": " +
-           std::to_string(solution.regions[rid].size()) +
-           ", \"aggregates\": {";
+    w.BeginInlineObject();
+    w.Key("id");
+    w.Int(static_cast<int64_t>(rid));
+    w.Key("size");
+    w.Int(static_cast<int64_t>(solution.regions[rid].size()));
+    w.Key("aggregates");
+    w.BeginInlineObject();
     for (int ci = 0; ci < bound.size(); ++ci) {
-      if (ci > 0) out += ", ";
       const Constraint& c = bound.constraint(ci);
       std::string key(AggregateName(c.aggregate));
       key += "(" + (c.aggregate == Aggregate::kCount ? "*" : c.attribute) +
              ")";
-      out += "\"" + JsonEscape(key) +
-             "\": " + JsonNumber(stats.AggregateValue(ci));
+      w.Key(key);
+      WriteNumber(&w, stats.AggregateValue(ci));
     }
-    out += "}, \"areas\": [";
-    for (size_t i = 0; i < solution.regions[rid].size(); ++i) {
-      if (i > 0) out += ",";
-      out += std::to_string(solution.regions[rid][i]);
-    }
-    out += "]}";
-    out += rid + 1 < solution.regions.size() ? ",\n" : "\n";
+    w.EndObject();
+    w.Key("areas");
+    w.BeginInlineArray();
+    for (int32_t a : solution.regions[rid]) w.Int(a);
+    w.EndArray();
+    w.EndObject();
   }
-  out += "  ],\n";
+  w.EndArray();
 
-  out += "  \"unassigned_areas\": [";
-  for (size_t i = 0; i < solution.unassigned.size(); ++i) {
-    if (i > 0) out += ",";
-    out += std::to_string(solution.unassigned[i]);
-  }
-  out += "]\n}\n";
-  return out;
+  report.Key("unassigned_areas");
+  w.BeginInlineArray();
+  for (int32_t a : solution.unassigned) w.Int(a);
+  w.EndArray();
+
+  return std::move(report).Finish() + "\n";
 }
 
 }  // namespace emp

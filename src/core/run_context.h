@@ -11,6 +11,11 @@
 
 namespace emp {
 
+namespace obs {
+class MetricRegistry;
+class TraceBuffer;
+}  // namespace obs
+
 /// Why a solve (or one of its phases) stopped. Recorded in
 /// Solution::termination_reason so callers can tell a converged result
 /// from a best-effort one returned under a deadline or cancellation.
@@ -124,6 +129,13 @@ struct RunContext {
       const SupervisionCheckpoint&)>
       fault_hook;
 
+  /// Telemetry sinks (see src/obs/). Null by default: instrumented code
+  /// resolves metric handles / spans only when these are attached, so a
+  /// disabled run pays ~one branch per instrumentation site. Both must
+  /// outlive the solve and are thread-safe under parallel construction.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceBuffer* trace = nullptr;
+
   /// Solve-wide evaluation counter shared by all copies of this context.
   std::shared_ptr<std::atomic<int64_t>> evaluations_spent =
       std::make_shared<std::atomic<int64_t>>(0);
@@ -163,6 +175,10 @@ class PhaseSupervisor {
   std::optional<TerminationReason> tripped() const { return tripped_; }
 
   int64_t checkpoints() const { return checkpoints_; }
+
+  /// The supervised context (may be null). Instrumented phases use this to
+  /// reach RunContext::metrics / trace without widening every signature.
+  const RunContext* context() const { return ctx_; }
 
  private:
   const RunContext* ctx_;

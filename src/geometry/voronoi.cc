@@ -6,6 +6,7 @@
 
 #include "geometry/clip.h"
 #include "geometry/spatial_index.h"
+#include "obs/metrics.h"
 
 namespace emp {
 
@@ -96,6 +97,13 @@ Result<VoronoiDiagram> ComputeVoronoi(const std::vector<Point>& sites,
 
   std::vector<std::set<int32_t>> adj(n);
 
+  obs::Counter* cells_built =
+      obs::GetCounter(options.metrics, "emp_voronoi_cells_total");
+  obs::Counter* knn_doublings =
+      obs::GetCounter(options.metrics, "emp_voronoi_knn_doublings_total");
+  obs::Counter* uncertified =
+      obs::GetCounter(options.metrics, "emp_voronoi_uncertified_cells_total");
+
   for (int32_t i = 0; i < n; ++i) {
     int k = std::min(options.initial_knn, n - 1);
     CellAttempt attempt;
@@ -103,7 +111,10 @@ Result<VoronoiDiagram> ComputeVoronoi(const std::vector<Point>& sites,
       attempt = BuildCell(index, i, frame_poly, k);
       if (attempt.certified || k >= std::min(options.max_knn, n - 1)) break;
       k = std::min(k * 2, std::min(options.max_knn, n - 1));
+      obs::Add(knn_doublings);
     }
+    obs::Add(cells_built);
+    if (!attempt.certified) obs::Add(uncertified);
     if (attempt.cell.empty()) {
       return Status::InvalidArgument(
           "ComputeVoronoi: degenerate cell for site " + std::to_string(i) +

@@ -10,6 +10,10 @@
 
 namespace emp {
 
+namespace obs {
+class MetricRegistry;
+}  // namespace obs
+
 /// A bounded Voronoi diagram: one convex cell per input site, clipped to a
 /// rectangular frame, with the cell-to-cell adjacency extracted from the
 /// bisectors that actually bound each cell. This is the substrate that
@@ -29,6 +33,9 @@ struct VoronoiOptions {
   int initial_knn = 16;
   /// Hard cap on the neighbor count per cell (guards pathological inputs).
   int max_knn = 1024;
+  /// Optional telemetry sink (null = off): records cells built, knn
+  /// doublings, and cells that hit max_knn uncertified.
+  obs::MetricRegistry* metrics = nullptr;
 };
 
 /// Computes the bounded Voronoi diagram of `sites` inside `frame`.

@@ -1,0 +1,110 @@
+#include "obs/export.h"
+
+#include <cmath>
+
+#include "common/json_writer.h"
+#include "common/str_util.h"
+
+namespace emp {
+namespace obs {
+
+namespace {
+
+/// Prometheus sample value: integers render bare, doubles compactly.
+std::string PromDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  return FormatDouble(v, 9);
+}
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    w.Key(name);
+    w.Int(value);
+  }
+  w.EndObject();
+
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.Key(name);
+    w.Double(value);
+  }
+  w.EndObject();
+
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, data] : snapshot.histograms) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("buckets");
+    w.BeginArray();
+    for (size_t i = 0; i < data.counts.size(); ++i) {
+      w.BeginInlineObject();
+      w.Key("le");
+      // The final bucket is +Inf, which JSON cannot express as a number.
+      if (i < data.bounds.size()) {
+        w.Double(data.bounds[i]);
+      } else {
+        w.String("+Inf");
+      }
+      w.Key("count");
+      w.Int(data.counts[i]);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("sum");
+    w.Double(data.sum);
+    w.Key("count");
+    w.Int(data.count);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return std::move(w).TakeString();
+}
+
+std::string MetricsToJson(const MetricRegistry& registry) {
+  return MetricsToJson(registry.Snapshot());
+}
+
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + PromDouble(value) + "\n";
+  }
+  for (const auto& [name, data] : snapshot.histograms) {
+    out += "# TYPE " + name + " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < data.counts.size(); ++i) {
+      cumulative += data.counts[i];
+      const std::string le =
+          i < data.bounds.size() ? PromDouble(data.bounds[i]) : "+Inf";
+      out += name + "_bucket{le=\"" + le +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + PromDouble(data.sum) + "\n";
+    out += name + "_count " + std::to_string(data.count) + "\n";
+  }
+  return out;
+}
+
+std::string MetricsToPrometheus(const MetricRegistry& registry) {
+  return MetricsToPrometheus(registry.Snapshot());
+}
+
+}  // namespace obs
+}  // namespace emp

@@ -1,0 +1,35 @@
+#ifndef EMP_OBS_EXPORT_H_
+#define EMP_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace emp {
+namespace obs {
+
+/// Serializes a snapshot as a JSON document (via JsonWriter):
+///   {
+///     "counters": {"emp_tabu_iterations_total": 41, ...},
+///     "gauges": {"emp_construction_best_p": 12, ...},
+///     "histograms": {
+///       "emp_construction_iteration_seconds": {
+///         "buckets": [{"le": 0.0001, "count": 0}, ...],   // +Inf last
+///         "sum": 0.123, "count": 3
+///       }
+///     }
+///   }
+/// Keys are name-sorted, so equal metric states export byte-identically.
+std::string MetricsToJson(const MetricsSnapshot& snapshot);
+std::string MetricsToJson(const MetricRegistry& registry);
+
+/// Serializes a snapshot in the Prometheus text exposition format
+/// (# TYPE comments, cumulative histogram buckets with le labels,
+/// _sum/_count series). Name-sorted and deterministic like the JSON form.
+std::string MetricsToPrometheus(const MetricsSnapshot& snapshot);
+std::string MetricsToPrometheus(const MetricRegistry& registry);
+
+}  // namespace obs
+}  // namespace emp
+
+#endif  // EMP_OBS_EXPORT_H_

@@ -1,0 +1,145 @@
+#ifndef EMP_OBS_METRICS_H_
+#define EMP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace emp {
+namespace obs {
+
+/// Monotonically increasing event count. Add() is lock-free (one relaxed
+/// atomic add) and safe from any thread, including the parallel
+/// construction workers.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written instantaneous value (best p so far, final heterogeneity,
+/// phase seconds). Set/value are single atomic stores/loads.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (Prometheus-style cumulative export): bucket i
+/// counts observations <= bounds[i], with an implicit +Inf bucket.
+/// Observe() is wait-free per bucket (relaxed atomic adds); the sum uses a
+/// CAS loop, acceptable at telemetry rates.
+class Histogram {
+ public:
+  /// `bounds` must be strictly increasing; empty bounds give a single
+  /// +Inf bucket (count/sum only).
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts, one per bound plus the +Inf
+  /// bucket at the back.
+  std::vector<int64_t> bucket_counts() const;
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default bucket bounds for phase / sub-step durations in seconds.
+std::vector<double> DefaultSecondsBuckets();
+
+/// Point-in-time copy of every registered metric, name-sorted — the
+/// exporters' input, decoupled from concurrent writers.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<int64_t> counts;  // per-bucket, +Inf last
+    int64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+};
+
+/// Thread-safe registry of named metrics. Get*() registers on first use
+/// and returns a stable pointer — resolve handles once per phase, then
+/// update lock-free on the hot path. Metric names follow the
+/// `emp_<phase>_<quantity>[_total]` scheme documented in DESIGN.md §7.
+///
+/// Solvers reach the registry through RunContext::metrics, which is null
+/// by default: every instrumentation site degrades to a single
+/// null-pointer branch when telemetry is off.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// Registers with `bounds` on first use; later calls for the same name
+  /// return the existing histogram regardless of bounds.
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<double> bounds = DefaultSecondsBuckets());
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Null-safe helpers: resolve a handle only when a registry is attached,
+/// and update only when the handle resolved. Instrumentation sites use
+/// these so disabled telemetry costs one branch.
+inline Counter* GetCounter(MetricRegistry* registry, std::string_view name) {
+  return registry != nullptr ? registry->GetCounter(name) : nullptr;
+}
+inline Gauge* GetGauge(MetricRegistry* registry, std::string_view name) {
+  return registry != nullptr ? registry->GetGauge(name) : nullptr;
+}
+inline Histogram* GetHistogram(MetricRegistry* registry,
+                               std::string_view name) {
+  return registry != nullptr ? registry->GetHistogram(name) : nullptr;
+}
+inline Histogram* GetHistogram(MetricRegistry* registry, std::string_view name,
+                               std::vector<double> bounds) {
+  return registry != nullptr
+             ? registry->GetHistogram(name, std::move(bounds))
+             : nullptr;
+}
+inline void Add(Counter* counter, int64_t n = 1) {
+  if (counter != nullptr) counter->Add(n);
+}
+inline void Set(Gauge* gauge, double v) {
+  if (gauge != nullptr) gauge->Set(v);
+}
+inline void Observe(Histogram* histogram, double v) {
+  if (histogram != nullptr) histogram->Observe(v);
+}
+
+}  // namespace obs
+}  // namespace emp
+
+#endif  // EMP_OBS_METRICS_H_

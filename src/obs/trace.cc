@@ -1,0 +1,92 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/json_writer.h"
+
+namespace emp {
+namespace obs {
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity), epoch_(Clock::now()) {
+  events_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+int64_t TraceBuffer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch_)
+      .count();
+}
+
+void TraceBuffer::RecordSpan(std::string_view name, int64_t start_us,
+                             int64_t end_us, int64_t worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{std::string(name), start_us,
+                               end_us - start_us, worker, 0.0});
+}
+
+void TraceBuffer::RecordInstant(std::string_view name, double value,
+                                int64_t worker) {
+  const int64_t now = NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(TraceEvent{std::string(name), now, -1, worker, value});
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+int64_t TraceBuffer::dropped_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceBuffer::ToJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const TraceEvent& ev : events) {
+    w.BeginInlineObject();
+    w.Key("name");
+    w.String(ev.name);
+    w.Key("ph");
+    w.String(ev.duration_us >= 0 ? "X" : "i");
+    w.Key("ts");
+    w.Int(ev.start_us);
+    if (ev.duration_us >= 0) {
+      w.Key("dur");
+      w.Int(ev.duration_us);
+    }
+    w.Key("pid");
+    w.Int(0);
+    w.Key("tid");
+    w.Int(ev.worker);
+    if (ev.duration_us < 0) {
+      w.Key("args");
+      w.BeginInlineObject();
+      w.Key("value");
+      w.Double(ev.value);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("droppedEvents");
+  w.Int(dropped_events());
+  w.EndObject();
+  return std::move(w).TakeString();
+}
+
+}  // namespace obs
+}  // namespace emp

@@ -1,0 +1,101 @@
+#ifndef EMP_OBS_TRACE_H_
+#define EMP_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emp {
+namespace obs {
+
+/// One recorded span or instant. Timestamps are microseconds since the
+/// owning TraceBuffer was constructed (a solve-local epoch, so traces from
+/// one run line up regardless of wall-clock).
+struct TraceEvent {
+  std::string name;
+  int64_t start_us = 0;
+  /// Span duration; -1 marks an instant event (a point sample such as one
+  /// heterogeneity-trajectory reading).
+  int64_t duration_us = -1;
+  /// Logical track: 0 for the orchestrating thread, the construction
+  /// iteration id for per-iteration spans.
+  int64_t worker = 0;
+  /// Optional sample payload (instant events); 0 for plain spans.
+  double value = 0.0;
+};
+
+/// Bounded, thread-safe, in-memory trace sink. When full, NEW events are
+/// dropped (and counted) rather than evicting old ones — the early events
+/// carry the phase hierarchy that makes the rest readable.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 8192);
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Microseconds since construction (the timestamps' epoch).
+  int64_t NowMicros() const;
+
+  /// Records a completed span.
+  void RecordSpan(std::string_view name, int64_t start_us, int64_t end_us,
+                  int64_t worker);
+
+  /// Records an instant sample (e.g. the tabu heterogeneity trajectory).
+  void RecordInstant(std::string_view name, double value, int64_t worker = 0);
+
+  std::vector<TraceEvent> Snapshot() const;
+  size_t capacity() const { return capacity_; }
+  int64_t dropped_events() const;
+
+  /// Serializes the buffer as a Chrome trace-viewer compatible JSON
+  /// document ({"traceEvents": [...]}, "X" phases for spans, "i" for
+  /// instants) via JsonWriter; loadable in about://tracing or Perfetto.
+  std::string ToJson() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const size_t capacity_;
+  const Clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  int64_t dropped_ = 0;
+};
+
+/// RAII span: captures the start time at construction and records
+/// [start, now] into the buffer at destruction. A null buffer makes every
+/// operation a no-op, so call sites need no enabled/disabled branches of
+/// their own. Spans nest naturally — phase → construction iteration →
+/// tabu epoch — because inner spans destruct first.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceBuffer* buffer, std::string_view name, int64_t worker = 0)
+      : buffer_(buffer), worker_(worker) {
+    if (buffer_ != nullptr) {
+      name_ = name;
+      start_us_ = buffer_->NowMicros();
+    }
+  }
+  ~ScopedSpan() {
+    if (buffer_ != nullptr) {
+      buffer_->RecordSpan(name_, start_us_, buffer_->NowMicros(), worker_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceBuffer* buffer_;
+  std::string name_;
+  int64_t start_us_ = 0;
+  int64_t worker_;
+};
+
+}  // namespace obs
+}  // namespace emp
+
+#endif  // EMP_OBS_TRACE_H_

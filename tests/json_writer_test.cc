@@ -1,0 +1,167 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace emp {
+namespace {
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  {
+    JsonWriter w;
+    w.BeginObject();
+    w.EndObject();
+    EXPECT_EQ(w.str(), "{}");
+  }
+  {
+    JsonWriter w;
+    w.BeginArray();
+    w.EndArray();
+    EXPECT_EQ(w.str(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, PrettyObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("p");
+  w.Int(12);
+  w.Key("name");
+  w.String("solve");
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\n  \"p\": 12,\n  \"name\": \"solve\"\n}");
+}
+
+TEST(JsonWriterTest, CompactModeSingleLine) {
+  JsonWriter w(/*indent=*/0);
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\": [1, 2]}");
+}
+
+TEST(JsonWriterTest, InlineArrayInsidePrettyDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("areas");
+  w.BeginInlineArray();
+  w.Int(3);
+  w.Int(1);
+  w.Int(4);
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\n  \"areas\": [3, 1, 4]\n}");
+}
+
+TEST(JsonWriterTest, NestedContainersInheritInline) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("rows");
+  w.BeginInlineObject();
+  w.Key("inner");
+  w.BeginArray();  // nested inside an inline parent -> renders inline too
+  w.Int(1);
+  w.EndArray();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\n  \"rows\": {\"inner\": [1]}\n}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::Escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::Escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::Escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::Escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonWriterTest, DoubleFormatting) {
+  JsonWriter w(0);
+  w.BeginArray();
+  w.Double(1.5);
+  w.Double(2.0);                // integral value, no trailing zeros
+  w.Double(1.0 / 3.0, 3);      // custom precision
+  w.Double(std::nan(""));      // non-finite -> null
+  w.Double(1.0 / 0.0);         // +inf -> null
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[1.5, 2, 0.333, null, null]");
+}
+
+TEST(JsonWriterTest, BoolAndNull) {
+  JsonWriter w(0);
+  w.BeginArray();
+  w.Bool(true);
+  w.Bool(false);
+  w.Null();
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[true, false, null]");
+}
+
+TEST(JsonWriterTest, OutputParsesBack) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("weird \"key\"\n");
+  w.String("value\twith\\escapes");
+  w.Key("list");
+  w.BeginInlineArray();
+  for (int i = 0; i < 5; ++i) w.Int(i * 10);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("x");
+  w.Double(-2.25);
+  w.EndObject();
+  w.EndObject();
+
+  auto doc = json::Parse(w.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* list = doc->Find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->AsArray().size(), 5u);
+  EXPECT_EQ(list->AsArray()[3].AsNumber(), 30);
+  const json::Value* key = doc->Find("weird \"key\"\n");
+  ASSERT_NE(key, nullptr);
+  EXPECT_EQ(key->AsString(), "value\twith\\escapes");
+  EXPECT_EQ(doc->Find("nested")->Find("x")->AsNumber(), -2.25);
+}
+
+TEST(ReportBuilderTest, FlatFields) {
+  ReportBuilder b;
+  b.Field("name", "emp").Field("count", int64_t{3}).Field("ratio", 0.5);
+  b.Field("ok", true);
+  std::string text = std::move(b).Finish();
+  auto doc = json::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("name")->AsString(), "emp");
+  EXPECT_EQ(doc->Find("count")->AsNumber(), 3);
+  EXPECT_EQ(doc->Find("ratio")->AsNumber(), 0.5);
+  EXPECT_TRUE(doc->Find("ok")->AsBool());
+}
+
+TEST(ReportBuilderTest, WriterEscapeHatchForNestedStructure) {
+  ReportBuilder b;
+  b.Field("p", int32_t{7});
+  b.Key("regions");
+  JsonWriter& w = b.writer();
+  w.BeginArray();
+  w.BeginInlineObject();
+  w.Key("id");
+  w.Int(0);
+  w.EndObject();
+  w.EndArray();
+  std::string text = std::move(b).Finish();
+  auto doc = json::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->Find("regions")->is_array());
+  EXPECT_EQ(doc->Find("regions")->AsArray()[0].Find("id")->AsNumber(), 0);
+}
+
+}  // namespace
+}  // namespace emp

@@ -112,5 +112,22 @@ TEST(MaxPRegionsTest, DeterministicForFixedSeed) {
   EXPECT_EQ(a->region_of, b->region_of);
 }
 
+TEST(MaxPRegionsTest, CreateValidatesEagerly) {
+  AreaSet areas = Grid5();
+  EXPECT_FALSE(MaxPRegionsSolver::Create(nullptr, "pop", 25).ok());
+  EXPECT_FALSE(MaxPRegionsSolver::Create(&areas, "no_such_attr", 25).ok());
+  EXPECT_FALSE(MaxPRegionsSolver::Create(&areas, "pop", 0).ok());
+  EXPECT_FALSE(MaxPRegionsSolver::Create(&areas, "pop", -5).ok());
+  SolverOptions bad;
+  bad.construction_iterations = 0;
+  EXPECT_FALSE(MaxPRegionsSolver::Create(&areas, "pop", 25, bad).ok());
+
+  auto solver = MaxPRegionsSolver::Create(&areas, "pop", 25);
+  ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+  auto sol = solver->Solve();
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_GE(sol->p(), 1);
+}
+
 }  // namespace
 }  // namespace emp

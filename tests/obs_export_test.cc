@@ -1,0 +1,119 @@
+#include "obs/export.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace emp {
+namespace obs {
+namespace {
+
+/// The fixed registry state behind the golden files. Regenerate the
+/// fixtures by running this test with EMP_REGENERATE_GOLDEN=1 in the
+/// environment, then inspect the diff.
+void FillGoldenRegistry(MetricRegistry* registry) {
+  registry->GetCounter("emp_tabu_iterations_total")->Add(41);
+  registry->GetCounter("emp_construction_iterations_total")->Add(3);
+  registry->GetGauge("emp_construction_best_p")->Set(12);
+  registry->GetGauge("emp_tabu_final_heterogeneity")->Set(1234.5625);
+  Histogram* h = registry->GetHistogram("emp_construction_iteration_seconds",
+                                        {0.001, 0.01, 0.1});
+  h->Observe(0.0005);
+  h->Observe(0.05);
+  h->Observe(0.05);
+  h->Observe(2.0);
+}
+
+std::string FixturePath(const std::string& name) {
+  return std::string(EMP_TEST_FIXTURE_DIR) + "/golden/" + name;
+}
+
+void CompareToGolden(const std::string& actual, const std::string& fixture) {
+  if (std::getenv("EMP_REGENERATE_GOLDEN") != nullptr) {
+    ASSERT_TRUE(WriteFile(FixturePath(fixture), actual).ok());
+    GTEST_SKIP() << "regenerated " << fixture;
+  }
+  auto expected = ReadFile(FixturePath(fixture));
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  EXPECT_EQ(actual, *expected) << "golden mismatch for " << fixture
+                               << "; rerun with EMP_REGENERATE_GOLDEN=1 if "
+                                  "the change is intended";
+}
+
+TEST(MetricsExportTest, JsonMatchesGoldenFile) {
+  MetricRegistry registry;
+  FillGoldenRegistry(&registry);
+  CompareToGolden(MetricsToJson(registry), "metrics_export.json");
+}
+
+TEST(MetricsExportTest, PrometheusMatchesGoldenFile) {
+  MetricRegistry registry;
+  FillGoldenRegistry(&registry);
+  CompareToGolden(MetricsToPrometheus(registry), "metrics_export.prom");
+}
+
+TEST(MetricsExportTest, JsonRoundTripsThroughParser) {
+  MetricRegistry registry;
+  FillGoldenRegistry(&registry);
+  auto doc = json::Parse(MetricsToJson(registry));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  const json::Value* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->Find("emp_tabu_iterations_total")->AsNumber(), 41);
+
+  const json::Value* gauges = doc->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_EQ(gauges->Find("emp_construction_best_p")->AsNumber(), 12);
+
+  const json::Value* hist =
+      doc->Find("histograms")->Find("emp_construction_iteration_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->AsNumber(), 4);
+  const auto& buckets = hist->Find("buckets")->AsArray();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + +Inf
+  EXPECT_EQ(buckets[0].Find("count")->AsNumber(), 1);
+  EXPECT_EQ(buckets[2].Find("count")->AsNumber(), 2);
+  EXPECT_EQ(buckets[3].Find("le")->AsString(), "+Inf");
+  EXPECT_EQ(buckets[3].Find("count")->AsNumber(), 1);
+}
+
+TEST(MetricsExportTest, PrometheusBucketsAreCumulative) {
+  MetricRegistry registry;
+  FillGoldenRegistry(&registry);
+  std::string text = MetricsToPrometheus(registry);
+  EXPECT_NE(text.find("# TYPE emp_tabu_iterations_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE emp_construction_best_p gauge"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "emp_construction_iteration_seconds_bucket{le=\"0.001\"} 1"),
+      std::string::npos);
+  // Cumulative: the 0.1 bucket includes the two 0.05 observations plus the
+  // one below 0.001.
+  EXPECT_NE(
+      text.find("emp_construction_iteration_seconds_bucket{le=\"0.1\"} 3"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("emp_construction_iteration_seconds_bucket{le=\"+Inf\"} 4"),
+      std::string::npos);
+  EXPECT_NE(text.find("emp_construction_iteration_seconds_count 4"),
+            std::string::npos);
+}
+
+TEST(MetricsExportTest, EmptyRegistryExports) {
+  MetricRegistry registry;
+  auto doc = json::Parse(MetricsToJson(registry));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc->Find("counters")->is_object());
+  EXPECT_EQ(MetricsToPrometheus(registry), "");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace emp

@@ -1,0 +1,120 @@
+#include "obs/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace emp {
+namespace obs {
+namespace {
+
+TEST(CounterTest, AddsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+}
+
+TEST(HistogramTest, BucketsObservationsByBound) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0 (<= 1)
+  h.Observe(1.0);    // bucket 0 (le is inclusive)
+  h.Observe(5.0);    // bucket 1
+  h.Observe(50.0);   // bucket 2
+  h.Observe(500.0);  // +Inf bucket
+  std::vector<int64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(h.count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 556.5);
+}
+
+TEST(HistogramTest, EmptyBoundsGiveSingleInfBucket) {
+  Histogram h({});
+  h.Observe(123.0);
+  std::vector<int64_t> counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0], 1);
+}
+
+TEST(MetricRegistryTest, HandlesAreStableAndSharedByName) {
+  MetricRegistry registry;
+  Counter* a = registry.GetCounter("emp_x_total");
+  Counter* b = registry.GetCounter("emp_x_total");
+  EXPECT_EQ(a, b);
+  a->Add(7);
+  EXPECT_EQ(b->value(), 7);
+  EXPECT_NE(static_cast<void*>(registry.GetGauge("emp_x_total")),
+            static_cast<void*>(a));  // separate namespace per metric kind
+}
+
+TEST(MetricRegistryTest, SnapshotIsNameSorted) {
+  MetricRegistry registry;
+  registry.GetCounter("emp_zeta_total")->Add(1);
+  registry.GetCounter("emp_alpha_total")->Add(2);
+  registry.GetGauge("emp_mid")->Set(0.5);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "emp_alpha_total");
+  EXPECT_EQ(snap.counters[0].second, 2);
+  EXPECT_EQ(snap.counters[1].first, "emp_zeta_total");
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].first, "emp_mid");
+}
+
+TEST(MetricRegistryTest, NullSafeHelpersNoOpOnNullRegistry) {
+  EXPECT_EQ(GetCounter(nullptr, "x"), nullptr);
+  EXPECT_EQ(GetGauge(nullptr, "x"), nullptr);
+  EXPECT_EQ(GetHistogram(nullptr, "x"), nullptr);
+  // Null handles must be ignorable too.
+  Add(nullptr);
+  Set(nullptr, 1.0);
+  Observe(nullptr, 1.0);
+}
+
+// The acceptance property for telemetry under parallel construction:
+// counters written from many threads lose nothing.
+TEST(MetricRegistryTest, ConcurrentCountersSumExactly) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry] {
+      // Half the increments resolve the handle every time (exercising the
+      // registry mutex), half reuse a resolved handle (the hot path).
+      Counter* hot = registry.GetCounter("emp_test_hot_total");
+      Histogram* h = registry.GetHistogram("emp_test_seconds");
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        registry.GetCounter("emp_test_cold_total")->Add();
+        hot->Add();
+        h->Observe(0.001);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(registry.GetCounter("emp_test_cold_total")->value(),
+            kThreads * kPerThread);
+  EXPECT_EQ(registry.GetCounter("emp_test_hot_total")->value(),
+            kThreads * kPerThread);
+  Histogram* h = registry.GetHistogram("emp_test_seconds");
+  EXPECT_EQ(h->count(), kThreads * kPerThread);
+  EXPECT_NEAR(h->sum(), 0.001 * kThreads * kPerThread, 1e-6);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace emp

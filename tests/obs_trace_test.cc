@@ -1,0 +1,75 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace emp {
+namespace obs {
+namespace {
+
+TEST(TraceBufferTest, RecordsSpansAndInstants) {
+  TraceBuffer buffer;
+  buffer.RecordSpan("construction", 10, 250, /*worker=*/2);
+  buffer.RecordInstant("tabu.heterogeneity", 123.5);
+  std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "construction");
+  EXPECT_EQ(events[0].start_us, 10);
+  EXPECT_EQ(events[0].duration_us, 240);
+  EXPECT_EQ(events[0].worker, 2);
+  EXPECT_EQ(events[1].name, "tabu.heterogeneity");
+  EXPECT_EQ(events[1].duration_us, -1);
+  EXPECT_EQ(events[1].value, 123.5);
+}
+
+TEST(TraceBufferTest, DropsNewEventsWhenFull) {
+  TraceBuffer buffer(/*capacity=*/2);
+  buffer.RecordInstant("a", 1);
+  buffer.RecordInstant("b", 2);
+  buffer.RecordInstant("c", 3);  // dropped
+  EXPECT_EQ(buffer.Snapshot().size(), 2u);
+  EXPECT_EQ(buffer.dropped_events(), 1);
+  EXPECT_EQ(buffer.Snapshot()[0].name, "a");  // old events survive
+}
+
+TEST(ScopedSpanTest, RecordsOnDestructionAndNestsInnerFirst) {
+  TraceBuffer buffer;
+  {
+    ScopedSpan outer(&buffer, "phase");
+    { ScopedSpan inner(&buffer, "step", /*worker=*/3); }
+  }
+  std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "step");  // inner destructs first
+  EXPECT_EQ(events[0].worker, 3);
+  EXPECT_EQ(events[1].name, "phase");
+  EXPECT_GE(events[1].duration_us, events[0].duration_us);
+}
+
+TEST(ScopedSpanTest, NullBufferIsNoOp) {
+  ScopedSpan span(nullptr, "nothing");  // must not crash at destruction
+}
+
+TEST(TraceBufferTest, ToJsonIsChromeTraceFormat) {
+  TraceBuffer buffer(/*capacity=*/2);
+  buffer.RecordSpan("solve", 0, 100, 0);
+  buffer.RecordInstant("sample", 7.5, /*worker=*/1);
+  buffer.RecordInstant("overflow", 1);  // dropped, must be counted
+  auto doc = json::Parse(buffer.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->AsArray().size(), 2u);
+  const json::Value& span = events->AsArray()[0];
+  EXPECT_EQ(span.Find("name")->AsString(), "solve");
+  EXPECT_EQ(span.Find("ph")->AsString(), "X");
+  EXPECT_EQ(span.Find("dur")->AsNumber(), 100);
+  const json::Value& instant = events->AsArray()[1];
+  EXPECT_EQ(instant.Find("ph")->AsString(), "i");
+  EXPECT_EQ(doc->Find("droppedEvents")->AsNumber(), 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace emp

@@ -109,5 +109,21 @@ TEST(SkaterTest, DeterministicAcrossRuns) {
   EXPECT_EQ(a->region_of, b->region_of);
 }
 
+TEST(SkaterTest, CreateValidatesEagerly) {
+  AreaSet areas = test::PathAreaSet({6, 6, 6, 6, 6, 6});
+  EXPECT_FALSE(SkaterMaxPSolver::Create(nullptr, "s", 12).ok());
+  EXPECT_FALSE(SkaterMaxPSolver::Create(&areas, "no_such_attr", 12).ok());
+  EXPECT_FALSE(SkaterMaxPSolver::Create(&areas, "s", 0).ok());
+  SolverOptions bad;
+  bad.construction_threads = 0;
+  EXPECT_FALSE(SkaterMaxPSolver::Create(&areas, "s", 12, bad).ok());
+
+  auto solver = SkaterMaxPSolver::Create(&areas, "s", 12);
+  ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+  auto sol = solver->Solve();
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->p(), 3);
+}
+
 }  // namespace
 }  // namespace emp

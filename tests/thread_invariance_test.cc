@@ -1,0 +1,123 @@
+// Thread-count invariance: the construction worker pool only changes WHO
+// runs an iteration, never its RNG stream or the best-of-k selection, so
+// the same seed must produce a bit-identical solution for any thread
+// count. Timing fields naturally differ between runs, so the JSON
+// comparison strips *_seconds lines.
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fact_solver.h"
+#include "core/report.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "obs/metrics.h"
+
+namespace emp {
+namespace {
+
+std::string StripTimingLines(const std::string& json) {
+  std::istringstream in(json);
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (line.find("_seconds") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(ThreadInvarianceTest, SameSeedSameSolutionAcrossThreadCounts) {
+  auto areas = synthetic::MakeDefaultDataset("ti", 300, /*seed=*/7);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+
+  std::string reference_json;
+  Solution reference;
+  for (int threads : {1, 2, 8}) {
+    SolverOptions options;
+    options.seed = 1234;
+    options.construction_iterations = 8;
+    options.construction_threads = threads;
+    auto solver = FactSolver::Create(&*areas, cs, options);
+    ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+    auto sol = solver->Solve();
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+    auto json = SolutionToJson(*areas, cs, *sol);
+    ASSERT_TRUE(json.ok()) << json.status().ToString();
+    const std::string stripped = StripTimingLines(*json);
+    if (threads == 1) {
+      reference_json = stripped;
+      reference = *sol;
+      continue;
+    }
+    EXPECT_EQ(stripped, reference_json) << "threads=" << threads;
+    EXPECT_EQ(sol->p(), reference.p()) << "threads=" << threads;
+    EXPECT_EQ(sol->region_of, reference.region_of) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(sol->heterogeneity, reference.heterogeneity)
+        << "threads=" << threads;
+  }
+}
+
+TEST(ThreadInvarianceTest, MetricsCoverAllThreePhases) {
+  auto areas = synthetic::MakeDefaultDataset("ti2", 200, /*seed=*/3);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+  SolverOptions options;
+  options.construction_iterations = 4;
+  options.construction_threads = 2;
+
+  obs::MetricRegistry registry;
+  FactSolver solver(&*areas, cs, options);
+  RunContext ctx = MakeRunContext(options);
+  ctx.metrics = &registry;
+  auto sol = solver.Solve(ctx);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  const size_t total = snap.counters.size() + snap.gauges.size() +
+                       snap.histograms.size();
+  EXPECT_GE(total, 12u) << "expected at least 12 distinct metrics";
+  bool feasibility = false, construction = false, tabu = false;
+  auto scan = [&](const std::string& name) {
+    if (name.rfind("emp_feasibility_", 0) == 0) feasibility = true;
+    if (name.rfind("emp_construction_", 0) == 0) construction = true;
+    if (name.rfind("emp_tabu_", 0) == 0) tabu = true;
+  };
+  for (const auto& [name, v] : snap.counters) scan(name);
+  for (const auto& [name, v] : snap.gauges) scan(name);
+  for (const auto& [name, v] : snap.histograms) scan(name);
+  EXPECT_TRUE(feasibility);
+  EXPECT_TRUE(construction);
+  EXPECT_TRUE(tabu);
+
+  // The pool honors construction_threads: 4 iterations over 2 threads.
+  EXPECT_EQ(registry.GetCounter("emp_construction_iterations_total")->value(),
+            4);
+}
+
+TEST(ThreadInvarianceTest, CreateRejectsBadInput) {
+  auto areas = synthetic::MakeDefaultDataset("ti3", 50, /*seed=*/1);
+  ASSERT_TRUE(areas.ok());
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 1000, kNoUpperBound)};
+
+  EXPECT_FALSE(FactSolver::Create(nullptr, cs).ok());
+
+  std::vector<Constraint> bad_attr = {
+      Constraint::Sum("NO_SUCH_ATTRIBUTE", 1000, kNoUpperBound)};
+  EXPECT_FALSE(FactSolver::Create(&*areas, bad_attr).ok());
+
+  SolverOptions bad_options;
+  bad_options.construction_iterations = 0;
+  EXPECT_FALSE(FactSolver::Create(&*areas, cs, bad_options).ok());
+
+  EXPECT_TRUE(FactSolver::Create(&*areas, cs).ok());
+}
+
+}  // namespace
+}  // namespace emp

@@ -38,6 +38,9 @@
 #include "data/synthetic/dataset_catalog.h"
 #include "graph/components.h"
 #include "graph/gal.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "render/svg.h"
 
 namespace {
@@ -118,6 +121,7 @@ int Usage() {
       "              [--geojson FILE] [--svg FILE] [--json FILE]\n"
       "              [--iterations N] [--threads N] [--seed S] [--no-tabu]\n"
       "              [--time-budget-ms MS] [--max-evals N]\n"
+      "              [--metrics-out FILE(.json|.prom)] [--trace-out FILE]\n"
       "  validate    --input FILE --query Q --assignment FILE\n"
       "  render      --input FILE [--assignment FILE] [--out FILE]\n"
       "              [--width W] [--labels]\n"
@@ -234,6 +238,14 @@ int CmdSolve(const Args& args) {
   // Supervision context: deadline/budget from the flags above, plus a
   // cancellation token wired to Ctrl-C for the duration of the solve.
   emp::RunContext ctx = emp::MakeRunContext(options);
+
+  // Telemetry sinks, attached only when requested — the default solve
+  // pays one null-pointer branch per instrumentation site.
+  emp::obs::MetricRegistry metric_registry;
+  emp::obs::TraceBuffer trace_buffer;
+  if (args.Has("metrics-out")) ctx.metrics = &metric_registry;
+  if (args.Has("trace-out")) ctx.trace = &trace_buffer;
+
   g_solve_cancel = &ctx.cancel;
   std::signal(SIGINT, HandleSigint);
 
@@ -251,17 +263,43 @@ int CmdSolve(const Args& args) {
           "--solver " + solver + " needs --attribute and --threshold");
     }
     if (solver == "maxp") {
-      return emp::MaxPRegionsSolver(&*areas, attribute, threshold, options)
-          .Solve(ctx);
+      auto s = emp::MaxPRegionsSolver::Create(&*areas, attribute, threshold,
+                                              options);
+      if (!s.ok()) return s.status();
+      return s->Solve(ctx);
     }
     if (solver == "skater") {
-      return emp::SkaterMaxPSolver(&*areas, attribute, threshold, options)
-          .Solve(ctx);
+      auto s = emp::SkaterMaxPSolver::Create(&*areas, attribute, threshold,
+                                             options);
+      if (!s.ok()) return s.status();
+      return s->Solve(ctx);
     }
     return emp::Status::InvalidArgument("unknown solver '" + solver + "'");
   }();
   std::signal(SIGINT, SIG_DFL);
   g_solve_cancel = nullptr;
+
+  // Telemetry exports happen even for failed/interrupted solves — partial
+  // metrics are exactly what you want when diagnosing one.
+  if (args.Has("metrics-out")) {
+    const std::string path = args.Get("metrics-out");
+    const bool prometheus =
+        path.size() >= 5 && (path.rfind(".prom") == path.size() - 5 ||
+                             path.rfind(".txt") == path.size() - 4);
+    const std::string text = prometheus
+                                 ? emp::obs::MetricsToPrometheus(metric_registry)
+                                 : emp::obs::MetricsToJson(metric_registry);
+    emp::Status st = emp::WriteFile(path, text);
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (args.Has("trace-out")) {
+    emp::Status st = emp::WriteFile(args.Get("trace-out"),
+                                    trace_buffer.ToJson());
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s\n", args.Get("trace-out").c_str());
+  }
+
   if (!solution.ok()) return Fail(solution.status().ToString());
 
   if (ctx.cancel.cancelled()) {

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Configure, build, and run the full test suite under ASan + UBSan.
-# Usage: tools/run_sanitized_tests.sh [extra ctest args...]
+# Configure, build, and run the test suite under sanitizers:
+#   1. the full suite under ASan + UBSan (`asan-ubsan` preset, build-asan/)
+#   2. the telemetry + threaded-construction tests under TSan
+#      (`tsan` preset, build-tsan/)
 #
-# Uses the `asan-ubsan` preset from CMakePresets.json (build-asan/ tree,
-# benchmarks off). Any arguments are forwarded to ctest, e.g.
+# Usage: tools/run_sanitized_tests.sh [extra ctest args...]
+# Any arguments are forwarded to the ASan/UBSan ctest invocation, e.g.
 #   tools/run_sanitized_tests.sh -R fact_solver_test
 set -euo pipefail
 
@@ -12,3 +14,12 @@ cd "$(dirname "$0")/.."
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
 ctest --preset asan-ubsan -j "$(nproc)" "$@"
+
+# TSan stage: focus on the tests that exercise shared-state concurrency —
+# the metric registry, trace buffer, and the construction worker pool.
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target \
+  obs_metrics_test obs_trace_test obs_export_test json_writer_test \
+  thread_invariance_test fact_solver_test run_context_test
+ctest --preset tsan -j "$(nproc)" \
+  -R '^(obs_metrics_test|obs_trace_test|obs_export_test|json_writer_test|thread_invariance_test|fact_solver_test|run_context_test)$'
