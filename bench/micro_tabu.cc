@@ -1,0 +1,235 @@
+// Micro-benchmarks for the Tabu neighborhood engine (DESIGN.md §8): the
+// per-iteration cost of maintaining the candidate-move set is what the
+// incremental engine exists to cut. Alongside the google-benchmark
+// registrations, a table compares full-rebuild vs incremental per-move
+// cost on block-partitioned grids and exports BENCH_tabu.json via the
+// EMP_BENCH_JSON_DIR hook (acceptance: >= 3x at n >= 900 areas).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "core/local_search/heterogeneity.h"
+#include "core/local_search/move.h"
+#include "core/local_search/neighborhood.h"
+#include "core/local_search/objective.h"
+#include "core/partition.h"
+#include "data/area_set.h"
+#include "data/attribute_table.h"
+#include "graph/connectivity.h"
+#include "harness/table.h"
+
+namespace {
+
+using emp::AreaSet;
+using emp::ArticulationCache;
+using emp::BoundConstraints;
+using emp::CandidateMove;
+using emp::ConnectivityChecker;
+using emp::Constraint;
+using emp::ContiguityGraph;
+using emp::HeterogeneityObjective;
+using emp::Partition;
+using emp::TabuNeighborhood;
+
+/// Rook-adjacency side x side grid with a deterministic value pattern.
+AreaSet GridAreaSet(int32_t side) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t r = 0; r < side; ++r) {
+    for (int32_t c = 0; c < side; ++c) {
+      int32_t id = r * side + c;
+      if (c + 1 < side) edges.push_back({id, id + 1});
+      if (r + 1 < side) edges.push_back({id, id + side});
+    }
+  }
+  auto graph = ContiguityGraph::FromEdges(side * side, edges);
+  if (!graph.ok()) std::abort();
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(side) * side);
+  for (int32_t a = 0; a < side * side; ++a) {
+    values.push_back(static_cast<double>((a * 37 + 11) % 23));
+  }
+  emp::AttributeTable table(side * side);
+  if (!table.AddColumn("s", std::move(values)).ok()) std::abort();
+  auto areas = AreaSet::CreateWithoutGeometry(
+      "bench_grid", std::move(*graph), std::move(table), "s");
+  if (!areas.ok()) std::abort();
+  return std::move(areas).value();
+}
+
+/// One bench instance: side x side grid partitioned into block_rows x
+/// block_cols rectangular regions. Max-P solutions have MANY regions (the
+/// objective maximizes p), so small blocks are the representative regime:
+/// a move mutates 2 of ~p regions and the incremental engine skips the
+/// rest. Two-row stripes (block_rows=2, block_cols=side) model the
+/// opposite extreme of few, elongated regions.
+struct Instance {
+  Instance(int32_t side, int32_t block_rows, int32_t block_cols)
+      : areas(GridAreaSet(side)),
+        bound(std::move(BoundConstraints::Create(
+                            &areas, {Constraint::Count(1, side * side)}))
+                  .value()),
+        partition(&bound),
+        connectivity(&areas.graph()) {
+    for (int32_t r = 0; r < side; r += block_rows) {
+      for (int32_t c = 0; c < side; c += block_cols) {
+        int32_t rid = partition.CreateRegion();
+        for (int32_t row = r; row < r + block_rows && row < side; ++row) {
+          for (int32_t col = c; col < c + block_cols && col < side; ++col) {
+            partition.Assign(row * side + col, rid);
+          }
+        }
+      }
+    }
+  }
+
+  AreaSet areas;
+  BoundConstraints bound;
+  Partition partition;
+  ConnectivityChecker connectivity;
+};
+
+void BM_NeighborhoodFullRebuild(benchmark::State& state) {
+  Instance inst(static_cast<int32_t>(state.range(0)), 2,
+                static_cast<int32_t>(state.range(0)));
+  HeterogeneityObjective objective(inst.partition);
+  TabuNeighborhood nbhd(&inst.partition, &objective);
+  int64_t scored = 0;
+  for (auto _ : state) {
+    scored = nbhd.Rebuild();
+    benchmark::DoNotOptimize(scored);
+  }
+  state.SetItemsProcessed(state.iterations() * scored);
+}
+BENCHMARK(BM_NeighborhoodFullRebuild)->Arg(20)->Arg(30)->Arg(40);
+
+void BM_NeighborhoodIncrementalUpdate(benchmark::State& state) {
+  // Ping-pongs one stripe-corner area between its two adjacent stripes;
+  // each iteration times apply + OnMoveApplied, the whole per-move cost of
+  // keeping the candidate set current.
+  const int32_t side = static_cast<int32_t>(state.range(0));
+  Instance inst(side, 2, side);
+  HeterogeneityObjective objective(inst.partition);
+  TabuNeighborhood nbhd(&inst.partition, &objective);
+  nbhd.Rebuild();
+  const int32_t area = 2 * side;  // first area of stripe 1, column 0
+  const int32_t r0 = inst.partition.RegionOf(0);
+  const int32_t r1 = inst.partition.RegionOf(area);
+  int32_t from = r1;
+  int32_t to = r0;
+  for (auto _ : state) {
+    objective.ApplyMove(area, from, to);
+    inst.partition.Move(area, to);
+    benchmark::DoNotOptimize(nbhd.OnMoveApplied(area, from, to));
+    std::swap(from, to);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NeighborhoodIncrementalUpdate)->Arg(20)->Arg(30)->Arg(40);
+
+void BM_DonorCheckBfs(benchmark::State& state) {
+  Instance inst(30, 2, 30);
+  const int32_t rid = inst.partition.RegionOf(0);
+  const auto& members = inst.partition.region(rid).areas;
+  int32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.connectivity.IsConnectedWithout(
+        members, members[static_cast<size_t>(i)]));
+    i = (i + 1) % static_cast<int32_t>(members.size());
+  }
+}
+BENCHMARK(BM_DonorCheckBfs);
+
+void BM_DonorCheckArticulationCache(benchmark::State& state) {
+  Instance inst(30, 2, 30);
+  ArticulationCache cache(&inst.partition, &inst.connectivity);
+  const int32_t rid = inst.partition.RegionOf(0);
+  const auto& members = inst.partition.region(rid).areas;
+  int32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.DonorKeepsContiguity(
+        rid, members[static_cast<size_t>(i)]));
+    i = (i + 1) % static_cast<int32_t>(members.size());
+  }
+}
+BENCHMARK(BM_DonorCheckArticulationCache);
+
+/// Walks a realistic Tabu move sequence and times, per applied move, the
+/// incremental update against a from-scratch rebuild of a second engine
+/// tracking the same partition. This is the acceptance measurement:
+/// speedup = full_rebuild_cost / incremental_cost per iteration.
+void RunSpeedupTable() {
+  emp::bench::TablePrinter table(
+      "Tabu neighborhood maintenance: full rebuild vs incremental "
+      "(per applied move, 3x3-block regions)",
+      {"areas", "regions", "moves", "full_us", "incremental_us", "speedup"});
+  // -1 is a warm-up pass (caches, page faults) whose row is discarded.
+  for (int32_t side : {-1, 21, 30, 42}) {
+    const bool warmup = side < 0;
+    Instance inst(warmup ? 21 : side, 3, 3);
+    HeterogeneityObjective objective(inst.partition);
+    TabuNeighborhood incremental(&inst.partition, &objective);
+    TabuNeighborhood full(&inst.partition, &objective);
+    incremental.Rebuild();
+
+    const int32_t kMoves = 200;
+    int32_t applied = 0;
+    int32_t last_area = -1;
+    double incr_seconds = 0.0;
+    double full_seconds = 0.0;
+    emp::Stopwatch timer;
+    while (applied < kMoves) {
+      // First admissible candidate that is not an immediate ping-pong.
+      std::vector<CandidateMove> pick;
+      incremental.VisitInOrder([&](const CandidateMove& mv) {
+        if (mv.area == last_area) return true;
+        if (!ConstraintPreservingMove(inst.partition, &inst.connectivity,
+                                      mv.area, mv.from, mv.to)) {
+          return true;
+        }
+        pick.push_back(mv);
+        return false;
+      });
+      if (pick.empty()) break;
+      const CandidateMove mv = pick.front();
+      objective.ApplyMove(mv.area, mv.from, mv.to);
+      inst.partition.Move(mv.area, mv.to);
+      timer.Reset();
+      incremental.OnMoveApplied(mv.area, mv.from, mv.to);
+      incr_seconds += timer.ElapsedSeconds();
+      timer.Reset();
+      full.Rebuild();
+      full_seconds += timer.ElapsedSeconds();
+      last_area = mv.area;
+      ++applied;
+    }
+    if (warmup) continue;
+    const double full_us = applied > 0 ? full_seconds * 1e6 / applied : 0.0;
+    const double incr_us = applied > 0 ? incr_seconds * 1e6 / applied : 0.0;
+    const double speedup = incr_seconds > 0 ? full_seconds / incr_seconds : 0;
+    table.AddRow({std::to_string(side * side),
+                  std::to_string(inst.partition.NumRegions()),
+                  std::to_string(applied),
+                  emp::FormatDouble(full_us, 2),
+                  emp::FormatDouble(incr_us, 2),
+                  emp::FormatDouble(speedup, 1) + "x"});
+  }
+  emp::bench::EmitTable("tabu", table);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  RunSpeedupTable();
+  return 0;
+}

@@ -8,20 +8,29 @@
 
 namespace emp {
 
-/// Shared admissibility test for local-search moves (Tabu and simulated
-/// annealing): moving `area` from region `from` to region `to` must keep
-/// both regions feasible under every constraint, keep the donor
-/// contiguous, and must not empty the donor (the local-search phase never
-/// changes p, §V-C).
-inline bool ConstraintPreservingMove(const Partition& partition,
-                                     ConnectivityChecker* connectivity,
+/// Constraint half of the local-search admissibility test: moving `area`
+/// from region `from` to region `to` must keep both regions feasible under
+/// every constraint and must not empty the donor (the local-search phase
+/// never changes p, §V-C). Does NOT check donor contiguity — callers pair
+/// this with ConnectivityChecker::IsConnectedWithout (the exact BFS) or
+/// ArticulationCache::DonorKeepsContiguity (the Tabu fast path).
+inline bool MoveSatisfiesConstraints(const Partition& partition,
                                      int32_t area, int32_t from, int32_t to) {
   const Region& donor = partition.region(from);
   if (donor.size() <= 1) return false;
   const Region& receiver = partition.region(to);
   if (!receiver.stats.SatisfiesAllAfterAdd(area)) return false;
-  if (!donor.stats.SatisfiesAllAfterRemove(area)) return false;
-  return connectivity->IsConnectedWithout(donor.areas, area);
+  return donor.stats.SatisfiesAllAfterRemove(area);
+}
+
+/// Full admissibility test for local-search moves (Tabu and simulated
+/// annealing): constraints in both regions plus donor contiguity, checked
+/// with one bounded BFS.
+inline bool ConstraintPreservingMove(const Partition& partition,
+                                     ConnectivityChecker* connectivity,
+                                     int32_t area, int32_t from, int32_t to) {
+  if (!MoveSatisfiesConstraints(partition, area, from, to)) return false;
+  return connectivity->IsConnectedWithout(partition.region(from).areas, area);
 }
 
 }  // namespace emp

@@ -5,37 +5,11 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/local_search/assignment_snapshot.h"
 #include "core/local_search/move.h"
 #include "core/local_search/objective.h"
 
 namespace emp {
-
-namespace {
-
-std::vector<int32_t> SnapshotAssignment(const Partition& partition) {
-  std::vector<int32_t> out(static_cast<size_t>(partition.num_areas()));
-  for (int32_t a = 0; a < partition.num_areas(); ++a) {
-    out[static_cast<size_t>(a)] = partition.RegionOf(a);
-  }
-  return out;
-}
-
-void RestoreAssignment(const std::vector<int32_t>& saved,
-                       Partition* partition) {
-  for (int32_t a = 0; a < partition->num_areas(); ++a) {
-    if (partition->RegionOf(a) != saved[static_cast<size_t>(a)] &&
-        partition->RegionOf(a) != -1) {
-      partition->Unassign(a);
-    }
-  }
-  for (int32_t a = 0; a < partition->num_areas(); ++a) {
-    if (partition->RegionOf(a) == -1 && saved[static_cast<size_t>(a)] != -1) {
-      partition->Assign(a, saved[static_cast<size_t>(a)]);
-    }
-  }
-}
-
-}  // namespace
 
 Result<AnnealResult> SimulatedAnnealing(const AnnealOptions& options,
                                         ConnectivityChecker* connectivity,
@@ -114,18 +88,23 @@ Result<AnnealResult> SimulatedAnnealing(const AnnealOptions& options,
 
   for (int64_t it = 0; it < iterations; ++it) {
     if (supervisor != nullptr && supervisor->Check()) break;
-    ++result.proposals;
-    temperature *= options.cooling;
     int32_t area = 0;
     int32_t from = 0;
     int32_t to = 0;
+    // A failed sample is not a proposal: nothing was evaluated, so
+    // nothing is counted (and nothing cools) before the loop ends.
     if (!sample_move(&area, &from, &to)) break;
+    ++result.proposals;
 
+    // Proposal k (0-based) is evaluated at T_k = T0 * cooling^k: the
+    // first proposal sees the starting temperature, and cooling happens
+    // AFTER the acceptance decision.
     const double delta = objective->MoveDelta(area, from, to);
     bool accept = delta <= 0.0;
     if (!accept && temperature > 1e-300) {
       accept = rng.Uniform(0.0, 1.0) < std::exp(-delta / temperature);
     }
+    temperature *= options.cooling;
     if (!accept) continue;
     if (!ConstraintPreservingMove(*partition, connectivity, area, from, to)) {
       continue;

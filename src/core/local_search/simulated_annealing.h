@@ -19,7 +19,9 @@ struct AnnealOptions {
   /// Starting temperature; -1 = auto-calibrated to the objective scale
   /// (mean |delta| of a small random-move sample).
   double initial_temperature = -1.0;
-  /// Geometric cooling factor per iteration, in (0, 1).
+  /// Geometric cooling factor, in (0, 1). Applied AFTER each evaluated
+  /// proposal, so proposal k (0-based) is judged at T0 * cooling^k — the
+  /// first proposal sees the starting temperature.
   double cooling = 0.9995;
   uint64_t seed = 42;
 };
@@ -28,6 +30,7 @@ struct AnnealOptions {
 struct AnnealResult {
   double initial_objective = 0.0;
   double final_objective = 0.0;
+  /// Proposals actually evaluated (failed candidate samples don't count).
   int64_t proposals = 0;
   int64_t accepted = 0;
   int64_t improving = 0;

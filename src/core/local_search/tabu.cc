@@ -1,15 +1,17 @@
 #include "core/local_search/tabu.h"
 
-#include <algorithm>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "core/local_search/assignment_snapshot.h"
 #include "core/local_search/heterogeneity.h"
 #include "core/local_search/move.h"
+#include "core/local_search/neighborhood.h"
 #include "core/local_search/objective.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -22,38 +24,6 @@ namespace {
 uint64_t TabuKey(int32_t area, int32_t region) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(area)) << 32) |
          static_cast<uint32_t>(region);
-}
-
-struct CandidateMove {
-  double delta;
-  int32_t area;
-  int32_t from;
-  int32_t to;
-};
-
-/// Snapshot of the raw region assignment.
-std::vector<int32_t> SnapshotAssignment(const Partition& partition) {
-  std::vector<int32_t> out(static_cast<size_t>(partition.num_areas()));
-  for (int32_t a = 0; a < partition.num_areas(); ++a) {
-    out[static_cast<size_t>(a)] = partition.RegionOf(a);
-  }
-  return out;
-}
-
-/// Restores a snapshot taken during this search (same region ids alive).
-void RestoreAssignment(const std::vector<int32_t>& saved,
-                       Partition* partition) {
-  for (int32_t a = 0; a < partition->num_areas(); ++a) {
-    if (partition->RegionOf(a) != saved[static_cast<size_t>(a)] &&
-        partition->RegionOf(a) != -1) {
-      partition->Unassign(a);
-    }
-  }
-  for (int32_t a = 0; a < partition->num_areas(); ++a) {
-    if (partition->RegionOf(a) == -1 && saved[static_cast<size_t>(a)] != -1) {
-      partition->Assign(a, saved[static_cast<size_t>(a)]);
-    }
-  }
 }
 
 }  // namespace
@@ -79,6 +49,7 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
       options.tabu_max_no_improve >= 0
           ? options.tabu_max_no_improve
           : static_cast<int64_t>(partition->num_areas());
+  const bool incremental = options.tabu_engine == TabuEngine::kIncremental;
 
   double best_total = tracker.total();
   std::vector<int32_t> best_assignment = SnapshotAssignment(*partition);
@@ -92,7 +63,6 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
     return it != tabu_set.end() && it->second > 0;
   };
 
-  std::vector<CandidateMove> candidates;
   int64_t no_improve = 0;
 
   // Telemetry. Hot-loop counts accumulate in locals (zero atomic traffic
@@ -102,19 +72,26 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
   const RunContext* run_ctx =
       supervisor != nullptr ? supervisor->context() : nullptr;
   obs::TraceBuffer* trace = run_ctx != nullptr ? run_ctx->trace : nullptr;
-  int64_t moves_tried = 0;
   int64_t tabu_rejected = 0;
   int64_t invalid_rejected = 0;
-  int64_t evaluations = 0;
   constexpr int64_t kEpochIterations = 256;
   std::optional<obs::ScopedSpan> epoch_span;
   Stopwatch search_timer;
+
+  // Neighborhood engine. The incremental engine builds the candidate set
+  // once and re-scores only what each move touches; the full-rebuild
+  // engine re-scores everything at the top of every iteration. Both feed
+  // the same canonical-order selection below.
+  TabuNeighborhood neighborhood(partition, objective);
+  ArticulationCache cut_cache(partition, connectivity);
+  int64_t pending_scored = incremental ? neighborhood.Rebuild() : 0;
+  Status verify_failure = Status::OK();
 
   while (no_improve < max_no_improve &&
          (options.tabu_max_iterations < 0 ||
           result.iterations < options.tabu_max_iterations)) {
     // One checkpoint per iteration; evaluations are charged afterwards,
-    // once the candidate count for this neighborhood is known.
+    // once the scored-candidate count for this iteration is known.
     if (supervisor != nullptr && supervisor->Check(0)) break;
     if (trace != nullptr && result.iterations % kEpochIterations == 0) {
       // optional::emplace destroys the previous span (closing it) before
@@ -123,95 +100,99 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
     }
     ++result.iterations;
 
-    // Enumerate boundary moves and their exact H deltas. Inlined (no
-    // per-area allocations): for each area of a donor-capable region,
-    // collect its distinct adjacent regions by scanning graph neighbors
-    // and deduping against this area's own candidate span.
-    candidates.clear();
-    const auto& graph = partition->bound().areas().graph();
-    for (int32_t rid : partition->AliveRegionIds()) {
-      const Region& r = partition->region(rid);
-      if (r.size() <= 1) continue;  // Cannot donate.
-      for (int32_t area : r.areas) {
-        const size_t span_start = candidates.size();
-        for (int32_t nb : graph.NeighborsOf(area)) {
-          const int32_t to = partition->RegionOf(nb);
-          if (to == -1 || to == rid) continue;
-          bool dup = false;
-          for (size_t i = span_start; i < candidates.size(); ++i) {
-            if (candidates[i].to == to) {
-              dup = true;
-              break;
-            }
-          }
-          if (!dup) {
-            candidates.push_back(
-                {tracker.MoveDelta(area, rid, to), area, rid, to});
-          }
-        }
-      }
-    }
-    if (candidates.empty()) break;
-    evaluations += static_cast<int64_t>(candidates.size());
+    const int64_t scored =
+        incremental ? pending_scored : neighborhood.Rebuild();
+    pending_scored = 0;
+    if (neighborhood.empty()) break;
+    result.candidates_scored += scored;
     // Each scored candidate is one objective evaluation against the
     // budget; the trip takes effect at the next iteration's checkpoint.
-    if (supervisor != nullptr &&
-        supervisor->Check(static_cast<int64_t>(candidates.size()))) {
-      break;
-    }
-    std::sort(candidates.begin(), candidates.end(),
-              [](const CandidateMove& a, const CandidateMove& b) {
-                return a.delta < b.delta;
-              });
+    if (supervisor != nullptr && supervisor->Check(scored)) break;
 
-    // Take the best admissible candidate: non-tabu, or tabu but beating the
-    // incumbent (aspiration). Validity (constraints + contiguity) is checked
-    // lazily in delta order because it is the expensive part.
-    bool applied = false;
-    for (const CandidateMove& mv : candidates) {
-      ++moves_tried;
+    // Take the best admissible candidate in canonical (delta, area, to)
+    // order: non-tabu, or tabu but beating the incumbent (aspiration).
+    // Validity (constraints + contiguity) is checked lazily in that order
+    // because it is the expensive part.
+    std::optional<CandidateMove> chosen;
+    neighborhood.VisitInOrder([&](const CandidateMove& mv) {
+      ++result.moves_tried;
       const bool improves_best = tracker.total() + mv.delta < best_total - 1e-9;
       if (is_tabu(TabuKey(mv.area, mv.to)) && !improves_best) {
         ++tabu_rejected;
-        continue;
+        return true;
       }
-      if (!ConstraintPreservingMove(*partition, connectivity, mv.area,
-                                    mv.from, mv.to)) {
+      if (!MoveSatisfiesConstraints(*partition, mv.area, mv.from, mv.to)) {
         ++invalid_rejected;
-        continue;
+        return true;
       }
-      // Apply. Objectives record the move BEFORE the partition mutates.
-      tracker.ApplyMove(mv.area, mv.from, mv.to);
-      partition->Move(mv.area, mv.to);
-      ++result.moves_applied;
-      // Forbid the reverse move for `tenure` iterations.
-      uint64_t reverse = TabuKey(mv.area, mv.from);
-      tabu_order.push_back(reverse);
-      ++tabu_set[reverse];
-      while (static_cast<int>(tabu_order.size()) > options.tabu_tenure) {
-        --tabu_set[tabu_order.front()];
-        tabu_order.pop_front();
-      }
-      if (tracker.total() < best_total - 1e-9) {
-        best_total = tracker.total();
-        best_assignment = SnapshotAssignment(*partition);
-        ++result.improving_moves;
-        no_improve = 0;
-        if (trace != nullptr) {
-          trace->RecordInstant("tabu.heterogeneity", best_total);
+      bool donor_ok;
+      if (incremental) {
+        donor_ok = cut_cache.DonorKeepsContiguity(mv.from, mv.area);
+        if (options.tabu_verify_connectivity_cache) {
+          const bool bfs_ok = connectivity->IsConnectedWithout(
+              partition->region(mv.from).areas, mv.area);
+          if (bfs_ok != donor_ok) {
+            verify_failure = Status::Internal(
+                "articulation cache disagrees with BFS for area " +
+                std::to_string(mv.area) + " leaving region " +
+                std::to_string(mv.from));
+            return false;
+          }
         }
       } else {
-        ++no_improve;
+        donor_ok = connectivity->IsConnectedWithout(
+            partition->region(mv.from).areas, mv.area);
       }
-      applied = true;
-      break;
+      if (!donor_ok) {
+        ++invalid_rejected;
+        return true;
+      }
+      chosen = mv;
+      return false;
+    });
+    if (!verify_failure.ok()) return verify_failure;
+    if (!chosen.has_value()) break;  // No admissible move in the whole
+                                     // neighborhood.
+
+    // Apply. Objectives record the move BEFORE the partition mutates.
+    const CandidateMove mv = *chosen;
+    tracker.ApplyMove(mv.area, mv.from, mv.to);
+    partition->Move(mv.area, mv.to);
+    cut_cache.Invalidate(mv.from);
+    cut_cache.Invalidate(mv.to);
+    if (incremental) {
+      pending_scored = neighborhood.OnMoveApplied(mv.area, mv.from, mv.to);
     }
-    if (!applied) break;  // No admissible move in the whole neighborhood.
+    ++result.moves_applied;
+    if (options.tabu_record_trajectory) {
+      result.trajectory.push_back({mv.area, mv.from, mv.to, mv.delta});
+    }
+    // Forbid the reverse move for `tenure` iterations.
+    uint64_t reverse = TabuKey(mv.area, mv.from);
+    tabu_order.push_back(reverse);
+    ++tabu_set[reverse];
+    while (static_cast<int>(tabu_order.size()) > options.tabu_tenure) {
+      --tabu_set[tabu_order.front()];
+      tabu_order.pop_front();
+    }
+    if (tracker.total() < best_total - 1e-9) {
+      best_total = tracker.total();
+      best_assignment = SnapshotAssignment(*partition);
+      ++result.improving_moves;
+      no_improve = 0;
+      if (trace != nullptr) {
+        trace->RecordInstant("tabu.heterogeneity", best_total);
+      }
+    } else {
+      ++no_improve;
+    }
   }
 
   epoch_span.reset();
   RestoreAssignment(best_assignment, partition);
   result.final_heterogeneity = best_total;
+  result.cut_cache_hits = cut_cache.hits();
+  result.cut_cache_misses = cut_cache.misses();
   if (supervisor != nullptr && supervisor->tripped().has_value()) {
     result.termination = *supervisor->tripped();
   }
@@ -220,7 +201,7 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
           run_ctx != nullptr ? run_ctx->metrics : nullptr;
       metrics != nullptr) {
     metrics->GetCounter("emp_tabu_iterations_total")->Add(result.iterations);
-    metrics->GetCounter("emp_tabu_moves_tried_total")->Add(moves_tried);
+    metrics->GetCounter("emp_tabu_moves_tried_total")->Add(result.moves_tried);
     metrics->GetCounter("emp_tabu_moves_applied_total")
         ->Add(result.moves_applied);
     metrics->GetCounter("emp_tabu_moves_tabu_rejected_total")
@@ -228,6 +209,12 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
     metrics->GetCounter("emp_tabu_moves_invalid_total")->Add(invalid_rejected);
     metrics->GetCounter("emp_tabu_improving_moves_total")
         ->Add(result.improving_moves);
+    metrics->GetCounter("emp_tabu_candidates_rescored_total")
+        ->Add(result.candidates_scored);
+    metrics->GetCounter("emp_tabu_cut_cache_hits_total")
+        ->Add(result.cut_cache_hits);
+    metrics->GetCounter("emp_tabu_cut_cache_misses_total")
+        ->Add(result.cut_cache_misses);
     metrics->GetGauge("emp_tabu_initial_heterogeneity")
         ->Set(result.initial_heterogeneity);
     metrics->GetGauge("emp_tabu_final_heterogeneity")
@@ -235,7 +222,7 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
     const double elapsed = search_timer.ElapsedSeconds();
     if (elapsed > 0) {
       metrics->GetGauge("emp_tabu_evaluations_per_second")
-          ->Set(static_cast<double>(evaluations) / elapsed);
+          ->Set(static_cast<double>(result.candidates_scored) / elapsed);
     }
   }
   return result;

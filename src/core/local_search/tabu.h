@@ -2,6 +2,7 @@
 #define EMP_CORE_LOCAL_SEARCH_TABU_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/result.h"
 #include "core/partition.h"
@@ -11,6 +12,17 @@
 
 namespace emp {
 
+/// One applied Tabu move, recorded when
+/// SolverOptions::tabu_record_trajectory is set. `delta` is the exact
+/// objective change at application time, so two engines agree only if
+/// their incremental bookkeeping is bit-identical.
+struct TabuMove {
+  int32_t area = -1;
+  int32_t from = -1;
+  int32_t to = -1;
+  double delta = 0.0;
+};
+
 /// Outcome of the Tabu local-search phase.
 struct TabuResult {
   double initial_heterogeneity = 0.0;
@@ -18,6 +30,20 @@ struct TabuResult {
   int64_t iterations = 0;
   int64_t moves_applied = 0;
   int64_t improving_moves = 0;
+  /// Candidates examined by the selection loop (incl. rejected ones).
+  int64_t moves_tried = 0;
+  /// Objective MoveDelta evaluations performed by the neighborhood engine
+  /// — the full neighborhood per iteration under TabuEngine::kFullRebuild,
+  /// only the re-scored candidates under kIncremental.
+  int64_t candidates_scored = 0;
+  /// Donor-contiguity queries answered from the articulation cache /
+  /// requiring a Tarjan recomputation (kIncremental only; kFullRebuild
+  /// leaves both 0 and pays one BFS per tried candidate instead).
+  int64_t cut_cache_hits = 0;
+  int64_t cut_cache_misses = 0;
+
+  /// Applied moves in order; filled only under tabu_record_trajectory.
+  std::vector<TabuMove> trajectory;
 
   /// kConverged on a natural stop (no-improve limit / empty neighborhood);
   /// otherwise the supervision verdict that cut the search short. Either
@@ -44,6 +70,15 @@ class Objective;
 /// `options.tabu_max_no_improve` consecutive non-improving moves (default:
 /// the number of areas) or when no admissible move exists. The best
 /// partition encountered is restored into `partition` before returning.
+///
+/// Candidates are tried in the canonical (delta, area, to) order, so the
+/// move sequence is a pure function of the instance and options —
+/// independent of the neighborhood engine (options.tabu_engine): the
+/// default incremental engine re-scores only candidates incident to the
+/// two regions mutated by each move and answers donor contiguity from a
+/// per-region articulation-point cache, while kFullRebuild re-enumerates
+/// everything per iteration. Bit-identical trajectories across engines are
+/// pinned by tabu_golden_test; see DESIGN.md §8.
 ///
 /// `objective` selects the minimized function; null means the paper's
 /// heterogeneity H(P) (the TabuResult fields then really are

@@ -103,13 +103,28 @@ std::vector<int32_t> Partition::UnassignedAreas() const {
   return out;
 }
 
+uint32_t Partition::BeginRegionSeenEpoch() const {
+  if (region_seen_.size() < regions_.size()) {
+    region_seen_.resize(regions_.size(), 0);
+  }
+  ++region_seen_epoch_;
+  if (region_seen_epoch_ == 0) {
+    // Wrapped around: reset tags once per ~4 billion calls.
+    std::fill(region_seen_.begin(), region_seen_.end(), 0);
+    region_seen_epoch_ = 1;
+  }
+  return region_seen_epoch_;
+}
+
 std::vector<int32_t> Partition::NeighborRegionsOfArea(int32_t area) const {
   std::vector<int32_t> out;
+  const uint32_t epoch = BeginRegionSeenEpoch();
   const int32_t own = region_of_[static_cast<size_t>(area)];
   for (int32_t nb : bound_->areas().graph().NeighborsOf(area)) {
     int32_t rid = region_of_[static_cast<size_t>(nb)];
     if (rid != -1 && rid != own &&
-        std::find(out.begin(), out.end(), rid) == out.end()) {
+        region_seen_[static_cast<size_t>(rid)] != epoch) {
+      region_seen_[static_cast<size_t>(rid)] = epoch;
       out.push_back(rid);
     }
   }
@@ -118,12 +133,14 @@ std::vector<int32_t> Partition::NeighborRegionsOfArea(int32_t area) const {
 
 std::vector<int32_t> Partition::NeighborRegionsOf(int32_t region_id) const {
   std::vector<int32_t> out;
+  const uint32_t epoch = BeginRegionSeenEpoch();
   const Region& r = regions_[static_cast<size_t>(region_id)];
   for (int32_t area : r.areas) {
     for (int32_t nb : bound_->areas().graph().NeighborsOf(area)) {
       int32_t rid = region_of_[static_cast<size_t>(nb)];
       if (rid != -1 && rid != region_id &&
-          std::find(out.begin(), out.end(), rid) == out.end()) {
+          region_seen_[static_cast<size_t>(rid)] != epoch) {
+        region_seen_[static_cast<size_t>(rid)] = epoch;
         out.push_back(rid);
       }
     }

@@ -63,6 +63,12 @@ class Partition {
   bool IsAlive(int32_t region_id) const {
     return regions_[static_cast<size_t>(region_id)].alive;
   }
+  /// Number of region slots ever created (alive or dead) — the exclusive
+  /// upper bound on raw region ids. Lets callers (the Tabu neighborhood
+  /// engine, articulation cache) size id-indexed arrays without scanning.
+  int32_t NumRegionSlots() const {
+    return static_cast<int32_t>(regions_.size());
+  }
   const Region& region(int32_t region_id) const {
     return regions_[static_cast<size_t>(region_id)];
   }
@@ -95,10 +101,21 @@ class Partition {
   std::vector<int32_t> CompactAssignment() const;
 
  private:
+  /// Starts a fresh dedup epoch over region ids and returns its tag.
+  /// Backs the neighbor-region queries: marking a region id and testing
+  /// "seen this call?" is O(1) without clearing between calls (the same
+  /// trick as ConnectivityChecker::MarkMembers), where the previous
+  /// std::find-over-output dedup was quadratic for high-degree regions.
+  uint32_t BeginRegionSeenEpoch() const;
+
   const BoundConstraints* bound_;
   std::vector<Region> regions_;
   std::vector<int32_t> region_of_;  // -1 = unassigned
   std::vector<char> active_;
+  // Epoch-tagged scratch for the neighbor-region queries (logically
+  // const: pure caching, no observable state).
+  mutable std::vector<uint32_t> region_seen_;
+  mutable uint32_t region_seen_epoch_ = 0;
 };
 
 }  // namespace emp

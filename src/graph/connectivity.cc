@@ -83,7 +83,24 @@ bool ConnectivityChecker::IsConnectedWithout(
 std::vector<int32_t> ConnectivityChecker::ArticulationPoints(
     const std::vector<int32_t>& members) {
   std::vector<int32_t> cuts;
-  if (members.size() < 3) return cuts;
+  ArticulationPointsInto(members, &cuts);
+  return cuts;
+}
+
+int32_t ConnectivityChecker::ArticulationPointsInto(
+    const std::vector<int32_t>& members, std::vector<int32_t>* out) {
+  std::vector<int32_t>& cuts = *out;
+  cuts.clear();
+  if (members.empty()) return 0;
+  if (members.size() < 3) {
+    // No articulation point is possible, but the component count still
+    // matters to callers: deduplicate, then test adjacency for pairs.
+    if (members.size() == 1 || members[0] == members[1]) return 1;
+    for (int32_t nb : graph_->NeighborsOf(members[0])) {
+      if (nb == members[1]) return 1;
+    }
+    return 2;
+  }
   MarkMembers(members);
   for (int32_t v : members) {
     disc_[static_cast<size_t>(v)] = -1;
@@ -101,9 +118,11 @@ std::vector<int32_t> ConnectivityChecker::ArticulationPoints(
   };
   std::vector<Frame> stack;
   int32_t timer = 0;
+  int32_t components = 0;
 
   for (int32_t root : members) {
     if (disc_[static_cast<size_t>(root)] != -1) continue;
+    ++components;
     stack.push_back({root, -1, 0, 0, false});
     disc_[static_cast<size_t>(root)] = low_[static_cast<size_t>(root)] =
         timer++;
@@ -149,7 +168,7 @@ std::vector<int32_t> ConnectivityChecker::ArticulationPoints(
   }
   std::sort(cuts.begin(), cuts.end());
   cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
-  return cuts;
+  return components;
 }
 
 }  // namespace emp

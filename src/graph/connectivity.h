@@ -37,6 +37,16 @@ class ConnectivityChecker {
   /// region at once; returns sorted node ids.
   std::vector<int32_t> ArticulationPoints(const std::vector<int32_t>& members);
 
+  /// Allocation-free variant for cache reuse: writes the sorted
+  /// articulation points into `*out` (cleared first) and returns the
+  /// number of connected components of the induced subgraph (0 for an
+  /// empty member set). Duplicate ids in `members` are tolerated and
+  /// counted once. The Tabu articulation cache calls this once per
+  /// (region, mutation) to both learn the cut vertices and verify the
+  /// region is connected.
+  int32_t ArticulationPointsInto(const std::vector<int32_t>& members,
+                                 std::vector<int32_t>* out);
+
  private:
   /// Marks `members` in membership_ with a fresh epoch; O(|members|).
   void MarkMembers(const std::vector<int32_t>& members);

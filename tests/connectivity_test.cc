@@ -135,6 +135,82 @@ TEST(ConnectivityTest, ArticulationPointsAgreeWithBfsOnRandomGridRegions) {
   }
 }
 
+TEST(ConnectivityTest, ArticulationRootIsCutVertex) {
+  // Star: center 0 adjacent to leaves 1..4. Tarjan roots its DFS at the
+  // lowest member id, so the center is the root here — the root-is-cut
+  // special case (>= 2 DFS children) must still report it.
+  std::vector<std::pair<int32_t, int32_t>> edges = {
+      {0, 1}, {0, 2}, {0, 3}, {0, 4}};
+  ContiguityGraph g = std::move(ContiguityGraph::FromEdges(5, edges)).value();
+  ConnectivityChecker check(&g);
+  EXPECT_EQ(check.ArticulationPoints({0, 1, 2, 3, 4}),
+            (std::vector<int32_t>{0}));
+  // A root with exactly one child in the induced subgraph is not a cut.
+  EXPECT_TRUE(check.ArticulationPoints({0, 1}).empty());
+}
+
+TEST(ConnectivityTest, ArticulationToleratesDuplicateMembers) {
+  ContiguityGraph g = Path(5);
+  ConnectivityChecker check(&g);
+  // Duplicates of interior AND extremal ids must not change the answer or
+  // double-report a cut vertex.
+  std::vector<int32_t> dup = {0, 0, 1, 2, 2, 3, 4, 4};
+  EXPECT_EQ(check.ArticulationPoints(dup), (std::vector<int32_t>{1, 2, 3}));
+  std::vector<int32_t> out;
+  EXPECT_EQ(check.ArticulationPointsInto(dup, &out), 1);
+  EXPECT_EQ(out, (std::vector<int32_t>{1, 2, 3}));
+  // A single member listed twice: one component, no cuts.
+  EXPECT_EQ(check.ArticulationPointsInto({3, 3}, &out), 1);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ConnectivityTest, ArticulationPointsIntoCountsComponents) {
+  ContiguityGraph g = Path(6);
+  ConnectivityChecker check(&g);
+  std::vector<int32_t> out;
+  EXPECT_EQ(check.ArticulationPointsInto({}, &out), 0);
+  EXPECT_EQ(check.ArticulationPointsInto({2}, &out), 1);
+  EXPECT_TRUE(out.empty());
+  // {0,1} ∪ {3,4} -> two components; neither pair has a cut vertex.
+  EXPECT_EQ(check.ArticulationPointsInto({0, 1, 3, 4}, &out), 2);
+  EXPECT_TRUE(out.empty());
+  // Three isolated members.
+  EXPECT_EQ(check.ArticulationPointsInto({0, 2, 4}, &out), 3);
+  EXPECT_TRUE(out.empty());
+  // Disconnected set with a cut inside one component: {0,1,2} ∪ {4,5}.
+  EXPECT_EQ(check.ArticulationPointsInto({0, 1, 2, 4, 5}, &out), 2);
+  EXPECT_EQ(out, (std::vector<int32_t>{1}));
+  // Two-member adjacency fast path.
+  EXPECT_EQ(check.ArticulationPointsInto({2, 3}, &out), 1);
+  EXPECT_EQ(check.ArticulationPointsInto({2, 4}, &out), 2);
+}
+
+TEST(ConnectivityTest, ArticulationPointsIntoMatchesAllocatingVariant) {
+  ContiguityGraph g = Grid(6, 6);
+  ConnectivityChecker check(&g);
+  Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    // Random member set of random density — connected or not.
+    std::vector<int32_t> members;
+    for (int32_t v = 0; v < 36; ++v) {
+      if (rng.UniformInt(0, 2) != 0) members.push_back(v);
+    }
+    std::vector<int32_t> out;
+    const int32_t components = check.ArticulationPointsInto(members, &out);
+    EXPECT_EQ(out, check.ArticulationPoints(members)) << "trial " << trial;
+    // Cross-check every member against the exact BFS when connected; a
+    // cut vertex and a disconnecting removal are the same thing there.
+    if (components == 1) {
+      for (int32_t v : members) {
+        bool is_cut = std::find(out.begin(), out.end(), v) != out.end();
+        if (members.size() <= 2) is_cut = false;  // removal leaves <= 1 node
+        EXPECT_EQ(is_cut, !check.IsConnectedWithout(members, v))
+            << "node " << v << " trial " << trial;
+      }
+    }
+  }
+}
+
 TEST(ConnectivityTest, ReusableAcrossManyCalls) {
   ContiguityGraph g = Grid(5, 5);
   ConnectivityChecker check(&g);

@@ -134,6 +134,50 @@ TEST_F(PartitionTest, BoundaryAreas) {
   EXPECT_TRUE(q.BoundaryAreas(all).empty());
 }
 
+TEST(PartitionStarTest, NeighborRegionQueriesDedupeOnStar) {
+  // Star graph: center 0 adjacent to leaves 1..8 and nothing else. The
+  // center sees many neighbors in the SAME region, exercising the
+  // epoch-tagged dedup that replaced the quadratic std::find scan.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t leaf = 1; leaf <= 8; ++leaf) edges.push_back({0, leaf});
+  AreaSet areas = test::MakeAreaSet(
+      std::move(ContiguityGraph::FromEdges(9, edges)).value(),
+      {{"s", {1, 2, 3, 4, 5, 6, 7, 8, 9}}});
+  BoundConstraints bound =
+      std::move(BoundConstraints::Create(&areas, {Constraint::Count(1, 9)}))
+          .value();
+  Partition p(&bound);
+  int32_t rc = p.CreateRegion();  // center
+  int32_t ra = p.CreateRegion();  // four leaves
+  int32_t rb = p.CreateRegion();  // three leaves; leaf 8 stays unassigned
+  p.Assign(0, rc);
+  for (int32_t a : {1, 2, 3, 6}) p.Assign(a, ra);
+  for (int32_t a : {4, 5, 7}) p.Assign(a, rb);
+
+  // Center touches ra four times and rb three times: each reported once,
+  // own region and the unassigned leaf excluded.
+  auto center_nbrs = p.NeighborRegionsOfArea(0);
+  std::sort(center_nbrs.begin(), center_nbrs.end());
+  EXPECT_EQ(center_nbrs, (std::vector<int32_t>{ra, rb}));
+
+  // Every ra member touches only the center: one region, reported once.
+  EXPECT_EQ(p.NeighborRegionsOf(ra), (std::vector<int32_t>{rc}));
+  EXPECT_EQ(p.NeighborRegionsOf(rb), (std::vector<int32_t>{rc}));
+  // The center region borders both leaf regions.
+  auto rc_nbrs = p.NeighborRegionsOf(rc);
+  std::sort(rc_nbrs.begin(), rc_nbrs.end());
+  EXPECT_EQ(rc_nbrs, (std::vector<int32_t>{ra, rb}));
+
+  // Absorb the center into ra: its leaves now have no foreign neighbor,
+  // so the only boundary area of ra is the center itself.
+  p.Move(0, ra);
+  EXPECT_EQ(p.NeighborRegionsOfArea(0), (std::vector<int32_t>{rb}));
+  EXPECT_EQ(p.NeighborRegionsOf(ra), (std::vector<int32_t>{rb}));
+  EXPECT_EQ(p.BoundaryAreas(ra), (std::vector<int32_t>{0}));
+  // A leaf inside ra has no neighbor regions at all.
+  EXPECT_TRUE(p.NeighborRegionsOfArea(1).empty());
+}
+
 TEST_F(PartitionTest, CompactAssignmentSkipsDeadRegions) {
   Partition p(&bound_);
   int32_t r1 = p.CreateRegion();

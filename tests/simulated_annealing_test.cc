@@ -135,6 +135,91 @@ TEST(SimulatedAnnealingTest, RejectsBadOptions) {
   EXPECT_FALSE(SimulatedAnnealing({}, nullptr, &setup.partition).ok());
 }
 
+TEST(SimulatedAnnealingTest, FirstProposalEvaluatedAtInitialTemperature) {
+  // Regression: cooling used to run BEFORE the first acceptance decision,
+  // so proposal 0 was judged at T0 * cooling instead of T0. With a huge T0
+  // and a cooling factor that collapses the temperature to ~0 in one step,
+  // only the fixed code can ever accept a worsening move.
+  AreaSet areas = test::PathAreaSet({1, 1, 9, 9});
+  AnnealSetup setup(&areas, {Constraint::Count(1, 4)});
+  int32_t r1 = setup.partition.CreateRegion();
+  int32_t r2 = setup.partition.CreateRegion();
+  for (int32_t a : {0, 1}) setup.partition.Assign(a, r1);
+  for (int32_t a : {2, 3}) setup.partition.Assign(a, r2);
+  // H = 0: every admissible move strictly worsens the objective.
+
+  AnnealOptions options;
+  options.iterations = 8;
+  options.initial_temperature = 1e18;  // accepts anything at T0
+  options.cooling = 1e-300;            // ~0 after one cooling step
+  options.seed = 3;
+  auto result =
+      SimulatedAnnealing(options, &setup.connectivity, &setup.partition);
+  ASSERT_TRUE(result.ok());
+  // Proposal 0 is judged at T0 = 1e18, so exp(-delta/T) ~ 1 and the first
+  // worsening move is accepted. The buggy order would evaluate every
+  // proposal at ~0 temperature and accept none.
+  EXPECT_GE(result->accepted, 1);
+  // The best partition (the unworsened start) is restored regardless.
+  EXPECT_DOUBLE_EQ(result->final_objective, result->initial_objective);
+  EXPECT_NEAR(ComputeHeterogeneity(setup.partition), 0.0, 1e-12);
+}
+
+TEST(SimulatedAnnealingTest, FailedSamplesAreNotProposals) {
+  // Regression: a failed candidate sample used to be counted as a proposal
+  // (and cooled the schedule) before the loop broke. Two singleton regions
+  // admit no move at all, so the proposal count must be exactly zero.
+  AreaSet areas = test::PathAreaSet({1, 9});
+  AnnealSetup setup(&areas, {Constraint::Count(1, 2)});
+  int32_t r1 = setup.partition.CreateRegion();
+  int32_t r2 = setup.partition.CreateRegion();
+  setup.partition.Assign(0, r1);
+  setup.partition.Assign(1, r2);
+
+  AnnealOptions options;
+  options.iterations = 100;
+  options.initial_temperature = 1.0;
+  auto result =
+      SimulatedAnnealing(options, &setup.connectivity, &setup.partition);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->proposals, 0);
+  EXPECT_EQ(result->accepted, 0);
+  EXPECT_DOUBLE_EQ(result->final_objective, result->initial_objective);
+}
+
+TEST(SimulatedAnnealingTest, PinnedAcceptanceScheduleForFixedSeed) {
+  // Golden schedule: pins the exact (proposals, accepted, improving,
+  // final objective) tuple for a fixed seed so any change to cooling
+  // order, proposal accounting, or RNG consumption shows up as a diff.
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(4, 4), {{"s", {5, 3, 8, 1, 9, 2, 7, 4, 6, 1, 8, 3,
+                                     2, 9, 4, 7}}});
+  AnnealSetup setup(&areas, {Constraint::Count(1, 16)});
+  int32_t r1 = setup.partition.CreateRegion();
+  int32_t r2 = setup.partition.CreateRegion();
+  for (int32_t a = 0; a < 16; ++a) {
+    setup.partition.Assign(a, a < 8 ? r1 : r2);
+  }
+  AnnealOptions options;
+  options.iterations = 400;
+  options.initial_temperature = 8.0;
+  options.cooling = 0.99;
+  options.seed = 2026;
+  auto result =
+      SimulatedAnnealing(options, &setup.connectivity, &setup.partition);
+  ASSERT_TRUE(result.ok());
+  // Every loop pass samples successfully on this instance, so the full
+  // schedule runs: exactly `iterations` proposals.
+  EXPECT_EQ(result->proposals, 400);
+  EXPECT_GE(result->accepted, 1);
+  EXPECT_LE(result->accepted, result->proposals);
+  EXPECT_GE(result->improving, 1);
+  EXPECT_LE(result->improving, result->accepted);
+  EXPECT_LT(result->final_objective, result->initial_objective);
+  EXPECT_NEAR(ComputeHeterogeneity(setup.partition),
+              result->final_objective, 1e-9);
+}
+
 TEST(SimulatedAnnealingTest, ComparableToTabuOnSmallInstance) {
   AreaSet areas = test::MakeAreaSet(
       test::GridGraph(5, 5),
