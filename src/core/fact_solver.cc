@@ -14,6 +14,7 @@
 #include "core/construction/unified_growth.h"
 #include "core/local_search/heterogeneity.h"
 #include "core/partition.h"
+#include "core/portfolio.h"
 #include "graph/connectivity.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -47,6 +48,13 @@ Result<Solution> FactSolver::Solve() {
 
 Result<Solution> FactSolver::Solve(const RunContext& ctx) {
   EMP_RETURN_IF_ERROR(ValidateSolverOptions(options_));
+  if (options_.portfolio_replicas > 1) {
+    // Multi-start portfolio requested: run N independent replicas and
+    // reduce deterministically. The portfolio re-enters this function
+    // once per replica with portfolio_replicas forced back to 1.
+    PortfolioSolver portfolio(areas_, constraints_, options_);
+    return portfolio.Solve(ctx);
+  }
   if (areas_ == nullptr) {
     return Status::InvalidArgument("FactSolver: null area set");
   }

@@ -54,6 +54,11 @@ class FactSolver {
   ///
   /// Supervision: equivalent to Solve(MakeRunContext(options())), i.e.
   /// time_budget_ms / max_evaluations are honored.
+  ///
+  /// Multi-start: when options().portfolio_replicas > 1, the solve
+  /// delegates to PortfolioSolver (core/portfolio.h) — N independent
+  /// replicas across portfolio_threads workers, reduced
+  /// deterministically to one Solution.
   Result<Solution> Solve();
 
   /// Same, under an explicit supervision context (deadline, cancellation,

@@ -1,0 +1,321 @@
+#include "core/portfolio.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/fact_solver.h"
+#include "core/local_search/tabu.h"
+#include "core/partition.h"
+#include "graph/connectivity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace emp {
+
+bool BeatsInReduction(const ReplicaScore& a, const ReplicaScore& b) {
+  if (a.p != b.p) return a.p > b.p;
+  if (a.heterogeneity != b.heterogeneity) {
+    return a.heterogeneity < b.heterogeneity;
+  }
+  return a.replica < b.replica;
+}
+
+namespace {
+
+/// Seed stride between replicas. Distinct from the two constants the
+/// construction phase uses to derive (iteration, attempt) streams, so
+/// replica streams never collide with intra-replica ones. Replica 0 keeps
+/// the base seed: a 1-replica portfolio explores the same constructions
+/// as a plain solve.
+constexpr uint64_t kReplicaSeedStride = 0xA24BAED4963EE407ULL;
+
+/// Lock-guarded best-constructed-p shared by all replicas. Consulted for
+/// the local-search cutoff: a replica strictly below the incumbent p can
+/// never win the reduction (which orders by p first), so skipping its
+/// tabu phase changes how much work runs, never which solution returns.
+struct Incumbent {
+  std::mutex mu;
+  int32_t best_p = -1;
+  int32_t best_replica = std::numeric_limits<int32_t>::max();
+};
+
+struct ReplicaOutcome {
+  bool started = false;
+  bool tabu_skipped = false;
+  Status status = Status::OK();
+  std::optional<Solution> solution;
+};
+
+/// Rebuilds a construction partition from a solution's assignment so the
+/// local-search phase can continue where the replica's construction-only
+/// solve left off.
+void RebuildPartition(const Solution& solution, Partition* partition) {
+  for (int32_t a : solution.feasibility.invalid_areas) {
+    partition->Deactivate(a);
+  }
+  for (const std::vector<int32_t>& members : solution.regions) {
+    const int32_t rid = partition->CreateRegion();
+    for (int32_t a : members) partition->Assign(a, rid);
+  }
+}
+
+}  // namespace
+
+PortfolioSolver::PortfolioSolver(const AreaSet* areas,
+                                 std::vector<Constraint> constraints,
+                                 SolverOptions options)
+    : areas_(areas),
+      constraints_(std::move(constraints)),
+      options_(options) {}
+
+Result<PortfolioSolver> PortfolioSolver::Create(
+    const AreaSet* areas, std::vector<Constraint> constraints,
+    SolverOptions options) {
+  EMP_RETURN_IF_ERROR(ValidateSolverOptions(options));
+  if (areas == nullptr) {
+    return Status::InvalidArgument("PortfolioSolver: null area set");
+  }
+  Result<BoundConstraints> bound = BoundConstraints::Create(areas, constraints);
+  if (!bound.ok()) return bound.status();
+  return PortfolioSolver(areas, std::move(constraints), options);
+}
+
+Result<Solution> PortfolioSolver::Solve() {
+  return Solve(MakeRunContext(options_));
+}
+
+Result<Solution> PortfolioSolver::Solve(const RunContext& ctx) {
+  EMP_RETURN_IF_ERROR(ValidateSolverOptions(options_));
+  if (areas_ == nullptr) {
+    return Status::InvalidArgument("PortfolioSolver: null area set");
+  }
+  // Surface malformed constraints here, before any thread spawns; each
+  // replica rebuilds its own bound (cheap, pointers into areas_).
+  EMP_RETURN_IF_ERROR(BoundConstraints::Create(areas_, constraints_).status());
+
+  const int32_t replicas = options_.portfolio_replicas;
+  const int threads = std::max(
+      1, std::min(options_.portfolio_threads, static_cast<int>(replicas)));
+
+  Stopwatch portfolio_timer;
+  obs::ScopedSpan portfolio_span(ctx.trace, "portfolio");
+
+  Incumbent incumbent;
+  std::atomic<bool> stop_new_replicas{false};
+  std::atomic<int32_t> replicas_improved{0};
+  std::vector<CancellationToken> replica_tokens(
+      static_cast<size_t>(replicas));
+  std::vector<ReplicaOutcome> outcomes(static_cast<size_t>(replicas));
+
+  auto run_replica = [&](int32_t replica) {
+    ReplicaOutcome& out = outcomes[static_cast<size_t>(replica)];
+    out.started = true;
+    obs::ScopedSpan replica_span(ctx.trace, "portfolio.replica",
+                                 /*worker=*/replica);
+
+    // Replicas are single-threaded internally (the solve's parallelism
+    // budget is portfolio_threads) and never re-enter the portfolio.
+    // Local search is run below, after the incumbent consult.
+    SolverOptions replica_options = options_;
+    replica_options.seed =
+        options_.seed + kReplicaSeedStride * static_cast<uint64_t>(replica);
+    replica_options.portfolio_replicas = 1;
+    replica_options.construction_threads = 1;
+    replica_options.run_local_search = false;
+
+    // Child supervision context: shares the caller's deadline, evaluation
+    // budget (same counter), and telemetry sinks, but owns its
+    // cancellation token so this replica can be cancelled individually.
+    // The caller's token (and fault hook) stay visible through the hook,
+    // which PhaseSupervisor polls at every checkpoint.
+    RunContext child;
+    child.deadline = ctx.deadline;
+    child.cancel = replica_tokens[static_cast<size_t>(replica)];
+    child.max_evaluations = ctx.max_evaluations;
+    child.evaluations_spent = ctx.evaluations_spent;
+    child.metrics = ctx.metrics;
+    child.trace = ctx.trace;
+    child.progress = ctx.progress;
+    CancellationToken parent_cancel = ctx.cancel;
+    auto parent_hook = ctx.fault_hook;
+    child.fault_hook = [parent_cancel, parent_hook](
+                           const SupervisionCheckpoint& checkpoint)
+        -> std::optional<TerminationReason> {
+      if (parent_cancel.cancelled()) return TerminationReason::kCancelled;
+      if (parent_hook) return parent_hook(checkpoint);
+      return std::nullopt;
+    };
+
+    FactSolver solver(areas_, constraints_, replica_options);
+    Result<Solution> constructed = solver.Solve(child);
+    if (!constructed.ok()) {
+      out.status = constructed.status();
+      return;
+    }
+    out.solution = std::move(constructed).value();
+    Solution& solution = *out.solution;
+    const int32_t p = solution.p();
+
+    // Publish the constructed p, then consult: p never changes in local
+    // search, so the incumbent is final as far as the reduction's primary
+    // key is concerned.
+    int32_t incumbent_p;
+    {
+      std::lock_guard<std::mutex> lock(incumbent.mu);
+      if (p > incumbent.best_p ||
+          (p == incumbent.best_p && replica < incumbent.best_replica)) {
+        if (p > incumbent.best_p) {
+          replicas_improved.fetch_add(1, std::memory_order_relaxed);
+        }
+        incumbent.best_p = p;
+        incumbent.best_replica = replica;
+      }
+      incumbent_p = incumbent.best_p;
+    }
+    if (options_.portfolio_target_p >= 0 &&
+        incumbent_p >= options_.portfolio_target_p &&
+        !stop_new_replicas.exchange(true, std::memory_order_relaxed)) {
+      // Target reached: stop handing out replicas and cancel in-flight
+      // stragglers at their next checkpoint. This replica skips its own
+      // local search too — the target is a "good enough, return now" bar.
+      for (int32_t other = 0; other < replicas; ++other) {
+        if (other != replica) {
+          replica_tokens[static_cast<size_t>(other)].Cancel();
+        }
+      }
+    }
+
+    if (!options_.run_local_search || p <= 0) return;
+    if (solution.termination_reason != TerminationReason::kConverged) {
+      return;  // Degraded construction: its partial competes as-is.
+    }
+    if (stop_new_replicas.load(std::memory_order_relaxed)) return;
+    if (options_.portfolio_share_incumbent && p < incumbent_p) {
+      // Provably losing on p; heterogeneity polish cannot change that.
+      out.tabu_skipped = true;
+      return;
+    }
+
+    Result<BoundConstraints> bound =
+        BoundConstraints::Create(areas_, constraints_);
+    if (!bound.ok()) {
+      out.status = bound.status();
+      return;
+    }
+    Partition partition(&*bound);
+    RebuildPartition(solution, &partition);
+    ConnectivityChecker connectivity(&areas_->graph());
+    Stopwatch tabu_timer;
+    obs::ScopedSpan tabu_span(ctx.trace, "tabu", /*worker=*/replica);
+    PhaseSupervisor supervisor(&child, "tabu", /*worker=*/replica);
+    Result<TabuResult> tabu =
+        TabuSearch(replica_options, &connectivity, &partition,
+                   /*objective=*/nullptr, &supervisor);
+    if (!tabu.ok()) {
+      out.status = tabu.status();
+      return;
+    }
+    solution.tabu_result = std::move(tabu).value();
+    solution.local_search_seconds = tabu_timer.ElapsedSeconds();
+    solution.heterogeneity = solution.tabu_result.final_heterogeneity;
+    if (solution.termination_reason == TerminationReason::kConverged) {
+      solution.termination_reason = solution.tabu_result.termination;
+    }
+    FillAssignmentFromPartition(partition, &solution);
+  };
+
+  // Ticket-counter worker pool, same shape as the construction pool:
+  // `threads` workers (this thread included) pull replica ids from a
+  // shared counter; outcomes land in pre-sized slots, so the only
+  // synchronization is the counter, the incumbent lock, and the joins.
+  std::atomic<int32_t> next_replica{0};
+  auto drain = [&]() {
+    int32_t replica;
+    while (!stop_new_replicas.load(std::memory_order_relaxed) &&
+           (replica = next_replica.fetch_add(
+                1, std::memory_order_relaxed)) < replicas) {
+      run_replica(replica);
+    }
+  };
+  if (threads <= 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads - 1));
+    for (int t = 1; t < threads; ++t) pool.emplace_back(drain);
+    drain();
+    for (std::thread& worker : pool) worker.join();
+  }
+
+  // Deterministic reduction. Errors first, by replica index, so a failing
+  // portfolio reports the same error at any thread count.
+  for (const ReplicaOutcome& out : outcomes) {
+    EMP_RETURN_IF_ERROR(out.status);
+  }
+  int32_t winner = -1;
+  ReplicaScore best;
+  for (int32_t replica = 0; replica < replicas; ++replica) {
+    const ReplicaOutcome& out = outcomes[static_cast<size_t>(replica)];
+    if (!out.solution.has_value()) continue;
+    ReplicaScore score{out.solution->p(), out.solution->heterogeneity,
+                       replica};
+    if (winner < 0 || BeatsInReduction(score, best)) {
+      winner = replica;
+      best = score;
+    }
+  }
+  if (winner < 0) {
+    return Status::Internal("PortfolioSolver: no replica produced a result");
+  }
+
+  stats_ = PortfolioStats{};
+  stats_.replicas = replicas;
+  stats_.winning_replica = winner;
+  stats_.threads = threads;
+  stats_.replica_p.assign(static_cast<size_t>(replicas), -1);
+  for (int32_t replica = 0; replica < replicas; ++replica) {
+    const ReplicaOutcome& out = outcomes[static_cast<size_t>(replica)];
+    if (!out.started) continue;
+    ++stats_.replicas_started;
+    if (out.tabu_skipped) ++stats_.tabu_skipped;
+    if (out.solution.has_value()) {
+      stats_.replica_p[static_cast<size_t>(replica)] = out.solution->p();
+      if (out.solution->termination_reason == TerminationReason::kCancelled) {
+        ++stats_.replicas_cancelled;
+      }
+    }
+  }
+
+  if (obs::MetricRegistry* metrics = ctx.metrics; metrics != nullptr) {
+    metrics->GetCounter("emp_portfolio_replicas_started_total")
+        ->Add(stats_.replicas_started);
+    metrics->GetCounter("emp_portfolio_replicas_cancelled_total")
+        ->Add(stats_.replicas_cancelled);
+    metrics->GetCounter("emp_portfolio_replicas_improved_total")
+        ->Add(replicas_improved.load(std::memory_order_relaxed));
+    metrics->GetCounter("emp_portfolio_tabu_skipped_total")
+        ->Add(stats_.tabu_skipped);
+    obs::Histogram* replica_p = metrics->GetHistogram(
+        "emp_portfolio_replica_p",
+        {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0});
+    for (int32_t p : stats_.replica_p) {
+      if (p >= 0) replica_p->Observe(static_cast<double>(p));
+    }
+    metrics->GetGauge("emp_portfolio_threads")->Set(threads);
+    metrics->GetGauge("emp_portfolio_best_replica")->Set(winner);
+    metrics->GetGauge("emp_portfolio_best_p")->Set(best.p);
+    metrics->GetGauge("emp_portfolio_seconds")
+        ->Set(portfolio_timer.ElapsedSeconds());
+  }
+
+  return std::move(*outcomes[static_cast<size_t>(winner)].solution);
+}
+
+}  // namespace emp

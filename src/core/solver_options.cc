@@ -42,6 +42,22 @@ Status ValidateSolverOptions(const SolverOptions& options) {
         "got " +
         std::to_string(options.tabu_max_iterations) + ")");
   }
+  if (options.portfolio_replicas < 1) {
+    return Status::InvalidArgument(
+        "SolverOptions.portfolio_replicas must be >= 1 (got " +
+        std::to_string(options.portfolio_replicas) + ")");
+  }
+  if (options.portfolio_threads < 1) {
+    return Status::InvalidArgument(
+        "SolverOptions.portfolio_threads must be >= 1 (got " +
+        std::to_string(options.portfolio_threads) + ")");
+  }
+  if (options.portfolio_target_p < -1) {
+    return Status::InvalidArgument(
+        "SolverOptions.portfolio_target_p must be >= -1 (-1 = disabled; "
+        "got " +
+        std::to_string(options.portfolio_target_p) + ")");
+  }
   if (options.time_budget_ms < -1) {
     return Status::InvalidArgument(
         "SolverOptions.time_budget_ms must be >= -1 (-1 = no limit; got " +

@@ -108,6 +108,35 @@ struct SolverOptions {
   /// RNG seed for pickup shuffles and tie-breaking.
   uint64_t seed = 42;
 
+  /// Independent FaCT replicas run by the solver portfolio (DESIGN.md
+  /// §10). Each replica is a full construction → local-search chain on
+  /// its own derived RNG stream; the portfolio returns the best result
+  /// under the deterministic reduction rule (highest p, then lowest
+  /// heterogeneity, then lowest replica index). 1 = plain single solve;
+  /// FactSolver::Solve() delegates to PortfolioSolver when > 1.
+  int portfolio_replicas = 1;
+
+  /// Worker threads the portfolio spreads its replicas across. Replicas
+  /// run single-threaded internally (construction_threads is forced to 1
+  /// per replica), so this is the solve's total parallelism. The thread
+  /// count never changes the returned solution — only who runs which
+  /// replica.
+  int portfolio_threads = 1;
+
+  /// Let replicas consult the shared incumbent after construction and
+  /// skip their local-search phase when their p is strictly below the
+  /// incumbent's (they can no longer win the reduction, which orders by
+  /// p first). Winner-preserving, so the returned solution is unchanged;
+  /// only wasted tabu work is cut. On by default.
+  bool portfolio_share_incumbent = true;
+
+  /// Early-exit target: once any replica's construction reaches this p,
+  /// the portfolio cooperatively cancels the remaining replicas and
+  /// returns the best result found. -1 disables. Like time budgets, a
+  /// target makes the outcome timing-dependent (the thread-count
+  /// invariance guarantee applies to untargeted, unbudgeted solves).
+  int32_t portfolio_target_p = -1;
+
   /// Wall-clock budget for the whole solve in milliseconds; -1 = no limit.
   /// On expiry the solver stops at the next checkpoint and returns its
   /// best-so-far solution tagged TerminationReason::kDeadlineExceeded.

@@ -46,8 +46,8 @@ Result<AreaSet> LoadAreaSetFromCsvFile(const std::string& path,
 /// Serializes an AreaSet back to the loader's CSV format (geometry as WKT
 /// plus all attribute columns). Requires geometry. Round-trips with
 /// LoadAreaSetFromCsvText up to floating-point formatting.
-Result<std::string> AreaSetToCsvText(const AreaSet& areas,
-                                     const std::string& geometry_column = "WKT");
+Result<std::string> AreaSetToCsvText(
+    const AreaSet& areas, const std::string& geometry_column = "WKT");
 
 /// Derives the contiguity graph from polygon geometry alone: bounding-box
 /// sweep for candidate pairs, confirmed by shared-border length (rook) and

@@ -139,8 +139,9 @@ Result<AreaSet> SynthesizeMap(const MapSpec& spec) {
     id_offset += n_c;
   }
 
-  EMP_ASSIGN_OR_RETURN(ContiguityGraph graph,
-                       ContiguityGraph::FromNeighborLists(std::move(neighbors)));
+  EMP_ASSIGN_OR_RETURN(
+      ContiguityGraph graph,
+      ContiguityGraph::FromNeighborLists(std::move(neighbors)));
 
   // --- Attributes: correlated latents, rank-mapped marginals. ---------
   AttributeTable table(spec.num_areas);

@@ -23,8 +23,10 @@ NoiseField::NoiseField(uint64_t seed, double frequency, int octaves)
     : seed_(seed), frequency_(frequency), octaves_(octaves < 1 ? 1 : octaves) {}
 
 double NoiseField::LatticeValue(int64_t ix, int64_t iy, uint64_t salt) const {
-  uint64_t h = Mix64(seed_ ^ salt ^ Mix64(static_cast<uint64_t>(ix) * 0x9E3779B97F4A7C15ULL ^
-                                          static_cast<uint64_t>(iy)));
+  uint64_t h = Mix64(
+      seed_ ^ salt ^
+      Mix64(static_cast<uint64_t>(ix) * 0x9E3779B97F4A7C15ULL ^
+            static_cast<uint64_t>(iy)));
   return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^53
 }
 

@@ -48,7 +48,8 @@ TEST(AreaSetTest, CreateWithGeometry) {
 
 TEST(AreaSetTest, RejectsPolygonCountMismatch) {
   std::vector<Polygon> polys(2);
-  EXPECT_FALSE(AreaSet::Create("x", polys, MakePath(3), MakeTable(3), "D").ok());
+  EXPECT_FALSE(
+      AreaSet::Create("x", polys, MakePath(3), MakeTable(3), "D").ok());
 }
 
 TEST(AreaSetTest, RejectsAttributeRowMismatch) {

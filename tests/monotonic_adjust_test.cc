@@ -15,7 +15,9 @@ struct AdjustSetup {
         partition(&bound),
         connectivity(&areas_in->graph()) {}
 
-  Status Adjust() { return AdjustForCounting(&connectivity, &partition, &stats); }
+  Status Adjust() {
+    return AdjustForCounting(&connectivity, &partition, &stats);
+  }
 
   const AreaSet* areas;
   BoundConstraints bound;

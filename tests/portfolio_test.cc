@@ -1,0 +1,269 @@
+// PortfolioSolver: the multi-start portfolio extends the construction
+// pool's thread-count-invariance guarantee to the whole solve. For a
+// fixed (seed, portfolio_replicas) the deterministic reduction — highest
+// p, then lowest heterogeneity, then lowest replica index — must return
+// a bit-identical solution at 1, 2, and 8 threads. Timing fields differ
+// between runs, so the JSON comparison strips *_seconds lines.
+
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/fact_solver.h"
+#include "core/portfolio.h"
+#include "core/report.h"
+#include "core/validate.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "obs/metrics.h"
+
+namespace emp {
+namespace {
+
+std::string StripTimingLines(const std::string& json) {
+  std::istringstream in(json);
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (line.find("_seconds") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<Constraint> SumConstraint() {
+  return {Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+}
+
+TEST(ReductionRuleTest, OrdersByPThenHeterogeneityThenIndex) {
+  // Higher p always wins, regardless of heterogeneity or index.
+  EXPECT_TRUE(BeatsInReduction({5, 99.0, 7}, {4, 1.0, 0}));
+  EXPECT_FALSE(BeatsInReduction({4, 1.0, 0}, {5, 99.0, 7}));
+  // Equal p: lower heterogeneity wins.
+  EXPECT_TRUE(BeatsInReduction({5, 1.0, 7}, {5, 2.0, 0}));
+  EXPECT_FALSE(BeatsInReduction({5, 2.0, 0}, {5, 1.0, 7}));
+  // Equal p and heterogeneity: lower replica index wins.
+  EXPECT_TRUE(BeatsInReduction({5, 1.0, 2}, {5, 1.0, 3}));
+  EXPECT_FALSE(BeatsInReduction({5, 1.0, 3}, {5, 1.0, 2}));
+  // Nothing beats itself.
+  EXPECT_FALSE(BeatsInReduction({5, 1.0, 2}, {5, 1.0, 2}));
+}
+
+TEST(PortfolioTest, SameSeedSameSolutionAcrossThreadCounts) {
+  auto areas = synthetic::MakeDefaultDataset("pf", 300, /*seed=*/7);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = SumConstraint();
+
+  std::string reference_json;
+  Solution reference;
+  int32_t reference_winner = -1;
+  std::vector<int32_t> reference_replica_p;
+  for (int threads : {1, 2, 8}) {
+    SolverOptions options;
+    options.seed = 1234;
+    options.portfolio_replicas = 6;
+    options.portfolio_threads = threads;
+    auto solver = PortfolioSolver::Create(&*areas, cs, options);
+    ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+    auto sol = solver->Solve();
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+    auto json = SolutionToJson(*areas, cs, *sol);
+    ASSERT_TRUE(json.ok()) << json.status().ToString();
+    const std::string stripped = StripTimingLines(*json);
+    if (threads == 1) {
+      reference_json = stripped;
+      reference = *sol;
+      reference_winner = solver->stats().winning_replica;
+      reference_replica_p = solver->stats().replica_p;
+      continue;
+    }
+    EXPECT_EQ(stripped, reference_json) << "threads=" << threads;
+    EXPECT_EQ(sol->p(), reference.p()) << "threads=" << threads;
+    EXPECT_EQ(sol->region_of, reference.region_of) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(sol->heterogeneity, reference.heterogeneity)
+        << "threads=" << threads;
+    EXPECT_EQ(solver->stats().winning_replica, reference_winner)
+        << "threads=" << threads;
+    EXPECT_EQ(solver->stats().replica_p, reference_replica_p)
+        << "replica_p should itself be thread-count invariant";
+  }
+}
+
+TEST(PortfolioTest, FactSolverDelegatesWhenReplicasRequested) {
+  auto areas = synthetic::MakeDefaultDataset("pf-delegate", 200, /*seed=*/3);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = SumConstraint();
+  SolverOptions options;
+  options.seed = 99;
+  options.portfolio_replicas = 4;
+  options.portfolio_threads = 2;
+
+  auto direct = PortfolioSolver::Create(&*areas, cs, options);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  auto via_portfolio = direct->Solve();
+  ASSERT_TRUE(via_portfolio.ok()) << via_portfolio.status().ToString();
+
+  auto fact = FactSolver::Create(&*areas, cs, options);
+  ASSERT_TRUE(fact.ok()) << fact.status().ToString();
+  auto via_fact = fact->Solve();
+  ASSERT_TRUE(via_fact.ok()) << via_fact.status().ToString();
+
+  EXPECT_EQ(via_fact->p(), via_portfolio->p());
+  EXPECT_EQ(via_fact->region_of, via_portfolio->region_of);
+  EXPECT_DOUBLE_EQ(via_fact->heterogeneity, via_portfolio->heterogeneity);
+}
+
+TEST(PortfolioTest, ShareIncumbentNeverChangesTheWinner) {
+  // The incumbent cutoff may skip local search for provably-losing
+  // replicas; the returned solution must be unchanged either way.
+  auto areas = synthetic::MakeDefaultDataset("pf-share", 250, /*seed=*/11);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = SumConstraint();
+  SolverOptions options;
+  options.seed = 77;
+  options.portfolio_replicas = 5;
+  options.portfolio_threads = 1;
+
+  options.portfolio_share_incumbent = true;
+  auto with_share = PortfolioSolver::Create(&*areas, cs, options);
+  ASSERT_TRUE(with_share.ok());
+  auto a = with_share->Solve();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+
+  options.portfolio_share_incumbent = false;
+  auto without_share = PortfolioSolver::Create(&*areas, cs, options);
+  ASSERT_TRUE(without_share.ok());
+  auto b = without_share->Solve();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  EXPECT_EQ(a->p(), b->p());
+  EXPECT_EQ(a->region_of, b->region_of);
+  EXPECT_DOUBLE_EQ(a->heterogeneity, b->heterogeneity);
+  EXPECT_EQ(without_share->stats().tabu_skipped, 0);
+}
+
+TEST(PortfolioTest, TargetPStopsTheQueueAfterTheFirstHit) {
+  auto areas = synthetic::MakeDefaultDataset("pf-target", 200, /*seed=*/5);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = SumConstraint();
+  SolverOptions options;
+  options.portfolio_replicas = 8;
+  options.portfolio_threads = 1;  // deterministic completion order
+  options.portfolio_target_p = 1;
+  auto solver = PortfolioSolver::Create(&*areas, cs, options);
+  ASSERT_TRUE(solver.ok());
+  auto sol = solver->Solve();
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_GE(sol->p(), 1);
+  // Replica 0 reaches the (trivial) target, so no further replica starts.
+  EXPECT_EQ(solver->stats().replicas_started, 1);
+  EXPECT_EQ(solver->stats().winning_replica, 0);
+  auto report = ValidateAssignment(*areas, cs, sol->region_of);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->valid) << report->ToString();
+}
+
+// Mirrors FactSolverSupervisionTest.FiftyMsBudgetOnLargeInstanceDegrades:
+// a tight wall-clock budget over many replicas still returns kOk with a
+// feasible, contiguous best-so-far solution.
+TEST(PortfolioTest, FiftyMsBudgetOnLargeInstanceDegrades) {
+  auto areas = synthetic::MakeDefaultDataset("pf-budget", 3000, 4242);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = SumConstraint();
+  SolverOptions options;
+  // Enough requested work that 50ms cannot possibly cover it.
+  options.portfolio_replicas = 8;
+  options.portfolio_threads = 2;
+  options.construction_iterations = 100;
+  options.tabu_max_iterations = 1000000;
+  options.time_budget_ms = 50;
+  auto solver = PortfolioSolver::Create(&*areas, cs, options);
+  ASSERT_TRUE(solver.ok());
+  auto sol = solver->Solve();
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->termination_reason, TerminationReason::kDeadlineExceeded);
+  auto report = ValidateAssignment(*areas, cs, sol->region_of);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->valid) << report->ToString();
+}
+
+TEST(PortfolioTest, CallerCancellationDegradesEveryReplica) {
+  auto areas = synthetic::MakeDefaultDataset("pf-cancel", 300, /*seed=*/9);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = SumConstraint();
+  SolverOptions options;
+  options.portfolio_replicas = 4;
+  options.portfolio_threads = 2;
+  auto solver = PortfolioSolver::Create(&*areas, cs, options);
+  ASSERT_TRUE(solver.ok());
+  RunContext ctx;
+  ctx.cancel.Cancel();  // already cancelled: replicas trip immediately
+  auto sol = solver->Solve(ctx);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_EQ(sol->termination_reason, TerminationReason::kCancelled);
+  EXPECT_EQ(solver->stats().replicas_cancelled,
+            solver->stats().replicas_started);
+}
+
+TEST(PortfolioTest, MetricsCoverThePortfolioPhase) {
+  auto areas = synthetic::MakeDefaultDataset("pf-metrics", 200, /*seed=*/13);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = SumConstraint();
+  SolverOptions options;
+  options.portfolio_replicas = 3;
+  options.portfolio_threads = 2;
+
+  obs::MetricRegistry registry;
+  auto solver = PortfolioSolver::Create(&*areas, cs, options);
+  ASSERT_TRUE(solver.ok());
+  RunContext ctx = MakeRunContext(options);
+  ctx.metrics = &registry;
+  auto sol = solver->Solve(ctx);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+
+  EXPECT_EQ(
+      registry.GetCounter("emp_portfolio_replicas_started_total")->value(), 3);
+  EXPECT_EQ(
+      registry.GetCounter("emp_portfolio_replicas_cancelled_total")->value(),
+      0);
+  EXPECT_GE(
+      registry.GetCounter("emp_portfolio_replicas_improved_total")->value(),
+      1);
+  EXPECT_EQ(registry.GetHistogram("emp_portfolio_replica_p")->count(), 3);
+  EXPECT_EQ(registry.GetGauge("emp_portfolio_threads")->value(), 2.0);
+  EXPECT_EQ(registry.GetGauge("emp_portfolio_best_p")->value(),
+            static_cast<double>(sol->p()));
+  // Replica solves feed the shared registry too.
+  EXPECT_EQ(registry.GetCounter("emp_construction_iterations_total")->value(),
+            3 * options.construction_iterations);
+}
+
+TEST(PortfolioTest, CreateRejectsBadOptions) {
+  auto areas = synthetic::MakeDefaultDataset("pf-bad", 50, /*seed=*/1);
+  ASSERT_TRUE(areas.ok());
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 1000, kNoUpperBound)};
+
+  EXPECT_FALSE(PortfolioSolver::Create(nullptr, cs).ok());
+
+  SolverOptions bad;
+  bad.portfolio_replicas = 0;
+  EXPECT_FALSE(PortfolioSolver::Create(&*areas, cs, bad).ok());
+  bad = SolverOptions{};
+  bad.portfolio_threads = 0;
+  EXPECT_FALSE(PortfolioSolver::Create(&*areas, cs, bad).ok());
+  bad = SolverOptions{};
+  bad.portfolio_target_p = -2;
+  EXPECT_FALSE(PortfolioSolver::Create(&*areas, cs, bad).ok());
+
+  std::vector<Constraint> bad_attr = {
+      Constraint::Sum("NO_SUCH_ATTRIBUTE", 1000, kNoUpperBound)};
+  EXPECT_FALSE(PortfolioSolver::Create(&*areas, bad_attr).ok());
+
+  EXPECT_TRUE(PortfolioSolver::Create(&*areas, cs).ok());
+}
+
+}  // namespace
+}  // namespace emp

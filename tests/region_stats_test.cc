@@ -206,8 +206,8 @@ TEST_F(RegionStatsTest, RandomTraceMatchesRecompute) {
       members.push_back(a);
       stats.Add(a);
     } else {
-      size_t idx =
-          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(members.size()) - 1));
+      size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(members.size()) - 1));
       stats.Remove(members[idx]);
       members.erase(members.begin() + static_cast<std::ptrdiff_t>(idx));
     }

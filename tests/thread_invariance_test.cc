@@ -100,6 +100,39 @@ TEST(ThreadInvarianceTest, MetricsCoverAllThreePhases) {
             4);
 }
 
+// The same guarantee, one layer up: FactSolver delegates to the solver
+// portfolio when portfolio_replicas > 1, and the portfolio's reduction
+// (best p, then heterogeneity, then replica index) is a pure function of
+// the replica results — so portfolio_threads must not change the
+// solution either. The portfolio's own suite is portfolio_test.cc; this
+// test pins the delegation path.
+TEST(ThreadInvarianceTest, PortfolioDelegationIsThreadCountInvariant) {
+  auto areas = synthetic::MakeDefaultDataset("ti4", 250, /*seed=*/5);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+
+  Solution reference;
+  for (int threads : {1, 2, 8}) {
+    SolverOptions options;
+    options.seed = 4321;
+    options.portfolio_replicas = 4;
+    options.portfolio_threads = threads;
+    auto solver = FactSolver::Create(&*areas, cs, options);
+    ASSERT_TRUE(solver.ok()) << solver.status().ToString();
+    auto sol = solver->Solve();
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+    if (threads == 1) {
+      reference = *sol;
+      continue;
+    }
+    EXPECT_EQ(sol->p(), reference.p()) << "threads=" << threads;
+    EXPECT_EQ(sol->region_of, reference.region_of) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(sol->heterogeneity, reference.heterogeneity)
+        << "threads=" << threads;
+  }
+}
+
 TEST(ThreadInvarianceTest, CreateRejectsBadInput) {
   auto areas = synthetic::MakeDefaultDataset("ti3", 50, /*seed=*/1);
   ASSERT_TRUE(areas.ok());

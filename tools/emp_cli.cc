@@ -29,6 +29,7 @@
 #include "constraints/query_parser.h"
 #include "core/fact_solver.h"
 #include "core/feasibility.h"
+#include "core/portfolio.h"
 #include "core/metrics.h"
 #include "core/validate.h"
 #include "core/explore.h"
@@ -120,6 +121,8 @@ int Usage() {
       "              --attribute A --threshold T) [--out FILE]\n"
       "              [--geojson FILE] [--svg FILE] [--json FILE]\n"
       "              [--iterations N] [--threads N] [--seed S] [--no-tabu]\n"
+      "              [--portfolio-replicas N] [--portfolio-threads N]\n"
+      "              [--portfolio-target-p P] [--no-share-incumbent]\n"
       "              [--time-budget-ms MS] [--max-evals N]\n"
       "              [--metrics-out FILE(.json|.prom)] [--trace-out FILE]\n"
       "  validate    --input FILE --query Q --assignment FILE\n"
@@ -232,6 +235,13 @@ int CmdSolve(const Args& args) {
   options.construction_threads = static_cast<int>(args.GetInt("threads", 1));
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   options.run_local_search = !args.Has("no-tabu");
+  options.portfolio_replicas =
+      static_cast<int>(args.GetInt("portfolio-replicas", 1));
+  options.portfolio_threads =
+      static_cast<int>(args.GetInt("portfolio-threads", 1));
+  options.portfolio_target_p =
+      static_cast<int32_t>(args.GetInt("portfolio-target-p", -1));
+  options.portfolio_share_incumbent = !args.Has("no-share-incumbent");
   options.time_budget_ms = args.GetInt("time-budget-ms", -1);
   options.max_evaluations = args.GetInt("max-evals", -1);
 
@@ -250,10 +260,20 @@ int CmdSolve(const Args& args) {
   std::signal(SIGINT, HandleSigint);
 
   const std::string solver = args.Get("solver", "fact");
+  emp::PortfolioStats portfolio_stats;
   emp::Result<emp::Solution> solution = [&]() -> emp::Result<emp::Solution> {
     if (solver == "fact") {
       auto constraints = emp::ParseConstraints(args.Get("query"));
       if (!constraints.ok()) return constraints.status();
+      if (options.portfolio_replicas > 1) {
+        // Direct portfolio path so the replica stats survive the solve
+        // for the report below; SolveEmp would reach the same code.
+        auto s = emp::PortfolioSolver::Create(&*areas, *constraints, options);
+        if (!s.ok()) return s.status();
+        auto sol = s->Solve(ctx);
+        portfolio_stats = s->stats();
+        return sol;
+      }
       return emp::SolveEmp(*areas, *constraints, options, &ctx);
     }
     const std::string attribute = args.Get("attribute");
@@ -286,9 +306,9 @@ int CmdSolve(const Args& args) {
     const bool prometheus =
         path.size() >= 5 && (path.rfind(".prom") == path.size() - 5 ||
                              path.rfind(".txt") == path.size() - 4);
-    const std::string text = prometheus
-                                 ? emp::obs::MetricsToPrometheus(metric_registry)
-                                 : emp::obs::MetricsToJson(metric_registry);
+    const std::string text =
+        prometheus ? emp::obs::MetricsToPrometheus(metric_registry)
+                   : emp::obs::MetricsToJson(metric_registry);
     emp::Status st = emp::WriteFile(path, text);
     if (!st.ok()) return Fail(st.ToString());
     std::printf("wrote %s\n", path.c_str());
@@ -306,6 +326,14 @@ int CmdSolve(const Args& args) {
     std::printf("interrupted — best-so-far solution:\n");
   }
   std::printf("%s\n", solution->Summary().c_str());
+  if (portfolio_stats.replicas > 1) {
+    std::printf(
+        "portfolio: replica %d of %d won (%d started, %d cancelled, "
+        "%d tabu-skipped, %d threads)\n",
+        portfolio_stats.winning_replica, portfolio_stats.replicas,
+        portfolio_stats.replicas_started, portfolio_stats.replicas_cancelled,
+        portfolio_stats.tabu_skipped, portfolio_stats.threads);
+  }
   auto metrics = emp::ComputeMetrics(*areas, *solution);
   if (metrics.ok()) std::printf("%s\n", metrics->ToString().c_str());
 

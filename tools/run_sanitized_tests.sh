@@ -16,13 +16,13 @@ cmake --build --preset asan-ubsan -j "$(nproc)"
 ctest --preset asan-ubsan -j "$(nproc)" "$@"
 
 # TSan stage: focus on the tests that exercise shared-state concurrency —
-# the metric registry, trace buffer, and the construction worker pool —
-# plus the local-search engine tests, whose metric flushes touch the
-# shared registry.
+# the metric registry, trace buffer, the construction worker pool, and
+# the portfolio's replica pool + shared incumbent — plus the local-search
+# engine tests, whose metric flushes touch the shared registry.
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target \
   obs_metrics_test obs_trace_test obs_export_test json_writer_test \
   thread_invariance_test fact_solver_test run_context_test \
-  neighborhood_test tabu_golden_test
+  neighborhood_test tabu_golden_test portfolio_test
 ctest --preset tsan -j "$(nproc)" \
-  -R '^(obs_metrics_test|obs_trace_test|obs_export_test|json_writer_test|thread_invariance_test|fact_solver_test|run_context_test|neighborhood_test|tabu_golden_test)$'
+  -R '^(obs_metrics_test|obs_trace_test|obs_export_test|json_writer_test|thread_invariance_test|fact_solver_test|run_context_test|neighborhood_test|tabu_golden_test|portfolio_test)$'
