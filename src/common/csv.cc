@@ -1,5 +1,6 @@
 #include "common/csv.h"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -67,6 +68,16 @@ Status WriteFile(const std::string& path, const std::string& content) {
   out.write(content.data(), static_cast<std::streamsize>(content.size()));
   if (!out) {
     return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  EMP_RETURN_IF_ERROR(WriteFile(tmp, content));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("rename failed: " + tmp + " -> " + path);
   }
   return Status::OK();
 }

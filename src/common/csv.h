@@ -31,6 +31,12 @@ std::string WriteCsv(const CsvTable& table);
 /// Writes text to a file, returning IOError on failure.
 Status WriteFile(const std::string& path, const std::string& content);
 
+/// Atomically replaces `path` with `content`: writes `path`.tmp and
+/// renames it over `path`, so concurrent readers see either the old or
+/// the new contents, never a torn write. Used by the periodic metric /
+/// journal flushers, whose output is polled while being rewritten.
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
 /// Reads a whole file into a string.
 Result<std::string> ReadFile(const std::string& path);
 

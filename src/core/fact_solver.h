@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "constraints/constraint.h"
+#include "core/portfolio.h"
 #include "core/run_context.h"
 #include "core/solution.h"
 #include "core/solver_options.h"
@@ -74,10 +75,25 @@ class FactSolver {
 
   const SolverOptions& options() const { return options_; }
 
+  /// Stats from the portfolio delegation of the most recent Solve() on
+  /// this object; default-initialized when portfolio_replicas <= 1.
+  const PortfolioStats& portfolio_stats() const { return portfolio_stats_; }
+
  private:
+  /// The portfolio enters replicas through SolveSinglePass directly, so a
+  /// replica never re-writes the run-journal bracket or re-publishes the
+  /// whole-run progress fields its parent owns.
+  friend class PortfolioSolver;
+
+  /// One construction → local-search chain (portfolio_replicas ignored).
+  /// Solve(ctx) wraps this with the run-journal bracket (run_start /
+  /// run_end) and the portfolio delegation.
+  Result<Solution> SolveSinglePass(const RunContext& ctx);
+
   const AreaSet* areas_;
   std::vector<Constraint> constraints_;
   SolverOptions options_;
+  PortfolioStats portfolio_stats_;
 };
 
 /// One-call convenience wrapper.

@@ -5,6 +5,7 @@
 
 #include "common/str_util.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 
 namespace emp {
 
@@ -36,8 +37,13 @@ Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound,
       (supervisor != nullptr && supervisor->context() != nullptr)
           ? supervisor->context()->metrics
           : nullptr;
+  obs::ProgressBoard* board =
+      (supervisor != nullptr && supervisor->context() != nullptr)
+          ? supervisor->context()->progress_board
+          : nullptr;
   int64_t areas_scanned = 0;
   auto flush_metrics = [&](const FeasibilityReport& r) {
+    if (board != nullptr) board->SetWork(areas_scanned, n);
     if (metrics == nullptr) return;
     metrics->GetCounter("emp_feasibility_areas_scanned_total")
         ->Add(areas_scanned);
@@ -61,6 +67,11 @@ Result<FeasibilityReport> CheckFeasibility(const BoundConstraints& bound,
       return report;
     }
     ++areas_scanned;
+    // Live work meter, published at the supervisor's slow-path cadence so
+    // huge scans stay cheap but /progress still moves.
+    if (board != nullptr && (areas_scanned & 1023) == 0) {
+      board->SetWork(areas_scanned, n);
+    }
     bool invalid = false;
     for (int ci = 0; ci < m; ++ci) {
       const Constraint& c = bound.constraint(ci);

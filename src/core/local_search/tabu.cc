@@ -14,6 +14,7 @@
 #include "core/local_search/neighborhood.h"
 #include "core/local_search/objective.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace emp {
@@ -72,6 +73,8 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
   const RunContext* run_ctx =
       supervisor != nullptr ? supervisor->context() : nullptr;
   obs::TraceBuffer* trace = run_ctx != nullptr ? run_ctx->trace : nullptr;
+  obs::ProgressBoard* board =
+      run_ctx != nullptr ? run_ctx->progress_board : nullptr;
   int64_t tabu_rejected = 0;
   int64_t invalid_rejected = 0;
   constexpr int64_t kEpochIterations = 256;
@@ -93,10 +96,17 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
     // One checkpoint per iteration; evaluations are charged afterwards,
     // once the scored-candidate count for this iteration is known.
     if (supervisor != nullptr && supervisor->Check(0)) break;
-    if (trace != nullptr && result.iterations % kEpochIterations == 0) {
-      // optional::emplace destroys the previous span (closing it) before
-      // opening the next epoch's.
-      epoch_span.emplace(trace, "tabu.epoch");
+    if (result.iterations % kEpochIterations == 0) {
+      if (trace != nullptr) {
+        // optional::emplace destroys the previous span (closing it) before
+        // opening the next epoch's.
+        epoch_span.emplace(trace, "tabu.epoch");
+      }
+      if (board != nullptr) {
+        // Iteration meter at epoch granularity: total is the hard cap when
+        // set, -1 (unknown) otherwise.
+        board->SetWork(result.iterations, options.tabu_max_iterations);
+      }
     }
     ++result.iterations;
 
@@ -183,6 +193,7 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
       if (trace != nullptr) {
         trace->RecordInstant("tabu.heterogeneity", best_total);
       }
+      if (board != nullptr) board->SetHeterogeneity(best_total);
     } else {
       ++no_improve;
     }

@@ -9,12 +9,15 @@
 #include <utility>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "common/stopwatch.h"
 #include "core/fact_solver.h"
 #include "core/local_search/tabu.h"
 #include "core/partition.h"
 #include "graph/connectivity.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 
 namespace emp {
@@ -107,6 +110,24 @@ Result<Solution> PortfolioSolver::Solve(const RunContext& ctx) {
   Stopwatch portfolio_timer;
   obs::ScopedSpan portfolio_span(ctx.trace, "portfolio");
 
+  obs::ProgressBoard* board = ctx.progress_board;
+  obs::RunJournal* journal = ctx.journal;
+  if (board != nullptr) {
+    board->SetBudgets(options_.time_budget_ms, options_.max_evaluations);
+    board->SetPhase("portfolio");
+    board->SetReplicaCount(replicas);
+  }
+  if (journal != nullptr) {
+    journal->Append("phase_begin", [&](JsonWriter& w) {
+      w.Key("phase");
+      w.String("portfolio");
+      w.Key("replicas");
+      w.Int(replicas);
+      w.Key("threads");
+      w.Int(threads);
+    });
+  }
+
   Incumbent incumbent;
   std::atomic<bool> stop_new_replicas{false};
   std::atomic<int32_t> replicas_improved{0};
@@ -119,6 +140,9 @@ Result<Solution> PortfolioSolver::Solve(const RunContext& ctx) {
     out.started = true;
     obs::ScopedSpan replica_span(ctx.trace, "portfolio.replica",
                                  /*worker=*/replica);
+    if (board != nullptr) {
+      board->SetReplicaState(replica, obs::ReplicaState::kConstructing);
+    }
 
     // Replicas are single-threaded internally (the solve's parallelism
     // budget is portfolio_threads) and never re-enter the portfolio.
@@ -143,6 +167,11 @@ Result<Solution> PortfolioSolver::Solve(const RunContext& ctx) {
     child.metrics = ctx.metrics;
     child.trace = ctx.trace;
     child.progress = ctx.progress;
+    // progress_board and journal deliberately stay null on the child:
+    // whole-run fields (phase, best_p, run_start/run_end) belong to the
+    // portfolio's caller, and N replicas publishing them concurrently
+    // would interleave nondeterministically. Replicas surface through
+    // SetReplicaState / the post-join `replica` journal records instead.
     CancellationToken parent_cancel = ctx.cancel;
     auto parent_hook = ctx.fault_hook;
     child.fault_hook = [parent_cancel, parent_hook](
@@ -154,7 +183,7 @@ Result<Solution> PortfolioSolver::Solve(const RunContext& ctx) {
     };
 
     FactSolver solver(areas_, constraints_, replica_options);
-    Result<Solution> constructed = solver.Solve(child);
+    Result<Solution> constructed = solver.SolveSinglePass(child);
     if (!constructed.ok()) {
       out.status = constructed.status();
       return;
@@ -178,6 +207,13 @@ Result<Solution> PortfolioSolver::Solve(const RunContext& ctx) {
         incumbent.best_replica = replica;
       }
       incumbent_p = incumbent.best_p;
+      if (board != nullptr) {
+        // Under the incumbent lock so concurrent replicas publish the
+        // board's best_p in incumbent order (never a stale lower value
+        // last).
+        board->SetBestP(incumbent_p);
+        board->SetReplicaState(replica, obs::ReplicaState::kConstructing, p);
+      }
     }
     if (options_.portfolio_target_p >= 0 &&
         incumbent_p >= options_.portfolio_target_p &&
@@ -209,6 +245,9 @@ Result<Solution> PortfolioSolver::Solve(const RunContext& ctx) {
       out.status = bound.status();
       return;
     }
+    if (board != nullptr) {
+      board->SetReplicaState(replica, obs::ReplicaState::kLocalSearch);
+    }
     Partition partition(&*bound);
     RebuildPartition(solution, &partition);
     ConnectivityChecker connectivity(&areas_->graph());
@@ -236,12 +275,35 @@ Result<Solution> PortfolioSolver::Solve(const RunContext& ctx) {
   // shared counter; outcomes land in pre-sized slots, so the only
   // synchronization is the counter, the incumbent lock, and the joins.
   std::atomic<int32_t> next_replica{0};
+  std::atomic<int32_t> replicas_finished{0};
+  auto finish_replica = [&](int32_t replica) {
+    const int32_t finished =
+        replicas_finished.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (board == nullptr) return;
+    const ReplicaOutcome& out = outcomes[static_cast<size_t>(replica)];
+    obs::ReplicaState state = obs::ReplicaState::kDone;
+    if (out.tabu_skipped) {
+      state = obs::ReplicaState::kSkipped;
+    } else if (out.solution.has_value() &&
+               out.solution->termination_reason ==
+                   TerminationReason::kCancelled) {
+      state = obs::ReplicaState::kCancelled;
+    }
+    board->SetReplicaState(
+        replica, state,
+        out.solution.has_value() ? out.solution->p() : -1);
+    // One board publish per finished replica doubles as the portfolio's
+    // checkpoint/evaluations feed (replica children run without a board).
+    board->OnCheckpoint("portfolio", finished, ctx.evaluations());
+    board->SetWork(finished, replicas);
+  };
   auto drain = [&]() {
     int32_t replica;
     while (!stop_new_replicas.load(std::memory_order_relaxed) &&
            (replica = next_replica.fetch_add(
                 1, std::memory_order_relaxed)) < replicas) {
       run_replica(replica);
+      finish_replica(replica);
     }
   };
   if (threads <= 1) {
@@ -291,6 +353,40 @@ Result<Solution> PortfolioSolver::Solve(const RunContext& ctx) {
         ++stats_.replicas_cancelled;
       }
     }
+  }
+
+  if (journal != nullptr) {
+    // One record per replica, in replica order (post-join, so the journal
+    // is identical at any thread count), then the portfolio summary.
+    for (int32_t replica = 0; replica < replicas; ++replica) {
+      const ReplicaOutcome& out = outcomes[static_cast<size_t>(replica)];
+      journal->Append("replica", [&](JsonWriter& w) {
+        w.Key("replica");
+        w.Int(replica);
+        w.Key("started");
+        w.Bool(out.started);
+        w.Key("tabu_skipped");
+        w.Bool(out.tabu_skipped);
+        if (out.solution.has_value()) {
+          w.Key("p");
+          w.Int(out.solution->p());
+          w.Key("heterogeneity");
+          w.Double(out.solution->heterogeneity);
+          w.Key("termination");
+          w.String(TerminationReasonName(out.solution->termination_reason));
+        }
+      });
+    }
+    journal->Append("phase_end", [&](JsonWriter& w) {
+      w.Key("phase");
+      w.String("portfolio");
+      w.Key("seconds");
+      w.Double(portfolio_timer.ElapsedSeconds());
+      w.Key("winning_replica");
+      w.Int(winner);
+      w.Key("best_p");
+      w.Int(best.p);
+    });
   }
 
   if (obs::MetricRegistry* metrics = ctx.metrics; metrics != nullptr) {

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/progress.h"
+
 namespace emp {
 
 std::string_view TerminationReasonName(TerminationReason reason) {
@@ -100,6 +102,13 @@ std::optional<TerminationReason> PhaseSupervisor::Check(int64_t evaluations) {
     }
     if (ctx_->progress) {
       ctx_->progress(ProgressEvent{phase_, checkpoints_, ctx_->evaluations()});
+    }
+    if (ctx_->progress_board != nullptr) {
+      // One seqlock publish per slow-path checkpoint: the live /progress
+      // endpoint tracks phase + checkpoint count + evaluation spend
+      // without the solver loops knowing the board exists.
+      ctx_->progress_board->OnCheckpoint(phase_, checkpoints_,
+                                         ctx_->evaluations());
     }
   }
   return std::nullopt;

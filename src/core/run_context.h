@@ -13,6 +13,8 @@ namespace emp {
 
 namespace obs {
 class MetricRegistry;
+class ProgressBoard;
+class RunJournal;
 class TraceBuffer;
 }  // namespace obs
 
@@ -135,6 +137,18 @@ struct RunContext {
   /// outlive the solve and are thread-safe under parallel construction.
   obs::MetricRegistry* metrics = nullptr;
   obs::TraceBuffer* trace = nullptr;
+
+  /// Live-progress board (see src/obs/progress.h) updated from phase
+  /// transitions and strided supervision checkpoints, and served by
+  /// obs::HttpServer's /progress endpoint. Null by default; like the
+  /// sinks above it must outlive the solve and is safe under parallel
+  /// construction (seqlock writers serialize internally).
+  obs::ProgressBoard* progress_board = nullptr;
+
+  /// Append-only JSONL flight recorder (see src/obs/journal.h) fed by
+  /// the solver's run/phase/replica lifecycle events. Null by default;
+  /// must outlive the solve; thread-safe.
+  obs::RunJournal* journal = nullptr;
 
   /// Solve-wide evaluation counter shared by all copies of this context.
   std::shared_ptr<std::atomic<int64_t>> evaluations_spent =

@@ -1,5 +1,7 @@
 #include "data/area_set.h"
 
+#include <cstring>
+
 namespace emp {
 
 Result<AreaSet> AreaSet::Create(std::string name,
@@ -35,6 +37,58 @@ Result<AreaSet> AreaSet::CreateWithoutGeometry(
     std::string dissimilarity_attribute) {
   return Create(std::move(name), {}, std::move(graph), std::move(attributes),
                 std::move(dissimilarity_attribute));
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+void FnvMix(uint64_t* h, uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    *h ^= (v >> (byte * 8)) & 0xFF;
+    *h *= kFnvPrime;
+  }
+}
+
+void FnvMixString(uint64_t* h, const std::string& s) {
+  for (unsigned char c : s) {
+    *h ^= c;
+    *h *= kFnvPrime;
+  }
+  FnvMix(h, s.size());  // delimiter so {"ab","c"} != {"a","bc"}
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+uint64_t AreaSet::InstanceDigest() const {
+  uint64_t h = kFnvOffset;
+  FnvMixString(&h, name_);
+  FnvMix(&h, static_cast<uint64_t>(graph_.num_nodes()));
+  FnvMix(&h, static_cast<uint64_t>(graph_.num_edges()));
+  for (int32_t node = 0; node < graph_.num_nodes(); ++node) {
+    for (int32_t neighbor : graph_.NeighborsOf(node)) {
+      if (neighbor > node) {
+        FnvMix(&h, (static_cast<uint64_t>(node) << 32) |
+                       static_cast<uint64_t>(neighbor));
+      }
+    }
+  }
+  FnvMixString(&h, dissimilarity_attribute_);
+  for (const std::string& column : attributes_.column_names()) {
+    FnvMixString(&h, column);
+    auto values = attributes_.ColumnByName(column);
+    if (!values.ok()) continue;
+    for (double v : **values) FnvMix(&h, DoubleBits(v));
+  }
+  return h;
 }
 
 }  // namespace emp

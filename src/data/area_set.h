@@ -54,6 +54,13 @@ class AreaSet {
     return attributes_.Column(dissimilarity_column_);
   }
 
+  /// 64-bit FNV-1a fingerprint of the instance: name, node/edge counts,
+  /// the adjacency structure, attribute column names, and every
+  /// attribute value's bit pattern. Two runs whose journals carry the
+  /// same digest solved the same instance; O(n + edges + cells), computed
+  /// on demand (the run-journal `run_start` record is the only caller).
+  uint64_t InstanceDigest() const;
+
  private:
   std::string name_;
   std::vector<Polygon> polygons_;

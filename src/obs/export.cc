@@ -1,6 +1,8 @@
 #include "obs/export.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string_view>
 
 #include "common/json_writer.h"
 #include "common/str_util.h"
@@ -15,6 +17,37 @@ std::string PromDouble(double v) {
   if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
   if (std::isnan(v)) return "NaN";
   return FormatDouble(v, 9);
+}
+
+/// Escapes help text per the exposition format: backslash and newline
+/// are the only characters HELP lines must escape.
+std::string EscapeHelp(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Emits the `# HELP` line for `name` when a description was registered.
+void AppendHelp(const MetricsSnapshot& snapshot, const std::string& name,
+                std::string* out) {
+  // snapshot.help is name-sorted; linear scan is fine at exposition rates
+  // but binary search keeps /metrics cheap under polling.
+  auto it = std::lower_bound(
+      snapshot.help.begin(), snapshot.help.end(), name,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it == snapshot.help.end() || it->first != name) return;
+  *out += "# HELP " + name + " " + EscapeHelp(it->second) + "\n";
 }
 
 }  // namespace
@@ -79,14 +112,17 @@ std::string MetricsToJson(const MetricRegistry& registry) {
 std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
+    AppendHelp(snapshot, name, &out);
     out += "# TYPE " + name + " counter\n";
     out += name + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, value] : snapshot.gauges) {
+    AppendHelp(snapshot, name, &out);
     out += "# TYPE " + name + " gauge\n";
     out += name + " " + PromDouble(value) + "\n";
   }
   for (const auto& [name, data] : snapshot.histograms) {
+    AppendHelp(snapshot, name, &out);
     out += "# TYPE " + name + " histogram\n";
     int64_t cumulative = 0;
     for (size_t i = 0; i < data.counts.size(); ++i) {

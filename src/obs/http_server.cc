@@ -1,0 +1,224 @@
+#include "obs/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+
+namespace emp {
+namespace obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+std::string StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.1 200 OK";
+    case 404:
+      return "HTTP/1.1 404 Not Found";
+    case 405:
+      return "HTTP/1.1 405 Method Not Allowed";
+    default:
+      return "HTTP/1.1 400 Bad Request";
+  }
+}
+
+std::string MakeResponse(int code, const std::string& content_type,
+                         const std::string& body) {
+  std::string out = StatusLine(code);
+  out += "\r\nContent-Type: " + content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away; nothing useful to do
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+HttpServer::HttpServer(const Options& options) : options_(options) {}
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(const Options& options) {
+  std::unique_ptr<HttpServer> server(new HttpServer(options));
+
+  server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) {
+    return Status::IOError(std::string("HttpServer: socket(): ") +
+                           std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IOError(std::string("HttpServer: bind(127.0.0.1:") +
+                           std::to_string(options.port) +
+                           "): " + std::strerror(errno));
+  }
+  if (::listen(server->listen_fd_, 16) != 0) {
+    return Status::IOError(std::string("HttpServer: listen(): ") +
+                           std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return Status::IOError(std::string("HttpServer: getsockname(): ") +
+                           std::strerror(errno));
+  }
+  server->port_ = static_cast<int>(ntohs(addr.sin_port));
+
+  if (::pipe(server->stop_pipe_) != 0) {
+    return Status::IOError(std::string("HttpServer: pipe(): ") +
+                           std::strerror(errno));
+  }
+
+  server->thread_ = std::thread([raw = server.get()] { raw->Serve(); });
+  return server;
+}
+
+HttpServer::~HttpServer() {
+  Stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  for (int fd : stop_pipe_) {
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void HttpServer::Stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 'q';
+    // A full pipe is impossible here (one byte, written once), but keep
+    // the compiler happy about the unused result.
+    [[maybe_unused]] ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::Serve() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {stop_pipe_[0], POLLIN, 0};
+    const int rc = ::poll(fds, 2, /*timeout=*/-1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Stop() requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    // 2s receive cap so a half-open client cannot wedge the endpoint.
+    timeval timeout{2, 0};
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::HandleConnection(int client_fd) {
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  const size_t line_end = request.find("\r\n");
+  if (line_end == std::string::npos) return;  // not even a request line
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.metrics != nullptr) {
+    options_.metrics
+        ->GetCounter("emp_http_requests_total",
+                     "HTTP requests served by the live observability "
+                     "endpoint (any status).")
+        ->Add(1);
+  }
+
+  const std::string line = request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    SendAll(client_fd, MakeResponse(400, "text/plain", "bad request\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+  if (method != "GET") {
+    SendAll(client_fd,
+            MakeResponse(405, "text/plain", "only GET is supported\n"));
+    return;
+  }
+  SendAll(client_fd, RouteRequest(target));
+}
+
+std::string HttpServer::RouteRequest(const std::string& target) {
+  if (target == "/healthz") {
+    return MakeResponse(200, "text/plain; charset=utf-8", "ok\n");
+  }
+  if (target == "/metrics") {
+    const std::string body =
+        options_.metrics != nullptr ? MetricsToPrometheus(*options_.metrics)
+                                    : std::string();
+    return MakeResponse(200, "text/plain; version=0.0.4; charset=utf-8",
+                        body);
+  }
+  if (target == "/metrics.json") {
+    const std::string body = options_.metrics != nullptr
+                                 ? MetricsToJson(*options_.metrics)
+                                 : std::string("{}");
+    return MakeResponse(200, "application/json", body);
+  }
+  if (target == "/progress") {
+    const ProgressSnapshot snapshot = options_.progress != nullptr
+                                          ? options_.progress->Read()
+                                          : ProgressSnapshot{};
+    return MakeResponse(200, "application/json", ProgressToJson(snapshot));
+  }
+  return MakeResponse(404, "text/plain",
+                      "not found; try /healthz /metrics /metrics.json "
+                      "/progress\n");
+}
+
+}  // namespace obs
+}  // namespace emp

@@ -1,0 +1,89 @@
+#ifndef EMP_OBS_HTTP_SERVER_H_
+#define EMP_OBS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+
+namespace emp {
+namespace obs {
+
+class MetricRegistry;
+class ProgressBoard;
+
+/// Minimal stdlib/POSIX HTTP/1.1 endpoint for watching a live solve — a
+/// blocking-accept socket server on one background thread, serving:
+///
+///   GET /healthz       -> 200 "ok" (liveness)
+///   GET /metrics       -> Prometheus text exposition of the live registry
+///   GET /metrics.json  -> the same snapshot as JSON
+///   GET /progress      -> ProgressToJson(board->Read())
+///
+/// Requests are handled serially on the accept thread (this is a
+/// diagnostics plane, not a traffic plane). Both sinks are optional: a
+/// null registry serves an empty exposition, a null board serves the idle
+/// snapshot. Enabling the server must not perturb the solve — it only
+/// reads the registry/board, so a fixed-seed solve is bit-identical with
+/// and without it (pinned by obs_http_test).
+///
+/// Lifetime: Start() binds 127.0.0.1:`port` (0 = ephemeral; the bound
+/// port is queryable for tests), spawns the thread, and returns; Stop()
+/// (idempotent, also run by the destructor) wakes the accept loop via a
+/// self-pipe and joins the thread. Stop the server before destroying the
+/// registry/board it reads.
+class HttpServer {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port.
+    int port = 0;
+    /// Live metric registry served under /metrics[.json]; may be null.
+    /// Non-const so the server can count its own requests into it
+    /// (emp_http_requests_total).
+    MetricRegistry* metrics = nullptr;
+    /// Live progress board served under /progress; may be null.
+    const ProgressBoard* progress = nullptr;
+  };
+
+  /// Binds, listens, and spawns the accept thread. Returns IOError when
+  /// the socket cannot be created/bound.
+  static Result<std::unique_ptr<HttpServer>> Start(const Options& options);
+
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound TCP port (the ephemeral one when Options::port was 0).
+  int port() const { return port_; }
+
+  /// Requests served so far (any status).
+  int64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Wakes the accept loop and joins the serving thread. Idempotent.
+  void Stop();
+
+ private:
+  explicit HttpServer(const Options& options);
+
+  void Serve();
+  void HandleConnection(int client_fd);
+  std::string RouteRequest(const std::string& target);
+
+  Options options_;
+  int port_ = 0;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopped_{false};
+  std::atomic<int64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace emp
+
+#endif  // EMP_OBS_HTTP_SERVER_H_

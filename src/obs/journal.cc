@@ -1,0 +1,78 @@
+#include "obs/journal.h"
+
+#include <utility>
+
+#include "common/csv.h"
+#include "common/json_writer.h"
+
+namespace emp {
+namespace obs {
+
+RunJournal::RunJournal(size_t max_records)
+    : max_records_(max_records == 0 ? 1 : max_records),
+      epoch_(Clock::now()) {}
+
+void RunJournal::Append(std::string_view type,
+                        const std::function<void(JsonWriter&)>& fields,
+                        bool force) {
+  const int64_t ts_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                            epoch_)
+          .count();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!force && records_.size() >= max_records_) {
+    ++dropped_;
+    return;
+  }
+  JsonWriter w(/*indent=*/0);
+  w.BeginObject();
+  w.Key("seq");
+  w.Int(next_seq_++);
+  w.Key("ts_ms");
+  w.Int(ts_ms);
+  w.Key("type");
+  w.String(type);
+  if (fields) fields(w);
+  w.EndObject();
+  records_.push_back(std::move(w).TakeString());
+}
+
+int64_t RunJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(records_.size());
+}
+
+int64_t RunJournal::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string RunJournal::ToJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  size_t bytes = 0;
+  for (const std::string& record : records_) bytes += record.size() + 1;
+  out.reserve(bytes);
+  for (const std::string& record : records_) {
+    out += record;
+    out += '\n';
+  }
+  return out;
+}
+
+Status RunJournal::FlushTo(const std::string& path) const {
+  return WriteFileAtomic(path, ToJsonl());
+}
+
+std::string DigestHex(uint64_t digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[digest & 0xF];
+    digest >>= 4;
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace emp

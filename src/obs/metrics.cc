@@ -36,8 +36,18 @@ std::vector<double> DefaultSecondsBuckets() {
           0.1,    0.5,    1.0,   5.0,   10.0, 60.0};
 }
 
-Counter* MetricRegistry::GetCounter(std::string_view name) {
+void MetricRegistry::RecordHelp(std::string_view name,
+                                std::string_view help) {
+  // Called with mu_ held. First non-empty help wins; re-registrations
+  // with a different text are ignored (stable exposition output).
+  if (help.empty()) return;
+  help_.emplace(std::string(name), std::string(help));
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name,
+                                    std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);
+  RecordHelp(name, help);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -46,8 +56,9 @@ Counter* MetricRegistry::GetCounter(std::string_view name) {
   return it->second.get();
 }
 
-Gauge* MetricRegistry::GetGauge(std::string_view name) {
+Gauge* MetricRegistry::GetGauge(std::string_view name, std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);
+  RecordHelp(name, help);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -56,8 +67,10 @@ Gauge* MetricRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram* MetricRegistry::GetHistogram(std::string_view name,
-                                        std::vector<double> bounds) {
+                                        std::vector<double> bounds,
+                                        std::string_view help) {
   std::lock_guard<std::mutex> lock(mu_);
+  RecordHelp(name, help);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -87,6 +100,10 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
     data.count = histogram->count();
     data.sum = histogram->sum();
     snapshot.histograms.emplace_back(name, std::move(data));
+  }
+  snapshot.help.reserve(help_.size());
+  for (const auto& [name, text] : help_) {
+    snapshot.help.emplace_back(name, text);
   }
   return snapshot;
 }

@@ -78,6 +78,10 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, int64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramData>> histograms;
+  /// Per-metric descriptions (name -> help text), name-sorted; only
+  /// metrics registered with a non-empty help string appear. The
+  /// Prometheus exporter renders these as `# HELP` lines.
+  std::vector<std::pair<std::string, std::string>> help;
 };
 
 /// Thread-safe registry of named metrics. Get*() registers on first use
@@ -94,20 +98,27 @@ class MetricRegistry {
   MetricRegistry(const MetricRegistry&) = delete;
   MetricRegistry& operator=(const MetricRegistry&) = delete;
 
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
+  /// `help` (optional) is the metric's human-readable description,
+  /// recorded on first non-empty registration and exported as the
+  /// Prometheus `# HELP` line; later calls never overwrite it.
+  Counter* GetCounter(std::string_view name, std::string_view help = {});
+  Gauge* GetGauge(std::string_view name, std::string_view help = {});
   /// Registers with `bounds` on first use; later calls for the same name
   /// return the existing histogram regardless of bounds.
   Histogram* GetHistogram(std::string_view name,
-                          std::vector<double> bounds = DefaultSecondsBuckets());
+                          std::vector<double> bounds = DefaultSecondsBuckets(),
+                          std::string_view help = {});
 
   MetricsSnapshot Snapshot() const;
 
  private:
+  void RecordHelp(std::string_view name, std::string_view help);
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
 
 /// Null-safe helpers: resolve a handle only when a registry is attached,

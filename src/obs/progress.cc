@@ -1,0 +1,226 @@
+#include "obs/progress.h"
+
+#include <cmath>
+
+#include "common/json_writer.h"
+
+namespace emp {
+namespace obs {
+
+namespace {
+
+/// Interns `phase` against the known phase-name set. The board stores a
+/// bare const char* (atomically swappable), so it must never retain
+/// caller storage; unknown names collapse to "other".
+const char* CanonicalPhaseName(std::string_view phase) {
+  static constexpr const char* kKnown[] = {
+      "idle",     "solve", "feasibility", "construction", "tabu",
+      "anneal",   "exact", "maxp",        "skater",       "portfolio",
+      "reduction"};
+  for (const char* name : kKnown) {
+    if (phase == name) return name;
+  }
+  return "other";
+}
+
+}  // namespace
+
+std::string_view ReplicaStateName(ReplicaState state) {
+  switch (state) {
+    case ReplicaState::kPending:
+      return "pending";
+    case ReplicaState::kConstructing:
+      return "constructing";
+    case ReplicaState::kLocalSearch:
+      return "local-search";
+    case ReplicaState::kDone:
+      return "done";
+    case ReplicaState::kCancelled:
+      return "cancelled";
+    case ReplicaState::kSkipped:
+      return "skipped";
+  }
+  return "unknown";
+}
+
+ProgressBoard::ProgressBoard() : epoch_(Clock::now()), phase_("idle") {
+  for (int32_t i = 0; i < kMaxReplicas; ++i) {
+    replica_state_[static_cast<size_t>(i)].store(
+        static_cast<int32_t>(ReplicaState::kPending),
+        std::memory_order_relaxed);
+    replica_p_[static_cast<size_t>(i)].store(-1, std::memory_order_relaxed);
+  }
+}
+
+void ProgressBoard::SetPhase(std::string_view phase) {
+  const char* interned = CanonicalPhaseName(phase);
+  Publish([&] {
+    phase_.store(interned, std::memory_order_relaxed);
+    // A new phase starts a fresh checkpoint count and work meter.
+    checkpoints_.store(0, std::memory_order_relaxed);
+    work_done_.store(-1, std::memory_order_relaxed);
+    work_total_.store(-1, std::memory_order_relaxed);
+  });
+}
+
+void ProgressBoard::OnCheckpoint(std::string_view phase, int64_t checkpoints,
+                                 int64_t evaluations) {
+  const char* interned = CanonicalPhaseName(phase);
+  Publish([&] {
+    phase_.store(interned, std::memory_order_relaxed);
+    checkpoints_.store(checkpoints, std::memory_order_relaxed);
+    evaluations_.store(evaluations, std::memory_order_relaxed);
+  });
+}
+
+void ProgressBoard::SetBudgets(int64_t time_budget_ms,
+                               int64_t max_evaluations) {
+  Publish([&] {
+    time_budget_ms_.store(time_budget_ms, std::memory_order_relaxed);
+    max_evaluations_.store(max_evaluations, std::memory_order_relaxed);
+  });
+}
+
+void ProgressBoard::SetBestP(int32_t p) {
+  Publish([&] { best_p_.store(p, std::memory_order_relaxed); });
+}
+
+void ProgressBoard::SetHeterogeneity(double h) {
+  Publish([&] {
+    heterogeneity_.store(h, std::memory_order_relaxed);
+    has_heterogeneity_.store(true, std::memory_order_relaxed);
+  });
+}
+
+void ProgressBoard::SetWork(int64_t done, int64_t total) {
+  Publish([&] {
+    work_done_.store(done, std::memory_order_relaxed);
+    work_total_.store(total, std::memory_order_relaxed);
+  });
+}
+
+void ProgressBoard::SetReplicaCount(int32_t n) {
+  const int32_t clamped = n < 0 ? 0 : (n > kMaxReplicas ? kMaxReplicas : n);
+  Publish([&] {
+    replicas_.store(clamped, std::memory_order_relaxed);
+    for (int32_t i = 0; i < clamped; ++i) {
+      replica_state_[static_cast<size_t>(i)].store(
+          static_cast<int32_t>(ReplicaState::kPending),
+          std::memory_order_relaxed);
+      replica_p_[static_cast<size_t>(i)].store(-1, std::memory_order_relaxed);
+    }
+  });
+}
+
+void ProgressBoard::SetReplicaState(int32_t replica, ReplicaState state,
+                                    int32_t p) {
+  if (replica < 0 || replica >= kMaxReplicas) return;
+  Publish([&] {
+    replica_state_[static_cast<size_t>(replica)].store(
+        static_cast<int32_t>(state), std::memory_order_relaxed);
+    if (p >= 0) {
+      replica_p_[static_cast<size_t>(replica)].store(
+          p, std::memory_order_relaxed);
+    }
+  });
+}
+
+ProgressSnapshot ProgressBoard::Read() const {
+  ProgressSnapshot snap;
+  for (;;) {
+    const uint64_t v1 = version_.load(std::memory_order_acquire);
+    if (v1 & 1) continue;  // write in flight; retry
+    snap.phase = phase_.load(std::memory_order_relaxed);
+    snap.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+    snap.evaluations = evaluations_.load(std::memory_order_relaxed);
+    snap.max_evaluations = max_evaluations_.load(std::memory_order_relaxed);
+    snap.time_budget_ms = time_budget_ms_.load(std::memory_order_relaxed);
+    snap.best_p = best_p_.load(std::memory_order_relaxed);
+    snap.heterogeneity = heterogeneity_.load(std::memory_order_relaxed);
+    snap.has_heterogeneity =
+        has_heterogeneity_.load(std::memory_order_relaxed);
+    snap.work_done = work_done_.load(std::memory_order_relaxed);
+    snap.work_total = work_total_.load(std::memory_order_relaxed);
+    snap.replicas = replicas_.load(std::memory_order_relaxed);
+    const int32_t n = snap.replicas < 0
+                          ? 0
+                          : (snap.replicas > kMaxReplicas ? kMaxReplicas
+                                                          : snap.replicas);
+    for (int32_t i = 0; i < n; ++i) {
+      snap.replica[static_cast<size_t>(i)].state = static_cast<ReplicaState>(
+          replica_state_[static_cast<size_t>(i)].load(
+              std::memory_order_relaxed));
+      snap.replica[static_cast<size_t>(i)].p =
+          replica_p_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (version_.load(std::memory_order_relaxed) == v1) {
+      snap.version = v1;
+      break;
+    }
+  }
+  snap.elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        Clock::now() - epoch_)
+                        .count();
+  return snap;
+}
+
+int64_t ProgressBoard::publishes() const {
+  return static_cast<int64_t>(version_.load(std::memory_order_acquire) / 2);
+}
+
+std::string ProgressToJson(const ProgressSnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("phase");
+  w.String(snapshot.phase);
+  w.Key("elapsed_ms");
+  w.Int(snapshot.elapsed_ms);
+  w.Key("time_budget_ms");
+  w.Int(snapshot.time_budget_ms);
+  w.Key("deadline_remaining_ms");
+  if (snapshot.time_budget_ms >= 0) {
+    w.Int(snapshot.time_budget_ms - snapshot.elapsed_ms);
+  } else {
+    w.Null();
+  }
+  w.Key("checkpoints");
+  w.Int(snapshot.checkpoints);
+  w.Key("evaluations");
+  w.Int(snapshot.evaluations);
+  w.Key("max_evaluations");
+  w.Int(snapshot.max_evaluations);
+  w.Key("best_p");
+  w.Int(snapshot.best_p);
+  w.Key("heterogeneity");
+  if (snapshot.has_heterogeneity && std::isfinite(snapshot.heterogeneity)) {
+    w.Double(snapshot.heterogeneity);
+  } else {
+    w.Null();
+  }
+  w.Key("work_done");
+  w.Int(snapshot.work_done);
+  w.Key("work_total");
+  w.Int(snapshot.work_total);
+  w.Key("version");
+  w.Int(static_cast<int64_t>(snapshot.version));
+  w.Key("replicas");
+  w.BeginArray();
+  for (int32_t i = 0; i < snapshot.replicas && i < ProgressBoard::kMaxReplicas;
+       ++i) {
+    const ProgressSnapshot::Replica& r =
+        snapshot.replica[static_cast<size_t>(i)];
+    w.BeginInlineObject();
+    w.Key("state");
+    w.String(ReplicaStateName(r.state));
+    w.Key("p");
+    w.Int(r.p);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).TakeString();
+}
+
+}  // namespace obs
+}  // namespace emp

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/json_writer.h"
+#include "obs/metrics.h"
 
 namespace emp {
 namespace obs {
@@ -23,6 +24,7 @@ void TraceBuffer::RecordSpan(std::string_view name, int64_t start_us,
   std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= capacity_) {
     ++dropped_;
+    if (drop_counter_ != nullptr) drop_counter_->Add(1);
     return;
   }
   events_.push_back(TraceEvent{std::string(name), start_us,
@@ -35,6 +37,7 @@ void TraceBuffer::RecordInstant(std::string_view name, double value,
   std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= capacity_) {
     ++dropped_;
+    if (drop_counter_ != nullptr) drop_counter_->Add(1);
     return;
   }
   events_.push_back(TraceEvent{std::string(name), now, -1, worker, value});
@@ -50,12 +53,48 @@ int64_t TraceBuffer::dropped_events() const {
   return dropped_;
 }
 
+void TraceBuffer::AttachDropMetrics(MetricRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    drop_counter_ = nullptr;
+    return;
+  }
+  drop_counter_ = registry->GetCounter(
+      "emp_trace_dropped_events_total",
+      "Trace events dropped because the bounded TraceBuffer was full.");
+  // Back-fill drops recorded before the registry was attached so the
+  // counter always equals dropped_events().
+  if (dropped_ > 0) drop_counter_->Add(dropped_);
+}
+
 std::string TraceBuffer::ToJson() const {
   const std::vector<TraceEvent> events = Snapshot();
+  const int64_t dropped = dropped_events();
   JsonWriter w;
   w.BeginObject();
   w.Key("traceEvents");
   w.BeginArray();
+  if (dropped > 0) {
+    // Metadata record announcing the truncation, so a consumer never
+    // mistakes a clipped trace for a complete one.
+    w.BeginInlineObject();
+    w.Key("name");
+    w.String("dropped_events");
+    w.Key("ph");
+    w.String("M");
+    w.Key("pid");
+    w.Int(0);
+    w.Key("tid");
+    w.Int(0);
+    w.Key("args");
+    w.BeginInlineObject();
+    w.Key("dropped");
+    w.Int(dropped);
+    w.Key("capacity");
+    w.Int(static_cast<int64_t>(capacity_));
+    w.EndObject();
+    w.EndObject();
+  }
   for (const TraceEvent& ev : events) {
     w.BeginInlineObject();
     w.Key("name");

@@ -11,6 +11,9 @@
 namespace emp {
 namespace obs {
 
+class Counter;
+class MetricRegistry;
+
 /// One recorded span or instant. Timestamps are microseconds since the
 /// owning TraceBuffer was constructed (a solve-local epoch, so traces from
 /// one run line up regardless of wall-clock).
@@ -50,9 +53,19 @@ class TraceBuffer {
   size_t capacity() const { return capacity_; }
   int64_t dropped_events() const;
 
+  /// Mirrors every future drop into `emp_trace_dropped_events_total` of
+  /// `registry` (and back-fills drops that already happened), so a
+  /// truncated trace is visible on the live /metrics endpoint, not only
+  /// in the serialized JSON. Pass null to detach. The registry must
+  /// outlive the buffer or the next detach.
+  void AttachDropMetrics(MetricRegistry* registry);
+
   /// Serializes the buffer as a Chrome trace-viewer compatible JSON
   /// document ({"traceEvents": [...]}, "X" phases for spans, "i" for
   /// instants) via JsonWriter; loadable in about://tracing or Perfetto.
+  /// A buffer that dropped events additionally emits a `dropped_events`
+  /// metadata record (ph "M" with the drop count and capacity in args),
+  /// so a truncated trace is self-describing.
   std::string ToJson() const;
 
  private:
@@ -63,6 +76,7 @@ class TraceBuffer {
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   int64_t dropped_ = 0;
+  Counter* drop_counter_ = nullptr;  // guarded by mu_
 };
 
 /// RAII span: captures the start time at construction and records

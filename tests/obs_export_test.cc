@@ -16,9 +16,15 @@ namespace {
 /// fixtures by running this test with EMP_REGENERATE_GOLDEN=1 in the
 /// environment, then inspect the diff.
 void FillGoldenRegistry(MetricRegistry* registry) {
-  registry->GetCounter("emp_tabu_iterations_total")->Add(41);
+  registry
+      ->GetCounter("emp_tabu_iterations_total",
+                   "Tabu iterations executed across the local search.")
+      ->Add(41);
   registry->GetCounter("emp_construction_iterations_total")->Add(3);
-  registry->GetGauge("emp_construction_best_p")->Set(12);
+  registry
+      ->GetGauge("emp_construction_best_p",
+                 "Largest feasible p found by construction.")
+      ->Set(12);
   registry->GetGauge("emp_tabu_final_heterogeneity")->Set(1234.5625);
   Histogram* h = registry->GetHistogram("emp_construction_iteration_seconds",
                                         {0.001, 0.01, 0.1});
@@ -104,6 +110,45 @@ TEST(MetricsExportTest, PrometheusBucketsAreCumulative) {
       std::string::npos);
   EXPECT_NE(text.find("emp_construction_iteration_seconds_count 4"),
             std::string::npos);
+}
+
+TEST(MetricsExportTest, PrometheusEmitsRegisteredHelp) {
+  MetricRegistry registry;
+  FillGoldenRegistry(&registry);
+  std::string text = MetricsToPrometheus(registry);
+  // HELP precedes TYPE for the same metric.
+  size_t help = text.find(
+      "# HELP emp_tabu_iterations_total Tabu iterations executed across "
+      "the local search.");
+  size_t type = text.find("# TYPE emp_tabu_iterations_total counter");
+  ASSERT_NE(help, std::string::npos);
+  ASSERT_NE(type, std::string::npos);
+  EXPECT_LT(help, type);
+  // Metrics without registered help get no HELP line at all.
+  EXPECT_EQ(text.find("# HELP emp_construction_iterations_total"),
+            std::string::npos);
+}
+
+TEST(MetricsExportTest, HelpRegistrationIsFirstNonEmptyWins) {
+  MetricRegistry registry;
+  registry.GetCounter("emp_x_total");  // no help yet
+  registry.GetCounter("emp_x_total", "First description.");
+  registry.GetCounter("emp_x_total", "Second description, ignored.");
+  std::string text = MetricsToPrometheus(registry);
+  EXPECT_NE(text.find("# HELP emp_x_total First description."),
+            std::string::npos);
+  EXPECT_EQ(text.find("Second description"), std::string::npos);
+}
+
+TEST(MetricsExportTest, HelpEscapesBackslashAndNewline) {
+  MetricRegistry registry;
+  registry.GetGauge("emp_weird", "line one\nline two \\ backslash");
+  std::string text = MetricsToPrometheus(registry);
+  EXPECT_NE(
+      text.find("# HELP emp_weird line one\\nline two \\\\ backslash\n"),
+      std::string::npos);
+  // The raw newline must not survive into the exposition line.
+  EXPECT_EQ(text.find("line one\nline two"), std::string::npos);
 }
 
 TEST(MetricsExportTest, EmptyRegistryExports) {

@@ -1,0 +1,128 @@
+#include "obs/journal.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/json.h"
+#include "common/json_writer.h"
+#include "common/str_util.h"
+
+namespace emp {
+namespace obs {
+namespace {
+
+std::vector<json::Value> ParseLines(const std::string& jsonl) {
+  std::vector<json::Value> records;
+  for (const std::string& line : Split(jsonl, '\n')) {
+    if (line.empty()) continue;
+    auto doc = json::Parse(line);
+    EXPECT_TRUE(doc.ok()) << doc.status().ToString() << " in: " << line;
+    if (doc.ok()) records.push_back(*std::move(doc));
+  }
+  return records;
+}
+
+TEST(RunJournalTest, RecordsCarryMonotonicSeqAndType) {
+  RunJournal journal;
+  journal.Append("run_start");
+  journal.Append("phase_begin",
+                 [](JsonWriter& w) {
+                   w.Key("phase");
+                   w.String("construction");
+                 });
+  journal.Append("run_end", nullptr, /*force=*/true);
+  EXPECT_EQ(journal.size(), 3);
+  EXPECT_EQ(journal.dropped(), 0);
+
+  std::vector<json::Value> records = ParseLines(journal.ToJsonl());
+  ASSERT_EQ(records.size(), 3u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].Find("seq")->AsNumber(), static_cast<double>(i));
+    EXPECT_GE(records[i].Find("ts_ms")->AsNumber(), 0);
+  }
+  EXPECT_EQ(records[0].Find("type")->AsString(), "run_start");
+  EXPECT_EQ(records[1].Find("phase")->AsString(), "construction");
+  EXPECT_EQ(records[2].Find("type")->AsString(), "run_end");
+}
+
+TEST(RunJournalTest, BoundDropsAndCountsNonForcedAppends) {
+  RunJournal journal(/*max_records=*/2);
+  journal.Append("a");
+  journal.Append("b");
+  journal.Append("c");  // over the bound: dropped
+  journal.Append("d");  // dropped
+  EXPECT_EQ(journal.size(), 2);
+  EXPECT_EQ(journal.dropped(), 2);
+  // The retained prefix is the oldest records — a flight recorder keeps
+  // the run's beginning, where the configuration lives.
+  std::vector<json::Value> records = ParseLines(journal.ToJsonl());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].Find("type")->AsString(), "a");
+  EXPECT_EQ(records[1].Find("type")->AsString(), "b");
+}
+
+TEST(RunJournalTest, ForceBypassesTheBound) {
+  RunJournal journal(/*max_records=*/1);
+  journal.Append("run_start");
+  journal.Append("noise");  // dropped
+  journal.Append("run_end",
+                 [](JsonWriter& w) {
+                   w.Key("ok");
+                   w.Bool(true);
+                 },
+                 /*force=*/true);
+  EXPECT_EQ(journal.size(), 2);
+  EXPECT_EQ(journal.dropped(), 1);
+  std::vector<json::Value> records = ParseLines(journal.ToJsonl());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records.back().Find("type")->AsString(), "run_end");
+  EXPECT_TRUE(records.back().Find("ok")->AsBool());
+  // Dropped appends do not consume sequence numbers: the retained JSONL
+  // is always densely numbered 0..N-1 (the CI validator relies on this);
+  // the loss itself is reported via dropped() -> run_end.dropped_records.
+  EXPECT_EQ(records.back().Find("seq")->AsNumber(), 1);
+}
+
+TEST(RunJournalTest, FlushToWritesTheJsonl) {
+  RunJournal journal;
+  journal.Append("run_start",
+                 [](JsonWriter& w) {
+                   w.Key("seed");
+                   w.Int(42);
+                 });
+  const std::string path =
+      ::testing::TempDir() + "/obs_journal_test_flush.jsonl";
+  ASSERT_TRUE(journal.FlushTo(path).ok());
+  auto contents = ReadFile(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_EQ(*contents, journal.ToJsonl());
+  EXPECT_NE(contents->find("\"seed\": 42"), std::string::npos);
+  // Repeated flushes replace, not append.
+  journal.Append("run_end", nullptr, /*force=*/true);
+  ASSERT_TRUE(journal.FlushTo(path).ok());
+  contents = ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, journal.ToJsonl());
+  std::remove(path.c_str());
+}
+
+TEST(RunJournalTest, EmptyJournalFlushesEmpty) {
+  RunJournal journal;
+  EXPECT_EQ(journal.ToJsonl(), "");
+  EXPECT_EQ(journal.size(), 0);
+}
+
+TEST(DigestHexTest, FixedWidthLowercaseHex) {
+  EXPECT_EQ(DigestHex(0), "0000000000000000");
+  EXPECT_EQ(DigestHex(0xdeadbeef), "00000000deadbeef");
+  EXPECT_EQ(DigestHex(0xcbf29ce484222325ull), "cbf29ce484222325");
+  EXPECT_EQ(DigestHex(~0ull), "ffffffffffffffff");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace emp

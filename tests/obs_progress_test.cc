@@ -1,0 +1,181 @@
+#include "obs/progress.h"
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace emp {
+namespace obs {
+namespace {
+
+TEST(ProgressBoardTest, StartsIdle) {
+  ProgressBoard board;
+  ProgressSnapshot snapshot = board.Read();
+  EXPECT_STREQ(snapshot.phase, "idle");
+  EXPECT_EQ(snapshot.best_p, -1);
+  EXPECT_FALSE(snapshot.has_heterogeneity);
+  EXPECT_EQ(snapshot.work_done, -1);
+  EXPECT_EQ(snapshot.replicas, 0);
+  EXPECT_EQ(snapshot.version % 2, 0u);
+}
+
+TEST(ProgressBoardTest, PublishesRoundTrip) {
+  ProgressBoard board;
+  board.SetBudgets(/*time_budget_ms=*/5000, /*max_evaluations=*/1000000);
+  board.SetPhase("construction");
+  board.SetBestP(7);
+  board.SetHeterogeneity(123.5);
+  board.SetWork(3, 10);
+  board.OnCheckpoint("construction", /*checkpoints=*/4, /*evaluations=*/256);
+
+  ProgressSnapshot snapshot = board.Read();
+  EXPECT_STREQ(snapshot.phase, "construction");
+  EXPECT_EQ(snapshot.time_budget_ms, 5000);
+  EXPECT_EQ(snapshot.max_evaluations, 1000000);
+  EXPECT_EQ(snapshot.best_p, 7);
+  ASSERT_TRUE(snapshot.has_heterogeneity);
+  EXPECT_EQ(snapshot.heterogeneity, 123.5);
+  EXPECT_EQ(snapshot.work_done, 3);
+  EXPECT_EQ(snapshot.work_total, 10);
+  EXPECT_EQ(snapshot.checkpoints, 4);
+  EXPECT_EQ(snapshot.evaluations, 256);
+  EXPECT_GE(snapshot.elapsed_ms, 0);
+  EXPECT_EQ(snapshot.version % 2, 0u);
+  EXPECT_GE(board.publishes(), 6);
+}
+
+TEST(ProgressBoardTest, PhaseNamesAreInterned) {
+  ProgressBoard board;
+  {
+    // The argument's storage dies here; the board must not retain it.
+    std::string ephemeral = "tabu";
+    board.SetPhase(ephemeral);
+  }
+  EXPECT_STREQ(board.Read().phase, "tabu");
+  board.SetPhase("no-such-phase");
+  EXPECT_STREQ(board.Read().phase, "other");
+}
+
+TEST(ProgressBoardTest, SetPhaseResetsTheWorkMeter) {
+  ProgressBoard board;
+  board.SetPhase("construction");
+  board.SetWork(5, 10);
+  board.OnCheckpoint("construction", 3, 100);
+  board.SetPhase("tabu");
+  ProgressSnapshot snapshot = board.Read();
+  EXPECT_EQ(snapshot.work_done, -1);
+  EXPECT_EQ(snapshot.work_total, -1);
+  EXPECT_EQ(snapshot.checkpoints, 0);
+}
+
+TEST(ProgressBoardTest, ReplicaTable) {
+  ProgressBoard board;
+  board.SetReplicaCount(3);
+  board.SetReplicaState(0, ReplicaState::kConstructing);
+  board.SetReplicaState(1, ReplicaState::kLocalSearch, /*p=*/9);
+  board.SetReplicaState(1, ReplicaState::kDone);  // p = -1 leaves p alone
+  ProgressSnapshot snapshot = board.Read();
+  ASSERT_EQ(snapshot.replicas, 3);
+  EXPECT_EQ(snapshot.replica[0].state, ReplicaState::kConstructing);
+  EXPECT_EQ(snapshot.replica[0].p, -1);
+  EXPECT_EQ(snapshot.replica[1].state, ReplicaState::kDone);
+  EXPECT_EQ(snapshot.replica[1].p, 9);
+  EXPECT_EQ(snapshot.replica[2].state, ReplicaState::kPending);
+  // Out-of-range replica indices are ignored, not UB.
+  board.SetReplicaState(-1, ReplicaState::kDone);
+  board.SetReplicaState(ProgressBoard::kMaxReplicas, ReplicaState::kDone);
+  // Re-declaring the portfolio resets the slots.
+  board.SetReplicaCount(2);
+  snapshot = board.Read();
+  EXPECT_EQ(snapshot.replica[1].state, ReplicaState::kPending);
+  EXPECT_EQ(snapshot.replica[1].p, -1);
+}
+
+TEST(ProgressBoardTest, ReplicaStateNames) {
+  EXPECT_EQ(ReplicaStateName(ReplicaState::kPending), "pending");
+  EXPECT_EQ(ReplicaStateName(ReplicaState::kConstructing), "constructing");
+  EXPECT_EQ(ReplicaStateName(ReplicaState::kLocalSearch), "local-search");
+  EXPECT_EQ(ReplicaStateName(ReplicaState::kDone), "done");
+  EXPECT_EQ(ReplicaStateName(ReplicaState::kCancelled), "cancelled");
+  EXPECT_EQ(ReplicaStateName(ReplicaState::kSkipped), "skipped");
+}
+
+TEST(ProgressToJsonTest, SerializesTheSnapshot) {
+  ProgressBoard board;
+  board.SetBudgets(/*time_budget_ms=*/-1, /*max_evaluations=*/-1);
+  board.SetPhase("tabu");
+  board.SetBestP(11);
+  board.SetReplicaCount(2);
+  board.SetReplicaState(0, ReplicaState::kDone, /*p=*/11);
+  auto doc = json::Parse(ProgressToJson(board.Read()));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("phase")->AsString(), "tabu");
+  EXPECT_EQ(doc->Find("best_p")->AsNumber(), 11);
+  // No budget, no heterogeneity yet: both serialize as null, not 0.
+  EXPECT_TRUE(doc->Find("deadline_remaining_ms")->is_null());
+  EXPECT_TRUE(doc->Find("heterogeneity")->is_null());
+  const auto& replicas = doc->Find("replicas")->AsArray();
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_EQ(replicas[0].Find("state")->AsString(), "done");
+  EXPECT_EQ(replicas[0].Find("p")->AsNumber(), 11);
+  EXPECT_EQ(replicas[1].Find("state")->AsString(), "pending");
+}
+
+// Seqlock torn-read hammer: writers publish pairs of related fields in
+// ONE bracket each; any snapshot that observes the pair out of relation
+// is a torn read the version protocol failed to prevent. Run under TSan
+// via tools/run_sanitized_tests.sh.
+TEST(ProgressBoardTest, SnapshotsAreNeverTorn) {
+  ProgressBoard board;
+  std::atomic<bool> stop{false};
+
+  // Writer 1: OnCheckpoint publishes (checkpoints = k, evaluations = 3k)
+  // in one bracket.
+  std::thread checkpoints([&] {
+    for (int64_t k = 1; !stop.load(std::memory_order_relaxed); ++k) {
+      board.OnCheckpoint("tabu", k, 3 * k);
+    }
+  });
+  // Writer 2: SetWork publishes (done = k, total = k + 7) in one bracket.
+  std::thread work([&] {
+    for (int64_t k = 1; !stop.load(std::memory_order_relaxed); ++k) {
+      board.SetWork(k, k + 7);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<int64_t> stable_reads{0};
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_version = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ProgressSnapshot s = board.Read();
+        ASSERT_EQ(s.version % 2, 0u);
+        ASSERT_GE(s.version, last_version);  // monotone per reader
+        last_version = s.version;
+        ASSERT_EQ(s.evaluations, 3 * s.checkpoints)
+            << "torn OnCheckpoint bracket";
+        if (s.work_done != -1) {
+          ASSERT_EQ(s.work_total, s.work_done + 7) << "torn SetWork bracket";
+        }
+        stable_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true, std::memory_order_relaxed);
+  checkpoints.join();
+  work.join();
+  for (auto& t : readers) t.join();
+  EXPECT_GT(stable_reads.load(), 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace emp

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/json.h"
+#include "obs/metrics.h"
 
 namespace emp {
 namespace obs {
@@ -60,14 +61,44 @@ TEST(TraceBufferTest, ToJsonIsChromeTraceFormat) {
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
   const json::Value* events = doc->Find("traceEvents");
   ASSERT_NE(events, nullptr);
-  ASSERT_EQ(events->AsArray().size(), 2u);
-  const json::Value& span = events->AsArray()[0];
+  // Drops surface as a leading metadata record ahead of the retained
+  // events, so trace viewers show the truncation on the timeline itself.
+  ASSERT_EQ(events->AsArray().size(), 3u);
+  const json::Value& meta = events->AsArray()[0];
+  EXPECT_EQ(meta.Find("name")->AsString(), "dropped_events");
+  EXPECT_EQ(meta.Find("ph")->AsString(), "M");
+  EXPECT_EQ(meta.Find("args")->Find("dropped")->AsNumber(), 1);
+  EXPECT_EQ(meta.Find("args")->Find("capacity")->AsNumber(), 2);
+  const json::Value& span = events->AsArray()[1];
   EXPECT_EQ(span.Find("name")->AsString(), "solve");
   EXPECT_EQ(span.Find("ph")->AsString(), "X");
   EXPECT_EQ(span.Find("dur")->AsNumber(), 100);
-  const json::Value& instant = events->AsArray()[1];
+  const json::Value& instant = events->AsArray()[2];
   EXPECT_EQ(instant.Find("ph")->AsString(), "i");
   EXPECT_EQ(doc->Find("droppedEvents")->AsNumber(), 1);
+}
+
+TEST(TraceBufferTest, NoMetadataRecordWithoutDrops) {
+  TraceBuffer buffer(/*capacity=*/4);
+  buffer.RecordInstant("a", 1);
+  auto doc = json::Parse(buffer.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->Find("traceEvents")->AsArray().size(), 1u);
+}
+
+TEST(TraceBufferTest, DropCounterTracksDropsAcrossAttach) {
+  TraceBuffer buffer(/*capacity=*/1);
+  buffer.RecordInstant("kept", 1);
+  buffer.RecordInstant("lost-before-attach", 2);  // dropped, no registry yet
+  MetricRegistry registry;
+  buffer.AttachDropMetrics(&registry);  // back-fills the prior drop
+  buffer.RecordInstant("lost-after-attach", 3);
+  EXPECT_EQ(buffer.dropped_events(), 2);
+  EXPECT_EQ(registry.GetCounter("emp_trace_dropped_events_total")->value(),
+            2);
+  buffer.AttachDropMetrics(nullptr);  // detach must be safe
+  buffer.RecordInstant("lost-detached", 4);
+  EXPECT_EQ(buffer.dropped_events(), 3);
 }
 
 }  // namespace

@@ -17,10 +17,17 @@
 //   emp_cli validate --input tracts.csv --query "SUM(TOTALPOP) >= 20k"
 //       --assignment assignment.csv
 
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "baseline/maxp_regions.h"
@@ -40,7 +47,10 @@
 #include "graph/components.h"
 #include "graph/gal.h"
 #include "obs/export.h"
+#include "obs/http_server.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/progress.h"
 #include "obs/trace.h"
 #include "render/svg.h"
 
@@ -109,6 +119,49 @@ void HandleSigint(int) {
   std::signal(SIGINT, SIG_DFL);
 }
 
+/// Background thread calling `flush` every `period_ms` until stopped.
+/// Backs --metrics-flush-ms: the flush callback writes metrics / journal
+/// files atomically (tmp + rename), so a `watch`/poll loop on the files
+/// never observes a torn write.
+class PeriodicFlusher {
+ public:
+  PeriodicFlusher(int64_t period_ms, std::function<void()> flush)
+      : period_ms_(period_ms < 1 ? 1 : period_ms),
+        flush_(std::move(flush)),
+        thread_([this] { Run(); }) {}
+
+  ~PeriodicFlusher() { Stop(); }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  void Run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopped_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(period_ms_));
+      if (stopped_) break;
+      lock.unlock();
+      flush_();
+      lock.lock();
+    }
+  }
+
+  const int64_t period_ms_;
+  const std::function<void()> flush_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -125,6 +178,8 @@ int Usage() {
       "              [--portfolio-target-p P] [--no-share-incumbent]\n"
       "              [--time-budget-ms MS] [--max-evals N]\n"
       "              [--metrics-out FILE(.json|.prom)] [--trace-out FILE]\n"
+      "              [--serve-port P (0 = ephemeral)] [--journal-out FILE]\n"
+      "              [--metrics-flush-ms MS]\n"
       "  validate    --input FILE --query Q --assignment FILE\n"
       "  render      --input FILE [--assignment FILE] [--out FILE]\n"
       "              [--width W] [--labels]\n"
@@ -253,8 +308,59 @@ int CmdSolve(const Args& args) {
   // pays one null-pointer branch per instrumentation site.
   emp::obs::MetricRegistry metric_registry;
   emp::obs::TraceBuffer trace_buffer;
-  if (args.Has("metrics-out")) ctx.metrics = &metric_registry;
+  emp::obs::ProgressBoard progress_board;
+  emp::obs::RunJournal run_journal;
+  const bool serve = args.Has("serve-port");
+  if (args.Has("metrics-out") || serve) ctx.metrics = &metric_registry;
   if (args.Has("trace-out")) ctx.trace = &trace_buffer;
+  if (serve) ctx.progress_board = &progress_board;
+  if (args.Has("journal-out")) ctx.journal = &run_journal;
+  if (ctx.trace != nullptr && ctx.metrics != nullptr) {
+    // Surface trace-buffer drops as emp_trace_dropped_events_total.
+    trace_buffer.AttachDropMetrics(&metric_registry);
+  }
+
+  // Live observability plane: HTTP endpoint over the registry + board.
+  std::unique_ptr<emp::obs::HttpServer> http_server;
+  if (serve) {
+    emp::obs::HttpServer::Options server_options;
+    server_options.port =
+        static_cast<int>(args.GetInt("serve-port", 0));
+    server_options.metrics = &metric_registry;
+    server_options.progress = &progress_board;
+    auto server = emp::obs::HttpServer::Start(server_options);
+    if (!server.ok()) return Fail(server.status().ToString());
+    http_server = std::move(server).value();
+    std::printf("serving http on 127.0.0.1:%d "
+                "(/healthz /metrics /metrics.json /progress)\n",
+                http_server->port());
+    std::fflush(stdout);  // poll loops read this while the solve runs
+  }
+
+  // Periodic flusher: rewrites the metrics/journal files atomically every
+  // --metrics-flush-ms while the solve runs, so pollers can tail them.
+  std::unique_ptr<PeriodicFlusher> flusher;
+  if (args.Has("metrics-flush-ms") &&
+      (args.Has("metrics-out") || args.Has("journal-out"))) {
+    const std::string metrics_path = args.Get("metrics-out");
+    const bool metrics_prometheus =
+        metrics_path.size() >= 5 &&
+        (metrics_path.rfind(".prom") == metrics_path.size() - 5 ||
+         metrics_path.rfind(".txt") == metrics_path.size() - 4);
+    const std::string journal_path = args.Get("journal-out");
+    flusher = std::make_unique<PeriodicFlusher>(
+        args.GetInt("metrics-flush-ms", 1000), [=, &metric_registry,
+                                                &run_journal] {
+          if (!metrics_path.empty()) {
+            emp::WriteFileAtomic(
+                metrics_path,
+                metrics_prometheus
+                    ? emp::obs::MetricsToPrometheus(metric_registry)
+                    : emp::obs::MetricsToJson(metric_registry));
+          }
+          if (!journal_path.empty()) run_journal.FlushTo(journal_path);
+        });
+  }
 
   g_solve_cancel = &ctx.cancel;
   std::signal(SIGINT, HandleSigint);
@@ -266,12 +372,13 @@ int CmdSolve(const Args& args) {
       auto constraints = emp::ParseConstraints(args.Get("query"));
       if (!constraints.ok()) return constraints.status();
       if (options.portfolio_replicas > 1) {
-        // Direct portfolio path so the replica stats survive the solve
-        // for the report below; SolveEmp would reach the same code.
-        auto s = emp::PortfolioSolver::Create(&*areas, *constraints, options);
+        // Through FactSolver (not PortfolioSolver directly) so the
+        // run-journal bracket and whole-run progress fields are written;
+        // the replica stats for the report below survive on the solver.
+        auto s = emp::FactSolver::Create(&*areas, *constraints, options);
         if (!s.ok()) return s.status();
         auto sol = s->Solve(ctx);
-        portfolio_stats = s->stats();
+        portfolio_stats = s->portfolio_stats();
         return sol;
       }
       return emp::SolveEmp(*areas, *constraints, options, &ctx);
@@ -299,6 +406,15 @@ int CmdSolve(const Args& args) {
   std::signal(SIGINT, SIG_DFL);
   g_solve_cancel = nullptr;
 
+  // Tear the plane down in reverse: flusher first (its last write must not
+  // race the finals below), then the HTTP server.
+  if (flusher != nullptr) flusher->Stop();
+  if (http_server != nullptr) {
+    http_server->Stop();
+    std::printf("http server stopped after %lld requests\n",
+                static_cast<long long>(http_server->requests_served()));
+  }
+
   // Telemetry exports happen even for failed/interrupted solves — partial
   // metrics are exactly what you want when diagnosing one.
   if (args.Has("metrics-out")) {
@@ -309,9 +425,15 @@ int CmdSolve(const Args& args) {
     const std::string text =
         prometheus ? emp::obs::MetricsToPrometheus(metric_registry)
                    : emp::obs::MetricsToJson(metric_registry);
-    emp::Status st = emp::WriteFile(path, text);
+    emp::Status st = emp::WriteFileAtomic(path, text);
     if (!st.ok()) return Fail(st.ToString());
     std::printf("wrote %s\n", path.c_str());
+  }
+  if (args.Has("journal-out")) {
+    emp::Status st = run_journal.FlushTo(args.Get("journal-out"));
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s (%lld records)\n", args.Get("journal-out").c_str(),
+                static_cast<long long>(run_journal.size()));
   }
   if (args.Has("trace-out")) {
     emp::Status st = emp::WriteFile(args.Get("trace-out"),
