@@ -7,9 +7,8 @@
 #include <string>
 #include <vector>
 
-#include "baseline/maxp_regions.h"
-#include "baseline/skater.h"
 #include "core/metrics.h"
+#include "core/solver.h"
 #include "harness/experiment.h"
 #include "harness/table.h"
 
@@ -19,6 +18,22 @@ struct NamedRun {
   std::string name;
   emp::Result<emp::Solution> solution;
 };
+
+/// Runs a registered baseline by name on the single-SUM query.
+emp::Result<emp::Solution> RunBaseline(const emp::AreaSet& areas,
+                                       const std::string& solver_name,
+                                       double threshold,
+                                       const emp::SolverOptions& options) {
+  emp::SolverSpec spec;
+  spec.solver = solver_name;
+  spec.areas = &areas;
+  spec.attribute = "TOTALPOP";
+  spec.threshold = threshold;
+  spec.options = options;
+  auto solver = emp::CreateSolver(spec);
+  if (!solver.ok()) return solver.status();
+  return (*solver)->Solve();
+}
 
 }  // namespace
 
@@ -35,10 +50,8 @@ int main() {
                           "het", "size-gini", "compactness"});
   for (double l : {10000.0, 20000.0, 40000.0}) {
     std::vector<NamedRun> runs;
-    runs.push_back(
-        {"MP", MaxPRegionsSolver(&areas, "TOTALPOP", l, options).Solve()});
-    runs.push_back(
-        {"SKATER", SkaterMaxPSolver(&areas, "TOTALPOP", l, options).Solve()});
+    runs.push_back({"MP", RunBaseline(areas, "maxp", l, options)});
+    runs.push_back({"SKATER", RunBaseline(areas, "skater", l, options)});
     runs.push_back(
         {"FaCT",
          SolveEmp(areas, {Constraint::Sum("TOTALPOP", l, kNoUpperBound)},

@@ -3,7 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "baseline/maxp_regions.h"
+#include "core/solver.h"
 #include "data/synthetic/dataset_catalog.h"
 
 namespace emp {
@@ -54,8 +54,18 @@ RunResult RunFact(const AreaSet& areas, const std::vector<Constraint>& cs,
 RunResult RunMaxP(const AreaSet& areas, double threshold,
                   const SolverOptions& options) {
   RunResult out;
-  MaxPRegionsSolver solver(&areas, "TOTALPOP", threshold, options);
-  auto sol = solver.Solve();
+  SolverSpec spec;
+  spec.solver = "maxp";
+  spec.areas = &areas;
+  spec.attribute = "TOTALPOP";
+  spec.threshold = threshold;
+  spec.options = options;
+  auto solver = CreateSolver(spec);
+  if (!solver.ok()) {
+    out.infeasible = true;
+    return out;
+  }
+  auto sol = (*solver)->Solve();
   if (!sol.ok()) {
     out.infeasible = true;
     return out;

@@ -50,7 +50,8 @@ MaxPRegionsSolver::MaxPRegionsSolver(const AreaSet* areas,
     : areas_(areas),
       attribute_(std::move(attribute)),
       threshold_(threshold),
-      options_(options) {}
+      options_(options),
+      constraints_({Constraint::Sum(attribute_, threshold_, kNoUpperBound)}) {}
 
 Result<MaxPRegionsSolver> MaxPRegionsSolver::Create(const AreaSet* areas,
                                                     std::string attribute,

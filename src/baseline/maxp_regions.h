@@ -2,10 +2,13 @@
 #define EMP_BASELINE_MAXP_REGIONS_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "constraints/constraint.h"
 #include "core/run_context.h"
 #include "core/solution.h"
+#include "core/solver.h"
 #include "core/solver_options.h"
 #include "data/area_set.h"
 
@@ -23,7 +26,7 @@ namespace emp {
 /// most similar dissimilarity profile. Several construction iterations keep
 /// the partition with the largest p. The local-search phase reuses the same
 /// Tabu machinery as FaCT with the single SUM constraint.
-class MaxPRegionsSolver {
+class MaxPRegionsSolver : public Solver {
  public:
   /// Validating named constructor: checks `options`, requires a non-null
   /// area set and an existing numeric `attribute`, and rejects a
@@ -43,19 +46,27 @@ class MaxPRegionsSolver {
   /// Runs construction + Tabu. Infeasible when the dataset total of
   /// `attribute` is below the threshold. Honors
   /// time_budget_ms/max_evaluations via MakeRunContext, like FactSolver.
-  Result<Solution> Solve();
+  Result<Solution> Solve() override;
 
   /// Same under an explicit supervision context: on a trip the partial
   /// partition is finalized (in-progress under-threshold region dissolved)
   /// and returned with Solution::termination_reason set. Construction
   /// checkpoints use phase "maxp"; the Tabu phase stays "tabu".
-  Result<Solution> Solve(const RunContext& ctx);
+  Result<Solution> Solve(const RunContext& ctx) override;
+
+  const SolverOptions& options() const override { return options_; }
+  std::string_view name() const override { return "maxp"; }
+  /// The one SUM(attribute) >= threshold constraint this baseline solves.
+  const std::vector<Constraint>& constraints() const override {
+    return constraints_;
+  }
 
  private:
   const AreaSet* areas_;
   std::string attribute_;
   double threshold_;
   SolverOptions options_;
+  std::vector<Constraint> constraints_;
 };
 
 }  // namespace emp

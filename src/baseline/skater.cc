@@ -33,7 +33,8 @@ SkaterMaxPSolver::SkaterMaxPSolver(const AreaSet* areas,
     : areas_(areas),
       attribute_(std::move(attribute)),
       threshold_(threshold),
-      options_(options) {}
+      options_(options),
+      constraints_({Constraint::Sum(attribute_, threshold_, kNoUpperBound)}) {}
 
 Result<SkaterMaxPSolver> SkaterMaxPSolver::Create(const AreaSet* areas,
                                                   std::string attribute,

@@ -2,10 +2,13 @@
 #define EMP_BASELINE_SKATER_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "constraints/constraint.h"
 #include "core/run_context.h"
 #include "core/solution.h"
+#include "core/solver.h"
 #include "core/solver_options.h"
 #include "data/area_set.h"
 
@@ -22,7 +25,7 @@ namespace emp {
 /// Serves as a second baseline next to MP-regions for the single-SUM
 /// query; like MP it supports no enriched constraints and leaves no U0 on
 /// feasible connected inputs.
-class SkaterMaxPSolver {
+class SkaterMaxPSolver : public Solver {
  public:
   /// Validating named constructor: checks `options`, requires a non-null
   /// area set and an existing numeric `attribute`, and rejects a
@@ -43,20 +46,28 @@ class SkaterMaxPSolver {
   /// components' areas end up unassigned; fully infeasible datasets (no
   /// component can host a region) return kInfeasible. Honors
   /// time_budget_ms/max_evaluations via MakeRunContext, like FactSolver.
-  Result<Solution> Solve();
+  Result<Solution> Solve() override;
 
   /// Same under an explicit supervision context (checkpoints use phase
   /// "skater"; the Tabu phase stays "tabu"). Tree cutting has no
   /// incremental feasible state, so a trip before regions materialize
   /// returns the degraded empty solution (p = 0) with the verdict — never
   /// kInfeasible, which only a finished run may claim.
-  Result<Solution> Solve(const RunContext& ctx);
+  Result<Solution> Solve(const RunContext& ctx) override;
+
+  const SolverOptions& options() const override { return options_; }
+  std::string_view name() const override { return "skater"; }
+  /// The one SUM(attribute) >= threshold constraint this baseline solves.
+  const std::vector<Constraint>& constraints() const override {
+    return constraints_;
+  }
 
  private:
   const AreaSet* areas_;
   std::string attribute_;
   double threshold_;
   SolverOptions options_;
+  std::vector<Constraint> constraints_;
 };
 
 }  // namespace emp

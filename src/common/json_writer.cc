@@ -114,6 +114,20 @@ void JsonWriter::Null() {
   out_ += "null";
 }
 
+void JsonWriter::Raw(std::string_view v) {
+  while (!v.empty() &&
+         (v.back() == '\n' || v.back() == '\r' || v.back() == ' ' ||
+          v.back() == '\t')) {
+    v.remove_suffix(1);
+  }
+  BeginValue();
+  if (v.empty()) {
+    out_ += "null";
+    return;
+  }
+  out_.append(v.data(), v.size());
+}
+
 std::string JsonWriter::Escape(std::string_view v) {
   std::string out;
   out.reserve(v.size() + 8);

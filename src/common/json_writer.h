@@ -54,6 +54,13 @@ class JsonWriter {
   void Bool(bool v);
   void Null();
 
+  /// Splices pre-serialized JSON in as one value — e.g. embedding a
+  /// ProgressToJson / SolutionToJson document inside a larger response.
+  /// `v` must itself be valid JSON (trailing whitespace is trimmed); the
+  /// writer emits it verbatim, so a malformed fragment corrupts the
+  /// document. An empty/whitespace-only `v` emits null.
+  void Raw(std::string_view v);
+
   /// The document so far (valid JSON once every container is closed).
   const std::string& str() const { return out_; }
   std::string TakeString() && { return std::move(out_); }

@@ -8,6 +8,7 @@
 #include "core/portfolio.h"
 #include "core/run_context.h"
 #include "core/solution.h"
+#include "core/solver.h"
 #include "core/solver_options.h"
 #include "data/area_set.h"
 
@@ -26,7 +27,7 @@ namespace emp {
 ///       FactSolver::Create(&areas, {Constraint::Sum("TOTALPOP", 20000,
 ///                                                   kNoUpperBound)}));
 ///   EMP_ASSIGN_OR_RETURN(Solution sol, solver.Solve());
-class FactSolver {
+class FactSolver : public Solver {
  public:
   /// Validating named constructor: checks `options` against its documented
   /// domain, requires a non-null area set, and binds `constraints` against
@@ -60,7 +61,7 @@ class FactSolver {
   /// delegates to PortfolioSolver (core/portfolio.h) — N independent
   /// replicas across portfolio_threads workers, reduced
   /// deterministically to one Solution.
-  Result<Solution> Solve();
+  Result<Solution> Solve() override;
 
   /// Same, under an explicit supervision context (deadline, cancellation,
   /// evaluation budget, progress callback, fault injection). When the
@@ -71,9 +72,13 @@ class FactSolver {
   /// still errors; supervision never masks them except that a feasibility
   /// phase cut short returns the degraded empty solution rather than
   /// claiming (in)feasibility it could not finish proving.
-  Result<Solution> Solve(const RunContext& ctx);
+  Result<Solution> Solve(const RunContext& ctx) override;
 
-  const SolverOptions& options() const { return options_; }
+  const SolverOptions& options() const override { return options_; }
+  std::string_view name() const override { return "fact"; }
+  const std::vector<Constraint>& constraints() const override {
+    return constraints_;
+  }
 
   /// Stats from the portfolio delegation of the most recent Solve() on
   /// this object; default-initialized when portfolio_replicas <= 1.

@@ -1,0 +1,134 @@
+#include "core/solver.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "baseline/maxp_regions.h"
+#include "baseline/skater.h"
+#include "common/str_util.h"
+#include "constraints/query_parser.h"
+#include "core/fact_solver.h"
+
+namespace emp {
+
+namespace {
+
+/// Registry of name -> factory. Builtins are installed on first access
+/// (not via static registrar objects: those live in a static library and
+/// would be dead-stripped by the linker).
+struct SolverRegistry {
+  std::mutex mu;
+  std::map<std::string, SolverFactory> factories;
+};
+
+Result<std::unique_ptr<Solver>> MakeFact(const SolverSpec& spec) {
+  std::vector<Constraint> constraints = spec.constraints;
+  if (!spec.query.empty()) {
+    EMP_ASSIGN_OR_RETURN(std::vector<Constraint> parsed,
+                         ParseConstraints(spec.query));
+    for (Constraint& c : parsed) constraints.push_back(std::move(c));
+  }
+  EMP_ASSIGN_OR_RETURN(
+      FactSolver solver,
+      FactSolver::Create(spec.areas, std::move(constraints), spec.options));
+  return std::unique_ptr<Solver>(new FactSolver(std::move(solver)));
+}
+
+Status CheckSingleSumSpec(const SolverSpec& spec) {
+  if (spec.attribute.empty() || !(spec.threshold > 0)) {
+    return Status::InvalidArgument(
+        "solver '" + spec.solver +
+        "' needs attribute and a positive threshold "
+        "(single SUM(attribute) >= threshold query)");
+  }
+  if (!spec.query.empty() || !spec.constraints.empty()) {
+    return Status::InvalidArgument(
+        "solver '" + spec.solver +
+        "' supports only the single-SUM query; pass attribute + threshold "
+        "instead of a constraint query");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Solver>> MakeMaxP(const SolverSpec& spec) {
+  EMP_RETURN_IF_ERROR(CheckSingleSumSpec(spec));
+  EMP_ASSIGN_OR_RETURN(
+      MaxPRegionsSolver solver,
+      MaxPRegionsSolver::Create(spec.areas, spec.attribute, spec.threshold,
+                                spec.options));
+  return std::unique_ptr<Solver>(new MaxPRegionsSolver(std::move(solver)));
+}
+
+Result<std::unique_ptr<Solver>> MakeSkater(const SolverSpec& spec) {
+  EMP_RETURN_IF_ERROR(CheckSingleSumSpec(spec));
+  EMP_ASSIGN_OR_RETURN(
+      SkaterMaxPSolver solver,
+      SkaterMaxPSolver::Create(spec.areas, spec.attribute, spec.threshold,
+                               spec.options));
+  return std::unique_ptr<Solver>(new SkaterMaxPSolver(std::move(solver)));
+}
+
+SolverRegistry& GetRegistry() {
+  static SolverRegistry* registry = [] {
+    auto* r = new SolverRegistry;
+    r->factories["fact"] = MakeFact;
+    r->factories["maxp"] = MakeMaxP;
+    r->factories["skater"] = MakeSkater;
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+Solver::~Solver() = default;
+
+Result<Solution> Solver::Solve() { return Solve(MakeRunContext(options())); }
+
+Result<std::unique_ptr<Solver>> CreateSolver(const SolverSpec& spec) {
+  SolverFactory factory;
+  {
+    SolverRegistry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.factories.find(spec.solver);
+    if (it == registry.factories.end()) {
+      std::vector<std::string> names;
+      for (const auto& [name, f] : registry.factories) names.push_back(name);
+      return Status::NotFound("unknown solver '" + spec.solver +
+                              "'; registered: " + Join(names, ", "));
+    }
+    factory = it->second;
+  }
+  if (spec.areas == nullptr) {
+    return Status::InvalidArgument("SolverSpec: null area set");
+  }
+  return factory(spec);
+}
+
+Status RegisterSolver(std::string name, SolverFactory factory) {
+  if (name.empty() || factory == nullptr) {
+    return Status::InvalidArgument(
+        "RegisterSolver: name and factory are required");
+  }
+  SolverRegistry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (!registry.factories.emplace(std::move(name), std::move(factory))
+           .second) {
+    return Status::InvalidArgument("RegisterSolver: name already registered");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> RegisteredSolverNames() {
+  SolverRegistry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.factories.size());
+  for (const auto& [name, factory] : registry.factories) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace emp

@@ -6,10 +6,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "common/json_writer.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -19,28 +22,43 @@ namespace obs {
 
 namespace {
 
-constexpr size_t kMaxRequestBytes = 8192;
+/// Head (request line + headers) and body are each capped; a solve spec
+/// is a few hundred bytes of JSON, so 64 KiB of body is generous.
+constexpr size_t kMaxHeadBytes = 8192;
+constexpr size_t kMaxBodyBytes = 64 * 1024;
 
 std::string StatusLine(int code) {
   switch (code) {
     case 200:
       return "HTTP/1.1 200 OK";
+    case 202:
+      return "HTTP/1.1 202 Accepted";
     case 404:
       return "HTTP/1.1 404 Not Found";
     case 405:
       return "HTTP/1.1 405 Method Not Allowed";
+    case 409:
+      return "HTTP/1.1 409 Conflict";
+    case 413:
+      return "HTTP/1.1 413 Content Too Large";
+    case 429:
+      return "HTTP/1.1 429 Too Many Requests";
+    case 500:
+      return "HTTP/1.1 500 Internal Server Error";
     default:
       return "HTTP/1.1 400 Bad Request";
   }
 }
 
-std::string MakeResponse(int code, const std::string& content_type,
-                         const std::string& body) {
-  std::string out = StatusLine(code);
-  out += "\r\nContent-Type: " + content_type;
-  out += "\r\nContent-Length: " + std::to_string(body.size());
+std::string Serialize(const HttpResponse& response) {
+  std::string out = StatusLine(response.status);
+  out += "\r\nContent-Type: " + response.content_type;
+  out += "\r\nContent-Length: " + std::to_string(response.body.size());
+  for (const auto& [key, value] : response.extra_headers) {
+    out += "\r\n" + key + ": " + value;
+  }
   out += "\r\nConnection: close\r\n\r\n";
-  out += body;
+  out += response.body;
   return out;
 }
 
@@ -57,7 +75,52 @@ void SendAll(int fd, const std::string& data) {
   }
 }
 
+/// Case-insensitive lookup of one header value in the raw head block
+/// (everything before the blank line). Returns an empty string when the
+/// header is absent.
+std::string HeaderValue(const std::string& head, std::string_view name) {
+  size_t pos = head.find("\r\n");
+  while (pos != std::string::npos && pos + 2 < head.size()) {
+    const size_t line_start = pos + 2;
+    const size_t line_end = head.find("\r\n", line_start);
+    const std::string line = head.substr(
+        line_start, line_end == std::string::npos ? std::string::npos
+                                                  : line_end - line_start);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos && colon == name.size()) {
+      bool match = true;
+      for (size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        size_t value_start = colon + 1;
+        while (value_start < line.size() && line[value_start] == ' ') {
+          ++value_start;
+        }
+        return line.substr(value_start);
+      }
+    }
+    pos = line_end;
+  }
+  return "";
+}
+
 }  // namespace
+
+HttpResponse JsonErrorResponse(int status, std::string_view code,
+                               std::string_view message) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = std::string("{\"error\":{\"code\":\"") +
+                  JsonWriter::Escape(code) + "\",\"message\":\"" +
+                  JsonWriter::Escape(message) + "\"}}\n";
+  return response;
+}
 
 HttpServer::HttpServer(const Options& options) : options_(options) {}
 
@@ -150,18 +213,24 @@ void HttpServer::Serve() {
 }
 
 void HttpServer::HandleConnection(int client_fd) {
-  std::string request;
+  // Phase 1: read until the blank line that ends the head. The client may
+  // deliver this in arbitrarily small pieces — keep recv()ing until the
+  // terminator shows up (or the 2s socket timeout / size cap trips).
+  std::string data;
   char buf[1024];
-  while (request.size() < kMaxRequestBytes &&
-         request.find("\r\n\r\n") == std::string::npos) {
+  size_t head_end = std::string::npos;
+  while (data.size() < kMaxHeadBytes + kMaxBodyBytes) {
+    head_end = data.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (data.size() >= kMaxHeadBytes) break;
     const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       break;
     }
-    request.append(buf, static_cast<size_t>(n));
+    data.append(buf, static_cast<size_t>(n));
   }
-  const size_t line_end = request.find("\r\n");
+  const size_t line_end = data.find("\r\n");
   if (line_end == std::string::npos) return;  // not even a request line
 
   requests_.fetch_add(1, std::memory_order_relaxed);
@@ -173,51 +242,121 @@ void HttpServer::HandleConnection(int client_fd) {
         ->Add(1);
   }
 
-  const std::string line = request.substr(0, line_end);
+  if (head_end == std::string::npos) {
+    SendAll(client_fd, Serialize(JsonErrorResponse(
+                           400, "bad_request",
+                           "request head exceeds " +
+                               std::to_string(kMaxHeadBytes) +
+                               " bytes or is truncated")));
+    return;
+  }
+  const std::string head = data.substr(0, head_end);
+
+  const std::string line = head.substr(0, line_end);
   const size_t sp1 = line.find(' ');
   const size_t sp2 = line.find(' ', sp1 + 1);
   if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    SendAll(client_fd, MakeResponse(400, "text/plain", "bad request\n"));
-    return;
-  }
-  const std::string method = line.substr(0, sp1);
-  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const size_t query = target.find('?');
-  if (query != std::string::npos) target.resize(query);
-  if (method != "GET") {
     SendAll(client_fd,
-            MakeResponse(405, "text/plain", "only GET is supported\n"));
+            Serialize(JsonErrorResponse(400, "bad_request",
+                                        "malformed request line")));
     return;
   }
-  SendAll(client_fd, RouteRequest(target));
+
+  HttpRequest request;
+  request.method = line.substr(0, sp1);
+  request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = request.target.find('?');
+  if (query != std::string::npos) request.target.resize(query);
+
+  // Phase 2: read the declared body, which may also arrive in pieces and
+  // may already partially sit in `data` past the head terminator.
+  const std::string length_header = HeaderValue(head, "Content-Length");
+  size_t content_length = 0;
+  if (!length_header.empty()) {
+    char* end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(length_header.c_str(), &end, 10);
+    if (end == length_header.c_str() || *end != '\0') {
+      SendAll(client_fd,
+              Serialize(JsonErrorResponse(
+                  400, "bad_request",
+                  "unparseable Content-Length '" + length_header + "'")));
+      return;
+    }
+    content_length = static_cast<size_t>(parsed);
+  }
+  if (content_length > kMaxBodyBytes) {
+    SendAll(client_fd,
+            Serialize(JsonErrorResponse(
+                413, "payload_too_large",
+                "request body of " + std::to_string(content_length) +
+                    " bytes exceeds the " + std::to_string(kMaxBodyBytes) +
+                    "-byte limit")));
+    return;
+  }
+  request.body = data.substr(head_end + 4);
+  while (request.body.size() < content_length) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      SendAll(client_fd,
+              Serialize(JsonErrorResponse(
+                  400, "bad_request",
+                  "request body truncated: got " +
+                      std::to_string(request.body.size()) + " of " +
+                      std::to_string(content_length) + " bytes")));
+      return;
+    }
+    request.body.append(buf, static_cast<size_t>(n));
+  }
+  request.body.resize(content_length);  // ignore pipelined trailing bytes
+
+  SendAll(client_fd, Serialize(RouteRequest(request)));
 }
 
-std::string HttpServer::RouteRequest(const std::string& target) {
-  if (target == "/healthz") {
-    return MakeResponse(200, "text/plain; charset=utf-8", "ok\n");
+HttpResponse HttpServer::RouteRequest(const HttpRequest& request) {
+  if (options_.handler) {
+    std::optional<HttpResponse> response = options_.handler(request);
+    if (response.has_value()) return *std::move(response);
   }
-  if (target == "/metrics") {
+
+  const bool builtin_target =
+      request.target == "/healthz" || request.target == "/metrics" ||
+      request.target == "/metrics.json" || request.target == "/progress";
+  if (builtin_target && request.method != "GET") {
+    HttpResponse response = JsonErrorResponse(
+        405, "method_not_allowed",
+        request.method + " is not supported on " + request.target);
+    response.extra_headers.emplace_back("Allow", "GET");
+    return response;
+  }
+
+  if (request.target == "/healthz") {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n", {}};
+  }
+  if (request.target == "/metrics") {
     const std::string body =
         options_.metrics != nullptr ? MetricsToPrometheus(*options_.metrics)
                                     : std::string();
-    return MakeResponse(200, "text/plain; version=0.0.4; charset=utf-8",
-                        body);
+    return HttpResponse{
+        200, "text/plain; version=0.0.4; charset=utf-8", body, {}};
   }
-  if (target == "/metrics.json") {
+  if (request.target == "/metrics.json") {
     const std::string body = options_.metrics != nullptr
                                  ? MetricsToJson(*options_.metrics)
                                  : std::string("{}");
-    return MakeResponse(200, "application/json", body);
+    return HttpResponse{200, "application/json", body, {}};
   }
-  if (target == "/progress") {
+  if (request.target == "/progress") {
     const ProgressSnapshot snapshot = options_.progress != nullptr
                                           ? options_.progress->Read()
                                           : ProgressSnapshot{};
-    return MakeResponse(200, "application/json", ProgressToJson(snapshot));
+    return HttpResponse{200, "application/json", ProgressToJson(snapshot), {}};
   }
-  return MakeResponse(404, "text/plain",
-                      "not found; try /healthz /metrics /metrics.json "
-                      "/progress\n");
+  return JsonErrorResponse(404, "not_found",
+                           "no route for " + request.target +
+                               "; try /healthz /metrics /metrics.json "
+                               "/progress");
 }
 
 }  // namespace obs

@@ -3,9 +3,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 
@@ -15,28 +20,70 @@ namespace obs {
 class MetricRegistry;
 class ProgressBoard;
 
-/// Minimal stdlib/POSIX HTTP/1.1 endpoint for watching a live solve — a
-/// blocking-accept socket server on one background thread, serving:
+/// One parsed HTTP request as seen by a route handler: the method verb,
+/// the target path with any "?query" suffix stripped, and the raw body
+/// (empty unless the client sent Content-Length). The reader tolerates
+/// requests split across multiple recv() calls — head and body arrive in
+/// as many TCP segments as the client likes.
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string body;
+};
+
+/// One response a handler hands back to the server, which serializes the
+/// status line, Content-Type/Content-Length, any extra headers (e.g.
+/// "Allow" on a 405), and the body.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+/// The uniform error wire format every route (built-in and hook-provided)
+/// uses: `{"error":{"code":"<snake_case>","message":"<human text>"}}`.
+/// `code` is a stable machine key (e.g. "not_found", "method_not_allowed",
+/// "queue_full"); `message` is free text, JSON-escaped here.
+HttpResponse JsonErrorResponse(int status, std::string_view code,
+                               std::string_view message);
+
+/// Minimal stdlib/POSIX HTTP/1.1 endpoint — a blocking-accept socket
+/// server on one background thread. Built-in read-only routes:
 ///
 ///   GET /healthz       -> 200 "ok" (liveness)
 ///   GET /metrics       -> Prometheus text exposition of the live registry
 ///   GET /metrics.json  -> the same snapshot as JSON
 ///   GET /progress      -> ProgressToJson(board->Read())
 ///
-/// Requests are handled serially on the accept thread (this is a
-/// diagnostics plane, not a traffic plane). Both sinks are optional: a
-/// null registry serves an empty exposition, a null board serves the idle
-/// snapshot. Enabling the server must not perturb the solve — it only
-/// reads the registry/board, so a fixed-seed solve is bit-identical with
-/// and without it (pinned by obs_http_test).
+/// An optional Options::handler extends the server with application
+/// routes (the solve-service job API): it sees every request first and
+/// returns a response to claim it or nullopt to fall through to the
+/// built-ins. Non-GET methods reach the handler too; the built-ins answer
+/// a wrong method on a known path with 405 + an Allow header and unknown
+/// paths with a 404, both as the JSON error envelope above.
+///
+/// Requests are handled serially on the accept thread (admission control
+/// for the solve service lives behind the handler in JobManager, whose
+/// queue turns overload into fast 429s rather than pileup here). The
+/// metrics/progress sinks are optional: a null registry serves an empty
+/// exposition, a null board the idle snapshot. Enabling the server must
+/// not perturb a solve — the built-ins only read the registry/board, so a
+/// fixed-seed solve is bit-identical with and without it (pinned by
+/// obs_http_test).
 ///
 /// Lifetime: Start() binds 127.0.0.1:`port` (0 = ephemeral; the bound
 /// port is queryable for tests), spawns the thread, and returns; Stop()
 /// (idempotent, also run by the destructor) wakes the accept loop via a
 /// self-pipe and joins the thread. Stop the server before destroying the
-/// registry/board it reads.
+/// registry/board/handler state it reads.
 class HttpServer {
  public:
+  /// Application hook: return a response to claim the request, nullopt to
+  /// fall through to the built-in routes. Runs on the accept thread.
+  using Handler =
+      std::function<std::optional<HttpResponse>(const HttpRequest&)>;
+
   struct Options {
     /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port.
     int port = 0;
@@ -46,6 +93,8 @@ class HttpServer {
     MetricRegistry* metrics = nullptr;
     /// Live progress board served under /progress; may be null.
     const ProgressBoard* progress = nullptr;
+    /// Application routes; may be null. See Handler.
+    Handler handler;
   };
 
   /// Binds, listens, and spawns the accept thread. Returns IOError when
@@ -72,7 +121,7 @@ class HttpServer {
 
   void Serve();
   void HandleConnection(int client_fd);
-  std::string RouteRequest(const std::string& target);
+  HttpResponse RouteRequest(const HttpRequest& request);
 
   Options options_;
   int port_ = 0;

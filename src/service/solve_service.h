@@ -1,0 +1,83 @@
+#ifndef EMP_SERVICE_SOLVE_SERVICE_H_
+#define EMP_SERVICE_SOLVE_SERVICE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "obs/http_server.h"
+#include "service/job_manager.h"
+
+namespace emp {
+namespace service {
+
+/// Deserializes a POST /solve body into a JobRequest. The wire format:
+///
+///   {
+///     "instance": "2k",                       // catalog name or CSV path
+///     "solver": "fact",                       // optional, default "fact"
+///     "query": "SUM(TOTALPOP) >= 20000",      // S17 query (fact)
+///     "attribute": "TOTALPOP",                // baselines' single-SUM...
+///     "threshold": 20000,                     // ...query
+///     "options": {"seed": 42, "time_budget_ms": 50, ...}
+///   }
+///
+/// Unknown top-level or option keys are kInvalidArgument (a typo must not
+/// silently become a default), as are non-JSON bodies and wrong value
+/// types. Query *syntax* errors surface later, from Submit(), with the
+/// S17 parser's exact message — both end up as HTTP 400s.
+Result<JobRequest> ParseSolveRequest(std::string_view body);
+
+/// One job as a JSON document: id, state, solver, instance + digest,
+/// queue/run timestamps, then termination / error when set, and — only
+/// when `include_payloads` — the live progress snapshot and the terminal
+/// result report spliced in verbatim.
+std::string JobSnapshotToJson(const JobSnapshot& snapshot,
+                              bool include_payloads);
+
+/// The solve-service job API, packaged as an HttpServer handler:
+///
+///   POST /solve             -> 202 + job document | 400/404 | 429 (full)
+///   GET  /jobs              -> {"jobs": [...]} (no payloads)
+///   GET  /jobs/<id>         -> job document with progress + result
+///   GET  /jobs/<id>/journal -> the per-job JSONL audit record
+///   POST /jobs/<id>/cancel  -> cooperative cancel, returns the document
+///
+/// Every error uses the JsonErrorResponse envelope; wrong methods on
+/// known routes answer 405 with an Allow header; a POST past the
+/// admission queue's capacity answers 429 and still records the job (see
+/// JobManager). Unclaimed targets fall through to the server's built-in
+/// metrics/progress routes.
+///
+/// The service owns its JobManager; the handler captures `this`, so the
+/// service must outlive the HttpServer it is installed into (stop the
+/// server first, then destroy the service).
+class SolveService {
+ public:
+  /// Validates the scheduler options and starts the worker pool.
+  static Result<std::unique_ptr<SolveService>> Create(
+      JobManager::Options options);
+
+  /// The handler to install as obs::HttpServer::Options::handler.
+  obs::HttpServer::Handler Handler();
+
+  /// Direct access for the CLI and tests (shutdown, waits, journals).
+  JobManager& jobs() { return *jobs_; }
+
+ private:
+  explicit SolveService(std::unique_ptr<JobManager> jobs);
+
+  std::optional<obs::HttpResponse> Handle(const obs::HttpRequest& request);
+  obs::HttpResponse HandleSolve(const obs::HttpRequest& request);
+  obs::HttpResponse HandleJob(const obs::HttpRequest& request,
+                              std::string_view rest);
+
+  std::unique_ptr<JobManager> jobs_;
+};
+
+}  // namespace service
+}  // namespace emp
+
+#endif  // EMP_SERVICE_SOLVE_SERVICE_H_

@@ -145,6 +145,41 @@ TEST(ReportBuilderTest, FlatFields) {
   EXPECT_TRUE(doc->Find("ok")->AsBool());
 }
 
+TEST(JsonWriterTest, RawSplicesPreserializedDocuments) {
+  // An inner document rendered separately (as SolutionToJson and
+  // ProgressToJson are), including a trailing newline...
+  JsonWriter inner(2);
+  inner.BeginObject();
+  inner.Key("p");
+  inner.Int(7);
+  inner.EndObject();
+  const std::string inner_text = std::move(inner).TakeString() + "\n";
+
+  // ...splices into an outer document as one value.
+  JsonWriter outer(2);
+  outer.BeginObject();
+  outer.Key("result");
+  outer.Raw(inner_text);
+  outer.Key("after");
+  outer.Int(1);
+  outer.EndObject();
+  auto doc = json::Parse(std::move(outer).TakeString());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("result")->Find("p")->AsNumber(), 7);
+  EXPECT_EQ(doc->Find("after")->AsNumber(), 1);
+}
+
+TEST(JsonWriterTest, RawOfEmptyTextIsNull) {
+  JsonWriter w(0);
+  w.BeginObject();
+  w.Key("missing");
+  w.Raw("");
+  w.EndObject();
+  auto doc = json::Parse(std::move(w).TakeString());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc->Find("missing")->is_null());
+}
+
 TEST(ReportBuilderTest, WriterEscapeHatchForNestedStructure) {
   ReportBuilder b;
   b.Field("p", int32_t{7});

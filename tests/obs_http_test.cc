@@ -143,10 +143,73 @@ TEST(HttpServerTest, UnknownRouteIs404AndNonGetIs405) {
   HttpServer::Options options;
   auto server = HttpServer::Start(options);
   ASSERT_TRUE(server.ok()) << server.status().ToString();
-  EXPECT_EQ(StatusLineOf(HttpGet((*server)->port(), "/nope")),
-            "HTTP/1.1 404 Not Found");
-  EXPECT_EQ(StatusLineOf(HttpGet((*server)->port(), "/healthz", "POST")),
-            "HTTP/1.1 405 Method Not Allowed");
+
+  // Errors wear the JSON envelope, not ad-hoc plain text.
+  const std::string not_found = HttpGet((*server)->port(), "/nope");
+  EXPECT_EQ(StatusLineOf(not_found), "HTTP/1.1 404 Not Found");
+  auto doc = json::Parse(BodyOf(not_found));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("error")->Find("code")->AsString(), "not_found");
+  EXPECT_NE(doc->Find("error")->Find("message")->AsString().find("/nope"),
+            std::string::npos);
+
+  // A wrong method on a known route is 405 with an Allow header — not a
+  // 404, and not a blanket refusal of all non-GET traffic.
+  const std::string wrong_method =
+      HttpGet((*server)->port(), "/healthz", "POST");
+  EXPECT_EQ(StatusLineOf(wrong_method), "HTTP/1.1 405 Method Not Allowed");
+  EXPECT_NE(wrong_method.find("Allow: GET"), std::string::npos);
+  doc = json::Parse(BodyOf(wrong_method));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("error")->Find("code")->AsString(),
+            "method_not_allowed");
+}
+
+TEST(HttpServerTest, HandlerHookClaimsRoutesAndFallsThrough) {
+  HttpServer::Options options;
+  options.handler = [](const HttpRequest& request)
+      -> std::optional<HttpResponse> {
+    if (request.target == "/echo") {
+      return HttpResponse{200, "text/plain",
+                          request.method + ":" + request.body, {}};
+    }
+    return std::nullopt;  // everything else falls through to built-ins
+  };
+  auto server = HttpServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = (*server)->port();
+
+  // A POST with a body reaches the handler intact.
+  const std::string body = "hello plane";
+  std::string request =
+      "POST /echo HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Split the send mid-headers and mid-body: the reader must reassemble.
+  const size_t cut = request.size() / 2;
+  ASSERT_EQ(::send(fd, request.data(), cut, 0), static_cast<ssize_t>(cut));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_EQ(::send(fd, request.data() + cut, request.size() - cut, 0),
+            static_cast<ssize_t>(request.size() - cut));
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 200 OK");
+  EXPECT_EQ(BodyOf(response), "POST:hello plane");
+
+  // Unclaimed targets still serve the built-ins.
+  EXPECT_EQ(BodyOf(HttpGet(port, "/healthz")), "ok\n");
 }
 
 TEST(HttpServerTest, QueryStringsAreIgnoredInRouting) {

@@ -101,5 +101,65 @@ TEST(QueryParserTest, EmptyQueryRejected) {
   EXPECT_FALSE(ParseConstraints(" ; \n ;").ok());
 }
 
+// The messages below are load-bearing: the solve service surfaces them
+// verbatim as HTTP 400 bodies, so clients (and the service tests) match
+// on the exact text. A reworded message is an API change.
+
+TEST(QueryParserTest, UnknownAggregateMessage) {
+  auto c = ParseConstraint("FOO(TOTALPOP) >= 1");
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(c.status().message(), "unknown aggregate 'FOO'");
+  // Aggregates are matched case-insensitively; the echo is uppercased.
+  EXPECT_EQ(ParseConstraint("foo(X) >= 1").status().message(),
+            "unknown aggregate 'FOO'");
+}
+
+TEST(QueryParserTest, MalformedAggregateTermMessages) {
+  EXPECT_EQ(ParseConstraint("SUM(TOTALPOP >= 1").status().message(),
+            "missing ')' in aggregate term");
+  EXPECT_EQ(ParseConstraint("SUM() >= 1").status().message(),
+            "SUM requires an attribute name");
+  EXPECT_EQ(ParseConstraint("SUM(*) >= 1").status().message(),
+            "SUM requires an attribute name");
+  EXPECT_EQ(ParseConstraint("COUNT(x) >= 1").status().message(),
+            "COUNT takes '*' or nothing, got 'x'");
+  EXPECT_EQ(ParseConstraint("TOTALPOP >= 1").status().message(),
+            "expected AGG(attribute), got 'TOTALPOP >= 1'");
+}
+
+TEST(QueryParserTest, MissingComparisonMessages) {
+  EXPECT_EQ(ParseConstraint("SUM(TOTALPOP)").status().message(),
+            "constraint is missing a comparison: 'SUM(TOTALPOP)'");
+  EXPECT_EQ(ParseConstraint("SUM(TOTALPOP) == 5").status().message(),
+            "expected '>=', '<=', or 'IN' after SUM(...)");
+}
+
+TEST(QueryParserTest, MalformedRangeMessages) {
+  EXPECT_EQ(ParseConstraint("SUM(X) IN [5]").status().message(),
+            "IN range needs two comma-separated bounds");
+  EXPECT_EQ(ParseConstraint("SUM(X) IN 5, 9").status().message(),
+            "IN expects a [lower, upper] range: 'SUM(X) IN 5, 9'");
+  EXPECT_EQ(ParseConstraint("SUM(X) IN [, 9]").status().message(),
+            "empty bound");
+  EXPECT_EQ(ParseConstraint("SUM(X) >= ").status().message(),
+            "empty bound");
+}
+
+TEST(QueryParserTest, ReversedBoundsMessage) {
+  auto c = ParseConstraint("SUM(TOTALPOP) IN [5000, 100]");
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(c.status().message(),
+            "constraint lower bound exceeds upper bound: "
+            "SUM(TOTALPOP) in [5000, 100]");
+}
+
+TEST(QueryParserTest, NoConstraintsMessage) {
+  auto q = ParseConstraints(" ; \n ;");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().message(), "query contains no constraints");
+}
+
 }  // namespace
 }  // namespace emp

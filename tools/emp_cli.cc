@@ -5,6 +5,7 @@
 //   info         describe a map (areas, adjacency, attributes); export GAL
 //   feasibility  run FaCT's feasibility phase and print the diagnostics
 //   solve        regionalize with FaCT (enriched query) or MP/SKATER
+//   serve        long-lived solve service: job API over the HTTP plane
 //   validate     audit an assignment CSV against a query
 //
 // Examples:
@@ -17,6 +18,7 @@
 //   emp_cli validate --input tracts.csv --query "SUM(TOTALPOP) >= 20k"
 //       --assignment assignment.csv
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
@@ -35,6 +37,7 @@
 #include "common/csv.h"
 #include "constraints/query_parser.h"
 #include "core/fact_solver.h"
+#include "core/solver.h"
 #include "core/feasibility.h"
 #include "core/portfolio.h"
 #include "core/metrics.h"
@@ -53,6 +56,7 @@
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "render/svg.h"
+#include "service/solve_service.h"
 
 namespace {
 
@@ -180,6 +184,9 @@ int Usage() {
       "              [--metrics-out FILE(.json|.prom)] [--trace-out FILE]\n"
       "              [--serve-port P (0 = ephemeral)] [--journal-out FILE]\n"
       "              [--metrics-flush-ms MS]\n"
+      "  serve       [--port P (default 8080, 0 = ephemeral)]\n"
+      "              [--workers N] [--queue-capacity N]\n"
+      "              [--journal-dir DIR]\n"
       "  validate    --input FILE --query Q --assignment FILE\n"
       "  render      --input FILE [--assignment FILE] [--out FILE]\n"
       "              [--width W] [--labels]\n"
@@ -365,44 +372,29 @@ int CmdSolve(const Args& args) {
   g_solve_cancel = &ctx.cancel;
   std::signal(SIGINT, HandleSigint);
 
-  const std::string solver = args.Get("solver", "fact");
+  // One spec, any algorithm: the registry picks the implementation by
+  // name and validates the whole request (query syntax, attribute
+  // binding, option domains) at Create time.
+  emp::SolverSpec spec;
+  spec.solver = args.Get("solver", "fact");
+  spec.areas = &*areas;
+  spec.query = args.Get("query");
+  spec.attribute = args.Get("attribute");
+  spec.threshold = args.GetDouble("threshold", -1);
+  spec.options = options;
+  if (spec.solver == "fact" && spec.query.empty()) {
+    return Fail("solve: --query is required for --solver fact");
+  }
+  auto solver_or = emp::CreateSolver(spec);
+  if (!solver_or.ok()) return Fail(solver_or.status().ToString());
+  emp::Solver& solver_impl = **solver_or;
+
+  emp::Result<emp::Solution> solution = solver_impl.Solve(ctx);
+  // The portfolio replica stats survive on the concrete FaCT solver.
   emp::PortfolioStats portfolio_stats;
-  emp::Result<emp::Solution> solution = [&]() -> emp::Result<emp::Solution> {
-    if (solver == "fact") {
-      auto constraints = emp::ParseConstraints(args.Get("query"));
-      if (!constraints.ok()) return constraints.status();
-      if (options.portfolio_replicas > 1) {
-        // Through FactSolver (not PortfolioSolver directly) so the
-        // run-journal bracket and whole-run progress fields are written;
-        // the replica stats for the report below survive on the solver.
-        auto s = emp::FactSolver::Create(&*areas, *constraints, options);
-        if (!s.ok()) return s.status();
-        auto sol = s->Solve(ctx);
-        portfolio_stats = s->portfolio_stats();
-        return sol;
-      }
-      return emp::SolveEmp(*areas, *constraints, options, &ctx);
-    }
-    const std::string attribute = args.Get("attribute");
-    const double threshold = args.GetDouble("threshold", -1);
-    if (attribute.empty() || threshold < 0) {
-      return emp::Status::InvalidArgument(
-          "--solver " + solver + " needs --attribute and --threshold");
-    }
-    if (solver == "maxp") {
-      auto s = emp::MaxPRegionsSolver::Create(&*areas, attribute, threshold,
-                                              options);
-      if (!s.ok()) return s.status();
-      return s->Solve(ctx);
-    }
-    if (solver == "skater") {
-      auto s = emp::SkaterMaxPSolver::Create(&*areas, attribute, threshold,
-                                             options);
-      if (!s.ok()) return s.status();
-      return s->Solve(ctx);
-    }
-    return emp::Status::InvalidArgument("unknown solver '" + solver + "'");
-  }();
+  if (auto* fact = dynamic_cast<emp::FactSolver*>(&solver_impl)) {
+    portfolio_stats = fact->portfolio_stats();
+  }
   std::signal(SIGINT, SIG_DFL);
   g_solve_cancel = nullptr;
 
@@ -481,15 +473,81 @@ int CmdSolve(const Args& args) {
     if (!st.ok()) return Fail(st.ToString());
     std::printf("wrote %s\n", args.Get("svg").c_str());
   }
-  if (args.Has("json") && solver == "fact") {
-    auto constraints = emp::ParseConstraints(args.Get("query"));
-    if (!constraints.ok()) return Fail(constraints.status().ToString());
-    auto json = emp::SolutionToJson(*areas, *constraints, *solution);
+  if (args.Has("json")) {
+    // Any solver: the canonical constraint set comes from the interface
+    // (the baselines report their single-SUM query).
+    auto json =
+        emp::SolutionToJson(*areas, solver_impl.constraints(), *solution);
     if (!json.ok()) return Fail(json.status().ToString());
     emp::Status st = emp::WriteFile(args.Get("json"), *json);
     if (!st.ok()) return Fail(st.ToString());
     std::printf("wrote %s\n", args.Get("json").c_str());
   }
+  return 0;
+}
+
+/// Flips the serve loop's stop flag; an atomic store, async-signal-safe.
+std::atomic<bool> g_serve_stop{false};
+
+void HandleServeSignal(int) { g_serve_stop.store(true); }
+
+int CmdServe(const Args& args) {
+  emp::obs::MetricRegistry metrics;
+
+  emp::service::JobManager::Options manager_options;
+  manager_options.workers = static_cast<int>(args.GetInt("workers", 2));
+  manager_options.queue_capacity =
+      static_cast<int>(args.GetInt("queue-capacity", 8));
+  manager_options.metrics = &metrics;
+  auto service = emp::service::SolveService::Create(manager_options);
+  if (!service.ok()) return Fail(service.status().ToString());
+
+  emp::obs::HttpServer::Options server_options;
+  server_options.port = static_cast<int>(args.GetInt("port", 8080));
+  server_options.metrics = &metrics;
+  server_options.handler = (*service)->Handler();
+  auto server = emp::obs::HttpServer::Start(server_options);
+  if (!server.ok()) return Fail(server.status().ToString());
+  std::printf("serving solve api on 127.0.0.1:%d "
+              "(POST /solve, GET /jobs, GET /jobs/<id>[/journal], "
+              "POST /jobs/<id>/cancel; obs: /healthz /metrics "
+              "/metrics.json)\n",
+              (*server)->port());
+  std::printf("workers: %d, queue capacity: %d\n",
+              (*service)->jobs().workers(),
+              (*service)->jobs().queue_capacity());
+  std::fflush(stdout);  // launchers poll this line for the bound port
+
+  g_serve_stop.store(false);
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  // Stop the HTTP plane first — its handler calls into the service — then
+  // drain the scheduler (cancels queued/running jobs, joins workers).
+  (*server)->Stop();
+  (*service)->jobs().Shutdown();
+
+  // Dump the per-job audit journals for post-mortem / CI artifacts.
+  if (args.Has("journal-dir")) {
+    const std::string dir = args.Get("journal-dir");
+    for (const emp::service::JobSnapshot& job : (*service)->jobs().List()) {
+      auto jsonl = (*service)->jobs().JournalJsonl(job.id);
+      if (!jsonl.ok()) continue;
+      const std::string path =
+          dir + "/job-" + std::to_string(job.id) + ".jsonl";
+      emp::Status st = emp::WriteFileAtomic(path, *jsonl);
+      if (!st.ok()) return Fail(st.ToString());
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+  std::printf("server stopped after %lld requests, %zu jobs\n",
+              static_cast<long long>((*server)->requests_served()),
+              (*service)->jobs().List().size());
   return 0;
 }
 
@@ -563,6 +621,7 @@ int main(int argc, char** argv) {
   if (command == "info") return CmdInfo(args);
   if (command == "feasibility") return CmdFeasibility(args);
   if (command == "solve") return CmdSolve(args);
+  if (command == "serve") return CmdServe(args);
   if (command == "validate") return CmdValidate(args);
   if (command == "render") return CmdRender(args);
   if (command == "explore") return CmdExplore(args);
