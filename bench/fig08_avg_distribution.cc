@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -20,7 +21,7 @@ int main() {
   const AreaSet& areas = cache.Get("2k");
   auto column = areas.attributes().ColumnByName("EMPLOYED");
   if (!column.ok()) return 1;
-  const std::vector<double>& v = **column;
+  const std::span<const double> v = *column;
 
   const double bucket = 500.0;
   std::vector<int> counts;

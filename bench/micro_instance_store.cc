@@ -1,0 +1,170 @@
+// Micro-benchmark for the compact instance store (DESIGN.md §13): how
+// fast and how memory-hungry is mmap-loading a packed instance compared
+// with the in-memory path (catalog synthesis — what the solve service
+// does for a dataset reference)? Emits BENCH_instance_store.json via the
+// EMP_BENCH_JSON_DIR hook.
+//
+// RSS is measured as the VmRSS delta around each load with the loaded
+// instance still alive, after a malloc_trim(0) so the allocator's free
+// pages from the previous phase do not mask the next one. The mmap path
+// is measured first so its delta is not absorbed by heap already grown
+// by the builder. VmHWM (true peak) is reported once per dataset for
+// context. Datasets >= 10k areas are built at EMP_BENCH_SCALE (default
+// 0.2) to keep the default sweep fast; EMP_BENCH_SMOKE=1 runs "tiny"
+// only (the CI hook).
+
+#include <malloc.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/str_util.h"
+#include "data/compact/loader.h"
+#include "data/compact/writer.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace {
+
+/// Reads a kB-valued field ("VmRSS", "VmHWM") from /proc/self/status.
+/// Returns -1 when unavailable (non-procfs platforms).
+int64_t ProcStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  char line[256];
+  int64_t value = -1;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 &&
+        line[field_len] == ':') {
+      value = std::strtoll(line + field_len + 1, nullptr, 10);
+      break;
+    }
+  }
+  std::fclose(f);
+  return value;
+}
+
+struct LoadMeasure {
+  double millis = 0.0;
+  int64_t rss_delta_kb = 0;
+  uint64_t digest = 0;
+  int64_t num_areas = 0;
+  int64_t num_edges = 0;
+};
+
+/// Runs `load` (a callable returning emp::Result<emp::AreaSet>) between
+/// RSS snapshots, keeping the instance alive for the "after" reading.
+template <typename Fn>
+LoadMeasure Measure(Fn&& load) {
+  malloc_trim(0);
+  const int64_t before = ProcStatusKb("VmRSS");
+  emp::Stopwatch timer;
+  auto areas = load();
+  LoadMeasure m;
+  m.millis = timer.ElapsedMillis();
+  if (!areas.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 areas.status().ToString().c_str());
+    std::abort();
+  }
+  const int64_t after = ProcStatusKb("VmRSS");
+  m.rss_delta_kb = (before >= 0 && after >= 0) ? after - before : -1;
+  m.digest = areas->InstanceDigest();
+  m.num_areas = areas->num_areas();
+  m.num_edges = areas->graph().num_edges();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  emp::bench::Banner("instance_store",
+                     "compact mmap load vs in-memory synthesis");
+  emp::bench::TablePrinter table(
+      "Instance load paths: in-memory catalog build vs compact mmap "
+      "(RSS = VmRSS delta with the instance alive)",
+      {"dataset", "areas", "edges", "file_kb", "build_ms", "mmap_ms",
+       "build_rss_kb", "mmap_rss_kb", "peak_rss_kb", "digest_match"});
+
+  const bool smoke = std::getenv("EMP_BENCH_SMOKE") != nullptr;
+  const std::vector<std::string> datasets =
+      smoke ? std::vector<std::string>{"tiny"}
+            : std::vector<std::string>{"1k", "10k", "50k", "250k"};
+
+  for (const std::string& name : datasets) {
+    auto info = emp::synthetic::FindDataset(name);
+    if (!info.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   info.status().ToString().c_str());
+      return 1;
+    }
+    const double scale = info->num_areas >= 10000 ? emp::bench::EnvScale(0.2)
+                                                  : emp::bench::EnvScale(1.0);
+
+    // Pack once up front, then drop the builder's instance so neither
+    // path's measurement starts with the map already resident.
+    char path[] = "/tmp/emp_instance_store_XXXXXX";
+    const int fd = mkstemp(path);
+    if (fd < 0) {
+      std::perror("mkstemp");
+      return 1;
+    }
+    close(fd);
+    {
+      auto areas = emp::synthetic::MakeCatalogDataset(name, scale);
+      if (!areas.ok()) {
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     areas.status().ToString().c_str());
+        return 1;
+      }
+      auto write = emp::compact::WriteCompactFile(*areas, path);
+      if (!write.ok()) {
+        std::fprintf(stderr, "pack %s: %s\n", name.c_str(),
+                     write.ToString().c_str());
+        return 1;
+      }
+    }
+    int64_t file_kb = 0;
+    if (std::FILE* f = std::fopen(path, "rb")) {
+      std::fseek(f, 0, SEEK_END);
+      file_kb = std::ftell(f) / 1024;
+      std::fclose(f);
+    }
+
+    // mmap first: measured against a heap the builder has not yet grown.
+    const LoadMeasure mapped = Measure(
+        [&] { return emp::compact::LoadCompactAreaSet(path); });
+    const LoadMeasure built = Measure(
+        [&] { return emp::synthetic::MakeCatalogDataset(name, scale); });
+    std::remove(path);
+
+    table.AddRow({
+        name,
+        std::to_string(built.num_areas),
+        std::to_string(built.num_edges),
+        std::to_string(file_kb),
+        emp::FormatDouble(built.millis, 1),
+        emp::FormatDouble(mapped.millis, 1),
+        std::to_string(built.rss_delta_kb),
+        std::to_string(mapped.rss_delta_kb),
+        std::to_string(ProcStatusKb("VmHWM")),
+        mapped.digest == built.digest ? "yes" : "NO",
+    });
+    if (mapped.digest != built.digest) {
+      std::fprintf(stderr, "%s: digest mismatch between paths\n",
+                   name.c_str());
+      return 1;
+    }
+  }
+
+  emp::bench::EmitTable("instance_store", table);
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 #include <optional>
+#include <span>
 
 #include "common/rng.h"
 #include "common/stopwatch.h"
@@ -25,7 +26,7 @@ namespace {
 /// is closest to the region's current mean — the classic greedy criterion
 /// that keeps growing regions homogeneous.
 int32_t BestUnassignedNeighbor(const Partition& partition, int32_t rid,
-                               const std::vector<double>& d, double mean_d) {
+                               std::span<const double> d, double mean_d) {
   const auto& graph = partition.bound().areas().graph();
   int32_t best = -1;
   double best_gap = std::numeric_limits<double>::infinity();
@@ -116,7 +117,7 @@ Result<Solution> MaxPRegionsSolver::Solve(const RunContext& ctx) {
       obs::GetCounter(ctx.metrics, "emp_maxp_regions_dissolved_total");
   obs::Counter* enclave_assignments =
       obs::GetCounter(ctx.metrics, "emp_maxp_enclave_assignments_total");
-  const std::vector<double>& d = areas_->dissimilarity();
+  const std::span<const double> d = areas_->dissimilarity();
   ConnectivityChecker connectivity(&areas_->graph());
   const int32_t n = areas_->num_areas();
 

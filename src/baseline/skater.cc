@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 #include <vector>
 
 #include "common/stopwatch.h"
@@ -95,7 +96,7 @@ Result<Solution> SkaterMaxPSolver::Solve(const RunContext& ctx) {
   obs::ScopedSpan construction_span(ctx.trace, "skater.construction");
   PhaseSupervisor supervisor(&ctx, "skater");
   const ContiguityGraph& graph = areas_->graph();
-  const std::vector<double>& d = areas_->dissimilarity();
+  const std::span<const double> d = areas_->dissimilarity();
   const int32_t n = graph.num_nodes();
 
   // --- Kruskal MST (forest) weighted by dissimilarity gaps. -----------
@@ -132,7 +133,7 @@ Result<Solution> SkaterMaxPSolver::Solve(const RunContext& ctx) {
   // Iterative post-order: accumulate the attribute over un-cut subtree
   // mass; when a node's accumulated mass reaches the threshold, cut it off
   // as a region root and stop propagating its mass upward.
-  const auto& values = **areas_->attributes().ColumnByName(attribute_);
+  const auto values = *areas_->attributes().ColumnByName(attribute_);
   std::vector<int32_t> parent(static_cast<size_t>(n), -2);  // -2 unvisited
   std::vector<double> acc(static_cast<size_t>(n), 0.0);
   std::vector<char> is_cut_root(static_cast<size_t>(n), 0);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
 
 #include "constraints/constraint_set.h"
 #include "constraints/region_stats.h"
@@ -26,7 +27,7 @@ class ExactSearcher {
         supervisor_(supervisor),
         n_(bound.areas().num_areas()),
         assign_(static_cast<size_t>(n_), -1) {
-    d_ = &bound.areas().dissimilarity();
+    d_ = bound.areas().dissimilarity();
     // Precompute, per counting constraint, whether all values are
     // non-negative — only then is "sum exceeds upper" a safe prune.
     for (int ci : bound_.counting_indices()) {
@@ -121,8 +122,8 @@ class ExactSearcher {
       if (!conn_->IsConnected(members)) return;
       for (size_t i = 0; i < members.size(); ++i) {
         for (size_t j = i + 1; j < members.size(); ++j) {
-          double diff = (*d_)[static_cast<size_t>(members[i])] -
-                        (*d_)[static_cast<size_t>(members[j])];
+          double diff = d_[static_cast<size_t>(members[i])] -
+                        d_[static_cast<size_t>(members[j])];
           h_total += diff < 0 ? -diff : diff;
         }
       }
@@ -138,7 +139,7 @@ class ExactSearcher {
   const BoundConstraints& bound_;
   ConnectivityChecker* conn_;
   PhaseSupervisor* supervisor_;
-  const std::vector<double>* d_;
+  std::span<const double> d_;
   int32_t n_;
   std::vector<int32_t> assign_;
   int32_t best_p_ = -1;

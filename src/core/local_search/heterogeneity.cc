@@ -47,7 +47,7 @@ double RegionDissimilarity::TotalPairwise() const {
 }
 
 HeterogeneityTracker::HeterogeneityTracker(const Partition& partition) {
-  d_ = &partition.bound().areas().dissimilarity();
+  d_ = partition.bound().areas().dissimilarity();
   // Index by raw region id; dead regions get empty structures.
   int32_t max_id = -1;
   for (int32_t rid : partition.AliveRegionIds()) max_id = std::max(max_id, rid);
@@ -55,7 +55,7 @@ HeterogeneityTracker::HeterogeneityTracker(const Partition& partition) {
   for (int32_t rid : partition.AliveRegionIds()) {
     RegionDissimilarity& rd = regions_[static_cast<size_t>(rid)];
     for (int32_t area : partition.region(rid).areas) {
-      rd.Add((*d_)[static_cast<size_t>(area)]);
+      rd.Add(d_[static_cast<size_t>(area)]);
     }
     total_ += rd.TotalPairwise();
   }
@@ -63,7 +63,7 @@ HeterogeneityTracker::HeterogeneityTracker(const Partition& partition) {
 
 double HeterogeneityTracker::MoveDelta(int32_t area, int32_t from,
                                        int32_t to) const {
-  const double d = (*d_)[static_cast<size_t>(area)];
+  const double d = d_[static_cast<size_t>(area)];
   // Leaving `from` removes its pairwise terms with remaining members;
   // joining `to` adds terms with every current member.
   return regions_[static_cast<size_t>(to)].ContributionOf(d) -
@@ -72,7 +72,7 @@ double HeterogeneityTracker::MoveDelta(int32_t area, int32_t from,
 
 void HeterogeneityTracker::ApplyMove(int32_t area, int32_t from, int32_t to) {
   total_ += MoveDelta(area, from, to);
-  const double d = (*d_)[static_cast<size_t>(area)];
+  const double d = d_[static_cast<size_t>(area)];
   regions_[static_cast<size_t>(from)].Remove(d);
   regions_[static_cast<size_t>(to)].Add(d);
 }

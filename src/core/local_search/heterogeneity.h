@@ -2,6 +2,7 @@
 #define EMP_CORE_LOCAL_SEARCH_HETEROGENEITY_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/partition.h"
@@ -49,7 +50,7 @@ class HeterogeneityTracker {
   void ApplyMove(int32_t area, int32_t from, int32_t to);
 
  private:
-  const std::vector<double>* d_;
+  std::span<const double> d_;
   std::vector<RegionDissimilarity> regions_;  // indexed by raw region id
   double total_ = 0.0;
 };

@@ -1,5 +1,6 @@
 #include "core/validate.h"
 
+#include <cstdint>
 #include <map>
 
 #include "common/csv.h"
@@ -96,6 +97,12 @@ Result<std::vector<int32_t>> AssignmentFromCsv(const std::string& csv_text,
       return Status::IOError("duplicate area id: " + std::to_string(area));
     }
     seen[static_cast<size_t>(area)] = 1;
+    // Region ids come from an untrusted CSV; a blind int32 cast would
+    // silently truncate values past 2^31 into valid-looking ids.
+    if (region < -1 || region > INT32_MAX) {
+      return Status::IOError("region id out of range: " +
+                             std::to_string(region));
+    }
     out[static_cast<size_t>(area)] = static_cast<int32_t>(region);
   }
   return out;

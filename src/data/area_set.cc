@@ -1,8 +1,39 @@
 #include "data/area_set.h"
 
 #include <cstring>
+#include <utility>
 
 namespace emp {
+
+AreaSet& AreaSet::operator=(const AreaSet& other) {
+  if (this == &other) return *this;
+  name_ = other.name_;
+  polygons_ = other.polygons_;
+  graph_ = other.graph_;
+  attributes_ = other.attributes_;
+  dissimilarity_attribute_ = other.dissimilarity_attribute_;
+  dissimilarity_column_ = other.dissimilarity_column_;
+  const bool valid = other.digest_valid_.load(std::memory_order_acquire);
+  digest_.store(valid ? other.digest_.load(std::memory_order_relaxed) : 0,
+                std::memory_order_relaxed);
+  digest_valid_.store(valid, std::memory_order_release);
+  return *this;
+}
+
+AreaSet& AreaSet::operator=(AreaSet&& other) noexcept {
+  if (this == &other) return *this;
+  name_ = std::move(other.name_);
+  polygons_ = std::move(other.polygons_);
+  graph_ = std::move(other.graph_);
+  attributes_ = std::move(other.attributes_);
+  dissimilarity_attribute_ = std::move(other.dissimilarity_attribute_);
+  dissimilarity_column_ = other.dissimilarity_column_;
+  const bool valid = other.digest_valid_.load(std::memory_order_acquire);
+  digest_.store(valid ? other.digest_.load(std::memory_order_relaxed) : 0,
+                std::memory_order_relaxed);
+  digest_valid_.store(valid, std::memory_order_release);
+  return *this;
+}
 
 Result<AreaSet> AreaSet::Create(std::string name,
                                 std::vector<Polygon> polygons,
@@ -69,6 +100,21 @@ uint64_t DoubleBits(double v) {
 }  // namespace
 
 uint64_t AreaSet::InstanceDigest() const {
+  if (digest_valid_.load(std::memory_order_acquire)) {
+    return digest_.load(std::memory_order_relaxed);
+  }
+  const uint64_t h = ComputeInstanceDigest();
+  digest_.store(h, std::memory_order_relaxed);
+  digest_valid_.store(true, std::memory_order_release);
+  return h;
+}
+
+void AreaSet::SeedInstanceDigest(uint64_t digest) {
+  digest_.store(digest, std::memory_order_relaxed);
+  digest_valid_.store(true, std::memory_order_release);
+}
+
+uint64_t AreaSet::ComputeInstanceDigest() const {
   uint64_t h = kFnvOffset;
   FnvMixString(&h, name_);
   FnvMix(&h, static_cast<uint64_t>(graph_.num_nodes()));
@@ -86,7 +132,7 @@ uint64_t AreaSet::InstanceDigest() const {
     FnvMixString(&h, column);
     auto values = attributes_.ColumnByName(column);
     if (!values.ok()) continue;
-    for (double v : **values) FnvMix(&h, DoubleBits(v));
+    for (double v : *values) FnvMix(&h, DoubleBits(v));
   }
   return h;
 }

@@ -1,7 +1,10 @@
 #ifndef EMP_DATA_AREA_SET_H_
 #define EMP_DATA_AREA_SET_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,6 +24,11 @@ class AreaSet {
  public:
   AreaSet() = default;
 
+  AreaSet(const AreaSet& other) { *this = other; }
+  AreaSet& operator=(const AreaSet& other);
+  AreaSet(AreaSet&& other) noexcept { *this = std::move(other); }
+  AreaSet& operator=(AreaSet&& other) noexcept;
+
   /// Builds a geometry-backed area set. `polygons.size()` must equal
   /// `graph.num_nodes()` and `attributes.num_rows()`.
   static Result<AreaSet> Create(std::string name,
@@ -39,7 +47,9 @@ class AreaSet {
   bool has_geometry() const { return !polygons_.empty(); }
 
   const std::vector<Polygon>& polygons() const { return polygons_; }
+  /// Polygon of `id` (bounds-checked by assert in debug builds).
   const Polygon& polygon(int32_t id) const {
+    assert(id >= 0 && static_cast<size_t>(id) < polygons_.size());
     return polygons_[static_cast<size_t>(id)];
   }
   const ContiguityGraph& graph() const { return graph_; }
@@ -50,24 +60,36 @@ class AreaSet {
     return dissimilarity_attribute_;
   }
   /// The dissimilarity value d_i for every area.
-  const std::vector<double>& dissimilarity() const {
+  std::span<const double> dissimilarity() const {
     return attributes_.Column(dissimilarity_column_);
   }
 
   /// 64-bit FNV-1a fingerprint of the instance: name, node/edge counts,
   /// the adjacency structure, attribute column names, and every
   /// attribute value's bit pattern. Two runs whose journals carry the
-  /// same digest solved the same instance; O(n + edges + cells), computed
-  /// on demand (the run-journal `run_start` record is the only caller).
+  /// same digest solved the same instance. Computed once on first call
+  /// (O(n + edges + cells)) and memoized; compact instances seed it from
+  /// the file header, so for them it is free.
   uint64_t InstanceDigest() const;
 
+  /// Seeds the memoized digest with a precomputed value (the compact
+  /// loader's file header carries it). Must equal what InstanceDigest()
+  /// would compute — callers that cannot guarantee that must not seed.
+  void SeedInstanceDigest(uint64_t digest);
+
  private:
+  uint64_t ComputeInstanceDigest() const;
+
   std::string name_;
   std::vector<Polygon> polygons_;
   ContiguityGraph graph_;
   AttributeTable attributes_;
   std::string dissimilarity_attribute_;
   int dissimilarity_column_ = -1;
+  // Memoized digest. The flag is set with release ordering after the value
+  // is stored; a racing duplicate compute is benign (same input, same hash).
+  mutable std::atomic<bool> digest_valid_{false};
+  mutable std::atomic<uint64_t> digest_{0};
 };
 
 }  // namespace emp

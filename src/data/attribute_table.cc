@@ -1,8 +1,22 @@
 #include "data/attribute_table.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace emp {
+
+AttributeTable& AttributeTable::operator=(const AttributeTable& other) {
+  if (this == &other) return *this;
+  num_rows_ = other.num_rows_;
+  names_ = other.names_;
+  index_ = other.index_;
+  columns_ = other.columns_;
+  // Owned columns must view their own copied store, not the source's.
+  for (ColumnStorage& c : columns_) {
+    if (!c.store.empty()) c.data = c.store.data();
+  }
+  return *this;
+}
 
 Status AttributeTable::AddColumn(const std::string& name,
                                  std::vector<double> values) {
@@ -16,7 +30,32 @@ Status AttributeTable::AddColumn(const std::string& name,
   }
   index_[name] = static_cast<int>(columns_.size());
   names_.push_back(name);
-  columns_.push_back(std::move(values));
+  ColumnStorage c;
+  c.store = std::move(values);
+  c.data = c.store.data();
+  c.size = c.store.size();
+  columns_.push_back(std::move(c));
+  return Status::OK();
+}
+
+Status AttributeTable::AddColumnView(const std::string& name,
+                                     std::span<const double> values,
+                                     std::shared_ptr<const void> backing) {
+  if (index_.count(name) != 0) {
+    return Status::InvalidArgument("duplicate attribute column: " + name);
+  }
+  if (static_cast<int64_t>(values.size()) != num_rows_) {
+    return Status::InvalidArgument(
+        "column '" + name + "' has " + std::to_string(values.size()) +
+        " rows, table has " + std::to_string(num_rows_));
+  }
+  index_[name] = static_cast<int>(columns_.size());
+  names_.push_back(name);
+  ColumnStorage c;
+  c.backing = std::move(backing);
+  c.data = values.data();
+  c.size = values.size();
+  columns_.push_back(std::move(c));
   return Status::OK();
 }
 
@@ -32,16 +71,16 @@ Result<int> AttributeTable::ColumnIndex(const std::string& name) const {
   return it->second;
 }
 
-Result<const std::vector<double>*> AttributeTable::ColumnByName(
+Result<std::span<const double>> AttributeTable::ColumnByName(
     const std::string& name) const {
   EMP_ASSIGN_OR_RETURN(int idx, ColumnIndex(name));
-  return &columns_[static_cast<size_t>(idx)];
+  return Column(idx);
 }
 
 Result<AttributeTable::ColumnStats> AttributeTable::Stats(
     const std::string& name) const {
   EMP_ASSIGN_OR_RETURN(int idx, ColumnIndex(name));
-  const auto& col = columns_[static_cast<size_t>(idx)];
+  const auto col = Column(idx);
   if (col.empty()) {
     return Status::FailedPrecondition("stats of an empty column");
   }

@@ -1,7 +1,10 @@
 #ifndef EMP_DATA_ATTRIBUTE_TABLE_H_
 #define EMP_DATA_ATTRIBUTE_TABLE_H_
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,17 +16,31 @@ namespace emp {
 /// Column-major table of named numeric attributes, one row per area.
 /// Spatially extensive attributes (POP16UP, EMPLOYED, TOTALPOP, ...) and
 /// the dissimilarity attribute (HOUSEHOLDS) live here.
+///
+/// A column either owns its values or views external read-only memory
+/// (typically an mmap'd compact instance image) kept alive by a shared
+/// backing handle; accessors hand out `std::span` views either way.
 class AttributeTable {
  public:
   AttributeTable() = default;
   explicit AttributeTable(int64_t num_rows) : num_rows_(num_rows) {}
 
+  AttributeTable(const AttributeTable& other) { *this = other; }
+  AttributeTable& operator=(const AttributeTable& other);
+  AttributeTable(AttributeTable&&) = default;
+  AttributeTable& operator=(AttributeTable&&) = default;
+
   int64_t num_rows() const { return num_rows_; }
   int num_columns() const { return static_cast<int>(columns_.size()); }
   const std::vector<std::string>& column_names() const { return names_; }
 
-  /// Adds a column; fails if the name exists or the size mismatches.
+  /// Adds an owned column; fails if the name exists or the size mismatches.
   Status AddColumn(const std::string& name, std::vector<double> values);
+
+  /// Adds a column viewing external storage without copying it. `backing`
+  /// keeps the storage alive for the lifetime of the table and its copies.
+  Status AddColumnView(const std::string& name, std::span<const double> values,
+                       std::shared_ptr<const void> backing);
 
   /// True if a column with this name exists.
   bool HasColumn(const std::string& name) const;
@@ -32,17 +49,20 @@ class AttributeTable {
   Result<int> ColumnIndex(const std::string& name) const;
 
   /// Whole column by index (bounds-checked by assert in debug builds).
-  const std::vector<double>& Column(int index) const {
-    return columns_[static_cast<size_t>(index)];
+  std::span<const double> Column(int index) const {
+    assert(index >= 0 && index < num_columns());
+    const ColumnStorage& c = columns_[static_cast<size_t>(index)];
+    return {c.data, c.size};
   }
 
   /// Whole column by name.
-  Result<const std::vector<double>*> ColumnByName(
-      const std::string& name) const;
+  Result<std::span<const double>> ColumnByName(const std::string& name) const;
 
-  /// Single cell.
+  /// Single cell (bounds-checked by assert in debug builds).
   double Value(int column, int64_t row) const {
-    return columns_[static_cast<size_t>(column)][static_cast<size_t>(row)];
+    assert(column >= 0 && column < num_columns());
+    assert(row >= 0 && row < num_rows_);
+    return columns_[static_cast<size_t>(column)].data[static_cast<size_t>(row)];
   }
 
   /// Summary statistics of a column.
@@ -55,9 +75,18 @@ class AttributeTable {
   Result<ColumnStats> Stats(const std::string& name) const;
 
  private:
+  struct ColumnStorage {
+    // Owned values; empty when the column views external memory.
+    std::vector<double> store;
+    // Keeps external storage alive. Null for owned columns.
+    std::shared_ptr<const void> backing;
+    const double* data = nullptr;
+    size_t size = 0;
+  };
+
   int64_t num_rows_ = 0;
   std::vector<std::string> names_;
-  std::vector<std::vector<double>> columns_;
+  std::vector<ColumnStorage> columns_;
   std::unordered_map<std::string, int> index_;
 };
 

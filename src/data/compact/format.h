@@ -1,0 +1,77 @@
+#ifndef EMP_DATA_COMPACT_FORMAT_H_
+#define EMP_DATA_COMPACT_FORMAT_H_
+
+#include <cstdint>
+
+namespace emp::compact {
+
+/// On-disk layout of a compact instance (".emp" file), little-endian:
+///
+///   [CompactHeader]                      64 bytes
+///   [SectionEntry x header.num_sections] 24 bytes each
+///   [section payloads]                   each padded to 8-byte alignment
+///
+/// Sections appear in the order listed in the table. The string-blob,
+/// CSR, and raw-f64 column sections are consumed in place from the
+/// mapping (zero-copy); varint columns and geometry are materialized on
+/// load. The header carries the FNV-1a InstanceDigest of the decoded
+/// instance so services can key caches — and skip the O(n + E + cells)
+/// recompute — without decoding anything past the first 64 bytes.
+
+// "EMPCIST1" read as a little-endian u64.
+inline constexpr uint64_t kMagic = 0x3154534943504D45ULL;
+inline constexpr uint32_t kFormatVersion = 1;
+
+// Header flag bits.
+inline constexpr uint32_t kFlagHasGeometry = 1u << 0;
+
+enum class SectionKind : uint32_t {
+  // u32-length-prefixed strings: instance name, then each column name.
+  kStringBlob = 1,
+  // int64[num_nodes + 1] CSR row offsets, raw.
+  kCsrOffsets = 2,
+  // int32[2 * num_edges] CSR neighbor ids, raw.
+  kCsrNeighbors = 3,
+  // One per attribute column, in column order.
+  kColumn = 4,
+  // u64[num_nodes + 1] vertex-count prefix sums, then f64 x,y pairs.
+  kGeometry = 5,
+};
+
+enum class ColumnEncoding : uint32_t {
+  // f64[num_nodes] value bit patterns, raw (mmap'd in place).
+  kRawF64 = 0,
+  // Delta + zigzag + LEB128 varints of integer-valued doubles; chosen by
+  // the writer only when every value is integral and round-trips through
+  // int64 exactly. Decoded to an owned column on load.
+  kDeltaVarint = 1,
+};
+
+#pragma pack(push, 1)
+struct CompactHeader {
+  uint64_t magic = kMagic;
+  uint32_t version = kFormatVersion;
+  uint32_t flags = 0;
+  uint64_t digest = 0;
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  uint32_t num_columns = 0;
+  uint32_t dissimilarity_column = 0;
+  uint32_t num_sections = 0;
+  uint32_t reserved0 = 0;
+  uint64_t reserved1 = 0;
+};
+static_assert(sizeof(CompactHeader) == 64, "header must stay 64 bytes");
+
+struct SectionEntry {
+  uint32_t kind = 0;      // SectionKind
+  uint32_t encoding = 0;  // ColumnEncoding for kColumn sections, else 0
+  uint64_t offset = 0;    // from file start; 8-byte aligned
+  uint64_t length = 0;    // payload bytes, before padding
+};
+static_assert(sizeof(SectionEntry) == 24, "section entry must stay 24 bytes");
+#pragma pack(pop)
+
+}  // namespace emp::compact
+
+#endif  // EMP_DATA_COMPACT_FORMAT_H_

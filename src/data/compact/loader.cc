@@ -1,0 +1,294 @@
+#include "data/compact/loader.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "data/compact/format.h"
+#include "data/compact/mmap_file.h"
+#include "data/compact/varint.h"
+#include "obs/journal.h"
+
+namespace emp::compact {
+
+namespace {
+
+struct ParsedFile {
+  CompactHeader header;
+  std::vector<SectionEntry> sections;
+};
+
+/// Validates the fixed-size header and section table against the file
+/// size. Payload interpretation happens later, section by section.
+Result<ParsedFile> ParseEnvelope(std::span<const uint8_t> bytes,
+                                 const std::string& path) {
+  ParsedFile out;
+  if (bytes.size() < sizeof(CompactHeader)) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is too small for a compact header");
+  }
+  std::memcpy(&out.header, bytes.data(), sizeof(CompactHeader));
+  if (out.header.magic != kMagic) {
+    return Status::InvalidArgument("'" + path +
+                                   "' is not a compact instance file");
+  }
+  if (out.header.version != kFormatVersion) {
+    return Status::InvalidArgument(
+        "'" + path + "' has compact format version " +
+        std::to_string(out.header.version) + ", expected " +
+        std::to_string(kFormatVersion));
+  }
+  if (out.header.num_nodes < 0 || out.header.num_edges < 0 ||
+      out.header.num_nodes > INT32_MAX) {
+    return Status::InvalidArgument("compact header counts out of range");
+  }
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(out.header.num_sections) * sizeof(SectionEntry);
+  if (sizeof(CompactHeader) + table_bytes > bytes.size()) {
+    return Status::InvalidArgument("compact section table truncated");
+  }
+  out.sections.resize(out.header.num_sections);
+  std::memcpy(out.sections.data(), bytes.data() + sizeof(CompactHeader),
+              table_bytes);
+  for (const SectionEntry& s : out.sections) {
+    if (s.offset % 8 != 0) {
+      return Status::InvalidArgument("compact section offset not 8-aligned");
+    }
+    if (s.offset > bytes.size() || s.length > bytes.size() - s.offset) {
+      return Status::InvalidArgument("compact section out of file bounds");
+    }
+  }
+  return out;
+}
+
+std::span<const uint8_t> SectionBytes(std::span<const uint8_t> bytes,
+                                      const SectionEntry& s) {
+  return bytes.subspan(s.offset, s.length);
+}
+
+Result<std::vector<std::string>> ParseStringBlob(std::span<const uint8_t> blob,
+                                                 size_t expected) {
+  std::vector<std::string> out;
+  out.reserve(expected);
+  size_t pos = 0;
+  for (size_t i = 0; i < expected; ++i) {
+    if (pos + sizeof(uint32_t) > blob.size()) {
+      return Status::InvalidArgument("compact string blob truncated");
+    }
+    uint32_t len = 0;
+    std::memcpy(&len, blob.data() + pos, sizeof(uint32_t));
+    pos += sizeof(uint32_t);
+    if (len > blob.size() - pos) {
+      return Status::InvalidArgument("compact string blob truncated");
+    }
+    out.emplace_back(reinterpret_cast<const char*>(blob.data() + pos), len);
+    pos += len;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<AreaSet> LoadCompactAreaSet(const std::string& path,
+                                   const LoadOptions& options) {
+  EMP_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+  auto backing = std::make_shared<MmapFile>(std::move(file));
+  const std::span<const uint8_t> bytes = backing->bytes();
+  EMP_ASSIGN_OR_RETURN(ParsedFile parsed, ParseEnvelope(bytes, path));
+  const CompactHeader& header = parsed.header;
+
+  const size_t n = static_cast<size_t>(header.num_nodes);
+  const size_t num_columns = header.num_columns;
+  if (header.dissimilarity_column >= num_columns) {
+    return Status::InvalidArgument(
+        "compact dissimilarity column index out of range");
+  }
+
+  std::vector<std::string> strings;
+  std::span<const int64_t> csr_offsets;
+  std::span<const int32_t> csr_neighbors;
+  bool have_offsets = false, have_neighbors = false;
+  std::vector<const SectionEntry*> column_sections;
+  const SectionEntry* geometry_section = nullptr;
+
+  for (const SectionEntry& s : parsed.sections) {
+    switch (static_cast<SectionKind>(s.kind)) {
+      case SectionKind::kStringBlob: {
+        EMP_ASSIGN_OR_RETURN(
+            strings, ParseStringBlob(SectionBytes(bytes, s), 1 + num_columns));
+        break;
+      }
+      case SectionKind::kCsrOffsets: {
+        if (s.length != (n + 1) * sizeof(int64_t)) {
+          return Status::InvalidArgument("compact CSR offsets size mismatch");
+        }
+        csr_offsets = {reinterpret_cast<const int64_t*>(bytes.data() +
+                                                        s.offset),
+                       n + 1};
+        have_offsets = true;
+        break;
+      }
+      case SectionKind::kCsrNeighbors: {
+        const size_t count = 2 * static_cast<size_t>(header.num_edges);
+        if (s.length != count * sizeof(int32_t)) {
+          return Status::InvalidArgument(
+              "compact CSR neighbors size mismatch");
+        }
+        csr_neighbors = {
+            reinterpret_cast<const int32_t*>(bytes.data() + s.offset), count};
+        have_neighbors = true;
+        break;
+      }
+      case SectionKind::kColumn:
+        column_sections.push_back(&s);
+        break;
+      case SectionKind::kGeometry:
+        geometry_section = &s;
+        break;
+      default:
+        // Unknown sections are skipped for forward compatibility.
+        break;
+    }
+  }
+  if (strings.size() != 1 + num_columns || !have_offsets || !have_neighbors) {
+    return Status::InvalidArgument(
+        "compact file is missing a required section");
+  }
+  if (column_sections.size() != num_columns) {
+    return Status::InvalidArgument(
+        "compact file has " + std::to_string(column_sections.size()) +
+        " column sections, header says " + std::to_string(num_columns));
+  }
+  if ((header.flags & kFlagHasGeometry) != 0 && geometry_section == nullptr) {
+    return Status::InvalidArgument("compact geometry section missing");
+  }
+
+  EMP_ASSIGN_OR_RETURN(
+      ContiguityGraph graph,
+      ContiguityGraph::FromCsr(csr_offsets, csr_neighbors, backing));
+  if (graph.num_edges() != header.num_edges) {
+    return Status::InvalidArgument("compact edge count mismatch");
+  }
+
+  AttributeTable table(header.num_nodes);
+  for (size_t c = 0; c < num_columns; ++c) {
+    const SectionEntry& s = *column_sections[c];
+    const std::string& name = strings[1 + c];
+    switch (static_cast<ColumnEncoding>(s.encoding)) {
+      case ColumnEncoding::kRawF64: {
+        if (s.length != n * sizeof(double)) {
+          return Status::InvalidArgument("compact column '" + name +
+                                         "' size mismatch");
+        }
+        EMP_RETURN_IF_ERROR(table.AddColumnView(
+            name,
+            {reinterpret_cast<const double*>(bytes.data() + s.offset), n},
+            backing));
+        break;
+      }
+      case ColumnEncoding::kDeltaVarint: {
+        EMP_ASSIGN_OR_RETURN(std::vector<int64_t> ints,
+                             DeltaDecode(SectionBytes(bytes, s), n));
+        std::vector<double> values(ints.begin(), ints.end());
+        EMP_RETURN_IF_ERROR(table.AddColumn(name, std::move(values)));
+        break;
+      }
+      default:
+        return Status::InvalidArgument("compact column '" + name +
+                                       "' has unknown encoding " +
+                                       std::to_string(s.encoding));
+    }
+  }
+
+  std::vector<Polygon> polygons;
+  if (geometry_section != nullptr) {
+    const auto geo = SectionBytes(bytes, *geometry_section);
+    const size_t prefix_bytes = (n + 1) * sizeof(uint64_t);
+    if (geo.size() < prefix_bytes) {
+      return Status::InvalidArgument("compact geometry section truncated");
+    }
+    std::vector<uint64_t> prefix(n + 1);
+    std::memcpy(prefix.data(), geo.data(), prefix_bytes);
+    const size_t total_points = prefix[n];
+    if (geo.size() != prefix_bytes + total_points * sizeof(Point)) {
+      return Status::InvalidArgument("compact geometry size mismatch");
+    }
+    const Point* points =
+        reinterpret_cast<const Point*>(geo.data() + prefix_bytes);
+    polygons.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (prefix[i] > prefix[i + 1] || prefix[i + 1] > total_points) {
+        return Status::InvalidArgument("compact geometry prefix not monotone");
+      }
+      polygons.emplace_back(std::vector<Point>(points + prefix[i],
+                                               points + prefix[i + 1]));
+    }
+  }
+
+  EMP_ASSIGN_OR_RETURN(
+      AreaSet areas,
+      AreaSet::Create(strings[0], std::move(polygons), std::move(graph),
+                      std::move(table),
+                      strings[1 + header.dissimilarity_column]));
+  if (options.verify_digest) {
+    const uint64_t computed = areas.InstanceDigest();
+    if (computed != header.digest) {
+      return Status::InvalidArgument(
+          "compact digest mismatch: header " + obs::DigestHex(header.digest) +
+          ", recomputed " + obs::DigestHex(computed));
+    }
+  } else {
+    areas.SeedInstanceDigest(header.digest);
+  }
+  return areas;
+}
+
+Result<CompactInfo> InspectCompactFile(const std::string& path) {
+  EMP_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+  const std::span<const uint8_t> bytes = file.bytes();
+  EMP_ASSIGN_OR_RETURN(ParsedFile parsed, ParseEnvelope(bytes, path));
+  const CompactHeader& header = parsed.header;
+
+  CompactInfo info;
+  info.digest = header.digest;
+  info.num_nodes = header.num_nodes;
+  info.num_edges = header.num_edges;
+  info.has_geometry = (header.flags & kFlagHasGeometry) != 0;
+  info.file_bytes = bytes.size();
+
+  std::vector<std::string> strings;
+  for (const SectionEntry& s : parsed.sections) {
+    if (static_cast<SectionKind>(s.kind) == SectionKind::kStringBlob) {
+      EMP_ASSIGN_OR_RETURN(strings,
+                           ParseStringBlob(SectionBytes(bytes, s),
+                                           1 + header.num_columns));
+    } else if (static_cast<SectionKind>(s.kind) == SectionKind::kColumn) {
+      info.column_encodings.push_back(
+          s.encoding == static_cast<uint32_t>(ColumnEncoding::kDeltaVarint)
+              ? "delta_varint"
+              : "raw_f64");
+    }
+  }
+  if (strings.size() != 1 + header.num_columns) {
+    return Status::InvalidArgument("compact string blob missing");
+  }
+  info.name = strings[0];
+  info.column_names.assign(strings.begin() + 1, strings.end());
+  if (header.dissimilarity_column < header.num_columns) {
+    info.dissimilarity_attribute =
+        info.column_names[header.dissimilarity_column];
+  }
+  return info;
+}
+
+bool IsCompactFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  uint64_t magic = 0;
+  const size_t got = std::fread(&magic, 1, sizeof(magic), f);
+  std::fclose(f);
+  return got == sizeof(magic) && magic == kMagic;
+}
+
+}  // namespace emp::compact

@@ -1,0 +1,52 @@
+#ifndef EMP_DATA_COMPACT_LOADER_H_
+#define EMP_DATA_COMPACT_LOADER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/area_set.h"
+
+namespace emp::compact {
+
+struct LoadOptions {
+  /// Recompute the FNV-1a digest from the decoded instance and fail on a
+  /// mismatch with the header. Costs the full O(n + E + cells) walk the
+  /// header exists to avoid, so it is off by default; `emp inspect
+  /// --verify` and the scale-smoke CI job turn it on.
+  bool verify_digest = false;
+};
+
+/// Maps a compact instance file and exposes it as a normal AreaSet. The
+/// CSR adjacency and raw-f64 attribute columns are consumed in place from
+/// the read-only mapping (shared between all AreaSet copies and, via the
+/// page cache, between processes); varint columns and geometry are
+/// materialized. The digest is seeded from the header, so
+/// `InstanceDigest()` on the result never recomputes.
+Result<AreaSet> LoadCompactAreaSet(const std::string& path,
+                                   const LoadOptions& options = {});
+
+/// Header-level summary of a compact file, decoded without touching the
+/// section payloads (beyond the string blob).
+struct CompactInfo {
+  uint64_t digest = 0;
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  bool has_geometry = false;
+  std::string name;
+  std::vector<std::string> column_names;
+  std::string dissimilarity_attribute;
+  uint64_t file_bytes = 0;
+  // Per-column encoding ("raw_f64" or "delta_varint"), in column order.
+  std::vector<std::string> column_encodings;
+};
+Result<CompactInfo> InspectCompactFile(const std::string& path);
+
+/// True when `path` starts with the compact-format magic (cheap sniff for
+/// loader auto-dispatch; reads at most 8 bytes).
+bool IsCompactFile(const std::string& path);
+
+}  // namespace emp::compact
+
+#endif  // EMP_DATA_COMPACT_LOADER_H_

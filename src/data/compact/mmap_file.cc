@@ -1,0 +1,60 @@
+#include "data/compact/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace emp::compact {
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("fstat('" + path + "'): " + std::strerror(err));
+  }
+  MmapFile out;
+  out.size_ = static_cast<size_t>(st.st_size);
+  if (out.size_ > 0) {
+    void* p = ::mmap(nullptr, out.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (p == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::Internal("mmap('" + path + "'): " + std::strerror(err));
+    }
+    out.data_ = p;
+  }
+  // The mapping holds its own reference to the file; the descriptor is no
+  // longer needed.
+  ::close(fd);
+  return out;
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace emp::compact

@@ -1,0 +1,42 @@
+#ifndef EMP_DATA_COMPACT_MMAP_FILE_H_
+#define EMP_DATA_COMPACT_MMAP_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/result.h"
+
+namespace emp::compact {
+
+/// A read-only memory mapping of a whole file. The kernel shares the
+/// physical pages between every process and thread that maps the same
+/// file, which is what lets N service workers serve one instance image.
+/// Move-only; the mapping is released on destruction.
+class MmapFile {
+ public:
+  /// Maps `path` read-only. Fails on open/stat/mmap errors; an empty file
+  /// maps to an empty span without error.
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  std::span<const uint8_t> bytes() const {
+    return {static_cast<const uint8_t*>(data_), size_};
+  }
+  size_t size() const { return size_; }
+
+ private:
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace emp::compact
+
+#endif  // EMP_DATA_COMPACT_MMAP_FILE_H_

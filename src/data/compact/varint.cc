@@ -1,0 +1,63 @@
+#include "data/compact/varint.h"
+
+namespace emp::compact {
+
+void AppendVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+namespace {
+
+Result<uint64_t> ReadVarint(std::span<const uint8_t> bytes, size_t* pos) {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= bytes.size()) {
+      return Status::InvalidArgument("truncated varint");
+    }
+    const uint8_t b = bytes[(*pos)++];
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+  }
+  return Status::InvalidArgument("varint longer than 10 bytes");
+}
+
+}  // namespace
+
+std::string DeltaEncode(std::span<const int64_t> values) {
+  std::string out;
+  out.reserve(values.size() * 2);
+  int64_t prev = 0;
+  for (int64_t v : values) {
+    // Deltas are two's-complement differences: compute in uint64 so
+    // extreme pairs (INT64_MIN − INT64_MAX) wrap instead of overflowing.
+    const int64_t delta = static_cast<int64_t>(static_cast<uint64_t>(v) -
+                                               static_cast<uint64_t>(prev));
+    AppendVarint(ZigZagEncode(delta), &out);
+    prev = v;
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> DeltaDecode(std::span<const uint8_t> bytes,
+                                         size_t count) {
+  std::vector<int64_t> out;
+  out.reserve(count);
+  size_t pos = 0;
+  int64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    EMP_ASSIGN_OR_RETURN(uint64_t code, ReadVarint(bytes, &pos));
+    prev = static_cast<int64_t>(static_cast<uint64_t>(prev) +
+                                static_cast<uint64_t>(ZigZagDecode(code)));
+    out.push_back(prev);
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("trailing bytes after varint sequence");
+  }
+  return out;
+}
+
+}  // namespace emp::compact

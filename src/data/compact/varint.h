@@ -1,0 +1,38 @@
+#ifndef EMP_DATA_COMPACT_VARINT_H_
+#define EMP_DATA_COMPACT_VARINT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace emp::compact {
+
+/// ZigZag maps signed deltas to small unsigned codes so LEB128 stays short
+/// for values near zero in either direction.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Appends one LEB128 varint (1–10 bytes) to `out`.
+void AppendVarint(uint64_t v, std::string* out);
+
+/// Encodes a sequence as zigzag varints of consecutive deltas. Sorted or
+/// slowly-varying sequences (attribute columns of counts, id lists)
+/// compress to 1–2 bytes per value.
+std::string DeltaEncode(std::span<const int64_t> values);
+
+/// Inverse of DeltaEncode. `count` is the expected number of values; fails
+/// on truncated input, trailing bytes, or a varint longer than 10 bytes.
+Result<std::vector<int64_t>> DeltaDecode(std::span<const uint8_t> bytes,
+                                         size_t count);
+
+}  // namespace emp::compact
+
+#endif  // EMP_DATA_COMPACT_VARINT_H_

@@ -1,0 +1,159 @@
+#include "data/compact/writer.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/csv.h"
+#include "data/compact/format.h"
+#include "data/compact/varint.h"
+
+namespace emp::compact {
+
+namespace {
+
+void AppendRaw(const void* data, size_t bytes, std::string* out) {
+  out->append(static_cast<const char*>(data), bytes);
+}
+
+template <typename T>
+void AppendPod(const T& value, std::string* out) {
+  AppendRaw(&value, sizeof(T), out);
+}
+
+void PadTo8(std::string* out) {
+  while (out->size() % 8 != 0) out->push_back('\0');
+}
+
+/// True when every value is an integer whose double representation
+/// round-trips bit-exactly through int64 — the condition under which
+/// varint decoding reproduces the original bit patterns (and thus the
+/// digest). Rules out -0.0, NaN, and magnitudes past 2^53.
+bool ColumnIsIntegral(std::span<const double> values,
+                      std::vector<int64_t>* out) {
+  out->clear();
+  out->reserve(values.size());
+  for (double v : values) {
+    if (!(std::abs(v) <= 9.007199254740992e15)) return false;  // 2^53
+    const int64_t i = static_cast<int64_t>(v);
+    const double back = static_cast<double>(i);
+    if (std::memcmp(&back, &v, sizeof(double)) != 0) return false;
+    out->push_back(i);
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::string> PackAreaSet(const AreaSet& areas,
+                                const PackOptions& options) {
+  const ContiguityGraph& graph = areas.graph();
+  const AttributeTable& attrs = areas.attributes();
+  const bool with_geometry = areas.has_geometry() && !options.strip_geometry;
+
+  EMP_ASSIGN_OR_RETURN(int diss_col,
+                       attrs.ColumnIndex(areas.dissimilarity_attribute()));
+
+  CompactHeader header;
+  header.flags = with_geometry ? kFlagHasGeometry : 0;
+  header.digest = areas.InstanceDigest();
+  header.num_nodes = graph.num_nodes();
+  header.num_edges = graph.num_edges();
+  header.num_columns = static_cast<uint32_t>(attrs.num_columns());
+  header.dissimilarity_column = static_cast<uint32_t>(diss_col);
+  header.num_sections = 3 + header.num_columns + (with_geometry ? 1 : 0);
+
+  // Build each section payload, then lay the file out in one pass.
+  struct Section {
+    SectionKind kind = SectionKind::kStringBlob;
+    uint32_t encoding = 0;
+    std::string payload;
+  };
+  std::vector<Section> sections;
+  sections.reserve(header.num_sections);
+
+  {
+    Section s;
+    s.kind = SectionKind::kStringBlob;
+    auto append_string = [&s](const std::string& str) {
+      const uint32_t len = static_cast<uint32_t>(str.size());
+      AppendPod(len, &s.payload);
+      s.payload.append(str);
+    };
+    append_string(areas.name());
+    for (const std::string& column : attrs.column_names()) {
+      append_string(column);
+    }
+    sections.push_back(std::move(s));
+  }
+  {
+    Section s;
+    s.kind = SectionKind::kCsrOffsets;
+    const auto offsets = graph.csr_offsets();
+    AppendRaw(offsets.data(), offsets.size_bytes(), &s.payload);
+    sections.push_back(std::move(s));
+  }
+  {
+    Section s;
+    s.kind = SectionKind::kCsrNeighbors;
+    const auto neighbors = graph.csr_neighbors();
+    AppendRaw(neighbors.data(), neighbors.size_bytes(), &s.payload);
+    sections.push_back(std::move(s));
+  }
+  std::vector<int64_t> integral;
+  for (int c = 0; c < attrs.num_columns(); ++c) {
+    Section s;
+    s.kind = SectionKind::kColumn;
+    const auto values = attrs.Column(c);
+    if (ColumnIsIntegral(values, &integral)) {
+      s.encoding = static_cast<uint32_t>(ColumnEncoding::kDeltaVarint);
+      s.payload = DeltaEncode(integral);
+    } else {
+      s.encoding = static_cast<uint32_t>(ColumnEncoding::kRawF64);
+      AppendRaw(values.data(), values.size_bytes(), &s.payload);
+    }
+    sections.push_back(std::move(s));
+  }
+  if (with_geometry) {
+    Section s;
+    s.kind = SectionKind::kGeometry;
+    const auto& polygons = areas.polygons();
+    std::vector<uint64_t> prefix(polygons.size() + 1, 0);
+    for (size_t i = 0; i < polygons.size(); ++i) {
+      prefix[i + 1] = prefix[i] + polygons[i].size();
+    }
+    AppendRaw(prefix.data(), prefix.size() * sizeof(uint64_t), &s.payload);
+    for (const Polygon& poly : polygons) {
+      AppendRaw(poly.vertices().data(),
+                poly.vertices().size() * sizeof(Point), &s.payload);
+    }
+    sections.push_back(std::move(s));
+  }
+
+  std::string out;
+  AppendPod(header, &out);
+  // Reserve the section table; entries are filled in as payloads land.
+  const size_t table_at = out.size();
+  out.resize(out.size() + sections.size() * sizeof(SectionEntry), '\0');
+  PadTo8(&out);
+  for (size_t i = 0; i < sections.size(); ++i) {
+    SectionEntry entry;
+    entry.kind = static_cast<uint32_t>(sections[i].kind);
+    entry.encoding = sections[i].encoding;
+    entry.offset = out.size();
+    entry.length = sections[i].payload.size();
+    std::memcpy(out.data() + table_at + i * sizeof(SectionEntry), &entry,
+                sizeof(SectionEntry));
+    out.append(sections[i].payload);
+    PadTo8(&out);
+  }
+  return out;
+}
+
+Status WriteCompactFile(const AreaSet& areas, const std::string& path,
+                        const PackOptions& options) {
+  EMP_ASSIGN_OR_RETURN(std::string bytes, PackAreaSet(areas, options));
+  return WriteFileAtomic(path, bytes);
+}
+
+}  // namespace emp::compact

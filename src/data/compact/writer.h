@@ -1,0 +1,30 @@
+#ifndef EMP_DATA_COMPACT_WRITER_H_
+#define EMP_DATA_COMPACT_WRITER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/area_set.h"
+
+namespace emp::compact {
+
+struct PackOptions {
+  /// Drop polygons even when the instance has them. The solve path never
+  /// reads geometry, so geometry-free images are smaller and still produce
+  /// bit-identical assignments; report metrics that need shapes differ.
+  bool strip_geometry = false;
+};
+
+/// Serializes an AreaSet to the compact binary format (format.h). The
+/// header records the instance's FNV-1a digest, which geometry does not
+/// enter — packed and in-memory builds of the same instance share it.
+Result<std::string> PackAreaSet(const AreaSet& areas,
+                                const PackOptions& options = {});
+
+/// PackAreaSet + atomic write to `path` (conventionally "<name>.emp").
+Status WriteCompactFile(const AreaSet& areas, const std::string& path,
+                        const PackOptions& options = {});
+
+}  // namespace emp::compact
+
+#endif  // EMP_DATA_COMPACT_WRITER_H_

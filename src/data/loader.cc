@@ -6,6 +6,7 @@
 
 #include "common/csv.h"
 #include "common/str_util.h"
+#include "data/compact/loader.h"
 #include "geometry/wkt.h"
 
 namespace emp {
@@ -155,6 +156,14 @@ Result<AreaSet> LoadAreaSetFromCsvFile(const std::string& path,
                                        const LoaderOptions& options) {
   EMP_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
   return LoadAreaSetFromCsvText(text, options);
+}
+
+Result<AreaSet> LoadAreaSetAuto(const std::string& path,
+                                const LoaderOptions& options) {
+  if (compact::IsCompactFile(path)) {
+    return compact::LoadCompactAreaSet(path);
+  }
+  return LoadAreaSetFromCsvFile(path, options);
 }
 
 Result<std::string> AreaSetToCsvText(const AreaSet& areas,

@@ -43,6 +43,12 @@ Result<AreaSet> LoadAreaSetFromCsvText(const std::string& csv_text,
 Result<AreaSet> LoadAreaSetFromCsvFile(const std::string& path,
                                        const LoaderOptions& options = {});
 
+/// Loads an instance file of either format: compact binary (sniffed by
+/// magic, mmap'd zero-copy) or CSV (parsed per `options`). The single
+/// entry point the CLI and solve service use for file inputs.
+Result<AreaSet> LoadAreaSetAuto(const std::string& path,
+                                const LoaderOptions& options = {});
+
 /// Serializes an AreaSet back to the loader's CSV format (geometry as WKT
 /// plus all attribute columns). Requires geometry. Round-trips with
 /// LoadAreaSetFromCsvText up to floating-point formatting.

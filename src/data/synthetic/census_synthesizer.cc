@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <span>
 
 #include "common/rng.h"
 #include "data/synthetic/noise_field.h"
@@ -149,8 +150,8 @@ Result<AreaSet> SynthesizeMap(const MapSpec& spec) {
   for (const AttributeSpec& attr : spec.attributes) {
     std::vector<double> values(n);
     if (!attr.derive_from.empty()) {
-      EMP_ASSIGN_OR_RETURN(const std::vector<double>* base,
-                           [&]() -> Result<const std::vector<double>*> {
+      EMP_ASSIGN_OR_RETURN(const std::span<const double> base,
+                           [&]() -> Result<std::span<const double>> {
                              auto r = table.ColumnByName(attr.derive_from);
                              if (!r.ok()) {
                                return Status::InvalidArgument(
@@ -161,7 +162,7 @@ Result<AreaSet> SynthesizeMap(const MapSpec& spec) {
                              return r;
                            }());
       for (size_t i = 0; i < n; ++i) {
-        double v = attr.derive_scale * (*base)[i];
+        double v = attr.derive_scale * base[i];
         if (attr.derive_noise > 0.0) v += rng.Normal(0.0, attr.derive_noise);
         values[i] = std::clamp(v, attr.clamp_min, attr.clamp_max);
       }

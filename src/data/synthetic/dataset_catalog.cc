@@ -25,6 +25,13 @@ const std::vector<DatasetInfo>& DatasetCatalog() {
           {"30k", 29887, "20k + TX LA AR MO IA"},
           {"40k", 40214, "30k + MN MS AL TN KY IL WI"},
           {"50k", 49943, "40k + GA IN MI OH WV"},
+          // Beyond the paper: the compact-instance-store scale regime
+          // (ROADMAP "1M-area"). Sized like multi-state tract unions.
+          {"250k", 250000,
+           "synthetic eastern-US-scale union (not in the paper)"},
+          {"500k", 500000,
+           "synthetic continental-US-scale union (not in the paper)"},
+          {"1m", 1000000, "synthetic 1M-area stress map (not in the paper)"},
       };
   return *kCatalog;
 }

@@ -1,6 +1,7 @@
 #include "data/transforms.h"
 
 #include <cmath>
+#include <span>
 
 namespace emp {
 
@@ -83,9 +84,9 @@ Result<AreaSet> WithCompositeAttribute(const AreaSet& areas,
   const size_t n = static_cast<size_t>(areas.num_areas());
   std::vector<double> composite(n, 0.0);
   for (const CompositeTerm& term : terms) {
-    EMP_ASSIGN_OR_RETURN(const std::vector<double>* column,
+    EMP_ASSIGN_OR_RETURN(const std::span<const double> column,
                          areas.attributes().ColumnByName(term.attribute));
-    std::vector<double> values = *column;
+    std::vector<double> values(column.begin(), column.end());
     if (term.standardize) {
       EMP_ASSIGN_OR_RETURN(values, ZScore(values));
     }
@@ -97,9 +98,10 @@ Result<AreaSet> WithCompositeAttribute(const AreaSet& areas,
   // Rebuild the attribute table with the extra column.
   AttributeTable table(areas.num_areas());
   for (int c = 0; c < areas.attributes().num_columns(); ++c) {
+    const auto column = areas.attributes().Column(c);
     EMP_RETURN_IF_ERROR(table.AddColumn(
         areas.attributes().column_names()[static_cast<size_t>(c)],
-        areas.attributes().Column(c)));
+        std::vector<double>(column.begin(), column.end())));
   }
   EMP_RETURN_IF_ERROR(table.AddColumn(name, std::move(composite)));
 

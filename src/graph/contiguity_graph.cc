@@ -4,8 +4,30 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 namespace emp {
+
+const int64_t ContiguityGraph::kEmptyOffsets[1] = {0};
+
+ContiguityGraph& ContiguityGraph::operator=(const ContiguityGraph& other) {
+  if (this == &other) return *this;
+  offsets_store_ = other.offsets_store_;
+  neighbors_store_ = other.neighbors_store_;
+  backing_ = other.backing_;
+  num_nodes_ = other.num_nodes_;
+  num_edges_ = other.num_edges_;
+  if (other.offsets_ == other.offsets_store_.data()) {
+    // Owned graph: re-point the views at our own copies of the stores.
+    offsets_ = offsets_store_.data();
+    neighbors_ = neighbors_store_.data();
+  } else {
+    // External (or empty) graph: share the backing and raw pointers.
+    offsets_ = other.offsets_;
+    neighbors_ = other.neighbors_;
+  }
+  return *this;
+}
 
 Result<ContiguityGraph> ContiguityGraph::FromNeighborLists(
     std::vector<std::vector<int32_t>> neighbors) {
@@ -32,13 +54,22 @@ Result<ContiguityGraph> ContiguityGraph::FromNeighborLists(
     }
   }
   ContiguityGraph g;
-  g.adjacency_.resize(static_cast<size_t>(n));
+  g.offsets_store_.resize(static_cast<size_t>(n) + 1);
+  g.offsets_store_[0] = 0;
   int64_t degree_sum = 0;
   for (int32_t u = 0; u < n; ++u) {
-    g.adjacency_[static_cast<size_t>(u)].assign(
-        adj[static_cast<size_t>(u)].begin(), adj[static_cast<size_t>(u)].end());
     degree_sum += static_cast<int64_t>(adj[static_cast<size_t>(u)].size());
+    g.offsets_store_[static_cast<size_t>(u) + 1] = degree_sum;
   }
+  g.neighbors_store_.reserve(static_cast<size_t>(degree_sum));
+  for (int32_t u = 0; u < n; ++u) {
+    g.neighbors_store_.insert(g.neighbors_store_.end(),
+                              adj[static_cast<size_t>(u)].begin(),
+                              adj[static_cast<size_t>(u)].end());
+  }
+  g.offsets_ = g.offsets_store_.data();
+  g.neighbors_ = g.neighbors_store_.data();
+  g.num_nodes_ = n;
   g.num_edges_ = degree_sum / 2;
   return g;
 }
@@ -58,16 +89,85 @@ Result<ContiguityGraph> ContiguityGraph::FromEdges(
   return FromNeighborLists(std::move(neighbors));
 }
 
+Result<ContiguityGraph> ContiguityGraph::FromCsr(
+    std::span<const int64_t> offsets, std::span<const int32_t> neighbors,
+    std::shared_ptr<const void> backing) {
+  if (offsets.empty()) {
+    return Status::InvalidArgument("CSR offsets array is empty");
+  }
+  if (offsets.front() != 0) {
+    return Status::InvalidArgument("CSR offsets must start at 0");
+  }
+  const size_t n = offsets.size() - 1;
+  if (n > static_cast<size_t>(INT32_MAX)) {
+    return Status::InvalidArgument("CSR node count exceeds int32 range");
+  }
+  if (offsets.back() != static_cast<int64_t>(neighbors.size())) {
+    return Status::InvalidArgument(
+        "CSR offsets end at " + std::to_string(offsets.back()) + " but " +
+        std::to_string(neighbors.size()) + " neighbors were provided");
+  }
+  for (size_t u = 0; u < n; ++u) {
+    const int64_t begin = offsets[u];
+    const int64_t end = offsets[u + 1];
+    if (begin > end) {
+      return Status::InvalidArgument("CSR offsets not monotone at node " +
+                                     std::to_string(u));
+    }
+    int32_t prev = -1;
+    for (int64_t i = begin; i < end; ++i) {
+      const int32_t v = neighbors[static_cast<size_t>(i)];
+      if (v < 0 || v >= static_cast<int32_t>(n)) {
+        return Status::InvalidArgument(
+            "CSR neighbor out of range: " + std::to_string(v));
+      }
+      if (v == static_cast<int32_t>(u)) {
+        return Status::InvalidArgument("CSR self-loop at node " +
+                                       std::to_string(u));
+      }
+      if (v <= prev) {
+        return Status::InvalidArgument(
+            "CSR row not strictly sorted at node " + std::to_string(u));
+      }
+      prev = v;
+    }
+  }
+  // Symmetry: every (u, v) needs its reverse edge. Rows are sorted, so
+  // check via binary search; total cost O(E log d).
+  for (size_t u = 0; u < n; ++u) {
+    for (int64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const int32_t v = neighbors[static_cast<size_t>(i)];
+      const auto row = neighbors.subspan(
+          static_cast<size_t>(offsets[static_cast<size_t>(v)]),
+          static_cast<size_t>(offsets[static_cast<size_t>(v) + 1] -
+                              offsets[static_cast<size_t>(v)]));
+      if (!std::binary_search(row.begin(), row.end(),
+                              static_cast<int32_t>(u))) {
+        return Status::InvalidArgument(
+            "CSR edge " + std::to_string(u) + "->" + std::to_string(v) +
+            " missing its reverse edge");
+      }
+    }
+  }
+  ContiguityGraph g;
+  g.backing_ = std::move(backing);
+  g.offsets_ = offsets.data();
+  g.neighbors_ = neighbors.data();
+  g.num_nodes_ = static_cast<int32_t>(n);
+  g.num_edges_ = offsets.back() / 2;
+  return g;
+}
+
 bool ContiguityGraph::HasEdge(int32_t a, int32_t b) const {
-  if (a < 0 || b < 0 || a >= num_nodes() || b >= num_nodes()) return false;
-  const auto& adj = adjacency_[static_cast<size_t>(a)];
+  if (a < 0 || b < 0 || a >= num_nodes_ || b >= num_nodes_) return false;
+  const auto adj = NeighborsOf(a);
   return std::binary_search(adj.begin(), adj.end(), b);
 }
 
 double ContiguityGraph::AverageDegree() const {
-  if (adjacency_.empty()) return 0.0;
+  if (num_nodes_ == 0) return 0.0;
   return 2.0 * static_cast<double>(num_edges_) /
-         static_cast<double>(adjacency_.size());
+         static_cast<double>(num_nodes_);
 }
 
 std::pair<ContiguityGraph, std::vector<int32_t>>

@@ -1,7 +1,10 @@
 #ifndef EMP_GRAPH_CONTIGUITY_GRAPH_H_
 #define EMP_GRAPH_CONTIGUITY_GRAPH_H_
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -12,9 +15,21 @@ namespace emp {
 /// ("rook" adjacency: areas sharing a border segment). This is the
 /// representation the regionalization literature operates on (§II of the
 /// paper); every FaCT phase consumes it rather than raw polygons.
+///
+/// Storage is CSR (compressed sparse row): `offsets` has n+1 entries and
+/// `neighbors` holds all sorted adjacency lists back to back, so the whole
+/// structure is two flat arrays. The arrays are either owned by the graph
+/// (the build-from-lists path) or borrowed from external read-only memory —
+/// typically an mmap'd compact instance image — kept alive by a shared
+/// backing handle. Either way, accessors hand out `std::span` views.
 class ContiguityGraph {
  public:
   ContiguityGraph() = default;
+
+  ContiguityGraph(const ContiguityGraph& other) { *this = other; }
+  ContiguityGraph& operator=(const ContiguityGraph& other);
+  ContiguityGraph(ContiguityGraph&&) = default;
+  ContiguityGraph& operator=(ContiguityGraph&&) = default;
 
   /// Builds from per-node neighbor lists. Fails when an edge endpoint is out
   /// of range or a node lists itself. Missing reverse edges are added
@@ -26,17 +41,33 @@ class ContiguityGraph {
   static Result<ContiguityGraph> FromEdges(
       int32_t n, const std::vector<std::pair<int32_t, int32_t>>& edges);
 
-  int32_t num_nodes() const { return static_cast<int32_t>(adjacency_.size()); }
+  /// Wraps a prebuilt CSR image without copying it. `offsets` must have
+  /// n+1 monotone entries starting at 0; `neighbors` must hold sorted,
+  /// in-range, self-loop-free rows whose reverse edges are present (the
+  /// shape `FromNeighborLists` produces — validated here, since compact
+  /// instance files are untrusted input). `backing` keeps the external
+  /// storage alive for the lifetime of the graph and all copies of it;
+  /// pass nullptr only when the arrays are guaranteed to outlive them.
+  static Result<ContiguityGraph> FromCsr(std::span<const int64_t> offsets,
+                                         std::span<const int32_t> neighbors,
+                                         std::shared_ptr<const void> backing);
+
+  int32_t num_nodes() const { return num_nodes_; }
   int64_t num_edges() const { return num_edges_; }
 
   /// Sorted neighbor ids of `node`.
-  const std::vector<int32_t>& NeighborsOf(int32_t node) const {
-    return adjacency_[static_cast<size_t>(node)];
+  std::span<const int32_t> NeighborsOf(int32_t node) const {
+    assert(node >= 0 && node < num_nodes_);
+    const auto u = static_cast<size_t>(node);
+    return {neighbors_ + offsets_[u],
+            static_cast<size_t>(offsets_[u + 1] - offsets_[u])};
   }
 
   /// Degree of `node`.
   int32_t DegreeOf(int32_t node) const {
-    return static_cast<int32_t>(adjacency_[static_cast<size_t>(node)].size());
+    assert(node >= 0 && node < num_nodes_);
+    const auto u = static_cast<size_t>(node);
+    return static_cast<int32_t>(offsets_[u + 1] - offsets_[u]);
   }
 
   /// True if `a` and `b` are adjacent (binary search over sorted lists).
@@ -50,9 +81,30 @@ class ContiguityGraph {
   std::pair<ContiguityGraph, std::vector<int32_t>> InducedSubgraph(
       const std::vector<int32_t>& keep) const;
 
+  /// Raw CSR arrays (num_nodes()+1 offsets, 2*num_edges() neighbors); the
+  /// compact instance writer serializes these verbatim.
+  std::span<const int64_t> csr_offsets() const {
+    return {offsets_, static_cast<size_t>(num_nodes_) + 1};
+  }
+  std::span<const int32_t> csr_neighbors() const {
+    return {neighbors_, static_cast<size_t>(2 * num_edges_)};
+  }
+
  private:
-  std::vector<std::vector<int32_t>> adjacency_;
+  // Owned storage; empty when the graph views external (mmap'd) memory.
+  std::vector<int64_t> offsets_store_;
+  std::vector<int32_t> neighbors_store_;
+  // Keeps external storage alive. Null for owned graphs.
+  std::shared_ptr<const void> backing_;
+  // Active views: into the stores (owned) or the backing (external). The
+  // empty graph keeps offsets_ pointing at a static [0] so csr_offsets()
+  // is always valid.
+  const int64_t* offsets_ = kEmptyOffsets;
+  const int32_t* neighbors_ = nullptr;
+  int32_t num_nodes_ = 0;
   int64_t num_edges_ = 0;
+
+  static const int64_t kEmptyOffsets[1];
 };
 
 }  // namespace emp

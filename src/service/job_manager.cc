@@ -107,15 +107,21 @@ Result<std::shared_ptr<const AreaSet>> JobManager::LoadInstance(
   // produces an identical instance and the loser is simply dropped.
   Result<AreaSet> loaded = synthetic::FindDataset(reference).ok()
                                ? synthetic::MakeCatalogDataset(reference)
-                               : LoadAreaSetFromCsvFile(reference);
+                               : LoadAreaSetAuto(reference);
   if (!loaded.ok()) {
     return Status::NotFound("instance '" + reference +
                             "' is neither a catalog dataset nor a loadable "
-                            "CSV: " + loaded.status().message());
+                            "instance file: " + loaded.status().message());
   }
+  // Memoized on the instance, so this is paid once per load, not per job
+  // (and never for compact images, whose header seeds it).
+  const uint64_t digest = loaded->InstanceDigest();
   auto areas = std::make_shared<const AreaSet>(*std::move(loaded));
   std::lock_guard<std::mutex> lock(instances_mu_);
-  auto [it, inserted] = instances_.emplace(reference, std::move(areas));
+  // Dedupe by digest: if any reference already produced this exact
+  // instance, every new reference shares that one image.
+  auto [digest_it, fresh] = instances_by_digest_.emplace(digest, areas);
+  auto [it, inserted] = instances_.emplace(reference, digest_it->second);
   return it->second;
 }
 

@@ -55,7 +55,8 @@ bool IsTerminalJobState(JobState state);
 
 /// One solve request, the deserialized form of the POST /solve body.
 /// `instance` names a synthetic catalog dataset ("tiny", "2k", ...) or,
-/// when no catalog entry matches, a CSV file path for the loader. The
+/// when no catalog entry matches, a file path — a compact .emp image
+/// (mmap'd, shared) or a CSV for the loader. The
 /// solver/query/attribute/threshold fields mirror SolverSpec; options
 /// carry the supervision budget (time_budget_ms / max_evaluations) the
 /// job's RunContext enforces. SolverOptions::serve_port is ignored — jobs
@@ -102,8 +103,10 @@ struct JobSnapshot {
 /// Each job runs under its own RunContext (deadline + evaluation budget
 /// from its SolverOptions, the job's cancellation token, a per-job
 /// ProgressBoard, and a per-job RunJournal whose job_start record keys the
-/// audit trail by job id + instance digest). Instances are cached by
-/// reference, so N jobs against "2k" synthesize it once.
+/// audit trail by job id + instance digest). Instances are cached twice
+/// over: by reference, so N jobs against "2k" synthesize it once, and by
+/// instance digest, so different references to the same data — a catalog
+/// name, its packed .emp file, an exported CSV — share one image.
 ///
 /// Thread-safety: every public method is safe from any thread. Snapshots
 /// are copies; nothing returned borrows manager-internal state.
@@ -196,6 +199,8 @@ class JobManager {
 
   std::mutex instances_mu_;
   std::map<std::string, std::shared_ptr<const AreaSet>> instances_;
+  // Canonical instance per digest; references dedupe through this map.
+  std::map<uint64_t, std::shared_ptr<const AreaSet>> instances_by_digest_;
 
   std::vector<std::thread> workers_;
 };

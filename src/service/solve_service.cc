@@ -1,5 +1,8 @@
 #include "service/solve_service.h"
 
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdlib>
 #include <utility>
@@ -271,11 +274,24 @@ HttpResponse SolveService::HandleJob(const HttpRequest& request,
   const std::string action(
       slash == std::string_view::npos ? "" : std::string(rest.substr(slash)));
 
-  char* end = nullptr;
-  const long long job_id = std::strtoll(id_text.c_str(), &end, 10);
-  if (id_text.empty() || end == id_text.c_str() || *end != '\0') {
+  // Strict parse: decimal digits only. strtoll alone would accept "+5",
+  // " 5", "5x" prefixes via partial consumption, negative ids, and would
+  // silently clamp overflow to LLONG_MAX — all of which must 404 with an
+  // explicit message instead of aliasing a real id.
+  const bool all_digits =
+      !id_text.empty() &&
+      std::all_of(id_text.begin(), id_text.end(),
+                  [](unsigned char c) { return std::isdigit(c) != 0; });
+  if (!all_digits) {
     return JsonErrorResponse(404, "not_found",
                              "malformed job id '" + id_text + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long job_id = std::strtoll(id_text.c_str(), &end, 10);
+  if (errno == ERANGE || *end != '\0') {
+    return JsonErrorResponse(404, "not_found",
+                             "job id '" + id_text + "' out of range");
   }
 
   if (action.empty()) {

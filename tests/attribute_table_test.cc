@@ -43,7 +43,7 @@ TEST(AttributeTableTest, ColumnByName) {
   ASSERT_TRUE(t.AddColumn("v", {5, 7}).ok());
   auto col = t.ColumnByName("v");
   ASSERT_TRUE(col.ok());
-  EXPECT_EQ((**col)[1], 7);
+  EXPECT_EQ((*col)[1], 7);
 }
 
 TEST(AttributeTableTest, StatsComputeMinMaxSumMean) {

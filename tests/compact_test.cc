@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "core/fact_solver.h"
+#include "data/compact/loader.h"
+#include "data/compact/varint.h"
+#include "data/compact/writer.h"
+#include "data/loader.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "service/job_manager.h"
+#include "test_util.h"
+
+namespace emp {
+namespace {
+
+using compact::CompactInfo;
+using compact::DeltaDecode;
+using compact::DeltaEncode;
+using compact::InspectCompactFile;
+using compact::IsCompactFile;
+using compact::LoadCompactAreaSet;
+using compact::LoadOptions;
+using compact::PackAreaSet;
+using compact::PackOptions;
+using compact::WriteCompactFile;
+
+/// Self-cleaning temp path for one packed instance.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem) {
+    path_ = testing::TempDir() + "/" + stem;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(VarintTest, RoundTripsMixedSequences) {
+  const std::vector<int64_t> values = {0,    1,     -1,   127,  128,
+                                       -128, 40000, -1,   0,    INT64_MAX,
+                                       INT64_MIN,   1,    1,    1};
+  const std::string bytes = DeltaEncode(values);
+  auto decoded = DeltaDecode(
+      {reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()},
+      values.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, values);
+}
+
+TEST(VarintTest, SortedSequencesStaySmall) {
+  std::vector<int64_t> values(1000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i) * 3;
+  }
+  const std::string bytes = DeltaEncode(values);
+  // Deltas of 3 zigzag to 6: one byte per value.
+  EXPECT_EQ(bytes.size(), values.size());
+}
+
+TEST(VarintTest, RejectsTruncatedAndTrailingInput) {
+  const std::vector<int64_t> values = {1, 2, 300000};
+  const std::string bytes = DeltaEncode(values);
+  const auto* data = reinterpret_cast<const uint8_t*>(bytes.data());
+  EXPECT_FALSE(DeltaDecode({data, bytes.size() - 1}, values.size()).ok());
+  EXPECT_FALSE(DeltaDecode({data, bytes.size()}, values.size() - 1).ok());
+}
+
+TEST(CompactStoreTest, RoundTripsCatalogInstanceWithGeometry) {
+  auto original = synthetic::MakeCatalogDataset("small");
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(original->has_geometry());
+
+  TempFile file("compact_roundtrip.emp");
+  ASSERT_TRUE(WriteCompactFile(*original, file.path()).ok());
+  ASSERT_TRUE(IsCompactFile(file.path()));
+
+  auto loaded = LoadCompactAreaSet(file.path());
+  ASSERT_TRUE(loaded.ok());
+
+  EXPECT_EQ(loaded->name(), original->name());
+  EXPECT_EQ(loaded->num_areas(), original->num_areas());
+  EXPECT_EQ(loaded->graph().num_edges(), original->graph().num_edges());
+  EXPECT_EQ(loaded->dissimilarity_attribute(),
+            original->dissimilarity_attribute());
+  EXPECT_EQ(loaded->InstanceDigest(), original->InstanceDigest());
+  for (int32_t a = 0; a < original->num_areas(); ++a) {
+    ASSERT_TRUE(std::ranges::equal(loaded->graph().NeighborsOf(a),
+                                   original->graph().NeighborsOf(a)));
+  }
+  ASSERT_EQ(loaded->attributes().column_names(),
+            original->attributes().column_names());
+  for (int c = 0; c < original->attributes().num_columns(); ++c) {
+    ASSERT_TRUE(std::ranges::equal(loaded->attributes().Column(c),
+                                   original->attributes().Column(c)));
+  }
+  ASSERT_TRUE(loaded->has_geometry());
+  for (int32_t a = 0; a < original->num_areas(); ++a) {
+    ASSERT_EQ(loaded->polygon(a).vertices(), original->polygon(a).vertices());
+  }
+
+  // Digest verification decodes the instance and recomputes; it must agree
+  // with the seeded header value.
+  LoadOptions verify;
+  verify.verify_digest = true;
+  EXPECT_TRUE(LoadCompactAreaSet(file.path(), verify).ok());
+}
+
+TEST(CompactStoreTest, IntegralColumnsUseVarintEncoding) {
+  AreaSet areas = test::MakeAreaSet(
+      test::GridGraph(4, 4),
+      {{"counts", {5, 9, 12, 5, 7, 8, 15, 3, 4, 9, 9, 2, 11, 6, 7, 10}},
+       {"ratio",
+        {0.5, 1.25, 3.5, 0.5, 2.0, 1.5, 0.25, 3.0, 1.0, 0.75, 2.25, 1.5, 0.5,
+         2.75, 3.25, 1.0}}});
+
+  TempFile file("compact_varint.emp");
+  ASSERT_TRUE(WriteCompactFile(areas, file.path()).ok());
+  auto info = InspectCompactFile(file.path());
+  ASSERT_TRUE(info.ok());
+  ASSERT_EQ(info->column_encodings.size(), 2u);
+  EXPECT_EQ(info->column_encodings[0], "delta_varint");
+  EXPECT_EQ(info->column_encodings[1], "raw_f64");
+  EXPECT_FALSE(info->has_geometry);
+
+  auto loaded = LoadCompactAreaSet(file.path());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->InstanceDigest(), areas.InstanceDigest());
+  for (int c = 0; c < areas.attributes().num_columns(); ++c) {
+    ASSERT_TRUE(std::ranges::equal(loaded->attributes().Column(c),
+                                   areas.attributes().Column(c)));
+  }
+}
+
+TEST(CompactStoreTest, StripGeometryKeepsDigestAndDropsPolygons) {
+  auto original = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(original.ok());
+  TempFile file("compact_nogeo.emp");
+  PackOptions options;
+  options.strip_geometry = true;
+  ASSERT_TRUE(WriteCompactFile(*original, file.path(), options).ok());
+
+  auto loaded = LoadCompactAreaSet(file.path());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE(loaded->has_geometry());
+  // Geometry does not enter the digest, so stripping preserves it.
+  EXPECT_EQ(loaded->InstanceDigest(), original->InstanceDigest());
+}
+
+TEST(CompactStoreTest, SolveIsBitIdenticalToInMemoryPath) {
+  auto in_memory = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(in_memory.ok());
+  TempFile file("compact_solve.emp");
+  ASSERT_TRUE(WriteCompactFile(*in_memory, file.path()).ok());
+  auto mapped = LoadCompactAreaSet(file.path());
+  ASSERT_TRUE(mapped.ok());
+
+  const std::vector<Constraint> constraints = {
+      Constraint::Sum("TOTALPOP", 40000, kNoUpperBound)};
+  SolverOptions options;
+  options.seed = 7;
+  auto a = SolveEmp(*in_memory, constraints, options);
+  auto b = SolveEmp(*mapped, constraints, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->p(), b->p());
+  EXPECT_EQ(a->region_of, b->region_of);
+  EXPECT_DOUBLE_EQ(a->heterogeneity, b->heterogeneity);
+}
+
+TEST(CompactStoreTest, RejectsCorruptedFiles) {
+  EXPECT_FALSE(IsCompactFile(testing::TempDir() + "/does_not_exist.emp"));
+  EXPECT_FALSE(LoadCompactAreaSet("/does/not/exist.emp").ok());
+
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  // Strip geometry so the file ends in attribute data: the tamper test
+  // below must flip a byte the digest covers (geometry is not in it).
+  PackOptions no_geo;
+  no_geo.strip_geometry = true;
+  auto bytes = PackAreaSet(*areas, no_geo);
+  ASSERT_TRUE(bytes.ok());
+
+  TempFile not_compact("compact_bad_magic.emp");
+  ASSERT_TRUE(WriteFile(not_compact.path(), "area_id,region_id\n0,0\n").ok());
+  EXPECT_FALSE(IsCompactFile(not_compact.path()));
+  auto bad_magic = LoadCompactAreaSet(not_compact.path());
+  ASSERT_FALSE(bad_magic.ok());
+  EXPECT_EQ(bad_magic.status().code(), StatusCode::kInvalidArgument);
+
+  TempFile truncated("compact_truncated.emp");
+  ASSERT_TRUE(
+      WriteFile(truncated.path(), bytes->substr(0, bytes->size() / 2)).ok());
+  EXPECT_FALSE(LoadCompactAreaSet(truncated.path()).ok());
+
+  // A flipped attribute byte passes structural checks but fails digest
+  // verification.
+  std::string tampered_bytes = *bytes;
+  tampered_bytes[tampered_bytes.size() - 9] ^= 0x40;
+  TempFile tampered("compact_tampered.emp");
+  ASSERT_TRUE(WriteFile(tampered.path(), tampered_bytes).ok());
+  LoadOptions verify;
+  verify.verify_digest = true;
+  auto verified = LoadCompactAreaSet(tampered.path(), verify);
+  ASSERT_FALSE(verified.ok());
+  EXPECT_NE(verified.status().message().find("digest mismatch"),
+            std::string::npos);
+}
+
+TEST(CompactStoreTest, LoadAreaSetAutoDispatchesOnContent) {
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+
+  TempFile packed("compact_auto.emp");
+  ASSERT_TRUE(WriteCompactFile(*areas, packed.path()).ok());
+  auto from_compact = LoadAreaSetAuto(packed.path());
+  ASSERT_TRUE(from_compact.ok());
+  EXPECT_EQ(from_compact->InstanceDigest(), areas->InstanceDigest());
+
+  auto csv = AreaSetToCsvText(*areas);
+  ASSERT_TRUE(csv.ok());
+  TempFile csv_file("compact_auto.csv");
+  ASSERT_TRUE(WriteFile(csv_file.path(), *csv).ok());
+  auto from_csv = LoadAreaSetAuto(csv_file.path());
+  ASSERT_TRUE(from_csv.ok());
+  EXPECT_EQ(from_csv->num_areas(), areas->num_areas());
+}
+
+TEST(CompactStoreTest, JobManagerSharesOneImageAcrossReferences) {
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  TempFile packed("compact_jobs.emp");
+  ASSERT_TRUE(WriteCompactFile(*areas, packed.path()).ok());
+
+  service::JobManager::Options options;
+  options.workers = 2;
+  auto manager = service::JobManager::Create(options);
+  ASSERT_TRUE(manager.ok());
+
+  service::JobRequest by_name;
+  by_name.instance = "tiny";
+  by_name.query = "SUM(TOTALPOP) >= 40k";
+  service::JobRequest by_file = by_name;
+  by_file.instance = packed.path();
+
+  auto a = (*manager)->Submit(by_name);
+  auto b = (*manager)->Submit(by_file);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Different references, same data: the digest-keyed cache must bind both
+  // jobs to the same instance fingerprint.
+  EXPECT_EQ(a->instance_digest, b->instance_digest);
+  ASSERT_TRUE((*manager)->WaitTerminal(a->id, 30000).ok());
+  ASSERT_TRUE((*manager)->WaitTerminal(b->id, 30000).ok());
+  EXPECT_EQ(*(*manager)->WaitTerminal(a->id), service::JobState::kDone);
+  EXPECT_EQ(*(*manager)->WaitTerminal(b->id), service::JobState::kDone);
+  (*manager)->Shutdown();
+}
+
+TEST(AreaSetDigestTest, MemoizationSurvivesCopyAndMove) {
+  AreaSet areas = test::PathAreaSet({1, 2, 3, 4, 5});
+  const uint64_t digest = areas.InstanceDigest();
+
+  AreaSet copy = areas;
+  EXPECT_EQ(copy.InstanceDigest(), digest);
+  AreaSet moved = std::move(copy);
+  EXPECT_EQ(moved.InstanceDigest(), digest);
+
+  AreaSet seeded = test::PathAreaSet({1, 2, 3, 4, 5});
+  seeded.SeedInstanceDigest(0xDEADBEEFULL);
+  EXPECT_EQ(seeded.InstanceDigest(), 0xDEADBEEFULL);
+}
+
+}  // namespace
+}  // namespace emp

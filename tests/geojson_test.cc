@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "data/synthetic/dataset_catalog.h"
 
 namespace emp {
@@ -162,7 +164,8 @@ TEST(GeoJsonImportTest, SyntheticMapRoundTrip) {
   // Adjacency recovered geometrically; tolerate rare rounding slivers.
   int64_t mismatches = 0;
   for (int32_t a = 0; a < areas->num_areas(); ++a) {
-    if (imported->graph().NeighborsOf(a) != areas->graph().NeighborsOf(a)) {
+    if (!std::ranges::equal(imported->graph().NeighborsOf(a),
+                            areas->graph().NeighborsOf(a))) {
       ++mismatches;
     }
   }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "graph/components.h"
 
 namespace emp {
@@ -30,7 +32,7 @@ TEST(GraphTest, NeighborListsAreSortedAndDeduped) {
   ASSERT_TRUE(g.ok());
   EXPECT_EQ(g->num_edges(), 3);
   std::vector<int32_t> expected = {1, 2};
-  EXPECT_EQ(g->NeighborsOf(0), expected);
+  EXPECT_TRUE(std::ranges::equal(g->NeighborsOf(0), expected));
 }
 
 TEST(GraphTest, MissingReverseEdgesAreAdded) {

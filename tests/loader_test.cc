@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "data/synthetic/dataset_catalog.h"
 #include "graph/components.h"
 
@@ -111,7 +113,8 @@ TEST(LoaderTest, RoundTripsSyntheticMap) {
   // Geometric adjacency recovered from WKT matches the Voronoi adjacency.
   int64_t mismatches = 0;
   for (int32_t a = 0; a < original->num_areas(); ++a) {
-    if (reloaded->graph().NeighborsOf(a) != original->graph().NeighborsOf(a)) {
+    if (!std::ranges::equal(reloaded->graph().NeighborsOf(a),
+                            original->graph().NeighborsOf(a))) {
       ++mismatches;
     }
   }

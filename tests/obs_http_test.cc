@@ -212,6 +212,130 @@ TEST(HttpServerTest, HandlerHookClaimsRoutesAndFallsThrough) {
   EXPECT_EQ(BodyOf(HttpGet(port, "/healthz")), "ok\n");
 }
 
+/// Sends `pieces` in order (small pause between them), optionally
+/// half-closing the write side afterwards, and returns the raw response.
+std::string RawExchange(int port, const std::vector<std::string>& pieces,
+                        bool half_close = false) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    size_t sent = 0;
+    while (sent < pieces[i].size()) {
+      ssize_t n = ::send(fd, pieces[i].data() + sent,
+                         pieces[i].size() - sent, 0);
+      if (n <= 0) {
+        ::close(fd);
+        return "";
+      }
+      sent += static_cast<size_t>(n);
+    }
+  }
+  if (half_close) ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char buffer[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buffer, sizeof(buffer), 0)) > 0) {
+    response.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+HttpServer::Options EchoOptions() {
+  HttpServer::Options options;
+  options.handler = [](const HttpRequest& request)
+      -> std::optional<HttpResponse> {
+    if (request.target == "/echo") {
+      return HttpResponse{200, "text/plain",
+                          request.method + ":" + request.body, {}};
+    }
+    return std::nullopt;
+  };
+  return options;
+}
+
+TEST(HttpServerTest, ContentLengthZeroYieldsEmptyBody) {
+  auto server = HttpServer::Start(EchoOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const std::string response = RawExchange(
+      (*server)->port(),
+      {"POST /echo HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n"
+       "Content-Length: 0\r\n\r\n"});
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 200 OK");
+  EXPECT_EQ(BodyOf(response), "POST:");
+}
+
+TEST(HttpServerTest, BodySplitExactlyAtHeaderBoundary) {
+  auto server = HttpServer::Start(EchoOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  // First segment ends precisely at the \r\n\r\n head terminator, so the
+  // body reader starts with zero buffered body bytes and must recv the
+  // whole payload in phase 2.
+  const std::string body = "split at the seam";
+  const std::string response = RawExchange(
+      (*server)->port(),
+      {"POST /echo HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n"
+       "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n",
+       body});
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 200 OK");
+  EXPECT_EQ(BodyOf(response), "POST:" + body);
+}
+
+TEST(HttpServerTest, OversizedContentLengthValuesAreRejected) {
+  auto server = HttpServer::Start(EchoOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = (*server)->port();
+  // Larger than the 64 KiB cap but parseable: 413.
+  std::string response = RawExchange(
+      port,
+      {"POST /echo HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n"
+       "Content-Length: 100000\r\n\r\n"});
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 413 Content Too Large");
+  EXPECT_NE(BodyOf(response).find("payload_too_large"), std::string::npos);
+  // Overflows unsigned long long entirely: strtoull saturates to
+  // ULLONG_MAX, which the size cap must still catch — not wrap to a small
+  // accepted length.
+  response = RawExchange(
+      port,
+      {"POST /echo HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n"
+       "Content-Length: 99999999999999999999999999\r\n\r\n"});
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 413 Content Too Large");
+  // Not a number at all: 400.
+  response = RawExchange(
+      port,
+      {"POST /echo HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n"
+       "Content-Length: 12x3\r\n\r\n"});
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 400 Bad Request");
+  EXPECT_NE(BodyOf(response).find("unparseable Content-Length"),
+            std::string::npos);
+}
+
+TEST(HttpServerTest, PeerCloseMidBodyIsTruncationError) {
+  auto server = HttpServer::Start(EchoOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  // Declare 100 bytes, deliver 10, then half-close: the reader must report
+  // exactly what it got instead of hanging or serving a partial body.
+  const std::string response = RawExchange(
+      (*server)->port(),
+      {"POST /echo HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n"
+       "Content-Length: 100\r\n\r\n",
+       "only10byte"},
+      /*half_close=*/true);
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 400 Bad Request");
+  EXPECT_NE(BodyOf(response).find(
+                "request body truncated: got 10 of 100 bytes"),
+            std::string::npos);
+}
+
 TEST(HttpServerTest, QueryStringsAreIgnoredInRouting) {
   HttpServer::Options options;
   auto server = HttpServer::Start(options);

@@ -328,6 +328,48 @@ TEST(SolveServiceHttpTest, UnknownJobsAnswer404) {
             "HTTP/1.1 200 OK");
 }
 
+TEST(SolveServiceHttpTest, MalformedJobIdsAnswer404WithExactMessages) {
+  Stack stack = StartStack();
+  ASSERT_NE(stack.server, nullptr);
+
+  // Trailing garbage after digits: strtoll would stop at the 'x' and
+  // report job 5; the strict parser must refuse the whole token.
+  std::string response = HttpCall(stack.port, "GET", "/jobs/5x");
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 404 Not Found");
+  EXPECT_NE(BodyOf(response).find("malformed job id '5x'"),
+            std::string::npos);
+
+  // Negative ids are never issued; "-5" must not reach the job table.
+  response = HttpCall(stack.port, "GET", "/jobs/-5");
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 404 Not Found");
+  EXPECT_NE(BodyOf(response).find("malformed job id '-5'"),
+            std::string::npos);
+
+  // Explicit sign and embedded space are rejected, not partially parsed.
+  response = HttpCall(stack.port, "GET", "/jobs/+5");
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 404 Not Found");
+  EXPECT_NE(BodyOf(response).find("malformed job id '+5'"),
+            std::string::npos);
+
+  // Overflow: strtoll would clamp to LLONG_MAX and 404 as "unknown job
+  // 9223372036854775807" — the parser must call out the range instead.
+  response = HttpCall(stack.port, "GET", "/jobs/99999999999999999999");
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 404 Not Found");
+  EXPECT_NE(
+      BodyOf(response).find("job id '99999999999999999999' out of range"),
+      std::string::npos);
+
+  // The uniform error envelope carries all of these.
+  auto body = json::Parse(BodyOf(response));
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Find("error")->Find("code")->AsString(), "not_found");
+
+  // A well-formed id for a job that does not exist still routes to the
+  // manager's NotFound.
+  response = HttpCall(stack.port, "GET", "/jobs/12345/journal");
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 404 Not Found");
+}
+
 TEST(SolveServiceHttpTest, CancelOverHttpGoesTerminal) {
   Stack stack = StartStack();
   ASSERT_NE(stack.server, nullptr);

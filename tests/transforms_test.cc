@@ -64,7 +64,7 @@ TEST(CompositeTest, BuildsWeightedColumn) {
   EXPECT_TRUE(enriched->attributes().HasColumn("mix"));
   EXPECT_EQ(enriched->dissimilarity_attribute(), "mix");
   // a ascending, b descending with double weight => mix is descending.
-  const auto& mix = **enriched->attributes().ColumnByName("mix");
+  const auto mix = *enriched->attributes().ColumnByName("mix");
   EXPECT_GT(mix[0], mix[3]);
 }
 
@@ -75,7 +75,7 @@ TEST(CompositeTest, UnstandardizedUsesRawValues) {
       areas, "mix", {{"a", 1.0, false}, {"b", 0.5, false}},
       /*use_as_dissimilarity=*/false);
   ASSERT_TRUE(enriched.ok());
-  const auto& mix = **enriched->attributes().ColumnByName("mix");
+  const auto mix = *enriched->attributes().ColumnByName("mix");
   EXPECT_DOUBLE_EQ(mix[0], 6.0);
   EXPECT_DOUBLE_EQ(mix[1], 12.0);
   EXPECT_EQ(enriched->dissimilarity_attribute(), "a");

@@ -102,5 +102,20 @@ TEST(AssignmentCsvRoundTripTest, RejectsBadInput) {
       AssignmentFromCsv("area_id,region_id\n1,0\n1,2\n", 3).ok());
 }
 
+TEST(AssignmentCsvRoundTripTest, RejectsRegionIdsBeyondInt32) {
+  // 2^31 would truncate to a negative int32 through a blind cast; 2^32
+  // would truncate to region 0 and validate as a plausible assignment.
+  EXPECT_FALSE(
+      AssignmentFromCsv("area_id,region_id\n1,2147483648\n", 3).ok());
+  EXPECT_FALSE(
+      AssignmentFromCsv("area_id,region_id\n1,4294967296\n", 3).ok());
+  EXPECT_FALSE(AssignmentFromCsv("area_id,region_id\n1,-2\n", 3).ok());
+  // -1 (explicitly unassigned) and INT32_MAX remain legal.
+  auto ok = AssignmentFromCsv("area_id,region_id\n1,-1\n2,2147483647\n", 3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)[1], -1);
+  EXPECT_EQ((*ok)[2], 2147483647);
+}
+
 }  // namespace
 }  // namespace emp

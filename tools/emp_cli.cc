@@ -6,6 +6,8 @@
 //   feasibility  run FaCT's feasibility phase and print the diagnostics
 //   solve        regionalize with FaCT (enriched query) or MP/SKATER
 //   serve        long-lived solve service: job API over the HTTP plane
+//   pack         serialize a map to the compact mmap-able .emp format
+//   inspect      describe a compact .emp file from its header
 //   validate     audit an assignment CSV against a query
 //
 // Examples:
@@ -44,6 +46,8 @@
 #include "core/validate.h"
 #include "core/explore.h"
 #include "core/report.h"
+#include "data/compact/loader.h"
+#include "data/compact/writer.h"
 #include "data/geojson.h"
 #include "data/loader.h"
 #include "data/synthetic/dataset_catalog.h"
@@ -187,6 +191,9 @@ int Usage() {
       "  serve       [--port P (default 8080, 0 = ephemeral)]\n"
       "              [--workers N] [--queue-capacity N]\n"
       "              [--journal-dir DIR]\n"
+      "  pack        --out FILE (--input FILE | --dataset NAME [--scale F])\n"
+      "              [--no-geometry]\n"
+      "  inspect     --input FILE [--verify]\n"
       "  validate    --input FILE --query Q --assignment FILE\n"
       "  render      --input FILE [--assignment FILE] [--out FILE]\n"
       "              [--width W] [--labels]\n"
@@ -205,7 +212,66 @@ emp::Result<emp::AreaSet> LoadInput(const Args& args) {
   } else {
     options.dissimilarity_attribute = "";  // first column
   }
-  return emp::LoadAreaSetFromCsvFile(path, options);
+  // Dispatches on content: compact .emp images mmap in, CSV parses.
+  return emp::LoadAreaSetAuto(path, options);
+}
+
+int CmdPack(const Args& args) {
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("pack: --out is required");
+
+  emp::Result<emp::AreaSet> areas = [&]() -> emp::Result<emp::AreaSet> {
+    if (args.Has("input")) return LoadInput(args);
+    return emp::synthetic::MakeCatalogDataset(args.Get("dataset", "2k"),
+                                              args.GetDouble("scale", 1.0));
+  }();
+  if (!areas.ok()) return Fail(areas.status().ToString());
+
+  emp::compact::PackOptions options;
+  options.strip_geometry = args.Has("no-geometry");
+  emp::Status st = emp::compact::WriteCompactFile(*areas, out, options);
+  if (!st.ok()) return Fail(st.ToString());
+
+  auto info = emp::compact::InspectCompactFile(out);
+  if (!info.ok()) return Fail(info.status().ToString());
+  std::printf("wrote %s: %lld areas, %lld edges, %llu bytes, digest %s\n",
+              out.c_str(), static_cast<long long>(info->num_nodes),
+              static_cast<long long>(info->num_edges),
+              static_cast<unsigned long long>(info->file_bytes),
+              emp::obs::DigestHex(info->digest).c_str());
+  return 0;
+}
+
+int CmdInspect(const Args& args) {
+  const std::string path = args.Get("input");
+  if (path.empty()) return Fail("inspect: --input is required");
+
+  auto info = emp::compact::InspectCompactFile(path);
+  if (!info.ok()) return Fail(info.status().ToString());
+  std::printf("name: %s\n", info->name.c_str());
+  std::printf("areas: %lld\n", static_cast<long long>(info->num_nodes));
+  std::printf("edges: %lld\n", static_cast<long long>(info->num_edges));
+  std::printf("geometry: %s\n", info->has_geometry ? "yes" : "no");
+  std::printf("file bytes: %llu\n",
+              static_cast<unsigned long long>(info->file_bytes));
+  std::printf("digest: %s\n", emp::obs::DigestHex(info->digest).c_str());
+  std::printf("dissimilarity attribute: %s\n",
+              info->dissimilarity_attribute.c_str());
+  std::printf("columns:\n");
+  for (size_t i = 0; i < info->column_names.size(); ++i) {
+    const char* enc = i < info->column_encodings.size()
+                          ? info->column_encodings[i].c_str()
+                          : "?";
+    std::printf("  %-16s %s\n", info->column_names[i].c_str(), enc);
+  }
+  if (args.Has("verify")) {
+    emp::compact::LoadOptions options;
+    options.verify_digest = true;
+    auto areas = emp::compact::LoadCompactAreaSet(path, options);
+    if (!areas.ok()) return Fail(areas.status().ToString());
+    std::printf("verify: digest matches decoded instance\n");
+  }
+  return 0;
 }
 
 int CmdSynth(const Args& args) {
@@ -622,6 +688,8 @@ int main(int argc, char** argv) {
   if (command == "feasibility") return CmdFeasibility(args);
   if (command == "solve") return CmdSolve(args);
   if (command == "serve") return CmdServe(args);
+  if (command == "pack") return CmdPack(args);
+  if (command == "inspect") return CmdInspect(args);
   if (command == "validate") return CmdValidate(args);
   if (command == "render") return CmdRender(args);
   if (command == "explore") return CmdExplore(args);
