@@ -39,8 +39,13 @@ Result<ParsedFile> ParseEnvelope(std::span<const uint8_t> bytes,
         std::to_string(out.header.version) + ", expected " +
         std::to_string(kFormatVersion));
   }
+  // num_edges is bounded by the file size (the neighbors section stores
+  // 2 * num_edges int32s), so later `2 * num_edges * sizeof(int32_t)`
+  // arithmetic cannot wrap modulo 2^64 on a crafted header.
   if (out.header.num_nodes < 0 || out.header.num_edges < 0 ||
-      out.header.num_nodes > INT32_MAX) {
+      out.header.num_nodes > INT32_MAX ||
+      static_cast<uint64_t>(out.header.num_edges) >
+          bytes.size() / (2 * sizeof(int32_t))) {
     return Status::InvalidArgument("compact header counts out of range");
   }
   const uint64_t table_bytes =
@@ -69,6 +74,12 @@ std::span<const uint8_t> SectionBytes(std::span<const uint8_t> bytes,
 
 Result<std::vector<std::string>> ParseStringBlob(std::span<const uint8_t> blob,
                                                  size_t expected) {
+  // Each string costs at least its u32 length prefix, so a blob shorter
+  // than 4 * expected cannot hold them; checking first keeps a crafted
+  // num_columns from turning the reserve below into a huge allocation.
+  if (expected > blob.size() / sizeof(uint32_t)) {
+    return Status::InvalidArgument("compact string blob truncated");
+  }
   std::vector<std::string> out;
   out.reserve(expected);
   size_t pos = 0;
@@ -210,8 +221,14 @@ Result<AreaSet> LoadCompactAreaSet(const std::string& path,
     }
     std::vector<uint64_t> prefix(n + 1);
     std::memcpy(prefix.data(), geo.data(), prefix_bytes);
-    const size_t total_points = prefix[n];
-    if (geo.size() != prefix_bytes + total_points * sizeof(Point)) {
+    // Divide instead of multiplying: `prefix[n] * sizeof(Point)` wraps for
+    // a crafted prefix[n] >= 2^60, which would pass an equality check
+    // against a near-empty payload while the per-polygon slices below
+    // index far past the mapping.
+    const size_t payload_bytes = geo.size() - prefix_bytes;
+    const uint64_t total_points = prefix[n];
+    if (payload_bytes % sizeof(Point) != 0 ||
+        total_points != payload_bytes / sizeof(Point)) {
       return Status::InvalidArgument("compact geometry size mismatch");
     }
     const Point* points =
@@ -250,6 +267,10 @@ Result<CompactInfo> InspectCompactFile(const std::string& path) {
   EMP_ASSIGN_OR_RETURN(ParsedFile parsed, ParseEnvelope(bytes, path));
   const CompactHeader& header = parsed.header;
 
+  // Widen before the +1: computed in uint32, a crafted UINT32_MAX
+  // num_columns wraps to 0 and the empty-blob checks below all pass.
+  const size_t num_columns = header.num_columns;
+
   CompactInfo info;
   info.digest = header.digest;
   info.num_nodes = header.num_nodes;
@@ -260,9 +281,8 @@ Result<CompactInfo> InspectCompactFile(const std::string& path) {
   std::vector<std::string> strings;
   for (const SectionEntry& s : parsed.sections) {
     if (static_cast<SectionKind>(s.kind) == SectionKind::kStringBlob) {
-      EMP_ASSIGN_OR_RETURN(strings,
-                           ParseStringBlob(SectionBytes(bytes, s),
-                                           1 + header.num_columns));
+      EMP_ASSIGN_OR_RETURN(
+          strings, ParseStringBlob(SectionBytes(bytes, s), 1 + num_columns));
     } else if (static_cast<SectionKind>(s.kind) == SectionKind::kColumn) {
       info.column_encodings.push_back(
           s.encoding == static_cast<uint32_t>(ColumnEncoding::kDeltaVarint)
@@ -270,12 +290,12 @@ Result<CompactInfo> InspectCompactFile(const std::string& path) {
               : "raw_f64");
     }
   }
-  if (strings.size() != 1 + header.num_columns) {
+  if (strings.size() != 1 + num_columns) {
     return Status::InvalidArgument("compact string blob missing");
   }
   info.name = strings[0];
   info.column_names.assign(strings.begin() + 1, strings.end());
-  if (header.dissimilarity_column < header.num_columns) {
+  if (header.dissimilarity_column < num_columns) {
     info.dissimilarity_attribute =
         info.column_names[header.dissimilarity_column];
   }

@@ -14,7 +14,8 @@ struct LoadOptions {
   /// Recompute the FNV-1a digest from the decoded instance and fail on a
   /// mismatch with the header. Costs the full O(n + E + cells) walk the
   /// header exists to avoid, so it is off by default; `emp inspect
-  /// --verify` and the scale-smoke CI job turn it on.
+  /// --verify`, the scale-smoke CI job, and the solve service's
+  /// digest-keyed instance cache turn it on.
   bool verify_digest = false;
 };
 

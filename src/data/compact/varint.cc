@@ -19,6 +19,12 @@ Result<uint64_t> ReadVarint(std::span<const uint8_t> bytes, size_t* pos) {
       return Status::InvalidArgument("truncated varint");
     }
     const uint8_t b = bytes[(*pos)++];
+    // Only one payload bit fits at shift 63; anything above it would be
+    // silently dropped, so reject non-canonical encodings outright
+    // (mirrors protobuf's 10th-byte overflow check).
+    if (shift == 63 && (b & 0xFE) != 0) {
+      return Status::InvalidArgument("varint overflows 64 bits");
+    }
     v |= static_cast<uint64_t>(b & 0x7F) << shift;
     if ((b & 0x80) == 0) return v;
   }

@@ -161,7 +161,9 @@ Result<AreaSet> LoadAreaSetFromCsvFile(const std::string& path,
 Result<AreaSet> LoadAreaSetAuto(const std::string& path,
                                 const LoaderOptions& options) {
   if (compact::IsCompactFile(path)) {
-    return compact::LoadCompactAreaSet(path);
+    compact::LoadOptions compact_options;
+    compact_options.verify_digest = options.verify_compact_digest;
+    return compact::LoadCompactAreaSet(path, compact_options);
   }
   return LoadAreaSetFromCsvFile(path, options);
 }

@@ -29,6 +29,11 @@ struct LoaderOptions {
   double vertex_eps = 1e-9;
   /// Dataset name recorded on the AreaSet.
   std::string name = "csv";
+  /// For compact (.emp) inputs: recompute the instance digest from the
+  /// decoded data and fail on a header mismatch. Anything that keys caches
+  /// or dedupes by digest must set this — the header value alone is
+  /// untrusted input. Costs one O(n + E + cells) walk per load.
+  bool verify_compact_digest = false;
 };
 
 /// Parses a CSV document (header + rows) into an AreaSet: one row per

@@ -105,16 +105,21 @@ Result<std::shared_ptr<const AreaSet>> JobManager::LoadInstance(
   // Synthesize / load outside the cache lock — both paths are
   // deterministic for a given reference, so a racing duplicate load
   // produces an identical instance and the loser is simply dropped.
+  // Compact digests are re-verified here: the cache below dedupes by
+  // digest, so a file whose unverified header claimed another instance's
+  // digest would bind every later job to the wrong data.
+  LoaderOptions loader_options;
+  loader_options.verify_compact_digest = true;
   Result<AreaSet> loaded = synthetic::FindDataset(reference).ok()
                                ? synthetic::MakeCatalogDataset(reference)
-                               : LoadAreaSetAuto(reference);
+                               : LoadAreaSetAuto(reference, loader_options);
   if (!loaded.ok()) {
     return Status::NotFound("instance '" + reference +
                             "' is neither a catalog dataset nor a loadable "
                             "instance file: " + loaded.status().message());
   }
   // Memoized on the instance, so this is paid once per load, not per job
-  // (and never for compact images, whose header seeds it).
+  // (for compact images the verified load above already computed it).
   const uint64_t digest = loaded->InstanceDigest();
   auto areas = std::make_shared<const AreaSet>(*std::move(loaded));
   std::lock_guard<std::mutex> lock(instances_mu_);

@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/csv.h"
 #include "core/fact_solver.h"
+#include "data/compact/format.h"
 #include "data/compact/loader.h"
 #include "data/compact/varint.h"
 #include "data/compact/writer.h"
@@ -62,6 +65,25 @@ TEST(VarintTest, SortedSequencesStaySmall) {
   const std::string bytes = DeltaEncode(values);
   // Deltas of 3 zigzag to 6: one byte per value.
   EXPECT_EQ(bytes.size(), values.size());
+}
+
+TEST(VarintTest, RejectsNonCanonicalTenByteEncodings) {
+  // Ten-byte varints have one payload bit left at shift 63. A canonical
+  // final byte is 0x00 or 0x01; anything else silently loses bits in a
+  // lenient decoder, so the strict one must reject it.
+  const std::vector<uint8_t> overlong = {0x80, 0x80, 0x80, 0x80, 0x80,
+                                         0x80, 0x80, 0x80, 0x80, 0x02};
+  EXPECT_FALSE(DeltaDecode({overlong.data(), overlong.size()}, 1).ok());
+
+  // The canonical encoding of the extreme values stays accepted: zigzagged
+  // INT64_MIN is UINT64_MAX, whose tenth byte is exactly 0x01.
+  const std::vector<int64_t> extremes = {INT64_MIN, INT64_MAX};
+  const std::string bytes = DeltaEncode(extremes);
+  auto decoded = DeltaDecode(
+      {reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()},
+      extremes.size());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, extremes);
 }
 
 TEST(VarintTest, RejectsTruncatedAndTrailingInput) {
@@ -213,6 +235,82 @@ TEST(CompactStoreTest, RejectsCorruptedFiles) {
             std::string::npos);
 }
 
+/// Writes `bytes` with the header rewritten through `mutate`, returning
+/// the temp path for a load attempt. The crafted-header tests below all
+/// expect a clean InvalidArgument, never a crash or a giant allocation.
+Status WriteWithHeader(const std::string& bytes, const TempFile& file,
+                       void (*mutate)(compact::CompactHeader*)) {
+  std::string crafted = bytes;
+  compact::CompactHeader header;
+  std::memcpy(&header, crafted.data(), sizeof(header));
+  mutate(&header);
+  std::memcpy(crafted.data(), &header, sizeof(header));
+  return WriteFile(file.path(), crafted);
+}
+
+TEST(CompactStoreTest, RejectsCraftedHeaderCounts) {
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  auto bytes = PackAreaSet(*areas);
+  ASSERT_TRUE(bytes.ok());
+
+  // num_edges near 2^61 makes 2 * num_edges * sizeof(int32_t) wrap to 0
+  // mod 2^64; the loader must reject it from the file-size bound instead
+  // of matching a zero-length section and reading past the mapping.
+  TempFile edges("compact_huge_edges.emp");
+  ASSERT_TRUE(WriteWithHeader(*bytes, edges, [](compact::CompactHeader* h) {
+                h->num_edges = int64_t{1} << 61;
+              }).ok());
+  auto edge_result = LoadCompactAreaSet(edges.path());
+  ASSERT_FALSE(edge_result.ok());
+  EXPECT_EQ(edge_result.status().code(), StatusCode::kInvalidArgument);
+
+  // A huge num_columns must not reach the string-blob reserve.
+  TempFile columns("compact_huge_columns.emp");
+  ASSERT_TRUE(WriteWithHeader(*bytes, columns, [](compact::CompactHeader* h) {
+                h->num_columns = UINT32_MAX;
+              }).ok());
+  auto column_result = LoadCompactAreaSet(columns.path());
+  ASSERT_FALSE(column_result.ok());
+  EXPECT_EQ(column_result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(InspectCompactFile(columns.path()).ok());
+}
+
+TEST(CompactStoreTest, RejectsGeometryPointCountOverflow) {
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  ASSERT_TRUE(areas->has_geometry());
+  auto bytes = PackAreaSet(*areas);
+  ASSERT_TRUE(bytes.ok());
+  std::string crafted = *bytes;
+
+  compact::CompactHeader header;
+  std::memcpy(&header, crafted.data(), sizeof(header));
+  std::vector<compact::SectionEntry> sections(header.num_sections);
+  std::memcpy(sections.data(), crafted.data() + sizeof(header),
+              sections.size() * sizeof(compact::SectionEntry));
+  const auto geometry =
+      std::ranges::find_if(sections, [](const compact::SectionEntry& s) {
+        return s.kind == static_cast<uint32_t>(compact::SectionKind::kGeometry);
+      });
+  ASSERT_NE(geometry, sections.end());
+
+  // prefix[num_nodes] = 2^60 makes `total_points * sizeof(Point)` wrap to
+  // 0 mod 2^64: an equality check against the payload size would pass
+  // while per-polygon slices index far out of bounds.
+  const uint64_t huge = uint64_t{1} << 60;
+  const size_t last_prefix =
+      geometry->offset + static_cast<size_t>(header.num_nodes) * sizeof(uint64_t);
+  std::memcpy(crafted.data() + last_prefix, &huge, sizeof(huge));
+
+  TempFile file("compact_huge_points.emp");
+  ASSERT_TRUE(WriteFile(file.path(), crafted).ok());
+  auto result = LoadCompactAreaSet(file.path());
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("geometry size mismatch"),
+            std::string::npos);
+}
+
 TEST(CompactStoreTest, LoadAreaSetAutoDispatchesOnContent) {
   auto areas = synthetic::MakeCatalogDataset("tiny");
   ASSERT_TRUE(areas.ok());
@@ -260,6 +358,37 @@ TEST(CompactStoreTest, JobManagerSharesOneImageAcrossReferences) {
   ASSERT_TRUE((*manager)->WaitTerminal(b->id, 30000).ok());
   EXPECT_EQ(*(*manager)->WaitTerminal(a->id), service::JobState::kDone);
   EXPECT_EQ(*(*manager)->WaitTerminal(b->id), service::JobState::kDone);
+  (*manager)->Shutdown();
+}
+
+TEST(CompactStoreTest, JobManagerRejectsInstanceWithStaleDigest) {
+  auto areas = synthetic::MakeCatalogDataset("tiny");
+  ASSERT_TRUE(areas.ok());
+  PackOptions no_geo;
+  no_geo.strip_geometry = true;
+  auto bytes = PackAreaSet(*areas, no_geo);
+  ASSERT_TRUE(bytes.ok());
+
+  // Flip an attribute byte without updating the header digest. The service
+  // dedupes instances by digest, so it must verify on load rather than
+  // trust the header and bind jobs to the wrong cached image.
+  std::string tampered_bytes = *bytes;
+  tampered_bytes[tampered_bytes.size() - 9] ^= 0x40;
+  TempFile tampered("compact_job_tampered.emp");
+  ASSERT_TRUE(WriteFile(tampered.path(), tampered_bytes).ok());
+
+  service::JobManager::Options options;
+  options.workers = 1;
+  auto manager = service::JobManager::Create(options);
+  ASSERT_TRUE(manager.ok());
+  service::JobRequest request;
+  request.instance = tampered.path();
+  request.query = "SUM(TOTALPOP) >= 40k";
+  auto submitted = (*manager)->Submit(request);
+  ASSERT_FALSE(submitted.ok());
+  EXPECT_EQ(submitted.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(submitted.status().message().find("digest mismatch"),
+            std::string::npos);
   (*manager)->Shutdown();
 }
 
