@@ -89,6 +89,14 @@ void EmitTable(const std::string& experiment_id, const TablePrinter& table) {
 
 std::string Secs(double seconds) { return FormatDouble(seconds, 3); }
 
+double Median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const size_t mid = samples.size() / 2;
+  if (samples.size() % 2 == 1) return samples[mid];
+  return (samples[mid - 1] + samples[mid]) / 2.0;
+}
+
 std::string Pct(double ratio) {
   return FormatDouble(ratio * 100.0, 1) + "%";
 }

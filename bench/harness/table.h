@@ -47,6 +47,11 @@ void EmitTable(const std::string& experiment_id, const TablePrinter& table);
 /// Formats seconds with 3 decimals, e.g. "1.234".
 std::string Secs(double seconds);
 
+/// Median of a sample (by value; the copy is sorted). 0.0 when empty.
+/// Bench tables report medians, not means: one scheduler hiccup on the CI
+/// runner must not shift a committed-baseline comparison.
+double Median(std::vector<double> samples);
+
 /// Formats a ratio as a percentage with 1 decimal, e.g. "40.2%".
 std::string Pct(double ratio);
 

@@ -1,9 +1,21 @@
 // Micro-benchmarks for the FaCT construction pipeline stages on a 2000-
-// area synthetic map with the paper's default constraint suite.
+// area synthetic map with the paper's default constraint suite. After the
+// google-benchmark suite, a throughput table times each stage (with the
+// epoch-tagged GrowthScratch arena the solver path uses) and exports
+// BENCH_construction.json via the EMP_BENCH_JSON_DIR hook. EMP_BENCH_SMOKE=1
+// keeps the sweep CI-sized: the 10k-area row is emitted with "-" cells so
+// the table shape is stable for the regression ratchet.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/str_util.h"
 #include "core/construction/monotonic_adjust.h"
 #include "core/construction/region_growing.h"
 #include "core/construction/seeding.h"
@@ -13,6 +25,7 @@
 #include "core/partition.h"
 #include "data/synthetic/dataset_catalog.h"
 #include "graph/connectivity.h"
+#include "harness/table.h"
 
 namespace {
 
@@ -121,4 +134,90 @@ void BM_HeterogeneityBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_HeterogeneityBuild);
 
+/// Stage-by-stage construction throughput on catalog-sized maps: the
+/// feasibility filter, region growing (Step 2), and the monotonic adjust
+/// (Step 3), each as the median of kReps runs sharing one GrowthScratch —
+/// the same arena reuse the solver attempt loop gets.
+void RunThroughputTable() {
+  const bool smoke = std::getenv("EMP_BENCH_SMOKE") != nullptr;
+  emp::bench::TablePrinter table(
+      "FaCT construction throughput by stage "
+      "(median of reps, reusable GrowthScratch arena)",
+      {"areas", "feasibility_ms", "grow_ms", "adjust_ms", "regions"});
+  for (int32_t num_areas : {2000, 10000}) {
+    if (smoke && num_areas > 2000) {
+      // Skipped under EMP_BENCH_SMOKE; "-" means "missing" to the ratchet.
+      table.AddRow({std::to_string(num_areas), "-", "-", "-", "-"});
+      continue;
+    }
+    auto areas_or =
+        emp::synthetic::MakeDefaultDataset("bench_ct", num_areas, 21);
+    if (!areas_or.ok()) std::abort();
+    emp::AreaSet areas = std::move(areas_or).value();
+    auto bc = emp::BoundConstraints::Create(
+        &areas, {
+                    emp::Constraint::Min("POP16UP", emp::kNoLowerBound, 3000),
+                    emp::Constraint::Avg("EMPLOYED", 1500, 3500),
+                    emp::Constraint::Sum("TOTALPOP", 20000,
+                                         emp::kNoUpperBound),
+                });
+    if (!bc.ok()) std::abort();
+    const emp::BoundConstraints bound = std::move(bc).value();
+    auto feas = emp::CheckFeasibility(bound);
+    if (!feas.ok()) std::abort();
+    emp::SeedingResult seeding = emp::SelectSeeds(bound, *feas);
+    emp::ConnectivityChecker connectivity(&areas.graph());
+    emp::GrowthScratch scratch;
+
+    const int kReps = 5;
+    std::vector<double> feas_ms, grow_ms, adjust_ms;
+    int32_t regions = 0;
+    emp::Stopwatch timer;
+    for (int rep = 0; rep < kReps + 1; ++rep) {
+      // Rep 0 warms caches and sizes the arena; it is discarded.
+      timer.Reset();
+      auto report = emp::CheckFeasibility(bound);
+      if (!report.ok()) std::abort();
+      const double f = timer.ElapsedSeconds();
+      emp::Partition partition(&bound);
+      for (int32_t a : feas->invalid_areas) partition.Deactivate(a);
+      emp::Rng rng(1);
+      timer.Reset();
+      if (!emp::GrowRegions(seeding, {}, &rng, &partition, nullptr, nullptr,
+                            &scratch)
+               .ok()) {
+        std::abort();
+      }
+      const double g = timer.ElapsedSeconds();
+      timer.Reset();
+      if (!emp::AdjustForCounting(&connectivity, &partition, nullptr,
+                                  nullptr, &scratch)
+               .ok()) {
+        std::abort();
+      }
+      const double adj = timer.ElapsedSeconds();
+      regions = partition.NumRegions();
+      if (rep == 0) continue;
+      feas_ms.push_back(f * 1e3);
+      grow_ms.push_back(g * 1e3);
+      adjust_ms.push_back(adj * 1e3);
+    }
+    table.AddRow({std::to_string(num_areas),
+                  emp::FormatDouble(emp::bench::Median(feas_ms), 2),
+                  emp::FormatDouble(emp::bench::Median(grow_ms), 2),
+                  emp::FormatDouble(emp::bench::Median(adjust_ms), 2),
+                  std::to_string(regions)});
+  }
+  emp::bench::EmitTable("construction", table);
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  RunThroughputTable();
+  return 0;
+}

@@ -31,7 +31,49 @@ Result<BoundConstraints> BoundConstraints::Create(
     }
   }
   out.constraints_ = std::move(constraints);
+  out.BuildPlan();
   return out;
+}
+
+void BoundConstraints::BuildPlan() {
+  plan_ = EvalPlan();
+  const size_t m = constraints_.size();
+  plan_.slot.assign(m, -1);
+  plan_.col_by_ci.assign(m, nullptr);
+  const auto& table = areas_->attributes();
+  auto append = [&](EvalPlan::Group* g, size_t i) {
+    const Constraint& c = constraints_[i];
+    plan_.slot[i] = static_cast<int>(g->size());
+    plan_.col_by_ci[i] = table.Column(columns_[i]).data();
+    g->col.push_back(plan_.col_by_ci[i]);
+    g->lo.push_back(c.lower);
+    g->hi.push_back(c.upper);
+    g->ci.push_back(static_cast<int>(i));
+  };
+  // One pass per aggregate so packed slots are contiguous per group even
+  // when declarations interleave: extrema slots are [MINs..., MAXes...],
+  // sum slots are [AVGs..., SUMs...].
+  for (size_t i = 0; i < m; ++i) {
+    if (constraints_[i].aggregate == Aggregate::kMin) append(&plan_.min, i);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (constraints_[i].aggregate != Aggregate::kMax) continue;
+    append(&plan_.max, i);
+    plan_.slot[i] += static_cast<int>(plan_.min.size());
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (constraints_[i].aggregate == Aggregate::kAvg) append(&plan_.avg, i);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (constraints_[i].aggregate != Aggregate::kSum) continue;
+    append(&plan_.sum, i);
+    plan_.slot[i] += static_cast<int>(plan_.avg.size());
+  }
+  for (size_t i = 0; i < m; ++i) {
+    if (constraints_[i].aggregate != Aggregate::kCount) continue;
+    plan_.count_lo.push_back(constraints_[i].lower);
+    plan_.count_hi.push_back(constraints_[i].upper);
+  }
 }
 
 bool BoundConstraints::AreaIsInvalid(int32_t area) const {

@@ -11,6 +11,38 @@
 
 namespace emp {
 
+/// Packed, cache-friendly evaluation plan over a bound constraint set,
+/// grouped by aggregate so RegionStats can evaluate every family with a
+/// branch-light contiguous loop instead of a per-constraint switch
+/// (DESIGN.md §14). Built once at BoundConstraints::Create().
+///
+/// Packed slot layout (declaration order preserved within each group):
+///   extrema slots: [MIN constraints..., MAX constraints...]
+///   sum slots:     [AVG constraints..., SUM constraints...]
+/// COUNT constraints carry no attribute column; only their bounds appear.
+/// Column pointers view the AreaSet's attribute table, so the plan stays
+/// valid across copies of BoundConstraints (the AreaSet outlives both).
+struct EvalPlan {
+  struct Group {
+    std::vector<const double*> col;  ///< Raw attribute-column base pointers.
+    std::vector<double> lo;
+    std::vector<double> hi;
+    std::vector<int> ci;  ///< Packed index -> global constraint index.
+    size_t size() const { return col.size(); }
+  };
+  Group min, max, avg, sum;
+  std::vector<double> count_lo;
+  std::vector<double> count_hi;
+  /// Global constraint index -> packed slot (extrema slot for MIN/MAX,
+  /// sum slot for AVG/SUM, -1 for COUNT).
+  std::vector<int> slot;
+  /// Global constraint index -> raw column pointer (nullptr for COUNT);
+  /// col_by_ci[ci][area] == BoundConstraints::ValueOf(ci, area).
+  std::vector<const double*> col_by_ci;
+  size_t num_extrema() const { return min.size() + max.size(); }
+  size_t num_sums() const { return avg.size() + sum.size(); }
+};
+
 /// A constraint set resolved against a concrete dataset: every non-COUNT
 /// constraint's attribute name is bound to its column, enabling O(1)
 /// per-area value lookups on the solver hot path. Also hosts the area-level
@@ -37,6 +69,9 @@ class BoundConstraints {
     if (col < 0) return 1.0;
     return areas_->attributes().Value(col, area);
   }
+
+  /// Packed per-aggregate evaluation plan (see EvalPlan).
+  const EvalPlan& plan() const { return plan_; }
 
   /// Constraint indices by family, in declaration order.
   const std::vector<int>& extrema_indices() const { return extrema_; }
@@ -65,12 +100,15 @@ class BoundConstraints {
   bool AreaIsSeed(int32_t area) const;
 
  private:
+  void BuildPlan();
+
   const AreaSet* areas_ = nullptr;
   std::vector<Constraint> constraints_;
   std::vector<int> columns_;  // -1 for COUNT
   std::vector<int> extrema_;
   std::vector<int> centrality_;
   std::vector<int> counting_;
+  EvalPlan plan_;
 };
 
 }  // namespace emp

@@ -7,88 +7,100 @@ namespace emp {
 
 namespace {
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+inline bool InBounds(double v, double lo, double hi) {
+  // NaN fails both comparisons, matching Constraint::Contains.
+  return (v >= lo) & (v <= hi);
+}
 }  // namespace
 
 RegionStats::RegionStats(const BoundConstraints* bound) : bound_(bound) {
-  const size_t m = static_cast<size_t>(bound_->size());
-  sums_.assign(m, 0.0);
-  values_.resize(m);
+  const EvalPlan& plan = bound_->plan();
+  sums_.assign(plan.num_sums(), 0.0);
+  extrema_.assign(plan.num_extrema(), kNaN);
+  values_.resize(plan.num_extrema());
 }
 
 void RegionStats::Add(int32_t area) {
   ++count_;
-  for (int ci = 0; ci < bound_->size(); ++ci) {
-    const Constraint& c = bound_->constraint(ci);
-    const double v = bound_->ValueOf(ci, area);
-    switch (c.family()) {
-      case ConstraintFamily::kExtrema:
-        values_[static_cast<size_t>(ci)].insert(v);
-        break;
-      case ConstraintFamily::kCentrality:
-      case ConstraintFamily::kCounting:
-        sums_[static_cast<size_t>(ci)] += v;
-        break;
-    }
+  const EvalPlan& plan = bound_->plan();
+  const size_t a = static_cast<size_t>(area);
+  const size_t nmin = plan.min.size();
+  for (size_t p = 0; p < nmin; ++p) {
+    auto& ms = values_[p];
+    ms.insert(plan.min.col[p][a]);
+    extrema_[p] = *ms.begin();
+  }
+  for (size_t p = 0; p < plan.max.size(); ++p) {
+    auto& ms = values_[nmin + p];
+    ms.insert(plan.max.col[p][a]);
+    extrema_[nmin + p] = *ms.rbegin();
+  }
+  const size_t navg = plan.avg.size();
+  for (size_t p = 0; p < navg; ++p) sums_[p] += plan.avg.col[p][a];
+  for (size_t p = 0; p < plan.sum.size(); ++p) {
+    sums_[navg + p] += plan.sum.col[p][a];
   }
 }
 
 void RegionStats::Remove(int32_t area) {
   assert(count_ > 0);
   --count_;
-  for (int ci = 0; ci < bound_->size(); ++ci) {
-    const Constraint& c = bound_->constraint(ci);
-    const double v = bound_->ValueOf(ci, area);
-    switch (c.family()) {
-      case ConstraintFamily::kExtrema: {
-        auto& ms = values_[static_cast<size_t>(ci)];
-        auto it = ms.find(v);
-        assert(it != ms.end());
-        ms.erase(it);
-        break;
-      }
-      case ConstraintFamily::kCentrality:
-      case ConstraintFamily::kCounting:
-        sums_[static_cast<size_t>(ci)] -= v;
-        break;
-    }
+  const EvalPlan& plan = bound_->plan();
+  const size_t a = static_cast<size_t>(area);
+  const size_t nmin = plan.min.size();
+  for (size_t p = 0; p < nmin; ++p) {
+    auto& ms = values_[p];
+    auto it = ms.find(plan.min.col[p][a]);
+    assert(it != ms.end());
+    ms.erase(it);
+    extrema_[p] = ms.empty() ? kNaN : *ms.begin();
+  }
+  for (size_t p = 0; p < plan.max.size(); ++p) {
+    auto& ms = values_[nmin + p];
+    auto it = ms.find(plan.max.col[p][a]);
+    assert(it != ms.end());
+    ms.erase(it);
+    extrema_[nmin + p] = ms.empty() ? kNaN : *ms.rbegin();
+  }
+  const size_t navg = plan.avg.size();
+  for (size_t p = 0; p < navg; ++p) sums_[p] -= plan.avg.col[p][a];
+  for (size_t p = 0; p < plan.sum.size(); ++p) {
+    sums_[navg + p] -= plan.sum.col[p][a];
   }
 }
 
 void RegionStats::Merge(const RegionStats& other) {
   assert(bound_ == other.bound_);
   count_ += other.count_;
-  for (size_t ci = 0; ci < sums_.size(); ++ci) {
-    sums_[ci] += other.sums_[ci];
-    values_[ci].insert(other.values_[ci].begin(), other.values_[ci].end());
+  for (size_t s = 0; s < sums_.size(); ++s) sums_[s] += other.sums_[s];
+  const size_t nmin = bound_->plan().min.size();
+  for (size_t s = 0; s < values_.size(); ++s) {
+    auto& ms = values_[s];
+    ms.insert(other.values_[s].begin(), other.values_[s].end());
+    if (ms.empty()) continue;
+    extrema_[s] = s < nmin ? *ms.begin() : *ms.rbegin();
   }
 }
 
 void RegionStats::Clear() {
   count_ = 0;
-  for (size_t ci = 0; ci < sums_.size(); ++ci) {
-    sums_[ci] = 0.0;
-    values_[ci].clear();
-  }
-}
-
-double RegionStats::ExtremaValue(int ci) const {
-  const auto& ms = values_[static_cast<size_t>(ci)];
-  if (ms.empty()) return kNaN;
-  return bound_->constraint(ci).aggregate == Aggregate::kMin ? *ms.begin()
-                                                             : *ms.rbegin();
+  sums_.assign(sums_.size(), 0.0);
+  extrema_.assign(extrema_.size(), kNaN);
+  for (auto& ms : values_) ms.clear();
 }
 
 double RegionStats::AggregateValue(int ci) const {
-  const Constraint& c = bound_->constraint(ci);
-  switch (c.aggregate) {
+  const size_t s = static_cast<size_t>(bound_->plan().slot[
+      static_cast<size_t>(ci)]);
+  switch (bound_->constraint(ci).aggregate) {
     case Aggregate::kMin:
     case Aggregate::kMax:
-      return ExtremaValue(ci);
+      return extrema_[s];
     case Aggregate::kAvg:
-      return count_ == 0 ? kNaN
-                         : sums_[static_cast<size_t>(ci)] / count_;
+      return count_ == 0 ? kNaN : sums_[s] / count_;
     case Aggregate::kSum:
-      return sums_[static_cast<size_t>(ci)];
+      return sums_[s];
     case Aggregate::kCount:
       return static_cast<double>(count_);
   }
@@ -96,56 +108,92 @@ double RegionStats::AggregateValue(int ci) const {
 }
 
 double RegionStats::AggregateAfterAdd(int ci, int32_t area) const {
-  const Constraint& c = bound_->constraint(ci);
-  const double v = bound_->ValueOf(ci, area);
-  switch (c.aggregate) {
+  const EvalPlan& plan = bound_->plan();
+  const size_t s =
+      static_cast<size_t>(plan.slot[static_cast<size_t>(ci)]);
+  const Aggregate agg = bound_->constraint(ci).aggregate;
+  if (agg == Aggregate::kCount) return static_cast<double>(count_ + 1);
+  const double v =
+      plan.col_by_ci[static_cast<size_t>(ci)][static_cast<size_t>(area)];
+  switch (agg) {
     case Aggregate::kMin: {
-      double cur = ExtremaValue(ci);
+      const double cur = extrema_[s];
       return count_ == 0 ? v : (v < cur ? v : cur);
     }
     case Aggregate::kMax: {
-      double cur = ExtremaValue(ci);
+      const double cur = extrema_[s];
       return count_ == 0 ? v : (v > cur ? v : cur);
     }
     case Aggregate::kAvg:
-      return (sums_[static_cast<size_t>(ci)] + v) / (count_ + 1);
+      return (sums_[s] + v) / (count_ + 1);
     case Aggregate::kSum:
-      return sums_[static_cast<size_t>(ci)] + v;
+      return sums_[s] + v;
     case Aggregate::kCount:
-      return static_cast<double>(count_ + 1);
+      break;  // Handled above.
   }
   return kNaN;
 }
 
 double RegionStats::AggregateAfterRemove(int ci, int32_t area) const {
-  const Constraint& c = bound_->constraint(ci);
-  const double v = bound_->ValueOf(ci, area);
-  switch (c.aggregate) {
+  const EvalPlan& plan = bound_->plan();
+  const size_t s =
+      static_cast<size_t>(plan.slot[static_cast<size_t>(ci)]);
+  const Aggregate agg = bound_->constraint(ci).aggregate;
+  if (agg == Aggregate::kCount) return static_cast<double>(count_ - 1);
+  const double v =
+      plan.col_by_ci[static_cast<size_t>(ci)][static_cast<size_t>(area)];
+  switch (agg) {
     case Aggregate::kMin:
     case Aggregate::kMax: {
-      const auto& ms = values_[static_cast<size_t>(ci)];
       if (count_ <= 1) return kNaN;
-      if (c.aggregate == Aggregate::kMin) {
-        double cur = *ms.begin();
+      const auto& ms = values_[s];
+      if (agg == Aggregate::kMin) {
+        const double cur = extrema_[s];
         if (v > cur) return cur;
         // v is (one of) the minimum(s); the new min is the next element.
         auto it = ms.begin();
         ++it;
         return *it;
       }
-      double cur = *ms.rbegin();
+      const double cur = extrema_[s];
       if (v < cur) return cur;
       auto it = ms.rbegin();
       ++it;
       return *it;
     }
     case Aggregate::kAvg:
-      return count_ <= 1 ? kNaN
-                         : (sums_[static_cast<size_t>(ci)] - v) / (count_ - 1);
+      return count_ <= 1 ? kNaN : (sums_[s] - v) / (count_ - 1);
     case Aggregate::kSum:
-      return sums_[static_cast<size_t>(ci)] - v;
+      return sums_[s] - v;
     case Aggregate::kCount:
-      return static_cast<double>(count_ - 1);
+      break;  // Handled above.
+  }
+  return kNaN;
+}
+
+double RegionStats::AggregateAfterMerge(int ci,
+                                        const RegionStats& other) const {
+  assert(bound_ == other.bound_);
+  const size_t s = static_cast<size_t>(bound_->plan().slot[
+      static_cast<size_t>(ci)]);
+  const int32_t total = count_ + other.count_;
+  switch (bound_->constraint(ci).aggregate) {
+    case Aggregate::kMin: {
+      const double a = extrema_[s];
+      const double b = other.extrema_[s];
+      return count_ == 0 ? b : (other.count_ == 0 ? a : (a < b ? a : b));
+    }
+    case Aggregate::kMax: {
+      const double a = extrema_[s];
+      const double b = other.extrema_[s];
+      return count_ == 0 ? b : (other.count_ == 0 ? a : (a > b ? a : b));
+    }
+    case Aggregate::kAvg:
+      return total == 0 ? kNaN : (sums_[s] + other.sums_[s]) / total;
+    case Aggregate::kSum:
+      return sums_[s] + other.sums_[s];
+    case Aggregate::kCount:
+      return static_cast<double>(total);
   }
   return kNaN;
 }
@@ -157,70 +205,147 @@ bool RegionStats::Satisfies(int ci) const {
 
 bool RegionStats::SatisfiesAll() const {
   if (count_ == 0) return false;
-  for (int ci = 0; ci < bound_->size(); ++ci) {
-    if (!bound_->constraint(ci).Contains(AggregateValue(ci))) return false;
+  const EvalPlan& plan = bound_->plan();
+  const size_t nmin = plan.min.size();
+  bool ok = true;
+  for (size_t p = 0; p < nmin; ++p) {
+    ok &= InBounds(extrema_[p], plan.min.lo[p], plan.min.hi[p]);
   }
-  return true;
+  for (size_t p = 0; p < plan.max.size(); ++p) {
+    ok &= InBounds(extrema_[nmin + p], plan.max.lo[p], plan.max.hi[p]);
+  }
+  const size_t navg = plan.avg.size();
+  for (size_t p = 0; p < navg; ++p) {
+    ok &= InBounds(sums_[p] / count_, plan.avg.lo[p], plan.avg.hi[p]);
+  }
+  for (size_t p = 0; p < plan.sum.size(); ++p) {
+    ok &= InBounds(sums_[navg + p], plan.sum.lo[p], plan.sum.hi[p]);
+  }
+  const double cnt = static_cast<double>(count_);
+  for (size_t p = 0; p < plan.count_lo.size(); ++p) {
+    ok &= InBounds(cnt, plan.count_lo[p], plan.count_hi[p]);
+  }
+  return ok;
 }
 
 bool RegionStats::SatisfiesAllAfterAdd(int32_t area) const {
-  for (int ci = 0; ci < bound_->size(); ++ci) {
-    if (!bound_->constraint(ci).Contains(AggregateAfterAdd(ci, area))) {
-      return false;
-    }
+  const EvalPlan& plan = bound_->plan();
+  const size_t a = static_cast<size_t>(area);
+  const bool was_empty = count_ == 0;
+  const size_t nmin = plan.min.size();
+  bool ok = true;
+  for (size_t p = 0; p < nmin; ++p) {
+    const double v = plan.min.col[p][a];
+    const double cur = extrema_[p];
+    const double cand = was_empty ? v : (v < cur ? v : cur);
+    ok &= InBounds(cand, plan.min.lo[p], plan.min.hi[p]);
   }
-  return true;
+  for (size_t p = 0; p < plan.max.size(); ++p) {
+    const double v = plan.max.col[p][a];
+    const double cur = extrema_[nmin + p];
+    const double cand = was_empty ? v : (v > cur ? v : cur);
+    ok &= InBounds(cand, plan.max.lo[p], plan.max.hi[p]);
+  }
+  const size_t navg = plan.avg.size();
+  for (size_t p = 0; p < navg; ++p) {
+    const double cand = (sums_[p] + plan.avg.col[p][a]) / (count_ + 1);
+    ok &= InBounds(cand, plan.avg.lo[p], plan.avg.hi[p]);
+  }
+  for (size_t p = 0; p < plan.sum.size(); ++p) {
+    const double cand = sums_[navg + p] + plan.sum.col[p][a];
+    ok &= InBounds(cand, plan.sum.lo[p], plan.sum.hi[p]);
+  }
+  const double cnt = static_cast<double>(count_ + 1);
+  for (size_t p = 0; p < plan.count_lo.size(); ++p) {
+    ok &= InBounds(cnt, plan.count_lo[p], plan.count_hi[p]);
+  }
+  return ok;
 }
 
 bool RegionStats::SatisfiesAllAfterRemove(int32_t area) const {
   if (count_ <= 1) return false;  // Region would vanish.
-  for (int ci = 0; ci < bound_->size(); ++ci) {
-    if (!bound_->constraint(ci).Contains(AggregateAfterRemove(ci, area))) {
-      return false;
+  const EvalPlan& plan = bound_->plan();
+  const size_t a = static_cast<size_t>(area);
+  const size_t nmin = plan.min.size();
+  bool ok = true;
+  for (size_t p = 0; p < nmin; ++p) {
+    const double v = plan.min.col[p][a];
+    const double cur = extrema_[p];
+    double cand;
+    if (v > cur) {
+      cand = cur;
+    } else {
+      // v is (one of) the minimum(s); the new min is the next element.
+      auto it = values_[p].begin();
+      ++it;
+      cand = *it;
     }
+    ok &= InBounds(cand, plan.min.lo[p], plan.min.hi[p]);
   }
-  return true;
-}
-
-double RegionStats::AggregateAfterMerge(int ci,
-                                        const RegionStats& other) const {
-  assert(bound_ == other.bound_);
-  const Constraint& c = bound_->constraint(ci);
-  const int32_t total = count_ + other.count_;
-  switch (c.aggregate) {
-    case Aggregate::kMin: {
-      double a = ExtremaValue(ci);
-      double b = other.ExtremaValue(ci);
-      return count_ == 0 ? b : (other.count_ == 0 ? a : (a < b ? a : b));
+  for (size_t p = 0; p < plan.max.size(); ++p) {
+    const double v = plan.max.col[p][a];
+    const double cur = extrema_[nmin + p];
+    double cand;
+    if (v < cur) {
+      cand = cur;
+    } else {
+      auto it = values_[nmin + p].rbegin();
+      ++it;
+      cand = *it;
     }
-    case Aggregate::kMax: {
-      double a = ExtremaValue(ci);
-      double b = other.ExtremaValue(ci);
-      return count_ == 0 ? b : (other.count_ == 0 ? a : (a > b ? a : b));
-    }
-    case Aggregate::kAvg:
-      return total == 0 ? kNaN
-                        : (sums_[static_cast<size_t>(ci)] +
-                           other.sums_[static_cast<size_t>(ci)]) /
-                              total;
-    case Aggregate::kSum:
-      return sums_[static_cast<size_t>(ci)] +
-             other.sums_[static_cast<size_t>(ci)];
-    case Aggregate::kCount:
-      return static_cast<double>(total);
+    ok &= InBounds(cand, plan.max.lo[p], plan.max.hi[p]);
   }
-  return kNaN;
+  const size_t navg = plan.avg.size();
+  for (size_t p = 0; p < navg; ++p) {
+    const double cand = (sums_[p] - plan.avg.col[p][a]) / (count_ - 1);
+    ok &= InBounds(cand, plan.avg.lo[p], plan.avg.hi[p]);
+  }
+  for (size_t p = 0; p < plan.sum.size(); ++p) {
+    const double cand = sums_[navg + p] - plan.sum.col[p][a];
+    ok &= InBounds(cand, plan.sum.lo[p], plan.sum.hi[p]);
+  }
+  const double cnt = static_cast<double>(count_ - 1);
+  for (size_t p = 0; p < plan.count_lo.size(); ++p) {
+    ok &= InBounds(cnt, plan.count_lo[p], plan.count_hi[p]);
+  }
+  return ok;
 }
 
 bool RegionStats::SatisfiesAllAfterMerge(const RegionStats& other) const {
   assert(bound_ == other.bound_);
-  if (count_ + other.count_ == 0) return false;
-  for (int ci = 0; ci < bound_->size(); ++ci) {
-    if (!bound_->constraint(ci).Contains(AggregateAfterMerge(ci, other))) {
-      return false;
-    }
+  const int32_t total = count_ + other.count_;
+  if (total == 0) return false;
+  const EvalPlan& plan = bound_->plan();
+  const size_t nmin = plan.min.size();
+  const bool lhs_empty = count_ == 0;
+  const bool rhs_empty = other.count_ == 0;
+  bool ok = true;
+  for (size_t p = 0; p < nmin; ++p) {
+    const double a = extrema_[p];
+    const double b = other.extrema_[p];
+    const double cand = lhs_empty ? b : (rhs_empty ? a : (a < b ? a : b));
+    ok &= InBounds(cand, plan.min.lo[p], plan.min.hi[p]);
   }
-  return true;
+  for (size_t p = 0; p < plan.max.size(); ++p) {
+    const double a = extrema_[nmin + p];
+    const double b = other.extrema_[nmin + p];
+    const double cand = lhs_empty ? b : (rhs_empty ? a : (a > b ? a : b));
+    ok &= InBounds(cand, plan.max.lo[p], plan.max.hi[p]);
+  }
+  const size_t navg = plan.avg.size();
+  for (size_t p = 0; p < navg; ++p) {
+    const double cand = (sums_[p] + other.sums_[p]) / total;
+    ok &= InBounds(cand, plan.avg.lo[p], plan.avg.hi[p]);
+  }
+  for (size_t p = 0; p < plan.sum.size(); ++p) {
+    const double cand = sums_[navg + p] + other.sums_[navg + p];
+    ok &= InBounds(cand, plan.sum.lo[p], plan.sum.hi[p]);
+  }
+  const double cnt = static_cast<double>(total);
+  for (size_t p = 0; p < plan.count_lo.size(); ++p) {
+    ok &= InBounds(cnt, plan.count_lo[p], plan.count_hi[p]);
+  }
+  return ok;
 }
 
 }  // namespace emp

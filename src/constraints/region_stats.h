@@ -14,9 +14,16 @@ namespace emp {
 /// O(1)/O(log k) hypothetical "what if area X joined / left" queries, which
 /// the construction swaps and Tabu moves issue millions of times.
 ///
-/// MIN/MAX need order statistics under removal, so each extrema constraint
-/// keeps a multiset of its attribute values; AVG/SUM keep a running sum;
-/// COUNT uses the shared area count.
+/// Layout is SoA over the BoundConstraints::plan() packed slots
+/// (DESIGN.md §14): running sums for AVG/SUM live in one flat array,
+/// current extrema for MIN/MAX in another, and the Satisfies* hot paths are
+/// branch-light contiguous loops over (value, lo, hi) triples with no
+/// per-constraint switch. MIN/MAX still need order statistics under
+/// removal, so each extrema slot also keeps a multiset of its attribute
+/// values; the flat `extrema_` array caches the multiset's current
+/// min/max so queries never touch the tree. COUNT uses the shared area
+/// count. Bit-identical to the pre-SoA per-constraint evaluation
+/// (tabu_golden_test pins this).
 class RegionStats {
  public:
   /// `bound` must outlive this object.
@@ -55,8 +62,11 @@ class RegionStats {
   double AggregateAfterMerge(int ci, const RegionStats& other) const;
 
   /// Running attribute sum for an AVG/SUM constraint (0 for an empty
-  /// region). Precondition: `ci` is not an extrema constraint.
-  double RawSum(int ci) const { return sums_[static_cast<size_t>(ci)]; }
+  /// region). Precondition: `ci` is an AVG or SUM constraint.
+  double RawSum(int ci) const {
+    return sums_[static_cast<size_t>(
+        bound_->plan().slot[static_cast<size_t>(ci)])];
+  }
 
   /// Constraint satisfaction on the current contents. An empty region
   /// satisfies nothing (regions require >= 1 area, Definition III.2).
@@ -75,13 +85,14 @@ class RegionStats {
   bool SatisfiesAllAfterMerge(const RegionStats& other) const;
 
  private:
-  double ExtremaValue(int ci) const;
-
   const BoundConstraints* bound_;
   int32_t count_ = 0;
-  /// Parallel to constraints: running sums for AVG/SUM (unused otherwise).
+  /// Packed running sums, SoA: [AVG slots..., SUM slots...].
   std::vector<double> sums_;
-  /// Parallel to constraints: value multisets for MIN/MAX (empty otherwise).
+  /// Packed current extrema, SoA: [MIN slots..., MAX slots...]; NaN for an
+  /// empty region. Always equals *begin/*rbegin of the matching multiset.
+  std::vector<double> extrema_;
+  /// Packed value multisets backing the extrema slots under removal.
   std::vector<std::multiset<double>> values_;
 };
 

@@ -90,10 +90,12 @@ bool ReceiverOkAfterAdd(const BoundConstraints& bound,
 /// under-bound region `rid`. Returns the swapped area id or -1.
 int32_t TrySwapInto(const BoundConstraints& bound,
                     ConnectivityChecker* connectivity, Partition* partition,
-                    int32_t rid, const std::vector<char>& already_swapped) {
+                    int32_t rid, const std::vector<char>& already_swapped,
+                    GrowthScratch* scratch) {
   const auto& graph = bound.areas().graph();
   const RegionStats& receiver = partition->region(rid).stats;
-  for (int32_t nb : partition->NeighborRegionsOf(rid)) {
+  partition->NeighborRegionsOfInto(rid, &scratch->regions);
+  for (int32_t nb : scratch->regions) {
     const Region& donor = partition->region(nb);
     if (donor.size() <= 1) continue;
     for (int32_t area : donor.areas) {
@@ -122,12 +124,15 @@ int32_t TrySwapInto(const BoundConstraints& bound,
 Status AdjustForCounting(ConnectivityChecker* connectivity,
                          Partition* partition,
                          MonotonicAdjustStats* stats_out,
-                         PhaseSupervisor* supervisor) {
+                         PhaseSupervisor* supervisor,
+                         GrowthScratch* scratch) {
   if (connectivity == nullptr || partition == nullptr) {
     return Status::InvalidArgument("AdjustForCounting: null argument");
   }
   MonotonicAdjustStats local;
   MonotonicAdjustStats* stats = stats_out != nullptr ? stats_out : &local;
+  GrowthScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
   const BoundConstraints& bound = partition->bound();
   if (!bound.has_counting()) return Status::OK();
   const auto interrupted = [supervisor] {
@@ -137,12 +142,14 @@ Status AdjustForCounting(ConnectivityChecker* connectivity,
   // --- Phase A: swap boundary areas into under-bound regions. Each area
   // moves at most once (the paper's termination argument).
   std::vector<char> swapped(static_cast<size_t>(partition->num_areas()), 0);
-  for (int32_t rid : partition->AliveRegionIds()) {
+  partition->AliveRegionIdsInto(&scratch->sweep);
+  for (int32_t rid : scratch->sweep) {
     if (interrupted()) break;
     while (partition->IsAlive(rid) &&
            BelowCountingLower(bound, partition->region(rid).stats)) {
       if (supervisor != nullptr && supervisor->Check()) break;
-      int32_t moved = TrySwapInto(bound, connectivity, partition, rid, swapped);
+      int32_t moved = TrySwapInto(bound, connectivity, partition, rid, swapped,
+                                  scratch);
       if (moved == -1) break;
       swapped[static_cast<size_t>(moved)] = 1;
       ++stats->swaps;
@@ -155,7 +162,8 @@ Status AdjustForCounting(ConnectivityChecker* connectivity,
   bool changed = !interrupted();
   while (changed && !interrupted()) {
     changed = false;
-    for (int32_t rid : partition->AliveRegionIds()) {
+    partition->AliveRegionIdsInto(&scratch->sweep);
+    for (int32_t rid : scratch->sweep) {
       if (supervisor != nullptr && supervisor->Check()) break;
       if (!partition->IsAlive(rid) || partition->region(rid).size() == 0) {
         continue;
@@ -168,7 +176,8 @@ Status AdjustForCounting(ConnectivityChecker* connectivity,
       const int primary = bound.counting_indices().front();
       int32_t best_nb = -1;
       double best_size = std::numeric_limits<double>::infinity();
-      for (int32_t nb : partition->NeighborRegionsOf(rid)) {
+      partition->NeighborRegionsOfInto(rid, &scratch->regions);
+      for (int32_t nb : scratch->regions) {
         const RegionStats& a = partition->region(rid).stats;
         const RegionStats& b = partition->region(nb).stats;
         bool ok = true;
@@ -214,7 +223,8 @@ Status AdjustForCounting(ConnectivityChecker* connectivity,
   }
 
   // --- Phase C: evict areas from regions above a counting upper bound.
-  for (int32_t rid : partition->AliveRegionIds()) {
+  partition->AliveRegionIdsInto(&scratch->sweep);
+  for (int32_t rid : scratch->sweep) {
     if (interrupted()) break;
     while (partition->IsAlive(rid) &&
            AboveCountingUpper(bound, partition->region(rid).stats)) {
@@ -244,7 +254,8 @@ Status AdjustForCounting(ConnectivityChecker* connectivity,
   // --- Phase D: whatever still violates any constraint is dissolved.
   // Deliberately NOT supervised: it is cheap (one pass) and is the
   // best-effort finalizer that keeps the postcondition true after a trip.
-  for (int32_t rid : partition->AliveRegionIds()) {
+  partition->AliveRegionIdsInto(&scratch->sweep);
+  for (int32_t rid : scratch->sweep) {
     const RegionStats& rs = partition->region(rid).stats;
     if (!rs.SatisfiesAll() || !NonCountingOk(bound, rs)) {
       partition->DissolveRegion(rid);

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/result.h"
+#include "core/construction/growth_scratch.h"
 #include "core/partition.h"
 #include "core/run_context.h"
 #include "graph/connectivity.h"
@@ -30,10 +31,14 @@ struct MonotonicAdjustStats {
 /// on a trip the remaining repairs are skipped but the dissolve pass
 /// (Phase D) still runs, so the every-region-feasible postcondition holds
 /// regardless of interruption.
+///
+/// `scratch` (optional) is the reusable construction arena; falls back to
+/// a local scratch when null.
 Status AdjustForCounting(ConnectivityChecker* connectivity,
                          Partition* partition,
                          MonotonicAdjustStats* stats = nullptr,
-                         PhaseSupervisor* supervisor = nullptr);
+                         PhaseSupervisor* supervisor = nullptr,
+                         GrowthScratch* scratch = nullptr);
 
 }  // namespace emp
 

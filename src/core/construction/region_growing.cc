@@ -96,22 +96,6 @@ bool NonCountingOkAfterMerge(const BoundConstraints& bound,
   return true;
 }
 
-/// Unassigned active areas adjacent to region `rid`, in member order.
-std::vector<int32_t> UnassignedNeighborsOf(const Partition& partition,
-                                           int32_t rid) {
-  std::vector<int32_t> out;
-  const auto& graph = partition.bound().areas().graph();
-  for (int32_t area : partition.region(rid).areas) {
-    for (int32_t nb : graph.NeighborsOf(area)) {
-      if (partition.IsActive(nb) && partition.RegionOf(nb) == -1 &&
-          std::find(out.begin(), out.end(), nb) == out.end()) {
-        out.push_back(nb);
-      }
-    }
-  }
-  return out;
-}
-
 /// Algorithm 1's neighbor-selection rule, generalized to open-ended
 /// ranges: when the region average sits below the range, only areas valued
 /// beyond the opposite (upper) bound can pull it inside fast enough, and
@@ -135,7 +119,7 @@ void InitializeRegions(const BoundConstraints& bound,
                        const SeedingResult& seeding,
                        const SolverOptions& options, Rng* rng,
                        Partition* partition, RegionGrowingStats* stats,
-                       PhaseSupervisor* supervisor) {
+                       PhaseSupervisor* supervisor, GrowthScratch* scratch) {
   std::vector<int32_t> ordered = seeding.seeds;
   OrderAreas(bound, options.pickup_order, rng, &ordered);
 
@@ -172,7 +156,8 @@ void InitializeRegions(const BoundConstraints& bound,
       const Constraint& c = bound.constraint(primary);
       const double avg = rs.AggregateValue(primary);
       int32_t pick = -1;
-      for (int32_t nb : UnassignedNeighborsOf(*partition, rid)) {
+      UnassignedNeighborsInto(*partition, rid, scratch);
+      for (int32_t nb : scratch->frontier) {
         if (PullsAverageInside(c, avg, bound.ValueOf(primary, nb))) {
           pick = nb;
           break;
@@ -197,7 +182,8 @@ void InitializeRegions(const BoundConstraints& bound,
 bool AssignEnclavesRound1(const BoundConstraints& bound,
                           const std::vector<int32_t>& order,
                           Partition* partition, RegionGrowingStats* stats,
-                          PhaseSupervisor* supervisor) {
+                          PhaseSupervisor* supervisor,
+                          GrowthScratch* scratch) {
   bool any_change = false;
   bool changed = true;
   while (changed) {
@@ -205,7 +191,8 @@ bool AssignEnclavesRound1(const BoundConstraints& bound,
     for (int32_t a : order) {
       if (supervisor != nullptr && supervisor->Check()) return any_change;
       if (!partition->IsActive(a) || partition->RegionOf(a) != -1) continue;
-      for (int32_t rid : partition->NeighborRegionsOfArea(a)) {
+      partition->NeighborRegionsOfAreaInto(a, &scratch->regions);
+      for (int32_t rid : scratch->regions) {
         if (CentralityOkAfterAdd(bound, partition->region(rid).stats, a)) {
           partition->Assign(a, rid);
           ++stats->round1_assignments;
@@ -235,7 +222,8 @@ bool AssignEnclavesRound2(const BoundConstraints& bound,
                           const std::vector<int32_t>& order, int merge_budget,
                           std::vector<int>* merge_count, Partition* partition,
                           RegionGrowingStats* stats,
-                          PhaseSupervisor* supervisor) {
+                          PhaseSupervisor* supervisor,
+                          GrowthScratch* scratch) {
   const auto& centrality = bound.centrality_indices();
   auto count_of = [&](int32_t rid) -> int& {
     if (static_cast<size_t>(rid) >= merge_count->size()) {
@@ -250,10 +238,12 @@ bool AssignEnclavesRound2(const BoundConstraints& bound,
     if (!partition->IsActive(a) || partition->RegionOf(a) != -1) continue;
 
     bool assigned = false;
-    for (int32_t rid : partition->NeighborRegionsOfArea(a)) {
+    partition->NeighborRegionsOfAreaInto(a, &scratch->regions);
+    for (int32_t rid : scratch->regions) {
       if (assigned) break;
       const RegionStats& rs1 = partition->region(rid).stats;
-      for (int32_t r2 : partition->NeighborRegionsOf(rid)) {
+      partition->NeighborRegionsOfInto(rid, &scratch->regions2);
+      for (int32_t r2 : scratch->regions2) {
         const int merged_cost = count_of(rid) + count_of(r2) + 1;
         if (merged_cost > merge_budget) continue;
         const RegionStats& rs2 = partition->region(r2).stats;
@@ -287,19 +277,21 @@ bool AssignEnclavesRound2(const BoundConstraints& bound,
 /// runs even after a supervisor trip — it is what guarantees the partition
 /// stays feasible when the merge loop is cut short.
 void CombineForExtrema(const BoundConstraints& bound, Partition* partition,
-                       RegionGrowingStats* stats,
-                       PhaseSupervisor* supervisor) {
+                       RegionGrowingStats* stats, PhaseSupervisor* supervisor,
+                       GrowthScratch* scratch) {
   if (!bound.has_extrema()) return;
   bool changed = true;
   while (changed && !(supervisor != nullptr && supervisor->tripped())) {
     changed = false;
-    for (int32_t rid : partition->AliveRegionIds()) {
+    partition->AliveRegionIdsInto(&scratch->sweep);
+    for (int32_t rid : scratch->sweep) {
       if (supervisor != nullptr && supervisor->Check()) break;
       if (!partition->IsAlive(rid) || partition->region(rid).size() == 0) {
         continue;
       }
       if (ExtremaSatisfied(bound, partition->region(rid).stats)) continue;
-      for (int32_t nb : partition->NeighborRegionsOf(rid)) {
+      partition->NeighborRegionsOfInto(rid, &scratch->regions);
+      for (int32_t nb : scratch->regions) {
         if (NonCountingOkAfterMerge(bound, partition->region(rid).stats,
                                     partition->region(nb).stats)) {
           partition->MergeRegions(rid, nb);
@@ -312,7 +304,8 @@ void CombineForExtrema(const BoundConstraints& bound, Partition* partition,
   }
   // Dead ends: regions that still miss an extrema seed go back to the
   // unassigned pool.
-  for (int32_t rid : partition->AliveRegionIds()) {
+  partition->AliveRegionIdsInto(&scratch->sweep);
+  for (int32_t rid : scratch->sweep) {
     if (!ExtremaSatisfied(bound, partition->region(rid).stats)) {
       partition->DissolveRegion(rid);
       ++stats->regions_dissolved;
@@ -324,8 +317,8 @@ void CombineForExtrema(const BoundConstraints& bound, Partition* partition,
 
 Status GrowRegions(const SeedingResult& seeding, const SolverOptions& options,
                    Rng* rng, Partition* partition,
-                   RegionGrowingStats* stats_out,
-                   PhaseSupervisor* supervisor) {
+                   RegionGrowingStats* stats_out, PhaseSupervisor* supervisor,
+                   GrowthScratch* scratch) {
   if (partition == nullptr || rng == nullptr) {
     return Status::InvalidArgument("GrowRegions: null partition or rng");
   }
@@ -335,6 +328,8 @@ Status GrowRegions(const SeedingResult& seeding, const SolverOptions& options,
   }
   RegionGrowingStats local_stats;
   RegionGrowingStats* stats = stats_out != nullptr ? stats_out : &local_stats;
+  GrowthScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
   const BoundConstraints& bound = partition->bound();
   const auto interrupted = [supervisor] {
     return supervisor != nullptr && supervisor->tripped().has_value();
@@ -342,21 +337,21 @@ Status GrowRegions(const SeedingResult& seeding, const SolverOptions& options,
 
   // Substep 2.1 — region initialization from seeds.
   InitializeRegions(bound, seeding, options, rng, partition, stats,
-                    supervisor);
+                    supervisor, scratch);
 
   // Substep 2.2 — enclave assignment. Round-2 merges can unlock new
   // round-1 assignments, so alternate until neither makes progress.
   if (!interrupted()) {
     std::vector<int32_t> order = partition->UnassignedAreas();
     OrderAreas(bound, options.pickup_order, rng, &order);
-    AssignEnclavesRound1(bound, order, partition, stats, supervisor);
+    AssignEnclavesRound1(bound, order, partition, stats, supervisor, scratch);
     if (bound.has_centrality() && !interrupted()) {
       std::vector<int> merge_count;  // Per-region round-2 merge budget use.
       while (AssignEnclavesRound2(bound, order, options.avg_merge_limit,
-                                  &merge_count, partition, stats,
-                                  supervisor)) {
-        if (!AssignEnclavesRound1(bound, order, partition, stats,
-                                  supervisor)) {
+                                  &merge_count, partition, stats, supervisor,
+                                  scratch)) {
+        if (!AssignEnclavesRound1(bound, order, partition, stats, supervisor,
+                                  scratch)) {
           break;
         }
         if (interrupted()) break;
@@ -367,7 +362,7 @@ Status GrowRegions(const SeedingResult& seeding, const SolverOptions& options,
   // Substep 2.3 — every region must satisfy all extrema constraints. Runs
   // even when interrupted: its dissolve pass is the best-effort finalizer
   // that guarantees the returned partition is feasible.
-  CombineForExtrema(bound, partition, stats, supervisor);
+  CombineForExtrema(bound, partition, stats, supervisor, scratch);
   return Status::OK();
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "core/construction/growth_scratch.h"
 #include "core/construction/seeding.h"
 #include "core/partition.h"
 #include "core/run_context.h"
@@ -38,10 +39,14 @@ struct RegionGrowingStats {
 /// extrema/centrality constraint are dissolved) before returning OK —
 /// consult supervisor->tripped() for the verdict. Counting constraints are
 /// Step 3's job either way.
+/// `scratch` (optional) is the reusable construction arena; pass one per
+/// attempt to keep the inner loops allocation-free. Falls back to a local
+/// scratch when null.
 Status GrowRegions(const SeedingResult& seeding, const SolverOptions& options,
                    Rng* rng, Partition* partition,
                    RegionGrowingStats* stats = nullptr,
-                   PhaseSupervisor* supervisor = nullptr);
+                   PhaseSupervisor* supervisor = nullptr,
+                   GrowthScratch* scratch = nullptr);
 
 }  // namespace emp
 

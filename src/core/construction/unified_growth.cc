@@ -36,21 +36,6 @@ double ViolationAfterAdd(const BoundConstraints& bound,
   return total;
 }
 
-/// Unassigned active areas adjacent to the region.
-void UnassignedNeighbors(const Partition& partition, int32_t rid,
-                         std::vector<int32_t>* out) {
-  out->clear();
-  const auto& graph = partition.bound().areas().graph();
-  for (int32_t area : partition.region(rid).areas) {
-    for (int32_t nb : graph.NeighborsOf(area)) {
-      if (partition.IsActive(nb) && partition.RegionOf(nb) == -1 &&
-          std::find(out->begin(), out->end(), nb) == out->end()) {
-        out->push_back(nb);
-      }
-    }
-  }
-}
-
 }  // namespace
 
 double ConstraintViolation(const BoundConstraints& bound,
@@ -65,8 +50,8 @@ double ConstraintViolation(const BoundConstraints& bound,
 
 Status GrowUnified(const SeedingResult& seeding, const SolverOptions& options,
                    Rng* rng, Partition* partition,
-                   UnifiedGrowthStats* stats_out,
-                   PhaseSupervisor* supervisor) {
+                   UnifiedGrowthStats* stats_out, PhaseSupervisor* supervisor,
+                   GrowthScratch* scratch) {
   (void)options;
   if (partition == nullptr || rng == nullptr) {
     return Status::InvalidArgument("GrowUnified: null partition or rng");
@@ -77,6 +62,8 @@ Status GrowUnified(const SeedingResult& seeding, const SolverOptions& options,
   }
   UnifiedGrowthStats local;
   UnifiedGrowthStats* stats = stats_out != nullptr ? stats_out : &local;
+  GrowthScratch local_scratch;
+  if (scratch == nullptr) scratch = &local_scratch;
   const BoundConstraints& bound = partition->bound();
 
   // Seeds anchor extrema constraints, so regions start there (random
@@ -84,7 +71,6 @@ Status GrowUnified(const SeedingResult& seeding, const SolverOptions& options,
   std::vector<int32_t> order = seeding.seeds;
   rng->Shuffle(&order);
 
-  std::vector<int32_t> frontier;
   for (int32_t seed : order) {
     if (partition->RegionOf(seed) != -1) continue;
     const int32_t rid = partition->CreateRegion();
@@ -96,10 +82,10 @@ Status GrowUnified(const SeedingResult& seeding, const SolverOptions& options,
       const RegionStats& rs = partition->region(rid).stats;
       double current = ConstraintViolation(bound, rs);
       if (current == 0.0) break;  // Feasible region.
-      UnassignedNeighbors(*partition, rid, &frontier);
+      UnassignedNeighborsInto(*partition, rid, scratch);
       int32_t best = -1;
       double best_violation = current;
-      for (int32_t nb : frontier) {
+      for (int32_t nb : scratch->frontier) {
         double v = ViolationAfterAdd(bound, rs, nb);
         if (v < best_violation) {
           best_violation = v;
@@ -128,7 +114,8 @@ Status GrowUnified(const SeedingResult& seeding, const SolverOptions& options,
     for (int32_t a = 0; a < partition->num_areas(); ++a) {
       if (supervisor != nullptr && supervisor->Check()) return Status::OK();
       if (!partition->IsActive(a) || partition->RegionOf(a) != -1) continue;
-      for (int32_t rid : partition->NeighborRegionsOfArea(a)) {
+      partition->NeighborRegionsOfAreaInto(a, &scratch->regions);
+      for (int32_t rid : scratch->regions) {
         if (partition->region(rid).stats.SatisfiesAllAfterAdd(a)) {
           partition->Assign(a, rid);
           ++stats->leftover_assignments;

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "core/construction/growth_scratch.h"
 #include "core/construction/seeding.h"
 #include "core/partition.h"
 #include "core/run_context.h"
@@ -36,10 +37,14 @@ struct UnifiedGrowthStats {
 /// step; a trip abandons the in-flight (still violating) region and
 /// returns the committed-regions-only partition, which is feasible by
 /// construction.
+///
+/// `scratch` (optional) is the reusable construction arena; falls back to
+/// a local scratch when null.
 Status GrowUnified(const SeedingResult& seeding, const SolverOptions& options,
                    Rng* rng, Partition* partition,
                    UnifiedGrowthStats* stats = nullptr,
-                   PhaseSupervisor* supervisor = nullptr);
+                   PhaseSupervisor* supervisor = nullptr,
+                   GrowthScratch* scratch = nullptr);
 
 /// Total normalized violation of a region's stats against every
 /// constraint: 0 iff all satisfied; each violated bound contributes its

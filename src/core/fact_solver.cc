@@ -297,6 +297,9 @@ Result<Solution> FactSolver::SolveSinglePass(const RunContext& ctx) {
     Partition partition(&bound);
     for (int32_t a : feasibility.invalid_areas) partition.Deactivate(a);
     PhaseSupervisor supervisor(&ctx, "construction", /*worker=*/iter);
+    // Per-attempt arena: attempts may run concurrently on the worker
+    // pool, so the scratch is never shared across threads.
+    GrowthScratch scratch;
     if (options_.construction_strategy ==
         ConstructionStrategy::kUnifiedGrowth) {
       // Ablation baseline: single-step growth already leaves every
@@ -304,14 +307,14 @@ Result<Solution> FactSolver::SolveSinglePass(const RunContext& ctx) {
       obs::ScopedSpan grow_span(ctx.trace, "construction.grow",
                                 /*worker=*/iter);
       out.status = GrowUnified(seeding, options_, &rng, &partition,
-                               /*stats=*/nullptr, &supervisor);
+                               /*stats=*/nullptr, &supervisor, &scratch);
     } else {
       Stopwatch grow_timer;
       {
         obs::ScopedSpan grow_span(ctx.trace, "construction.grow",
                                   /*worker=*/iter);
         out.status = GrowRegions(seeding, options_, &rng, &partition,
-                                 &out.growing, &supervisor);
+                                 &out.growing, &supervisor, &scratch);
       }
       obs::Observe(grow_seconds, grow_timer.ElapsedSeconds());
       if (out.status.ok()) {
@@ -323,7 +326,7 @@ Result<Solution> FactSolver::SolveSinglePass(const RunContext& ctx) {
                                     /*worker=*/iter);
         ConnectivityChecker local_connectivity(&areas_->graph());
         out.status = AdjustForCounting(&local_connectivity, &partition,
-                                       &out.adjust, &supervisor);
+                                       &out.adjust, &supervisor, &scratch);
         obs::Observe(adjust_seconds, adjust_timer.ElapsedSeconds());
       }
     }

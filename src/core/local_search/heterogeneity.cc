@@ -70,6 +70,18 @@ double HeterogeneityTracker::MoveDelta(int32_t area, int32_t from,
          regions_[static_cast<size_t>(from)].ContributionOf(d);
 }
 
+void HeterogeneityTracker::MoveDeltas(int32_t area, int32_t from,
+                                      const int32_t* tos, size_t n,
+                                      double* out) const {
+  const double d = d_[static_cast<size_t>(area)];
+  const double from_contrib =
+      regions_[static_cast<size_t>(from)].ContributionOf(d);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = regions_[static_cast<size_t>(tos[i])].ContributionOf(d) -
+             from_contrib;
+  }
+}
+
 void HeterogeneityTracker::ApplyMove(int32_t area, int32_t from, int32_t to) {
   total_ += MoveDelta(area, from, to);
   const double d = d_[static_cast<size_t>(area)];

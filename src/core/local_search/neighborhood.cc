@@ -57,9 +57,17 @@ int64_t TabuNeighborhood::RescoreAreaImpl(int32_t area, int32_t mutated_a,
   const size_t slots = static_cast<size_t>(partition_->NumRegionSlots());
   if (region_seen_.size() < slots) region_seen_.resize(slots, 0);
 
+  // Gather the distinct target regions first, carrying over bit-exact
+  // deltas for candidates whose endpoints were untouched, then evaluate
+  // everything that actually changed in ONE batched objective call — the
+  // donor-side work is hoisted across the batch and the target loop walks
+  // the SoA arrays without per-candidate virtual dispatch. Appending the
+  // batch after the carried-over entries reorders `targets`, which is
+  // safe: heap selection uses the canonical (delta, area, to) order, and
+  // the old_targets_ lookup keys on the unique `to`.
   const uint32_t epoch = NextEpoch(&region_seen_, &region_epoch_);
-  int64_t scored = 0;
   const auto& graph = partition_->bound().areas().graph();
+  batch_tos_.clear();
   for (int32_t nb : graph.NeighborsOf(area)) {
     const int32_t to = partition_->RegionOf(nb);
     if (to == -1 || to == from) continue;
@@ -80,11 +88,19 @@ int64_t TabuNeighborhood::RescoreAreaImpl(int32_t area, int32_t mutated_a,
       if (reused) continue;
       // Unreachable under the affected-set proof; evaluate to stay safe.
     }
-    targets.emplace_back(to, objective_->MoveDelta(area, from, to));
-    ++scored;
+    batch_tos_.push_back(to);
+  }
+  const size_t batch = batch_tos_.size();
+  if (batch > 0) {
+    batch_deltas_.resize(batch);
+    objective_->MoveDeltas(area, from, batch_tos_.data(), batch,
+                           batch_deltas_.data());
+    for (size_t i = 0; i < batch; ++i) {
+      targets.emplace_back(batch_tos_[i], batch_deltas_[i]);
+    }
   }
   live_ += static_cast<int64_t>(targets.size());
-  return scored;
+  return static_cast<int64_t>(batch);
 }
 
 void TabuNeighborhood::PushAreaEntries(int32_t area) {

@@ -158,6 +158,10 @@ class TabuNeighborhood {
   std::vector<HeapEntry> popped_;   // reused by VisitInOrder
   // Previous target list of the area being rescored (delta reuse).
   std::vector<std::pair<int32_t, double>> old_targets_;
+  // Batched-rescore buffers: target regions needing fresh deltas and the
+  // deltas from one Objective::MoveDeltas call (reused across rescoring).
+  std::vector<int32_t> batch_tos_;
+  std::vector<double> batch_deltas_;
 };
 
 /// Per-region articulation-point cache for the local-search donor

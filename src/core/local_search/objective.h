@@ -28,6 +28,16 @@ class Objective {
   /// Exact objective change if `area` moved from region `from` to `to`.
   virtual double MoveDelta(int32_t area, int32_t from, int32_t to) const = 0;
 
+  /// Batched MoveDelta: out[i] = MoveDelta(area, from, tos[i]) for all n
+  /// candidate targets of one donor. Implementations may hoist the
+  /// donor-side work across the batch, but every delta must stay
+  /// bit-identical to the scalar MoveDelta — tabu trajectories are
+  /// golden-pinned on that. The default simply loops.
+  virtual void MoveDeltas(int32_t area, int32_t from, const int32_t* tos,
+                          size_t n, double* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = MoveDelta(area, from, tos[i]);
+  }
+
   /// Records the move in internal state (before the partition mutates).
   virtual void ApplyMove(int32_t area, int32_t from, int32_t to) = 0;
 
@@ -44,6 +54,10 @@ class HeterogeneityObjective final : public Objective {
   double total() const override { return tracker_.total(); }
   double MoveDelta(int32_t area, int32_t from, int32_t to) const override {
     return tracker_.MoveDelta(area, from, to);
+  }
+  void MoveDeltas(int32_t area, int32_t from, const int32_t* tos, size_t n,
+                  double* out) const override {
+    tracker_.MoveDeltas(area, from, tos, n, out);
   }
   void ApplyMove(int32_t area, int32_t from, int32_t to) override {
     tracker_.ApplyMove(area, from, to);

@@ -79,10 +79,15 @@ void Partition::DissolveRegion(int32_t region_id) {
 
 std::vector<int32_t> Partition::AliveRegionIds() const {
   std::vector<int32_t> out;
-  for (const Region& r : regions_) {
-    if (r.alive && !r.areas.empty()) out.push_back(r.id);
-  }
+  AliveRegionIdsInto(&out);
   return out;
+}
+
+void Partition::AliveRegionIdsInto(std::vector<int32_t>* out) const {
+  out->clear();
+  for (const Region& r : regions_) {
+    if (r.alive && !r.areas.empty()) out->push_back(r.id);
+  }
 }
 
 int32_t Partition::NumRegions() const {
@@ -95,12 +100,17 @@ int32_t Partition::NumRegions() const {
 
 std::vector<int32_t> Partition::UnassignedAreas() const {
   std::vector<int32_t> out;
+  UnassignedAreasInto(&out);
+  return out;
+}
+
+void Partition::UnassignedAreasInto(std::vector<int32_t>* out) const {
+  out->clear();
   for (int32_t a = 0; a < num_areas(); ++a) {
     if (IsActive(a) && region_of_[static_cast<size_t>(a)] == -1) {
-      out.push_back(a);
+      out->push_back(a);
     }
   }
-  return out;
 }
 
 uint32_t Partition::BeginRegionSeenEpoch() const {
@@ -118,6 +128,13 @@ uint32_t Partition::BeginRegionSeenEpoch() const {
 
 std::vector<int32_t> Partition::NeighborRegionsOfArea(int32_t area) const {
   std::vector<int32_t> out;
+  NeighborRegionsOfAreaInto(area, &out);
+  return out;
+}
+
+void Partition::NeighborRegionsOfAreaInto(int32_t area,
+                                          std::vector<int32_t>* out) const {
+  out->clear();
   const uint32_t epoch = BeginRegionSeenEpoch();
   const int32_t own = region_of_[static_cast<size_t>(area)];
   for (int32_t nb : bound_->areas().graph().NeighborsOf(area)) {
@@ -125,14 +142,20 @@ std::vector<int32_t> Partition::NeighborRegionsOfArea(int32_t area) const {
     if (rid != -1 && rid != own &&
         region_seen_[static_cast<size_t>(rid)] != epoch) {
       region_seen_[static_cast<size_t>(rid)] = epoch;
-      out.push_back(rid);
+      out->push_back(rid);
     }
   }
-  return out;
 }
 
 std::vector<int32_t> Partition::NeighborRegionsOf(int32_t region_id) const {
   std::vector<int32_t> out;
+  NeighborRegionsOfInto(region_id, &out);
+  return out;
+}
+
+void Partition::NeighborRegionsOfInto(int32_t region_id,
+                                      std::vector<int32_t>* out) const {
+  out->clear();
   const uint32_t epoch = BeginRegionSeenEpoch();
   const Region& r = regions_[static_cast<size_t>(region_id)];
   for (int32_t area : r.areas) {
@@ -141,11 +164,10 @@ std::vector<int32_t> Partition::NeighborRegionsOf(int32_t region_id) const {
       if (rid != -1 && rid != region_id &&
           region_seen_[static_cast<size_t>(rid)] != epoch) {
         region_seen_[static_cast<size_t>(rid)] = epoch;
-        out.push_back(rid);
+        out->push_back(rid);
       }
     }
   }
-  return out;
 }
 
 std::vector<int32_t> Partition::BoundaryAreas(int32_t region_id) const {

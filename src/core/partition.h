@@ -88,6 +88,15 @@ class Partition {
   /// Distinct alive regions sharing a border with region `region_id`.
   std::vector<int32_t> NeighborRegionsOf(int32_t region_id) const;
 
+  /// Allocation-free variants for hot loops: clear `*out` and fill it with
+  /// the same result (same first-seen order) as the returning versions,
+  /// letting callers reuse one buffer across calls (DESIGN.md §14).
+  void NeighborRegionsOfAreaInto(int32_t area, std::vector<int32_t>* out) const;
+  void NeighborRegionsOfInto(int32_t region_id,
+                             std::vector<int32_t>* out) const;
+  void AliveRegionIdsInto(std::vector<int32_t>* out) const;
+  void UnassignedAreasInto(std::vector<int32_t>* out) const;
+
   /// Areas of `region_id` having at least one neighbor outside the region.
   std::vector<int32_t> BoundaryAreas(int32_t region_id) const;
 

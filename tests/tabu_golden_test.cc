@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/local_search/heterogeneity.h"
 #include "core/local_search/tabu.h"
+#include "core/solver.h"
+#include "data/synthetic/dataset_catalog.h"
 #include "test_util.h"
 
 namespace emp {
@@ -180,6 +184,70 @@ TEST(TabuGoldenTest, CandidateAccountingDiffersButMovesDoNot) {
   // The full engine never touches the articulation cache.
   EXPECT_EQ(full.cut_cache_hits + full.cut_cache_misses, 0);
   EXPECT_GT(incremental.cut_cache_hits + incremental.cut_cache_misses, 0);
+}
+
+// --- Construction-path golden pins ---------------------------------------
+//
+// The SoA RegionStats layout, the construction arena scratch, and the
+// batched candidate rescoring are pure data-layout optimizations: a fixed
+// seed must produce the bit-identical solution before and after. These pins
+// freeze the full solve (feasibility -> construction -> tabu) for all three
+// registered solvers on a 300-area synthetic instance. If a refactor
+// changes any byte of the assignment or any bit of the final
+// heterogeneity, the fingerprint string changes and the test names the
+// divergence directly.
+
+uint64_t Fnv1aAssignment(const Solution& s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (int32_t r : s.region_of) {
+    uint64_t x = static_cast<uint32_t>(r);
+    for (int b = 0; b < 4; ++b) {
+      h ^= (x >> (8 * b)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+std::string SolveFingerprint(const std::string& solver_name) {
+  auto areas = synthetic::MakeDefaultDataset("golden9", 300, /*seed=*/17);
+  EXPECT_TRUE(areas.ok());
+  SolverSpec spec;
+  spec.solver = solver_name;
+  spec.areas = &*areas;
+  if (solver_name == "fact") {
+    // One constraint per evaluation family (extrema / centrality /
+    // counting) so every SoA group participates in the pinned solve.
+    spec.constraints = {Constraint::Min("POP16UP", kNoLowerBound, 3000),
+                        Constraint::Avg("EMPLOYED", 1500, 3500),
+                        Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+  } else {
+    spec.attribute = "TOTALPOP";
+    spec.threshold = 20000.0;
+  }
+  spec.options.seed = 1234;
+  auto solver = CreateSolver(spec);
+  if (!solver.ok()) return "create-error: " + solver.status().ToString();
+  auto sol = (*solver)->Solve();
+  if (!sol.ok()) return "solve-error: " + sol.status().ToString();
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "p=%d u=%lld hash=%016llx het=%.17g",
+                sol->p(), static_cast<long long>(sol->num_unassigned()),
+                static_cast<unsigned long long>(Fnv1aAssignment(*sol)),
+                sol->heterogeneity);
+  return buf;
+}
+
+TEST(ConstructionGoldenTest, FactFixedSeedSolutionPinned) {
+  EXPECT_EQ(SolveFingerprint("fact"), "p=32 u=0 hash=a6d8ceeab99800be het=485642.03758292162");
+}
+
+TEST(ConstructionGoldenTest, MaxpFixedSeedSolutionPinned) {
+  EXPECT_EQ(SolveFingerprint("maxp"), "p=47 u=0 hash=4ccef91757c425e9 het=239130.23636412367");
+}
+
+TEST(ConstructionGoldenTest, SkaterFixedSeedSolutionPinned) {
+  EXPECT_EQ(SolveFingerprint("skater"), "p=50 u=0 hash=32f1c416700cb1b7 het=219945.6657012068");
 }
 
 }  // namespace

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Refreshes the committed perf-ratchet baselines in bench/baselines/.
+#
+# Run this ON THE CI RUNNER CLASS the ratchet compares on (or accept that
+# absolute columns will drift — only ratio columns hard-fail, so a refresh
+# from a different machine is safe but makes the warnings noisier). The
+# baselines are captured under EMP_BENCH_SMOKE=1, the same gate CI runs
+# with, so large catalog entries are stored as "-" (missing) and the
+# ratchet skips them. Procedure:
+#
+#   tools/update_bench_baselines.sh [build-dir]
+#   git add bench/baselines && git commit
+#
+# Then sanity-check the diff: a baseline refresh should accompany a PR
+# that intentionally moved the numbers, never ride along silently.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target micro_tabu micro_portfolio micro_region_stats micro_construction
+
+mkdir -p bench/baselines
+export EMP_BENCH_JSON_DIR="$PWD/bench/baselines"
+export EMP_BENCH_SMOKE=1
+
+for bin in micro_tabu micro_portfolio micro_region_stats \
+           micro_construction; do
+  "$BUILD_DIR/bench/$bin" --benchmark_min_time=0.01 >/dev/null
+done
+
+echo "Refreshed:"
+ls -l bench/baselines/BENCH_*.json
