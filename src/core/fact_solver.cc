@@ -18,6 +18,7 @@
 #include "core/partition.h"
 #include "core/portfolio.h"
 #include "graph/connectivity.h"
+#include "obs/curve.h"
 #include "obs/http_server.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
@@ -451,6 +452,13 @@ Result<Solution> FactSolver::SolveSinglePass(const RunContext& ctx) {
     journal_termination("construction", *construction_trip);
   }
   if (board != nullptr) board->SetBestP(best_p);
+  if (ctx.curve != nullptr) {
+    // Construction's winner is the run's first incumbent: one sample with
+    // both coordinates so the anytime curve starts at a full point.
+    ctx.curve->OnBestP(best_p, ctx.evaluations());
+    ctx.curve->OnHeterogeneity(solution.heterogeneity_before_local_search,
+                               ctx.evaluations());
+  }
   if (journal != nullptr) {
     journal->Append("phase_end", [&](JsonWriter& w) {
       w.Key("phase");
@@ -507,6 +515,11 @@ Result<Solution> FactSolver::SolveSinglePass(const RunContext& ctx) {
     }
     if (board != nullptr) {
       board->SetHeterogeneity(solution.heterogeneity);
+    }
+    if (ctx.curve != nullptr) {
+      // Terminal sample: the curve always ends at the returned quality
+      // even when the last tabu improvement predates the final epoch.
+      ctx.curve->OnHeterogeneity(solution.heterogeneity, ctx.evaluations());
     }
     if (journal != nullptr) {
       journal->Append("phase_end", [&](JsonWriter& w) {

@@ -13,6 +13,7 @@
 #include "core/local_search/move.h"
 #include "core/local_search/neighborhood.h"
 #include "core/local_search/objective.h"
+#include "obs/curve.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
@@ -194,6 +195,9 @@ Result<TabuResult> TabuSearch(const SolverOptions& options,
         trace->RecordInstant("tabu.heterogeneity", best_total);
       }
       if (board != nullptr) board->SetHeterogeneity(best_total);
+      if (run_ctx != nullptr && run_ctx->curve != nullptr) {
+        run_ctx->curve->OnHeterogeneity(best_total, run_ctx->evaluations());
+      }
     } else {
       ++no_improve;
     }

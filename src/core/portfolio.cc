@@ -15,6 +15,7 @@
 #include "core/local_search/tabu.h"
 #include "core/partition.h"
 #include "graph/connectivity.h"
+#include "obs/curve.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -213,6 +214,12 @@ Result<Solution> PortfolioSolver::Solve(const RunContext& ctx) {
         // last).
         board->SetBestP(incumbent_p);
         board->SetReplicaState(replica, obs::ReplicaState::kConstructing, p);
+      }
+      if (ctx.curve != nullptr && incumbent_p == p) {
+        // Same ordering argument as the board: recording under the lock
+        // keeps the anytime curve's best_p monotone across replicas. The
+        // child contexts deliberately do not carry the curve pointer.
+        ctx.curve->OnBestP(incumbent_p, ctx.evaluations());
       }
     }
     if (options_.portfolio_target_p >= 0 &&

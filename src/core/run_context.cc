@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/curve.h"
 #include "obs/progress.h"
 
 namespace emp {
@@ -109,6 +110,11 @@ std::optional<TerminationReason> PhaseSupervisor::Check(int64_t evaluations) {
       // without the solver loops knowing the board exists.
       ctx_->progress_board->OnCheckpoint(phase_, checkpoints_,
                                          ctx_->evaluations());
+    }
+    if (ctx_->curve != nullptr) {
+      // Coarse timer tick: the recorder rate-limits internally, so the
+      // anytime curve keeps advancing between incumbent improvements.
+      ctx_->curve->Tick(ctx_->evaluations());
     }
   }
   return std::nullopt;

@@ -12,6 +12,7 @@
 namespace emp {
 
 namespace obs {
+class AnytimeCurve;
 class MetricRegistry;
 class ProgressBoard;
 class RunJournal;
@@ -149,6 +150,14 @@ struct RunContext {
   /// the solver's run/phase/replica lifecycle events. Null by default;
   /// must outlive the solve; thread-safe.
   obs::RunJournal* journal = nullptr;
+
+  /// Anytime-quality recorder (see src/obs/curve.h): incumbent
+  /// improvements (best p, heterogeneity) plus coarse supervision ticks,
+  /// giving solution quality as a function of wall time. Null by default;
+  /// must outlive the solve; thread-safe. Like the board/journal it stays
+  /// whole-run state — portfolio child contexts do not inherit it
+  /// (improvements are recorded under the incumbent lock instead).
+  obs::AnytimeCurve* curve = nullptr;
 
   /// Solve-wide evaluation counter shared by all copies of this context.
   std::shared_ptr<std::atomic<int64_t>> evaluations_spent =

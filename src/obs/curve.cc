@@ -1,0 +1,105 @@
+#include "obs/curve.h"
+
+#include <cmath>
+
+#include "common/json_writer.h"
+
+namespace emp {
+namespace obs {
+
+AnytimeCurve::AnytimeCurve(size_t capacity, int64_t tick_interval_ms)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      tick_interval_ms_(tick_interval_ms < 1 ? 1 : tick_interval_ms),
+      epoch_(Clock::now()) {
+  samples_.reserve(capacity_ < 64 ? capacity_ : 64);
+}
+
+int64_t AnytimeCurve::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                               epoch_)
+      .count();
+}
+
+void AnytimeCurve::RecordLocked(int64_t now_ms, int64_t evaluations) {
+  if (samples_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  last_sample_ms_ = now_ms;
+  samples_.push_back(Sample{now_ms, best_p_, heterogeneity_,
+                            has_heterogeneity_, evaluations});
+}
+
+void AnytimeCurve::OnBestP(int32_t p, int64_t evaluations) {
+  const int64_t now = NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  best_p_ = p;
+  RecordLocked(now, evaluations);
+}
+
+void AnytimeCurve::OnHeterogeneity(double h, int64_t evaluations) {
+  const int64_t now = NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  heterogeneity_ = h;
+  has_heterogeneity_ = true;
+  RecordLocked(now, evaluations);
+}
+
+void AnytimeCurve::Tick(int64_t evaluations) {
+  const int64_t now = NowMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (last_sample_ms_ >= 0 && now - last_sample_ms_ < tick_interval_ms_) {
+    return;
+  }
+  RecordLocked(now, evaluations);
+}
+
+std::vector<AnytimeCurve::Sample> AnytimeCurve::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+int64_t AnytimeCurve::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string AnytimeCurve::ToJson() const {
+  std::vector<Sample> samples;
+  int64_t dropped_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples = samples_;
+    dropped_count = dropped_;
+  }
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("samples");
+  w.BeginArray();
+  for (const Sample& s : samples) {
+    w.BeginInlineObject();
+    w.Key("wall_ms");
+    w.Int(s.wall_ms);
+    w.Key("best_p");
+    w.Int(s.best_p);
+    w.Key("heterogeneity");
+    if (s.has_heterogeneity && std::isfinite(s.heterogeneity)) {
+      w.Double(s.heterogeneity);
+    } else {
+      w.Null();
+    }
+    w.Key("evaluations");
+    w.Int(s.evaluations);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("dropped");
+  w.Int(dropped_count);
+  w.Key("capacity");
+  w.Int(static_cast<int64_t>(capacity_));
+  w.EndObject();
+  return std::move(w).TakeString();
+}
+
+}  // namespace obs
+}  // namespace emp

@@ -101,6 +101,32 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
   }
   w.EndObject();
 
+  w.Key("summaries");
+  w.BeginObject();
+  for (const auto& [name, data] : snapshot.summaries) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("quantiles");
+    w.BeginArray();
+    for (const auto& [phi, value] : data.quantiles) {
+      w.BeginInlineObject();
+      w.Key("quantile");
+      w.Double(phi);
+      w.Key("value");
+      w.Double(value);  // NaN (empty summary) serializes as null
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("sum");
+    w.Double(data.sum);
+    w.Key("count");
+    w.Int(data.count);
+    w.Key("rank_error_bound");
+    w.Double(data.rank_error_bound);
+    w.EndObject();
+  }
+  w.EndObject();
+
   w.EndObject();
   return std::move(w).TakeString();
 }
@@ -131,6 +157,16 @@ std::string MetricsToPrometheus(const MetricsSnapshot& snapshot) {
           i < data.bounds.size() ? PromDouble(data.bounds[i]) : "+Inf";
       out += name + "_bucket{le=\"" + le +
              "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + PromDouble(data.sum) + "\n";
+    out += name + "_count " + std::to_string(data.count) + "\n";
+  }
+  for (const auto& [name, data] : snapshot.summaries) {
+    AppendHelp(snapshot, name, &out);
+    out += "# TYPE " + name + " summary\n";
+    for (const auto& [phi, value] : data.quantiles) {
+      out += name + "{quantile=\"" + PromDouble(phi) + "\"} " +
+             PromDouble(value) + "\n";
     }
     out += name + "_sum " + PromDouble(data.sum) + "\n";
     out += name + "_count " + std::to_string(data.count) + "\n";

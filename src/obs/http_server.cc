@@ -15,6 +15,7 @@
 #include "common/json_writer.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/progress.h"
 
 namespace emp {
@@ -322,7 +323,8 @@ HttpResponse HttpServer::RouteRequest(const HttpRequest& request) {
 
   const bool builtin_target =
       request.target == "/healthz" || request.target == "/metrics" ||
-      request.target == "/metrics.json" || request.target == "/progress";
+      request.target == "/metrics.json" || request.target == "/progress" ||
+      request.target == "/profile";
   if (builtin_target && request.method != "GET") {
     HttpResponse response = JsonErrorResponse(
         405, "method_not_allowed",
@@ -353,10 +355,16 @@ HttpResponse HttpServer::RouteRequest(const HttpRequest& request) {
                                           : ProgressSnapshot{};
     return HttpResponse{200, "application/json", ProgressToJson(snapshot), {}};
   }
+  if (request.target == "/profile") {
+    // Process-wide profiler state; reports enabled=false with an empty
+    // phase table when --profile-hz was never requested.
+    return HttpResponse{
+        200, "application/json", PhaseProfiler::ToJson() + "\n", {}};
+  }
   return JsonErrorResponse(404, "not_found",
                            "no route for " + request.target +
                                "; try /healthz /metrics /metrics.json "
-                               "/progress");
+                               "/progress /profile");
 }
 
 }  // namespace obs

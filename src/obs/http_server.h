@@ -55,6 +55,8 @@ HttpResponse JsonErrorResponse(int status, std::string_view code,
 ///   GET /metrics       -> Prometheus text exposition of the live registry
 ///   GET /metrics.json  -> the same snapshot as JSON
 ///   GET /progress      -> ProgressToJson(board->Read())
+///   GET /profile       -> PhaseProfiler::ToJson() (process-wide; reports
+///                         enabled=false when the profiler never started)
 ///
 /// An optional Options::handler extends the server with application
 /// routes (the solve-service job API): it sees every request first and

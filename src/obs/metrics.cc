@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/quantile.h"
+
 namespace emp {
 namespace obs {
 
@@ -34,6 +36,27 @@ std::vector<int64_t> Histogram::bucket_counts() const {
 std::vector<double> DefaultSecondsBuckets() {
   return {0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05,
           0.1,    0.5,    1.0,   5.0,   10.0, 60.0};
+}
+
+struct Summary::Impl {
+  explicit Impl(double eps) : sketch(eps) {}
+  QuantileSketch sketch;
+};
+
+const std::vector<double>& Summary::Quantiles() {
+  static const std::vector<double> kQuantiles = {0.5, 0.95, 0.99};
+  return kQuantiles;
+}
+
+Summary::Summary(double eps) : impl_(std::make_unique<Impl>(eps)) {}
+Summary::~Summary() = default;
+
+void Summary::Observe(double v) { impl_->sketch.Observe(v); }
+double Summary::Query(double phi) const { return impl_->sketch.Query(phi); }
+int64_t Summary::count() const { return impl_->sketch.count(); }
+double Summary::sum() const { return impl_->sketch.sum(); }
+double Summary::rank_error_bound() const {
+  return impl_->sketch.rank_error_bound();
 }
 
 void MetricRegistry::RecordHelp(std::string_view name,
@@ -81,6 +104,19 @@ Histogram* MetricRegistry::GetHistogram(std::string_view name,
   return it->second.get();
 }
 
+Summary* MetricRegistry::GetSummary(std::string_view name, double eps,
+                                    std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RecordHelp(name, help);
+  auto it = summaries_.find(name);
+  if (it == summaries_.end()) {
+    it = summaries_
+             .emplace(std::string(name), std::make_unique<Summary>(eps))
+             .first;
+  }
+  return it->second.get();
+}
+
 MetricsSnapshot MetricRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
@@ -100,6 +136,18 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
     data.count = histogram->count();
     data.sum = histogram->sum();
     snapshot.histograms.emplace_back(name, std::move(data));
+  }
+  snapshot.summaries.reserve(summaries_.size());
+  for (const auto& [name, summary] : summaries_) {
+    MetricsSnapshot::SummaryData data;
+    data.quantiles.reserve(Summary::Quantiles().size());
+    for (double phi : Summary::Quantiles()) {
+      data.quantiles.emplace_back(phi, summary->Query(phi));
+    }
+    data.count = summary->count();
+    data.sum = summary->sum();
+    data.rank_error_bound = summary->rank_error_bound();
+    snapshot.summaries.emplace_back(name, std::move(data));
   }
   snapshot.help.reserve(help_.size());
   for (const auto& [name, text] : help_) {

@@ -66,6 +66,33 @@ class Histogram {
 /// Default bucket bounds for phase / sub-step durations in seconds.
 std::vector<double> DefaultSecondsBuckets();
 
+/// Streaming quantile metric (Prometheus summary type): a CKMS-style
+/// sketch behind the registry's usual stable-pointer interface. Observe()
+/// is lock-cheap (one short critical section appending to the sketch's
+/// insert buffer); exposition reports the canonical p50/p95/p99 plus
+/// _sum/_count. See obs/quantile.h for the rank-error guarantee.
+class Summary {
+ public:
+  /// Quantiles every summary exposes, in exposition order.
+  static const std::vector<double>& Quantiles();
+
+  explicit Summary(double eps = 0.005);
+  ~Summary();
+  Summary(const Summary&) = delete;
+  Summary& operator=(const Summary&) = delete;
+
+  void Observe(double v);
+  /// Estimate of the phi-quantile; NaN while empty.
+  double Query(double phi) const;
+  int64_t count() const;
+  double sum() const;
+  double rank_error_bound() const;
+
+ private:
+  struct Impl;  // wraps QuantileSketch without leaking it into this header
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Point-in-time copy of every registered metric, name-sorted — the
 /// exporters' input, decoupled from concurrent writers.
 struct MetricsSnapshot {
@@ -75,9 +102,19 @@ struct MetricsSnapshot {
     int64_t count = 0;
     double sum = 0.0;
   };
+  struct SummaryData {
+    /// (phi, estimate) pairs in Summary::Quantiles() order; the estimate
+    /// is NaN while the summary is empty (exporters render that as the
+    /// Prometheus `NaN` sample / JSON null).
+    std::vector<std::pair<double, double>> quantiles;
+    int64_t count = 0;
+    double sum = 0.0;
+    double rank_error_bound = 0.0;
+  };
   std::vector<std::pair<std::string, int64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
   std::vector<std::pair<std::string, HistogramData>> histograms;
+  std::vector<std::pair<std::string, SummaryData>> summaries;
   /// Per-metric descriptions (name -> help text), name-sorted; only
   /// metrics registered with a non-empty help string appear. The
   /// Prometheus exporter renders these as `# HELP` lines.
@@ -108,6 +145,10 @@ class MetricRegistry {
   Histogram* GetHistogram(std::string_view name,
                           std::vector<double> bounds = DefaultSecondsBuckets(),
                           std::string_view help = {});
+  /// Registers with `eps` on first use; later calls for the same name
+  /// return the existing summary regardless of eps.
+  Summary* GetSummary(std::string_view name, double eps = 0.005,
+                      std::string_view help = {});
 
   MetricsSnapshot Snapshot() const;
 
@@ -118,6 +159,7 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<Summary>, std::less<>> summaries_;
   std::map<std::string, std::string, std::less<>> help_;
 };
 
@@ -148,6 +190,12 @@ inline void Set(Gauge* gauge, double v) {
 }
 inline void Observe(Histogram* histogram, double v) {
   if (histogram != nullptr) histogram->Observe(v);
+}
+inline Summary* GetSummary(MetricRegistry* registry, std::string_view name) {
+  return registry != nullptr ? registry->GetSummary(name) : nullptr;
+}
+inline void Observe(Summary* summary, double v) {
+  if (summary != nullptr) summary->Observe(v);
 }
 
 }  // namespace obs

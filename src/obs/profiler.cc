@@ -1,0 +1,193 @@
+#include "obs/profiler.h"
+
+#include <sys/time.h>
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json_writer.h"
+
+namespace emp {
+namespace obs {
+
+namespace {
+
+/// Attribution for ticks landing before the interrupted thread ever
+/// published a phase (non-solver threads, the accept loop, ...).
+constexpr const char* kUnattributed = "unattributed";
+
+/// Distinct phase names the table can hold. The board's canonical set is
+/// ~a dozen; 32 leaves room without growing the handler's scan.
+constexpr size_t kSlots = 32;
+
+struct Slot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<int64_t> ticks{0};
+};
+
+// All handler-visible state is lock-free atomics with static storage:
+// nothing here allocates, and the handler never takes a lock.
+Slot g_slots[kSlots];
+std::atomic<int64_t> g_total_ticks{0};
+std::atomic<int64_t> g_overflow_ticks{0};
+std::atomic<bool> g_enabled{false};
+std::atomic<int> g_hz{0};
+
+/// The interrupted thread's current phase. SIGPROF is delivered to a
+/// thread that is consuming CPU, and the handler runs *on* that thread,
+/// so this thread-local is only ever touched by its own thread — the
+/// atomic is for signal-handler (not cross-thread) visibility.
+thread_local std::atomic<const char*> t_phase{nullptr};
+
+/// Charges one tick to `phase`. Async-signal-safe: atomic loads, one
+/// bounded CAS loop over a fixed array, atomic adds.
+void RecordTick(const char* phase) {
+  if (phase == nullptr) phase = kUnattributed;
+  g_total_ticks.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < kSlots; ++i) {
+    const char* name = g_slots[i].name.load(std::memory_order_acquire);
+    if (name == phase) {
+      g_slots[i].ticks.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (name == nullptr) {
+      const char* expected = nullptr;
+      if (g_slots[i].name.compare_exchange_strong(
+              expected, phase, std::memory_order_acq_rel)) {
+        g_slots[i].ticks.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // Lost the claim race; the winner may have installed our phase.
+      if (expected == phase) {
+        g_slots[i].ticks.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+  g_overflow_ticks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void OnSigprof(int) {
+  RecordTick(t_phase.load(std::memory_order_relaxed));
+}
+
+}  // namespace
+
+Status PhaseProfiler::Start(int hz) {
+  if (hz < 1 || hz > 1000) {
+    return Status::InvalidArgument(
+        "PhaseProfiler: hz must be in [1, 1000], got " + std::to_string(hz));
+  }
+  bool expected = false;
+  if (!g_enabled.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition("PhaseProfiler: already running");
+  }
+
+  // Fresh run: zero the table so a restarted profiler reports one
+  // sampling session, not the union of all of them.
+  for (Slot& slot : g_slots) {
+    slot.name.store(nullptr, std::memory_order_relaxed);
+    slot.ticks.store(0, std::memory_order_relaxed);
+  }
+  g_total_ticks.store(0, std::memory_order_relaxed);
+  g_overflow_ticks.store(0, std::memory_order_relaxed);
+  g_hz.store(hz, std::memory_order_relaxed);
+
+  struct sigaction action = {};
+  action.sa_handler = OnSigprof;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;  // never surface EINTR into solver I/O
+  if (sigaction(SIGPROF, &action, nullptr) != 0) {
+    g_enabled.store(false, std::memory_order_release);
+    return Status::IOError("PhaseProfiler: sigaction(SIGPROF) failed");
+  }
+
+  itimerval timer = {};
+  const long interval_us = 1000000L / hz;
+  timer.it_interval.tv_sec = interval_us / 1000000L;
+  timer.it_interval.tv_usec = interval_us % 1000000L;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    signal(SIGPROF, SIG_DFL);
+    g_enabled.store(false, std::memory_order_release);
+    return Status::IOError("PhaseProfiler: setitimer(ITIMER_PROF) failed");
+  }
+  return Status::OK();
+}
+
+void PhaseProfiler::Stop() {
+  if (!g_enabled.exchange(false, std::memory_order_acq_rel)) return;
+  itimerval off = {};
+  setitimer(ITIMER_PROF, &off, nullptr);
+  // SIG_IGN (not SIG_DFL): one last already-queued SIGPROF after the
+  // disarm must not kill the process.
+  signal(SIGPROF, SIG_IGN);
+}
+
+bool PhaseProfiler::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void PhaseProfiler::SetThreadPhase(const char* phase) {
+  t_phase.store(phase, std::memory_order_relaxed);
+}
+
+std::string PhaseProfiler::ToJson() {
+  struct Row {
+    const char* name;
+    int64_t ticks;
+  };
+  std::vector<Row> rows;
+  rows.reserve(kSlots);
+  for (const Slot& slot : g_slots) {
+    const char* name = slot.name.load(std::memory_order_acquire);
+    const int64_t ticks = slot.ticks.load(std::memory_order_relaxed);
+    if (name != nullptr && ticks > 0) rows.push_back(Row{name, ticks});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.ticks != b.ticks) return a.ticks > b.ticks;
+    return std::string_view(a.name) < std::string_view(b.name);
+  });
+  const int64_t total = g_total_ticks.load(std::memory_order_relaxed);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("enabled");
+  w.Bool(g_enabled.load(std::memory_order_relaxed));
+  w.Key("hz");
+  w.Int(g_hz.load(std::memory_order_relaxed));
+  w.Key("total_ticks");
+  w.Int(total);
+  w.Key("overflow_ticks");
+  w.Int(g_overflow_ticks.load(std::memory_order_relaxed));
+  w.Key("phases");
+  w.BeginArray();
+  for (const Row& row : rows) {
+    w.BeginInlineObject();
+    w.Key("phase");
+    w.String(row.name);
+    w.Key("ticks");
+    w.Int(row.ticks);
+    w.Key("fraction");
+    w.Double(total > 0 ? static_cast<double>(row.ticks) /
+                             static_cast<double>(total)
+                       : 0.0);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).TakeString();
+}
+
+void PhaseProfiler::RecordTickForTest(const char* phase) {
+  RecordTick(phase);
+}
+
+}  // namespace obs
+}  // namespace emp

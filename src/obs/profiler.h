@@ -1,0 +1,74 @@
+#ifndef EMP_OBS_PROFILER_H_
+#define EMP_OBS_PROFILER_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace emp {
+namespace obs {
+
+/// Opt-in phase-attributed sampling profiler: a SIGPROF / ITIMER_PROF
+/// sampler that charges each CPU tick to the solver phase the interrupted
+/// thread last published on its ProgressBoard. No stack unwinding — the
+/// phase name is already interned to a static string by the board, so the
+/// signal handler only performs atomic loads and adds on a fixed,
+/// pre-allocated slot table.
+///
+/// Process-wide singleton (ITIMER_PROF is a per-process resource): one
+/// Start()/Stop() pair owns the timer; nested Start() fails. Disabled, it
+/// costs nothing — the board's publish path checks one relaxed atomic
+/// before touching the thread-local phase slot, and the fixed-seed solve
+/// output is bit-identical with the profiler on or off (sampling only
+/// reads solver state; it never synchronizes with it).
+///
+/// Signal-safety rules (DESIGN.md §15): the handler reads one lock-free
+/// thread-local atomic (the interned phase pointer), then linear-scans a
+/// fixed array of {atomic<const char*>, atomic<int64_t>} slots, claiming
+/// an empty slot by compare-exchange. No allocation, no locks, no
+/// formatting, no library calls — every operation is async-signal-safe.
+/// Slot-table overflow (more distinct phase names than slots) is counted,
+/// never blocking.
+class PhaseProfiler {
+ public:
+  /// Arms ITIMER_PROF at `hz` samples of *CPU time* per second (1..1000;
+  /// prime rates such as 97 avoid beating against periodic work) and
+  /// installs the SIGPROF handler. Resets previously accumulated ticks.
+  /// FailedPrecondition when already running; InvalidArgument for an
+  /// out-of-range rate; IOError when the timer cannot be armed.
+  static Status Start(int hz);
+
+  /// Disarms the timer and restores the default SIGPROF disposition.
+  /// Accumulated ticks remain readable via ToJson(). Idempotent.
+  static void Stop();
+
+  static bool enabled();
+
+  /// Publishes the interrupted-thread attribution target. `phase` MUST be
+  /// an interned pointer with static storage duration (the ProgressBoard
+  /// canonical names) — the handler dereferences nothing, but ToJson()
+  /// reads the string after the fact. Called by ProgressBoard on every
+  /// SetPhase/OnCheckpoint publish; a no-op while the profiler is off.
+  static void SetThreadPhase(const char* phase);
+
+  /// The phase-weighted tick table as one JSON document:
+  ///   {"enabled": bool, "hz": N, "total_ticks": N, "overflow_ticks": N,
+  ///    "phases": [{"phase": "tabu", "ticks": N, "fraction": F}, ...]}
+  /// sorted by descending tick count (ties by name). Readable while
+  /// sampling is live and after Stop().
+  static std::string ToJson();
+
+  /// Test hook: runs the handler's slot-accounting path once for
+  /// `phase` without any signal machinery, so the attribution logic is
+  /// testable deterministically (and under TSan, which dislikes real
+  /// ITIMER_PROF traffic).
+  static void RecordTickForTest(const char* phase);
+
+ private:
+  PhaseProfiler() = delete;
+};
+
+}  // namespace obs
+}  // namespace emp
+
+#endif  // EMP_OBS_PROFILER_H_

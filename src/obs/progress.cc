@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/json_writer.h"
+#include "obs/profiler.h"
 
 namespace emp {
 namespace obs {
@@ -54,6 +55,11 @@ ProgressBoard::ProgressBoard() : epoch_(Clock::now()), phase_("idle") {
 
 void ProgressBoard::SetPhase(std::string_view phase) {
   const char* interned = CanonicalPhaseName(phase);
+  // Feed the sampling profiler's per-thread attribution from the same
+  // interned pointer the board stores. Worker threads publish their own
+  // phase transitions, so thread attribution comes for free; one relaxed
+  // load gates the whole thing when the profiler is off.
+  if (PhaseProfiler::enabled()) PhaseProfiler::SetThreadPhase(interned);
   Publish([&] {
     phase_.store(interned, std::memory_order_relaxed);
     // A new phase starts a fresh checkpoint count and work meter.
@@ -66,6 +72,7 @@ void ProgressBoard::SetPhase(std::string_view phase) {
 void ProgressBoard::OnCheckpoint(std::string_view phase, int64_t checkpoints,
                                  int64_t evaluations) {
   const char* interned = CanonicalPhaseName(phase);
+  if (PhaseProfiler::enabled()) PhaseProfiler::SetThreadPhase(interned);
   Publish([&] {
     phase_.store(interned, std::memory_order_relaxed);
     checkpoints_.store(checkpoints, std::memory_order_relaxed);

@@ -1,0 +1,229 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace emp {
+namespace obs {
+
+namespace {
+
+/// The GK compression threshold for n observations under rank-error
+/// fraction `bound`: tuples may widen to g + delta <= this value.
+int64_t Capacity(double bound, int64_t n) {
+  const double cap = 2.0 * bound * static_cast<double>(n);
+  return cap < 1.0 ? 1 : static_cast<int64_t>(cap);
+}
+
+}  // namespace
+
+QuantileSketch::QuantileSketch(double eps)
+    : eps_(eps < 1e-6 ? 1e-6 : (eps > 0.25 ? 0.25 : eps)), bound_(eps_) {
+  buffer_.reserve(kFlushThreshold);
+}
+
+QuantileSketch::QuantileSketch(const QuantileSketch& other) : eps_(other.eps_) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  other.FlushLocked();
+  bound_ = other.bound_;
+  tuples_ = other.tuples_;
+  count_ = other.count_;
+  sum_ = other.sum_;
+  buffer_.reserve(kFlushThreshold);
+}
+
+void QuantileSketch::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_.push_back(v);
+  ++count_;
+  sum_ += v;
+  if (buffer_.size() >= kFlushThreshold) FlushLocked();
+}
+
+void QuantileSketch::FlushLocked() const {
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end());
+
+  // One linear merge pass: walk the existing tuple list and the sorted
+  // buffer together. A value inserted strictly inside the summary gets
+  // delta = cap - 1 (its true rank is only known to within the local
+  // tuple width); a new minimum/maximum is exact (delta = 0).
+  const int64_t n = count_;  // already includes the buffered values
+  const int64_t cap = Capacity(bound_, n);
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + buffer_.size());
+  size_t ti = 0;
+  size_t bi = 0;
+  while (ti < tuples_.size() || bi < buffer_.size()) {
+    if (bi >= buffer_.size() ||
+        (ti < tuples_.size() && tuples_[ti].v <= buffer_[bi])) {
+      merged.push_back(tuples_[ti++]);
+      continue;
+    }
+    const bool at_edge = merged.empty() || ti >= tuples_.size();
+    merged.push_back(Tuple{buffer_[bi++], 1, at_edge ? 0 : cap - 1});
+  }
+  tuples_ = std::move(merged);
+  buffer_.clear();
+  CompressLocked();
+}
+
+void QuantileSketch::CompressLocked() const {
+  if (tuples_.size() < 2) return;
+  const int64_t cap = Capacity(bound_, count_);
+  // Right-to-left so a chain of small tuples collapses in one pass. The
+  // first and last tuples are never absorbed: they pin the observed min
+  // and max exactly.
+  size_t write = tuples_.size() - 1;
+  for (size_t i = tuples_.size() - 1; i-- > 0;) {
+    Tuple& cur = tuples_[i];
+    Tuple& next = tuples_[write];
+    if (i > 0 && cur.g + next.g + next.delta <= cap) {
+      next.g += cur.g;  // absorb cur into its right neighbor
+    } else {
+      tuples_[--write] = cur;
+    }
+  }
+  tuples_.erase(tuples_.begin(), tuples_.begin() + write);
+}
+
+double QuantileSketch::Query(double phi) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return QueryLocked(phi);
+}
+
+double QuantileSketch::QueryLocked(double phi) const {
+  FlushLocked();
+  if (tuples_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  phi = phi < 0.0 ? 0.0 : (phi > 1.0 ? 1.0 : phi);
+  const int64_t n = count_;
+  const int64_t target = static_cast<int64_t>(
+      std::ceil(phi * static_cast<double>(n)));
+  const int64_t rank = target < 1 ? 1 : target;
+  const int64_t slack = Capacity(bound_, n) / 2;  // floor(bound * n)
+  int64_t rmin = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    rmin += tuples_[i].g;
+    if (i + 1 == tuples_.size() ||
+        rmin + tuples_[i + 1].g + tuples_[i + 1].delta > rank + slack) {
+      return tuples_[i].v;
+    }
+  }
+  return tuples_.back().v;
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  if (&other == this) return;
+  // Copy under the source lock, then fold under ours — never hold both
+  // (callers may merge in any order).
+  const QuantileSketch snapshot(other);
+  if (snapshot.count_ == 0) return;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+  // Interleave the two sorted tuple lists. Each side keeps its g; the
+  // rank uncertainty of the other summary is absorbed into the merged
+  // bound (the sum), which CompressLocked and QueryLocked then use.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + snapshot.tuples_.size());
+  std::merge(tuples_.begin(), tuples_.end(), snapshot.tuples_.begin(),
+             snapshot.tuples_.end(), std::back_inserter(merged),
+             [](const Tuple& a, const Tuple& b) { return a.v < b.v; });
+  tuples_ = std::move(merged);
+  count_ += snapshot.count_;
+  sum_ += snapshot.sum_;
+  bound_ += snapshot.bound_;
+  CompressLocked();
+}
+
+int64_t QuantileSketch::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double QuantileSketch::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double QuantileSketch::rank_error_bound() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bound_;
+}
+
+int64_t QuantileSketch::tuple_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+  return static_cast<int64_t>(tuples_.size());
+}
+
+WindowedQuantiles::WindowedQuantiles(Options options,
+                                     std::function<int64_t()> now_ms)
+    : options_([&options] {
+        if (options.bucket_ms < 1) options.bucket_ms = 1;
+        if (options.buckets < 1) options.buckets = 1;
+        return options;
+      }()),
+      now_ms_(std::move(now_ms)),
+      epoch_(std::chrono::steady_clock::now()),
+      ring_(static_cast<size_t>(options_.buckets)) {}
+
+int64_t WindowedQuantiles::Now() const {
+  if (now_ms_) return now_ms_();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void WindowedQuantiles::RotateLocked(int64_t now) const {
+  // Lazy rotation: a bucket whose epoch is not the one the current time
+  // maps it to holds data older than one full ring revolution — reset it
+  // before use. Buckets not touched by writes are reset at query time
+  // instead (WindowSketch checks epochs, so stale buckets never leak).
+  const int64_t epoch = now / options_.bucket_ms;
+  Bucket& bucket = ring_[static_cast<size_t>(
+      epoch % static_cast<int64_t>(ring_.size()))];
+  if (bucket.epoch != epoch) {
+    bucket.epoch = epoch;
+    bucket.sketch = std::make_unique<QuantileSketch>(options_.eps);
+  }
+}
+
+void WindowedQuantiles::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = Now();
+  RotateLocked(now);
+  ring_[static_cast<size_t>((now / options_.bucket_ms) %
+                            static_cast<int64_t>(ring_.size()))]
+      .sketch->Observe(v);
+  ++total_count_;
+}
+
+QuantileSketch WindowedQuantiles::WindowSketch(int64_t window_ms) const {
+  QuantileSketch merged(options_.eps);
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = Now();
+  const int64_t newest_epoch = now / options_.bucket_ms;
+  // Buckets whose time span overlaps [now - window_ms, now]; the current
+  // (partial) bucket always qualifies.
+  const int64_t oldest_epoch = (now - window_ms) / options_.bucket_ms;
+  for (const Bucket& bucket : ring_) {
+    if (bucket.epoch < 0 || bucket.sketch == nullptr) continue;
+    if (bucket.epoch > newest_epoch || bucket.epoch < oldest_epoch) continue;
+    merged.Merge(*bucket.sketch);
+  }
+  return merged;
+}
+
+int64_t WindowedQuantiles::WindowCount(int64_t window_ms) const {
+  return WindowSketch(window_ms).count();
+}
+
+int64_t WindowedQuantiles::total_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_count_;
+}
+
+}  // namespace obs
+}  // namespace emp

@@ -1,0 +1,160 @@
+#ifndef EMP_OBS_QUANTILE_H_
+#define EMP_OBS_QUANTILE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace emp {
+namespace obs {
+
+/// Streaming quantile estimator in the Greenwald–Khanna / CKMS family,
+/// with a *uniform* rank-error guarantee: after observing n values,
+/// Query(phi) returns an element whose true rank is within
+/// rank_error_bound() * n of phi * n. The summary keeps
+/// O((1/eps) * log(eps * n)) tuples regardless of stream length, so the
+/// service can feed it one sample per terminal job forever.
+///
+/// Inserts are buffered: Observe() appends to a small vector (one mutex
+/// acquisition, no compression) and the buffer is folded into the tuple
+/// list — sort, merge, compress — every kFlushThreshold observations or
+/// on query. That keeps the write path lock-cheap for the job-completion
+/// rates the solve service sees.
+///
+/// Merge() combines two sketches (the windowed estimator below merges
+/// per-bucket sketches at query time). The merged bound is the
+/// *conservative* sum of the inputs' bounds — the classic mergeability
+/// result for GK summaries; the sketch carries its own current bound so
+/// callers (and tests) always assert against what the instance actually
+/// guarantees, never against the construction-time epsilon alone.
+///
+/// Thread-safe; every method may be called from any thread.
+class QuantileSketch {
+ public:
+  /// `eps` is the target rank error as a fraction of n (default 0.5 %,
+  /// i.e. p99 of 10k samples is off by at most 50 ranks). Clamped to
+  /// [1e-6, 0.25].
+  explicit QuantileSketch(double eps = 0.005);
+
+  /// Deep copy (locks `other`); used to lift per-bucket sketches into a
+  /// merged window view.
+  QuantileSketch(const QuantileSketch& other);
+  QuantileSketch& operator=(const QuantileSketch&) = delete;
+
+  /// Records one observation.
+  void Observe(double v);
+
+  /// Estimate of the phi-quantile (phi in [0, 1]); NaN while empty.
+  double Query(double phi) const;
+
+  /// Folds `other` into this sketch. The rank-error bound becomes the
+  /// sum of both bounds (conservative).
+  void Merge(const QuantileSketch& other);
+
+  int64_t count() const;
+  double sum() const;
+
+  /// The rank-error fraction this instance currently guarantees: the
+  /// construction epsilon, plus the bound of every sketch merged in.
+  double rank_error_bound() const;
+
+  /// Retained summary tuples (diagnostics: sublinear in count()).
+  int64_t tuple_count() const;
+
+ private:
+  /// One GK tuple: `v` with g = rmin(v) - rmin(prev) and
+  /// delta = rmax(v) - rmin(v). Invariant after compression:
+  /// g + delta <= max(1, floor(2 * bound * n)).
+  struct Tuple {
+    double v = 0.0;
+    int64_t g = 0;
+    int64_t delta = 0;
+  };
+
+  static constexpr size_t kFlushThreshold = 128;
+
+  void FlushLocked() const;
+  void CompressLocked() const;
+  double QueryLocked(double phi) const;
+
+  mutable std::mutex mu_;
+  const double eps_;
+  mutable double bound_;                 // grows on Merge
+  mutable std::vector<Tuple> tuples_;    // sorted by v
+  mutable std::vector<double> buffer_;   // unsorted, pending flush
+  mutable int64_t count_ = 0;            // includes buffered values
+  double sum_ = 0.0;
+};
+
+/// Sliding-window quantiles built from a ring of bucketed QuantileSketch
+/// instances: each bucket covers `bucket_ms` of wall time, and a window
+/// query merges the buckets overlapping the last `window_ms` into one
+/// sketch (so the returned view carries a summed — conservative — rank
+/// error bound of roughly eps * ceil(window/bucket)). Window edges are
+/// bucket-granular: a "1m" window covers between 1m and 1m + bucket_ms of
+/// history, which is the standard coarse-bucket tradeoff.
+///
+/// The clock is injectable so rotation/expiry is deterministic in tests;
+/// production uses a steady-clock milliseconds-since-construction default.
+/// Thread-safe.
+class WindowedQuantiles {
+ public:
+  struct Options {
+    /// Wall time covered by one ring bucket.
+    int64_t bucket_ms = 30000;
+    /// Ring size; buckets * bucket_ms is the longest queryable window
+    /// (default 10 x 30 s = 5 minutes).
+    int buckets = 10;
+    /// Per-bucket sketch epsilon. Kept tighter than the all-time default
+    /// because window queries merge (and therefore sum) bucket bounds.
+    double eps = 0.001;
+  };
+
+  /// `now_ms` overrides the clock (monotonic milliseconds); null uses
+  /// steady_clock relative to construction.
+  explicit WindowedQuantiles(Options options,
+                             std::function<int64_t()> now_ms = nullptr);
+  WindowedQuantiles() : WindowedQuantiles(Options{}) {}
+  WindowedQuantiles(const WindowedQuantiles&) = delete;
+  WindowedQuantiles& operator=(const WindowedQuantiles&) = delete;
+
+  /// Records one observation into the current bucket (rotating stale
+  /// buckets out first).
+  void Observe(double v);
+
+  /// Merged sketch over the buckets that overlap [now - window_ms, now].
+  /// An empty window yields an empty sketch (count() == 0, NaN queries).
+  QuantileSketch WindowSketch(int64_t window_ms) const;
+
+  /// Observations inside the window (same bucket granularity).
+  int64_t WindowCount(int64_t window_ms) const;
+
+  /// All observations ever recorded (survives rotation).
+  int64_t total_count() const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    int64_t epoch = -1;  // now_ms / bucket_ms when last reset; -1 = empty
+    std::unique_ptr<QuantileSketch> sketch;
+  };
+
+  int64_t Now() const;
+  void RotateLocked(int64_t now) const;
+
+  const Options options_;
+  const std::function<int64_t()> now_ms_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  mutable std::vector<Bucket> ring_;
+  int64_t total_count_ = 0;
+};
+
+}  // namespace obs
+}  // namespace emp
+
+#endif  // EMP_OBS_QUANTILE_H_

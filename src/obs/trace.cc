@@ -67,13 +67,30 @@ void TraceBuffer::AttachDropMetrics(MetricRegistry* registry) {
   if (dropped_ > 0) drop_counter_->Add(dropped_);
 }
 
-std::string TraceBuffer::ToJson() const {
+std::string TraceBuffer::ToJson(std::string_view trace_id) const {
   const std::vector<TraceEvent> events = Snapshot();
   const int64_t dropped = dropped_events();
   JsonWriter w;
   w.BeginObject();
   w.Key("traceEvents");
   w.BeginArray();
+  if (!trace_id.empty()) {
+    w.BeginInlineObject();
+    w.Key("name");
+    w.String("trace_id");
+    w.Key("ph");
+    w.String("M");
+    w.Key("pid");
+    w.Int(0);
+    w.Key("tid");
+    w.Int(0);
+    w.Key("args");
+    w.BeginInlineObject();
+    w.Key("trace_id");
+    w.String(trace_id);
+    w.EndObject();
+    w.EndObject();
+  }
   if (dropped > 0) {
     // Metadata record announcing the truncation, so a consumer never
     // mistakes a clipped trace for a complete one.
@@ -121,6 +138,10 @@ std::string TraceBuffer::ToJson() const {
     w.EndObject();
   }
   w.EndArray();
+  if (!trace_id.empty()) {
+    w.Key("traceId");
+    w.String(trace_id);
+  }
   w.Key("droppedEvents");
   w.Int(dropped_events());
   w.EndObject();

@@ -65,8 +65,11 @@ class TraceBuffer {
   /// instants) via JsonWriter; loadable in about://tracing or Perfetto.
   /// A buffer that dropped events additionally emits a `dropped_events`
   /// metadata record (ph "M" with the drop count and capacity in args),
-  /// so a truncated trace is self-describing.
-  std::string ToJson() const;
+  /// so a truncated trace is self-describing. A non-empty `trace_id`
+  /// (the service's per-job id) is emitted both as a top-level field and
+  /// as a `trace_id` metadata record so exported files remain
+  /// self-identifying after download.
+  std::string ToJson(std::string_view trace_id = {}) const;
 
  private:
   using Clock = std::chrono::steady_clock;

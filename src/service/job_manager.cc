@@ -3,13 +3,43 @@
 #include <utility>
 
 #include "common/json_writer.h"
+#include "common/stopwatch.h"
 #include "core/report.h"
 #include "data/loader.h"
 #include "data/synthetic/dataset_catalog.h"
+#include "obs/curve.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace emp {
 namespace service {
+
+namespace {
+
+/// FNV-1a over (job id, admission time, instance digest): a stable 16-hex
+/// id that distinguishes re-submissions of the same instance without any
+/// global randomness source.
+std::string MakeTraceId(int64_t job_id, int64_t queued_ms,
+                        std::string_view instance_digest) {
+  uint64_t h = 1469598103934665603ull;
+  const auto mix_byte = [&h](unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  const auto mix_u64 = [&mix_byte](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  mix_u64(static_cast<uint64_t>(job_id));
+  mix_u64(static_cast<uint64_t>(queued_ms));
+  for (char c : instance_digest) {
+    mix_byte(static_cast<unsigned char>(c));
+  }
+  return obs::DigestHex(h);
+}
+
+}  // namespace
 
 std::string_view JobStateName(JobState state) {
   switch (state) {
@@ -44,6 +74,7 @@ struct JobManager::Job {
   JobState state = JobState::kQueued;
   std::string instance;
   std::string instance_digest;
+  std::string trace_id;
   std::string error;
   std::string termination;
   std::string result_json;
@@ -58,11 +89,18 @@ struct JobManager::Job {
   CancellationToken cancel;
   obs::ProgressBoard board;
   obs::RunJournal journal;
+  /// Per-job timeline, epoch = admission (construction at Submit), so the
+  /// queue-wait span starts at ts 0. Internally synchronized like the
+  /// board/journal.
+  obs::TraceBuffer trace{4096};
+  /// Anytime-quality recorder, wall clock also starting at admission.
+  obs::AnytimeCurve curve;
 };
 
 JobManager::JobManager(Options options)
     : options_(std::move(options)),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now()),
+      stats_(ServiceStats::Options{options_.metrics, {}, nullptr}) {}
 
 Result<std::unique_ptr<JobManager>> JobManager::Create(Options options) {
   if (options.workers < 1) {
@@ -133,8 +171,10 @@ Result<std::shared_ptr<const AreaSet>> JobManager::LoadInstance(
 Result<JobSnapshot> JobManager::Submit(const JobRequest& request) {
   // Bind the whole request before taking a queue slot, so a bad request
   // fails with the library's exact Status and is never admitted.
+  Stopwatch bind_timer;
   EMP_ASSIGN_OR_RETURN(std::shared_ptr<const AreaSet> areas,
                        LoadInstance(request.instance));
+  const double bind_ms = bind_timer.ElapsedSeconds() * 1000.0;
   SolverSpec spec;
   spec.solver = request.solver;
   spec.areas = areas.get();
@@ -158,6 +198,10 @@ Result<JobSnapshot> JobManager::Submit(const JobRequest& request) {
   job->solver_name = std::string(solver->name());
   job->solver = std::move(solver);
   job->queued_ms = NowMs();
+  job->trace_id = MakeTraceId(job->id, job->queued_ms, job->instance_digest);
+  // Instance bind (load/synthesize or cache hit) happened just before the
+  // trace epoch; record it as a point sample carrying its cost in ms.
+  job->trace.RecordInstant("instance.bind", bind_ms);
 
   if (options_.metrics != nullptr) {
     options_.metrics
@@ -180,6 +224,7 @@ Result<JobSnapshot> JobManager::Submit(const JobRequest& request) {
     }
     Job& ref = *job;
     jobs_.emplace(ref.id, std::move(job));
+    RecordTerminalLocked(ref);
     terminal_cv_.notify_all();
     return SnapshotLocked(ref, /*include_payloads=*/true);
   }
@@ -208,6 +253,10 @@ void JobManager::WorkerLoop() {
       job->state = JobState::kRunning;
       job->started_ms = NowMs();
     }
+    // Queue wait as a first-class span: the trace epoch is admission, so
+    // [0, now] is exactly the time this job sat waiting for a worker.
+    job->trace.RecordSpan("queue.wait", 0, job->trace.NowMicros(),
+                          /*worker=*/0);
     if (options_.on_job_started) options_.on_job_started(job->id);
     RunJob(*job);
   }
@@ -219,6 +268,8 @@ void JobManager::RunJob(Job& job) {
   job.journal.Append("job_start", [&job](JsonWriter& w) {
     w.Key("job_id");
     w.Int(job.id);
+    w.Key("trace_id");
+    w.String(job.trace_id);
     w.Key("instance");
     w.String(job.instance);
     w.Key("instance_digest");
@@ -231,6 +282,8 @@ void JobManager::RunJob(Job& job) {
   ctx.cancel = job.cancel;  // copies share the flag
   ctx.progress_board = &job.board;
   ctx.journal = &job.journal;
+  ctx.trace = &job.trace;
+  ctx.curve = &job.curve;
   Result<Solution> result = job.solver->Solve(ctx);
 
   std::lock_guard<std::mutex> lock(mu_);
@@ -255,6 +308,17 @@ void JobManager::RunJob(Job& job) {
     job.error = result.status().message();
   }
   job.finished_ms = NowMs();
+  // The anytime curve goes into the journal too (forced, like job_end),
+  // so the audit trail alone reconstructs quality-vs-time.
+  job.journal.Append(
+      "anytime_curve",
+      [&job](JsonWriter& w) {
+        w.Key("job_id");
+        w.Int(job.id);
+        w.Key("curve");
+        w.Raw(job.curve.ToJson());
+      },
+      /*force=*/true);
   job.journal.Append(
       "job_end",
       [&job](JsonWriter& w) {
@@ -274,6 +338,7 @@ void JobManager::RunJob(Job& job) {
       /*force=*/true);
   job.solver.reset();  // the solver borrowed areas; drop it first
   CountFinishedLocked(job);
+  RecordTerminalLocked(job);
   terminal_cv_.notify_all();
 }
 
@@ -284,6 +349,39 @@ void JobManager::CountFinishedLocked(const Job& job) {
                    "Solve jobs reaching done/failed/cancelled.")
       ->Add(1);
   (void)job;
+}
+
+void JobManager::RecordTerminalLocked(const Job& job) {
+  ServiceStats::Outcome outcome;
+  switch (job.state) {
+    case JobState::kDone:
+      outcome = ServiceStats::Outcome::kDone;
+      break;
+    case JobState::kFailed:
+      outcome = ServiceStats::Outcome::kFailed;
+      break;
+    case JobState::kCancelled:
+      outcome = ServiceStats::Outcome::kCancelled;
+      break;
+    case JobState::kRejected:
+      outcome = ServiceStats::Outcome::kRejected;
+      break;
+    default:
+      return;  // not terminal; nothing to record
+  }
+  // Dimensions a job never reached stay negative and are skipped by the
+  // stats: a rejected job has no queue wait or solve time, a job
+  // cancelled before pickup no solve time.
+  const bool picked_up = job.started_ms >= 0;
+  const int64_t queue_wait_ms =
+      outcome == ServiceStats::Outcome::kRejected
+          ? -1
+          : (picked_up ? job.started_ms : job.finished_ms) - job.queued_ms;
+  const int64_t solve_ms =
+      picked_up ? job.finished_ms - job.started_ms : -1;
+  const int64_t e2e_ms = job.finished_ms - job.queued_ms;
+  stats_.RecordTerminal(job.solver_name, outcome, queue_wait_ms, solve_ms,
+                        e2e_ms);
 }
 
 Result<JobSnapshot> JobManager::Cancel(int64_t job_id) {
@@ -309,6 +407,7 @@ Result<JobSnapshot> JobManager::Cancel(int64_t job_id) {
         },
         /*force=*/true);
     CountFinishedLocked(job);
+    RecordTerminalLocked(job);
     terminal_cv_.notify_all();
   } else if (job.state == JobState::kRunning) {
     job.cancel.Cancel();  // observed at the solver's next checkpoint
@@ -324,6 +423,7 @@ JobSnapshot JobManager::SnapshotLocked(const Job& job,
   snapshot.solver = job.solver_name;
   snapshot.instance = job.instance;
   snapshot.instance_digest = job.instance_digest;
+  snapshot.trace_id = job.trace_id;
   snapshot.error = job.error;
   snapshot.termination = job.termination;
   snapshot.queued_ms = job.queued_ms;
@@ -364,6 +464,26 @@ Result<std::string> JobManager::JournalJsonl(int64_t job_id) const {
   return it->second->journal.ToJsonl();
 }
 
+Result<std::string> JobManager::TraceJson(int64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(job_id));
+  }
+  // The buffer is internally synchronized, so serializing a running job's
+  // live timeline is safe — the export is simply a point-in-time view.
+  return it->second->trace.ToJson(it->second->trace_id);
+}
+
+Result<std::string> JobManager::CurveJson(int64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(job_id));
+  }
+  return it->second->curve.ToJson();
+}
+
 Result<JobState> JobManager::WaitTerminal(int64_t job_id, int64_t timeout_ms) {
   std::unique_lock<std::mutex> lock(mu_);
   auto it = jobs_.find(job_id);
@@ -401,6 +521,7 @@ void JobManager::Shutdown() {
       job.error = "cancelled by shutdown";
       job.finished_ms = NowMs();
       CountFinishedLocked(job);
+      RecordTerminalLocked(job);
     }
     queue_.clear();
     for (auto& [id, job] : jobs_) {

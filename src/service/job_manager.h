@@ -20,6 +20,7 @@
 #include "data/area_set.h"
 #include "obs/journal.h"
 #include "obs/progress.h"
+#include "service/service_stats.h"
 
 namespace emp {
 
@@ -82,6 +83,10 @@ struct JobSnapshot {
   std::string solver;
   std::string instance;
   std::string instance_digest;  // 16 hex chars once the instance is bound
+  /// 16-hex job trace id (FNV-1a over id, admission time, and instance
+  /// digest), assigned at admission and threaded through the job journal
+  /// and the Chrome-trace export.
+  std::string trace_id;
   std::string error;            // failed/rejected detail
   std::string termination;      // TerminationReasonName once solved
   std::string progress_json;
@@ -154,12 +159,33 @@ class JobManager {
   /// Snapshot of one job (NotFound for unknown ids).
   Result<JobSnapshot> Get(int64_t job_id) const;
 
-  /// Snapshots of every job in submission order, without the (possibly
-  /// large) result_json / progress_json payloads.
+  /// Snapshots of every job, without the (possibly large) result_json /
+  /// progress_json payloads. Ordering guarantee: ascending job id, which
+  /// IS submission order — ids are assigned from a counter under the
+  /// manager lock at admission, and the backing map iterates in key
+  /// order. Clients (and the /jobs endpoint) may rely on it; pinned by
+  /// service_test.
   std::vector<JobSnapshot> List() const;
 
   /// The job's journal as JSONL (NotFound for unknown ids).
   Result<std::string> JournalJsonl(int64_t job_id) const;
+
+  /// The job's per-job timeline as Chrome-trace JSON — queue wait,
+  /// instance bind, solve/construction/tabu spans recorded while it ran —
+  /// stamped with its trace id. NotFound for unknown ids.
+  Result<std::string> TraceJson(int64_t job_id) const;
+
+  /// The job's anytime-quality curve (obs::AnytimeCurve::ToJson):
+  /// (wall_ms, best_p, heterogeneity, evaluations) samples recorded on
+  /// every incumbent improvement plus coarse ticks. NotFound for unknown
+  /// ids.
+  Result<std::string> CurveJson(int64_t job_id) const;
+
+  /// Service-level latency/throughput document (see ServiceStats).
+  std::string StatsJson() const { return stats_.ToJson(); }
+
+  /// Streaming latency accounting, fed once per terminal job.
+  const ServiceStats& stats() const { return stats_; }
 
   /// Blocks until the job is terminal or `timeout_ms` elapses (-1 waits
   /// forever). Returns the terminal state, or FailedPrecondition on
@@ -185,9 +211,13 @@ class JobManager {
   JobSnapshot SnapshotLocked(const Job& job, bool include_payloads) const;
   int64_t NowMs() const;
   void CountFinishedLocked(const Job& job);
+  /// Feeds ServiceStats from a job that just went terminal (state and the
+  /// queued/started/finished timestamps must be final).
+  void RecordTerminalLocked(const Job& job);
 
   const Options options_;
   const std::chrono::steady_clock::time_point epoch_;
+  ServiceStats stats_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;      // workers wait for queue entries

@@ -1,0 +1,222 @@
+#include "service/service_stats.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/json_writer.h"
+#include "obs/metrics.h"
+
+namespace emp {
+namespace service {
+
+namespace {
+
+constexpr int64_t kMinuteMs = 60 * 1000;
+constexpr int64_t kFiveMinutesMs = 5 * kMinuteMs;
+
+/// One {p50,p95,p99,count,rank_error_bound} block; empty sketches report
+/// null quantiles (JsonWriter::Double renders NaN as null).
+void SketchBlock(JsonWriter& w, const obs::QuantileSketch& sketch) {
+  w.BeginInlineObject();
+  w.Key("p50");
+  w.Double(sketch.Query(0.5));
+  w.Key("p95");
+  w.Double(sketch.Query(0.95));
+  w.Key("p99");
+  w.Double(sketch.Query(0.99));
+  w.Key("count");
+  w.Int(sketch.count());
+  w.Key("rank_error_bound");
+  w.Double(sketch.rank_error_bound());
+  w.EndObject();
+}
+
+}  // namespace
+
+/// One latency dimension: the all-time sketch plus its sliding windows.
+struct ServiceStats::Track {
+  Track(const obs::WindowedQuantiles::Options& window_options,
+        std::function<int64_t()> now_ms)
+      : all_time(0.005), window(window_options, std::move(now_ms)) {}
+
+  void Observe(double v) {
+    all_time.Observe(v);
+    window.Observe(v);
+  }
+
+  void ToJson(JsonWriter& w) const {
+    w.BeginObject();
+    w.Key("all_time");
+    SketchBlock(w, all_time);
+    w.Key("window_1m");
+    SketchBlock(w, window.WindowSketch(kMinuteMs));
+    w.Key("window_5m");
+    SketchBlock(w, window.WindowSketch(kFiveMinutesMs));
+    w.EndObject();
+  }
+
+  obs::QuantileSketch all_time;
+  obs::WindowedQuantiles window;
+};
+
+struct ServiceStats::KindStats {
+  KindStats(const obs::WindowedQuantiles::Options& window_options,
+            const std::function<int64_t()>& now_ms)
+      : queue_wait(window_options, now_ms),
+        solve(window_options, now_ms),
+        e2e(window_options, now_ms),
+        terminal_window(window_options, now_ms) {}
+
+  Track queue_wait;
+  Track solve;
+  Track e2e;
+  /// One observation per terminal job (any outcome) — its window counts
+  /// are the throughput numerators.
+  obs::WindowedQuantiles terminal_window;
+};
+
+ServiceStats::ServiceStats(Options options)
+    : now_ms_(options.now_ms
+                  ? std::move(options.now_ms)
+                  : [epoch = std::chrono::steady_clock::now()]() -> int64_t {
+                      return std::chrono::duration_cast<
+                                 std::chrono::milliseconds>(
+                                 std::chrono::steady_clock::now() - epoch)
+                          .count();
+                    }),
+      window_options_(options.window) {
+  if (options.metrics != nullptr) {
+    queue_wait_summary_ = options.metrics->GetSummary(
+        "emp_service_queue_wait_ms", /*eps=*/0.005,
+        "Queue wait (admission to worker pickup) per terminal job, ms.");
+    solve_summary_ = options.metrics->GetSummary(
+        "emp_service_solve_ms", /*eps=*/0.005,
+        "Solve time (pickup to terminal) per terminal job, ms.");
+    e2e_summary_ = options.metrics->GetSummary(
+        "emp_service_e2e_ms", /*eps=*/0.005,
+        "End-to-end latency (admission to terminal) per terminal job, ms.");
+  }
+}
+
+ServiceStats::~ServiceStats() = default;
+
+ServiceStats::KindStats& ServiceStats::KindLocked(
+    std::string_view solver_kind) {
+  if (solver_kind.empty()) solver_kind = "unknown";
+  auto it = kinds_.find(solver_kind);
+  if (it == kinds_.end()) {
+    it = kinds_
+             .emplace(std::string(solver_kind),
+                      std::make_unique<KindStats>(window_options_, now_ms_))
+             .first;
+  }
+  return *it->second;
+}
+
+void ServiceStats::RecordTerminal(std::string_view solver_kind,
+                                  Outcome outcome, int64_t queue_wait_ms,
+                                  int64_t solve_ms, int64_t e2e_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (outcome) {
+    case Outcome::kDone:
+      ++done_;
+      break;
+    case Outcome::kFailed:
+      ++failed_;
+      break;
+    case Outcome::kCancelled:
+      ++cancelled_;
+      break;
+    case Outcome::kRejected:
+      ++rejected_;
+      break;
+  }
+  KindStats& kind = KindLocked(solver_kind);
+  kind.terminal_window.Observe(1.0);
+  if (queue_wait_ms >= 0) {
+    kind.queue_wait.Observe(static_cast<double>(queue_wait_ms));
+    obs::Observe(queue_wait_summary_, static_cast<double>(queue_wait_ms));
+  }
+  if (solve_ms >= 0) {
+    kind.solve.Observe(static_cast<double>(solve_ms));
+    obs::Observe(solve_summary_, static_cast<double>(solve_ms));
+  }
+  if (e2e_ms >= 0) {
+    kind.e2e.Observe(static_cast<double>(e2e_ms));
+    obs::Observe(e2e_summary_, static_cast<double>(e2e_ms));
+  }
+}
+
+int64_t ServiceStats::recorded_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_ + failed_ + cancelled_ + rejected_;
+}
+
+std::string ServiceStats::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t recorded = done_ + failed_ + cancelled_ + rejected_;
+
+  int64_t terminal_1m = 0;
+  int64_t terminal_5m = 0;
+  for (const auto& [name, kind] : kinds_) {
+    terminal_1m += kind->terminal_window.WindowCount(kMinuteMs);
+    terminal_5m += kind->terminal_window.WindowCount(kFiveMinutesMs);
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("jobs");
+  w.BeginInlineObject();
+  w.Key("done");
+  w.Int(done_);
+  w.Key("failed");
+  w.Int(failed_);
+  w.Key("cancelled");
+  w.Int(cancelled_);
+  w.Key("rejected");
+  w.Int(rejected_);
+  w.Key("recorded");
+  w.Int(recorded);
+  w.EndObject();
+
+  w.Key("rates");
+  w.BeginInlineObject();
+  w.Key("rejection");
+  w.Double(recorded > 0 ? static_cast<double>(rejected_) /
+                              static_cast<double>(recorded)
+                        : 0.0);
+  w.Key("cancellation");
+  w.Double(recorded > 0 ? static_cast<double>(cancelled_) /
+                              static_cast<double>(recorded)
+                        : 0.0);
+  w.EndObject();
+
+  w.Key("throughput_jobs_per_min");
+  w.BeginInlineObject();
+  w.Key("window_1m");
+  w.Double(static_cast<double>(terminal_1m));
+  w.Key("window_5m");
+  w.Double(static_cast<double>(terminal_5m) / 5.0);
+  w.EndObject();
+
+  w.Key("latency_ms");
+  w.BeginObject();
+  for (const auto& [name, kind] : kinds_) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("queue_wait");
+    kind->queue_wait.ToJson(w);
+    w.Key("solve");
+    kind->solve.ToJson(w);
+    w.Key("e2e");
+    kind->e2e.ToJson(w);
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return std::move(w).TakeString();
+}
+
+}  // namespace service
+}  // namespace emp

@@ -1,0 +1,105 @@
+#ifndef EMP_SERVICE_SERVICE_STATS_H_
+#define EMP_SERVICE_SERVICE_STATS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/quantile.h"
+
+namespace emp {
+
+namespace obs {
+class MetricRegistry;
+class Summary;
+}  // namespace obs
+
+namespace service {
+
+/// Streaming latency accounting for the solve service, fed once per
+/// terminal job and served at GET /stats. Per solver kind it tracks three
+/// latency dimensions — queue wait (admission to pickup), solve time
+/// (pickup to terminal), and end-to-end (admission to terminal) — each as
+/// an all-time quantile sketch plus sliding 1m/5m windows, alongside
+/// outcome counters (done/failed/cancelled/rejected) that yield
+/// throughput and rejection/cancellation rates.
+///
+/// Quantile estimates come from obs::QuantileSketch; every reported block
+/// carries its own `rank_error_bound` so consumers never have to guess
+/// the sketch configuration. Windows use obs::WindowedQuantiles with the
+/// default 10 x 30s ring, so the 5m window spans the whole ring and the
+/// 1m window merges the freshest two buckets.
+///
+/// Thread-safety: all methods are safe from any thread; RecordTerminal
+/// runs at most once per job (the JobManager calls it under its own
+/// terminal transition), so one mutex around the kind map is cheap.
+class ServiceStats {
+ public:
+  struct Options {
+    /// Mirrors the aggregate (all-kind) latency dimensions into
+    /// emp_service_{queue_wait,solve,e2e}_ms summary metrics; may be
+    /// null. Must outlive the stats object.
+    obs::MetricRegistry* metrics = nullptr;
+    /// Sliding-window shape shared by every track.
+    obs::WindowedQuantiles::Options window;
+    /// Injectable clock (milliseconds, monotone) for deterministic
+    /// window tests; defaults to steady_clock since construction.
+    std::function<int64_t()> now_ms;
+  };
+
+  /// Terminal verdict of a job, mirroring JobState's terminal subset.
+  enum class Outcome { kDone, kFailed, kCancelled, kRejected };
+
+  ServiceStats() : ServiceStats(Options{}) {}
+  explicit ServiceStats(Options options);
+  ~ServiceStats();
+  ServiceStats(const ServiceStats&) = delete;
+  ServiceStats& operator=(const ServiceStats&) = delete;
+
+  /// Records one job reaching a terminal state. Durations in
+  /// milliseconds; pass a negative duration to skip that dimension (a
+  /// rejected job has no solve time, a cancelled-before-pickup job only
+  /// a queue wait). `solver_kind` is the job's solver name ("fact", ...);
+  /// rejected jobs may not have resolved one — they are recorded under
+  /// "unknown" when empty.
+  void RecordTerminal(std::string_view solver_kind, Outcome outcome,
+                      int64_t queue_wait_ms, int64_t solve_ms,
+                      int64_t e2e_ms);
+
+  /// The GET /stats document: outcome counters, rejection/cancellation
+  /// rates, 1m/5m throughput, and per-kind latency quantiles (all-time +
+  /// windows, each with count and rank_error_bound).
+  std::string ToJson() const;
+
+  int64_t recorded_jobs() const;
+
+ private:
+  struct Track;
+  struct KindStats;
+
+  KindStats& KindLocked(std::string_view solver_kind);
+
+  const std::function<int64_t()> now_ms_;
+  const obs::WindowedQuantiles::Options window_options_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<KindStats>, std::less<>> kinds_;
+  int64_t done_ = 0;
+  int64_t failed_ = 0;
+  int64_t cancelled_ = 0;
+  int64_t rejected_ = 0;
+
+  // Aggregate summaries on the shared registry (null when detached).
+  obs::Summary* queue_wait_summary_ = nullptr;
+  obs::Summary* solve_summary_ = nullptr;
+  obs::Summary* e2e_summary_ = nullptr;
+};
+
+}  // namespace service
+}  // namespace emp
+
+#endif  // EMP_SERVICE_SERVICE_STATS_H_

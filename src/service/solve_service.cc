@@ -174,6 +174,8 @@ std::string JobSnapshotToJson(const JobSnapshot& snapshot,
   w.String(snapshot.instance);
   w.Key("instance_digest");
   w.String(snapshot.instance_digest);
+  w.Key("trace_id");
+  w.String(snapshot.trace_id);
   w.Key("queued_ms");
   w.Int(snapshot.queued_ms);
   w.Key("started_ms");
@@ -216,6 +218,11 @@ obs::HttpServer::Handler SolveService::Handler() {
 
 std::optional<HttpResponse> SolveService::Handle(const HttpRequest& request) {
   if (request.target == "/solve") return HandleSolve(request);
+  if (request.target == "/stats") {
+    if (request.method != "GET") return MethodNotAllowed(request, "GET");
+    return HttpResponse{200, "application/json",
+                        jobs_->StatsJson() + "\n", {}};
+  }
   if (request.target == "/jobs") {
     if (request.method != "GET") return MethodNotAllowed(request, "GET");
     JsonWriter w(2);
@@ -316,10 +323,25 @@ HttpResponse SolveService::HandleJob(const HttpRequest& request,
         200, "application/json",
         JobSnapshotToJson(*snapshot, /*include_payloads=*/true), {}};
   }
+  if (action == "/trace") {
+    if (request.method != "GET") return MethodNotAllowed(request, "GET");
+    Result<std::string> trace = jobs_->TraceJson(job_id);
+    if (!trace.ok()) return ErrorFromStatus(trace.status());
+    return HttpResponse{200, "application/json", *std::move(trace) + "\n",
+                        {}};
+  }
+  if (action == "/curve") {
+    if (request.method != "GET") return MethodNotAllowed(request, "GET");
+    Result<std::string> curve = jobs_->CurveJson(job_id);
+    if (!curve.ok()) return ErrorFromStatus(curve.status());
+    return HttpResponse{200, "application/json", *std::move(curve) + "\n",
+                        {}};
+  }
   return JsonErrorResponse(
       404, "not_found",
       "no route for " + request.target +
-          "; job routes: /jobs/<id>, /jobs/<id>/journal, /jobs/<id>/cancel");
+          "; job routes: /jobs/<id>, /jobs/<id>/journal, /jobs/<id>/trace, "
+          "/jobs/<id>/curve, /jobs/<id>/cancel");
 }
 
 }  // namespace service

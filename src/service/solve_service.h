@@ -31,7 +31,8 @@ namespace service {
 Result<JobRequest> ParseSolveRequest(std::string_view body);
 
 /// One job as a JSON document: id, state, solver, instance + digest,
-/// queue/run timestamps, then termination / error when set, and — only
+/// trace id, queue/run timestamps, then termination / error when set, and
+/// — only
 /// when `include_payloads` — the live progress snapshot and the terminal
 /// result report spliced in verbatim.
 std::string JobSnapshotToJson(const JobSnapshot& snapshot,
@@ -40,9 +41,13 @@ std::string JobSnapshotToJson(const JobSnapshot& snapshot,
 /// The solve-service job API, packaged as an HttpServer handler:
 ///
 ///   POST /solve             -> 202 + job document | 400/404 | 429 (full)
-///   GET  /jobs              -> {"jobs": [...]} (no payloads)
+///   GET  /stats             -> service latency/throughput quantiles
+///   GET  /jobs              -> {"jobs": [...]} (no payloads, id order)
 ///   GET  /jobs/<id>         -> job document with progress + result
 ///   GET  /jobs/<id>/journal -> the per-job JSONL audit record
+///   GET  /jobs/<id>/trace   -> Chrome-trace JSON timeline of the job
+///   GET  /jobs/<id>/curve   -> anytime-quality curve (wall_ms, best_p,
+///                              heterogeneity, evaluations)
 ///   POST /jobs/<id>/cancel  -> cooperative cancel, returns the document
 ///
 /// Every error uses the JsonErrorResponse envelope; wrong methods on

@@ -1,0 +1,174 @@
+#include "obs/curve.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "core/fact_solver.h"
+#include "data/synthetic/dataset_catalog.h"
+
+namespace emp {
+namespace obs {
+namespace {
+
+TEST(AnytimeCurveTest, RecordsImprovementsWithCarriedState) {
+  AnytimeCurve curve;
+  curve.OnBestP(5, /*evaluations=*/10);
+  curve.OnHeterogeneity(123.5, /*evaluations=*/20);
+  curve.OnBestP(7, /*evaluations=*/30);
+  std::vector<AnytimeCurve::Sample> samples = curve.Snapshot();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].best_p, 5);
+  EXPECT_FALSE(samples[0].has_heterogeneity);
+  EXPECT_EQ(samples[0].evaluations, 10);
+  // Heterogeneity arrives; best_p carries forward.
+  EXPECT_EQ(samples[1].best_p, 5);
+  EXPECT_TRUE(samples[1].has_heterogeneity);
+  EXPECT_EQ(samples[1].heterogeneity, 123.5);
+  // p improves; heterogeneity carries forward.
+  EXPECT_EQ(samples[2].best_p, 7);
+  EXPECT_TRUE(samples[2].has_heterogeneity);
+  EXPECT_EQ(samples[2].heterogeneity, 123.5);
+}
+
+TEST(AnytimeCurveTest, DropsNewSamplesWhenFull) {
+  AnytimeCurve curve(/*capacity=*/2);
+  curve.OnBestP(1, 1);
+  curve.OnBestP(2, 2);
+  curve.OnBestP(3, 3);  // dropped
+  EXPECT_EQ(curve.Snapshot().size(), 2u);
+  EXPECT_EQ(curve.dropped(), 1);
+  EXPECT_EQ(curve.Snapshot()[0].best_p, 1);  // early samples survive
+}
+
+TEST(AnytimeCurveTest, TickIsRateLimited) {
+  AnytimeCurve curve(/*capacity=*/64, /*tick_interval_ms=*/1000000);
+  curve.OnBestP(4, 5);
+  // Immediately after a retained sample, ticks are within the interval
+  // and must record nothing (and count nothing as dropped).
+  curve.Tick(6);
+  curve.Tick(7);
+  EXPECT_EQ(curve.Snapshot().size(), 1u);
+  EXPECT_EQ(curve.dropped(), 0);
+}
+
+TEST(AnytimeCurveTest, TickRecordsAfterInterval) {
+  // The interval is clamped to >= 1 ms, so sleep past it to make the
+  // next tick due.
+  AnytimeCurve curve(/*capacity=*/64, /*tick_interval_ms=*/1);
+  curve.OnBestP(4, 5);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  curve.Tick(6);
+  std::vector<AnytimeCurve::Sample> samples = curve.Snapshot();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[1].best_p, 4);  // tick repeats the incumbent state
+  EXPECT_EQ(samples[1].evaluations, 6);
+}
+
+TEST(AnytimeCurveTest, ToJsonShape) {
+  AnytimeCurve curve(/*capacity=*/2);
+  curve.OnBestP(3, 100);
+  curve.OnHeterogeneity(7.25, 200);
+  curve.OnBestP(4, 300);  // dropped
+  auto doc = json::Parse(curve.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* samples = doc->Find("samples");
+  ASSERT_NE(samples, nullptr);
+  ASSERT_EQ(samples->AsArray().size(), 2u);
+  const json::Value& first = samples->AsArray()[0];
+  EXPECT_EQ(first.Find("best_p")->AsNumber(), 3);
+  EXPECT_TRUE(first.Find("heterogeneity")->is_null());
+  EXPECT_EQ(first.Find("evaluations")->AsNumber(), 100);
+  const json::Value& second = samples->AsArray()[1];
+  EXPECT_EQ(second.Find("heterogeneity")->AsNumber(), 7.25);
+  EXPECT_EQ(doc->Find("dropped")->AsNumber(), 1);
+  EXPECT_EQ(doc->Find("capacity")->AsNumber(), 2);
+}
+
+TEST(AnytimeCurveTest, ConcurrentWritersLoseNothingBelowCapacity) {
+  AnytimeCurve curve(/*capacity=*/4096);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&curve, t] {
+      for (int i = 0; i < 100; ++i) {
+        curve.OnBestP(t * 1000 + i, i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(curve.Snapshot().size(), 400u);
+  EXPECT_EQ(curve.dropped(), 0);
+}
+
+/// The PR-5 discipline check: a fixed-seed solve with the recorder
+/// attached must be bit-identical to one without, because the recorder
+/// only reads solver state.
+TEST(AnytimeCurveTest, RecorderDoesNotPerturbFixedSeedSolve) {
+  auto areas = synthetic::MakeDefaultDataset("curve", 250, /*seed=*/7);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+  SolverOptions options;
+  options.seed = 1234;
+  options.construction_iterations = 4;
+
+  FactSolver solver(&*areas, cs, options);
+  RunContext plain_ctx = MakeRunContext(options);
+  auto plain = solver.Solve(plain_ctx);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  AnytimeCurve curve;
+  RunContext curve_ctx = MakeRunContext(options);
+  curve_ctx.curve = &curve;
+  auto instrumented = solver.Solve(curve_ctx);
+  ASSERT_TRUE(instrumented.ok()) << instrumented.status().ToString();
+
+  EXPECT_EQ(instrumented->p(), plain->p());
+  EXPECT_EQ(instrumented->region_of, plain->region_of);
+  EXPECT_DOUBLE_EQ(instrumented->heterogeneity, plain->heterogeneity);
+
+  // And the curve actually recorded the trajectory: at least the
+  // construction best-p sample and a terminal heterogeneity sample.
+  std::vector<AnytimeCurve::Sample> samples = curve.Snapshot();
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_EQ(samples.back().best_p, instrumented->p());
+  ASSERT_TRUE(samples.back().has_heterogeneity);
+  EXPECT_DOUBLE_EQ(samples.back().heterogeneity,
+                   instrumented->heterogeneity);
+}
+
+/// Same discipline through the portfolio path: replicas publish
+/// incumbent improvements into one shared recorder.
+TEST(AnytimeCurveTest, PortfolioSolveFeedsSharedCurve) {
+  auto areas = synthetic::MakeDefaultDataset("curvep", 200, /*seed=*/3);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+  SolverOptions options;
+  options.seed = 99;
+  options.portfolio_replicas = 2;
+  options.portfolio_threads = 2;
+
+  FactSolver solver(&*areas, cs, options);
+  RunContext plain_ctx = MakeRunContext(options);
+  auto plain = solver.Solve(plain_ctx);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  AnytimeCurve curve;
+  RunContext curve_ctx = MakeRunContext(options);
+  curve_ctx.curve = &curve;
+  auto instrumented = solver.Solve(curve_ctx);
+  ASSERT_TRUE(instrumented.ok()) << instrumented.status().ToString();
+
+  EXPECT_EQ(instrumented->p(), plain->p());
+  EXPECT_EQ(instrumented->region_of, plain->region_of);
+  EXPECT_DOUBLE_EQ(instrumented->heterogeneity, plain->heterogeneity);
+  EXPECT_GE(curve.Snapshot().size(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace emp

@@ -32,6 +32,12 @@ void FillGoldenRegistry(MetricRegistry* registry) {
   h->Observe(0.05);
   h->Observe(0.05);
   h->Observe(2.0);
+  Summary* s = registry->GetSummary(
+      "emp_service_solve_ms", /*eps=*/0.005,
+      "Solve time per terminal job, milliseconds.");
+  for (int i = 1; i <= 100; ++i) s->Observe(i);
+  // An empty summary: quantiles must export as null / NaN, not crash.
+  registry->GetSummary("emp_service_empty_ms");
 }
 
 std::string FixturePath(const std::string& name) {
@@ -86,6 +92,46 @@ TEST(MetricsExportTest, JsonRoundTripsThroughParser) {
   EXPECT_EQ(buckets[2].Find("count")->AsNumber(), 2);
   EXPECT_EQ(buckets[3].Find("le")->AsString(), "+Inf");
   EXPECT_EQ(buckets[3].Find("count")->AsNumber(), 1);
+}
+
+TEST(MetricsExportTest, SummariesRoundTripInBothFormats) {
+  MetricRegistry registry;
+  FillGoldenRegistry(&registry);
+
+  auto doc = json::Parse(MetricsToJson(registry));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* summary =
+      doc->Find("summaries")->Find("emp_service_solve_ms");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->Find("count")->AsNumber(), 100);
+  EXPECT_DOUBLE_EQ(summary->Find("sum")->AsNumber(), 5050.0);
+  const auto& quantiles = summary->Find("quantiles")->AsArray();
+  ASSERT_EQ(quantiles.size(), 3u);
+  EXPECT_EQ(quantiles[0].Find("quantile")->AsNumber(), 0.5);
+  // 100 uniform samples at eps 0.005: the p50 estimate is exact ±1.
+  EXPECT_NEAR(quantiles[0].Find("value")->AsNumber(), 50.0, 1.0);
+  EXPECT_EQ(quantiles[2].Find("quantile")->AsNumber(), 0.99);
+  // The empty summary exports null quantile values, not garbage.
+  const json::Value* empty =
+      doc->Find("summaries")->Find("emp_service_empty_ms");
+  ASSERT_NE(empty, nullptr);
+  EXPECT_EQ(empty->Find("count")->AsNumber(), 0);
+  EXPECT_TRUE(empty->Find("quantiles")->AsArray()[0].Find("value")
+                  ->is_null());
+
+  const std::string prom = MetricsToPrometheus(registry);
+  EXPECT_NE(prom.find("# TYPE emp_service_solve_ms summary"),
+            std::string::npos);
+  EXPECT_NE(prom.find("emp_service_solve_ms{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("emp_service_solve_ms{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("emp_service_solve_ms_sum 5050"), std::string::npos);
+  EXPECT_NE(prom.find("emp_service_solve_ms_count 100"),
+            std::string::npos);
+  // Prometheus renders empty-summary quantiles as NaN samples.
+  EXPECT_NE(prom.find("emp_service_empty_ms{quantile=\"0.5\"} NaN"),
+            std::string::npos);
 }
 
 TEST(MetricsExportTest, PrometheusBucketsAreCumulative) {

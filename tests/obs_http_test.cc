@@ -336,6 +336,67 @@ TEST(HttpServerTest, PeerCloseMidBodyIsTruncationError) {
             std::string::npos);
 }
 
+TEST(HttpServerTest, ServesProfilerDumpAtProfile) {
+  HttpServer::Options options;
+  auto server = HttpServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const std::string response = HttpGet((*server)->port(), "/profile");
+  EXPECT_EQ(StatusLineOf(response), "HTTP/1.1 200 OK");
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  auto doc = json::Parse(BodyOf(response));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  // The profiler is off by default; the dump still has the full shape.
+  EXPECT_EQ(doc->Find("enabled")->AsBool(), false);
+  ASSERT_NE(doc->Find("phases"), nullptr);
+  // Wrong method gets the usual 405 treatment.
+  const std::string wrong = HttpGet((*server)->port(), "/profile", "POST");
+  EXPECT_EQ(StatusLineOf(wrong), "HTTP/1.1 405 Method Not Allowed");
+}
+
+// Every error envelope must declare itself JSON — clients dispatch on
+// Content-Type, and a 404/405/413/400 that arrives as text/plain would
+// silently break them.
+TEST(HttpServerTest, ErrorEnvelopesCarryJsonContentType) {
+  auto server = HttpServer::Start(EchoOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = (*server)->port();
+
+  const std::string not_found = HttpGet(port, "/nope");
+  EXPECT_EQ(StatusLineOf(not_found), "HTTP/1.1 404 Not Found");
+  EXPECT_NE(not_found.find("Content-Type: application/json"),
+            std::string::npos);
+
+  const std::string wrong_method = HttpGet(port, "/healthz", "POST");
+  EXPECT_EQ(StatusLineOf(wrong_method), "HTTP/1.1 405 Method Not Allowed");
+  EXPECT_NE(wrong_method.find("Content-Type: application/json"),
+            std::string::npos);
+
+  const std::string too_large = RawExchange(
+      port,
+      {"POST /echo HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n"
+       "Content-Length: 100000\r\n\r\n"});
+  EXPECT_EQ(StatusLineOf(too_large), "HTTP/1.1 413 Content Too Large");
+  EXPECT_NE(too_large.find("Content-Type: application/json"),
+            std::string::npos);
+
+  const std::string bad_request = RawExchange(
+      port,
+      {"POST /echo HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n"
+       "Content-Length: 12x3\r\n\r\n"});
+  EXPECT_EQ(StatusLineOf(bad_request), "HTTP/1.1 400 Bad Request");
+  EXPECT_NE(bad_request.find("Content-Type: application/json"),
+            std::string::npos);
+
+  // Each of those bodies is parseable JSON wearing the envelope.
+  for (const std::string* response :
+       {&not_found, &wrong_method, &too_large, &bad_request}) {
+    auto doc = json::Parse(BodyOf(*response));
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    EXPECT_NE(doc->Find("error"), nullptr);
+  }
+}
+
 TEST(HttpServerTest, QueryStringsAreIgnoredInRouting) {
   HttpServer::Options options;
   auto server = HttpServer::Start(options);

@@ -82,7 +82,8 @@ TEST(MetricRegistryTest, NullSafeHelpersNoOpOnNullRegistry) {
   // Null handles must be ignorable too.
   Add(nullptr);
   Set(nullptr, 1.0);
-  Observe(nullptr, 1.0);
+  Observe(static_cast<Histogram*>(nullptr), 1.0);
+  Observe(static_cast<Summary*>(nullptr), 1.0);
 }
 
 // The acceptance property for telemetry under parallel construction:

@@ -1,0 +1,148 @@
+#include "obs/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "core/fact_solver.h"
+#include "data/synthetic/dataset_catalog.h"
+#include "obs/progress.h"
+
+// Real ITIMER_PROF traffic is noisy under TSan/ASan interceptors; the
+// deterministic slot-accounting tests below run everywhere and the
+// live-timer solve test skips itself on sanitizer builds.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define EMP_SANITIZER_BUILD 1
+#endif
+#if !defined(EMP_SANITIZER_BUILD) && defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define EMP_SANITIZER_BUILD 1
+#endif
+#endif
+
+namespace emp {
+namespace obs {
+namespace {
+
+/// Resets the profiler's accumulated table: Start() zeroes all state,
+/// and at 1 Hz of *CPU time* no real tick can land before the immediate
+/// Stop(). Leaves the profiler disabled.
+void ResetProfilerState() {
+  ASSERT_TRUE(PhaseProfiler::Start(1).ok());
+  PhaseProfiler::Stop();
+}
+
+TEST(PhaseProfilerTest, StartValidatesRate) {
+  EXPECT_EQ(PhaseProfiler::Start(0).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(PhaseProfiler::Start(1001).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(PhaseProfiler::enabled());
+}
+
+TEST(PhaseProfilerTest, StartStopLifecycle) {
+  ASSERT_TRUE(PhaseProfiler::Start(97).ok());
+  EXPECT_TRUE(PhaseProfiler::enabled());
+  EXPECT_EQ(PhaseProfiler::Start(50).code(),
+            StatusCode::kFailedPrecondition);
+  PhaseProfiler::Stop();
+  EXPECT_FALSE(PhaseProfiler::enabled());
+  PhaseProfiler::Stop();  // idempotent
+  EXPECT_FALSE(PhaseProfiler::enabled());
+}
+
+TEST(PhaseProfilerTest, TicksAttributeToPhasesSortedByWeight) {
+  ResetProfilerState();
+  static const char* const kTabu = "tabu";
+  static const char* const kConstruction = "construction";
+  PhaseProfiler::RecordTickForTest(kTabu);
+  PhaseProfiler::RecordTickForTest(kTabu);
+  PhaseProfiler::RecordTickForTest(kTabu);
+  PhaseProfiler::RecordTickForTest(kConstruction);
+  PhaseProfiler::RecordTickForTest(nullptr);  // pre-publish thread
+
+  auto doc = json::Parse(PhaseProfiler::ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("enabled")->AsBool(), false);
+  EXPECT_EQ(doc->Find("total_ticks")->AsNumber(), 5);
+  EXPECT_EQ(doc->Find("overflow_ticks")->AsNumber(), 0);
+  const auto& phases = doc->Find("phases")->AsArray();
+  ASSERT_EQ(phases.size(), 3u);
+  EXPECT_EQ(phases[0].Find("phase")->AsString(), "tabu");
+  EXPECT_EQ(phases[0].Find("ticks")->AsNumber(), 3);
+  EXPECT_DOUBLE_EQ(phases[0].Find("fraction")->AsNumber(), 0.6);
+  // Tied counts order by name: "construction" < "unattributed".
+  EXPECT_EQ(phases[1].Find("phase")->AsString(), "construction");
+  EXPECT_EQ(phases[2].Find("phase")->AsString(), "unattributed");
+}
+
+TEST(PhaseProfilerTest, SlotOverflowIsCountedNotLost) {
+  ResetProfilerState();
+  // More distinct names than the 32-slot table holds. The names must
+  // outlive ToJson(), hence the static pool.
+  static std::vector<std::string> pool;
+  if (pool.empty()) {
+    for (int i = 0; i < 40; ++i) {
+      pool.push_back("phase_" + std::to_string(i));
+    }
+  }
+  for (const std::string& name : pool) {
+    PhaseProfiler::RecordTickForTest(name.c_str());
+  }
+  auto doc = json::Parse(PhaseProfiler::ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("total_ticks")->AsNumber(), 40);
+  EXPECT_EQ(doc->Find("overflow_ticks")->AsNumber(), 8);
+  EXPECT_EQ(doc->Find("phases")->AsArray().size(), 32u);
+}
+
+TEST(PhaseProfilerTest, SetThreadPhaseIsNoOpSafeWhileDisabled) {
+  // The board calls this only while enabled, but the contract is that a
+  // stray publish never crashes.
+  PhaseProfiler::SetThreadPhase("tabu");
+  PhaseProfiler::SetThreadPhase(nullptr);
+}
+
+/// The PR-5 discipline check with a *live* timer: a fixed-seed solve
+/// sampled by SIGPROF must produce the same solution as an unsampled
+/// one — the handler only reads solver state.
+TEST(PhaseProfilerTest, LiveSamplingDoesNotPerturbFixedSeedSolve) {
+#ifdef EMP_SANITIZER_BUILD
+  GTEST_SKIP() << "real ITIMER_PROF traffic is not sanitizer-friendly";
+#endif
+  auto areas = synthetic::MakeDefaultDataset("prof", 250, /*seed=*/7);
+  ASSERT_TRUE(areas.ok()) << areas.status().ToString();
+  std::vector<Constraint> cs = {
+      Constraint::Sum("TOTALPOP", 20000, kNoUpperBound)};
+  SolverOptions options;
+  options.seed = 4321;
+  options.construction_iterations = 6;
+
+  FactSolver solver(&*areas, cs, options);
+  RunContext plain_ctx = MakeRunContext(options);
+  auto plain = solver.Solve(plain_ctx);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+
+  ProgressBoard board;
+  ASSERT_TRUE(PhaseProfiler::Start(997).ok());
+  RunContext sampled_ctx = MakeRunContext(options);
+  sampled_ctx.progress_board = &board;
+  auto sampled = solver.Solve(sampled_ctx);
+  PhaseProfiler::Stop();
+  ASSERT_TRUE(sampled.ok()) << sampled.status().ToString();
+
+  EXPECT_EQ(sampled->p(), plain->p());
+  EXPECT_EQ(sampled->region_of, plain->region_of);
+  EXPECT_DOUBLE_EQ(sampled->heterogeneity, plain->heterogeneity);
+
+  // The dump is valid JSON whether or not any tick landed (CPU-time
+  // delivery makes counts load-dependent; shape is what we can pin).
+  auto doc = json::Parse(PhaseProfiler::ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_NE(doc->Find("phases"), nullptr);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace emp

@@ -1,0 +1,332 @@
+#include "obs/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace emp {
+namespace obs {
+namespace {
+
+/// True rank of `estimate` within the sorted stream: the number of
+/// elements strictly below it. With duplicates an estimate matching a
+/// run of equal values has a rank *range*; we check the estimate's rank
+/// interval against the allowed band, which is what the GK guarantee
+/// actually promises.
+void ExpectWithinRankBound(std::vector<double> sorted, double phi,
+                           double estimate, double bound) {
+  const auto n = static_cast<int64_t>(sorted.size());
+  const int64_t lo_rank =
+      std::lower_bound(sorted.begin(), sorted.end(), estimate) -
+      sorted.begin();
+  const int64_t hi_rank =
+      std::upper_bound(sorted.begin(), sorted.end(), estimate) -
+      sorted.begin() - 1;
+  const double target = phi * static_cast<double>(n);
+  const double slack = bound * static_cast<double>(n) + 1.0;
+  EXPECT_GE(static_cast<double>(hi_rank), target - slack)
+      << "phi=" << phi << " estimate=" << estimate;
+  EXPECT_LE(static_cast<double>(lo_rank), target + slack)
+      << "phi=" << phi << " estimate=" << estimate;
+}
+
+void CheckStream(std::vector<double> values, double eps) {
+  QuantileSketch sketch(eps);
+  for (double v : values) sketch.Observe(v);
+  std::sort(values.begin(), values.end());
+  ASSERT_EQ(sketch.count(), static_cast<int64_t>(values.size()));
+  for (double phi : {0.0, 0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0}) {
+    ExpectWithinRankBound(values, phi, sketch.Query(phi),
+                          sketch.rank_error_bound());
+  }
+}
+
+TEST(QuantileSketchTest, EmptySketchQueriesNaN) {
+  QuantileSketch sketch;
+  EXPECT_TRUE(std::isnan(sketch.Query(0.5)));
+  EXPECT_EQ(sketch.count(), 0);
+  EXPECT_EQ(sketch.sum(), 0.0);
+}
+
+TEST(QuantileSketchTest, SingleSample) {
+  QuantileSketch sketch;
+  sketch.Observe(42.0);
+  for (double phi : {0.0, 0.5, 1.0}) EXPECT_EQ(sketch.Query(phi), 42.0);
+  EXPECT_EQ(sketch.count(), 1);
+  EXPECT_EQ(sketch.sum(), 42.0);
+}
+
+TEST(QuantileSketchTest, UniformStreamWithinBound) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(0.0, 1000.0);
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) values.push_back(dist(rng));
+  CheckStream(std::move(values), 0.005);
+}
+
+TEST(QuantileSketchTest, ExponentialStreamWithinBound) {
+  std::mt19937 rng(11);
+  std::exponential_distribution<double> dist(0.01);
+  std::vector<double> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) values.push_back(dist(rng));
+  CheckStream(std::move(values), 0.005);
+}
+
+TEST(QuantileSketchTest, SortedAndReversedStreamsWithinBound) {
+  std::vector<double> ascending;
+  for (int i = 0; i < 10000; ++i) ascending.push_back(i);
+  CheckStream(ascending, 0.01);
+  std::reverse(ascending.begin(), ascending.end());
+  CheckStream(std::move(ascending), 0.01);
+}
+
+TEST(QuantileSketchTest, AllEqualStream) {
+  QuantileSketch sketch;
+  for (int i = 0; i < 5000; ++i) sketch.Observe(3.25);
+  for (double phi : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(sketch.Query(phi), 3.25);
+  }
+}
+
+TEST(QuantileSketchTest, SummaryStaysSublinear) {
+  QuantileSketch sketch(0.01);
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  for (int i = 0; i < 100000; ++i) sketch.Observe(dist(rng));
+  // Force a flush so the buffer is folded in before we measure.
+  (void)sketch.Query(0.5);
+  // 1/eps * log2(eps * n) ~= 100 * 10; allow generous headroom, the
+  // point is "not O(n)".
+  EXPECT_LT(sketch.tuple_count(), 5000);
+}
+
+TEST(QuantileSketchTest, SumAndCountAreExact) {
+  QuantileSketch sketch;
+  double expected = 0.0;
+  for (int i = 1; i <= 1000; ++i) {
+    sketch.Observe(i);
+    expected += i;
+  }
+  EXPECT_EQ(sketch.count(), 1000);
+  EXPECT_DOUBLE_EQ(sketch.sum(), expected);
+}
+
+TEST(QuantileSketchTest, MergeEmptyIntoEmpty) {
+  QuantileSketch a;
+  QuantileSketch b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_TRUE(std::isnan(a.Query(0.5)));
+}
+
+TEST(QuantileSketchTest, MergeEmptyIntoNonEmptyAndBack) {
+  QuantileSketch a;
+  QuantileSketch empty;
+  for (int i = 0; i < 100; ++i) a.Observe(i);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 100);
+  QuantileSketch c;
+  c.Merge(a);
+  EXPECT_EQ(c.count(), 100);
+  ExpectWithinRankBound([] {
+    std::vector<double> v;
+    for (int i = 0; i < 100; ++i) v.push_back(i);
+    return v;
+  }(), 0.5, c.Query(0.5), c.rank_error_bound());
+}
+
+TEST(QuantileSketchTest, MergeSingleSampleSketches) {
+  QuantileSketch a;
+  QuantileSketch b;
+  a.Observe(1.0);
+  b.Observe(2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.Query(0.0), 1.0);
+  EXPECT_EQ(a.Query(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 3.0);
+}
+
+TEST(QuantileSketchTest, MergeSumsRankErrorBounds) {
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.02);
+  a.Observe(1.0);
+  b.Observe(2.0);
+  const double before = a.rank_error_bound();
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.rank_error_bound(), before + b.rank_error_bound());
+}
+
+TEST(QuantileSketchTest, MergedStreamsWithinMergedBound) {
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> lo(0.0, 100.0);
+  std::uniform_real_distribution<double> hi(900.0, 1000.0);
+  QuantileSketch a(0.005);
+  QuantileSketch b(0.005);
+  std::vector<double> all;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = lo(rng);
+    a.Observe(v);
+    all.push_back(v);
+  }
+  for (int i = 0; i < 10000; ++i) {
+    const double v = hi(rng);
+    b.Observe(v);
+    all.push_back(v);
+  }
+  a.Merge(b);
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(a.count(), static_cast<int64_t>(all.size()));
+  for (double phi : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    ExpectWithinRankBound(all, phi, a.Query(phi), a.rank_error_bound());
+  }
+}
+
+TEST(QuantileSketchTest, CopyIsDeepAndIndependent) {
+  QuantileSketch a;
+  for (int i = 0; i < 100; ++i) a.Observe(i);
+  QuantileSketch b(a);
+  b.Observe(1e9);
+  EXPECT_EQ(a.count(), 100);
+  EXPECT_EQ(b.count(), 101);
+}
+
+/// ---- WindowedQuantiles ----
+
+struct FakeClock {
+  int64_t now_ms = 0;
+  std::function<int64_t()> Fn() {
+    return [this] { return now_ms; };
+  }
+};
+
+WindowedQuantiles::Options SmallWindow() {
+  WindowedQuantiles::Options options;
+  options.bucket_ms = 1000;
+  options.buckets = 5;
+  return options;
+}
+
+TEST(WindowedQuantilesTest, EmptyWindowYieldsEmptySketch) {
+  FakeClock clock;
+  WindowedQuantiles wq(SmallWindow(), clock.Fn());
+  QuantileSketch view = wq.WindowSketch(3000);
+  EXPECT_EQ(view.count(), 0);
+  EXPECT_TRUE(std::isnan(view.Query(0.5)));
+  EXPECT_EQ(wq.WindowCount(3000), 0);
+}
+
+TEST(WindowedQuantilesTest, SingleSampleWindow) {
+  FakeClock clock;
+  WindowedQuantiles wq(SmallWindow(), clock.Fn());
+  wq.Observe(5.0);
+  EXPECT_EQ(wq.WindowCount(3000), 1);
+  EXPECT_EQ(wq.WindowSketch(3000).Query(0.5), 5.0);
+}
+
+TEST(WindowedQuantilesTest, AllEqualValuesAcrossBuckets) {
+  FakeClock clock;
+  WindowedQuantiles wq(SmallWindow(), clock.Fn());
+  for (int bucket = 0; bucket < 3; ++bucket) {
+    for (int i = 0; i < 10; ++i) wq.Observe(7.0);
+    clock.now_ms += 1000;
+  }
+  QuantileSketch view = wq.WindowSketch(5000);
+  EXPECT_EQ(view.count(), 30);
+  EXPECT_EQ(view.Query(0.5), 7.0);
+  EXPECT_EQ(view.Query(0.99), 7.0);
+}
+
+TEST(WindowedQuantilesTest, OldBucketsRotateOut) {
+  FakeClock clock;
+  WindowedQuantiles wq(SmallWindow(), clock.Fn());
+  wq.Observe(1.0);  // bucket epoch 0
+  clock.now_ms = 2500;
+  wq.Observe(2.0);  // bucket epoch 2
+  // A 1 s window from t=2500 reaches back to epoch 1; epoch 0 is out.
+  EXPECT_EQ(wq.WindowCount(1000), 1);
+  EXPECT_EQ(wq.WindowSketch(1000).Query(0.5), 2.0);
+  // Both fit in a 3 s window.
+  EXPECT_EQ(wq.WindowCount(3000), 2);
+  // Advance past the ring: everything expires from the window...
+  clock.now_ms = 60000;
+  wq.Observe(9.0);
+  EXPECT_EQ(wq.WindowCount(1000), 1);
+  EXPECT_EQ(wq.WindowSketch(1000).Query(0.5), 9.0);
+  // ...but the lifetime total survives rotation.
+  EXPECT_EQ(wq.total_count(), 3);
+}
+
+TEST(WindowedQuantilesTest, ReusedRingSlotDoesNotResurrectOldData) {
+  FakeClock clock;
+  WindowedQuantiles wq(SmallWindow(), clock.Fn());
+  wq.Observe(1.0);  // epoch 0
+  // Epoch 5 maps to ring slot 0 again (5 % 5 == 0).
+  clock.now_ms = 5000;
+  wq.Observe(2.0);
+  EXPECT_EQ(wq.WindowCount(5000), 1);
+  EXPECT_EQ(wq.WindowSketch(5000).Query(0.5), 2.0);
+}
+
+TEST(WindowedQuantilesTest, WindowLongerThanRingIsClamped) {
+  FakeClock clock;
+  WindowedQuantiles wq(SmallWindow(), clock.Fn());
+  for (int i = 0; i < 20; ++i) wq.Observe(i);
+  EXPECT_EQ(wq.WindowCount(1000000), 20);
+}
+
+TEST(WindowedQuantilesTest, WindowViewCarriesSummedBound) {
+  FakeClock clock;
+  WindowedQuantiles::Options options = SmallWindow();
+  options.eps = 0.001;
+  WindowedQuantiles wq(options, clock.Fn());
+  for (int bucket = 0; bucket < 3; ++bucket) {
+    wq.Observe(bucket);
+    clock.now_ms += 1000;
+  }
+  QuantileSketch view = wq.WindowSketch(5000);
+  EXPECT_EQ(view.count(), 3);
+  // Merging k non-empty buckets sums their bounds on top of the view's
+  // own epsilon; must stay well under the "useless" threshold for the
+  // default 1m/5m windows.
+  EXPECT_LE(view.rank_error_bound(), 0.001 * 4 + 1e-12);
+}
+
+TEST(WindowedQuantilesTest, RandomizedWindowAccuracy) {
+  FakeClock clock;
+  WindowedQuantiles::Options options;
+  options.bucket_ms = 1000;
+  options.buckets = 10;
+  options.eps = 0.001;
+  WindowedQuantiles wq(options, clock.Fn());
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> dist(0.0, 500.0);
+  std::vector<double> in_window;
+  // Bucket 0 falls outside the window (a 5 s window from t=6000 reaches
+  // back to epoch 1); buckets 1..6 are in range.
+  for (int bucket = 0; bucket < 7; ++bucket) {
+    for (int i = 0; i < 2000; ++i) {
+      const double v = dist(rng);
+      wq.Observe(v);
+      if (bucket >= 1) in_window.push_back(v);
+    }
+    if (bucket + 1 < 7) clock.now_ms += 1000;
+  }
+  QuantileSketch view = wq.WindowSketch(5000);
+  ASSERT_EQ(view.count(), static_cast<int64_t>(in_window.size()));
+  std::sort(in_window.begin(), in_window.end());
+  for (double phi : {0.05, 0.5, 0.95, 0.99}) {
+    ExpectWithinRankBound(in_window, phi, view.Query(phi),
+                          view.rank_error_bound());
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace emp

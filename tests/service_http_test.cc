@@ -458,6 +458,145 @@ TEST(SolveServiceHttpTest, ConcurrentClientsAllGetTerminalVerdicts) {
             static_cast<size_t>(kClients));
 }
 
+TEST(SolveServiceHttpTest, TraceCurveAndStatsEndpoints) {
+  Stack stack = StartStack();
+  ASSERT_NE(stack.server, nullptr);
+  const std::string response =
+      HttpCall(stack.port, "POST", "/solve", kTinyBody);
+  ASSERT_EQ(StatusLineOf(response), "HTTP/1.1 202 Accepted");
+  const int64_t id = JobIdOf(BodyOf(response));
+  auto doc = PollTerminal(stack.port, id);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->Find("state")->AsString(), "done");
+
+  // The job document carries its 16-hex trace id from admission on.
+  ASSERT_NE(doc->Find("trace_id"), nullptr);
+  const std::string trace_id = doc->Find("trace_id")->AsString();
+  EXPECT_EQ(trace_id.size(), 16u);
+
+  // GET /jobs/<id>/trace: a Chrome-trace timeline holding the queue-wait
+  // span and the same trace id, both as metadata and top-level.
+  const std::string trace_response = HttpCall(
+      stack.port, "GET", "/jobs/" + std::to_string(id) + "/trace");
+  EXPECT_EQ(StatusLineOf(trace_response), "HTTP/1.1 200 OK");
+  EXPECT_NE(HeadersOf(trace_response).find("application/json"),
+            std::string::npos);
+  auto trace = json::Parse(BodyOf(trace_response));
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_EQ(trace->Find("traceId")->AsString(), trace_id);
+  const auto& events = trace->Find("traceEvents")->AsArray();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].Find("name")->AsString(), "trace_id");
+  EXPECT_EQ(events[0].Find("ph")->AsString(), "M");
+  EXPECT_EQ(events[0].Find("args")->Find("trace_id")->AsString(),
+            trace_id);
+  bool queue_wait = false, instance_bind = false;
+  for (const json::Value& event : events) {
+    const std::string name = event.Find("name")->AsString();
+    if (name == "queue.wait") {
+      queue_wait = true;
+      EXPECT_EQ(event.Find("ph")->AsString(), "X");
+      EXPECT_GE(event.Find("dur")->AsNumber(), 0);
+    }
+    if (name == "instance.bind") instance_bind = true;
+  }
+  EXPECT_TRUE(queue_wait);
+  EXPECT_TRUE(instance_bind);
+
+  // GET /jobs/<id>/curve: the anytime-quality samples, terminal best_p
+  // matching the served result.
+  const std::string curve_response = HttpCall(
+      stack.port, "GET", "/jobs/" + std::to_string(id) + "/curve");
+  EXPECT_EQ(StatusLineOf(curve_response), "HTTP/1.1 200 OK");
+  auto curve = json::Parse(BodyOf(curve_response));
+  ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+  const auto& samples = curve->Find("samples")->AsArray();
+  ASSERT_FALSE(samples.empty());
+  EXPECT_EQ(samples.back().Find("best_p")->AsNumber(),
+            doc->Find("result")->Find("p")->AsNumber());
+
+  // GET /stats: the job is in the terminal counters and the "fact"
+  // latency block, with all three dimensions populated.
+  const std::string stats_response =
+      HttpCall(stack.port, "GET", "/stats");
+  EXPECT_EQ(StatusLineOf(stats_response), "HTTP/1.1 200 OK");
+  auto stats = json::Parse(BodyOf(stats_response));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->Find("jobs")->Find("done")->AsNumber(), 1);
+  const json::Value* fact = stats->Find("latency_ms")->Find("fact");
+  ASSERT_NE(fact, nullptr);
+  for (const char* dimension : {"queue_wait", "solve", "e2e"}) {
+    EXPECT_GE(fact->Find(dimension)
+                  ->Find("all_time")
+                  ->Find("count")
+                  ->AsNumber(),
+              1)
+        << dimension;
+  }
+
+  // The new routes are GET-only and 404 for unknown jobs.
+  EXPECT_EQ(StatusLineOf(HttpCall(stack.port, "POST", "/stats", "{}")),
+            "HTTP/1.1 405 Method Not Allowed");
+  EXPECT_EQ(StatusLineOf(HttpCall(
+                stack.port, "POST",
+                "/jobs/" + std::to_string(id) + "/trace", "{}")),
+            "HTTP/1.1 405 Method Not Allowed");
+  EXPECT_EQ(StatusLineOf(HttpCall(stack.port, "GET", "/jobs/999/trace")),
+            "HTTP/1.1 404 Not Found");
+  EXPECT_EQ(StatusLineOf(HttpCall(stack.port, "GET", "/jobs/999/curve")),
+            "HTTP/1.1 404 Not Found");
+}
+
+TEST(SolveServiceHttpTest, StatsCountsRejectionsAndCancellations) {
+  JobManager::Options options;
+  options.workers = 1;
+  options.queue_capacity = 1;
+  Stack stack = StartStack(std::move(options));
+  ASSERT_NE(stack.server, nullptr);
+
+  // One long job occupies the worker, one sits in the queue; the next
+  // submission overflows and is rejected.
+  const std::string long_body =
+      "{\"instance\": \"2k\", \"query\": \"SUM(TOTALPOP) >= 10000\"}";
+  const std::string first =
+      HttpCall(stack.port, "POST", "/solve", long_body);
+  ASSERT_EQ(StatusLineOf(first), "HTTP/1.1 202 Accepted");
+  const int64_t first_id = JobIdOf(BodyOf(first));
+  const std::string second =
+      HttpCall(stack.port, "POST", "/solve", long_body);
+  ASSERT_EQ(StatusLineOf(second), "HTTP/1.1 202 Accepted");
+  const int64_t second_id = JobIdOf(BodyOf(second));
+  const std::string third =
+      HttpCall(stack.port, "POST", "/solve", long_body);
+  // The first job may have finished before the third arrived, in which
+  // case it was admitted rather than refused — drain it like the others.
+  const bool saw_reject =
+      StatusLineOf(third) == "HTTP/1.1 429 Too Many Requests";
+  const int64_t third_id = saw_reject ? -1 : JobIdOf(BodyOf(third));
+
+  // Cancel every accepted job and drain.
+  for (int64_t id : {first_id, second_id, third_id}) {
+    if (id < 0) continue;
+    HttpCall(stack.port, "POST",
+             "/jobs/" + std::to_string(id) + "/cancel");
+    ASSERT_TRUE(PollTerminal(stack.port, id).ok());
+  }
+
+  auto stats =
+      json::Parse(BodyOf(HttpCall(stack.port, "GET", "/stats")));
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const json::Value* jobs = stats->Find("jobs");
+  // Every admitted or refused job is recorded exactly once.
+  EXPECT_EQ(jobs->Find("recorded")->AsNumber(), 3);
+  if (saw_reject) {
+    EXPECT_GE(jobs->Find("rejected")->AsNumber(), 1);
+    EXPECT_GT(stats->Find("rates")->Find("rejection")->AsNumber(), 0.0);
+  }
+  EXPECT_GE(jobs->Find("cancelled")->AsNumber() +
+                jobs->Find("done")->AsNumber(),
+            2.0);
+}
+
 TEST(SolveServiceHttpTest, ParseSolveRequestMapsAllFields) {
   auto parsed = ParseSolveRequest(
       "{\"instance\": \"2k\", \"solver\": \"maxp\", \"attribute\": "

@@ -1,0 +1,187 @@
+#include "service/service_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace emp {
+namespace service {
+namespace {
+
+struct FakeClock {
+  int64_t now_ms = 0;
+  std::function<int64_t()> Fn() {
+    return [this] { return now_ms; };
+  }
+};
+
+ServiceStats::Options WithClock(FakeClock& clock,
+                                obs::MetricRegistry* metrics = nullptr) {
+  ServiceStats::Options options;
+  options.metrics = metrics;
+  options.now_ms = clock.Fn();
+  return options;
+}
+
+TEST(ServiceStatsTest, EmptyDocumentHasZeroCountersAndRates) {
+  FakeClock clock;
+  ServiceStats stats(WithClock(clock));
+  auto doc = json::Parse(stats.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* jobs = doc->Find("jobs");
+  ASSERT_NE(jobs, nullptr);
+  EXPECT_EQ(jobs->Find("recorded")->AsNumber(), 0);
+  EXPECT_EQ(doc->Find("rates")->Find("rejection")->AsNumber(), 0.0);
+  EXPECT_EQ(
+      doc->Find("throughput_jobs_per_min")->Find("window_1m")->AsNumber(),
+      0.0);
+  EXPECT_TRUE(doc->Find("latency_ms")->AsObject().empty());
+}
+
+TEST(ServiceStatsTest, CountersRatesAndQuantilesPerKind) {
+  FakeClock clock;
+  ServiceStats stats(WithClock(clock));
+  for (int i = 0; i < 8; ++i) {
+    stats.RecordTerminal("fact", ServiceStats::Outcome::kDone,
+                         /*queue_wait_ms=*/10 + i, /*solve_ms=*/100 + i,
+                         /*e2e_ms=*/110 + 2 * i);
+  }
+  stats.RecordTerminal("fact", ServiceStats::Outcome::kFailed, 5, 50, 55);
+  stats.RecordTerminal("", ServiceStats::Outcome::kRejected,
+                       /*queue_wait_ms=*/-1, /*solve_ms=*/-1, /*e2e_ms=*/0);
+  stats.RecordTerminal("maxp", ServiceStats::Outcome::kCancelled, 7, -1, 7);
+  EXPECT_EQ(stats.recorded_jobs(), 11);
+
+  auto doc = json::Parse(stats.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* jobs = doc->Find("jobs");
+  EXPECT_EQ(jobs->Find("done")->AsNumber(), 8);
+  EXPECT_EQ(jobs->Find("failed")->AsNumber(), 1);
+  EXPECT_EQ(jobs->Find("cancelled")->AsNumber(), 1);
+  EXPECT_EQ(jobs->Find("rejected")->AsNumber(), 1);
+  // The JSON writer rounds doubles to nine significant digits.
+  EXPECT_NEAR(doc->Find("rates")->Find("rejection")->AsNumber(), 1.0 / 11.0,
+              1e-6);
+  EXPECT_NEAR(doc->Find("rates")->Find("cancellation")->AsNumber(),
+              1.0 / 11.0, 1e-6);
+
+  // All eleven terminals land in the same fake-clock instant, so both
+  // windows see them all.
+  EXPECT_DOUBLE_EQ(
+      doc->Find("throughput_jobs_per_min")->Find("window_1m")->AsNumber(),
+      11.0);
+  EXPECT_DOUBLE_EQ(
+      doc->Find("throughput_jobs_per_min")->Find("window_5m")->AsNumber(),
+      11.0 / 5.0);
+
+  // Per-kind blocks: "fact" has 9 solve samples, the empty kind maps to
+  // "unknown" with its skipped dimensions absent from the counts.
+  const json::Value* fact = doc->Find("latency_ms")->Find("fact");
+  ASSERT_NE(fact, nullptr);
+  EXPECT_EQ(fact->Find("solve")->Find("all_time")->Find("count")->AsNumber(),
+            9);
+  EXPECT_GT(fact->Find("solve")
+                ->Find("all_time")
+                ->Find("rank_error_bound")
+                ->AsNumber(),
+            0.0);
+  const json::Value* unknown = doc->Find("latency_ms")->Find("unknown");
+  ASSERT_NE(unknown, nullptr);
+  EXPECT_EQ(
+      unknown->Find("solve")->Find("all_time")->Find("count")->AsNumber(),
+      0);
+  EXPECT_TRUE(unknown->Find("solve")
+                  ->Find("all_time")
+                  ->Find("p50")
+                  ->is_null());
+  EXPECT_EQ(unknown->Find("e2e")->Find("all_time")->Find("count")->AsNumber(),
+            1);
+  const json::Value* maxp = doc->Find("latency_ms")->Find("maxp");
+  ASSERT_NE(maxp, nullptr);
+  EXPECT_EQ(
+      maxp->Find("queue_wait")->Find("all_time")->Find("count")->AsNumber(),
+      1);
+}
+
+TEST(ServiceStatsTest, WindowsExpireButAllTimeSurvives) {
+  FakeClock clock;
+  ServiceStats stats(WithClock(clock));
+  stats.RecordTerminal("fact", ServiceStats::Outcome::kDone, 1, 2, 3);
+  // Ten minutes later the default 10 x 30s ring has fully rotated.
+  clock.now_ms += 10 * 60 * 1000;
+  auto doc = json::Parse(stats.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_DOUBLE_EQ(
+      doc->Find("throughput_jobs_per_min")->Find("window_1m")->AsNumber(),
+      0.0);
+  const json::Value* solve = doc->Find("latency_ms")->Find("fact")->Find(
+      "solve");
+  EXPECT_EQ(solve->Find("window_5m")->Find("count")->AsNumber(), 0);
+  EXPECT_EQ(solve->Find("all_time")->Find("count")->AsNumber(), 1);
+  EXPECT_EQ(solve->Find("all_time")->Find("p50")->AsNumber(), 2.0);
+}
+
+TEST(ServiceStatsTest, MirrorsAggregateSummariesIntoRegistry) {
+  FakeClock clock;
+  obs::MetricRegistry registry;
+  ServiceStats stats(WithClock(clock, &registry));
+  stats.RecordTerminal("fact", ServiceStats::Outcome::kDone, 10, 100, 110);
+  stats.RecordTerminal("maxp", ServiceStats::Outcome::kDone, 20, 200, 220);
+  stats.RecordTerminal("fact", ServiceStats::Outcome::kRejected, -1, -1, 0);
+
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  bool queue_wait = false, solve = false, e2e = false;
+  for (const auto& [name, data] : snap.summaries) {
+    if (name == "emp_service_queue_wait_ms") {
+      queue_wait = true;
+      EXPECT_EQ(data.count, 2);
+    }
+    if (name == "emp_service_solve_ms") {
+      solve = true;
+      EXPECT_EQ(data.count, 2);
+      EXPECT_DOUBLE_EQ(data.sum, 300.0);
+    }
+    if (name == "emp_service_e2e_ms") {
+      e2e = true;
+      EXPECT_EQ(data.count, 3);  // rejected jobs still have an e2e
+    }
+  }
+  EXPECT_TRUE(queue_wait);
+  EXPECT_TRUE(solve);
+  EXPECT_TRUE(e2e);
+
+  // And the summaries render in both exposition formats.
+  const std::string prom = obs::MetricsToPrometheus(snap);
+  EXPECT_NE(prom.find("# TYPE emp_service_solve_ms summary"),
+            std::string::npos);
+  EXPECT_NE(prom.find("emp_service_solve_ms{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("emp_service_solve_ms_count 2"), std::string::npos);
+  auto json_doc = json::Parse(obs::MetricsToJson(snap));
+  ASSERT_TRUE(json_doc.ok()) << json_doc.status().ToString();
+  const json::Value* summaries = json_doc->Find("summaries");
+  ASSERT_NE(summaries, nullptr);
+  ASSERT_NE(summaries->Find("emp_service_solve_ms"), nullptr);
+  EXPECT_EQ(summaries->Find("emp_service_solve_ms")
+                ->Find("count")
+                ->AsNumber(),
+            2);
+}
+
+TEST(ServiceStatsTest, DefaultClockWorks) {
+  ServiceStats stats;  // steady-clock default, no registry
+  stats.RecordTerminal("fact", ServiceStats::Outcome::kDone, 1, 2, 3);
+  EXPECT_EQ(stats.recorded_jobs(), 1);
+  auto doc = json::Parse(stats.ToJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("jobs")->Find("done")->AsNumber(), 1);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace emp

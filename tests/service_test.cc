@@ -423,6 +423,82 @@ TEST(JobManagerTest, ConcurrentSubmissionsAllReachTerminalVerdicts) {
   EXPECT_EQ((*manager)->List().size(), static_cast<size_t>(kClients));
 }
 
+// List()'s documented contract: ascending job id, which is submission
+// order — a dashboard polling /jobs sees jobs in the order clients
+// submitted them, regardless of completion order.
+TEST(JobManagerTest, ListIsSubmissionOrdered) {
+  JobManager::Options options;
+  options.workers = 2;
+  auto manager = JobManager::Create(options);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+
+  std::vector<int64_t> submitted_order;
+  for (int i = 0; i < 5; ++i) {
+    JobRequest request = TinyRequest();
+    request.options.seed = 100 + static_cast<uint64_t>(i);
+    auto submitted = (*manager)->Submit(request);
+    ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+    submitted_order.push_back(submitted->id);
+  }
+  for (int64_t id : submitted_order) {
+    ASSERT_TRUE((*manager)->WaitTerminal(id).ok());
+  }
+  // Two workers finished these in whatever order; the listing must not
+  // reflect that.
+  std::vector<JobSnapshot> listed = (*manager)->List();
+  ASSERT_EQ(listed.size(), submitted_order.size());
+  for (size_t i = 0; i < listed.size(); ++i) {
+    EXPECT_EQ(listed[i].id, submitted_order[i]) << "position " << i;
+    if (i > 0) EXPECT_GT(listed[i].id, listed[i - 1].id);
+  }
+}
+
+TEST(JobManagerTest, TraceAndCurveSurfaceThroughManager) {
+  auto manager = JobManager::Create({});
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  auto submitted = (*manager)->Submit(TinyRequest());
+  ASSERT_TRUE(submitted.ok()) << submitted.status().ToString();
+  // The trace id exists from admission (before the job even runs) and is
+  // stable for the job's lifetime.
+  EXPECT_EQ(submitted->trace_id.size(), 16u);
+  auto state = (*manager)->WaitTerminal(submitted->id);
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(*state, JobState::kDone);
+  auto snapshot = (*manager)->Get(submitted->id);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->trace_id, submitted->trace_id);
+
+  auto trace = (*manager)->TraceJson(submitted->id);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  EXPECT_NE(trace->find("\"queue.wait\""), std::string::npos);
+  EXPECT_NE(trace->find("\"instance.bind\""), std::string::npos);
+  EXPECT_NE(trace->find(submitted->trace_id), std::string::npos);
+
+  auto curve = (*manager)->CurveJson(submitted->id);
+  ASSERT_TRUE(curve.ok()) << curve.status().ToString();
+  EXPECT_NE(curve->find("\"samples\""), std::string::npos);
+  EXPECT_NE(curve->find("\"best_p\""), std::string::npos);
+
+  // The journal carries the trace id in job_start and the full anytime
+  // curve as its own record — with job_end still the last line.
+  auto journal = (*manager)->JournalJsonl(submitted->id);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_NE(journal->find(submitted->trace_id), std::string::npos);
+  EXPECT_NE(journal->find("anytime_curve"), std::string::npos);
+  const size_t last_line_start =
+      journal->rfind('\n', journal->size() - 2);
+  EXPECT_NE(journal->find("job_end", last_line_start),
+            std::string::npos);
+
+  // Both endpoints 404 for unknown jobs.
+  EXPECT_FALSE((*manager)->TraceJson(9999).ok());
+  EXPECT_FALSE((*manager)->CurveJson(9999).ok());
+
+  // The terminal job landed in the stats plane.
+  EXPECT_EQ((*manager)->stats().recorded_jobs(), 1);
+  EXPECT_NE((*manager)->StatsJson().find("\"fact\""), std::string::npos);
+}
+
 TEST(JobManagerTest, CreateValidatesPoolShape) {
   JobManager::Options bad_workers;
   bad_workers.workers = 0;

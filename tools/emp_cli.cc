@@ -53,10 +53,12 @@
 #include "data/synthetic/dataset_catalog.h"
 #include "graph/components.h"
 #include "graph/gal.h"
+#include "obs/curve.h"
 #include "obs/export.h"
 #include "obs/http_server.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 #include "render/svg.h"
@@ -187,10 +189,11 @@ int Usage() {
       "              [--time-budget-ms MS] [--max-evals N]\n"
       "              [--metrics-out FILE(.json|.prom)] [--trace-out FILE]\n"
       "              [--serve-port P (0 = ephemeral)] [--journal-out FILE]\n"
-      "              [--metrics-flush-ms MS]\n"
+      "              [--metrics-flush-ms MS] [--curve-out FILE]\n"
+      "              [--profile-hz HZ] [--profile-out FILE]\n"
       "  serve       [--port P (default 8080, 0 = ephemeral)]\n"
       "              [--workers N] [--queue-capacity N]\n"
-      "              [--journal-dir DIR]\n"
+      "              [--journal-dir DIR] [--profile-hz HZ]\n"
       "  pack        --out FILE (--input FILE | --dataset NAME [--scale F])\n"
       "              [--no-geometry]\n"
       "  inspect     --input FILE [--verify]\n"
@@ -383,14 +386,24 @@ int CmdSolve(const Args& args) {
   emp::obs::TraceBuffer trace_buffer;
   emp::obs::ProgressBoard progress_board;
   emp::obs::RunJournal run_journal;
+  emp::obs::AnytimeCurve anytime_curve;
   const bool serve = args.Has("serve-port");
+  const bool profile = args.Has("profile-hz") || args.Has("profile-out");
   if (args.Has("metrics-out") || serve) ctx.metrics = &metric_registry;
   if (args.Has("trace-out")) ctx.trace = &trace_buffer;
-  if (serve) ctx.progress_board = &progress_board;
+  // The profiler is fed from the board's phase publishes, so profiling
+  // needs the board attached even without --serve-port.
+  if (serve || profile) ctx.progress_board = &progress_board;
   if (args.Has("journal-out")) ctx.journal = &run_journal;
+  if (args.Has("curve-out")) ctx.curve = &anytime_curve;
   if (ctx.trace != nullptr && ctx.metrics != nullptr) {
     // Surface trace-buffer drops as emp_trace_dropped_events_total.
     trace_buffer.AttachDropMetrics(&metric_registry);
+  }
+  if (profile) {
+    emp::Status st = emp::obs::PhaseProfiler::Start(
+        static_cast<int>(args.GetInt("profile-hz", 97)));
+    if (!st.ok()) return Fail(st.ToString());
   }
 
   // Live observability plane: HTTP endpoint over the registry + board.
@@ -405,7 +418,7 @@ int CmdSolve(const Args& args) {
     if (!server.ok()) return Fail(server.status().ToString());
     http_server = std::move(server).value();
     std::printf("serving http on 127.0.0.1:%d "
-                "(/healthz /metrics /metrics.json /progress)\n",
+                "(/healthz /metrics /metrics.json /progress /profile)\n",
                 http_server->port());
     std::fflush(stdout);  // poll loops read this while the solve runs
   }
@@ -465,7 +478,9 @@ int CmdSolve(const Args& args) {
   g_solve_cancel = nullptr;
 
   // Tear the plane down in reverse: flusher first (its last write must not
-  // race the finals below), then the HTTP server.
+  // race the finals below), then the HTTP server. The profiler stops
+  // before its table is exported so the dump is a settled snapshot.
+  if (profile) emp::obs::PhaseProfiler::Stop();
   if (flusher != nullptr) flusher->Stop();
   if (http_server != nullptr) {
     http_server->Stop();
@@ -498,6 +513,18 @@ int CmdSolve(const Args& args) {
                                     trace_buffer.ToJson());
     if (!st.ok()) return Fail(st.ToString());
     std::printf("wrote %s\n", args.Get("trace-out").c_str());
+  }
+  if (args.Has("curve-out")) {
+    emp::Status st = emp::WriteFile(args.Get("curve-out"),
+                                    anytime_curve.ToJson() + "\n");
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s\n", args.Get("curve-out").c_str());
+  }
+  if (args.Has("profile-out")) {
+    emp::Status st = emp::WriteFile(args.Get("profile-out"),
+                                    emp::obs::PhaseProfiler::ToJson() + "\n");
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %s\n", args.Get("profile-out").c_str());
   }
 
   if (!solution.ok()) return Fail(solution.status().ToString());
@@ -574,10 +601,18 @@ int CmdServe(const Args& args) {
   server_options.handler = (*service)->Handler();
   auto server = emp::obs::HttpServer::Start(server_options);
   if (!server.ok()) return Fail(server.status().ToString());
+  if (args.Has("profile-hz")) {
+    emp::Status st = emp::obs::PhaseProfiler::Start(
+        static_cast<int>(args.GetInt("profile-hz", 97)));
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("profiler sampling at %lld hz (GET /profile)\n",
+                static_cast<long long>(args.GetInt("profile-hz", 97)));
+  }
   std::printf("serving solve api on 127.0.0.1:%d "
-              "(POST /solve, GET /jobs, GET /jobs/<id>[/journal], "
+              "(POST /solve, GET /stats, GET /jobs, "
+              "GET /jobs/<id>[/journal|/trace|/curve], "
               "POST /jobs/<id>/cancel; obs: /healthz /metrics "
-              "/metrics.json)\n",
+              "/metrics.json /profile)\n",
               (*server)->port());
   std::printf("workers: %d, queue capacity: %d\n",
               (*service)->jobs().workers(),
@@ -595,6 +630,7 @@ int CmdServe(const Args& args) {
 
   // Stop the HTTP plane first — its handler calls into the service — then
   // drain the scheduler (cancels queued/running jobs, joins workers).
+  if (args.Has("profile-hz")) emp::obs::PhaseProfiler::Stop();
   (*server)->Stop();
   (*service)->jobs().Shutdown();
 
